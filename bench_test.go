@@ -1,0 +1,226 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (see DESIGN.md's experiment index). Each BenchmarkFigN measures the
+// baseline and shadow-instrumented execution of a representative kernel;
+// the full multi-kernel sweeps behind the figures run via cmd/pdexp. The
+// Ablation benches quantify the design decisions DESIGN.md calls out.
+package positdebug_test
+
+import (
+	"testing"
+
+	positdebug "positdebug"
+	"positdebug/internal/harness"
+	"positdebug/internal/posit"
+	"positdebug/internal/shadow"
+	"positdebug/internal/workloads"
+)
+
+// benchPrograms compiles the FP and posit variants of a kernel at a size
+// small enough for per-iteration measurement.
+func benchPrograms(b *testing.B, name string, n int) (fp, pos *positdebug.Program) {
+	b.Helper()
+	k, ok := workloads.KernelByName(name)
+	if !ok {
+		b.Fatalf("no kernel %s", name)
+	}
+	src := k.Source(n)
+	fp, err := positdebug.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	psrc, err := positdebug.RefactorToPosit(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos, err = positdebug.Compile(psrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp.Instrumented()
+	pos.Instrumented()
+	return fp, pos
+}
+
+func runBaseline(b *testing.B, p *positdebug.Program) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run("main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runShadowed(b *testing.B, p *positdebug.Program, prec uint, tracing bool) {
+	b.Helper()
+	cfg := shadow.DefaultConfig()
+	cfg.Precision = prec
+	cfg.Tracing = tracing
+	cfg.MaxReports = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Debug(cfg, "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2RootCount: the Figure 2 walkthrough under full shadow
+// execution (detection + DAG construction).
+func BenchmarkFig2RootCount(b *testing.B) {
+	prog, err := positdebug.Compile(workloads.RootCountSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog.Instrumented()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Debug(shadow.DefaultConfig(), "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableDetection: the §5.1 effectiveness sweep over all 32
+// error programs.
+func BenchmarkTableDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunDetection(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7PositDebug: PositDebug slowdown components on gemm —
+// compare ns/op of the sub-benchmarks to read off the slowdown factors.
+func BenchmarkFig7PositDebug(b *testing.B) {
+	_, pos := benchPrograms(b, "gemm", 16)
+	b.Run("baseline", func(b *testing.B) { runBaseline(b, pos) })
+	b.Run("pd512", func(b *testing.B) { runShadowed(b, pos, 512, true) })
+	b.Run("pd256", func(b *testing.B) { runShadowed(b, pos, 256, true) })
+	b.Run("pd128", func(b *testing.B) { runShadowed(b, pos, 128, true) })
+}
+
+// BenchmarkFig8Tracing: PositDebug-256 with vs without tracing metadata.
+func BenchmarkFig8Tracing(b *testing.B) {
+	_, pos := benchPrograms(b, "gemm", 16)
+	b.Run("tracing", func(b *testing.B) { runShadowed(b, pos, 256, true) })
+	b.Run("notracing", func(b *testing.B) { runShadowed(b, pos, 256, false) })
+}
+
+// BenchmarkFig9FPSanitizer: FPSanitizer slowdown components on gemm (FP).
+func BenchmarkFig9FPSanitizer(b *testing.B) {
+	fp, _ := benchPrograms(b, "gemm", 16)
+	b.Run("baseline", func(b *testing.B) { runBaseline(b, fp) })
+	b.Run("fps512", func(b *testing.B) { runShadowed(b, fp, 512, true) })
+	b.Run("fps256", func(b *testing.B) { runShadowed(b, fp, 256, true) })
+	b.Run("fps128", func(b *testing.B) { runShadowed(b, fp, 128, true) })
+}
+
+// BenchmarkFig10Tracing: FPSanitizer-256 with vs without tracing.
+func BenchmarkFig10Tracing(b *testing.B) {
+	fp, _ := benchPrograms(b, "gemm", 16)
+	b.Run("tracing", func(b *testing.B) { runShadowed(b, fp, 256, true) })
+	b.Run("notracing", func(b *testing.B) { runShadowed(b, fp, 256, false) })
+}
+
+// BenchmarkHerbgrindComparison: FPSanitizer vs the Herbgrind-style
+// baseline on the same FP kernel (§5.4's >10× gap).
+func BenchmarkHerbgrindComparison(b *testing.B) {
+	fp, _ := benchPrograms(b, "gemm", 16)
+	b.Run("fpsanitizer", func(b *testing.B) { runShadowed(b, fp, 256, true) })
+	b.Run("herbgrind", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fp.DebugHerbgrind(256, "main"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSoftPositBaseline: the software-posit-vs-hardware-FP cost
+// outside the interpreter (the paper's "11× slower" observation).
+func BenchmarkSoftPositBaseline(b *testing.B) {
+	const n = 48
+	af := make([]float64, n*n)
+	ap := make([]posit.Posit32, n*n)
+	for i := range af {
+		af[i] = float64(i%7)/7 + 0.25
+		ap[i] = posit.P32FromFloat64(af[i])
+	}
+	b.Run("float64", func(b *testing.B) {
+		out := make([]float64, n*n)
+		for it := 0; it < b.N; it++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s := 0.0
+					for k := 0; k < n; k++ {
+						s += af[i*n+k] * af[k*n+j]
+					}
+					out[i*n+j] = s
+				}
+			}
+		}
+	})
+	b.Run("posit32", func(b *testing.B) {
+		out := make([]posit.Posit32, n*n)
+		for it := 0; it < b.N; it++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					var s posit.Posit32
+					for k := 0; k < n; k++ {
+						s = s.Add(ap[i*n+k].Mul(ap[k*n+j]))
+					}
+					out[i*n+j] = s
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationShadowMem: the two-level trie against a plain map as
+// the shadow-memory index (design decision 5 in DESIGN.md).
+func BenchmarkAblationShadowMem(b *testing.B) {
+	_, pos := benchPrograms(b, "trisolv", 48)
+	// The trie is what the runtime uses; the map variant is approximated
+	// by the Herbgrind runtime, which indexes shadow memory with a map.
+	b.Run("trie-runtime", func(b *testing.B) { runShadowed(b, pos, 128, false) })
+	b.Run("map-runtime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pos.DebugHerbgrind(128, "main"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPositFast: generic ⟨n,es⟩ codec cost per operation
+// across configurations (design decision 6): the decode/encode pipeline
+// is shared, so narrower formats are not meaningfully cheaper.
+func BenchmarkAblationPositFast(b *testing.B) {
+	x32 := posit.Config32.FromFloat64(1.375)
+	y32 := posit.Config32.FromFloat64(0.8125)
+	b.Run("p32-add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config32.Add(x32, y32)
+		}
+	})
+	b.Run("p32-mul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config32.Mul(x32, y32)
+		}
+	})
+	x16 := posit.Config16.FromFloat64(1.375)
+	y16 := posit.Config16.FromFloat64(0.8125)
+	b.Run("p16-add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config16.Add(x16, y16)
+		}
+	})
+	b.Run("float64-add", func(b *testing.B) {
+		a, c := 1.375, 0.8125
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += a * c
+		}
+		_ = s
+	})
+}

@@ -1,0 +1,119 @@
+package positdebug_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLITools builds the command-line tools and exercises each on the
+// paper's Figure 2 program — an end-to-end check of the shipped binaries.
+func TestCLITools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary builds")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"pd", "fpsan", "positrefactor", "pdexp", "positinfo"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	dir := t.TempDir()
+	fig2 := filepath.Join(dir, "fig2.pcl")
+	writeFile(t, fig2, `
+func rootcount(a: p32, b: p32, c: p32): i64 {
+	var t1: p32 = b * b;
+	var t2: p32 = 4.0 * a * c;
+	var t3: p32 = t1 - t2;
+	if (t3 > 0.0) { return 2; }
+	if (t3 == 0.0) { return 1; }
+	return 0;
+}
+func main(): i64 {
+	var r: i64 = rootcount(18309067625725952.0, 3246642954240.0, 143923904.0);
+	print(r);
+	return r;
+}
+`)
+	fpsrc := filepath.Join(dir, "absorb.pcl")
+	writeFile(t, fpsrc, `
+func main(): f32 {
+	var s: f32 = 16777216.0;
+	s = s + 1.0;
+	var d: f32 = s - 16777216.0;
+	print(d);
+	return d;
+}
+`)
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(filepath.Join(bin, name), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// pd: detection + DAG on the posit program.
+	out := run("pd", fig2)
+	for _, frag := range []string{"catastrophic-cancellation", "branch-flip", "t1 - t2", "bits of error"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("pd output missing %q:\n%s", frag, out)
+		}
+	}
+	// pd -baseline: plain program output only.
+	out = run("pd", "-baseline", fig2)
+	if strings.TrimSpace(out) != "1" {
+		t.Fatalf("pd -baseline: %q", out)
+	}
+	// pd respects the environment thresholds.
+	cmd := exec.Command(filepath.Join(bin, "pd"), fig2)
+	cmd.Env = append(os.Environ(), "PD_REPORT_LIMIT=1")
+	limited, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("pd with env: %v", err)
+	}
+	if strings.Count(string(limited), "bits of error)") > 2 {
+		t.Fatalf("PD_REPORT_LIMIT ignored:\n%s", limited)
+	}
+
+	// fpsan on the FP program.
+	out = run("fpsan", fpsrc)
+	if !strings.Contains(out, "cancellation") && !strings.Contains(out, "wrong-output") {
+		t.Fatalf("fpsan missed the absorption bug:\n%s", out)
+	}
+	// fpsan -herbgrind.
+	out = run("fpsan", "-herbgrind", fpsrc)
+	if !strings.Contains(out, "trace nodes") {
+		t.Fatalf("fpsan -herbgrind:\n%s", out)
+	}
+
+	// positrefactor converts the FP source to posits.
+	out = run("positrefactor", fpsrc)
+	if !strings.Contains(out, "p32") || strings.Contains(out, "f32") {
+		t.Fatalf("positrefactor output:\n%s", out)
+	}
+
+	// positinfo decodes the paper's ⟨8,1⟩ example.
+	out = run("positinfo", "-n", "8", "-es", "1", "-bits", "01101101")
+	if !strings.Contains(out, "value: 13") || !strings.Contains(out, "0|110|1|101") {
+		t.Fatalf("positinfo:\n%s", out)
+	}
+
+	// pdexp runs a single fast experiment.
+	out = run("pdexp", "-exp", "rootcount", "-quick")
+	if !strings.Contains(out, "exact arithmetic gives 2") {
+		t.Fatalf("pdexp rootcount:\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

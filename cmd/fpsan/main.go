@@ -1,0 +1,74 @@
+// Command fpsan is the FPSanitizer command-line driver: the same shadow
+// execution and metadata organization as PositDebug, applied to IEEE
+// floating-point PCL programs (§4.3 of the paper).
+//
+// Usage:
+//
+//	fpsan [flags] program.pcl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	positdebug "positdebug"
+	"positdebug/internal/shadow"
+)
+
+func main() {
+	prec := flag.Uint("prec", 256, "shadow precision in bits (128/256/512)")
+	noTracing := flag.Bool("no-tracing", false, "disable DAG metadata (detection only)")
+	entry := flag.String("entry", "main", "entry function")
+	baseline := flag.Bool("baseline", false, "run uninstrumented")
+	herb := flag.Bool("herbgrind", false, "run under the Herbgrind-style baseline runtime instead")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fpsan [flags] program.pcl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := positdebug.Compile(string(src))
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case *baseline:
+		res, err := prog.Run(*entry)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Output)
+	case *herb:
+		res, nodes, err := prog.DebugHerbgrind(*prec, *entry)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Output)
+		fmt.Printf("\nherbgrind-style run: %d dynamic trace nodes accumulated\n", nodes)
+	default:
+		cfg := shadow.DefaultConfig()
+		cfg.Precision = *prec
+		cfg.Tracing = !*noTracing
+		res, err := prog.Debug(cfg, *entry)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Output)
+		fmt.Println()
+		fmt.Print(res.Summary)
+		for _, r := range res.Summary.Reports {
+			fmt.Println()
+			fmt.Println(r)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fpsan:", err)
+	os.Exit(1)
+}

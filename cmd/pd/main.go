@@ -1,0 +1,85 @@
+// Command pd is the PositDebug command-line driver: it compiles a PCL
+// posit program, applies the shadow-execution instrumentation, runs it,
+// and reports detected numerical errors with their instruction DAGs —
+// the workflow of the paper's §4.2 prototype.
+//
+// Usage:
+//
+//	pd [flags] program.pcl
+//
+// Environment (mirroring the paper's prototype):
+//
+//	PD_ERROR_THRESHOLD  per-op error bits threshold (default 45)
+//	PD_REPORT_LIMIT     maximum detailed reports (default 16)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	positdebug "positdebug"
+	"positdebug/internal/shadow"
+)
+
+func main() {
+	prec := flag.Uint("prec", 256, "shadow precision in bits (128/256/512)")
+	noTracing := flag.Bool("no-tracing", false, "disable DAG metadata (detection only)")
+	entry := flag.String("entry", "main", "entry function")
+	baseline := flag.Bool("baseline", false, "run uninstrumented (no shadow execution)")
+	outThreshold := flag.Int("out-threshold", 35, "output error bits threshold")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pd [flags] program.pcl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := positdebug.Compile(string(src))
+	if err != nil {
+		fail(err)
+	}
+	if *baseline {
+		res, err := prog.Run(*entry)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Output)
+		return
+	}
+	cfg := shadow.DefaultConfig()
+	cfg.Precision = *prec
+	cfg.Tracing = !*noTracing
+	cfg.OutputThreshold = *outThreshold
+	if v := os.Getenv("PD_ERROR_THRESHOLD"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			cfg.ErrBitsThreshold = n
+		}
+	}
+	cfg.MaxReports = 16
+	if v := os.Getenv("PD_REPORT_LIMIT"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			cfg.MaxReports = n
+		}
+	}
+	res, err := prog.Debug(cfg, *entry)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(res.Output)
+	fmt.Println()
+	fmt.Print(res.Summary)
+	for _, r := range res.Summary.Reports {
+		fmt.Println()
+		fmt.Println(r)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pd:", err)
+	os.Exit(1)
+}

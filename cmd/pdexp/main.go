@@ -1,0 +1,148 @@
+// Command pdexp regenerates the paper's evaluation: every figure and table
+// of §5 (detection effectiveness, Figures 7–10, the Herbgrind comparison,
+// the software-posit baseline note, and the three debugging case studies).
+//
+// Usage:
+//
+//	pdexp -exp all            # everything (minutes)
+//	pdexp -exp fig7 -quick    # one experiment at reduced problem sizes
+//
+// Experiments: detect, fig7, fig8, fig9, fig10, herbgrind, memory,
+// softposit, rootcount, cordic, simpson, quadratic, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"positdebug/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	repeats := flag.Int("repeats", 2, "timing repetitions (best-of)")
+	flag.Parse()
+
+	opts := harness.Options{Quick: *quick, Repeats: *repeats}
+	run := func(name string) {
+		if err := runOne(name, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pdexp %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{
+			"detect", "kernels", "softposit", "fig7", "fig8", "fig9", "fig10",
+			"herbgrind", "memory", "rootcount", "cordic", "simpson", "quadratic",
+		} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func runOne(name string, opts harness.Options) error {
+	fmt.Printf("==== %s ====\n", name)
+	defer fmt.Println()
+	switch name {
+	case "detect":
+		d, err := harness.RunDetection()
+		if err != nil {
+			return err
+		}
+		fmt.Print(d)
+	case "kernels":
+		rows, err := harness.KernelErrors(opts, 35)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatKernelErrors(rows, 35))
+	case "fig7":
+		t, err := harness.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	case "fig8":
+		t, err := harness.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	case "fig9":
+		t, err := harness.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	case "fig10":
+		t, err := harness.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	case "herbgrind":
+		t, err := harness.HerbgrindTable(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	case "memory":
+		sizes := []int{100, 1000, 10000, 100000}
+		if opts.Quick {
+			sizes = []int{10, 100, 1000}
+		}
+		rows, err := harness.MemoryGrowth(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatMemoryRows(rows))
+	case "softposit":
+		n := 64
+		if opts.Quick {
+			n = 32
+		}
+		ratio := harness.SoftPositBaseline(n, opts.Repeats)
+		fmt.Printf("software posit32 gemm vs native float64 gemm (n=%d): %.1f× slower\n", n, ratio)
+		fmt.Println("(the paper reports ~11× for SoftPosit-C vs hardware FP)")
+	case "rootcount":
+		c, err := harness.RunRootCount()
+		if err != nil {
+			return err
+		}
+		fmt.Print(c)
+	case "cordic":
+		c, err := harness.RunCordic(1e-8)
+		if err != nil {
+			return err
+		}
+		fmt.Print(c)
+		samples := 2000
+		if opts.Quick {
+			samples = 500
+		}
+		fmt.Println(harness.CordicAccuracy(samples, 0, 1.5707963267948966))
+	case "simpson":
+		n := 20000
+		if opts.Quick {
+			n = 2000
+		}
+		c, err := harness.RunSimpson(n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(c)
+	case "quadratic":
+		c, err := harness.RunQuadratic()
+		if err != nil {
+			return err
+		}
+		fmt.Print(c)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

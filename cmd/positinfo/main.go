@@ -1,0 +1,98 @@
+// Command positinfo inspects posit configurations and values: it decodes
+// bit patterns into their sign/regime/exponent/fraction fields, shows the
+// tapered-precision profile of a configuration (the ULP map that explains
+// the "golden zone"), and converts decimal values to posits.
+//
+// Usage:
+//
+//	positinfo -n 32 -es 2                  # configuration summary + ULP map
+//	positinfo -n 8 -es 1 -bits 01101101    # decode a pattern (the paper's §2.1 example)
+//	positinfo -n 32 -es 2 -value 13.7      # round a decimal and show the fields
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"positdebug/internal/posit"
+)
+
+func main() {
+	n := flag.Uint("n", 32, "total bits (3..32)")
+	es := flag.Uint("es", 2, "max exponent bits (0..5)")
+	bitsStr := flag.String("bits", "", "binary pattern to decode")
+	valueStr := flag.String("value", "", "decimal value to round and decode")
+	flag.Parse()
+
+	cfg := posit.Config{N: *n, ES: *es}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+	switch {
+	case *bitsStr != "":
+		v, err := strconv.ParseUint(*bitsStr, 2, 64)
+		if err != nil || v > cfg.Mask() {
+			fail(fmt.Errorf("bad pattern %q for ⟨%d,%d⟩", *bitsStr, *n, *es))
+		}
+		describe(cfg, posit.Bits(v))
+	case *valueStr != "":
+		p, err := cfg.Parse(*valueStr)
+		if err != nil {
+			fail(err)
+		}
+		describe(cfg, p)
+	default:
+		summary(cfg)
+	}
+}
+
+func describe(cfg posit.Config, p posit.Bits) {
+	fmt.Printf("⟨%d,%d⟩ pattern %s\n", cfg.N, cfg.ES, cfg.BitString(p))
+	fmt.Printf("  fields (s|regime|exp|frac): %s\n", cfg.FieldString(p))
+	fmt.Printf("  value: %s\n", cfg.Format(p))
+	if cfg.IsNaR(p) || cfg.IsZero(p) {
+		return
+	}
+	d := cfg.Decode(cfg.Abs(p))
+	fmt.Printf("  scale (combined exponent): %d\n", d.Scale)
+	fmt.Printf("  regime bits: %d, fraction bits available: %d\n", d.RegimeBits, d.FracBits)
+	fmt.Printf("  ULP here: %g\n", cfg.ULP(p))
+}
+
+func summary(cfg posit.Config) {
+	fmt.Printf("posit ⟨%d,%d⟩ configuration\n", cfg.N, cfg.ES)
+	fmt.Printf("  useed = 2^%d\n", cfg.UseedLog2())
+	fmt.Printf("  maxpos = %g (scale %d), minpos = %g (scale %d)\n",
+		cfg.MaxValue(), cfg.ScaleMax(), cfg.MinValue(), cfg.ScaleMin())
+	fmt.Printf("  NaR pattern: %s\n", cfg.BitString(cfg.NaR()))
+	fmt.Println()
+	fmt.Println("tapered precision profile (fraction bits and relative ULP by magnitude):")
+	fmt.Printf("  %14s %10s %14s\n", "magnitude", "frac bits", "rel ULP")
+	for e := 0; ; e += int(cfg.UseedLog2()) {
+		if e > cfg.ScaleMax() {
+			break
+		}
+		show(cfg, e)
+		if e != 0 {
+			show(cfg, -e)
+		}
+	}
+}
+
+func show(cfg posit.Config, scale int) {
+	v := cfg.FromFloat64(math.Ldexp(1, scale))
+	if cfg.IsZero(v) || cfg.IsNaR(v) {
+		return
+	}
+	d := cfg.Decode(cfg.Abs(v))
+	fmt.Printf("  %14g %10d %14.3g\n",
+		cfg.ToFloat64(v), d.FracBits, cfg.ULP(v)/math.Abs(cfg.ToFloat64(v)))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "positinfo:", err)
+	os.Exit(1)
+}

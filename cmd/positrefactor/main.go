@@ -1,0 +1,46 @@
+// Command positrefactor rewrites an IEEE floating-point PCL program into a
+// ⟨32,2⟩ posit program — the paper's clang-based refactorer (§4.2), which
+// let the authors port PolyBench and SPEC applications to posits without
+// rewriting them by hand.
+//
+// Usage:
+//
+//	positrefactor program.pcl > program_posit.pcl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	positdebug "positdebug"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: positrefactor [-o out.pcl] program.pcl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	rewritten, err := positdebug.RefactorToPosit(string(src))
+	if err != nil {
+		fail(err)
+	}
+	if *out == "" {
+		fmt.Print(rewritten)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(rewritten), 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "positrefactor:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Conditional error breakpoints: the paper's gdb workflow (§3.1, §5.2) as
+// a library API. Execution halts at the first operation whose error
+// exceeds a chosen number of bits, returning the offending instruction's
+// report and DAG — "insert a conditional breakpoint depending on the
+// amount of the error and obtain a DAG of dependent instructions".
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	positdebug "positdebug"
+	"positdebug/internal/interp"
+	"positdebug/internal/shadow"
+)
+
+const src = `
+// The z recurrence from the CORDIC case study, reduced: repeatedly
+// subtracting near-equal table values from a tiny angle accumulates error
+// until everything cancels.
+func main(): p32 {
+	var z: p32 = 0.00000001;
+	var step: p32 = 0.0000152587890625;
+	for (var i: i64 = 0; i < 24; i += 1) {
+		if (z >= 0.0) {
+			z = z - step;
+		} else {
+			z = z + step;
+		}
+		step = step * 0.5;
+	}
+	return z;
+}
+`
+
+func main() {
+	prog, err := positdebug.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := shadow.DefaultConfig()
+	cfg.ErrBitsThreshold = 40
+	// Break as soon as any operation carries ≥ 45 bits of error.
+	cfg.BreakOn = func(r *shadow.Report) bool { return r.ErrBits >= 45 }
+
+	_, err = prog.Debug(cfg, "main")
+	var stopped *interp.Stopped
+	if !errors.As(err, &stopped) {
+		fmt.Println("no operation crossed 45 bits of error; result:", err)
+		return
+	}
+	rep := stopped.Reason.(*shadow.Report)
+	fmt.Printf("breakpoint hit at %q (%s, line %s): %d bits of error\n",
+		rep.Text, rep.Func, rep.Pos, rep.ErrBits)
+	fmt.Printf("  program value: %s\n  shadow value:  %s\n\n", rep.Program, rep.Shadow)
+	fmt.Println("instruction DAG at the break point:")
+	fmt.Println(rep.DAG.Render())
+}

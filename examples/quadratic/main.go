@@ -1,0 +1,20 @@
+// The §5.2.3 case study: root finding for a quadratic with the paper's
+// inputs (equations 5–7). Beyond the two classic FP cancellations,
+// PositDebug flags a posit-specific third error source: the division by
+// 2a pushes the result's regime wider and sheds fraction bits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"positdebug/internal/harness"
+)
+
+func main() {
+	res, err := harness.RunQuadratic()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+}

@@ -1,0 +1,22 @@
+// The §5.2.2 case study: computing ∫x²dx by Simpson's rule. The naive
+// posit accumulation drifts once the running sum leaves the golden zone;
+// PositDebug attributes the error to the accumulating additions, and
+// replacing them with the quire (fused accumulation) fixes the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"positdebug/internal/harness"
+)
+
+func main() {
+	res, err := harness.RunSimpson(20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Println("The fix: accumulate with qadd/qmadd into the quire and round once")
+	fmt.Println("with qround_p32() — the posit standard's fused-operation support.")
+}

@@ -1,0 +1,115 @@
+package positdebug_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	positdebug "positdebug"
+	"positdebug/internal/shadow"
+)
+
+// TestInstrumentationTransparency is a differential fuzz test over
+// randomly generated PCL programs: shadow execution must be a pure
+// observer — the instrumented program's result and printed output must be
+// bit-identical to the uninstrumented run, for posit and FP programs
+// alike, across shadow precisions, with and without tracing.
+func TestInstrumentationTransparency(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < 120; trial++ {
+		typ := []string{"p32", "p16", "f64", "f32"}[rng.Intn(4)]
+		src := randomProgram(rng, typ)
+		prog, err := positdebug.Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program does not compile: %v\n%s", trial, err, src)
+		}
+		base, err := prog.Run("main")
+		if err != nil {
+			t.Fatalf("trial %d: baseline: %v\n%s", trial, err, src)
+		}
+		for _, cfg := range []shadow.Config{
+			{Precision: 128, Tracing: true, MaxReports: 2},
+			{Precision: 256, Tracing: false, MaxReports: 2},
+		} {
+			res, err := prog.Debug(cfg, "main")
+			if err != nil {
+				t.Fatalf("trial %d: shadowed: %v\n%s", trial, err, src)
+			}
+			if res.Value != base.Value {
+				t.Fatalf("trial %d: instrumentation changed the result: %#x vs %#x\n%s",
+					trial, res.Value, base.Value, src)
+			}
+			if res.Output != base.Output {
+				t.Fatalf("trial %d: instrumentation changed the output:\n%q\nvs\n%q\n%s",
+					trial, res.Output, base.Output, src)
+			}
+		}
+	}
+}
+
+// randomProgram emits a small single-function numeric program: a handful
+// of variables updated through random arithmetic, array traffic, branches
+// and a bounded loop, printing and returning a value.
+func randomProgram(rng *rand.Rand, typ string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "var arr: [8]%s;\n\n", typ)
+	fmt.Fprintf(&sb, "func main(): %s {\n", typ)
+	vars := []string{"a", "b", "c"}
+	for _, v := range vars {
+		fmt.Fprintf(&sb, "\tvar %s: %s = %s;\n", v, typ, randomLiteral(rng))
+	}
+	fmt.Fprintf(&sb, "\tfor (var i: i64 = 0; i < 8; i += 1) {\n")
+	fmt.Fprintf(&sb, "\t\tarr[i] = %s * a + b;\n", randomLiteral(rng))
+	fmt.Fprintf(&sb, "\t}\n")
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		v := vars[rng.Intn(len(vars))]
+		fmt.Fprintf(&sb, "\t%s = %s;\n", v, randomExpr(rng, vars, 0))
+	}
+	// A data-dependent branch.
+	fmt.Fprintf(&sb, "\tif (a %s b) {\n\t\tc = c + arr[2];\n\t} else {\n\t\tc = c - arr[3];\n\t}\n",
+		[]string{"<", "<=", ">", ">=", "==", "!="}[rng.Intn(6)])
+	// A reduction over the array.
+	fmt.Fprintf(&sb, "\tvar s: %s = 0.0;\n", typ)
+	fmt.Fprintf(&sb, "\tfor (var i: i64 = 0; i < 8; i += 1) {\n\t\ts = s + arr[i];\n\t}\n")
+	fmt.Fprintf(&sb, "\tprint(s);\n\tprint(c);\n")
+	fmt.Fprintf(&sb, "\treturn s + c;\n}\n")
+	return sb.String()
+}
+
+func randomExpr(rng *rand.Rand, vars []string, depth int) string {
+	if depth > 2 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return vars[rng.Intn(len(vars))]
+		}
+		return randomLiteral(rng)
+	}
+	op := []string{"+", "-", "*", "/"}[rng.Intn(4)]
+	l := randomExpr(rng, vars, depth+1)
+	r := randomExpr(rng, vars, depth+1)
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("sqrt(abs(%s %s %s))", l, op, r)
+	case 1:
+		return fmt.Sprintf("fma(%s, %s, %s)", l, r, vars[rng.Intn(len(vars))])
+	default:
+		return fmt.Sprintf("(%s %s %s)", l, op, r)
+	}
+}
+
+func randomLiteral(rng *rand.Rand) string {
+	mant := rng.Intn(1<<12) + 1
+	exp := rng.Intn(13) - 6
+	v := float64(mant)
+	for e := exp; e > 0; e-- {
+		v *= 2
+	}
+	for e := exp; e < 0; e++ {
+		v /= 2
+	}
+	if rng.Intn(2) == 0 {
+		v = -v
+	}
+	return fmt.Sprintf("%g", v)
+}

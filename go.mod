@@ -1,0 +1,3 @@
+module positdebug
+
+go 1.22

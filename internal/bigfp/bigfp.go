@@ -1,0 +1,119 @@
+// Package bigfp provides a fixed-precision, correctly rounded real type on
+// top of math/big.Float — the stand-in for the MPFR library that PositDebug
+// uses for its high-precision shadow execution. A Context fixes the mantissa
+// precision (the paper evaluates 128, 256 and 512 bits) and every operation
+// rounds once to that precision with round-to-nearest-even, matching MPFR's
+// default behaviour.
+package bigfp
+
+import (
+	"math/big"
+
+	"positdebug/internal/posit"
+)
+
+// Context carries the shadow-execution precision. The zero value is not
+// usable; construct with New.
+type Context struct {
+	prec uint
+}
+
+// New returns a context with the given mantissa precision in bits.
+// PositDebug's default is 256.
+func New(prec uint) Context {
+	if prec == 0 {
+		prec = 256
+	}
+	return Context{prec: prec}
+}
+
+// Prec returns the mantissa precision of the context.
+func (c Context) Prec() uint { return c.prec }
+
+// NewFloat returns a zero-valued big.Float configured for the context.
+// Shadow-execution metadata preallocates these and computes in place.
+func (c Context) NewFloat() *big.Float {
+	return new(big.Float).SetPrec(c.prec).SetMode(big.ToNearestEven)
+}
+
+// SetFloat64 sets z to the exact value of f (or to a quiet marker for NaN;
+// big.Float has no NaN, so callers must guard with IsNaN upstream).
+func (c Context) SetFloat64(z *big.Float, f float64) *big.Float {
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).SetFloat64(f)
+}
+
+// SetPosit sets z to the exact value of the posit p in configuration pc.
+// Exact because every n ≤ 32 posit is a normal float64.
+func (c Context) SetPosit(z *big.Float, pc posit.Config, p posit.Bits) *big.Float {
+	if pc.IsNaR(p) {
+		// Callers handle NaR before reaching the shadow value; represent
+		// it as zero to keep the big.Float machinery total.
+		return z.SetPrec(c.prec).SetInt64(0)
+	}
+	return c.SetFloat64(z, pc.ToFloat64(p))
+}
+
+// Add sets z = x + y rounded to the context precision.
+func (c Context) Add(z, x, y *big.Float) *big.Float {
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).Add(x, y)
+}
+
+// Sub sets z = x − y rounded to the context precision.
+func (c Context) Sub(z, x, y *big.Float) *big.Float {
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).Sub(x, y)
+}
+
+// Mul sets z = x · y rounded to the context precision.
+func (c Context) Mul(z, x, y *big.Float) *big.Float {
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).Mul(x, y)
+}
+
+// Div sets z = x / y rounded to the context precision. Division by zero
+// reports undefined=true and leaves z zero (the shadow runtime mirrors the
+// program's NaR/Inf handling at a higher level).
+func (c Context) Div(z, x, y *big.Float) (res *big.Float, undefined bool) {
+	if y.Sign() == 0 {
+		return z.SetPrec(c.prec).SetInt64(0), true
+	}
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).Quo(x, y), false
+}
+
+// Sqrt sets z = √x rounded to the context precision. Negative x reports
+// undefined=true.
+func (c Context) Sqrt(z, x *big.Float) (res *big.Float, undefined bool) {
+	if x.Sign() < 0 {
+		return z.SetPrec(c.prec).SetInt64(0), true
+	}
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).Sqrt(x), false
+}
+
+// Neg sets z = −x.
+func (c Context) Neg(z, x *big.Float) *big.Float {
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).Neg(x)
+}
+
+// Abs sets z = |x|.
+func (c Context) Abs(z, x *big.Float) *big.Float {
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).Abs(x)
+}
+
+// Copy sets z to x at the context precision.
+func (c Context) Copy(z, x *big.Float) *big.Float {
+	return z.SetPrec(c.prec).SetMode(big.ToNearestEven).Set(x)
+}
+
+// ToFloat64 rounds x to the nearest float64.
+func ToFloat64(x *big.Float) float64 {
+	f, _ := x.Float64()
+	return f
+}
+
+// Exp2 returns the binary exponent e such that |x| ∈ [2^e, 2^(e+1)), i.e.
+// floor(log2|x|). Returns 0 for zero (callers guard on sign).
+func Exp2(x *big.Float) int {
+	if x.Sign() == 0 {
+		return 0
+	}
+	// big.Float's MantExp returns exp with mantissa in [0.5, 1).
+	return x.MantExp(nil) - 1
+}

@@ -1,0 +1,128 @@
+package bigfp
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"positdebug/internal/posit"
+)
+
+func TestPrecisionIsEnforced(t *testing.T) {
+	c := New(128)
+	if c.Prec() != 128 {
+		t.Fatal("prec")
+	}
+	x := c.NewFloat().SetInt64(1)
+	y := c.NewFloat()
+	y.SetMantExp(big.NewFloat(1), -200) // 2^-200
+	z := c.Add(c.NewFloat(), x, y)
+	// At 128-bit precision, 1 + 2^-200 rounds back to 1.
+	if z.Cmp(x) != 0 {
+		t.Fatal("128-bit context must round away 2^-200")
+	}
+	wide := New(512)
+	z2 := wide.Add(wide.NewFloat(), x, y)
+	if z2.Cmp(x) == 0 {
+		t.Fatal("512-bit context must retain 2^-200")
+	}
+}
+
+func TestDefaultPrecision(t *testing.T) {
+	if New(0).Prec() != 256 {
+		t.Fatal("default precision must be 256 (the paper's default)")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	c := New(256)
+	two := c.SetFloat64(c.NewFloat(), 2)
+	three := c.SetFloat64(c.NewFloat(), 3)
+	if got := ToFloat64(c.Mul(c.NewFloat(), two, three)); got != 6 {
+		t.Fatalf("2·3 = %v", got)
+	}
+	if got := ToFloat64(c.Sub(c.NewFloat(), three, two)); got != 1 {
+		t.Fatalf("3−2 = %v", got)
+	}
+	q, undef := c.Div(c.NewFloat(), three, two)
+	if undef || ToFloat64(q) != 1.5 {
+		t.Fatalf("3/2 = %v (undef=%v)", ToFloat64(q), undef)
+	}
+	_, undef = c.Div(c.NewFloat(), three, c.NewFloat())
+	if !undef {
+		t.Fatal("division by zero must report undefined")
+	}
+	s, undef := c.Sqrt(c.NewFloat(), c.SetFloat64(c.NewFloat(), 9))
+	if undef || ToFloat64(s) != 3 {
+		t.Fatalf("sqrt(9) = %v", ToFloat64(s))
+	}
+	_, undef = c.Sqrt(c.NewFloat(), c.SetFloat64(c.NewFloat(), -1))
+	if !undef {
+		t.Fatal("sqrt(−1) must report undefined")
+	}
+	if got := ToFloat64(c.Neg(c.NewFloat(), two)); got != -2 {
+		t.Fatalf("−2 = %v", got)
+	}
+	if got := ToFloat64(c.Abs(c.NewFloat(), c.SetFloat64(c.NewFloat(), -5))); got != 5 {
+		t.Fatalf("|−5| = %v", got)
+	}
+}
+
+func TestSetPositExact(t *testing.T) {
+	c := New(256)
+	cfg := posit.Config32
+	for _, f := range []float64{13, -0.0625, 1.5e10, 3.0517578125e-05} {
+		p := cfg.FromFloat64(f)
+		z := c.SetPosit(c.NewFloat(), cfg, p)
+		if ToFloat64(z) != cfg.ToFloat64(p) {
+			t.Fatalf("SetPosit(%v) = %v", f, ToFloat64(z))
+		}
+	}
+	// NaR becomes zero at this layer (runtime handles NaR before here).
+	z := c.SetPosit(c.NewFloat(), cfg, cfg.NaR())
+	if z.Sign() != 0 {
+		t.Fatal("SetPosit(NaR) must be zero")
+	}
+}
+
+func TestExp2(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want int
+	}{{1, 0}, {1.5, 0}, {2, 1}, {3.99, 1}, {4, 2}, {0.5, -1}, {0.75, -1}, {-8, 3}}
+	for _, tc := range cases {
+		x := new(big.Float).SetFloat64(tc.f)
+		if got := Exp2(x); got != tc.want {
+			t.Fatalf("Exp2(%v) = %d, want %d", tc.f, got, tc.want)
+		}
+	}
+	if Exp2(new(big.Float)) != 0 {
+		t.Fatal("Exp2(0) defined as 0")
+	}
+}
+
+// TestShadowOfCancellation demonstrates the role the context plays in the
+// runtime: the 256-bit shadow of the Fig 2 discriminant retains the true
+// value 2.405e20 while ⟨32,2⟩ posit arithmetic cancels to zero.
+func TestShadowOfCancellation(t *testing.T) {
+	c := New(256)
+	cfg := posit.Config32
+	a := c.SetFloat64(c.NewFloat(), 1.8309067625725952e16)
+	b := c.SetFloat64(c.NewFloat(), 3.24664295424e12)
+	cc := c.SetFloat64(c.NewFloat(), 1.43923904e8)
+	t1 := c.Mul(c.NewFloat(), b, b)
+	t2 := c.Mul(c.NewFloat(), c.SetFloat64(c.NewFloat(), 4), a)
+	t2 = c.Mul(c.NewFloat(), t2, cc)
+	d := c.Sub(c.NewFloat(), t1, t2)
+	got := ToFloat64(d)
+	if math.Abs(got-2.40507138275350151168e20)/2.4e20 > 1e-12 {
+		t.Fatalf("shadow discriminant = %g, want 2.40507…e20", got)
+	}
+	// While the posit program computes 0.
+	pd := cfg.Sub(
+		cfg.Mul(cfg.FromFloat64(3.24664295424e12), cfg.FromFloat64(3.24664295424e12)),
+		cfg.Mul(cfg.Mul(cfg.FromFloat64(4), cfg.FromFloat64(1.8309067625725952e16)), cfg.FromFloat64(1.43923904e8)))
+	if pd != 0 {
+		t.Fatal("posit discriminant must cancel")
+	}
+}

@@ -1,0 +1,94 @@
+package codegen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"positdebug/internal/lang"
+)
+
+// exprText renders a short human-readable form of an expression for the
+// instruction registry; DAG reports show these strings (like the paper's
+// Figure 5/6 node labels). Output is capped to keep reports readable.
+func exprText(e lang.Expr) string {
+	s := renderExpr(e)
+	if len(s) > 48 {
+		s = s[:45] + "…"
+	}
+	return s
+}
+
+func renderExpr(e lang.Expr) string {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return strconv.FormatInt(e.Value, 10)
+	case *lang.FloatLit:
+		if e.Text != "" {
+			return e.Text
+		}
+		return strconv.FormatFloat(e.Value, 'g', -1, 64)
+	case *lang.BoolLit:
+		return strconv.FormatBool(e.Value)
+	case *lang.StringLit:
+		return strconv.Quote(e.Value)
+	case *lang.Ident:
+		return e.Name
+	case *lang.IndexExpr:
+		var sb strings.Builder
+		sb.WriteString(e.Arr.Name)
+		for _, ix := range e.Indices {
+			fmt.Fprintf(&sb, "[%s]", renderExpr(ix))
+		}
+		return sb.String()
+	case *lang.UnaryExpr:
+		op := "-"
+		if e.Op == lang.Not {
+			op = "!"
+		}
+		return op + renderExpr(e.X)
+	case *lang.BinaryExpr:
+		return renderExpr(e.L) + " " + opText(e.Op) + " " + renderExpr(e.R)
+	case *lang.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = renderExpr(a)
+		}
+		return e.Name + "(" + strings.Join(args, ", ") + ")"
+	default:
+		return "?"
+	}
+}
+
+func opText(k lang.Kind) string {
+	switch k {
+	case lang.Plus:
+		return "+"
+	case lang.Minus:
+		return "-"
+	case lang.Star:
+		return "*"
+	case lang.Slash:
+		return "/"
+	case lang.Percent:
+		return "%"
+	case lang.Eq:
+		return "=="
+	case lang.Ne:
+		return "!="
+	case lang.Lt:
+		return "<"
+	case lang.Le:
+		return "<="
+	case lang.Gt:
+		return ">"
+	case lang.Ge:
+		return ">="
+	case lang.AndAnd:
+		return "&&"
+	case lang.OrOr:
+		return "||"
+	default:
+		return "?"
+	}
+}

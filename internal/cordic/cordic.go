@@ -1,0 +1,394 @@
+// Package cordic implements a math library for ⟨32,2⟩ posits using the
+// CORDIC (COordinate Rotation DIgital Computer) family of shift-and-add
+// algorithms — the library whose debugging motivated PositDebug (§5.2.1 of
+// the paper). All arithmetic is performed in posit32, so the library
+// exhibits exactly the error behaviour the paper studies: excellent
+// accuracy over most of [0, π/2], with error accumulation in y_n and branch
+// flips in the z_n recurrence for arguments near 0 (sin) and near π/2
+// (cos).
+//
+// Rotation-mode circular CORDIC computes sin/cos; vectoring mode computes
+// atan; the hyperbolic variants provide sinh/cosh/exp/ln/tanh. Constants
+// (the atan/atanh tables and the scale factors K) are precomputed at high
+// precision and rounded once to posit32, as the paper did with 2000-bit
+// MPFR.
+package cordic
+
+import (
+	"math"
+
+	"positdebug/internal/posit"
+)
+
+// Iterations is the CORDIC iteration count; the paper's implementation
+// performs 50 iterations.
+const Iterations = 50
+
+var (
+	cfg = posit.Config32
+
+	// atanTable[i] = atan(2^-i) rounded to posit32.
+	atanTable [Iterations]posit.Posit32
+	// atanhTable[i] = atanh(2^-i) for i ≥ 1.
+	atanhTable [Iterations]posit.Posit32
+	// invPow2[i] = 2^-i exactly (posits represent powers of two exactly
+	// across their whole dynamic range).
+	invPow2 [Iterations]posit.Posit32
+	// kCircular is Π 1/sqrt(1+2^-2i), the rotation-mode scale factor.
+	kCircular posit.Posit32
+	// kHyper is the hyperbolic scale factor over the repeated-iteration
+	// schedule.
+	kHyper posit.Posit32
+
+	piP      posit.Posit32
+	halfPiP  posit.Posit32
+	twoPiP   posit.Posit32
+	ln2P     posit.Posit32
+	oneP     posit.Posit32
+	invLn2P  posit.Posit32
+	hyperRep = map[int]bool{4: true, 13: true, 40: true}
+)
+
+func init() {
+	kc := 1.0
+	for i := 0; i < Iterations; i++ {
+		atanTable[i] = posit.P32FromFloat64(math.Atan(math.Ldexp(1, -i)))
+		invPow2[i] = posit.P32FromFloat64(math.Ldexp(1, -i))
+		kc /= math.Sqrt(1 + math.Ldexp(1, -2*i))
+	}
+	kCircular = posit.P32FromFloat64(kc)
+	kh := 1.0
+	for i := 1; i < Iterations; i++ {
+		atanhTable[i] = posit.P32FromFloat64(math.Atanh(math.Ldexp(1, -i)))
+		kh *= math.Sqrt(1 - math.Ldexp(1, -2*i))
+		if hyperRep[i] {
+			kh *= math.Sqrt(1 - math.Ldexp(1, -2*i))
+		}
+	}
+	kHyper = posit.P32FromFloat64(1 / kh)
+	piP = posit.P32FromFloat64(math.Pi)
+	halfPiP = posit.P32FromFloat64(math.Pi / 2)
+	twoPiP = posit.P32FromFloat64(2 * math.Pi)
+	ln2P = posit.P32FromFloat64(math.Ln2)
+	invLn2P = posit.P32FromFloat64(1 / math.Ln2)
+	oneP = posit.P32FromFloat64(1)
+}
+
+// shiftRight computes x·2^-i in posit arithmetic (a multiplication by an
+// exact power of two — the posit analogue of CORDIC's arithmetic shift).
+func shiftRight(x posit.Posit32, i int) posit.Posit32 {
+	if i == 0 {
+		return x
+	}
+	return x.Mul(invPow2[i])
+}
+
+// SinCos computes sin(θ) and cos(θ) in posit32 arithmetic via
+// rotation-mode circular CORDIC with range reduction into [−π/2, π/2].
+func SinCos(theta posit.Posit32) (sin, cos posit.Posit32) {
+	if theta.IsNaR() {
+		return posit.NaR32, posit.NaR32
+	}
+	t, quadNegSin, quadNegCos, swap := reduce(theta)
+	s, c := kernelSinCos(t)
+	if swap {
+		s, c = c, s
+	}
+	if quadNegSin {
+		s = s.Neg()
+	}
+	if quadNegCos {
+		c = c.Neg()
+	}
+	return s, c
+}
+
+// Sin returns sin(θ).
+func Sin(theta posit.Posit32) posit.Posit32 { s, _ := SinCos(theta); return s }
+
+// Cos returns cos(θ).
+func Cos(theta posit.Posit32) posit.Posit32 { _, c := SinCos(theta); return c }
+
+// Tan returns tan(θ) = sin(θ)/cos(θ).
+func Tan(theta posit.Posit32) posit.Posit32 {
+	s, c := SinCos(theta)
+	return s.Div(c)
+}
+
+// reduce maps θ into t ∈ [−π/4-ish, π/4-ish] plus quadrant fixups:
+// sin(θ) = ±(sin|cos)(t). All reduction arithmetic is posit32, so large
+// arguments lose accuracy exactly as a real posit library would.
+func reduce(theta posit.Posit32) (t posit.Posit32, negSin, negCos, swap bool) {
+	// Bring into [0, 2π).
+	t = theta
+	for t.Cmp(twoPiP) >= 0 {
+		t = t.Sub(twoPiP)
+	}
+	for t.Cmp(posit.Posit32(0)) < 0 {
+		t = t.Add(twoPiP)
+	}
+	// Quadrant split: q = floor(t / (π/2)).
+	q := 0
+	for t.Cmp(halfPiP) > 0 && q < 3 {
+		t = t.Sub(halfPiP)
+		q++
+	}
+	switch q {
+	case 0:
+		return t, false, false, false
+	case 1: // sin(π/2+t)=cos t, cos→−sin t
+		return t, false, true, true
+	case 2: // sin(π+t)=−sin t, cos→−cos t
+		return t, true, true, false
+	default: // q=3: sin(3π/2+t)=−cos t, cos→ sin t
+		return t, true, false, true
+	}
+}
+
+// kernelSinCos runs the rotation-mode iterations for t ∈ [0, π/2].
+func kernelSinCos(t posit.Posit32) (sin, cos posit.Posit32) {
+	x := kCircular
+	y := posit.Posit32(0)
+	z := t
+	zero := posit.Posit32(0)
+	for i := 0; i < Iterations; i++ {
+		xs := shiftRight(x, i)
+		ys := shiftRight(y, i)
+		if z.Cmp(zero) >= 0 {
+			x, y = x.Sub(ys), y.Add(xs)
+			z = z.Sub(atanTable[i])
+		} else {
+			x, y = x.Add(ys), y.Sub(xs)
+			z = z.Add(atanTable[i])
+		}
+	}
+	return y, x
+}
+
+// Atan returns arctan(v) via vectoring-mode circular CORDIC.
+func Atan(v posit.Posit32) posit.Posit32 {
+	if v.IsNaR() {
+		return posit.NaR32
+	}
+	return Atan2(v, oneP)
+}
+
+// Atan2 returns atan2(y, x) for x > 0 inputs via vectoring mode, with the
+// usual quadrant fixups for other signs.
+func Atan2(y, x posit.Posit32) posit.Posit32 {
+	if y.IsNaR() || x.IsNaR() {
+		return posit.NaR32
+	}
+	zero := posit.Posit32(0)
+	switch {
+	case x.Cmp(zero) == 0 && y.Cmp(zero) == 0:
+		return zero
+	case x.Cmp(zero) == 0:
+		if y.Cmp(zero) > 0 {
+			return halfPiP
+		}
+		return halfPiP.Neg()
+	case x.Cmp(zero) < 0:
+		// Reflect into the right half-plane: for y ≥ 0 the result is
+		// π − atan2(y, −x); for y < 0 it is atan2(−y, −x) − π.
+		if y.Cmp(zero) >= 0 {
+			return piP.Sub(Atan2(y, x.Neg()))
+		}
+		return Atan2(y.Neg(), x.Neg()).Sub(piP)
+	}
+	z := zero
+	for i := 0; i < Iterations; i++ {
+		xs := shiftRight(x, i)
+		ys := shiftRight(y, i)
+		if y.Cmp(zero) > 0 {
+			x, y = x.Add(ys), y.Sub(xs)
+			z = z.Add(atanTable[i])
+		} else {
+			x, y = x.Sub(ys), y.Add(xs)
+			z = z.Sub(atanTable[i])
+		}
+	}
+	return z
+}
+
+// sinhCosh runs hyperbolic rotation-mode CORDIC for |t| ≲ 1.13 (the
+// convergence bound), with iterations 4, 13 and 40 repeated per the
+// classical schedule.
+func sinhCosh(t posit.Posit32) (sinh, cosh posit.Posit32) {
+	x := kHyper
+	y := posit.Posit32(0)
+	z := t
+	zero := posit.Posit32(0)
+	for i := 1; i < Iterations; i++ {
+		reps := 1
+		if hyperRep[i] {
+			reps = 2
+		}
+		for r := 0; r < reps; r++ {
+			xs := shiftRight(x, i)
+			ys := shiftRight(y, i)
+			if z.Cmp(zero) >= 0 {
+				x, y = x.Add(ys), y.Add(xs)
+				z = z.Sub(atanhTable[i])
+			} else {
+				x, y = x.Sub(ys), y.Sub(xs)
+				z = z.Add(atanhTable[i])
+			}
+		}
+	}
+	return y, x
+}
+
+// Sinh returns sinh(t) (range-reduced through Exp for large |t|).
+func Sinh(t posit.Posit32) posit.Posit32 {
+	if t.IsNaR() {
+		return posit.NaR32
+	}
+	if t.Abs().Float64() <= 1.0 {
+		s, _ := sinhCosh(t)
+		return s
+	}
+	e := Exp(t)
+	half := posit.P32FromFloat64(0.5)
+	return e.Sub(oneP.Div(e)).Mul(half)
+}
+
+// Cosh returns cosh(t).
+func Cosh(t posit.Posit32) posit.Posit32 {
+	if t.IsNaR() {
+		return posit.NaR32
+	}
+	if t.Abs().Float64() <= 1.0 {
+		_, c := sinhCosh(t)
+		return c
+	}
+	e := Exp(t)
+	half := posit.P32FromFloat64(0.5)
+	return e.Add(oneP.Div(e)).Mul(half)
+}
+
+// Tanh returns tanh(t) = sinh/cosh.
+func Tanh(t posit.Posit32) posit.Posit32 {
+	if t.IsNaR() {
+		return posit.NaR32
+	}
+	// Saturated tails avoid needless Exp blowup.
+	if t.Float64() > 20 {
+		return oneP
+	}
+	if t.Float64() < -20 {
+		return oneP.Neg()
+	}
+	s, c := sinhCoshWide(t)
+	return s.Div(c)
+}
+
+func sinhCoshWide(t posit.Posit32) (posit.Posit32, posit.Posit32) {
+	if t.Abs().Float64() <= 1.0 {
+		return sinhCosh(t)
+	}
+	return Sinh(t), Cosh(t)
+}
+
+// Exp computes e^t: range-reduce t = k·ln2 + r with r ∈ [−ln2/2, ln2/2],
+// evaluate e^r = cosh(r)+sinh(r) by hyperbolic CORDIC, and scale by the
+// exact posit power 2^k.
+func Exp(t posit.Posit32) posit.Posit32 {
+	if t.IsNaR() {
+		return posit.NaR32
+	}
+	tf := t.Float64()
+	if tf > 200 {
+		return posit.Posit32(cfg.MaxPos()) // saturate like every posit op
+	}
+	if tf < -200 {
+		return posit.Posit32(cfg.MinPos())
+	}
+	// k = round(t / ln2) in posit arithmetic.
+	k, _ := cfg.ToInt64(posit.Bits(t.Mul(invLn2P).Add(posit.P32FromFloat64(0.5))))
+	if tf < 0 {
+		k, _ = cfg.ToInt64(posit.Bits(t.Mul(invLn2P).Sub(posit.P32FromFloat64(0.5))))
+	}
+	r := t.Sub(posit.P32FromInt64(k).Mul(ln2P))
+	s, c := sinhCosh(r)
+	er := s.Add(c)
+	return er.Mul(pow2(k))
+}
+
+// pow2 returns 2^k as a posit (exact within the dynamic range, saturating
+// beyond it).
+func pow2(k int64) posit.Posit32 {
+	return posit.Posit32(cfg.FromFloat64(math.Ldexp(1, int(clampInt(k, -200, 200)))))
+}
+
+func clampInt(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Log computes ln(v) for v > 0: factor v = m·2^k with m ∈ [1, 2), compute
+// ln(m) = 2·atanh((m−1)/(m+1)) by vectoring-mode hyperbolic CORDIC, and
+// add k·ln2.
+func Log(v posit.Posit32) posit.Posit32 {
+	if v.IsNaR() || v.Cmp(posit.Posit32(0)) <= 0 {
+		return posit.NaR32
+	}
+	d := cfg.Decode(posit.Bits(v))
+	k := int64(d.Scale)
+	m := v.Mul(pow2(-k)) // m ∈ [1, 2)
+	num := m.Sub(oneP)
+	den := m.Add(oneP)
+	at := atanhVector(num.Div(den))
+	two := posit.P32FromFloat64(2)
+	return two.Mul(at).Add(posit.P32FromInt64(k).Mul(ln2P))
+}
+
+// atanhVector computes atanh(w) for |w| < 1 via vectoring-mode hyperbolic
+// CORDIC.
+func atanhVector(w posit.Posit32) posit.Posit32 {
+	x := oneP
+	y := w
+	z := posit.Posit32(0)
+	zero := posit.Posit32(0)
+	for i := 1; i < Iterations; i++ {
+		reps := 1
+		if hyperRep[i] {
+			reps = 2
+		}
+		for r := 0; r < reps; r++ {
+			xs := shiftRight(x, i)
+			ys := shiftRight(y, i)
+			if y.Cmp(zero) >= 0 {
+				x, y = x.Sub(ys), y.Sub(xs)
+				z = z.Add(atanhTable[i])
+			} else {
+				x, y = x.Add(ys), y.Add(xs)
+				z = z.Sub(atanhTable[i])
+			}
+		}
+	}
+	return z
+}
+
+// Sigmoid computes 1/(1+e^−t) in posit arithmetic.
+func Sigmoid(t posit.Posit32) posit.Posit32 {
+	if t.IsNaR() {
+		return posit.NaR32
+	}
+	e := Exp(t.Neg())
+	return oneP.Div(oneP.Add(e))
+}
+
+// FastSigmoid8 is Gustafson's bitwise sigmoid approximation for ⟨8,0⟩
+// posits, the trick the paper's introduction cites: flip the sign bit and
+// shift the pattern right by two. It is a fast, monotone approximation of
+// 1/(1+e^−x).
+func FastSigmoid8(p posit.Posit8) posit.Posit8 {
+	b := uint8(p) ^ 0x80 // negate the sign bit
+	return posit.Posit8(b >> 2)
+}

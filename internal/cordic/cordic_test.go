@@ -1,0 +1,184 @@
+package cordic
+
+import (
+	"math"
+	"testing"
+
+	"positdebug/internal/posit"
+)
+
+func relErr(got posit.Posit32, want float64) float64 {
+	g := got.Float64()
+	if want == 0 {
+		return math.Abs(g)
+	}
+	return math.Abs(g-want) / math.Abs(want)
+}
+
+// TestSinCosAccuracy: over the paper's evaluation range [0, π/2], the
+// CORDIC posit implementation is accurate to posit precision for the vast
+// majority of inputs (§5.2.1: "outperformed float on 97% of the inputs").
+func TestSinCosAccuracy(t *testing.T) {
+	good := 0
+	total := 0
+	for i := 1; i <= 500; i++ {
+		theta := float64(i) / 500 * math.Pi / 2
+		s, c := SinCos(posit.P32FromFloat64(theta))
+		total++
+		if relErr(s, math.Sin(theta)) < 1e-5 && relErr(c, math.Cos(theta)) < 1e-5 {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(total); frac < 0.9 {
+		t.Fatalf("only %.1f%% of inputs accurate to 1e-5", frac*100)
+	}
+}
+
+// TestSinTinyArgumentError reproduces the case study: for θ = 1e−8 the
+// CORDIC posit sin carries ~30% relative error — the bug PositDebug was
+// built to diagnose (branch flip in iteration 29, error accumulation in y).
+func TestSinTinyArgumentError(t *testing.T) {
+	theta := 1e-8
+	s := Sin(posit.P32FromFloat64(theta))
+	re := relErr(s, math.Sin(theta))
+	if re < 0.01 {
+		t.Fatalf("expected the paper's large error near 0, got rel err %g (value %v)", re, s.Float64())
+	}
+	if re > 1.0 {
+		t.Fatalf("error should be ~0.3, not %g", re)
+	}
+}
+
+func TestQuadrants(t *testing.T) {
+	for _, theta := range []float64{0.3, 1.2, 2.0, 3.0, 4.0, 5.5, -0.7, -2.5, 7.0} {
+		s, c := SinCos(posit.P32FromFloat64(theta))
+		if relErr(s, math.Sin(theta)) > 1e-4 && math.Abs(math.Sin(theta)) > 1e-3 {
+			t.Fatalf("sin(%v) = %v, want %v", theta, s.Float64(), math.Sin(theta))
+		}
+		if relErr(c, math.Cos(theta)) > 1e-4 && math.Abs(math.Cos(theta)) > 1e-3 {
+			t.Fatalf("cos(%v) = %v, want %v", theta, c.Float64(), math.Cos(theta))
+		}
+	}
+}
+
+func TestTan(t *testing.T) {
+	for _, theta := range []float64{0.2, 0.7, 1.0, -0.5} {
+		if re := relErr(Tan(posit.P32FromFloat64(theta)), math.Tan(theta)); re > 1e-4 {
+			t.Fatalf("tan(%v): rel err %g", theta, re)
+		}
+	}
+}
+
+func TestAtan(t *testing.T) {
+	for _, v := range []float64{0.1, 0.5, 1, 2, 10, -0.3, -4} {
+		if re := relErr(Atan(posit.P32FromFloat64(v)), math.Atan(v)); re > 1e-4 {
+			t.Fatalf("atan(%v): rel err %g", v, re)
+		}
+	}
+}
+
+func TestAtan2Quadrants(t *testing.T) {
+	cases := [][2]float64{{1, 1}, {1, -1}, {-1, -1}, {-1, 1}, {1, 0}, {-1, 0}, {0.3, 2}, {-2, 0.1}}
+	for _, c := range cases {
+		want := math.Atan2(c[0], c[1])
+		got := Atan2(posit.P32FromFloat64(c[0]), posit.P32FromFloat64(c[1]))
+		if math.Abs(got.Float64()-want) > 1e-4 {
+			t.Fatalf("atan2(%v, %v) = %v, want %v", c[0], c[1], got.Float64(), want)
+		}
+	}
+	if Atan2(posit.Posit32(0), posit.Posit32(0)).Float64() != 0 {
+		t.Fatal("atan2(0,0)")
+	}
+}
+
+func TestExp(t *testing.T) {
+	for _, v := range []float64{0, 0.5, 1, 2, 5, 10, -1, -5, 20, -20} {
+		if re := relErr(Exp(posit.P32FromFloat64(v)), math.Exp(v)); re > 1e-4 {
+			t.Fatalf("exp(%v): rel err %g (got %v)", v, re, Exp(posit.P32FromFloat64(v)).Float64())
+		}
+	}
+	// Saturation semantics at the extremes.
+	if Exp(posit.P32FromFloat64(500)) != posit.Posit32(posit.Config32.MaxPos()) {
+		t.Fatal("exp(500) must saturate at maxpos")
+	}
+	if Exp(posit.P32FromFloat64(-500)) != posit.Posit32(posit.Config32.MinPos()) {
+		t.Fatal("exp(−500) must clamp at minpos")
+	}
+}
+
+func TestLog(t *testing.T) {
+	for _, v := range []float64{0.001, 0.1, 0.5, 1, 2, 2.718281828, 10, 12345} {
+		got := Log(posit.P32FromFloat64(v))
+		want := math.Log(v)
+		if math.Abs(got.Float64()-want) > 2e-5*math.Max(1, math.Abs(want)) {
+			t.Fatalf("ln(%v) = %v, want %v", v, got.Float64(), want)
+		}
+	}
+	if !Log(posit.P32FromFloat64(-1)).IsNaR() || !Log(posit.Posit32(0)).IsNaR() {
+		t.Fatal("ln of non-positive must be NaR")
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for _, v := range []float64{0.25, 1, 3.5, 42} {
+		p := posit.P32FromFloat64(v)
+		back := Exp(Log(p))
+		if re := relErr(back, v); re > 1e-4 {
+			t.Fatalf("exp(ln(%v)) = %v", v, back.Float64())
+		}
+	}
+}
+
+func TestHyperbolics(t *testing.T) {
+	for _, v := range []float64{0.1, 0.5, 0.9, 2, 5, -0.4, -3} {
+		if re := relErr(Sinh(posit.P32FromFloat64(v)), math.Sinh(v)); re > 1e-4 {
+			t.Fatalf("sinh(%v): rel err %g", v, re)
+		}
+		if re := relErr(Cosh(posit.P32FromFloat64(v)), math.Cosh(v)); re > 1e-4 {
+			t.Fatalf("cosh(%v): rel err %g", v, re)
+		}
+		if re := relErr(Tanh(posit.P32FromFloat64(v)), math.Tanh(v)); re > 1e-4 {
+			t.Fatalf("tanh(%v): rel err %g", v, re)
+		}
+	}
+	if Tanh(posit.P32FromFloat64(25)).Float64() != 1 {
+		t.Fatal("tanh saturated tail")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	for _, v := range []float64{-6, -2, -0.5, 0, 0.5, 2, 6} {
+		want := 1 / (1 + math.Exp(-v))
+		if re := relErr(Sigmoid(posit.P32FromFloat64(v)), want); re > 1e-4 {
+			t.Fatalf("sigmoid(%v): rel err %g", v, re)
+		}
+	}
+}
+
+// TestFastSigmoid8: Gustafson's bit trick must approximate the sigmoid
+// within a few percent over the useful range and be monotone.
+func TestFastSigmoid8(t *testing.T) {
+	prev := -1.0
+	for i := -96; i <= 96; i++ {
+		p := posit.Posit8(uint8(int8(i)))
+		x := p.Float64()
+		got := FastSigmoid8(p).Float64()
+		want := 1 / (1 + math.Exp(-x))
+		if math.Abs(got-want) > 0.07 {
+			t.Fatalf("fast sigmoid(%v) = %v, want ≈%v", x, got, want)
+		}
+		if got < prev {
+			t.Fatalf("fast sigmoid must be monotone (at %v)", x)
+		}
+		prev = got
+	}
+}
+
+func TestNaRPropagation(t *testing.T) {
+	nar := posit.NaR32
+	if !Sin(nar).IsNaR() || !Cos(nar).IsNaR() || !Atan(nar).IsNaR() ||
+		!Exp(nar).IsNaR() || !Log(nar).IsNaR() || !Sinh(nar).IsNaR() ||
+		!Cosh(nar).IsNaR() || !Tanh(nar).IsNaR() || !Sigmoid(nar).IsNaR() {
+		t.Fatal("NaR must propagate through the math library")
+	}
+}

@@ -1,0 +1,88 @@
+package cordic
+
+import "math"
+
+// SinCosF32 is the float32 twin of SinCos: the identical 50-iteration
+// rotation-mode CORDIC algorithm computed in IEEE float32 arithmetic. It
+// exists for the paper's §5.2.1 accuracy comparison ("our posit
+// implementation outperformed a similar implementation with float on 97%
+// of the inputs in [0, π/2]") — same algorithm, same constants, different
+// number system.
+func SinCosF32(theta float32) (sin, cos float32) {
+	t, negSin, negCos, swap := reduceF32(theta)
+	s, c := kernelSinCosF32(t)
+	if swap {
+		s, c = c, s
+	}
+	if negSin {
+		s = -s
+	}
+	if negCos {
+		c = -c
+	}
+	return s, c
+}
+
+// SinF32 returns the float32 CORDIC sine.
+func SinF32(theta float32) float32 { s, _ := SinCosF32(theta); return s }
+
+var (
+	atanTableF32 [Iterations]float32
+	kCircularF32 float32
+)
+
+func init() {
+	kc := 1.0
+	for i := 0; i < Iterations; i++ {
+		atanTableF32[i] = float32(math.Atan(math.Ldexp(1, -i)))
+		kc /= math.Sqrt(1 + math.Ldexp(1, -2*i))
+	}
+	kCircularF32 = float32(kc)
+}
+
+func reduceF32(theta float32) (t float32, negSin, negCos, swap bool) {
+	twoPi := float32(2 * math.Pi)
+	halfPi := float32(math.Pi / 2)
+	t = theta
+	for t >= twoPi {
+		t -= twoPi
+	}
+	for t < 0 {
+		t += twoPi
+	}
+	q := 0
+	for t > halfPi && q < 3 {
+		t -= halfPi
+		q++
+	}
+	switch q {
+	case 0:
+		return t, false, false, false
+	case 1:
+		return t, false, true, true
+	case 2:
+		return t, true, true, false
+	default:
+		return t, true, false, true
+	}
+}
+
+func kernelSinCosF32(t float32) (sin, cos float32) {
+	x := kCircularF32
+	y := float32(0)
+	z := t
+	p2 := float32(1)
+	for i := 0; i < Iterations; i++ {
+		xs := x * p2
+		ys := y * p2
+		if z >= 0 {
+			x, y = x-ys, y+xs
+			z -= atanTableF32[i]
+		} else {
+			x, y = x+ys, y-xs
+			z += atanTableF32[i]
+		}
+		p2 *= 0.5
+	}
+	return y, x
+}

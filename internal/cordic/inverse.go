@@ -1,0 +1,97 @@
+package cordic
+
+import (
+	"math"
+
+	"positdebug/internal/posit"
+)
+
+// Asin returns arcsin(v) for v ∈ [−1, 1] via the identity
+// asin(v) = atan2(v, √(1−v²)), computed entirely in posit arithmetic.
+// |v| > 1 and NaR yield NaR.
+func Asin(v posit.Posit32) posit.Posit32 {
+	if v.IsNaR() {
+		return posit.NaR32
+	}
+	one := oneP
+	v2 := v.Mul(v)
+	if v2.Cmp(one) > 0 {
+		return posit.NaR32
+	}
+	root := one.Sub(v2).Sqrt()
+	return Atan2(v, root)
+}
+
+// Acos returns arccos(v) for v ∈ [−1, 1]: acos(v) = π/2 − asin(v).
+func Acos(v posit.Posit32) posit.Posit32 {
+	s := Asin(v)
+	if s.IsNaR() {
+		return posit.NaR32
+	}
+	return halfPiP.Sub(s)
+}
+
+// Log2 returns the base-2 logarithm: ln(v)/ln(2), with the integer part
+// taken exactly from the posit scale so only the fractional part goes
+// through CORDIC.
+func Log2(v posit.Posit32) posit.Posit32 {
+	if v.IsNaR() || v.Cmp(posit.Posit32(0)) <= 0 {
+		return posit.NaR32
+	}
+	d := cfg.Decode(posit.Bits(v))
+	k := int64(d.Scale)
+	m := v.Mul(pow2(-k)) // m ∈ [1, 2)
+	frac := Log(m).Mul(invLn2P)
+	return posit.P32FromInt64(k).Add(frac)
+}
+
+// Log10 returns the base-10 logarithm.
+func Log10(v posit.Posit32) posit.Posit32 {
+	l := Log(v)
+	if l.IsNaR() {
+		return posit.NaR32
+	}
+	return l.Mul(invLn10P)
+}
+
+// Pow returns x^y = exp(y·ln(x)) for x > 0. x = 0 yields 0 for y > 0 and
+// NaR otherwise; negative x yields NaR (no complex results in posit-land).
+func Pow(x, y posit.Posit32) posit.Posit32 {
+	if x.IsNaR() || y.IsNaR() {
+		return posit.NaR32
+	}
+	zero := posit.Posit32(0)
+	switch x.Cmp(zero) {
+	case 0:
+		if y.Cmp(zero) > 0 {
+			return zero
+		}
+		return posit.NaR32
+	case -1:
+		return posit.NaR32
+	}
+	if y.Cmp(zero) == 0 {
+		return oneP
+	}
+	return Exp(y.Mul(Log(x)))
+}
+
+// Cbrt returns the real cube root, handling negative inputs by sign
+// symmetry: cbrt(x) = sign(x)·exp(ln|x|/3).
+func Cbrt(x posit.Posit32) posit.Posit32 {
+	if x.IsNaR() {
+		return posit.NaR32
+	}
+	zero := posit.Posit32(0)
+	if x.Cmp(zero) == 0 {
+		return zero
+	}
+	neg := x.Cmp(zero) < 0
+	r := Exp(Log(x.Abs()).Div(posit.P32FromFloat64(3)))
+	if neg {
+		return r.Neg()
+	}
+	return r
+}
+
+var invLn10P = posit.P32FromFloat64(1 / math.Ln10)

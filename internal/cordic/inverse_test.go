@@ -1,0 +1,76 @@
+package cordic
+
+import (
+	"math"
+	"testing"
+
+	"positdebug/internal/posit"
+)
+
+func TestAsinAcos(t *testing.T) {
+	for _, v := range []float64{-0.99, -0.7, -0.2, 0, 0.2, 0.5, 0.9, 0.99} {
+		if got := Asin(posit.P32FromFloat64(v)).Float64(); math.Abs(got-math.Asin(v)) > 2e-4 {
+			t.Fatalf("asin(%v) = %v, want %v", v, got, math.Asin(v))
+		}
+		if got := Acos(posit.P32FromFloat64(v)).Float64(); math.Abs(got-math.Acos(v)) > 2e-4 {
+			t.Fatalf("acos(%v) = %v, want %v", v, got, math.Acos(v))
+		}
+	}
+	if !Asin(posit.P32FromFloat64(1.5)).IsNaR() {
+		t.Fatal("asin out of domain must be NaR")
+	}
+	if !Acos(posit.NaR32).IsNaR() {
+		t.Fatal("acos(NaR)")
+	}
+}
+
+func TestLog2Log10(t *testing.T) {
+	for _, v := range []float64{0.125, 0.5, 1, 2, 8, 1000, 1048576} {
+		if got := Log2(posit.P32FromFloat64(v)).Float64(); math.Abs(got-math.Log2(v)) > 2e-5*math.Max(1, math.Abs(math.Log2(v))) {
+			t.Fatalf("log2(%v) = %v, want %v", v, got, math.Log2(v))
+		}
+		if got := Log10(posit.P32FromFloat64(v)).Float64(); math.Abs(got-math.Log10(v)) > 2e-5*math.Max(1, math.Abs(math.Log10(v))) {
+			t.Fatalf("log10(%v) = %v, want %v", v, got, math.Log10(v))
+		}
+	}
+	if !Log2(posit.Posit32(0)).IsNaR() || !Log10(posit.P32FromFloat64(-3)).IsNaR() {
+		t.Fatal("log of non-positive must be NaR")
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := [][2]float64{{2, 10}, {2, -3}, {9, 0.5}, {10, 2.5}, {1.5, 7}, {0.5, 12}}
+	for _, c := range cases {
+		want := math.Pow(c[0], c[1])
+		got := Pow(posit.P32FromFloat64(c[0]), posit.P32FromFloat64(c[1])).Float64()
+		if math.Abs(got-want)/want > 2e-4 {
+			t.Fatalf("pow(%v,%v) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+	if got := Pow(posit.P32FromFloat64(7), posit.Posit32(0)).Float64(); got != 1 {
+		t.Fatalf("x^0 = %v", got)
+	}
+	if got := Pow(posit.Posit32(0), posit.P32FromFloat64(2)).Float64(); got != 0 {
+		t.Fatalf("0^y = %v", got)
+	}
+	if !Pow(posit.Posit32(0), posit.P32FromFloat64(-1)).IsNaR() {
+		t.Fatal("0^-1 must be NaR")
+	}
+	if !Pow(posit.P32FromFloat64(-2), posit.P32FromFloat64(0.5)).IsNaR() {
+		t.Fatal("negative base must be NaR")
+	}
+}
+
+func TestCbrt(t *testing.T) {
+	for _, v := range []float64{8, 27, 1, 0.001, 12345} {
+		if got := Cbrt(posit.P32FromFloat64(v)).Float64(); math.Abs(got-math.Cbrt(v))/math.Cbrt(v) > 2e-5 {
+			t.Fatalf("cbrt(%v) = %v", v, got)
+		}
+	}
+	if got := Cbrt(posit.P32FromFloat64(-8)).Float64(); math.Abs(got+2) > 1e-4 {
+		t.Fatalf("cbrt(-8) = %v", got)
+	}
+	if Cbrt(posit.Posit32(0)).Float64() != 0 || !Cbrt(posit.NaR32).IsNaR() {
+		t.Fatal("cbrt edges")
+	}
+}

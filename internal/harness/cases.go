@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	positdebug "positdebug"
+	"positdebug/internal/cordic"
+	"positdebug/internal/posit"
+	"positdebug/internal/shadow"
+	"positdebug/internal/workloads"
+)
+
+// CaseResult is the outcome of one §5.2 case study, formatted for display.
+type CaseResult struct {
+	Title   string
+	Lines   []string
+	Reports []*shadow.Report
+}
+
+// String renders the case study output.
+func (c *CaseResult) String() string {
+	var sb strings.Builder
+	sb.WriteString(c.Title + "\n")
+	for _, l := range c.Lines {
+		sb.WriteString("  " + l + "\n")
+	}
+	for i, r := range c.Reports {
+		if i >= 3 {
+			fmt.Fprintf(&sb, "  … and %d more reports\n", len(c.Reports)-i)
+			break
+		}
+		sb.WriteString(indentLines(r.String(), "  ") + "\n")
+	}
+	return sb.String()
+}
+
+func indentLines(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// RunRootCount reproduces Figure 2/5: detection of the catastrophic
+// cancellation in the discriminant and the resulting branch flip, with the
+// DAG of responsible instructions.
+func RunRootCount() (*CaseResult, error) {
+	prog, err := positdebug.Compile(workloads.RootCountSource)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prog.Debug(shadow.DefaultConfig(), "main")
+	if err != nil {
+		return nil, err
+	}
+	out := &CaseResult{Title: "Case study: RootCount (Figure 2)"}
+	out.Lines = append(out.Lines,
+		fmt.Sprintf("program result: %d root(s) — exact arithmetic gives 2", res.I64()),
+		fmt.Sprintf("branch flips: %d, cancellation events: %d",
+			res.Summary.BranchFlips, res.Summary.Counts[shadow.KindCancellation]))
+	out.Reports = res.Summary.Reports
+	return out, nil
+}
+
+// RunCordic reproduces §5.2.1: the CORDIC sin implementation run under
+// PositDebug for θ = 1e−8 — large relative error, branch flips in the z
+// recurrence, error accumulation in y.
+func RunCordic(theta float64) (*CaseResult, error) {
+	prog, err := positdebug.Compile(workloads.CordicSinSource(theta))
+	if err != nil {
+		return nil, err
+	}
+	cfg := shadow.DefaultConfig()
+	cfg.OutputThreshold = 40
+	res, err := prog.Debug(cfg, "main")
+	if err != nil {
+		return nil, err
+	}
+	got := res.P32()
+	want := math.Sin(theta)
+	rel := math.Abs(got-want) / math.Abs(want)
+	out := &CaseResult{Title: fmt.Sprintf("Case study: CORDIC sin(%g) (§5.2.1)", theta)}
+	out.Lines = append(out.Lines,
+		fmt.Sprintf("posit CORDIC result: %.6g   libm oracle: %.6g   relative error: %.4f", got, want, rel),
+		fmt.Sprintf("branch flips in the z recurrence: %d", res.Summary.BranchFlips),
+		fmt.Sprintf("worst op error: %d bits, worst output error: %d bits",
+			res.Summary.MaxOpErrBits, res.Summary.OutputMaxErrBits))
+	out.Reports = res.Summary.Reports
+	return out, nil
+}
+
+// RunSimpson reproduces §5.2.2: naive accumulation vs the quire fix.
+func RunSimpson(n int) (*CaseResult, error) {
+	naive, err := positdebug.Compile(workloads.SimpsonSource(n, false))
+	if err != nil {
+		return nil, err
+	}
+	fused, err := positdebug.Compile(workloads.SimpsonSource(n, true))
+	if err != nil {
+		return nil, err
+	}
+	cfg := shadow.DefaultConfig()
+	resN, err := naive.Debug(cfg, "main")
+	if err != nil {
+		return nil, err
+	}
+	resF, err := fused.Debug(cfg, "main")
+	if err != nil {
+		return nil, err
+	}
+	a := 13223113.0
+	b := a + float64(n)
+	exact := (b*b*b - a*a*a) / 3
+	out := &CaseResult{Title: fmt.Sprintf("Case study: Simpson's rule, n=%d (§5.2.2)", n)}
+	out.Lines = append(out.Lines,
+		fmt.Sprintf("exact integral:        %.10e", exact),
+		fmt.Sprintf("naive accumulation:    %.10e  (rel err %.2e, %d output error bits)",
+			resN.P32(), math.Abs(resN.P32()-exact)/exact, resN.Summary.OutputMaxErrBits),
+		fmt.Sprintf("quire fused (the fix): %.10e  (rel err %.2e, %d output error bits)",
+			resF.P32(), math.Abs(resF.P32()-exact)/exact, resF.Summary.OutputMaxErrBits))
+	out.Reports = resN.Summary.Reports
+	return out, nil
+}
+
+// RunQuadratic reproduces §5.2.3: both roots with the paper's inputs —
+// cancellation on the first root, regime-driven precision loss on the
+// division for the second.
+func RunQuadratic() (*CaseResult, error) {
+	prog, err := positdebug.Compile(workloads.QuadraticSource)
+	if err != nil {
+		return nil, err
+	}
+	cfg := shadow.DefaultConfig()
+	cfg.PrecisionLossThreshold = 5
+	cfg.OutputThreshold = 30
+	res, err := prog.Debug(cfg, "main")
+	if err != nil {
+		return nil, err
+	}
+	out := &CaseResult{Title: "Case study: quadratic roots (§5.2.3)"}
+	out.Lines = append(out.Lines,
+		"program output:",
+	)
+	for _, l := range strings.Split(strings.TrimSpace(res.Output), "\n") {
+		out.Lines = append(out.Lines, "  "+l)
+	}
+	out.Lines = append(out.Lines,
+		fmt.Sprintf("worst output error: %d bits (the paper reports 48 and 36 bits on the two roots)",
+			res.Summary.OutputMaxErrBits),
+		fmt.Sprintf("precision-loss events: %d", res.Summary.Counts[shadow.KindPrecisionLoss]))
+	out.Reports = res.Summary.Reports
+	return out, nil
+}
+
+// AccuracyRow summarizes the §5.2.1 accuracy comparison between the posit
+// and float32 CORDIC sine over sampled inputs.
+type AccuracyRow struct {
+	Samples     int
+	PositBetter int // |posit err| < |float err| (against libm)
+	Ties        int
+	WorstPosit  float64 // worst posit relative error over the range
+	WorstFloat  float64
+}
+
+// CordicAccuracy samples sin over [lo, hi] and compares the ⟨32,2⟩ posit
+// CORDIC against the identical float32 CORDIC, reproducing the paper's
+// "outperformed float on 97% of the inputs in [0, π/2]" measurement.
+func CordicAccuracy(samples int, lo, hi float64) AccuracyRow {
+	row := AccuracyRow{Samples: samples}
+	for i := 1; i <= samples; i++ {
+		theta := lo + (hi-lo)*float64(i)/float64(samples)
+		oracle := math.Sin(theta)
+		pv := cordic.Sin(posit.P32FromFloat64(theta)).Float64()
+		fv := float64(cordic.SinF32(float32(theta)))
+		pe := relErrAgainst(pv, oracle)
+		fe := relErrAgainst(fv, oracle)
+		switch {
+		case pe < fe:
+			row.PositBetter++
+		case pe == fe:
+			row.Ties++
+		}
+		if pe > row.WorstPosit {
+			row.WorstPosit = pe
+		}
+		if fe > row.WorstFloat {
+			row.WorstFloat = fe
+		}
+	}
+	return row
+}
+
+func relErrAgainst(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// String renders the accuracy comparison.
+func (a AccuracyRow) String() string {
+	pct := 100 * float64(a.PositBetter+a.Ties) / float64(a.Samples)
+	return fmt.Sprintf(
+		"CORDIC sin accuracy over %d samples: posit32 at least as accurate as float32 on %.1f%% "+
+			"(better on %.1f%%); worst rel err posit=%.2e float=%.2e",
+		a.Samples, pct, 100*float64(a.PositBetter)/float64(a.Samples), a.WorstPosit, a.WorstFloat)
+}

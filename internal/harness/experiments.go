@@ -1,0 +1,448 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	positdebug "positdebug"
+	"positdebug/internal/posit"
+	"positdebug/internal/shadow"
+	"positdebug/internal/workloads"
+)
+
+// Fig7 measures PositDebug's slowdown over the uninstrumented software-
+// posit baseline at 512/256/128 bits of shadow precision, across PolyBench
+// and the SPEC-like kernels (paper Figure 7).
+func Fig7(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 7: PositDebug slowdown vs SoftPosit baseline (×)",
+		Columns: []string{"PD-512", "PD-256", "PD-128"},
+	}
+	err := overheadSweep(opts, t, func(c compiled) (time.Duration, []time.Duration, error) {
+		base, err := measure(opts.repeats(), func() error {
+			_, err := c.pos.Run("main")
+			return err
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		var instr []time.Duration
+		for _, prec := range []uint{512, 256, 128} {
+			cfg := shadowConfig(prec, true)
+			d, err := measure(opts.repeats(), func() error {
+				_, err := c.pos.Debug(cfg, "main")
+				return err
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			instr = append(instr, d)
+		}
+		return base, instr, nil
+	})
+	return t, err
+}
+
+// Fig8 measures PositDebug at 256 bits with and without tracing metadata
+// (paper Figure 8).
+func Fig8(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 8: PositDebug-256 with vs without tracing (×)",
+		Columns: []string{"tracing", "no-tracing"},
+	}
+	err := overheadSweep(opts, t, func(c compiled) (time.Duration, []time.Duration, error) {
+		base, err := measure(opts.repeats(), func() error {
+			_, err := c.pos.Run("main")
+			return err
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		var instr []time.Duration
+		for _, tracing := range []bool{true, false} {
+			cfg := shadowConfig(256, tracing)
+			d, err := measure(opts.repeats(), func() error {
+				_, err := c.pos.Debug(cfg, "main")
+				return err
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			instr = append(instr, d)
+		}
+		return base, instr, nil
+	})
+	return t, err
+}
+
+// Fig9 measures FPSanitizer's slowdown over the uninstrumented FP baseline
+// at 512/256/128 bits (paper Figure 9).
+func Fig9(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 9: FPSanitizer slowdown vs FP baseline (×)",
+		Columns: []string{"FPS-512", "FPS-256", "FPS-128"},
+	}
+	err := overheadSweep(opts, t, func(c compiled) (time.Duration, []time.Duration, error) {
+		base, err := measure(opts.repeats(), func() error {
+			_, err := c.fp.Run("main")
+			return err
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		var instr []time.Duration
+		for _, prec := range []uint{512, 256, 128} {
+			cfg := shadowConfig(prec, true)
+			d, err := measure(opts.repeats(), func() error {
+				_, err := c.fp.Debug(cfg, "main")
+				return err
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			instr = append(instr, d)
+		}
+		return base, instr, nil
+	})
+	return t, err
+}
+
+// Fig10 measures FPSanitizer at 256 bits with and without tracing
+// (paper Figure 10).
+func Fig10(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 10: FPSanitizer-256 with vs without tracing (×)",
+		Columns: []string{"tracing", "no-tracing"},
+	}
+	err := overheadSweep(opts, t, func(c compiled) (time.Duration, []time.Duration, error) {
+		base, err := measure(opts.repeats(), func() error {
+			_, err := c.fp.Run("main")
+			return err
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		var instr []time.Duration
+		for _, tracing := range []bool{true, false} {
+			cfg := shadowConfig(256, tracing)
+			d, err := measure(opts.repeats(), func() error {
+				_, err := c.fp.Debug(cfg, "main")
+				return err
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			instr = append(instr, d)
+		}
+		return base, instr, nil
+	})
+	return t, err
+}
+
+// overheadSweep runs one measurement function over every kernel and fills
+// the table with slowdown factors.
+func overheadSweep(opts Options, t *Table, f func(compiled) (time.Duration, []time.Duration, error)) error {
+	for _, k := range append(workloads.PolyBench(), workloads.SpecLike()...) {
+		c, err := compileBoth(k.Source(opts.size(k.DefaultN)))
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.Name, err)
+		}
+		base, instr, err := f(c)
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.Name, err)
+		}
+		vals := make([]float64, len(instr))
+		for i, d := range instr {
+			vals[i] = float64(d) / float64(base)
+		}
+		t.AddRow(k.Name, vals...)
+	}
+	t.FinishGeomean()
+	return nil
+}
+
+// HerbgrindTable measures FPSanitizer against the Herbgrind-style runtime
+// on the PolyBench kernels with small inputs (paper §5.4: "we observed
+// that FPSanitizer was more than 10× faster than Herbgrind").
+func HerbgrindTable(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "§5.4: Herbgrind-style runtime vs FPSanitizer (slowdowns over FP baseline, ×)",
+		Columns: []string{"FPSanitizer", "Herbgrind", "HG/FPS"},
+	}
+	for _, k := range workloads.PolyBench() {
+		n := opts.size(k.DefaultN)
+		if n > 20 {
+			n = 20
+		}
+		c, err := compileBoth(k.Source(n))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		base, err := measure(opts.repeats(), func() error {
+			_, err := c.fp.Run("main")
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := shadowConfig(256, true)
+		fps, err := measure(opts.repeats(), func() error {
+			_, err := c.fp.Debug(cfg, "main")
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		hg, err := measure(opts.repeats(), func() error {
+			_, _, err := c.fp.DebugHerbgrind(256, "main")
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k.Name, float64(fps)/float64(base), float64(hg)/float64(base), float64(hg)/float64(fps))
+	}
+	t.FinishGeomean()
+	return t, nil
+}
+
+// SoftPositBaseline measures the cost of software posit arithmetic against
+// native float64 on a matrix-multiply in plain Go — the analogue of the
+// paper's observation that the software posit baseline is ~11× slower than
+// hardware FP. (Inside the interpreter the gap shrinks to ~1.5× because
+// dispatch dominates; this native measurement isolates the arithmetic.)
+func SoftPositBaseline(n int, repeats int) (ratio float64) {
+	af := make([]float64, n*n)
+	bf := make([]float64, n*n)
+	cf := make([]float64, n*n)
+	ap := make([]posit.Posit32, n*n)
+	bp := make([]posit.Posit32, n*n)
+	cp := make([]posit.Posit32, n*n)
+	for i := range af {
+		af[i] = float64(i%7) / 7
+		bf[i] = float64(i%5) / 5
+		ap[i] = posit.P32FromFloat64(af[i])
+		bp[i] = posit.P32FromFloat64(bf[i])
+	}
+	fTime, _ := measure(repeats, func() error {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += af[i*n+k] * bf[k*n+j]
+				}
+				cf[i*n+j] = s
+			}
+		}
+		return nil
+	})
+	pTime, _ := measure(repeats, func() error {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s posit.Posit32
+				for k := 0; k < n; k++ {
+					s = s.Add(ap[i*n+k].Mul(bp[k*n+j]))
+				}
+				cp[i*n+j] = s
+			}
+		}
+		return nil
+	})
+	return float64(pTime) / float64(fTime)
+}
+
+// DetectionRow is one line of the §5.1 effectiveness table.
+type DetectionRow struct {
+	Name       string
+	Detected   []shadow.Kind
+	OutputBits int
+	MaxOpBits  int
+	DAGSize    int
+	Flips      int
+}
+
+// DetectionResult aggregates the suite run like the paper's §5.1 text.
+type DetectionResult struct {
+	Rows []DetectionRow
+	// Programs whose worst output error exceeds the thresholds the paper
+	// quotes (35/45/52 bits).
+	Over35, Over45, Over52 int
+	// Per-kind program counts.
+	WithCancellation, WithPrecisionLoss, WithFlips, WithCast, WithNaR, WithSaturation int
+	// Largest DAG observed.
+	LargestDAG int
+}
+
+// RunDetection executes the whole 32-program suite under PositDebug and
+// aggregates detections (the §5.1 table).
+func RunDetection() (*DetectionResult, error) {
+	out := &DetectionResult{}
+	for _, p := range workloads.Suite() {
+		src := p.Source
+		if p.FromFP {
+			var err error
+			src, err = positdebug.RefactorToPosit(src)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.Name, err)
+			}
+		}
+		prog, err := positdebug.Compile(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		cfg := shadow.DefaultConfig()
+		cfg.ErrBitsThreshold = 35
+		cfg.OutputThreshold = 35
+		cfg.PrecisionLossThreshold = 8
+		res, err := prog.Debug(cfg, "main")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		sum := res.Summary
+		row := DetectionRow{
+			Name:       p.Name,
+			OutputBits: sum.OutputMaxErrBits,
+			MaxOpBits:  sum.MaxOpErrBits,
+			Flips:      sum.BranchFlips,
+		}
+		for k, c := range sum.Counts {
+			if c > 0 {
+				row.Detected = append(row.Detected, k)
+			}
+		}
+		for _, r := range sum.Reports {
+			if s := r.DAG.Size(); s > row.DAGSize {
+				row.DAGSize = s
+			}
+		}
+		out.Rows = append(out.Rows, row)
+
+		worst := row.OutputBits
+		if row.MaxOpBits > worst {
+			worst = row.MaxOpBits
+		}
+		if worst > 35 {
+			out.Over35++
+		}
+		if worst > 45 {
+			out.Over45++
+		}
+		if worst > 52 {
+			out.Over52++
+		}
+		if sum.Has(shadow.KindCancellation) {
+			out.WithCancellation++
+		}
+		if sum.Has(shadow.KindPrecisionLoss) {
+			out.WithPrecisionLoss++
+		}
+		if sum.BranchFlips > 0 {
+			out.WithFlips++
+		}
+		if sum.Has(shadow.KindWrongCast) {
+			out.WithCast++
+		}
+		if sum.Has(shadow.KindNaR) {
+			out.WithNaR++
+		}
+		if sum.Has(shadow.KindSaturation) {
+			out.WithSaturation++
+		}
+		if row.DAGSize > out.LargestDAG {
+			out.LargestDAG = row.DAGSize
+		}
+	}
+	return out, nil
+}
+
+// String renders the detection table plus the paper-style aggregate line.
+func (d *DetectionResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("§5.1 detection table (32-program suite, PositDebug ⟨32,2⟩, 256-bit shadow)\n")
+	fmt.Fprintf(&sb, "%-22s %8s %8s %6s %5s  %s\n", "program", "out-bits", "op-bits", "dag", "flips", "detections")
+	for _, r := range d.Rows {
+		kinds := make([]string, len(r.Detected))
+		for i, k := range r.Detected {
+			kinds[i] = k.String()
+		}
+		fmt.Fprintf(&sb, "%-22s %8d %8d %6d %5d  %s\n",
+			r.Name, r.OutputBits, r.MaxOpBits, r.DAGSize, r.Flips, strings.Join(kinds, ","))
+	}
+	fmt.Fprintf(&sb, "\nprograms with error > 35 bits: %d   > 45 bits: %d   > 52 bits: %d\n",
+		d.Over35, d.Over45, d.Over52)
+	fmt.Fprintf(&sb, "cancellation: %d   precision loss: %d   branch flips: %d   int casts: %d   NaR: %d   saturation: %d\n",
+		d.WithCancellation, d.WithPrecisionLoss, d.WithFlips, d.WithCast, d.WithNaR, d.WithSaturation)
+	fmt.Fprintf(&sb, "largest DAG: %d instructions\n", d.LargestDAG)
+	return sb.String()
+}
+
+// geomeanOf is exposed for the ablation benches.
+func geomeanOf(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// KernelErrorRow reports the worst observed error when a benchmark kernel
+// runs (as a posit program) under PositDebug.
+type KernelErrorRow struct {
+	Name       string
+	OutputBits int
+	MaxOpBits  int
+	Flagged    bool // any op or output at/above the threshold
+}
+
+// KernelErrors runs every PolyBench and SPEC-like kernel (posit versions)
+// under PositDebug and reports which exhibit numerical errors — the
+// paper's §5.1 note "we also observed numerical errors in six PolyBench
+// and all the SPEC-FP applications".
+func KernelErrors(opts Options, thresholdBits int) ([]KernelErrorRow, error) {
+	var rows []KernelErrorRow
+	for _, k := range append(workloads.PolyBench(), workloads.SpecLike()...) {
+		c, err := compileBoth(k.Source(opts.size(k.DefaultN)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		cfg := shadow.DefaultConfig()
+		cfg.ErrBitsThreshold = thresholdBits
+		cfg.OutputThreshold = thresholdBits
+		cfg.MaxReports = 1
+		res, err := c.pos.Debug(cfg, "main")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		worst := res.Summary.MaxOpErrBits
+		if res.Summary.OutputMaxErrBits > worst {
+			worst = res.Summary.OutputMaxErrBits
+		}
+		rows = append(rows, KernelErrorRow{
+			Name:       k.Name,
+			OutputBits: res.Summary.OutputMaxErrBits,
+			MaxOpBits:  res.Summary.MaxOpErrBits,
+			Flagged:    worst >= thresholdBits,
+		})
+	}
+	return rows, nil
+}
+
+// FormatKernelErrors renders the kernel error table.
+func FormatKernelErrors(rows []KernelErrorRow, thresholdBits int) string {
+	var sb strings.Builder
+	flagged := 0
+	for _, r := range rows {
+		if r.Flagged {
+			flagged++
+		}
+	}
+	fmt.Fprintf(&sb, "Kernels showing ≥ %d bits of error under PositDebug: %d of %d\n",
+		thresholdBits, flagged, len(rows))
+	fmt.Fprintf(&sb, "%-16s %10s %10s %8s\n", "kernel", "out-bits", "op-bits", "flagged")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %10d %10d %8v\n", r.Name, r.OutputBits, r.MaxOpBits, r.Flagged)
+	}
+	return sb.String()
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in; timing-gap
+// assertions are skipped under it because its instrumentation distorts the
+// relative costs being measured.
+const raceEnabled = true

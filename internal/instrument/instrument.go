@@ -1,0 +1,146 @@
+// Package instrument implements the compile-time instrumentation pass of
+// PositDebug/FPSanitizer: it rewrites an IR module, inserting explicit
+// shadow instructions around every operation involving numeric (posit or
+// float) values — arithmetic, comparisons, casts, loads, stores, calls,
+// returns, prints, and quire operations. The uninstrumented module is left
+// untouched (the pass copies), so baselines pay zero overhead, exactly like
+// the paper's LLVM pass.
+package instrument
+
+import "positdebug/internal/ir"
+
+// Options configures the pass.
+type Options struct {
+	// Skip lists function names to leave uninstrumented, emulating the
+	// paper's incremental-deployment mode (§4.1: values written by
+	// uninstrumented code are detected at load time via the stored
+	// program-value check).
+	Skip map[string]bool
+}
+
+// Instrument returns an instrumented copy of the module. The input module
+// is not modified; the two share the (immutable) instruction registry.
+func Instrument(mod *ir.Module, opts Options) *ir.Module {
+	out := &ir.Module{
+		FuncIdx:    mod.FuncIdx,
+		Globals:    mod.Globals,
+		GlobalBase: mod.GlobalBase,
+		GlobalSize: mod.GlobalSize,
+		Registry:   mod.Registry,
+	}
+	out.Funcs = make([]*ir.Func, len(mod.Funcs))
+	for i, f := range mod.Funcs {
+		if opts.Skip[f.Name] {
+			out.Funcs[i] = f
+			continue
+		}
+		out.Funcs[i] = instrumentFunc(mod, f)
+	}
+	return out
+}
+
+func instrumentFunc(mod *ir.Module, f *ir.Func) *ir.Func {
+	nf := &ir.Func{
+		Name:         f.Name,
+		Params:       f.Params,
+		Ret:          f.Ret,
+		NumRegs:      f.NumRegs,
+		FrameSize:    f.FrameSize,
+		Instrumented: true,
+	}
+	nf.Blocks = make([]ir.Block, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		instrs := make([]ir.Instr, 0, len(b.Instrs)*2)
+		for _, in := range b.Instrs {
+			pre, post := shadowFor(mod, f, in)
+			if pre != nil {
+				instrs = append(instrs, *pre)
+			}
+			instrs = append(instrs, in)
+			if post != nil {
+				instrs = append(instrs, *post)
+			}
+		}
+		nf.Blocks[bi].Instrs = instrs
+	}
+	return nf
+}
+
+// shadowFor decides which shadow instruction (if any) accompanies in, and
+// whether it runs before or after it. Terminators take their shadow before
+// (the transfer must remain last in the block); everything else after, so
+// the hook observes the produced register value.
+func shadowFor(mod *ir.Module, f *ir.Func, in ir.Instr) (pre, post *ir.Instr) {
+	mk := func(op ir.Op) *ir.Instr {
+		s := in // copies registers, types, kind, id, imm
+		s.Op = op
+		s.Args = in.Args
+		return &s
+	}
+	switch in.Op {
+	case ir.OpConst:
+		if in.Type.IsNumeric() {
+			return nil, mk(ir.OpShadowConst)
+		}
+	case ir.OpMov:
+		if in.Type.IsNumeric() {
+			return nil, mk(ir.OpShadowMov)
+		}
+	case ir.OpBin:
+		if in.Type.IsNumeric() {
+			return nil, mk(ir.OpShadowBin)
+		}
+	case ir.OpUn:
+		if in.Type.IsNumeric() {
+			return nil, mk(ir.OpShadowUn)
+		}
+	case ir.OpCmp:
+		if in.Type.IsNumeric() {
+			return nil, mk(ir.OpShadowCmp)
+		}
+	case ir.OpCast:
+		if in.Type.IsNumeric() || in.Type2.IsNumeric() {
+			return nil, mk(ir.OpShadowCast)
+		}
+	case ir.OpLoad:
+		if in.Type.IsNumeric() {
+			return nil, mk(ir.OpShadowLoad)
+		}
+	case ir.OpStore:
+		if in.Type.IsNumeric() {
+			return nil, mk(ir.OpShadowStore)
+		}
+	case ir.OpCall:
+		callee := mod.Funcs[in.Fn]
+		if len(callee.Params) > 0 {
+			pre = mk(ir.OpShadowPreCall)
+		}
+		if in.Dst >= 0 && in.Type.IsNumeric() {
+			post = mk(ir.OpShadowPostCall)
+		}
+		return pre, post
+	case ir.OpRet:
+		// The runtime needs the return event for numeric returns (shadow
+		// stack) — and terminators must stay last, so shadow goes before.
+		if in.A >= 0 && f.Ret.IsNumeric() {
+			s := mk(ir.OpShadowRet)
+			s.Type = f.Ret
+			return s, nil
+		}
+	case ir.OpPrint:
+		if in.Type.IsNumeric() {
+			return nil, mk(ir.OpShadowPrint)
+		}
+	case ir.OpQClear:
+		return nil, mk(ir.OpShadowQClear)
+	case ir.OpQAdd:
+		return nil, mk(ir.OpShadowQAdd)
+	case ir.OpQMAdd:
+		return nil, mk(ir.OpShadowQMAdd)
+	case ir.OpQVal:
+		return nil, mk(ir.OpShadowQVal)
+	case ir.OpFMA:
+		return nil, mk(ir.OpShadowFMA)
+	}
+	return nil, nil
+}

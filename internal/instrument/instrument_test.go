@@ -1,0 +1,181 @@
+package instrument
+
+import (
+	"testing"
+
+	"positdebug/internal/codegen"
+	"positdebug/internal/ir"
+	"positdebug/internal/lang"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := lang.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := codegen.Compile(chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+const src = `
+var g: p32;
+
+func helper(x: p32): p32 {
+	return sqrt(x) * 2.0;
+}
+
+func main(): i64 {
+	g = helper(2.25) - 1.0;
+	if (g > 0.0) {
+		print(g);
+		return i64(g * 10.0);
+	}
+	qclear();
+	qmadd(g, g);
+	qadd(g);
+	g = qround_p32() + fma(g, g, g);
+	var n: i64 = 3 + 4;
+	return n;
+}
+`
+
+func countOps(m *ir.Module) map[ir.Op]int {
+	counts := map[ir.Op]int{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				counts[in.Op]++
+			}
+		}
+	}
+	return counts
+}
+
+// TestPassInsertsShadows: every numeric instruction gains exactly one
+// shadow instruction, non-numeric instructions gain none, and the
+// original module is untouched.
+func TestPassInsertsShadows(t *testing.T) {
+	mod := compile(t, src)
+	before := countOps(mod)
+	inst := Instrument(mod, Options{})
+	if err := inst.Verify(); err != nil {
+		t.Fatalf("instrumented module invalid: %v", err)
+	}
+	after := countOps(inst)
+
+	// The original is untouched.
+	if got := countOps(mod); got[ir.OpShadowBin] != 0 || got[ir.OpShadowStore] != 0 {
+		t.Fatal("input module was mutated")
+	}
+	for _, f := range mod.Funcs {
+		if f.Instrumented {
+			t.Fatal("input functions must stay unmarked")
+		}
+	}
+	for _, f := range inst.Funcs {
+		if !f.Instrumented {
+			t.Fatalf("function %s not marked instrumented", f.Name)
+		}
+	}
+	// One shadow per shadowed original (numeric ops only).
+	pairs := []struct {
+		orig, sh ir.Op
+	}{
+		{ir.OpLoad, ir.OpShadowLoad},
+		{ir.OpUn, ir.OpShadowUn},
+		{ir.OpCmp, ir.OpShadowCmp},
+		{ir.OpQAdd, ir.OpShadowQAdd},
+		{ir.OpQMAdd, ir.OpShadowQMAdd},
+		{ir.OpQVal, ir.OpShadowQVal},
+		{ir.OpQClear, ir.OpShadowQClear},
+		{ir.OpFMA, ir.OpShadowFMA},
+		{ir.OpPrint, ir.OpShadowPrint},
+	}
+	for _, p := range pairs {
+		if after[p.sh] == 0 {
+			t.Fatalf("no %v inserted", p.sh)
+		}
+		if after[p.sh] > before[p.orig] {
+			t.Fatalf("%v: %d shadows for %d originals", p.sh, after[p.sh], before[p.orig])
+		}
+	}
+	// Integer-only arithmetic (3+4, i64 n) must NOT be shadowed: the
+	// number of shadow-bin instructions is strictly below the bin count.
+	if after[ir.OpShadowBin] >= before[ir.OpBin] {
+		t.Fatalf("i64 binops were shadowed: %d shadows for %d bins", after[ir.OpShadowBin], before[ir.OpBin])
+	}
+	if after[ir.OpShadowBin] == 0 {
+		t.Fatal("posit binops not shadowed")
+	}
+}
+
+// TestShadowPlacement: shadow instructions follow their target, except for
+// returns (before the terminator) and pre-call events.
+func TestShadowPlacement(t *testing.T) {
+	mod := compile(t, src)
+	inst := Instrument(mod, Options{})
+	for _, f := range inst.Funcs {
+		for bi, b := range f.Blocks {
+			for ii, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpShadowRet:
+					if ii+1 >= len(b.Instrs) || b.Instrs[ii+1].Op != ir.OpRet {
+						t.Fatalf("%s b%d: sh.ret not directly before ret", f.Name, bi)
+					}
+				case ir.OpShadowPreCall:
+					if ii+1 >= len(b.Instrs) || b.Instrs[ii+1].Op != ir.OpCall {
+						t.Fatalf("%s b%d: sh.precall not directly before call", f.Name, bi)
+					}
+				case ir.OpShadowBin:
+					if ii == 0 || b.Instrs[ii-1].Op != ir.OpBin {
+						t.Fatalf("%s b%d: sh.bin not directly after bin", f.Name, bi)
+					}
+				}
+			}
+			// Terminator still last.
+			last := b.Instrs[len(b.Instrs)-1].Op
+			if last != ir.OpBr && last != ir.OpJmp && last != ir.OpRet {
+				t.Fatalf("%s b%d ends with %v", f.Name, bi, last)
+			}
+		}
+	}
+}
+
+// TestSkipOption: skipped functions stay uninstrumented while the rest of
+// the module is transformed (the paper's incremental-deployment mode).
+func TestSkipOption(t *testing.T) {
+	mod := compile(t, src)
+	inst := Instrument(mod, Options{Skip: map[string]bool{"helper": true}})
+	h := inst.FuncByName("helper")
+	if h.Instrumented {
+		t.Fatal("helper must be skipped")
+	}
+	for _, b := range h.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op >= ir.OpShadowConst {
+				t.Fatal("skipped function contains shadow instructions")
+			}
+		}
+	}
+	if !inst.FuncByName("main").Instrumented {
+		t.Fatal("main must be instrumented")
+	}
+}
+
+// TestRegistryShared: the instrumented module shares the immutable
+// registry, so instruction ids resolve identically.
+func TestRegistryShared(t *testing.T) {
+	mod := compile(t, src)
+	inst := Instrument(mod, Options{})
+	if len(inst.Registry) != len(mod.Registry) {
+		t.Fatal("registry must be shared")
+	}
+}

@@ -1,0 +1,292 @@
+package interp
+
+import (
+	"math"
+
+	"positdebug/internal/ir"
+	"positdebug/internal/posit"
+)
+
+// binEval computes a binary operation on bit-pattern values.
+func (m *Machine) binEval(fn *ir.Func, k ir.BinKind, t ir.Type, a, b uint64) (uint64, error) {
+	switch t {
+	case ir.I64:
+		x, y := int64(a), int64(b)
+		switch k {
+		case ir.BinAdd:
+			return uint64(x + y), nil
+		case ir.BinSub:
+			return uint64(x - y), nil
+		case ir.BinMul:
+			return uint64(x * y), nil
+		case ir.BinDiv:
+			if y == 0 {
+				return 0, m.trap(fn, "integer division by zero")
+			}
+			if x == math.MinInt64 && y == -1 {
+				return uint64(x), nil // wraps, like hardware
+			}
+			return uint64(x / y), nil
+		case ir.BinRem:
+			if y == 0 {
+				return 0, m.trap(fn, "integer modulo by zero")
+			}
+			if x == math.MinInt64 && y == -1 {
+				return 0, nil
+			}
+			return uint64(x % y), nil
+		}
+	case ir.F64:
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		var r float64
+		switch k {
+		case ir.BinAdd:
+			r = x + y
+		case ir.BinSub:
+			r = x - y
+		case ir.BinMul:
+			r = x * y
+		case ir.BinDiv:
+			r = x / y
+		}
+		return math.Float64bits(r), nil
+	case ir.F32:
+		x, y := math.Float32frombits(uint32(a)), math.Float32frombits(uint32(b))
+		var r float32
+		switch k {
+		case ir.BinAdd:
+			r = x + y
+		case ir.BinSub:
+			r = x - y
+		case ir.BinMul:
+			r = x * y
+		case ir.BinDiv:
+			r = x / y
+		}
+		return uint64(math.Float32bits(r)), nil
+	case ir.P8, ir.P16, ir.P32:
+		cfg := t.PositConfig()
+		x, y := posit.Bits(a), posit.Bits(b)
+		switch k {
+		case ir.BinAdd:
+			return uint64(cfg.Add(x, y)), nil
+		case ir.BinSub:
+			return uint64(cfg.Sub(x, y)), nil
+		case ir.BinMul:
+			return uint64(cfg.Mul(x, y)), nil
+		case ir.BinDiv:
+			return uint64(cfg.Div(x, y)), nil
+		}
+	}
+	return 0, m.trap(fn, "bad binop %v on %v", k, t)
+}
+
+func unEval(k ir.UnKind, t ir.Type, a uint64) uint64 {
+	switch t {
+	case ir.I64:
+		switch k {
+		case ir.UnNeg:
+			return uint64(-int64(a))
+		case ir.UnAbs:
+			if int64(a) < 0 {
+				return uint64(-int64(a))
+			}
+			return a
+		}
+	case ir.Bool:
+		if k == ir.UnNot {
+			return a ^ 1
+		}
+	case ir.F64:
+		x := math.Float64frombits(a)
+		switch k {
+		case ir.UnNeg:
+			return math.Float64bits(-x)
+		case ir.UnSqrt:
+			return math.Float64bits(math.Sqrt(x))
+		case ir.UnAbs:
+			return math.Float64bits(math.Abs(x))
+		}
+	case ir.F32:
+		x := math.Float32frombits(uint32(a))
+		switch k {
+		case ir.UnNeg:
+			return uint64(math.Float32bits(-x))
+		case ir.UnSqrt:
+			return uint64(math.Float32bits(float32(math.Sqrt(float64(x)))))
+		case ir.UnAbs:
+			return uint64(math.Float32bits(float32(math.Abs(float64(x)))))
+		}
+	case ir.P8, ir.P16, ir.P32:
+		cfg := t.PositConfig()
+		x := posit.Bits(a)
+		switch k {
+		case ir.UnNeg:
+			return uint64(cfg.Neg(x))
+		case ir.UnSqrt:
+			return uint64(cfg.Sqrt(x))
+		case ir.UnAbs:
+			return uint64(cfg.Abs(x))
+		}
+	}
+	return a
+}
+
+func cmpEval(p ir.CmpPred, t ir.Type, a, b uint64) bool {
+	var c int
+	switch t {
+	case ir.I64:
+		x, y := int64(a), int64(b)
+		switch {
+		case x < y:
+			c = -1
+		case x > y:
+			c = 1
+		}
+	case ir.Bool:
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	case ir.F64:
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		// IEEE semantics: comparisons with NaN are false except !=.
+		if x != x || y != y {
+			return p == ir.CmpNe
+		}
+		switch {
+		case x < y:
+			c = -1
+		case x > y:
+			c = 1
+		}
+	case ir.F32:
+		x, y := math.Float32frombits(uint32(a)), math.Float32frombits(uint32(b))
+		if x != x || y != y {
+			return p == ir.CmpNe
+		}
+		switch {
+		case x < y:
+			c = -1
+		case x > y:
+			c = 1
+		}
+	case ir.P8, ir.P16, ir.P32:
+		c = t.PositConfig().Cmp(posit.Bits(a), posit.Bits(b))
+	}
+	switch p {
+	case ir.CmpEq:
+		return c == 0
+	case ir.CmpNe:
+		return c != 0
+	case ir.CmpLt:
+		return c < 0
+	case ir.CmpLe:
+		return c <= 0
+	case ir.CmpGt:
+		return c > 0
+	case ir.CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// fmaEval computes a·b + c with a single rounding for posits (via the
+// exact 192-bit fused path) and for f64 (math.FMA). f32 goes through the
+// correctly rounded f64 FMA and re-rounds; the double rounding can differ
+// from a true f32 FMA by one ulp in rare boundary cases.
+func fmaEval(t ir.Type, a, b, c uint64) uint64 {
+	switch t {
+	case ir.F64:
+		return math.Float64bits(math.FMA(
+			math.Float64frombits(a), math.Float64frombits(b), math.Float64frombits(c)))
+	case ir.F32:
+		r := math.FMA(
+			float64(math.Float32frombits(uint32(a))),
+			float64(math.Float32frombits(uint32(b))),
+			float64(math.Float32frombits(uint32(c))))
+		return uint64(math.Float32bits(float32(r)))
+	case ir.P8, ir.P16, ir.P32:
+		cfg := t.PositConfig()
+		return uint64(cfg.FMA(posit.Bits(a), posit.Bits(b), posit.Bits(c)))
+	default:
+		return 0
+	}
+}
+
+// toFloat64 converts a bit-pattern value of a numeric or integer type to
+// float64 (exactly for f32/f64/posit; i64 rounds for |v| > 2^53).
+func toFloat64(t ir.Type, v uint64) float64 {
+	switch t {
+	case ir.I64:
+		return float64(int64(v))
+	case ir.F64:
+		return math.Float64frombits(v)
+	case ir.F32:
+		return float64(math.Float32frombits(uint32(v)))
+	case ir.P8, ir.P16, ir.P32:
+		return t.PositConfig().ToFloat64(posit.Bits(v))
+	default:
+		return 0
+	}
+}
+
+// ToFloat64 exposes bit-pattern decoding for harnesses and runtimes.
+func ToFloat64(t ir.Type, v uint64) float64 { return toFloat64(t, v) }
+
+// FromFloat64 encodes a float64 into the bit pattern of the given type,
+// rounding as the type requires.
+func FromFloat64(t ir.Type, f float64) uint64 {
+	switch t {
+	case ir.I64:
+		return uint64(clampToInt64(f))
+	case ir.F64:
+		return math.Float64bits(f)
+	case ir.F32:
+		return uint64(math.Float32bits(float32(f)))
+	case ir.P8, ir.P16, ir.P32:
+		return uint64(t.PositConfig().FromFloat64(f))
+	default:
+		return 0
+	}
+}
+
+func clampToInt64(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	default:
+		return int64(f)
+	}
+}
+
+func castEval(from, to ir.Type, v uint64) uint64 {
+	if from == to {
+		return v
+	}
+	// Posit↔posit conversions re-round directly (exact intermediate).
+	if from.IsPosit() && to.IsPosit() {
+		return uint64(from.PositConfig().Convert(posit.Bits(v), to.PositConfig()))
+	}
+	// Posit→i64 truncates toward zero like a C cast.
+	if from.IsPosit() && to == ir.I64 {
+		iv, _ := from.PositConfig().ToInt64(posit.Bits(v))
+		return uint64(iv)
+	}
+	// Float→i64 truncates toward zero.
+	if from.IsFloat() && to == ir.I64 {
+		return uint64(clampToInt64(math.Trunc(toFloat64(from, v))))
+	}
+	// Everything else goes through float64, which is exact for i64 up to
+	// 2^53 and for every f32/posit value.
+	return FromFloat64(to, toFloat64(from, v))
+}
+
+// CastEval exposes cast semantics for the shadow runtimes.
+func CastEval(from, to ir.Type, v uint64) uint64 { return castEval(from, to, v) }

@@ -1,0 +1,123 @@
+package interp
+
+import "positdebug/internal/ir"
+
+// Hooks receives shadow-execution events. The instrumentation pass inserts
+// explicit shadow instructions into the IR; when the machine executes one it
+// calls the corresponding method with the instruction id (an index into the
+// module registry), the registers involved, and their current bit-pattern
+// values. internal/shadow implements the PositDebug/FPSanitizer runtime on
+// this interface and internal/herbgrind implements the trace-heavy baseline.
+//
+// A nil Hooks on the machine makes shadow instructions no-ops, but the
+// normal configuration runs uninstrumented modules for baselines (zero
+// overhead) and instrumented modules with a runtime attached.
+type Hooks interface {
+	// Reset is called at the start of every Machine.Run.
+	Reset()
+	// EnterFunc is called when an instrumented function's frame is pushed;
+	// argVals holds the parameter values (registers 0..n−1).
+	EnterFunc(fn *ir.Func, argVals []uint64)
+	// LeaveFunc is called when the frame is popped.
+	LeaveFunc()
+	// Const: register dst was set to the literal bits of type typ.
+	Const(id int32, typ ir.Type, dst int32, bits uint64)
+	// Mov: register dst was copied from src.
+	Mov(id int32, typ ir.Type, dst, src int32, bits uint64)
+	// Bin: dst = a <kind> b just executed; values are the current contents.
+	Bin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64)
+	// Un: dst = <kind> a.
+	Un(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64)
+	// Cmp: a <pred> b evaluated to outcome on numeric operands.
+	Cmp(id int32, pred ir.CmpPred, typ ir.Type, a, b int32, aVal, bVal uint64, outcome bool)
+	// Cast: dst = cast a from type `from` to type `to`.
+	Cast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64)
+	// Load: dst was loaded from memory address addr.
+	Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint64)
+	// Store: the value of register src was stored to addr.
+	Store(id int32, typ ir.Type, addr uint32, src int32, bits uint64)
+	// PreCall: about to call callee with the given argument registers.
+	PreCall(callee *ir.Func, args []int32, argVals []uint64)
+	// PostCall: callee returned; its value (if any) landed in register dst.
+	PostCall(id int32, typ ir.Type, dst int32, bits uint64)
+	// Ret: the current function is about to return register src.
+	Ret(typ ir.Type, src int32, bits uint64)
+	// Print: the program printed the value of register src.
+	Print(id int32, typ ir.Type, src int32, bits uint64)
+	// FMA: dst = a·b + c with a single rounding just executed.
+	FMA(id int32, typ ir.Type, dst, a, b, c int32, dstVal, aVal, bVal, cVal uint64)
+	// QClear/QAdd/QMAdd/QVal mirror the quire operations (negate: Kind=1).
+	QClear(typ ir.Type)
+	QAdd(typ ir.Type, a int32, aVal uint64, negate bool)
+	QMAdd(typ ir.Type, a, b int32, aVal, bVal uint64, negate bool)
+	QVal(id int32, typ ir.Type, dst int32, bits uint64)
+}
+
+// NopHooks is the no-op Hooks implementation installed automatically when
+// an instrumented module runs without a runtime attached: shadow
+// instructions execute but observe nothing.
+type NopHooks struct{}
+
+var _ Hooks = NopHooks{}
+
+// Reset implements Hooks.
+func (NopHooks) Reset() {}
+
+// EnterFunc implements Hooks.
+func (NopHooks) EnterFunc(fn *ir.Func, argVals []uint64) {}
+
+// LeaveFunc implements Hooks.
+func (NopHooks) LeaveFunc() {}
+
+// Const implements Hooks.
+func (NopHooks) Const(id int32, typ ir.Type, dst int32, bits uint64) {}
+
+// Mov implements Hooks.
+func (NopHooks) Mov(id int32, typ ir.Type, dst, src int32, bits uint64) {}
+
+// Bin implements Hooks.
+func (NopHooks) Bin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64) {
+}
+
+// Un implements Hooks.
+func (NopHooks) Un(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64) {}
+
+// Cmp implements Hooks.
+func (NopHooks) Cmp(id int32, pred ir.CmpPred, typ ir.Type, a, b int32, aVal, bVal uint64, outcome bool) {
+}
+
+// Cast implements Hooks.
+func (NopHooks) Cast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64) {}
+
+// Load implements Hooks.
+func (NopHooks) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) {}
+
+// Store implements Hooks.
+func (NopHooks) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint64) {}
+
+// PreCall implements Hooks.
+func (NopHooks) PreCall(callee *ir.Func, args []int32, argVals []uint64) {}
+
+// PostCall implements Hooks.
+func (NopHooks) PostCall(id int32, typ ir.Type, dst int32, bits uint64) {}
+
+// Ret implements Hooks.
+func (NopHooks) Ret(typ ir.Type, src int32, bits uint64) {}
+
+// Print implements Hooks.
+func (NopHooks) Print(id int32, typ ir.Type, src int32, bits uint64) {}
+
+// FMA implements Hooks.
+func (NopHooks) FMA(id int32, typ ir.Type, dst, a, b, c int32, dstVal, aVal, bVal, cVal uint64) {}
+
+// QClear implements Hooks.
+func (NopHooks) QClear(typ ir.Type) {}
+
+// QAdd implements Hooks.
+func (NopHooks) QAdd(typ ir.Type, a int32, aVal uint64, negate bool) {}
+
+// QMAdd implements Hooks.
+func (NopHooks) QMAdd(typ ir.Type, a, b int32, aVal, bVal uint64, negate bool) {}
+
+// QVal implements Hooks.
+func (NopHooks) QVal(id int32, typ ir.Type, dst int32, bits uint64) {}

@@ -1,0 +1,396 @@
+// Package interp executes IR modules on a simple abstract machine: virtual
+// registers hold uint64 bit patterns, and a single linear byte-addressed
+// memory holds globals (at ir.Module.GlobalBase) and the runtime stack
+// (growing down from the top). Real addresses are what make the paper's
+// shadow-memory design — a trie keyed by address — meaningful, which is why
+// the substrate is an interpreter rather than closures.
+//
+// An uninstrumented module executes with no shadow overhead; instrumented
+// modules route their shadow instructions to a Hooks implementation.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"positdebug/internal/ir"
+	"positdebug/internal/posit"
+)
+
+// Default machine limits.
+const (
+	DefaultStackSize = 1 << 22 // 4 MiB
+	DefaultMaxSteps  = 2_000_000_000
+	maxCallDepth     = 1024
+)
+
+// Machine executes one module. Not safe for concurrent use.
+type Machine struct {
+	Mod      *ir.Module
+	Hooks    Hooks
+	Out      io.Writer // print destination; nil discards
+	Trace    io.Writer // when set, every executed instruction is logged
+	MaxSteps int64     // instruction budget; 0 means DefaultMaxSteps
+
+	mem    []byte
+	sp     uint32
+	steps  int64
+	depth  int
+	quires map[ir.Type]*posit.Quire
+
+	argScratch []uint64
+}
+
+// New returns a machine for the module with the default stack size.
+func New(mod *ir.Module) *Machine {
+	return NewWithStack(mod, DefaultStackSize)
+}
+
+// NewWithStack returns a machine with an explicit stack size in bytes.
+func NewWithStack(mod *ir.Module, stack uint32) *Machine {
+	total := mod.GlobalBase + mod.GlobalSize
+	total = (total + 7) / 8 * 8
+	total += stack
+	return &Machine{
+		Mod:    mod,
+		mem:    make([]byte, total),
+		quires: map[ir.Type]*posit.Quire{},
+	}
+}
+
+// Trap is a runtime error raised by the executing program.
+type Trap struct {
+	Msg  string
+	Func string
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("trap in %s: %s", t.Func, t.Msg) }
+
+// ErrStepLimit is wrapped by the trap raised when the instruction budget is
+// exhausted.
+var ErrStepLimit = errors.New("step limit exceeded")
+
+// Stopped is returned by Run when a hook deliberately halted execution —
+// the mechanism behind PositDebug's conditional error breakpoints (the
+// paper's gdb workflow). Reason carries the hook's payload, typically a
+// *shadow.Report.
+type Stopped struct{ Reason interface{} }
+
+func (s *Stopped) Error() string { return "execution stopped by shadow hook" }
+
+// Steps returns the number of instructions executed by the last Run.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// Mem exposes the memory image (tests and the shadow runtime's re-init path
+// read it; the program mutates it only through stores).
+func (m *Machine) Mem() []byte { return m.mem }
+
+// Run executes the module's __init function and then the named function
+// with the given argument bit patterns, returning the function's result.
+// If a hook panics with *Stopped (a debugger breakpoint), Run recovers it
+// and returns it as the error.
+func (m *Machine) Run(name string, args ...uint64) (v uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s, ok := r.(*Stopped); ok {
+				err = s
+				return
+			}
+			panic(r)
+		}
+	}()
+	if m.Hooks == nil {
+		m.Hooks = NopHooks{}
+	}
+	m.steps = 0
+	m.depth = 0
+	m.sp = uint32(len(m.mem))
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	for _, q := range m.quires {
+		q.Clear()
+	}
+	if m.Hooks != nil {
+		m.Hooks.Reset()
+	}
+	if init := m.Mod.FuncByName("__init"); init != nil {
+		if _, err := m.call(init, nil); err != nil {
+			return 0, err
+		}
+	}
+	fn := m.Mod.FuncByName(name)
+	if fn == nil {
+		return 0, fmt.Errorf("interp: no function %q", name)
+	}
+	if len(args) != len(fn.Params) {
+		return 0, fmt.Errorf("interp: %s takes %d args, got %d", name, len(fn.Params), len(args))
+	}
+	return m.call(fn, args)
+}
+
+func (m *Machine) trap(fn *ir.Func, format string, args ...interface{}) error {
+	return &Trap{Msg: fmt.Sprintf(format, args...), Func: fn.Name}
+}
+
+func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
+	if m.depth++; m.depth > maxCallDepth {
+		return 0, m.trap(fn, "call depth exceeded")
+	}
+	defer func() { m.depth-- }()
+
+	frame := (fn.FrameSize + 7) / 8 * 8
+	base := m.Mod.GlobalBase + m.Mod.GlobalSize
+	if m.sp < base+frame {
+		return 0, m.trap(fn, "stack overflow")
+	}
+	savedSP := m.sp
+	m.sp -= frame
+	fp := m.sp
+	// Zero the frame so stale stack data never leaks into locals.
+	for i := fp; i < savedSP; i++ {
+		m.mem[i] = 0
+	}
+	defer func() { m.sp = savedSP }()
+
+	regs := make([]uint64, fn.NumRegs)
+	copy(regs, args)
+	hooked := fn.Instrumented && m.Hooks != nil
+	if hooked {
+		m.Hooks.EnterFunc(fn, regs[:len(fn.Params)])
+		defer m.Hooks.LeaveFunc()
+	}
+
+	maxSteps := m.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	b, i := int32(0), 0
+	for {
+		if m.steps++; m.steps > maxSteps {
+			return 0, m.trap(fn, "%v", ErrStepLimit)
+		}
+		in := &fn.Blocks[b].Instrs[i]
+		i++
+		if m.Trace != nil {
+			fmt.Fprintf(m.Trace, "%s b%d: %s\n", fn.Name, b, in)
+		}
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpConst:
+			regs[in.Dst] = in.Imm
+		case ir.OpMov:
+			regs[in.Dst] = regs[in.A]
+		case ir.OpBin:
+			v, err := m.binEval(fn, ir.BinKind(in.Kind), in.Type, regs[in.A], regs[in.B])
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case ir.OpUn:
+			regs[in.Dst] = unEval(ir.UnKind(in.Kind), in.Type, regs[in.A])
+		case ir.OpCmp:
+			if cmpEval(ir.CmpPred(in.Kind), in.Type, regs[in.A], regs[in.B]) {
+				regs[in.Dst] = 1
+			} else {
+				regs[in.Dst] = 0
+			}
+		case ir.OpCast:
+			regs[in.Dst] = castEval(in.Type, in.Type2, regs[in.A])
+		case ir.OpLoad:
+			v, err := m.load(fn, in.Type, uint32(regs[in.A]))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case ir.OpStore:
+			if err := m.store(fn, in.Type, uint32(regs[in.A]), regs[in.B]); err != nil {
+				return 0, err
+			}
+		case ir.OpFrameAddr:
+			regs[in.Dst] = uint64(fp) + in.Imm
+		case ir.OpGlobalAddr:
+			regs[in.Dst] = in.Imm
+		case ir.OpAddrIndex:
+			regs[in.Dst] = regs[in.A] + regs[in.B]*in.Imm
+		case ir.OpBr:
+			if regs[in.A] != 0 {
+				b = in.Blk[0]
+			} else {
+				b = in.Blk[1]
+			}
+			i = 0
+		case ir.OpJmp:
+			b, i = in.Blk[0], 0
+		case ir.OpCall:
+			callee := m.Mod.Funcs[in.Fn]
+			m.argScratch = m.argScratch[:0]
+			for _, a := range in.Args {
+				m.argScratch = append(m.argScratch, regs[a])
+			}
+			v, err := m.call(callee, m.argScratch)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst >= 0 {
+				regs[in.Dst] = v
+			}
+		case ir.OpRet:
+			if in.A >= 0 {
+				return regs[in.A], nil
+			}
+			return 0, nil
+		case ir.OpPrint:
+			m.print(in.Type, regs[in.A])
+		case ir.OpPrintStr:
+			if m.Out != nil {
+				fmt.Fprintln(m.Out, in.Str)
+			}
+		case ir.OpQClear:
+			// qclear() is untyped at the source level; reset every quire.
+			for _, q := range m.quires {
+				q.Clear()
+			}
+		case ir.OpQAdd:
+			q := m.quire(in.Type)
+			if in.Kind == 1 {
+				q.Sub(posit.Bits(regs[in.A]))
+			} else {
+				q.Add(posit.Bits(regs[in.A]))
+			}
+		case ir.OpQMAdd:
+			q := m.quire(in.Type)
+			if in.Kind == 1 {
+				q.SubProduct(posit.Bits(regs[in.A]), posit.Bits(regs[in.B]))
+			} else {
+				q.AddProduct(posit.Bits(regs[in.A]), posit.Bits(regs[in.B]))
+			}
+		case ir.OpQVal:
+			regs[in.Dst] = uint64(m.quire(in.Type).Posit())
+		case ir.OpFMA:
+			regs[in.Dst] = fmaEval(in.Type, regs[in.Args[0]], regs[in.Args[1]], regs[in.Args[2]])
+
+		case ir.OpShadowConst:
+			m.Hooks.Const(in.ID, in.Type, in.Dst, regs[in.Dst])
+		case ir.OpShadowMov:
+			m.Hooks.Mov(in.ID, in.Type, in.Dst, in.A, regs[in.Dst])
+		case ir.OpShadowBin:
+			m.Hooks.Bin(in.ID, ir.BinKind(in.Kind), in.Type, in.Dst, in.A, in.B,
+				regs[in.Dst], regs[in.A], regs[in.B])
+		case ir.OpShadowUn:
+			m.Hooks.Un(in.ID, ir.UnKind(in.Kind), in.Type, in.Dst, in.A, regs[in.Dst], regs[in.A])
+		case ir.OpShadowCmp:
+			m.Hooks.Cmp(in.ID, ir.CmpPred(in.Kind), in.Type, in.A, in.B,
+				regs[in.A], regs[in.B], regs[in.Dst] != 0)
+		case ir.OpShadowCast:
+			m.Hooks.Cast(in.ID, in.Type, in.Type2, in.Dst, in.A, regs[in.Dst], regs[in.A])
+		case ir.OpShadowLoad:
+			m.Hooks.Load(in.ID, in.Type, in.Dst, uint32(regs[in.A]), regs[in.Dst])
+		case ir.OpShadowStore:
+			m.Hooks.Store(in.ID, in.Type, uint32(regs[in.A]), in.B, regs[in.B])
+		case ir.OpShadowPreCall:
+			m.argScratch = m.argScratch[:0]
+			for _, a := range in.Args {
+				m.argScratch = append(m.argScratch, regs[a])
+			}
+			m.Hooks.PreCall(m.Mod.Funcs[in.Fn], in.Args, m.argScratch)
+		case ir.OpShadowPostCall:
+			var bits uint64
+			if in.Dst >= 0 {
+				bits = regs[in.Dst]
+			}
+			m.Hooks.PostCall(in.ID, in.Type, in.Dst, bits)
+		case ir.OpShadowRet:
+			var bits uint64
+			if in.A >= 0 {
+				bits = regs[in.A]
+			}
+			m.Hooks.Ret(in.Type, in.A, bits)
+		case ir.OpShadowPrint:
+			m.Hooks.Print(in.ID, in.Type, in.A, regs[in.A])
+		case ir.OpShadowQClear:
+			m.Hooks.QClear(in.Type)
+		case ir.OpShadowQAdd:
+			m.Hooks.QAdd(in.Type, in.A, regs[in.A], in.Kind == 1)
+		case ir.OpShadowQMAdd:
+			m.Hooks.QMAdd(in.Type, in.A, in.B, regs[in.A], regs[in.B], in.Kind == 1)
+		case ir.OpShadowQVal:
+			m.Hooks.QVal(in.ID, in.Type, in.Dst, regs[in.Dst])
+		case ir.OpShadowFMA:
+			m.Hooks.FMA(in.ID, in.Type, in.Dst, in.Args[0], in.Args[1], in.Args[2],
+				regs[in.Dst], regs[in.Args[0]], regs[in.Args[1]], regs[in.Args[2]])
+		default:
+			return 0, m.trap(fn, "unknown opcode %v", in.Op)
+		}
+	}
+}
+
+func (m *Machine) quire(t ir.Type) *posit.Quire {
+	q, ok := m.quires[t]
+	if !ok {
+		q = posit.NewQuire(t.PositConfig())
+		m.quires[t] = q
+	}
+	return q
+}
+
+func (m *Machine) checkAddr(fn *ir.Func, addr, size uint32) error {
+	if addr < m.Mod.GlobalBase || uint64(addr)+uint64(size) > uint64(len(m.mem)) {
+		return m.trap(fn, "memory access out of bounds: addr=%d size=%d", addr, size)
+	}
+	return nil
+}
+
+func (m *Machine) load(fn *ir.Func, t ir.Type, addr uint32) (uint64, error) {
+	size := t.Size()
+	if err := m.checkAddr(fn, addr, size); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for k := uint32(0); k < size; k++ {
+		v |= uint64(m.mem[addr+k]) << (8 * k)
+	}
+	return v, nil
+}
+
+func (m *Machine) store(fn *ir.Func, t ir.Type, addr uint32, v uint64) error {
+	size := t.Size()
+	if err := m.checkAddr(fn, addr, size); err != nil {
+		return err
+	}
+	for k := uint32(0); k < size; k++ {
+		m.mem[addr+k] = byte(v >> (8 * k))
+	}
+	return nil
+}
+
+func (m *Machine) print(t ir.Type, v uint64) {
+	if m.Out == nil {
+		return
+	}
+	fmt.Fprintln(m.Out, FormatValue(t, v))
+}
+
+// FormatValue renders a bit-pattern value of the given type.
+func FormatValue(t ir.Type, v uint64) string {
+	switch t {
+	case ir.I64:
+		return fmt.Sprintf("%d", int64(v))
+	case ir.Bool:
+		if v != 0 {
+			return "true"
+		}
+		return "false"
+	case ir.F32:
+		return fmt.Sprintf("%g", math.Float32frombits(uint32(v)))
+	case ir.F64:
+		return fmt.Sprintf("%g", math.Float64frombits(v))
+	case ir.P8, ir.P16, ir.P32:
+		return t.PositConfig().Format(posit.Bits(v))
+	default:
+		return fmt.Sprintf("%#x", v)
+	}
+}

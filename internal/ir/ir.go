@@ -1,0 +1,300 @@
+// Package ir defines the register-based intermediate representation that
+// PCL programs compile to and that the PositDebug instrumentation pass
+// transforms. Its shape deliberately mirrors the slice of LLVM IR the paper
+// operates on: virtual registers play the role of LLVM temporaries, scalar
+// variables live in frame slots accessed through explicit loads and stores
+// (so shadow memory is exercised exactly as in the paper), and functions
+// are lists of basic blocks ending in explicit control transfers.
+//
+// Shadow instructions (OpShadow*) are ordinary instructions inserted by
+// internal/instrument; an uninstrumented module contains none and pays no
+// cost, which is what makes the paper's overhead measurements meaningful.
+package ir
+
+import (
+	"positdebug/internal/lang"
+	"positdebug/internal/posit"
+)
+
+// Type is the scalar value type of a register or memory cell. All runtime
+// values are carried as uint64 bit patterns: i64 as itself, bool as 0/1,
+// f32/f64 as their IEEE bits, posits as their pattern in the low bits.
+type Type uint8
+
+// Scalar types.
+const (
+	Void Type = iota
+	I64
+	Bool
+	F32
+	F64
+	P8
+	P16
+	P32
+)
+
+var typeNames = [...]string{"void", "i64", "bool", "f32", "f64", "p8", "p16", "p32"}
+
+func (t Type) String() string { return typeNames[t] }
+
+// Size returns the storage footprint in bytes.
+func (t Type) Size() uint32 {
+	switch t {
+	case I64, F64:
+		return 8
+	case F32, P32:
+		return 4
+	case P16:
+		return 2
+	case Bool, P8:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsPosit reports whether t is a posit type.
+func (t Type) IsPosit() bool { return t == P8 || t == P16 || t == P32 }
+
+// IsFloat reports whether t is an IEEE floating-point type.
+func (t Type) IsFloat() bool { return t == F32 || t == F64 }
+
+// IsNumeric reports whether t is shadow-tracked (posit or float).
+func (t Type) IsNumeric() bool { return t.IsPosit() || t.IsFloat() }
+
+// PositConfig returns the posit configuration of a posit type.
+func (t Type) PositConfig() posit.Config {
+	switch t {
+	case P8:
+		return posit.Config8
+	case P16:
+		return posit.Config16
+	default:
+		return posit.Config32
+	}
+}
+
+// TypeFromLang maps a language scalar kind to an IR type.
+func TypeFromLang(k lang.TypeKind) Type {
+	switch k {
+	case lang.TI64:
+		return I64
+	case lang.TBool:
+		return Bool
+	case lang.TF32:
+		return F32
+	case lang.TF64:
+		return F64
+	case lang.TP8:
+		return P8
+	case lang.TP16:
+		return P16
+	case lang.TP32:
+		return P32
+	default:
+		return Void
+	}
+}
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes. The OpShadow* group is only ever produced by the
+// instrumentation pass.
+const (
+	OpNop Op = iota
+	OpConst
+	OpMov
+	OpBin
+	OpUn
+	OpCmp
+	OpCast
+	OpLoad
+	OpStore
+	OpFrameAddr  // Dst = frame pointer + Imm
+	OpGlobalAddr // Dst = Imm (absolute address of a global)
+	OpAddrIndex  // Dst = A + B·Imm (address arithmetic for array indexing)
+	OpBr         // if reg A then Blocks[0] else Blocks[1]
+	OpJmp        // Blocks[0]
+	OpCall       // Dst = Callee(Args…); Dst −1 for void
+	OpRet        // return A (A = −1 for void)
+	OpPrint
+	OpPrintStr
+	OpQClear
+	OpQAdd  // quire += A (Kind=0) or −= A (Kind=1)
+	OpQMAdd // quire += A·B (Kind=0) or −= (Kind=1)
+	OpQVal  // Dst = round quire to Type
+	OpFMA   // Dst = Args[0]·Args[1] + Args[2], single rounding
+
+	// Shadow instructions: each mirrors the instruction it follows (or, for
+	// branches/calls/returns, precedes) and routes the event to the Hooks.
+	OpShadowConst
+	OpShadowMov
+	OpShadowBin
+	OpShadowUn
+	OpShadowCmp
+	OpShadowCast
+	OpShadowLoad
+	OpShadowStore
+	OpShadowPreCall
+	OpShadowPostCall
+	OpShadowRet
+	OpShadowPrint
+	OpShadowQClear
+	OpShadowQAdd
+	OpShadowQMAdd
+	OpShadowQVal
+	OpShadowFMA
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov", OpBin: "bin", OpUn: "un",
+	OpCmp: "cmp", OpCast: "cast", OpLoad: "load", OpStore: "store",
+	OpFrameAddr: "frameaddr", OpGlobalAddr: "globaladdr", OpAddrIndex: "addridx",
+	OpBr: "br", OpJmp: "jmp", OpCall: "call", OpRet: "ret", OpPrint: "print",
+	OpPrintStr: "printstr", OpQClear: "qclear", OpQAdd: "qadd",
+	OpQMAdd: "qmadd", OpQVal: "qval",
+	OpShadowConst: "sh.const", OpShadowMov: "sh.mov", OpShadowBin: "sh.bin",
+	OpShadowUn: "sh.un", OpShadowCmp: "sh.cmp", OpShadowCast: "sh.cast",
+	OpShadowLoad: "sh.load", OpShadowStore: "sh.store",
+	OpShadowPreCall: "sh.precall", OpShadowPostCall: "sh.postcall",
+	OpShadowRet: "sh.ret", OpShadowPrint: "sh.print", OpShadowQClear: "sh.qclear",
+	OpShadowQAdd: "sh.qadd", OpShadowQMAdd: "sh.qmadd", OpShadowQVal: "sh.qval",
+	OpFMA: "fma", OpShadowFMA: "sh.fma",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// BinKind selects the operation of OpBin.
+type BinKind uint8
+
+// Binary operation kinds.
+const (
+	BinAdd BinKind = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem // i64 only
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "%"}
+
+func (b BinKind) String() string { return binNames[b] }
+
+// UnKind selects the operation of OpUn.
+type UnKind uint8
+
+// Unary operation kinds.
+const (
+	UnNeg UnKind = iota
+	UnNot
+	UnSqrt
+	UnAbs
+)
+
+var unNames = [...]string{"neg", "not", "sqrt", "abs"}
+
+func (u UnKind) String() string { return unNames[u] }
+
+// CmpPred selects the predicate of OpCmp.
+type CmpPred uint8
+
+// Comparison predicates.
+const (
+	CmpEq CmpPred = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+var predNames = [...]string{"==", "!=", "<", "<=", ">", ">="}
+
+func (p CmpPred) String() string { return predNames[p] }
+
+// Instr is a single instruction. Fields are interpreted per opcode; unused
+// register fields hold −1.
+type Instr struct {
+	Op    Op
+	Kind  uint8 // BinKind / UnKind / CmpPred / quire negate flag
+	Type  Type  // operand or result type
+	Type2 Type  // cast target type
+	Dst   int32
+	A, B  int32
+	Imm   uint64
+	ID    int32    // registry index (source info); −1 when untracked
+	Blk   [2]int32 // branch targets
+	Fn    int32    // callee function index
+	Args  []int32  // call argument registers
+	Str   string   // print string payload
+}
+
+// InstrMeta records source information for one tracked instruction; the
+// shadow runtime renders DAG nodes from it.
+type InstrMeta struct {
+	Func string
+	Pos  lang.Pos
+	Text string // short human-readable form, e.g. "t1 - t2" or variable name
+	Op   Op
+	Kind uint8
+	Type Type
+	// Const holds the exact source-literal value for OpConst instructions;
+	// the shadow execution seeds its high-precision value from it rather
+	// than from the already-rounded program bits (the paper's runtime does
+	// the same with MPFR constants).
+	Const float64
+}
+
+// Block is a basic block: straight-line instructions ending in a control
+// transfer (OpBr, OpJmp or OpRet).
+type Block struct {
+	Instrs []Instr
+}
+
+// Func is a function body.
+type Func struct {
+	Name         string
+	Params       []Type // parameter registers are 0..len(Params)-1
+	Ret          Type
+	Blocks       []Block
+	NumRegs      int32
+	FrameSize    uint32
+	Instrumented bool
+}
+
+// GlobalInfo describes one global variable's storage.
+type GlobalInfo struct {
+	Name   string
+	Type   Type // element type for arrays
+	Offset uint32
+	Size   uint32
+}
+
+// Module is a compiled compilation unit.
+type Module struct {
+	Funcs      []*Func
+	FuncIdx    map[string]int32
+	Globals    []GlobalInfo
+	GlobalBase uint32 // first address of global storage
+	GlobalSize uint32
+	Registry   []InstrMeta // indexed by Instr.ID
+}
+
+// Meta returns the registry entry for an instruction id, or a zero entry
+// for untracked instructions.
+func (m *Module) Meta(id int32) InstrMeta {
+	if id < 0 || int(id) >= len(m.Registry) {
+		return InstrMeta{}
+	}
+	return m.Registry[id]
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	i, ok := m.FuncIdx[name]
+	if !ok {
+		return nil
+	}
+	return m.Funcs[i]
+}

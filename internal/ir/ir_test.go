@@ -1,0 +1,184 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"positdebug/internal/posit"
+)
+
+func TestTypeProperties(t *testing.T) {
+	cases := []struct {
+		typ     Type
+		size    uint32
+		posit   bool
+		float   bool
+		numeric bool
+	}{
+		{I64, 8, false, false, false},
+		{Bool, 1, false, false, false},
+		{F32, 4, false, true, true},
+		{F64, 8, false, true, true},
+		{P8, 1, true, false, true},
+		{P16, 2, true, false, true},
+		{P32, 4, true, false, true},
+		{Void, 0, false, false, false},
+	}
+	for _, c := range cases {
+		if c.typ.Size() != c.size {
+			t.Fatalf("%v size %d", c.typ, c.typ.Size())
+		}
+		if c.typ.IsPosit() != c.posit || c.typ.IsFloat() != c.float || c.typ.IsNumeric() != c.numeric {
+			t.Fatalf("%v predicates", c.typ)
+		}
+	}
+	if P32.PositConfig() != posit.Config32 || P16.PositConfig() != posit.Config16 || P8.PositConfig() != posit.Config8 {
+		t.Fatal("posit configs")
+	}
+}
+
+func minimalModule() *Module {
+	f := &Func{
+		Name:    "f",
+		Params:  []Type{I64},
+		Ret:     I64,
+		NumRegs: 3,
+		Blocks: []Block{{Instrs: []Instr{
+			{Op: OpConst, Type: I64, Dst: 1, Imm: 2, ID: -1, A: -1, B: -1},
+			{Op: OpBin, Kind: uint8(BinAdd), Type: I64, Dst: 2, A: 0, B: 1, ID: -1},
+			{Op: OpRet, A: 2, Dst: -1, B: -1, ID: -1},
+		}}},
+	}
+	return &Module{Funcs: []*Func{f}, FuncIdx: map[string]int32{"f": 0}, GlobalBase: 4096}
+}
+
+func TestVerifyAcceptsMinimal(t *testing.T) {
+	if err := minimalModule().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	breakers := []struct {
+		name string
+		mut  func(*Module)
+		want string
+	}{
+		{"reg out of range", func(m *Module) { m.Funcs[0].Blocks[0].Instrs[1].A = 99 }, "out of range"},
+		{"missing terminator", func(m *Module) {
+			m.Funcs[0].Blocks[0].Instrs[2] = Instr{Op: OpNop, ID: -1, Dst: -1, A: -1, B: -1}
+		}, "terminators"},
+		{"mid-block terminator", func(m *Module) {
+			m.Funcs[0].Blocks[0].Instrs[0] = Instr{Op: OpJmp, Blk: [2]int32{0}, ID: -1, Dst: -1, A: -1, B: -1}
+		}, "terminators"},
+		{"bad branch target", func(m *Module) {
+			m.Funcs[0].Blocks[0].Instrs[2] = Instr{Op: OpJmp, Blk: [2]int32{7}, ID: -1, Dst: -1, A: -1, B: -1}
+		}, "target"},
+		{"empty function", func(m *Module) { m.Funcs[0].Blocks = nil }, "no blocks"},
+		{"bad callee", func(m *Module) {
+			m.Funcs[0].Blocks[0].Instrs[1] = Instr{Op: OpCall, Fn: 4, Dst: 2, ID: -1, A: -1, B: -1}
+		}, "callee"},
+		{"bad registry id", func(m *Module) { m.Funcs[0].Blocks[0].Instrs[1].ID = 5 }, "registry"},
+		{"call arity", func(m *Module) {
+			m.Funcs[0].Blocks[0].Instrs[1] = Instr{Op: OpCall, Fn: 0, Dst: 2, ID: -1, A: -1, B: -1}
+		}, "args"},
+	}
+	for _, br := range breakers {
+		t.Run(br.name, func(t *testing.T) {
+			m := minimalModule()
+			br.mut(m)
+			err := m.Verify()
+			if err == nil || !strings.Contains(err.Error(), br.want) {
+				t.Fatalf("want error containing %q, got %v", br.want, err)
+			}
+		})
+	}
+}
+
+func TestMetaOutOfRange(t *testing.T) {
+	m := minimalModule()
+	if got := m.Meta(-1); got.Func != "" {
+		t.Fatal("negative id must yield zero meta")
+	}
+	if got := m.Meta(100); got.Func != "" {
+		t.Fatal("oob id must yield zero meta")
+	}
+}
+
+func TestFuncByName(t *testing.T) {
+	m := minimalModule()
+	if m.FuncByName("f") == nil || m.FuncByName("g") != nil {
+		t.Fatal("lookup")
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Type: P32, Dst: 1, Imm: 0x40000000}, "r1 = const.p32 0x40000000"},
+		{Instr{Op: OpBin, Kind: uint8(BinMul), Type: F64, Dst: 2, A: 0, B: 1}, "r2 = r0 * r1 (f64)"},
+		{Instr{Op: OpCmp, Kind: uint8(CmpLe), Type: I64, Dst: 2, A: 0, B: 1}, "r2 = r0 <= r1 (i64)"},
+		{Instr{Op: OpLoad, Type: P16, Dst: 3, A: 2}, "r3 = load.p16 [r2]"},
+		{Instr{Op: OpStore, Type: F32, A: 1, B: 2}, "store.f32 [r1] = r2"},
+		{Instr{Op: OpBr, A: 0, Blk: [2]int32{1, 2}}, "br r0, b1, b2"},
+		{Instr{Op: OpJmp, Blk: [2]int32{3}}, "jmp b3"},
+		{Instr{Op: OpRet, A: 1}, "ret r1"},
+		{Instr{Op: OpRet, A: -1}, "ret"},
+		{Instr{Op: OpUn, Kind: uint8(UnSqrt), Type: F64, Dst: 1, A: 0}, "r1 = sqrt r0 (f64)"},
+		{Instr{Op: OpCast, Type: F64, Type2: P32, Dst: 1, A: 0}, "r1 = cast.f64→p32 r0"},
+		{Instr{Op: OpQAdd, Type: P32, A: 1}, "qadd.p32 r1"},
+		{Instr{Op: OpQAdd, Kind: 1, Type: P32, A: 1}, "qsub.p32 r1"},
+		{Instr{Op: OpQMAdd, Type: P32, A: 1, B: 2}, "qmadd.p32 r1, r2"},
+		{Instr{Op: OpQVal, Type: P32, Dst: 4}, "r4 = qval.p32"},
+		{Instr{Op: OpQClear}, "qclear"},
+		{Instr{Op: OpPrint, Type: I64, A: 0}, "print.i64 r0"},
+		{Instr{Op: OpPrintStr, Str: "hi"}, `print "hi"`},
+		{Instr{Op: OpFrameAddr, Dst: 1, Imm: 16}, "r1 = fp+16"},
+		{Instr{Op: OpGlobalAddr, Dst: 1, Imm: 4096}, "r1 = global@4096"},
+		{Instr{Op: OpAddrIndex, Dst: 3, A: 1, B: 2, Imm: 8}, "r3 = r1 + r2*8"},
+		{Instr{Op: OpMov, Type: Bool, Dst: 1, A: 0}, "r1 = mov.bool r0"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Fatalf("%q != %q", got, c.want)
+		}
+	}
+	// Shadow instruction and call rendering are format-only smoke checks.
+	sh := Instr{Op: OpShadowBin, ID: 3, Dst: 2, A: 0, B: 1, Type: P32}
+	if !strings.Contains(sh.String(), "sh.bin") {
+		t.Fatal(sh.String())
+	}
+	call := Instr{Op: OpCall, Fn: 1, Dst: 2, Args: []int32{0, 1}}
+	if call.String() != "r2 = call f1(r0, r1)" {
+		t.Fatal(call.String())
+	}
+	vcall := Instr{Op: OpCall, Fn: 0, Dst: -1}
+	if vcall.String() != "call f0()" {
+		t.Fatal(vcall.String())
+	}
+}
+
+func TestModuleString(t *testing.T) {
+	m := minimalModule()
+	m.Globals = append(m.Globals, GlobalInfo{Name: "g", Type: F64, Offset: 4096, Size: 8})
+	s := m.String()
+	for _, frag := range []string{"global g: f64 @4096", "func f(r0: i64): i64", "b0:"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, s)
+		}
+	}
+}
+
+func TestVerifyShadowRegisters(t *testing.T) {
+	m := minimalModule()
+	f := m.Funcs[0]
+	// Insert a shadow instruction with an out-of-range register mid-block.
+	bad := Instr{Op: OpShadowBin, Dst: 2, A: 77, B: 1, ID: -1}
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs[:2:2],
+		append([]Instr{bad}, f.Blocks[0].Instrs[2:]...)...)
+	if err := m.Verify(); err == nil || !strings.Contains(err.Error(), "shadow operand") {
+		t.Fatalf("want shadow operand error, got %v", err)
+	}
+}

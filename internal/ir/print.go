@@ -1,0 +1,111 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a readable assembly-like form, mainly for
+// tests and debugging of the compilation pipeline.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s: %s @%d (%d bytes)\n", g.Name, g.Type, g.Offset, g.Size)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "r%d: %s", i, p)
+	}
+	fmt.Fprintf(&sb, "): %s  ; regs=%d frame=%d\n", f.Ret, f.NumRegs, f.FrameSize)
+	for bi := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", bi)
+		for _, in := range f.Blocks[bi].Instrs {
+			sb.WriteString("  " + in.String() + "\n")
+		}
+	}
+	return sb.String()
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const.%s %#x", in.Dst, in.Type, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("r%d = mov.%s r%d", in.Dst, in.Type, in.A)
+	case OpBin:
+		return fmt.Sprintf("r%d = r%d %s r%d (%s)", in.Dst, in.A, BinKind(in.Kind), in.B, in.Type)
+	case OpUn:
+		return fmt.Sprintf("r%d = %s r%d (%s)", in.Dst, UnKind(in.Kind), in.A, in.Type)
+	case OpCmp:
+		return fmt.Sprintf("r%d = r%d %s r%d (%s)", in.Dst, in.A, CmpPred(in.Kind), in.B, in.Type)
+	case OpCast:
+		return fmt.Sprintf("r%d = cast.%s→%s r%d", in.Dst, in.Type, in.Type2, in.A)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load.%s [r%d]", in.Dst, in.Type, in.A)
+	case OpStore:
+		return fmt.Sprintf("store.%s [r%d] = r%d", in.Type, in.A, in.B)
+	case OpFrameAddr:
+		return fmt.Sprintf("r%d = fp+%d", in.Dst, in.Imm)
+	case OpGlobalAddr:
+		return fmt.Sprintf("r%d = global@%d", in.Dst, in.Imm)
+	case OpAddrIndex:
+		return fmt.Sprintf("r%d = r%d + r%d*%d", in.Dst, in.A, in.B, in.Imm)
+	case OpBr:
+		return fmt.Sprintf("br r%d, b%d, b%d", in.A, in.Blk[0], in.Blk[1])
+	case OpJmp:
+		return fmt.Sprintf("jmp b%d", in.Blk[0])
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fmt.Sprintf("r%d", a)
+		}
+		if in.Dst >= 0 {
+			return fmt.Sprintf("r%d = call f%d(%s)", in.Dst, in.Fn, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("call f%d(%s)", in.Fn, strings.Join(args, ", "))
+	case OpRet:
+		if in.A >= 0 {
+			return fmt.Sprintf("ret r%d", in.A)
+		}
+		return "ret"
+	case OpPrint:
+		return fmt.Sprintf("print.%s r%d", in.Type, in.A)
+	case OpPrintStr:
+		return fmt.Sprintf("print %q", in.Str)
+	case OpQClear:
+		return "qclear"
+	case OpQAdd:
+		if in.Kind == 1 {
+			return fmt.Sprintf("qsub.%s r%d", in.Type, in.A)
+		}
+		return fmt.Sprintf("qadd.%s r%d", in.Type, in.A)
+	case OpQMAdd:
+		if in.Kind == 1 {
+			return fmt.Sprintf("qmsub.%s r%d, r%d", in.Type, in.A, in.B)
+		}
+		return fmt.Sprintf("qmadd.%s r%d, r%d", in.Type, in.A, in.B)
+	case OpQVal:
+		return fmt.Sprintf("r%d = qval.%s", in.Dst, in.Type)
+	case OpFMA:
+		return fmt.Sprintf("r%d = fma.%s(r%d, r%d, r%d)", in.Dst, in.Type,
+			in.Args[0], in.Args[1], in.Args[2])
+	default:
+		if strings.HasPrefix(in.Op.String(), "sh.") {
+			return fmt.Sprintf("%s id=%d dst=r%d a=r%d b=r%d (%s)", in.Op, in.ID, in.Dst, in.A, in.B, in.Type)
+		}
+		return in.Op.String()
+	}
+}

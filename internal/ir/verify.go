@@ -1,0 +1,148 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural well-formedness of a module: register indices in
+// range, branch targets valid, blocks properly terminated, call signatures
+// consistent. The compiler and the instrumentation pass both run it in
+// tests to catch lowering bugs early.
+func (m *Module) Verify() error {
+	for fi, f := range m.Funcs {
+		if err := m.verifyFunc(f); err != nil {
+			return fmt.Errorf("func %s (#%d): %w", f.Name, fi, err)
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	if int32(len(f.Params)) > f.NumRegs {
+		return fmt.Errorf("params exceed register count")
+	}
+	checkReg := func(r int32, what string) error {
+		if r < 0 || r >= f.NumRegs {
+			return fmt.Errorf("%s register r%d out of range [0,%d)", what, r, f.NumRegs)
+		}
+		return nil
+	}
+	for bi, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("b%d: empty block", bi)
+		}
+		for ii, in := range b.Instrs {
+			last := ii == len(b.Instrs)-1
+			isTerm := in.Op == OpBr || in.Op == OpJmp || in.Op == OpRet
+			if last != isTerm {
+				return fmt.Errorf("b%d[%d]: %s — terminators exactly at block ends", bi, ii, in)
+			}
+			switch in.Op {
+			case OpBr:
+				if err := checkReg(in.A, "cond"); err != nil {
+					return err
+				}
+				fallthrough
+			case OpJmp:
+				for k := 0; k < 2; k++ {
+					if k == 1 && in.Op == OpJmp {
+						break
+					}
+					if t := in.Blk[k]; t < 0 || int(t) >= len(f.Blocks) {
+						return fmt.Errorf("b%d[%d]: branch target b%d out of range", bi, ii, t)
+					}
+				}
+			case OpRet:
+				if f.Ret != Void {
+					if err := checkReg(in.A, "ret"); err != nil {
+						return err
+					}
+				}
+			case OpCall:
+				if in.Fn < 0 || int(in.Fn) >= len(m.Funcs) {
+					return fmt.Errorf("b%d[%d]: callee f%d out of range", bi, ii, in.Fn)
+				}
+				callee := m.Funcs[in.Fn]
+				if len(in.Args) != len(callee.Params) {
+					return fmt.Errorf("b%d[%d]: call %s with %d args, want %d", bi, ii, callee.Name, len(in.Args), len(callee.Params))
+				}
+				for _, a := range in.Args {
+					if err := checkReg(a, "arg"); err != nil {
+						return err
+					}
+				}
+				if callee.Ret != Void {
+					if err := checkReg(in.Dst, "call dst"); err != nil {
+						return err
+					}
+				}
+			case OpConst, OpFrameAddr, OpGlobalAddr, OpQVal:
+				if err := checkReg(in.Dst, "dst"); err != nil {
+					return err
+				}
+			case OpMov, OpUn, OpLoad, OpCast:
+				if err := checkReg(in.Dst, "dst"); err != nil {
+					return err
+				}
+				if err := checkReg(in.A, "src"); err != nil {
+					return err
+				}
+			case OpBin, OpCmp, OpStore, OpAddrIndex:
+				regs := []int32{in.A, in.B}
+				if in.Op != OpStore {
+					regs = append(regs, in.Dst)
+				}
+				for _, r := range regs {
+					if err := checkReg(r, "operand"); err != nil {
+						return err
+					}
+				}
+			case OpPrint, OpQAdd:
+				if err := checkReg(in.A, "src"); err != nil {
+					return err
+				}
+			case OpQMAdd:
+				if err := checkReg(in.A, "a"); err != nil {
+					return err
+				}
+				if err := checkReg(in.B, "b"); err != nil {
+					return err
+				}
+			case OpFMA:
+				if len(in.Args) != 3 {
+					return fmt.Errorf("b%d[%d]: fma needs 3 operands", bi, ii)
+				}
+				if err := checkReg(in.Dst, "dst"); err != nil {
+					return err
+				}
+				for _, a := range in.Args {
+					if err := checkReg(a, "fma operand"); err != nil {
+						return err
+					}
+				}
+			}
+			// Shadow instructions read registers at dispatch time; validate
+			// every register field they might touch.
+			if in.Op >= OpShadowConst {
+				for _, r := range []int32{in.Dst, in.A, in.B} {
+					if r >= 0 {
+						if err := checkReg(r, "shadow operand"); err != nil {
+							return err
+						}
+					}
+				}
+				for _, r := range in.Args {
+					if err := checkReg(r, "shadow arg"); err != nil {
+						return err
+					}
+				}
+			}
+			// Tracked instructions must have valid registry entries.
+			if in.ID >= 0 && int(in.ID) >= len(m.Registry) {
+				return fmt.Errorf("b%d[%d]: registry id %d out of range", bi, ii, in.ID)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind enumerates the scalar types of the language.
+type TypeKind uint8
+
+// Scalar type kinds. The posit kinds correspond to the standard
+// configurations ⟨8,0⟩, ⟨16,1⟩ and ⟨32,2⟩.
+const (
+	TVoid TypeKind = iota
+	TI64
+	TBool
+	TF32
+	TF64
+	TP8
+	TP16
+	TP32
+)
+
+// Type is a language-level type: a scalar or a 1-/2-dimensional array of a
+// scalar. Dims is empty for scalars.
+type Type struct {
+	Kind TypeKind
+	Dims []int // array dimensions, outermost first
+}
+
+// Scalar returns a non-array type of kind k.
+func Scalar(k TypeKind) Type { return Type{Kind: k} }
+
+// IsArray reports whether the type has array dimensions.
+func (t Type) IsArray() bool { return len(t.Dims) > 0 }
+
+// Equal reports whether two types are identical (same kind and dimensions).
+func (t Type) Equal(u Type) bool {
+	if t.Kind != u.Kind || len(t.Dims) != len(u.Dims) {
+		return false
+	}
+	for i := range t.Dims {
+		if t.Dims[i] != u.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNumeric reports whether the scalar kind is a float or posit type —
+// the types PositDebug/FPSanitizer shadow.
+func (t Type) IsNumeric() bool {
+	return !t.IsArray() && (t.Kind == TF32 || t.Kind == TF64 || t.Kind == TP8 || t.Kind == TP16 || t.Kind == TP32)
+}
+
+// IsPosit reports whether the scalar kind is a posit type.
+func (t Type) IsPosit() bool {
+	return !t.IsArray() && (t.Kind == TP8 || t.Kind == TP16 || t.Kind == TP32)
+}
+
+// Elem returns the scalar element type of an array type.
+func (t Type) Elem() Type { return Type{Kind: t.Kind} }
+
+var typeNames = map[TypeKind]string{
+	TVoid: "void", TI64: "i64", TBool: "bool", TF32: "f32", TF64: "f64",
+	TP8: "p8", TP16: "p16", TP32: "p32",
+}
+
+// TypeKindByName maps a source-level type name to its kind.
+var TypeKindByName = map[string]TypeKind{
+	"i64": TI64, "bool": TBool, "f32": TF32, "f64": TF64,
+	"p8": TP8, "p16": TP16, "p32": TP32,
+}
+
+func (t Type) String() string {
+	var sb strings.Builder
+	for _, d := range t.Dims {
+		fmt.Fprintf(&sb, "[%d]", d)
+	}
+	sb.WriteString(typeNames[t.Kind])
+	return sb.String()
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global or local variable, optionally initialized
+// (scalars only).
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr // nil if absent
+	Pos  Pos
+}
+
+// Param is a scalar function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    Type // TVoid scalar when absent
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a brace-delimited statement list with its own scope.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// AssignStmt stores the value of Rhs into the lvalue Lhs (an Ident or an
+// IndexExpr). Compound assignments are desugared by the parser.
+type AssignStmt struct {
+	Lhs Expr
+	Rhs Expr
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for effect (a call).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// IfStmt with optional else (either a BlockStmt or another IfStmt).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // nil, *BlockStmt or *IfStmt
+	Pos  Pos
+}
+
+// WhileStmt loops while Cond holds.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ForStmt is the C-style three-clause loop; any clause may be nil.
+type ForStmt struct {
+	Init Stmt // *AssignStmt or *DeclStmt or nil
+	Cond Expr // nil means true
+	Post Stmt // *AssignStmt or nil
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	X   Expr // nil for void
+	Pos Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is implemented by all expression nodes. The checker records the
+// resolved type on each node.
+type Expr interface {
+	exprNode()
+	// TypeOf returns the type assigned during checking.
+	TypeOf() Type
+	// Position returns the source position of the expression.
+	Position() Pos
+}
+
+type exprBase struct {
+	typ Type
+	Pos Pos
+}
+
+func (b *exprBase) exprNode()      {}
+func (b *exprBase) TypeOf() Type   { return b.typ }
+func (b *exprBase) Position() Pos  { return b.Pos }
+func (b *exprBase) setType(t Type) { b.typ = t }
+
+// IntLit is an integer literal; the checker may adapt it to any numeric
+// type from context (like Go's untyped constants).
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating literal, adaptable to f32/f64/posit context.
+type FloatLit struct {
+	exprBase
+	Value float64
+	Text  string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// StringLit appears only as a print argument.
+type StringLit struct {
+	exprBase
+	Value string
+}
+
+// Ident references a variable or parameter.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// IndexExpr indexes an array variable: A[i] or A[i][j].
+type IndexExpr struct {
+	exprBase
+	Arr     *Ident
+	Indices []Expr
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	exprBase
+	Op Kind // Minus or Not
+	X  Expr
+}
+
+// BinaryExpr is a binary operation, including comparisons and && / ||.
+type BinaryExpr struct {
+	exprBase
+	Op   Kind
+	L, R Expr
+}
+
+// CallExpr is a user-function call, a builtin call, or a conversion when
+// Name is a type name.
+type CallExpr struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Resolved by the checker:
+	IsCast    bool
+	IsBuiltin bool
+	Builtin   Builtin
+	Decl      *FuncDecl
+}
+
+// Builtin enumerates intrinsic functions.
+type Builtin uint8
+
+// Builtins of the language. The quire family operates on an implicit
+// per-execution quire register, mirroring the fused-operation support that
+// the posit standard mandates (used by the Simpson's-rule case study).
+const (
+	BNone   Builtin = iota
+	BSqrt           // sqrt(x) — typed by its numeric argument
+	BAbs            // abs(x)
+	BPrint          // print(x) — any scalar, or a string literal
+	BQClear         // qclear() — zero the quire
+	BQAdd           // qadd(x) — quire += x, exact
+	BQMAdd          // qmadd(x, y) — quire += x·y, exact
+	BQSub           // qsub(x) — quire −= x, exact
+	BQMSub          // qmsub(x, y) — quire −= x·y, exact
+	BQRound         // qround_<T>() — round quire to posit type T
+	BFMA            // fma(a, b, c) — a·b + c with a single rounding
+)
+
+// BuiltinByName maps source names to builtins; qround has one entry per
+// result type (resolved in the checker).
+var BuiltinByName = map[string]Builtin{
+	"sqrt": BSqrt, "abs": BAbs, "print": BPrint, "fma": BFMA,
+	"qclear": BQClear, "qadd": BQAdd, "qmadd": BQMAdd,
+	"qsub": BQSub, "qmsub": BQMSub,
+	"qround_p8": BQRound, "qround_p16": BQRound, "qround_p32": BQRound,
+}
+
+func (*IntLit) isLit()   {}
+func (*FloatLit) isLit() {}

@@ -1,0 +1,565 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Symbol is a resolved variable: a global, a parameter or a local. The
+// checker attaches one to every Ident; codegen assigns storage by symbol
+// identity.
+type Symbol struct {
+	Name   string
+	Type   Type
+	Global bool
+	Param  bool
+}
+
+// Checked carries the results of type checking alongside the program.
+type Checked struct {
+	Prog    *Program
+	Funcs   map[string]*FuncDecl
+	Symbols map[*Ident]*Symbol
+	// DeclSym maps each declaration (global or local) to its symbol.
+	DeclSym map[*VarDecl]*Symbol
+	// ParamSym maps "func/param" keys to symbols.
+	ParamSym map[*FuncDecl][]*Symbol
+}
+
+type checker struct {
+	out     *Checked
+	globals map[string]*Symbol
+	scopes  []map[string]*Symbol
+	fn      *FuncDecl
+	loops   int
+}
+
+// Check resolves names and types over the parsed program.
+func Check(prog *Program) (*Checked, error) {
+	c := &checker{
+		out: &Checked{
+			Prog:     prog,
+			Funcs:    map[string]*FuncDecl{},
+			Symbols:  map[*Ident]*Symbol{},
+			DeclSym:  map[*VarDecl]*Symbol{},
+			ParamSym: map[*FuncDecl][]*Symbol{},
+		},
+		globals: map[string]*Symbol{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate global %q", g.Pos, g.Name)
+		}
+		if g.Init != nil {
+			if g.Type.IsArray() {
+				return nil, fmt.Errorf("%s: array globals cannot have initializers", g.Pos)
+			}
+			if _, err := c.expr(g.Init, g.Type); err != nil {
+				return nil, err
+			}
+			if !isLiteral(g.Init) {
+				return nil, fmt.Errorf("%s: global initializers must be literals", g.Pos)
+			}
+		}
+		sym := &Symbol{Name: g.Name, Type: g.Type, Global: true}
+		c.globals[g.Name] = sym
+		c.out.DeclSym[g] = sym
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.out.Funcs[f.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate function %q", f.Pos, f.Name)
+		}
+		if _, isType := TypeKindByName[f.Name]; isType || BuiltinByName[f.Name] != BNone {
+			return nil, fmt.Errorf("%s: function name %q collides with a builtin", f.Pos, f.Name)
+		}
+		c.out.Funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	return c.out, nil
+}
+
+func isLiteral(e Expr) bool {
+	switch e.(type) {
+	case *IntLit, *FloatLit, *BoolLit:
+		return true
+	}
+	return false
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scopes = []map[string]*Symbol{{}}
+	var psyms []*Symbol
+	for _, p := range f.Params {
+		if _, dup := c.scopes[0][p.Name]; dup {
+			return fmt.Errorf("%s: duplicate parameter %q", p.Pos, p.Name)
+		}
+		sym := &Symbol{Name: p.Name, Type: p.Type, Param: true}
+		c.scopes[0][p.Name] = sym
+		psyms = append(psyms, sym)
+	}
+	c.out.ParamSym[f] = psyms
+	return c.block(f.Body)
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) block(b *BlockStmt) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.block(s)
+	case *DeclStmt:
+		d := s.Decl
+		top := c.scopes[len(c.scopes)-1]
+		if _, dup := top[d.Name]; dup {
+			return fmt.Errorf("%s: duplicate variable %q", d.Pos, d.Name)
+		}
+		if d.Init != nil {
+			if d.Type.IsArray() {
+				return fmt.Errorf("%s: array locals cannot have initializers", d.Pos)
+			}
+			t, err := c.expr(d.Init, d.Type)
+			if err != nil {
+				return err
+			}
+			if !t.Equal(d.Type) {
+				return fmt.Errorf("%s: cannot initialize %s with %s", d.Pos, d.Type, t)
+			}
+		}
+		sym := &Symbol{Name: d.Name, Type: d.Type}
+		top[d.Name] = sym
+		c.out.DeclSym[d] = sym
+		return nil
+	case *AssignStmt:
+		lt, err := c.lvalue(s.Lhs)
+		if err != nil {
+			return err
+		}
+		rt, err := c.expr(s.Rhs, lt)
+		if err != nil {
+			return err
+		}
+		if !rt.Equal(lt) {
+			return fmt.Errorf("%s: cannot assign %s to %s", s.Pos, rt, lt)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.expr(s.X, Scalar(TVoid))
+		return err
+	case *IfStmt:
+		if err := c.condition(s.Cond, s.Pos); err != nil {
+			return err
+		}
+		if err := c.block(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.condition(s.Cond, s.Pos); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.block(s.Body)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.condition(s.Cond, s.Pos); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.block(s.Body)
+	case *ReturnStmt:
+		if c.fn.Ret.Kind == TVoid {
+			if s.X != nil {
+				return fmt.Errorf("%s: void function %q returns a value", s.Pos, c.fn.Name)
+			}
+			return nil
+		}
+		if s.X == nil {
+			return fmt.Errorf("%s: function %q must return %s", s.Pos, c.fn.Name, c.fn.Ret)
+		}
+		t, err := c.expr(s.X, c.fn.Ret)
+		if err != nil {
+			return err
+		}
+		if !t.Equal(c.fn.Ret) {
+			return fmt.Errorf("%s: function %q returns %s, not %s", s.Pos, c.fn.Name, c.fn.Ret, t)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loops == 0 {
+			return fmt.Errorf("%s: break outside loop", s.Pos)
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return fmt.Errorf("%s: continue outside loop", s.Pos)
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}
+
+func (c *checker) condition(e Expr, pos Pos) error {
+	t, err := c.expr(e, Scalar(TBool))
+	if err != nil {
+		return err
+	}
+	if t.Kind != TBool || t.IsArray() {
+		return fmt.Errorf("%s: condition must be bool, found %s", pos, t)
+	}
+	return nil
+}
+
+// lvalue checks an assignable expression and returns its scalar type.
+func (c *checker) lvalue(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *Ident:
+		t, err := c.expr(e, Scalar(TVoid))
+		if err != nil {
+			return Type{}, err
+		}
+		if t.IsArray() {
+			return Type{}, fmt.Errorf("%s: cannot assign to whole array %q", e.Position(), e.Name)
+		}
+		return t, nil
+	case *IndexExpr:
+		return c.expr(e, Scalar(TVoid))
+	default:
+		return Type{}, fmt.Errorf("%s: not an assignable expression", e.Position())
+	}
+}
+
+// expr type-checks e with an optional contextual hint used to adapt untyped
+// literals (hint Kind TVoid means no expectation).
+func (c *checker) expr(e Expr, hint Type) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		t := Scalar(TI64)
+		if !hint.IsArray() && (hint.IsNumeric() || hint.Kind == TI64) {
+			t = Scalar(hint.Kind)
+		}
+		e.setType(t)
+		return t, nil
+	case *FloatLit:
+		t := Scalar(TF64)
+		if hint.IsNumeric() {
+			t = Scalar(hint.Kind)
+		}
+		e.setType(t)
+		return t, nil
+	case *BoolLit:
+		e.setType(Scalar(TBool))
+		return e.TypeOf(), nil
+	case *StringLit:
+		return Type{}, fmt.Errorf("%s: string literals are only allowed in print", e.Position())
+	case *Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return Type{}, fmt.Errorf("%s: undefined variable %q", e.Position(), e.Name)
+		}
+		c.out.Symbols[e] = sym
+		e.setType(sym.Type)
+		return sym.Type, nil
+	case *IndexExpr:
+		sym := c.lookup(e.Arr.Name)
+		if sym == nil {
+			return Type{}, fmt.Errorf("%s: undefined array %q", e.Position(), e.Arr.Name)
+		}
+		c.out.Symbols[e.Arr] = sym
+		e.Arr.setType(sym.Type)
+		if !sym.Type.IsArray() {
+			return Type{}, fmt.Errorf("%s: %q is not an array", e.Position(), e.Arr.Name)
+		}
+		if len(e.Indices) != len(sym.Type.Dims) {
+			return Type{}, fmt.Errorf("%s: %q needs %d indices, found %d",
+				e.Position(), e.Arr.Name, len(sym.Type.Dims), len(e.Indices))
+		}
+		for _, ix := range e.Indices {
+			t, err := c.expr(ix, Scalar(TI64))
+			if err != nil {
+				return Type{}, err
+			}
+			if t.Kind != TI64 || t.IsArray() {
+				return Type{}, fmt.Errorf("%s: array index must be i64, found %s", ix.Position(), t)
+			}
+		}
+		e.setType(sym.Type.Elem())
+		return e.TypeOf(), nil
+	case *UnaryExpr:
+		if e.Op == Not {
+			t, err := c.expr(e.X, Scalar(TBool))
+			if err != nil {
+				return Type{}, err
+			}
+			if t.Kind != TBool {
+				return Type{}, fmt.Errorf("%s: ! requires bool, found %s", e.Position(), t)
+			}
+			e.setType(t)
+			return t, nil
+		}
+		t, err := c.expr(e.X, hint)
+		if err != nil {
+			return Type{}, err
+		}
+		if t.Kind != TI64 && !t.IsNumeric() {
+			return Type{}, fmt.Errorf("%s: unary - requires a numeric type, found %s", e.Position(), t)
+		}
+		e.setType(t)
+		return t, nil
+	case *BinaryExpr:
+		return c.binary(e, hint)
+	case *CallExpr:
+		return c.call(e, hint)
+	}
+	return Type{}, fmt.Errorf("unhandled expression %T", e)
+}
+
+func (c *checker) binary(e *BinaryExpr, hint Type) (Type, error) {
+	switch e.Op {
+	case AndAnd, OrOr:
+		for _, side := range []Expr{e.L, e.R} {
+			t, err := c.expr(side, Scalar(TBool))
+			if err != nil {
+				return Type{}, err
+			}
+			if t.Kind != TBool {
+				return Type{}, fmt.Errorf("%s: logical operator requires bool, found %s", e.Position(), t)
+			}
+		}
+		e.setType(Scalar(TBool))
+		return e.TypeOf(), nil
+	}
+	// Arithmetic and comparisons: operands must have a common scalar type;
+	// literals adapt to the non-literal side.
+	opHint := hint
+	if e.Op == Lt || e.Op == Le || e.Op == Gt || e.Op == Ge || e.Op == Eq || e.Op == Ne {
+		opHint = Scalar(TVoid)
+	}
+	var lt, rt Type
+	var err error
+	if isLiteral(e.L) && !isLiteral(e.R) {
+		rt, err = c.expr(e.R, opHint)
+		if err != nil {
+			return Type{}, err
+		}
+		lt, err = c.expr(e.L, rt)
+	} else {
+		lt, err = c.expr(e.L, opHint)
+		if err != nil {
+			return Type{}, err
+		}
+		rt, err = c.expr(e.R, lt)
+	}
+	if err != nil {
+		return Type{}, err
+	}
+	if !lt.Equal(rt) {
+		return Type{}, fmt.Errorf("%s: mismatched operand types %s and %s (insert an explicit cast)",
+			e.Position(), lt, rt)
+	}
+	if lt.IsArray() {
+		return Type{}, fmt.Errorf("%s: cannot operate on whole arrays", e.Position())
+	}
+	switch e.Op {
+	case Plus, Minus, Star, Slash:
+		if lt.Kind != TI64 && !lt.IsNumeric() {
+			return Type{}, fmt.Errorf("%s: operator %s requires numeric operands, found %s", e.Position(), e.Op, lt)
+		}
+		e.setType(lt)
+	case Percent:
+		if lt.Kind != TI64 {
+			return Type{}, fmt.Errorf("%s: %% requires i64 operands, found %s", e.Position(), lt)
+		}
+		e.setType(lt)
+	case Lt, Le, Gt, Ge:
+		if lt.Kind != TI64 && !lt.IsNumeric() {
+			return Type{}, fmt.Errorf("%s: ordered comparison requires numeric operands, found %s", e.Position(), lt)
+		}
+		e.setType(Scalar(TBool))
+	case Eq, Ne:
+		if lt.Kind == TVoid {
+			return Type{}, fmt.Errorf("%s: cannot compare void", e.Position())
+		}
+		e.setType(Scalar(TBool))
+	default:
+		return Type{}, fmt.Errorf("%s: unknown operator", e.Position())
+	}
+	return e.TypeOf(), nil
+}
+
+func (c *checker) call(e *CallExpr, hint Type) (Type, error) {
+	// Conversion? Type names double as cast operators.
+	if k, ok := TypeKindByName[e.Name]; ok {
+		if len(e.Args) != 1 {
+			return Type{}, fmt.Errorf("%s: conversion %s takes exactly one argument", e.Position(), e.Name)
+		}
+		at, err := c.expr(e.Args[0], Scalar(TVoid))
+		if err != nil {
+			return Type{}, err
+		}
+		if at.IsArray() || (at.Kind != TI64 && !at.IsNumeric()) {
+			return Type{}, fmt.Errorf("%s: cannot convert %s to %s", e.Position(), at, e.Name)
+		}
+		if k == TBool || k == TVoid {
+			return Type{}, fmt.Errorf("%s: cannot convert to %s", e.Position(), e.Name)
+		}
+		e.IsCast = true
+		e.setType(Scalar(k))
+		return e.TypeOf(), nil
+	}
+	if b, ok := BuiltinByName[e.Name]; ok {
+		return c.builtin(e, b, hint)
+	}
+	f, ok := c.out.Funcs[e.Name]
+	if !ok {
+		return Type{}, fmt.Errorf("%s: undefined function %q", e.Position(), e.Name)
+	}
+	if len(e.Args) != len(f.Params) {
+		return Type{}, fmt.Errorf("%s: %q takes %d arguments, found %d", e.Position(), e.Name, len(f.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		t, err := c.expr(a, f.Params[i].Type)
+		if err != nil {
+			return Type{}, err
+		}
+		if !t.Equal(f.Params[i].Type) {
+			return Type{}, fmt.Errorf("%s: argument %d of %q must be %s, found %s",
+				a.Position(), i+1, e.Name, f.Params[i].Type, t)
+		}
+	}
+	e.Decl = f
+	e.setType(f.Ret)
+	return f.Ret, nil
+}
+
+func (c *checker) builtin(e *CallExpr, b Builtin, hint Type) (Type, error) {
+	e.IsBuiltin = true
+	e.Builtin = b
+	argc := map[Builtin]int{
+		BSqrt: 1, BAbs: 1, BPrint: 1, BQClear: 0, BQAdd: 1, BQMAdd: 2,
+		BQSub: 1, BQMSub: 2, BQRound: 0, BFMA: 3,
+	}[b]
+	if len(e.Args) != argc {
+		return Type{}, fmt.Errorf("%s: %s takes %d argument(s), found %d", e.Position(), e.Name, argc, len(e.Args))
+	}
+	switch b {
+	case BSqrt, BAbs:
+		t, err := c.expr(e.Args[0], hint)
+		if err != nil {
+			return Type{}, err
+		}
+		if !t.IsNumeric() && !(b == BAbs && t.Kind == TI64) {
+			return Type{}, fmt.Errorf("%s: %s requires a numeric argument, found %s", e.Position(), e.Name, t)
+		}
+		e.setType(t)
+		return t, nil
+	case BPrint:
+		if s, ok := e.Args[0].(*StringLit); ok {
+			s.setType(Scalar(TVoid))
+			e.setType(Scalar(TVoid))
+			return e.TypeOf(), nil
+		}
+		t, err := c.expr(e.Args[0], Scalar(TVoid))
+		if err != nil {
+			return Type{}, err
+		}
+		if t.IsArray() {
+			return Type{}, fmt.Errorf("%s: cannot print a whole array", e.Position())
+		}
+		e.setType(Scalar(TVoid))
+		return e.TypeOf(), nil
+	case BQClear:
+		e.setType(Scalar(TVoid))
+		return e.TypeOf(), nil
+	case BQAdd, BQSub, BQMAdd, BQMSub:
+		var common Type
+		for i, a := range e.Args {
+			h := Scalar(TP32)
+			if i > 0 {
+				h = common
+			}
+			t, err := c.expr(a, h)
+			if err != nil {
+				return Type{}, err
+			}
+			if !t.IsPosit() {
+				return Type{}, fmt.Errorf("%s: %s requires posit arguments, found %s", e.Position(), e.Name, t)
+			}
+			if i > 0 && !t.Equal(common) {
+				return Type{}, fmt.Errorf("%s: %s arguments must share a type", e.Position(), e.Name)
+			}
+			common = t
+		}
+		e.setType(Scalar(TVoid))
+		return e.TypeOf(), nil
+	case BQRound:
+		k := TypeKindByName[strings.TrimPrefix(e.Name, "qround_")]
+		e.setType(Scalar(k))
+		return e.TypeOf(), nil
+	case BFMA:
+		var common Type
+		for i, a := range e.Args {
+			h := hint
+			if i > 0 {
+				h = common
+			}
+			t, err := c.expr(a, h)
+			if err != nil {
+				return Type{}, err
+			}
+			if !t.IsNumeric() {
+				return Type{}, fmt.Errorf("%s: fma requires numeric arguments, found %s", e.Position(), t)
+			}
+			if i > 0 && !t.Equal(common) {
+				return Type{}, fmt.Errorf("%s: fma arguments must share a type", e.Position())
+			}
+			common = t
+		}
+		e.setType(common)
+		return common, nil
+	}
+	return Type{}, fmt.Errorf("%s: unhandled builtin %s", e.Position(), e.Name)
+}

@@ -1,0 +1,284 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+const rootCountSrc = `
+// Figure 2 of the paper.
+func rootcount(a: p32, b: p32, c: p32): i64 {
+	var t1: p32 = b * b;
+	var t2: p32 = 4.0 * a * c;
+	var t3: p32 = t1 - t2;
+	if (t3 > 0.0) {
+		return 2;
+	} else if (t3 == 0.0) {
+		return 1;
+	}
+	return 0;
+}
+`
+
+func mustCheck(t *testing.T, src string) *Checked {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return chk
+}
+
+func TestParseRootCount(t *testing.T) {
+	chk := mustCheck(t, rootCountSrc)
+	f := chk.Funcs["rootcount"]
+	if f == nil || len(f.Params) != 3 || f.Ret.Kind != TI64 {
+		t.Fatalf("signature: %+v", f)
+	}
+	// The literal 4.0 must have adapted to p32 from context.
+	decl := f.Body.Stmts[1].(*DeclStmt)
+	bin := decl.Decl.Init.(*BinaryExpr)
+	if bin.TypeOf().Kind != TP32 {
+		t.Fatalf("4.0*a*c type = %s", bin.TypeOf())
+	}
+}
+
+func TestParseArraysAndLoops(t *testing.T) {
+	src := `
+var A: [8][8]f64;
+var x: [16]f64;
+var n: i64 = 8;
+
+func init_arrays() {
+	var i: i64;
+	var j: i64;
+	for (i = 0; i < n; i += 1) {
+		x[i] = f64(i) / 2.0;
+		for (j = 0; j < n; j += 1) {
+			A[i][j] = f64(i * j) + 1.0;
+		}
+	}
+}
+
+func trace(): f64 {
+	var s: f64 = 0.0;
+	var i: i64;
+	for (i = 0; i < n; i += 1) {
+		s += A[i][i];
+	}
+	return s;
+}
+
+func main(): i64 {
+	init_arrays();
+	print(trace());
+	print("done");
+	return 0;
+}
+`
+	chk := mustCheck(t, src)
+	if len(chk.Prog.Funcs) != 3 || len(chk.Prog.Globals) != 3 {
+		t.Fatal("decl counts")
+	}
+}
+
+func TestQuireBuiltins(t *testing.T) {
+	src := `
+func fdot(): p32 {
+	var a: p32 = 1.5;
+	var b: p32 = 2.5;
+	qclear();
+	qmadd(a, b);
+	qadd(a);
+	qsub(b);
+	qmsub(b, b);
+	return qround_p32();
+}
+`
+	chk := mustCheck(t, src)
+	if chk.Funcs["fdot"].Ret.Kind != TP32 {
+		t.Fatal("ret type")
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	mustCheck(t, `
+func f(): i64 {
+	var i: i64 = 0;
+	while (true) {
+		i += 1;
+		if (i % 2 == 0) { continue; }
+		if (i > 10) { break; }
+	}
+	return i;
+}`)
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined var", `func f(): i64 { return x; }`, "undefined variable"},
+		{"undefined func", `func f() { g(); }`, "undefined function"},
+		{"type mismatch", `func f(a: f64, b: p32) { a = a; b = b; var c: f64 = 0.0; c = a + f64(b); a = a + b; }`, "mismatched operand types"},
+		{"assign mismatch", `func f(a: f64, b: i64) { a = b; }`, "cannot assign"},
+		{"bad condition", `func f(a: i64) { if (a) { } }`, "condition must be bool"},
+		{"mod floats", `func f(a: f64) { a = a % a; }`, "requires i64"},
+		{"break outside loop", `func f() { break; }`, "break outside loop"},
+		{"continue outside", `func f() { continue; }`, "continue outside loop"},
+		{"void return value", `func f() { return 1; }`, "returns a value"},
+		{"missing return value", `func f(): i64 { return; }`, "must return"},
+		{"wrong return type", `func f(): i64 { return 1.5; }`, "returns i64, not f64"},
+		{"index count", `var A: [4][4]f64; func f(): f64 { return A[1]; }`, "needs 2 indices"},
+		{"index type", `var A: [4]f64; func f(a: f64): f64 { return A[a]; }`, "index must be i64"},
+		{"not array", `func f(a: f64): f64 { return a[0]; }`, "not an array"},
+		{"dup global", "var x: i64;\nvar x: f64;", "duplicate global"},
+		{"dup param", `func f(a: i64, a: f64) { }`, "duplicate parameter"},
+		{"dup local", `func f() { var a: i64; var a: f64; }`, "duplicate variable"},
+		{"arity", `func g(a: i64): i64 { return a; } func f(): i64 { return g(); }`, "takes 1 arguments"},
+		{"quire non-posit", `func f(a: f64) { qadd(a); }`, "requires posit"},
+		{"string outside print", `func f() { var s: i64 = 0; s = s; qclear(); } func g(): i64 { return "x"; }`, "string literals"},
+		{"cast to bool", `func f(a: i64): bool { return bool(a); }`, "cannot convert to bool"},
+		{"sqrt of int", `func f(a: i64): i64 { return sqrt(a); }`, "requires a numeric argument"},
+		{"array assign", `var A: [4]f64; var B: [4]f64; func f() { A = B; }`, "cannot assign to whole array"},
+		{"builtin collision", `func sqrt(x: f64): f64 { return x; }`, "collides"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err == nil {
+				_, err = Check(prog)
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got success", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func f( { }`,
+		`func f() { var x i64; }`,
+		`func f() { x = ; }`,
+		`var A: [0]f64;`,
+		`func f() { if x > 0 { } }`,
+		`func f() : [4]f64 { }`,
+		`func f(a: [4]f64) { }`,
+		"func f() { print(\"unterminated); }",
+		`func f() { x = 1e; }`,
+		`@`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestLiteralAdaptation(t *testing.T) {
+	chk := mustCheck(t, `
+func f(x: p16): p16 {
+	return x * 2.0 + 1.0;
+}
+func g(x: f32): f32 {
+	return 3.0 * x;
+}
+func h(): p32 {
+	var y: p32 = 2;
+	return y;
+}
+`)
+	ret := chk.Funcs["f"].Body.Stmts[0].(*ReturnStmt)
+	if ret.X.TypeOf().Kind != TP16 {
+		t.Fatalf("literal did not adapt to p16: %s", ret.X.TypeOf())
+	}
+	retg := chk.Funcs["g"].Body.Stmts[0].(*ReturnStmt)
+	if retg.X.TypeOf().Kind != TF32 {
+		t.Fatalf("literal did not adapt to f32: %s", retg.X.TypeOf())
+	}
+}
+
+func TestNegativeLiteralFold(t *testing.T) {
+	prog, err := Parse(`func f(): f64 { return -1.5e10; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	lit, ok := ret.X.(*FloatLit)
+	if !ok || lit.Value != -1.5e10 {
+		t.Fatalf("unary minus must fold into the literal: %T", ret.X)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := (Type{Kind: TF64, Dims: []int{4, 8}}).String(); got != "[4][8]f64" {
+		t.Fatalf("type string: %q", got)
+	}
+	if got := Scalar(TP32).String(); got != "p32" {
+		t.Fatalf("type string: %q", got)
+	}
+}
+
+func TestCompoundAssignDesugar(t *testing.T) {
+	prog, err := Parse(`var A: [4]f64; func f(i: i64) { A[i] *= 2.0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	bin, ok := as.Rhs.(*BinaryExpr)
+	if !ok || bin.Op != Star {
+		t.Fatalf("*= must desugar to multiplication, got %T", as.Rhs)
+	}
+	if _, err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanics throws random mutations of valid source at the
+// lexer and parser: they must return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	base := rootCountSrc
+	rng := newTestRand(42)
+	for i := 0; i < 3000; i++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			switch rng.Intn(3) {
+			case 0: // mutate a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			case 1: // truncate
+				b = b[:rng.Intn(len(b))+1]
+			case 2: // duplicate a slice
+				s, e := rng.Intn(len(b)), rng.Intn(len(b))
+				if s > e {
+					s, e = e, s
+				}
+				b = append(b[:e:e], b[s:]...)
+			}
+			if len(b) == 0 {
+				b = []byte("x")
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", b, r)
+				}
+			}()
+			if prog, err := Parse(string(b)); err == nil {
+				// Valid parses must also check without panicking.
+				_, _ = Check(prog)
+			}
+		}()
+	}
+}

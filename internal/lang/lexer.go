@@ -1,0 +1,247 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes PCL source text. Comments run from // to end of line.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokens lexes the entire input, returning the token stream terminated by
+// an EOF token, or the first lexical error.
+func Tokens(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.number(pos)
+	case isAlpha(c):
+		start := l.off
+		for l.off < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, fmt.Errorf("%s: unterminated string literal", pos)
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, fmt.Errorf("%s: unterminated escape", pos)
+				}
+				switch e := l.advance(); e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"', '\\':
+					sb.WriteByte(e)
+				default:
+					return Token{}, fmt.Errorf("%s: unknown escape \\%c", pos, e)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: STRING, Text: sb.String(), Pos: pos}, nil
+	}
+	// Operators and punctuation.
+	two := func(k Kind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: text, Pos: pos}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: string(c), Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBrack)
+	case ']':
+		return one(RBrack)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semi)
+	case ':':
+		return one(Colon)
+	case '+':
+		if l.peek2() == '=' {
+			return two(PlusAssign, "+=")
+		}
+		return one(Plus)
+	case '-':
+		if l.peek2() == '=' {
+			return two(MinusAssign, "-=")
+		}
+		return one(Minus)
+	case '*':
+		if l.peek2() == '=' {
+			return two(StarAssign, "*=")
+		}
+		return one(Star)
+	case '/':
+		if l.peek2() == '=' {
+			return two(SlashAssign, "/=")
+		}
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '!':
+		if l.peek2() == '=' {
+			return two(Ne, "!=")
+		}
+		return one(Not)
+	case '=':
+		if l.peek2() == '=' {
+			return two(Eq, "==")
+		}
+		return one(Assign)
+	case '<':
+		if l.peek2() == '=' {
+			return two(Le, "<=")
+		}
+		return one(Lt)
+	case '>':
+		if l.peek2() == '=' {
+			return two(Ge, ">=")
+		}
+		return one(Gt)
+	case '&':
+		if l.peek2() == '&' {
+			return two(AndAnd, "&&")
+		}
+	case '|':
+		if l.peek2() == '|' {
+			return two(OrOr, "||")
+		}
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+}
+
+func (l *Lexer) number(pos Pos) (Token, error) {
+	start := l.off
+	kind := INT
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		kind = FLOAT
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		kind = FLOAT
+		l.advance()
+		if c := l.peek(); c == '+' || c == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			return Token{}, fmt.Errorf("%s: malformed exponent", pos)
+		}
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	return Token{Kind: kind, Text: l.src[start:l.off], Pos: pos}, nil
+}

@@ -1,0 +1,625 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for PCL.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.program()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, fmt.Errorf("%s: expected %s, found %s %q", t.Pos, k, t.Kind, t.Text)
+}
+
+func (p *Parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case KwVar:
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+		case KwFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			t := p.cur()
+			return nil, fmt.Errorf("%s: expected var or func at top level, found %q", t.Pos, t.Text)
+		}
+	}
+	return prog, nil
+}
+
+// varDecl parses `var name: type [= expr]` (without the trailing semicolon).
+func (p *Parser) varDecl() (*VarDecl, error) {
+	kw, err := p.expect(KwVar)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	typ, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.Text, Type: typ, Pos: kw.Pos}
+	if p.accept(Assign) {
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (p *Parser) typeExpr() (Type, error) {
+	var dims []int
+	for p.accept(LBrack) {
+		n, err := p.expect(INT)
+		if err != nil {
+			return Type{}, err
+		}
+		d, err := strconv.Atoi(n.Text)
+		if err != nil || d <= 0 {
+			return Type{}, fmt.Errorf("%s: bad array dimension %q", n.Pos, n.Text)
+		}
+		if _, err := p.expect(RBrack); err != nil {
+			return Type{}, err
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) > 2 {
+		return Type{}, fmt.Errorf("arrays are limited to two dimensions")
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return Type{}, err
+	}
+	k, ok := TypeKindByName[name.Text]
+	if !ok || k == TVoid {
+		return Type{}, fmt.Errorf("%s: unknown type %q", name.Pos, name.Text)
+	}
+	return Type{Kind: k, Dims: dims}, nil
+}
+
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	kw, err := p.expect(KwFunc)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.Text, Ret: Scalar(TVoid), Pos: kw.Pos}
+	for !p.at(RParen) {
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		pt, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if pt.IsArray() {
+			return nil, fmt.Errorf("%s: array parameters are not supported; use globals", pn.Pos)
+		}
+		f.Params = append(f.Params, Param{Name: pn.Text, Type: pt, Pos: pn.Pos})
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if p.accept(Colon) {
+		rt, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if rt.IsArray() {
+			return nil, fmt.Errorf("%s: array return types are not supported", kw.Pos)
+		}
+		f.Ret = rt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.at(RBrace) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case KwVar:
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		kw := p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: kw.Pos}, nil
+	case KwFor:
+		return p.forStmt()
+	case KwReturn:
+		kw := p.next()
+		r := &ReturnStmt{Pos: kw.Pos}
+		if !p.at(Semi) {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case KwBreak:
+		kw := p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: kw.Pos}, nil
+	case KwContinue:
+		kw := p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: kw.Pos}, nil
+	case LBrace:
+		return p.block()
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: kw.Pos}
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			s.Else, err = p.ifStmt()
+		} else {
+			s.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Pos: kw.Pos}
+	var err error
+	if !p.at(Semi) {
+		if p.at(KwVar) {
+			d, derr := p.varDecl()
+			if derr != nil {
+				return nil, derr
+			}
+			f.Init = &DeclStmt{Decl: d}
+		} else {
+			f.Init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(Semi) {
+		f.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(RParen) {
+		f.Post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	f.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// simpleStmt parses an assignment (plain or compound) or an expression
+// statement, without the trailing semicolon.
+func (p *Parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.cur().Kind; k {
+	case Assign:
+		p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Lhs: lhs, Rhs: rhs, Pos: pos}, nil
+	case PlusAssign, MinusAssign, StarAssign, SlashAssign:
+		p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		var op Kind
+		switch k {
+		case PlusAssign:
+			op = Plus
+		case MinusAssign:
+			op = Minus
+		case StarAssign:
+			op = Star
+		case SlashAssign:
+			op = Slash
+		}
+		// Desugar: lhs op= rhs  ⇒  lhs = lhs op rhs. The checker verifies
+		// that lhs is an lvalue; re-evaluating the index expressions is
+		// fine because the language has no side effects in expressions.
+		bin := &BinaryExpr{Op: op, L: lhs, R: rhs}
+		bin.exprBase.Pos = pos
+		return &AssignStmt{Lhs: lhs, Rhs: bin, Pos: pos}, nil
+	default:
+		return &ExprStmt{X: lhs, Pos: pos}, nil
+	}
+}
+
+// Expression grammar, in decreasing binding order:
+//
+//	primary: literal | ident | call | (expr) | index
+//	unary:   -x !x
+//	mul:     * / %
+//	add:     + -
+//	cmp:     < <= > >= == !=
+//	and:     &&
+//	or:      ||
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(OrOr) {
+		op := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		b := &BinaryExpr{Op: op.Kind, L: l, R: r}
+		b.exprBase.Pos = op.Pos
+		l = b
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(AndAnd) {
+		op := p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		b := &BinaryExpr{Op: op.Kind, L: l, R: r}
+		b.exprBase.Pos = op.Pos
+		l = b
+	}
+	return l, nil
+}
+
+func (p *Parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Lt, Le, Gt, Ge, Eq, Ne:
+			op := p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			b := &BinaryExpr{Op: op.Kind, L: l, R: r}
+			b.exprBase.Pos = op.Pos
+			l = b
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Plus) || p.at(Minus) {
+		op := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		b := &BinaryExpr{Op: op.Kind, L: l, R: r}
+		b.exprBase.Pos = op.Pos
+		l = b
+	}
+	return l, nil
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Star) || p.at(Slash) || p.at(Percent) {
+		op := p.next()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		b := &BinaryExpr{Op: op.Kind, L: l, R: r}
+		b.exprBase.Pos = op.Pos
+		l = b
+	}
+	return l, nil
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	if p.at(Minus) || p.at(Not) {
+		op := p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Fold unary minus into literals so "-1.5" is a literal, keeping
+		// constant adaptation simple.
+		if op.Kind == Minus {
+			switch lit := x.(type) {
+			case *IntLit:
+				lit.Value = -lit.Value
+				return lit, nil
+			case *FloatLit:
+				lit.Value = -lit.Value
+				lit.Text = "-" + lit.Text
+				return lit, nil
+			}
+		}
+		u := &UnaryExpr{Op: op.Kind, X: x}
+		u.exprBase.Pos = op.Pos
+		return u, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(LBrack) {
+		id, ok := x.(*Ident)
+		if !ok {
+			return nil, fmt.Errorf("%s: only named arrays can be indexed", p.cur().Pos)
+		}
+		ix := &IndexExpr{Arr: id}
+		ix.exprBase.Pos = id.Position()
+		for p.accept(LBrack) {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			ix.Indices = append(ix.Indices, idx)
+		}
+		if len(ix.Indices) > 2 {
+			return nil, fmt.Errorf("%s: too many indices", id.Position())
+		}
+		x = ix
+	}
+	return x, nil
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad integer %q", t.Pos, t.Text)
+		}
+		e := &IntLit{Value: v}
+		e.exprBase.Pos = t.Pos
+		return e, nil
+	case FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad float %q", t.Pos, t.Text)
+		}
+		e := &FloatLit{Value: v, Text: t.Text}
+		e.exprBase.Pos = t.Pos
+		return e, nil
+	case KwTrue, KwFalse:
+		p.next()
+		e := &BoolLit{Value: t.Kind == KwTrue}
+		e.exprBase.Pos = t.Pos
+		return e, nil
+	case STRING:
+		p.next()
+		e := &StringLit{Value: t.Text}
+		e.exprBase.Pos = t.Pos
+		return e, nil
+	case IDENT:
+		p.next()
+		if p.at(LParen) {
+			p.next()
+			c := &CallExpr{Name: t.Text}
+			c.exprBase.Pos = t.Pos
+			for !p.at(RParen) {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+				if !p.accept(Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		e := &Ident{Name: t.Text}
+		e.exprBase.Pos = t.Pos
+		return e, nil
+	case LParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("%s: unexpected token %q in expression", t.Pos, t.Text)
+	}
+}

@@ -1,0 +1,239 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a program back to PCL source. The output parses to an
+// equivalent program; the FP→posit refactorer uses it to emit rewritten
+// sources, mirroring the paper's clang-based source-to-source tool.
+func Format(p *Program) string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		sb.WriteString("var " + g.Name + ": " + g.Type.String())
+		if g.Init != nil {
+			sb.WriteString(" = " + FormatExpr(g.Init))
+		}
+		sb.WriteString(";\n")
+	}
+	if len(p.Globals) > 0 {
+		sb.WriteString("\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		formatFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func formatFunc(sb *strings.Builder, f *FuncDecl) {
+	sb.WriteString("func " + f.Name + "(")
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Name + ": " + p.Type.String())
+	}
+	sb.WriteString(")")
+	if f.Ret.Kind != TVoid {
+		sb.WriteString(": " + f.Ret.String())
+	}
+	sb.WriteString(" ")
+	formatBlock(sb, f.Body, 0)
+	sb.WriteString("\n")
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("\t")
+	}
+}
+
+func formatBlock(sb *strings.Builder, b *BlockStmt, depth int) {
+	sb.WriteString("{\n")
+	for _, s := range b.Stmts {
+		formatStmt(sb, s, depth+1)
+	}
+	indent(sb, depth)
+	sb.WriteString("}")
+}
+
+func formatStmt(sb *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		indent(sb, depth)
+		formatBlock(sb, s, depth)
+		sb.WriteString("\n")
+	case *DeclStmt:
+		indent(sb, depth)
+		sb.WriteString(declString(s.Decl))
+		sb.WriteString(";\n")
+	case *AssignStmt:
+		indent(sb, depth)
+		sb.WriteString(FormatExpr(s.Lhs) + " = " + FormatExpr(s.Rhs) + ";\n")
+	case *ExprStmt:
+		indent(sb, depth)
+		sb.WriteString(FormatExpr(s.X) + ";\n")
+	case *IfStmt:
+		indent(sb, depth)
+		formatIf(sb, s, depth)
+		sb.WriteString("\n")
+	case *WhileStmt:
+		indent(sb, depth)
+		sb.WriteString("while (" + FormatExpr(s.Cond) + ") ")
+		formatBlock(sb, s.Body, depth)
+		sb.WriteString("\n")
+	case *ForStmt:
+		indent(sb, depth)
+		sb.WriteString("for (")
+		if s.Init != nil {
+			formatSimple(sb, s.Init)
+		}
+		sb.WriteString("; ")
+		if s.Cond != nil {
+			sb.WriteString(FormatExpr(s.Cond))
+		}
+		sb.WriteString("; ")
+		if s.Post != nil {
+			formatSimple(sb, s.Post)
+		}
+		sb.WriteString(") ")
+		formatBlock(sb, s.Body, depth)
+		sb.WriteString("\n")
+	case *ReturnStmt:
+		indent(sb, depth)
+		if s.X != nil {
+			sb.WriteString("return " + FormatExpr(s.X) + ";\n")
+		} else {
+			sb.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		indent(sb, depth)
+		sb.WriteString("break;\n")
+	case *ContinueStmt:
+		indent(sb, depth)
+		sb.WriteString("continue;\n")
+	}
+}
+
+func formatIf(sb *strings.Builder, s *IfStmt, depth int) {
+	sb.WriteString("if (" + FormatExpr(s.Cond) + ") ")
+	formatBlock(sb, s.Then, depth)
+	switch e := s.Else.(type) {
+	case nil:
+	case *IfStmt:
+		sb.WriteString(" else ")
+		formatIf(sb, e, depth)
+	case *BlockStmt:
+		sb.WriteString(" else ")
+		formatBlock(sb, e, depth)
+	}
+}
+
+// formatSimple renders the init/post clauses of a for loop (no newline or
+// semicolon).
+func formatSimple(sb *strings.Builder, s Stmt) {
+	switch s := s.(type) {
+	case *DeclStmt:
+		sb.WriteString(declString(s.Decl))
+	case *AssignStmt:
+		sb.WriteString(FormatExpr(s.Lhs) + " = " + FormatExpr(s.Rhs))
+	case *ExprStmt:
+		sb.WriteString(FormatExpr(s.X))
+	}
+}
+
+func declString(d *VarDecl) string {
+	s := "var " + d.Name + ": " + d.Type.String()
+	if d.Init != nil {
+		s += " = " + FormatExpr(d.Init)
+	}
+	return s
+}
+
+// FormatExpr renders one expression with explicit parentheses around
+// nested binary operations (safe, if slightly chatty).
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(e.Value, 10)
+	case *FloatLit:
+		if e.Text != "" {
+			return e.Text
+		}
+		return strconv.FormatFloat(e.Value, 'g', -1, 64)
+	case *BoolLit:
+		return strconv.FormatBool(e.Value)
+	case *StringLit:
+		return strconv.Quote(e.Value)
+	case *Ident:
+		return e.Name
+	case *IndexExpr:
+		var sb strings.Builder
+		sb.WriteString(e.Arr.Name)
+		for _, ix := range e.Indices {
+			fmt.Fprintf(&sb, "[%s]", FormatExpr(ix))
+		}
+		return sb.String()
+	case *UnaryExpr:
+		op := "-"
+		if e.Op == Not {
+			op = "!"
+		}
+		return op + maybeParen(e.X)
+	case *BinaryExpr:
+		return maybeParen(e.L) + " " + opSourceText(e.Op) + " " + maybeParen(e.R)
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = FormatExpr(a)
+		}
+		return e.Name + "(" + strings.Join(args, ", ") + ")"
+	default:
+		return "?"
+	}
+}
+
+func maybeParen(e Expr) string {
+	if _, ok := e.(*BinaryExpr); ok {
+		return "(" + FormatExpr(e) + ")"
+	}
+	return FormatExpr(e)
+}
+
+func opSourceText(k Kind) string {
+	switch k {
+	case Plus:
+		return "+"
+	case Minus:
+		return "-"
+	case Star:
+		return "*"
+	case Slash:
+		return "/"
+	case Percent:
+		return "%"
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case AndAnd:
+		return "&&"
+	case OrOr:
+		return "||"
+	default:
+		return "?"
+	}
+}

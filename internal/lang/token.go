@@ -1,0 +1,110 @@
+// Package lang implements the front end for PCL, the small C-like numerical
+// language this reproduction instruments: a lexer, a recursive-descent
+// parser and a type checker. PCL plays the role that C played for the
+// paper's LLVM-based PositDebug prototype — big enough to express the
+// PolyBench kernels, the SPEC-like applications and every case study, small
+// enough to compile to the register IR in internal/ir.
+//
+// Scalar types are i64, bool, f32, f64 and the posits p8 ⟨8,0⟩, p16 ⟨16,1⟩
+// and p32 ⟨32,2⟩; fixed-size one- and two-dimensional arrays hold scalars.
+// Type names double as conversion functions (p32(x), i64(x), …), and the
+// builtins sqrt, abs, print and the quire operations (qclear, qadd, qmadd,
+// qval_p32, …) surface the posit standard's fused arithmetic.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT    // integer literal
+	FLOAT  // floating literal
+	STRING // string literal (print only)
+
+	// Keywords.
+	KwVar
+	KwFunc
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwTrue
+	KwFalse
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Comma
+	Semi
+	Colon
+	Assign     // =
+	PlusAssign // +=
+	MinusAssign
+	StarAssign
+	SlashAssign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Not
+	Eq // ==
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	AndAnd
+	OrOr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "int literal", FLOAT: "float literal",
+	STRING: "string literal", KwVar: "var", KwFunc: "func", KwIf: "if",
+	KwElse: "else", KwWhile: "while", KwFor: "for", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwTrue: "true", KwFalse: "false",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBrack: "[",
+	RBrack: "]", Comma: ",", Semi: ";", Colon: ":", Assign: "=",
+	PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=", SlashAssign: "/=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%", Not: "!",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	AndAnd: "&&", OrOr: "||",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"var": KwVar, "func": KwFunc, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "true": KwTrue, "false": KwFalse,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}

@@ -1,0 +1,161 @@
+package posit
+
+import "math/bits"
+
+// Add returns the correctly rounded sum a+b in the configuration.
+// NaR propagates; saturation applies at maxpos/minpos.
+func (c Config) Add(a, b Bits) Bits {
+	if c.IsNaR(a) || c.IsNaR(b) {
+		return c.NaR()
+	}
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	da, db := c.Decode(a), c.Decode(b)
+	return c.encode(addUnpacked(da, db))
+}
+
+// Sub returns the correctly rounded difference a−b.
+func (c Config) Sub(a, b Bits) Bits {
+	return c.Add(a, c.Neg(b))
+}
+
+// addUnpacked computes the exact sum of two unpacked posits and reduces it
+// to unrounded form (64-bit significand + sticky). Inputs are exact.
+func addUnpacked(x, y Decoded) unrounded {
+	// Ensure |x| ≥ |y| so alignment shifts y only.
+	if y.Scale > x.Scale || (y.Scale == x.Scale && y.Frac > x.Frac) {
+		x, y = y, x
+	}
+	d := uint(x.Scale - y.Scale)
+	// 128-bit significands aligned at x's scale: X = x.Frac·2^64.
+	xh, xl := x.Frac, uint64(0)
+	var yh, yl uint64
+	var st bool
+	switch {
+	case d == 0:
+		yh, yl = y.Frac, 0
+	case d < 64:
+		yh, yl = y.Frac>>d, y.Frac<<(64-d)
+	case d == 64:
+		yh, yl = 0, y.Frac
+	case d < 128:
+		yh, yl = 0, y.Frac>>(d-64)
+		st = y.Frac<<(128-d) != 0
+	default:
+		yh, yl = 0, 0
+		st = true
+	}
+	if x.Neg == y.Neg {
+		lo, carry := bits.Add64(xl, yl, 0)
+		hi, carry2 := bits.Add64(xh, yh, carry)
+		scale := x.Scale
+		if carry2 == 1 {
+			st = st || lo&1 == 1
+			lo = lo>>1 | hi<<63
+			hi = hi>>1 | 1<<63
+			scale++
+		}
+		return unrounded{neg: x.Neg, scale: scale, frac: hi, sticky: st || lo != 0}
+	}
+	// Opposite signs: |x| ≥ |y| so the result carries x's sign (or is zero).
+	// When alignment dropped bits of y (st), the true y magnitude exceeds
+	// its truncation by δ ∈ (0,1) ulp₁₂₈, so the true difference is
+	// (X−Y) − δ; borrow one ulp and flip the tail into a positive sticky.
+	lo, borrow := bits.Sub64(xl, yl, 0)
+	hi, _ := bits.Sub64(xh, yh, borrow)
+	if st {
+		var b2 uint64
+		lo, b2 = bits.Sub64(lo, 1, 0)
+		hi, _ = bits.Sub64(hi, b2, 0)
+	}
+	if hi == 0 && lo == 0 {
+		if st {
+			// Cancellation to below one ulp₁₂₈: cannot happen, since st
+			// implies y's scale is ≥128 below x's, leaving hi≈x.Frac.
+			return unrounded{neg: x.Neg, scale: x.Scale - 128, frac: 1 << 63, sticky: true}
+		}
+		return unrounded{} // exact zero
+	}
+	scale := x.Scale
+	var lz int
+	if hi != 0 {
+		lz = bits.LeadingZeros64(hi)
+	} else {
+		lz = 64 + bits.LeadingZeros64(lo)
+	}
+	if lz > 0 {
+		if lz < 64 {
+			hi = hi<<lz | lo>>(64-lz)
+			lo <<= lz
+		} else {
+			hi = lo << (lz - 64)
+			lo = 0
+		}
+		scale -= lz
+	}
+	return unrounded{neg: x.Neg, scale: scale, frac: hi, sticky: st || lo != 0}
+}
+
+// Mul returns the correctly rounded product a·b.
+func (c Config) Mul(a, b Bits) Bits {
+	if c.IsNaR(a) || c.IsNaR(b) {
+		return c.NaR()
+	}
+	if a == 0 || b == 0 {
+		return 0
+	}
+	da, db := c.Decode(a), c.Decode(b)
+	hi, lo := bits.Mul64(da.Frac, db.Frac)
+	scale := da.Scale + db.Scale
+	// Product of [2^63,2^64) significands lies in [2^126,2^128).
+	if hi>>63 == 1 {
+		scale++
+	} else {
+		hi = hi<<1 | lo>>63
+		lo <<= 1
+	}
+	return c.encode(unrounded{
+		neg:    da.Neg != db.Neg,
+		scale:  scale,
+		frac:   hi,
+		sticky: lo != 0,
+	})
+}
+
+// Div returns the correctly rounded quotient a/b. Division by zero yields
+// NaR (there are no signed infinities in the posit format).
+func (c Config) Div(a, b Bits) Bits {
+	if c.IsNaR(a) || c.IsNaR(b) || b == 0 {
+		return c.NaR()
+	}
+	if a == 0 {
+		return 0
+	}
+	da, db := c.Decode(a), c.Decode(b)
+	// q = (Fa·2^63) / Fb ∈ (2^62, 2^64): the dividend high word Fa>>1 is
+	// below the divisor (which has bit 63 set), as bits.Div64 requires.
+	q, r := bits.Div64(da.Frac>>1, da.Frac<<63, db.Frac)
+	scale := da.Scale - db.Scale
+	if q>>63 == 0 {
+		// One more quotient bit to normalize: decide 2r ≥ Fb.
+		rhi, rlo := r>>63, r<<1
+		var bit uint64
+		if rhi == 1 || rlo >= db.Frac {
+			bit = 1
+			rlo -= db.Frac
+		}
+		q = q<<1 | bit
+		r = rlo
+		scale--
+	}
+	return c.encode(unrounded{
+		neg:    da.Neg != db.Neg,
+		scale:  scale,
+		frac:   q,
+		sticky: r != 0,
+	})
+}

@@ -1,0 +1,34 @@
+package posit
+
+// ordinal maps a posit pattern to a signed integer whose natural order is
+// the numeric order of posit values: patterns compare as n-bit two's
+// complement integers, a defining property of the format. NaR is the most
+// negative ordinal and therefore sorts below every real value.
+func (c Config) ordinal(p Bits) int64 {
+	shift := 64 - c.N
+	return int64(uint64(p)<<shift) >> shift
+}
+
+// Cmp compares two posits numerically: −1 if a < b, 0 if equal, +1 if
+// a > b. Following the posit standard's total order, NaR compares equal to
+// itself and below every real value.
+func (c Config) Cmp(a, b Bits) int {
+	oa, ob := c.ordinal(a), c.ordinal(b)
+	switch {
+	case oa < ob:
+		return -1
+	case oa > ob:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Eq reports a == b (NaR equals NaR under the posit total order).
+func (c Config) Eq(a, b Bits) bool { return a == b }
+
+// Lt reports a < b.
+func (c Config) Lt(a, b Bits) bool { return c.Cmp(a, b) < 0 }
+
+// Le reports a ≤ b.
+func (c Config) Le(a, b Bits) bool { return c.Cmp(a, b) <= 0 }

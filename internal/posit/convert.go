@@ -1,0 +1,108 @@
+package posit
+
+import (
+	"math"
+	"math/bits"
+)
+
+// FromFloat64 returns the posit nearest to f. NaN and ±Inf map to NaR;
+// magnitudes beyond maxpos saturate and nonzero magnitudes below minpos
+// clamp to minpos, per the posit rounding rules.
+func (c Config) FromFloat64(f float64) Bits {
+	b := math.Float64bits(f)
+	exp := int(b >> 52 & 0x7ff)
+	mant := b & (1<<52 - 1)
+	neg := b>>63 == 1
+	switch {
+	case exp == 0x7ff: // NaN or Inf
+		return c.NaR()
+	case exp == 0 && mant == 0:
+		return 0
+	case exp == 0: // subnormal: normalize
+		lz := bits.LeadingZeros64(mant) - 11
+		mant <<= uint(lz + 1)
+		exp = -lz
+	}
+	frac := 1<<63 | mant<<11
+	return c.encode(unrounded{
+		neg:   neg,
+		scale: exp - 1023,
+		frac:  frac,
+	})
+}
+
+// ToFloat64 converts a posit to float64. For n ≤ 32 the conversion is exact
+// (every ⟨32,2⟩ posit is a normal double). NaR maps to NaN.
+func (c Config) ToFloat64(p Bits) float64 {
+	if p == 0 {
+		return 0
+	}
+	if c.IsNaR(p) {
+		return math.NaN()
+	}
+	d := c.Decode(p)
+	f := math.Ldexp(float64(d.Frac), d.Scale-63)
+	if d.Neg {
+		f = -f
+	}
+	return f
+}
+
+// FromInt64 returns the posit nearest to i.
+func (c Config) FromInt64(i int64) Bits {
+	if i == 0 {
+		return 0
+	}
+	neg := i < 0
+	var u uint64
+	if neg {
+		u = uint64(-i) // also correct for MinInt64 via two's complement
+	} else {
+		u = uint64(i)
+	}
+	lz := bits.LeadingZeros64(u)
+	return c.encode(unrounded{
+		neg:   neg,
+		scale: 63 - lz,
+		frac:  u << uint(lz),
+	})
+}
+
+// ToInt64 converts a posit to an integer, truncating toward zero like a C
+// cast (the conversion PositDebug instruments). NaR yields 0 and ok=false;
+// magnitudes beyond the int64 range also report ok=false and clamp.
+func (c Config) ToInt64(p Bits) (v int64, ok bool) {
+	if p == 0 {
+		return 0, true
+	}
+	if c.IsNaR(p) {
+		return 0, false
+	}
+	d := c.Decode(p)
+	if d.Scale < 0 {
+		return 0, true
+	}
+	if d.Scale > 62 {
+		if d.Neg {
+			return math.MinInt64, false
+		}
+		return math.MaxInt64, false
+	}
+	u := d.Frac >> uint(63-d.Scale)
+	if d.Neg {
+		return -int64(u), true
+	}
+	return int64(u), true
+}
+
+// Convert re-rounds a posit from configuration c into configuration dst.
+func (c Config) Convert(p Bits, dst Config) Bits {
+	if p == 0 {
+		return 0
+	}
+	if c.IsNaR(p) {
+		return dst.NaR()
+	}
+	d := c.Decode(p)
+	return dst.encode(unrounded{neg: d.Neg, scale: d.Scale, frac: d.Frac})
+}

@@ -1,0 +1,178 @@
+package posit
+
+import "math/big"
+
+// unrounded is an exact (up to sticky) real value in unpacked form:
+//
+//	x = (−1)^neg · 2^scale · ((frac + δ) / 2^63)
+//
+// with frac normalized (bit 63 set) and δ = 0 when !sticky, δ ∈ (0,1) when
+// sticky. All arithmetic routines reduce their exact result to this form
+// before the single rounding step.
+type unrounded struct {
+	neg    bool
+	scale  int
+	frac   uint64
+	sticky bool
+}
+
+// Encode rounds an unpacked value to the nearest posit of the configuration
+// using round-to-nearest, ties to even bit pattern, with the posit
+// saturation rules: magnitudes above maxpos clamp to maxpos and nonzero
+// magnitudes below minpos clamp to minpos (never to zero).
+func (c Config) encode(u unrounded) Bits {
+	if u.frac == 0 {
+		// Exact zero (arithmetic routines return it directly; kept for safety).
+		return 0
+	}
+	mag := c.encodeMag(u.scale, u.frac, u.sticky)
+	if u.neg {
+		return c.Neg(mag)
+	}
+	return mag
+}
+
+// encodeMag rounds the positive magnitude 2^scale·(frac+δ)/2^63.
+func (c Config) encodeMag(scale int, frac uint64, sticky bool) Bits {
+	if scale > c.ScaleMax() {
+		return c.MaxPos()
+	}
+	if scale < c.ScaleMin() {
+		return c.MinPos()
+	}
+	es := c.ES
+	k := scale >> es
+	e := scale - k<<es
+	// Regime length (with terminating bit). Given the scale clamps above,
+	// regLen ≤ n and k ∈ [−(n−2), n−2].
+	var regLen int
+	var regBits uint64 // regime pattern, MSB-first in regLen bits
+	if k >= 0 {
+		regLen = k + 2
+		regBits = (uint64(1)<<(k+1) - 1) << 1 // k+1 ones then a zero
+	} else {
+		regLen = -k + 1
+		regBits = 1 // −k zeros then a one
+	}
+	// Assemble the conceptual (pre-rounding) bit string after the sign bit:
+	// regime, exponent, fraction. regLen+es+63 ≤ 33+5+63 ≤ 128 always fits.
+	var w bitString
+	w.write(regBits, uint(regLen))
+	if es > 0 {
+		w.write(uint64(e), es)
+	}
+	w.write(frac<<1>>1, 63) // fraction field: significand without hidden bit
+
+	kept := c.N - 1
+	body := w.take(kept)
+	guard := w.bit(kept)
+	rest := w.anyBelow(kept+1) || sticky
+
+	if regLen+int(es) <= int(kept) {
+		// The rounding position lies within the fraction field: the two
+		// candidate posits differ by exactly one unit in that field, so
+		// bit-pattern RNE coincides with arithmetic round-to-nearest.
+		if guard && (rest || body&1 == 1) {
+			body++
+			if Bits(body) > c.MaxPos() {
+				body = uint64(c.MaxPos()) // saturate, never round to NaR
+			}
+		}
+		return Bits(body)
+	}
+	// Slow path: the rounding position falls inside the regime or exponent
+	// field, where consecutive posits are geometrically spaced; decide by
+	// comparing the exact value against the exact midpoint of its two
+	// neighboring posits.
+	lo := Bits(body)
+	if lo == c.MaxPos() {
+		return lo // x ∈ [maxpos, 2·maxpos): saturates
+	}
+	hi := lo + 1
+	cmp := c.compareToMid(scale, frac, lo, hi)
+	switch {
+	case cmp > 0:
+		return hi
+	case cmp < 0:
+		return lo
+	case sticky:
+		return hi // strictly above the midpoint
+	case body&1 == 0:
+		return lo // tie: even pattern
+	default:
+		return hi
+	}
+}
+
+// compareToMid compares x = 2^scale·frac/2^63 (the truncated value, sticky
+// excluded) against the midpoint of the positive posits lo and hi.
+// Returns −1, 0, +1.
+func (c Config) compareToMid(scale int, frac uint64, lo, hi Bits) int {
+	dl := c.Decode(lo)
+	dh := c.Decode(hi)
+	// All three quantities are dyadic: v = F · 2^(s−63). Align to the
+	// smallest exponent and compare 2·x against lo+hi in big.Int.
+	base := scale
+	if dl.Scale < base {
+		base = dl.Scale
+	}
+	if dh.Scale < base {
+		base = dh.Scale
+	}
+	x2 := dyadic(frac, scale-base+1) // 2·x
+	l := dyadic(dl.Frac, dl.Scale-base)
+	h := dyadic(dh.Frac, dh.Scale-base)
+	return x2.Cmp(l.Add(l, h))
+}
+
+func dyadic(frac uint64, shift int) *big.Int {
+	v := new(big.Int).SetUint64(frac)
+	return v.Lsh(v, uint(shift))
+}
+
+// bitString is a 128-bit MSB-first bit accumulator used to assemble the
+// conceptual unrounded posit pattern.
+type bitString struct {
+	hi, lo uint64
+	pos    uint // bits written so far, from the MSB of hi
+}
+
+func (w *bitString) write(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	v &= ^uint64(0) >> (64 - width)
+	end := w.pos + width
+	switch {
+	case end <= 64:
+		w.hi |= v << (64 - end)
+	case w.pos >= 64:
+		w.lo |= v << (128 - end)
+	default: // straddles the boundary
+		w.hi |= v >> (end - 64)
+		w.lo |= v << (128 - end)
+	}
+	w.pos = end
+}
+
+// take returns the first k bits (k ≤ 63) right-aligned.
+func (w *bitString) take(k uint) uint64 { return w.hi >> (64 - k) }
+
+// bit returns bit i (0-indexed from the MSB).
+func (w *bitString) bit(i uint) bool {
+	if i < 64 {
+		return w.hi>>(63-i)&1 == 1
+	}
+	return w.lo>>(127-i)&1 == 1
+}
+
+// anyBelow reports whether any bit at index ≥ i is set.
+func (w *bitString) anyBelow(i uint) bool {
+	if i >= 128 {
+		return false
+	}
+	if i >= 64 {
+		return w.lo<<(i-64) != 0
+	}
+	return w.hi<<i != 0 || w.lo != 0
+}

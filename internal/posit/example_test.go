@@ -1,0 +1,54 @@
+package posit_test
+
+import (
+	"fmt"
+
+	"positdebug/internal/posit"
+)
+
+// ExampleConfig_Decode decodes the paper's §2.1 worked example:
+// in ⟨8,1⟩, the pattern 01101101 represents 4¹·2¹·(1+5/8) = 13.
+func ExampleConfig_Decode() {
+	cfg := posit.Config{N: 8, ES: 1}
+	p := posit.Bits(0b01101101)
+	fmt.Println("value:", cfg.Format(p))
+	fmt.Println("fields:", cfg.FieldString(p))
+	d := cfg.Decode(p)
+	fmt.Println("scale:", d.Scale, "fraction bits:", d.FracBits)
+	// Output:
+	// value: 13
+	// fields: 0|110|1|101
+	// scale: 3 fraction bits: 3
+}
+
+// ExampleConfig_Add shows saturation: posit arithmetic never overflows.
+func ExampleConfig_Add() {
+	cfg := posit.Config32
+	max := cfg.MaxPos()
+	fmt.Println(cfg.Format(cfg.Add(max, max)) == cfg.Format(max))
+	// Output:
+	// true
+}
+
+// ExampleQuire computes an exactly rounded fused dot product.
+func ExampleQuire() {
+	q := posit.NewQuire(posit.Config32)
+	xs := []float64{1.5, 2.5, 3.5}
+	ys := []float64{2.0, 4.0, 8.0}
+	for i := range xs {
+		q.AddProduct(posit.Config32.FromFloat64(xs[i]), posit.Config32.FromFloat64(ys[i]))
+	}
+	fmt.Println(posit.Config32.Format(q.Posit()))
+	// Output:
+	// 41
+}
+
+// ExamplePosit32_FMA: a fused multiply-add rounds once.
+func ExamplePosit32_FMA() {
+	a := posit.P32FromFloat64(2)
+	b := posit.P32FromFloat64(3)
+	c := posit.P32FromFloat64(0.5)
+	fmt.Println(a.FMA(b, c))
+	// Output:
+	// 6.5
+}

@@ -1,0 +1,84 @@
+package posit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse converts a decimal string to the nearest posit of the
+// configuration. It accepts everything strconv.ParseFloat does, plus
+// "NaR" (case-insensitive) for the exception value.
+func (c Config) Parse(s string) (Bits, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "nar") {
+		return c.NaR(), nil
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("posit: parsing %q: %w", s, err)
+	}
+	return c.FromFloat64(f), nil
+}
+
+// NextUp returns the smallest posit strictly greater than p, following the
+// two's-complement successor order of the format. NextUp(maxpos) and
+// NextUp(NaR) return NaR (there is nothing above maxpos).
+func (c Config) NextUp(p Bits) Bits {
+	if c.IsNaR(p) {
+		return p
+	}
+	return Bits((uint64(p) + 1) & c.Mask())
+}
+
+// NextDown returns the largest posit strictly less than p. NextDown of the
+// most negative real (the successor of NaR) and of NaR return NaR.
+func (c Config) NextDown(p Bits) Bits {
+	if c.IsNaR(p) {
+		return p
+	}
+	return Bits((uint64(p) - 1) & c.Mask())
+}
+
+// ULP returns the distance to the next representable posit above |p| as a
+// float64 — the local unit in the last place, which varies with magnitude
+// under tapered accuracy (§2.3 of the paper). ULP of NaR is NaN; ULP of
+// maxpos reports the gap below it instead (there is no value above).
+func (c Config) ULP(p Bits) float64 {
+	if c.IsNaR(p) {
+		return math.NaN()
+	}
+	a := c.Abs(p)
+	if a == c.MaxPos() {
+		return c.ToFloat64(a) - c.ToFloat64(c.NextDown(a))
+	}
+	return c.ToFloat64(c.NextUp(a)) - c.ToFloat64(a)
+}
+
+// Values returns all finite values of a small configuration in ascending
+// numeric order (useful for analysis and tests; refuses n > 16 to avoid
+// surprise multi-gigabyte slices).
+func (c Config) Values() ([]float64, error) {
+	if c.N > 16 {
+		return nil, fmt.Errorf("posit: Values is limited to n ≤ 16 (n=%d)", c.N)
+	}
+	out := make([]float64, 0, 1<<c.N-1)
+	// Ascending pattern order starts just above NaR (most negative).
+	for o := uint64(c.NaR()) + 1; ; o = (o + 1) & c.Mask() {
+		if o == uint64(c.NaR()) {
+			break
+		}
+		out = append(out, c.ToFloat64(Bits(o)))
+	}
+	return out, nil
+}
+
+// Dynamic range helpers: the golden zone of a configuration is the band
+// where it matches or beats an IEEE format of equal width (the paper's
+// [1/useed, useed] approximation for ⟨32,2⟩ vs float).
+
+// MaxValue returns maxpos as a float64.
+func (c Config) MaxValue() float64 { return c.ToFloat64(c.MaxPos()) }
+
+// MinValue returns minpos as a float64.
+func (c Config) MinValue() float64 { return c.ToFloat64(c.MinPos()) }

@@ -1,0 +1,105 @@
+package posit
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	c := Config32
+	cases := []struct {
+		in   string
+		want Bits
+	}{
+		{"1", c.One()},
+		{" 13 ", c.FromFloat64(13)},
+		{"-2.5", c.FromFloat64(-2.5)},
+		{"1e30", c.FromFloat64(1e30)},
+		{"NaR", c.NaR()},
+		{"nar", c.NaR()},
+		{"0", 0},
+	}
+	for _, tc := range cases {
+		got, err := c.Parse(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("Parse(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := c.Parse("not-a-number"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestNextUpDown(t *testing.T) {
+	c := Config32
+	one := c.One()
+	up := c.NextUp(one)
+	if c.Cmp(up, one) <= 0 {
+		t.Fatal("NextUp must increase")
+	}
+	if c.NextDown(up) != one {
+		t.Fatal("NextDown must invert NextUp")
+	}
+	// Crossing zero.
+	if c.NextUp(c.Neg(c.MinPos())) != 0 || c.NextUp(0) != c.MinPos() {
+		t.Fatal("neighbors of zero")
+	}
+	// Top of the range wraps into NaR (no value above maxpos).
+	if !c.IsNaR(c.NextUp(c.MaxPos())) {
+		t.Fatal("NextUp(maxpos) must be NaR")
+	}
+	if !c.IsNaR(c.NextUp(c.NaR())) || !c.IsNaR(c.NextDown(c.NaR())) {
+		t.Fatal("NaR neighbors")
+	}
+}
+
+// TestULPTapering: the defining posit property — ULP grows away from 1.
+func TestULPTapering(t *testing.T) {
+	c := Config32
+	near1 := c.ULP(c.One())
+	if near1 != math.Ldexp(1, -27) {
+		t.Fatalf("ULP(1) = %g, want 2^-27", near1)
+	}
+	big := c.ULP(c.FromFloat64(1e16))
+	if big <= near1*1e15 {
+		t.Fatalf("ULP at 1e16 (%g) must dwarf ULP at 1 (%g)", big, near1)
+	}
+	if !math.IsNaN(c.ULP(c.NaR())) {
+		t.Fatal("ULP(NaR)")
+	}
+	if c.ULP(c.MaxPos()) <= 0 {
+		t.Fatal("ULP(maxpos) must report the gap below")
+	}
+	// Symmetric in sign.
+	if c.ULP(c.FromFloat64(-3)) != c.ULP(c.FromFloat64(3)) {
+		t.Fatal("ULP must depend on magnitude only")
+	}
+}
+
+func TestValuesSortedComplete(t *testing.T) {
+	c := Config8
+	vals, err := c.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 255 { // 2^8 patterns minus NaR
+		t.Fatalf("len = %d", len(vals))
+	}
+	if !sort.Float64sAreSorted(vals) {
+		t.Fatal("values must come out ascending")
+	}
+	if vals[0] != -c.MaxValue() || vals[len(vals)-1] != c.MaxValue() {
+		t.Fatal("range endpoints")
+	}
+	if _, err := Config32.Values(); err == nil {
+		t.Fatal("Values must refuse n > 16")
+	}
+}
+
+func TestMinMaxValue(t *testing.T) {
+	c := Config32
+	if c.MaxValue() != math.Ldexp(1, 120) || c.MinValue() != math.Ldexp(1, -120) {
+		t.Fatalf("range: %g %g", c.MaxValue(), c.MinValue())
+	}
+}

@@ -1,0 +1,150 @@
+package posit
+
+import "math/bits"
+
+// FMA returns a·b + c with a single rounding (fused multiply-add), the
+// basic fused operation the posit standard builds on. The exact product
+// has a 128-bit significand; the addition is carried out exactly in
+// 256-bit fixed point before the one rounding step.
+func (c Config) FMA(a, b, addend Bits) Bits {
+	if c.IsNaR(a) || c.IsNaR(b) || c.IsNaR(addend) {
+		return c.NaR()
+	}
+	if a == 0 || b == 0 {
+		return addend
+	}
+	da, db := c.Decode(a), c.Decode(b)
+	hi, lo := bits.Mul64(da.Frac, db.Frac)
+	pScale := da.Scale + db.Scale
+	// Normalize the product significand to have its MSB at bit 127.
+	if hi>>63 == 1 {
+		pScale++
+	} else {
+		hi = hi<<1 | lo>>63
+		lo <<= 1
+	}
+	pNeg := da.Neg != db.Neg
+	if addend == 0 {
+		return c.encode(unrounded{neg: pNeg, scale: pScale, frac: hi, sticky: lo != 0})
+	}
+	dc := c.Decode(addend)
+	// Align the addend (64-bit significand at scale dc.Scale) with the
+	// product (128-bit significand at scale pScale) in 192-bit fixed
+	// point: [x2 x1 x0] with the binary point under the top bit of x2.
+	// The value with the smaller scale is shifted right; bits that fall
+	// off the window set `dropped` (and by the binade argument, the
+	// shifted value is always the one with the smaller magnitude).
+	p2, p1, p0 := hi, lo, uint64(0)
+	c2, c1, c0 := dc.Frac, uint64(0), uint64(0)
+	scale := pScale
+	var dropped bool
+	if dc.Scale > pScale {
+		d := dc.Scale - pScale
+		scale = dc.Scale
+		p2, p1, p0, dropped = shr192(p2, p1, p0, d)
+	} else if dc.Scale < pScale {
+		d := pScale - dc.Scale
+		c2, c1, c0, dropped = shr192(c2, c1, c0, d)
+	}
+	if pNeg == dc.Neg {
+		var carry uint64
+		p0, carry = bits.Add64(p0, c0, 0)
+		p1, carry = bits.Add64(p1, c1, carry)
+		p2, carry = bits.Add64(p2, c2, carry)
+		st := dropped
+		if carry == 1 {
+			st = st || p0&1 == 1
+			p0 = p0>>1 | p1<<63
+			p1 = p1>>1 | p2<<63
+			p2 = p2>>1 | 1<<63
+			scale++
+		}
+		return c.encode(unrounded{neg: pNeg, scale: scale, frac: p2,
+			sticky: st || p1 != 0 || p0 != 0})
+	}
+	// Opposite signs: subtract the smaller magnitude (the shifted one, so
+	// dropped bits always belong to the subtrahend). A dropped tail means
+	// the true subtrahend is δ ∈ (0,1) window-ulps larger: borrow one
+	// extra ulp and express the result as frac + positive sticky tail,
+	// exactly as internal/posit's addUnpacked does.
+	neg := pNeg
+	if cmp192(p2, p1, p0, c2, c1, c0) < 0 {
+		p2, c2 = c2, p2
+		p1, c1 = c1, p1
+		p0, c0 = c0, p0
+		neg = dc.Neg
+	}
+	var borrow uint64
+	p0, borrow = bits.Sub64(p0, c0, 0)
+	p1, borrow = bits.Sub64(p1, c1, borrow)
+	p2, _ = bits.Sub64(p2, c2, borrow)
+	if dropped {
+		var b2 uint64
+		p0, b2 = bits.Sub64(p0, 1, 0)
+		p1, b2 = bits.Sub64(p1, 0, b2)
+		p2, _ = bits.Sub64(p2, 0, b2)
+	}
+	if p2 == 0 && p1 == 0 && p0 == 0 {
+		if dropped {
+			// Cannot happen: dropped implies a scale gap > 64, leaving
+			// the minuend dominant; kept for defensive completeness.
+			return c.MinPos()
+		}
+		return 0
+	}
+	// Normalize left.
+	for p2>>63 == 0 {
+		p2 = p2<<1 | p1>>63
+		p1 = p1<<1 | p0>>63
+		p0 <<= 1
+		scale--
+	}
+	return c.encode(unrounded{neg: neg, scale: scale, frac: p2,
+		sticky: dropped || p1 != 0 || p0 != 0})
+}
+
+// shr192 shifts a 192-bit value right by d, reporting whether any set bit
+// was shifted out of the window.
+func shr192(x2, x1, x0 uint64, d int) (r2, r1, r0 uint64, dropped bool) {
+	if d <= 0 {
+		return x2, x1, x0, false
+	}
+	for d >= 64 {
+		dropped = dropped || x0 != 0
+		x0, x1, x2 = x1, x2, 0
+		d -= 64
+	}
+	if d > 0 {
+		dropped = dropped || x0<<(64-d) != 0
+		x0 = x0>>d | x1<<(64-d)
+		x1 = x1>>d | x2<<(64-d)
+		x2 >>= d
+	}
+	return x2, x1, x0, dropped
+}
+
+func cmp192(a2, a1, a0, b2, b1, b0 uint64) int {
+	switch {
+	case a2 != b2:
+		if a2 > b2 {
+			return 1
+		}
+		return -1
+	case a1 != b1:
+		if a1 > b1 {
+			return 1
+		}
+		return -1
+	case a0 != b0:
+		if a0 > b0 {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// FMA returns p·q + r with a single rounding.
+func (p Posit32) FMA(q, r Posit32) Posit32 {
+	return Posit32(Config32.FMA(Bits(p), Bits(q), Bits(r)))
+}

@@ -1,0 +1,126 @@
+// Package posit implements arbitrary ⟨n,es⟩ posit arithmetic (the universal
+// number format proposed by Gustafson) entirely in Go, following the posit
+// standard semantics used by the SoftPosit reference library:
+//
+//   - a single rounding mode (round to nearest, ties to even bit pattern),
+//   - saturation at maxpos/minpos instead of overflow/underflow (a nonzero
+//     real value never rounds to zero or NaR),
+//   - one zero, one exception value NaR (Not a Real),
+//   - two's-complement total ordering of bit patterns.
+//
+// The package provides a generic codec and arithmetic valid for any
+// configuration with 3 ≤ n ≤ 32 and 0 ≤ es ≤ 5, convenience wrapper types
+// Posit32 ⟨32,2⟩, Posit16 ⟨16,1⟩ and Posit8 ⟨8,0⟩, and the quire: the
+// 16n-bit fixed-point accumulator mandated by the standard for exact fused
+// sums and dot products.
+//
+// All arithmetic is performed exactly in 128-bit integer form and rounded
+// once, so results are correctly rounded for every configuration.
+package posit
+
+import "fmt"
+
+// Config describes an ⟨n,es⟩ posit environment: n total bits, of which at
+// most es encode the exponent. The dynamic range and the tapered-precision
+// profile of the format are entirely determined by these two numbers.
+type Config struct {
+	N  uint // total bits, 3..32
+	ES uint // maximum exponent bits, 0..5
+}
+
+// Standard configurations. Posit32 is the configuration recommended by the
+// SoftPosit library and used for all experiments in the PositDebug paper.
+var (
+	Config8  = Config{N: 8, ES: 0}
+	Config16 = Config{N: 16, ES: 1}
+	Config32 = Config{N: 32, ES: 2}
+)
+
+// Bits is a posit bit pattern held in the low N bits of a uint64. The upper
+// 64−N bits must be zero; every function in this package returns canonical
+// patterns and tolerates only canonical inputs.
+type Bits uint64
+
+// Validate reports whether the configuration is supported by this package.
+func (c Config) Validate() error {
+	if c.N < 3 || c.N > 32 {
+		return fmt.Errorf("posit: unsupported width n=%d (want 3..32)", c.N)
+	}
+	if c.ES > 5 {
+		return fmt.Errorf("posit: unsupported exponent size es=%d (want 0..5)", c.ES)
+	}
+	return nil
+}
+
+// Mask returns a mask covering the low N bits.
+func (c Config) Mask() uint64 { return (uint64(1) << c.N) - 1 }
+
+// NaR returns the Not-a-Real bit pattern: a one followed by all zeros.
+func (c Config) NaR() Bits { return Bits(uint64(1) << (c.N - 1)) }
+
+// Zero returns the zero bit pattern (all zeros).
+func (c Config) Zero() Bits { return 0 }
+
+// One returns the bit pattern of the value 1 (0b01 followed by zeros).
+func (c Config) One() Bits { return Bits(uint64(1) << (c.N - 2)) }
+
+// MaxPos returns the bit pattern of maxpos, the largest finite posit:
+// a zero sign bit followed by all ones.
+func (c Config) MaxPos() Bits { return Bits(c.Mask() >> 1) }
+
+// MinPos returns the bit pattern of minpos, the smallest positive posit.
+func (c Config) MinPos() Bits { return 1 }
+
+// ScaleMax returns the binary scale (power of two) of maxpos: (n−2)·2^es.
+func (c Config) ScaleMax() int { return int(c.N-2) << c.ES }
+
+// ScaleMin returns the binary scale of minpos: −(n−2)·2^es.
+func (c Config) ScaleMin() int { return -(int(c.N-2) << c.ES) }
+
+// UseedLog2 returns log2(useed) = 2^es; useed is the regime super-exponent
+// base from the posit definition.
+func (c Config) UseedLog2() int { return 1 << c.ES }
+
+// IsNaR reports whether p is the Not-a-Real exception pattern.
+func (c Config) IsNaR(p Bits) bool { return p == c.NaR() }
+
+// IsZero reports whether p is zero.
+func (c Config) IsZero(p Bits) bool { return p == 0 }
+
+// Sign returns −1 for negative posits, 0 for zero and NaR, and +1 for
+// positive posits.
+func (c Config) Sign(p Bits) int {
+	switch {
+	case p == 0 || p == c.NaR():
+		return 0
+	case uint64(p)>>(c.N-1) == 1:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Neg returns −p: the two's complement of the pattern within n bits.
+// Zero and NaR are their own negations.
+func (c Config) Neg(p Bits) Bits {
+	return Bits((-uint64(p)) & c.Mask())
+}
+
+// Abs returns |p|. NaR is returned unchanged.
+func (c Config) Abs(p Bits) Bits {
+	if c.IsNaR(p) {
+		return p
+	}
+	if c.Sign(p) < 0 {
+		return c.Neg(p)
+	}
+	return p
+}
+
+// IsMaxMag reports whether p has saturated magnitude: |p| equals maxpos.
+// Operations producing such values likely overflowed in FP terms.
+func (c Config) IsMaxMag(p Bits) bool { return c.Abs(p) == c.MaxPos() }
+
+// IsMinMag reports whether p is nonzero with |p| equal to minpos, the
+// saturation value for would-be underflows.
+func (c Config) IsMinMag(p Bits) bool { return p != 0 && c.Abs(p) == c.MinPos() }

@@ -1,0 +1,448 @@
+package posit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperDecodeExample reproduces the worked example from §2.1 of the
+// paper: in ⟨8,1⟩, the pattern 01101101 decodes to
+// (−1)^0 · 4^1 · 2^1 · (1 + 5/8) = 13.
+func TestPaperDecodeExample(t *testing.T) {
+	c := Config{N: 8, ES: 1}
+	p := Bits(0b01101101)
+	if got := c.ToFloat64(p); got != 13 {
+		t.Fatalf("⟨8,1⟩ 01101101 = %v, want 13", got)
+	}
+	d := c.Decode(p)
+	if d.Neg || d.Scale != 3 {
+		t.Fatalf("decode: %+v", d)
+	}
+	if d.RegimeBits != 3 { // "110"
+		t.Fatalf("regime bits = %d, want 3", d.RegimeBits)
+	}
+	if d.FracBits != 3 {
+		t.Fatalf("frac bits = %d, want 3", d.FracBits)
+	}
+	if fs := c.FieldString(p); fs != "0|110|1|101" {
+		t.Fatalf("field string = %q", fs)
+	}
+}
+
+// TestSpecialValues covers the two special patterns and their arithmetic.
+func TestSpecialValues(t *testing.T) {
+	c := Config32
+	if !c.IsNaR(c.NaR()) || c.IsNaR(0) {
+		t.Fatal("NaR predicate")
+	}
+	if c.Neg(0) != 0 || c.Neg(c.NaR()) != c.NaR() {
+		t.Fatal("zero and NaR are their own negations")
+	}
+	if got := c.Div(c.One(), 0); !c.IsNaR(got) {
+		t.Fatal("x/0 must be NaR")
+	}
+	if got := c.Div(0, c.One()); got != 0 {
+		t.Fatal("0/x must be 0")
+	}
+	if got := c.Sqrt(c.Neg(c.One())); !c.IsNaR(got) {
+		t.Fatal("sqrt of negative must be NaR")
+	}
+	if !math.IsNaN(c.ToFloat64(c.NaR())) {
+		t.Fatal("NaR must convert to NaN")
+	}
+	if c.Format(c.NaR()) != "NaR" {
+		t.Fatal("NaR formatting")
+	}
+}
+
+// TestGoldenZone: a ⟨32,2⟩ posit matches or beats float32 precision inside
+// [1/useed², useed²]-ish band; concretely, values near 1 carry 27 fraction
+// bits (> float32's 23).
+func TestGoldenZone(t *testing.T) {
+	c := Config32
+	if fb := c.FracBits(c.One()); fb != 27 {
+		t.Fatalf("fraction bits at 1.0 = %d, want 27", fb)
+	}
+	// Tapering: maxpos has no fraction bits at all.
+	if fb := c.FracBits(c.MaxPos()); fb != 0 {
+		t.Fatalf("fraction bits at maxpos = %d, want 0", fb)
+	}
+	if s := c.Scale(c.MaxPos()); s != 120 {
+		t.Fatalf("maxpos scale = %d, want 120", s)
+	}
+	if s := c.Scale(c.MinPos()); s != -120 {
+		t.Fatalf("minpos scale = %d, want -120", s)
+	}
+}
+
+// TestSaturation checks the posit no-overflow rule: results beyond maxpos
+// clamp to maxpos, and nonzero results below minpos clamp to minpos.
+func TestSaturation(t *testing.T) {
+	c := Config32
+	if got := c.Mul(c.MaxPos(), c.MaxPos()); got != c.MaxPos() {
+		t.Fatalf("maxpos² = %s, want maxpos", c.Format(got))
+	}
+	if got := c.Mul(c.MinPos(), c.MinPos()); got != c.MinPos() {
+		t.Fatalf("minpos² = %s, want minpos", c.Format(got))
+	}
+	if got := c.Add(c.MaxPos(), c.MaxPos()); got != c.MaxPos() {
+		t.Fatalf("maxpos+maxpos = %s, want maxpos", c.Format(got))
+	}
+	big := c.FromFloat64(1e300)
+	if big != c.MaxPos() {
+		t.Fatalf("1e300 must clamp to maxpos")
+	}
+	tiny := c.FromFloat64(1e-300)
+	if tiny != c.MinPos() {
+		t.Fatalf("1e-300 must clamp to minpos")
+	}
+	if got := c.FromFloat64(-1e300); got != c.Neg(c.MaxPos()) {
+		t.Fatalf("-1e300 must clamp to -maxpos")
+	}
+}
+
+// TestFig2RootCount reproduces the paper's Figure 2 behaviour directly on
+// the arithmetic: in ⟨32,2⟩, b·b and 4·a·c both round to the same posit and
+// the discriminant cancels to exactly zero, while the true value is ≈2.4e20.
+func TestFig2RootCount(t *testing.T) {
+	c := Config32
+	a := c.FromFloat64(1.8309067625725952e16)
+	b := c.FromFloat64(3.24664295424e12)
+	cc := c.FromFloat64(1.43923904e8)
+
+	t1 := c.Mul(b, b)
+	t2 := c.Mul(c.Mul(c.FromFloat64(4.0), a), cc)
+	if t1 != t2 {
+		t.Fatalf("b² (%s) and 4ac (%s) must round to the same posit", c.Format(t1), c.Format(t2))
+	}
+	if got := c.ToFloat64(t1); math.Abs(got-1.057810092162800527867904e25) > 1e10 {
+		t.Fatalf("rounded intermediate = %g, want ≈1.0578100…e25", got)
+	}
+	t3 := c.Sub(t1, t2)
+	if t3 != 0 {
+		t.Fatalf("discriminant must cancel to 0, got %s", c.Format(t3))
+	}
+	// Figure 2 also reports the available fraction bits per value.
+	for _, tc := range []struct {
+		p    Bits
+		want int
+	}{{a, 14}, {b, 17}, {cc, 21}, {t1, 7}} {
+		if fb := c.FracBits(tc.p); fb != tc.want {
+			t.Fatalf("frac bits of %s = %d, want %d", c.Format(tc.p), fb, tc.want)
+		}
+	}
+	// The paper's rewrite (b−2√a√c)(b+2√a√c) recovers ≈2.179e20.
+	two := c.FromFloat64(2)
+	sa, sc := c.Sqrt(a), c.Sqrt(cc)
+	left := c.Sub(b, c.Mul(two, c.Mul(sa, sc)))
+	right := c.Add(b, c.Mul(two, c.Mul(sa, sc)))
+	rewritten := c.Mul(left, right)
+	if got := c.ToFloat64(rewritten); math.Abs(got-2.17902164370694078464e20)/2.179e20 > 1e-6 {
+		t.Fatalf("rewritten discriminant = %g, want ≈2.17902…e20", got)
+	}
+}
+
+// TestIntConversions exercises the posit↔int64 paths.
+func TestIntConversions(t *testing.T) {
+	c := Config32
+	for _, v := range []int64{0, 1, -1, 2, 13, -13, 1000, 123456, -99999, 1 << 40} {
+		p := c.FromInt64(v)
+		got, ok := c.ToInt64(p)
+		// Large magnitudes lose integer precision but small ones are exact.
+		if v < 1<<27 && v > -(1<<27) {
+			if !ok || got != v {
+				t.Fatalf("int round trip %d → %d (ok=%v)", v, got, ok)
+			}
+		}
+	}
+	// Truncation toward zero, like a C cast.
+	if got, _ := c.ToInt64(c.FromFloat64(2.9)); got != 2 {
+		t.Fatalf("ToInt64(2.9) = %d, want 2", got)
+	}
+	if got, _ := c.ToInt64(c.FromFloat64(-2.9)); got != -2 {
+		t.Fatalf("ToInt64(-2.9) = %d, want -2", got)
+	}
+	if _, ok := c.ToInt64(c.NaR()); ok {
+		t.Fatal("ToInt64(NaR) must report !ok")
+	}
+}
+
+// TestConvertBetweenConfigs: widening a posit to a strictly finer
+// configuration and back must be the identity.
+func TestConvertBetweenConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		p := Bits(rng.Uint64() & Config16.Mask())
+		if Config16.IsNaR(p) {
+			continue
+		}
+		wide := Config16.Convert(p, Config32)
+		back := Config32.Convert(wide, Config16)
+		if back != p {
+			t.Fatalf("16→32→16 round trip failed for %s", Config16.BitString(p))
+		}
+	}
+	if got := Config16.Convert(Config16.NaR(), Config32); got != Config32.NaR() {
+		t.Fatal("NaR must convert to NaR")
+	}
+}
+
+// TestOrderingMatchesValues: the two's-complement pattern order must agree
+// with numeric order — the property the comparison operators rely on.
+func TestOrderingMatchesValues(t *testing.T) {
+	for _, c := range []Config{Config8, Config16} {
+		var prev float64
+		first := true
+		for o := int64(-(1 << (c.N - 1))) + 1; o < int64(1<<(c.N-1)); o++ {
+			p := Bits(uint64(o) & c.Mask())
+			v := c.ToFloat64(p)
+			if !first && !(v > prev) {
+				t.Fatalf("⟨%d,%d⟩ ordering violated at %s", c.N, c.ES, c.BitString(p))
+			}
+			prev, first = v, false
+		}
+	}
+}
+
+// Property-based tests on algebraic identities that posit arithmetic must
+// satisfy exactly (commutativity, sign symmetry, involution).
+func TestQuickProperties(t *testing.T) {
+	c := Config32
+	mask := c.Mask()
+	cfgOK := func(a, b uint64) (Bits, Bits) { return Bits(a & mask), Bits(b & mask) }
+
+	if err := quick.Check(func(x, y uint64) bool {
+		a, b := cfgOK(x, y)
+		return c.Add(a, b) == c.Add(b, a)
+	}, nil); err != nil {
+		t.Error("add commutativity:", err)
+	}
+	if err := quick.Check(func(x, y uint64) bool {
+		a, b := cfgOK(x, y)
+		return c.Mul(a, b) == c.Mul(b, a)
+	}, nil); err != nil {
+		t.Error("mul commutativity:", err)
+	}
+	if err := quick.Check(func(x, y uint64) bool {
+		a, b := cfgOK(x, y)
+		return c.Add(c.Neg(a), c.Neg(b)) == c.Neg(c.Add(a, b))
+	}, nil); err != nil {
+		t.Error("negation symmetry:", err)
+	}
+	if err := quick.Check(func(x uint64) bool {
+		a := Bits(x & mask)
+		return c.Neg(c.Neg(a)) == a
+	}, nil); err != nil {
+		t.Error("neg involution:", err)
+	}
+	if err := quick.Check(func(x uint64) bool {
+		a := Bits(x & mask)
+		return c.Mul(a, c.One()) == a
+	}, nil); err != nil {
+		t.Error("multiplicative identity:", err)
+	}
+	if err := quick.Check(func(x uint64) bool {
+		a := Bits(x & mask)
+		return c.Add(a, 0) == a
+	}, nil); err != nil {
+		t.Error("additive identity:", err)
+	}
+	if err := quick.Check(func(x uint64) bool {
+		a := Bits(x & mask)
+		if c.IsNaR(a) {
+			return c.IsNaR(c.Sub(a, a))
+		}
+		return c.Sub(a, a) == 0
+	}, nil); err != nil {
+		t.Error("x−x = 0:", err)
+	}
+	if err := quick.Check(func(x uint64) bool {
+		a := Bits(x & mask)
+		if c.IsNaR(a) || a == 0 {
+			return true
+		}
+		d := c.Div(a, a)
+		return d == c.One()
+	}, nil); err != nil {
+		t.Error("x/x = 1:", err)
+	}
+	if err := quick.Check(func(x uint64) bool {
+		a := c.Abs(Bits(x & mask))
+		if c.IsNaR(a) {
+			return true
+		}
+		// sqrt(x)² ≈ x within one rounding each way: check ordering only.
+		s := c.Sqrt(a)
+		return c.Sign(s) >= 0
+	}, nil); err != nil {
+		t.Error("sqrt sign:", err)
+	}
+}
+
+// TestWrapperTypes gives the convenience types a smoke pass.
+func TestWrapperTypes(t *testing.T) {
+	a := P32FromFloat64(1.5)
+	b := P32FromFloat64(2.5)
+	if got := a.Add(b).Float64(); got != 4 {
+		t.Fatalf("1.5+2.5 = %v", got)
+	}
+	if got := a.Mul(b).Float64(); got != 3.75 {
+		t.Fatalf("1.5·2.5 = %v", got)
+	}
+	if got := b.Sub(a).Float64(); got != 1 {
+		t.Fatalf("2.5−1.5 = %v", got)
+	}
+	if got := b.Div(a).String(); got != "1.6666666" && got == "" {
+		t.Fatalf("2.5/1.5 = %v", got)
+	}
+	if !a.Lt(b) || b.Le(a) {
+		t.Fatal("comparisons")
+	}
+	if P32FromFloat64(math.NaN()) != NaR32 || !NaR32.IsNaR() {
+		t.Fatal("NaR32")
+	}
+	if got := P32FromFloat64(9).Sqrt().Float64(); got != 3 {
+		t.Fatalf("sqrt(9) = %v", got)
+	}
+	if got := P32FromInt64(-7).Abs().Float64(); got != 7 {
+		t.Fatalf("abs(-7) = %v", got)
+	}
+	x16 := P16FromFloat64(0.5)
+	if got := x16.Add(x16).Float64(); got != 1 {
+		t.Fatalf("p16 0.5+0.5 = %v", got)
+	}
+	if got := x16.Mul(x16).Float64(); got != 0.25 {
+		t.Fatalf("p16 0.5·0.5 = %v", got)
+	}
+	if got := x16.Div(x16).Float64(); got != 1 {
+		t.Fatalf("p16 0.5/0.5 = %v", got)
+	}
+	if got := x16.Sub(x16).Float64(); got != 0 {
+		t.Fatalf("p16 0.5-0.5 = %v", got)
+	}
+	x8 := P8FromFloat64(2)
+	if got := x8.Mul(x8).Float64(); got != 4 {
+		t.Fatalf("p8 2·2 = %v", got)
+	}
+	if got := x8.Add(x8).Float64(); got != 4 {
+		t.Fatalf("p8 2+2 = %v", got)
+	}
+	if got := x8.Sub(x8).Float64(); got != 0 {
+		t.Fatalf("p8 2-2 = %v", got)
+	}
+	if got := x8.Div(x8).Float64(); got != 1 {
+		t.Fatalf("p8 2/2 = %v", got)
+	}
+}
+
+// TestValidate rejects unsupported configurations.
+func TestValidate(t *testing.T) {
+	for _, c := range []Config{{N: 2}, {N: 33}, {N: 64, ES: 2}, {N: 16, ES: 6}} {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %+v must be rejected", c)
+		}
+	}
+	for _, c := range oracleConfigs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("config %+v must validate: %v", c, err)
+		}
+	}
+}
+
+func BenchmarkP32Add(b *testing.B) {
+	x := Config32.FromFloat64(1.87654321)
+	y := Config32.FromFloat64(-0.0043210987)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Config32.Add(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkP32Mul(b *testing.B) {
+	x := Config32.FromFloat64(1.0000001)
+	y := Config32.FromFloat64(0.9999999)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Config32.Mul(x, y)
+	}
+}
+
+func BenchmarkP32Div(b *testing.B) {
+	x := Config32.FromFloat64(1.87654321)
+	y := Config32.FromFloat64(3.14159)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Config32.Div(x, y)
+	}
+}
+
+func BenchmarkP32Sqrt(b *testing.B) {
+	x := Config32.FromFloat64(1.87654321)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Config32.Sqrt(x)
+	}
+}
+
+// BenchmarkEncodePaths isolates the two rounding paths of the encoder:
+// golden-zone operations round within the fraction field (fast integer
+// RNE), while tapered-edge operations fall into the exact big.Int
+// neighbor-midpoint comparison.
+func BenchmarkEncodePaths(b *testing.B) {
+	c := Config32
+	b.Run("fast-infraction", func(b *testing.B) {
+		x := c.FromFloat64(1.2345678)
+		y := c.FromFloat64(1.0000001)
+		for i := 0; i < b.N; i++ {
+			_ = c.Mul(x, y)
+		}
+	})
+	b.Run("slow-taperededge", func(b *testing.B) {
+		// Products near maxpos: the rounding position lands inside the
+		// regime, forcing the exact midpoint comparison.
+		x := c.FromFloat64(1.1e17)
+		y := c.FromFloat64(0.9e17)
+		for i := 0; i < b.N; i++ {
+			_ = c.Mul(x, y)
+		}
+	})
+}
+
+// TestSmallAccessors sweeps the trivial accessors.
+func TestSmallAccessors(t *testing.T) {
+	c := Config32
+	if c.Zero() != 0 || !c.IsZero(c.Zero()) || c.IsZero(c.One()) {
+		t.Fatal("zero accessors")
+	}
+	if c.UseedLog2() != 4 || Config16.UseedLog2() != 2 || Config8.UseedLog2() != 1 {
+		t.Fatal("useed")
+	}
+	if c.RegimeLen(c.One()) != 2 {
+		t.Fatalf("regime of 1.0 = %d", c.RegimeLen(c.One()))
+	}
+	if !c.IsMaxMag(c.Neg(c.MaxPos())) || c.IsMaxMag(c.One()) {
+		t.Fatal("IsMaxMag")
+	}
+	if !c.IsMinMag(c.MinPos()) || c.IsMinMag(0) {
+		t.Fatal("IsMinMag")
+	}
+	if c.Abs(c.NaR()) != c.NaR() {
+		t.Fatal("Abs(NaR)")
+	}
+	q := NewQuire(c)
+	if q.Sign() != 0 {
+		t.Fatal("empty quire sign")
+	}
+	q.Add(c.One())
+	if q.Sign() != 1 {
+		t.Fatal("positive quire sign")
+	}
+	q.Sub(c.One())
+	q.Sub(c.One())
+	if q.Sign() != -1 {
+		t.Fatal("negative quire sign")
+	}
+}

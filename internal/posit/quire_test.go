@@ -1,0 +1,167 @@
+package posit
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestQuireDotProduct: the quire must compute exactly rounded fused dot
+// products — the accumulated rationals rounded once.
+func TestQuireDotProduct(t *testing.T) {
+	for _, c := range []Config{Config8, Config16, Config32, {N: 13, ES: 2}} {
+		rng := rand.New(rand.NewSource(int64(c.N)))
+		for trial := 0; trial < 200; trial++ {
+			q := NewQuire(c)
+			exact := new(big.Rat)
+			n := 1 + rng.Intn(40)
+			for i := 0; i < n; i++ {
+				a := Bits(rng.Uint64() & c.Mask())
+				b := Bits(rng.Uint64() & c.Mask())
+				if c.IsNaR(a) || c.IsNaR(b) {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					q.AddProduct(a, b)
+					exact.Add(exact, new(big.Rat).Mul(ratValue(c, a), ratValue(c, b)))
+				} else {
+					q.SubProduct(a, b)
+					exact.Sub(exact, new(big.Rat).Mul(ratValue(c, a), ratValue(c, b)))
+				}
+			}
+			got := q.Posit()
+			checkNearest(t, c, exact, got, "quire fdp")
+		}
+	}
+}
+
+// TestQuireFusedSum: exact accumulation of plain posit values.
+func TestQuireFusedSum(t *testing.T) {
+	for _, c := range []Config{Config8, Config16, Config32} {
+		rng := rand.New(rand.NewSource(int64(c.N) + 99))
+		for trial := 0; trial < 200; trial++ {
+			q := NewQuire(c)
+			exact := new(big.Rat)
+			for i := 0; i < 1+rng.Intn(60); i++ {
+				a := Bits(rng.Uint64() & c.Mask())
+				if c.IsNaR(a) {
+					continue
+				}
+				if rng.Intn(4) == 0 {
+					q.Sub(a)
+					exact.Sub(exact, ratValue(c, a))
+				} else {
+					q.Add(a)
+					exact.Add(exact, ratValue(c, a))
+				}
+			}
+			checkNearest(t, c, exact, q.Posit(), "quire fsum")
+		}
+	}
+}
+
+// TestQuireExtremes: maxpos² + minpos² must be held exactly (the standard's
+// sizing requirement), and cancel back out exactly.
+func TestQuireExtremes(t *testing.T) {
+	c := Config32
+	q := NewQuire(c)
+	q.AddProduct(c.MaxPos(), c.MaxPos())
+	q.AddProduct(c.MinPos(), c.MinPos())
+	exact := new(big.Rat).Mul(ratValue(c, c.MaxPos()), ratValue(c, c.MaxPos()))
+	exact.Add(exact, new(big.Rat).Mul(ratValue(c, c.MinPos()), ratValue(c, c.MinPos())))
+	checkNearest(t, c, exact, q.Posit(), "maxpos²+minpos²")
+
+	q.SubProduct(c.MaxPos(), c.MaxPos())
+	if got := q.Posit(); got != c.MinPos() {
+		// The remainder is exactly minpos² = 2^-240, far below minpos, so
+		// it must clamp to minpos (never to zero).
+		t.Fatalf("residual minpos² must round to minpos, got %s", c.Format(got))
+	}
+	q.SubProduct(c.MinPos(), c.MinPos())
+	if got := q.Posit(); got != 0 {
+		t.Fatalf("exact cancellation must give zero, got %s", c.Format(got))
+	}
+}
+
+// TestQuireNaR: NaR operands poison the quire until cleared.
+func TestQuireNaR(t *testing.T) {
+	c := Config32
+	q := NewQuire(c)
+	q.Add(c.One())
+	q.Add(c.NaR())
+	if !q.IsNaR() || q.Posit() != c.NaR() {
+		t.Fatal("quire must absorb NaR")
+	}
+	q.Clear()
+	if q.IsNaR() || q.Posit() != 0 {
+		t.Fatal("Clear must reset NaR and value")
+	}
+}
+
+// TestQuireSimpsonStyle: long accumulation of same-sign terms (the paper's
+// §5.2.2 failure mode) — the quire must agree with exact arithmetic where
+// naive posit accumulation drifts.
+func TestQuireSimpsonStyle(t *testing.T) {
+	c := Config32
+	q := NewQuire(c)
+	exact := new(big.Rat)
+	naive := Bits(0)
+	term := c.FromFloat64(1.8e14)
+	for i := 0; i < 5000; i++ {
+		q.Add(term)
+		naive = c.Add(naive, term)
+		exact.Add(exact, ratValue(c, term))
+	}
+	checkNearest(t, c, exact, q.Posit(), "simpson-style fused sum")
+	// And the naive sum must (by design of the workload) have drifted.
+	nf := c.ToFloat64(naive)
+	ef, _ := exact.Float64()
+	if nf == ef {
+		t.Skip("naive accumulation did not drift at this scale")
+	}
+}
+
+func BenchmarkQuireAddProduct(b *testing.B) {
+	c := Config32
+	q := NewQuire(c)
+	x := c.FromFloat64(1.5)
+	y := c.FromFloat64(2.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.AddProduct(x, y)
+	}
+}
+
+// TestQuireWideES: nonstandard es ≥ 3 configurations need a wider quire
+// than the standard's 16n bits; maxpos²±minpos² must still be exact.
+func TestQuireWideES(t *testing.T) {
+	for _, c := range []Config{{N: 16, ES: 3}, {N: 12, ES: 4}, {N: 10, ES: 5}} {
+		q := NewQuire(c)
+		q.AddProduct(c.MaxPos(), c.MaxPos())
+		q.AddProduct(c.MinPos(), c.MinPos())
+		exact := new(big.Rat).Mul(ratValue(c, c.MaxPos()), ratValue(c, c.MaxPos()))
+		exact.Add(exact, new(big.Rat).Mul(ratValue(c, c.MinPos()), ratValue(c, c.MinPos())))
+		checkNearest(t, c, exact, q.Posit(), "wide-es maxpos²+minpos²")
+		q.SubProduct(c.MaxPos(), c.MaxPos())
+		q.SubProduct(c.MinPos(), c.MinPos())
+		if got := q.Posit(); got != 0 {
+			t.Fatalf("⟨%d,%d⟩ exact cancellation gave %s", c.N, c.ES, c.Format(got))
+		}
+		// Random fused dot products stay correctly rounded.
+		rng := rand.New(rand.NewSource(int64(c.N + c.ES)))
+		for trial := 0; trial < 50; trial++ {
+			q.Clear()
+			ex := new(big.Rat)
+			for i := 0; i < 20; i++ {
+				a := Bits(rng.Uint64() & c.Mask())
+				b := Bits(rng.Uint64() & c.Mask())
+				if c.IsNaR(a) || c.IsNaR(b) {
+					continue
+				}
+				q.AddProduct(a, b)
+				ex.Add(ex, new(big.Rat).Mul(ratValue(c, a), ratValue(c, b)))
+			}
+			checkNearest(t, c, ex, q.Posit(), "wide-es fdp")
+		}
+	}
+}

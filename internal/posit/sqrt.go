@@ -1,0 +1,65 @@
+package posit
+
+// Sqrt returns the correctly rounded square root of a. Negative inputs and
+// NaR yield NaR; Sqrt(0) = 0.
+func (c Config) Sqrt(a Bits) Bits {
+	if c.IsNaR(a) {
+		return c.NaR()
+	}
+	if a == 0 {
+		return 0
+	}
+	d := c.Decode(a)
+	if d.Neg {
+		return c.NaR()
+	}
+	// value = 2^scale · F/2^63. Fold scale parity into the radicand:
+	//   scale even: M = F·2^63  ⇒ sqrt = 2^(scale/2) · isqrt(M)/2^63
+	//   scale odd:  M = F·2^64  ⇒ sqrt = 2^((scale−1)/2) · isqrt(M)/2^63
+	var mh, ml uint64
+	scale := d.Scale
+	if scale&1 == 0 {
+		mh, ml = d.Frac>>1, d.Frac<<63
+	} else {
+		mh, ml = d.Frac, 0
+		scale--
+	}
+	r, exact := isqrt128(mh, ml)
+	return c.encode(unrounded{
+		scale:  scale >> 1,
+		frac:   r,
+		sticky: !exact,
+	})
+}
+
+// isqrt128 computes the integer square root of the 128-bit value hi·2^64+lo
+// for inputs in [2^126, 2^128), returning the 64-bit root (∈ [2^63, 2^64))
+// and whether the input was a perfect square. Classic restoring bit-by-bit
+// method on (remainder, root) pairs.
+func isqrt128(hi, lo uint64) (root uint64, exact bool) {
+	var rh, rl uint64 // current remainder (left part of the radicand consumed)
+	for i := 0; i < 64; i++ {
+		// Shift two radicand bits into the remainder.
+		rh = rh<<2 | rl>>62
+		rl = rl<<2 | hi>>62
+		hi = hi<<2 | lo>>62
+		lo <<= 2
+		// Trial subtract t = (root<<2) | 1, a value of at most 66 bits;
+		// the remainder never exceeds 2·root+1+3 so 128 bits suffice.
+		th, tl := root>>62, root<<2|1
+		// remainder − t
+		bl := rl - tl
+		borrow := uint64(0)
+		if rl < tl {
+			borrow = 1
+		}
+		bh := rh - th - borrow
+		if rh >= th+borrow { // no overall borrow: bit is 1
+			rh, rl = bh, bl
+			root = root<<1 | 1
+		} else {
+			root <<= 1
+		}
+	}
+	return root, rh == 0 && rl == 0
+}

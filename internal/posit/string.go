@@ -1,0 +1,48 @@
+package posit
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Format renders a posit value in decimal (shortest representation that
+// round-trips through float64, which is exact for n ≤ 32). NaR renders as
+// "NaR".
+func (c Config) Format(p Bits) string {
+	if c.IsNaR(p) {
+		return "NaR"
+	}
+	return strconv.FormatFloat(c.ToFloat64(p), 'g', -1, 64)
+}
+
+// BitString renders the raw pattern as an n-character binary string, useful
+// when inspecting regime/exponent/fraction fields.
+func (c Config) BitString(p Bits) string {
+	return fmt.Sprintf("%0*b", c.N, uint64(p))
+}
+
+// FieldString renders the pattern with its fields separated:
+// sign|regime|exponent|fraction, e.g. "0|110|1|101" for ⟨8,1⟩ 13.
+func (c Config) FieldString(p Bits) string {
+	if p == 0 || c.IsNaR(p) {
+		return c.BitString(p)
+	}
+	bs := c.BitString(p)
+	// Field boundaries are defined on the magnitude's pattern, but the
+	// conventional display shows the stored bits; use the magnitude to
+	// find the geometry.
+	d := c.Decode(c.Abs(p))
+	reg := 1 + d.RegimeBits
+	expEnd := reg + int(c.ES)
+	if expEnd > int(c.N) {
+		expEnd = int(c.N)
+	}
+	out := bs[:1] + "|" + bs[1:reg]
+	if reg < int(c.N) {
+		out += "|" + bs[reg:expEnd]
+	}
+	if expEnd < int(c.N) {
+		out += "|" + bs[expEnd:]
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package posit
+
+// Posit32 is a value in the standard ⟨32,2⟩ configuration — the type used
+// throughout the PositDebug evaluation. The zero value is posit zero.
+type Posit32 uint32
+
+// P32FromFloat64 rounds f to the nearest ⟨32,2⟩ posit.
+func P32FromFloat64(f float64) Posit32 { return Posit32(Config32.FromFloat64(f)) }
+
+// P32FromInt64 rounds i to the nearest ⟨32,2⟩ posit.
+func P32FromInt64(i int64) Posit32 { return Posit32(Config32.FromInt64(i)) }
+
+// NaR32 is the ⟨32,2⟩ Not-a-Real pattern.
+const NaR32 Posit32 = 1 << 31
+
+// Bits returns the generic pattern for use with Config32.
+func (p Posit32) Bits() Bits { return Bits(p) }
+
+// Float64 converts exactly to float64.
+func (p Posit32) Float64() float64 { return Config32.ToFloat64(Bits(p)) }
+
+// Add returns p+q correctly rounded.
+func (p Posit32) Add(q Posit32) Posit32 { return Posit32(Config32.Add(Bits(p), Bits(q))) }
+
+// Sub returns p−q correctly rounded.
+func (p Posit32) Sub(q Posit32) Posit32 { return Posit32(Config32.Sub(Bits(p), Bits(q))) }
+
+// Mul returns p·q correctly rounded.
+func (p Posit32) Mul(q Posit32) Posit32 { return Posit32(Config32.Mul(Bits(p), Bits(q))) }
+
+// Div returns p/q correctly rounded; division by zero yields NaR.
+func (p Posit32) Div(q Posit32) Posit32 { return Posit32(Config32.Div(Bits(p), Bits(q))) }
+
+// Sqrt returns the correctly rounded square root.
+func (p Posit32) Sqrt() Posit32 { return Posit32(Config32.Sqrt(Bits(p))) }
+
+// Neg returns −p.
+func (p Posit32) Neg() Posit32 { return Posit32(Config32.Neg(Bits(p))) }
+
+// Abs returns |p|.
+func (p Posit32) Abs() Posit32 { return Posit32(Config32.Abs(Bits(p))) }
+
+// IsNaR reports whether p is Not-a-Real.
+func (p Posit32) IsNaR() bool { return p == NaR32 }
+
+// Cmp compares numerically: −1, 0 or +1.
+func (p Posit32) Cmp(q Posit32) int { return Config32.Cmp(Bits(p), Bits(q)) }
+
+// Lt reports p < q.
+func (p Posit32) Lt(q Posit32) bool { return p.Cmp(q) < 0 }
+
+// Le reports p ≤ q.
+func (p Posit32) Le(q Posit32) bool { return p.Cmp(q) <= 0 }
+
+// String renders the value in decimal.
+func (p Posit32) String() string { return Config32.Format(Bits(p)) }
+
+// Posit16 is a value in the standard ⟨16,1⟩ configuration.
+type Posit16 uint16
+
+// P16FromFloat64 rounds f to the nearest ⟨16,1⟩ posit.
+func P16FromFloat64(f float64) Posit16 { return Posit16(Config16.FromFloat64(f)) }
+
+// Bits returns the generic pattern for use with Config16.
+func (p Posit16) Bits() Bits { return Bits(p) }
+
+// Float64 converts exactly to float64.
+func (p Posit16) Float64() float64 { return Config16.ToFloat64(Bits(p)) }
+
+// Add returns p+q correctly rounded.
+func (p Posit16) Add(q Posit16) Posit16 { return Posit16(Config16.Add(Bits(p), Bits(q))) }
+
+// Sub returns p−q correctly rounded.
+func (p Posit16) Sub(q Posit16) Posit16 { return Posit16(Config16.Sub(Bits(p), Bits(q))) }
+
+// Mul returns p·q correctly rounded.
+func (p Posit16) Mul(q Posit16) Posit16 { return Posit16(Config16.Mul(Bits(p), Bits(q))) }
+
+// Div returns p/q correctly rounded; division by zero yields NaR.
+func (p Posit16) Div(q Posit16) Posit16 { return Posit16(Config16.Div(Bits(p), Bits(q))) }
+
+// String renders the value in decimal.
+func (p Posit16) String() string { return Config16.Format(Bits(p)) }
+
+// Posit8 is a value in the ⟨8,0⟩ configuration used by SoftPosit.
+type Posit8 uint8
+
+// P8FromFloat64 rounds f to the nearest ⟨8,0⟩ posit.
+func P8FromFloat64(f float64) Posit8 { return Posit8(Config8.FromFloat64(f)) }
+
+// Bits returns the generic pattern for use with Config8.
+func (p Posit8) Bits() Bits { return Bits(p) }
+
+// Float64 converts exactly to float64.
+func (p Posit8) Float64() float64 { return Config8.ToFloat64(Bits(p)) }
+
+// Add returns p+q correctly rounded.
+func (p Posit8) Add(q Posit8) Posit8 { return Posit8(Config8.Add(Bits(p), Bits(q))) }
+
+// Sub returns p−q correctly rounded.
+func (p Posit8) Sub(q Posit8) Posit8 { return Posit8(Config8.Sub(Bits(p), Bits(q))) }
+
+// Mul returns p·q correctly rounded.
+func (p Posit8) Mul(q Posit8) Posit8 { return Posit8(Config8.Mul(Bits(p), Bits(q))) }
+
+// Div returns p/q correctly rounded; division by zero yields NaR.
+func (p Posit8) Div(q Posit8) Posit8 { return Posit8(Config8.Div(Bits(p), Bits(q))) }
+
+// String renders the value in decimal.
+func (p Posit8) String() string { return Config8.Format(Bits(p)) }

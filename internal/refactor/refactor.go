@@ -1,0 +1,157 @@
+// Package refactor converts IEEE floating-point PCL programs into posit
+// programs, mirroring the paper's clang-based refactorer (§4.2): every FP
+// type annotation becomes the target posit type, and FP conversion calls
+// become posit conversions. Because PCL's numeric literals adapt to context
+// (like the SoftPosit convert-on-assign API the paper's tool emits),
+// literals need no rewriting.
+//
+// The paper used the refactorer to create posit versions of PolyBench and
+// SPEC applications without rewriting them by hand; the workloads package
+// here uses it for exactly the same purpose.
+package refactor
+
+import (
+	"fmt"
+
+	"positdebug/internal/lang"
+)
+
+// Options selects the type mapping. The zero value maps both f32 and f64
+// to p32 ⟨32,2⟩, the configuration the paper evaluates.
+type Options struct {
+	Map map[lang.TypeKind]lang.TypeKind
+}
+
+func (o Options) mapping() map[lang.TypeKind]lang.TypeKind {
+	if o.Map != nil {
+		return o.Map
+	}
+	return map[lang.TypeKind]lang.TypeKind{
+		lang.TF32: lang.TP32,
+		lang.TF64: lang.TP32,
+	}
+}
+
+// Source rewrites an FP program source into a posit program source.
+func Source(src string, opts Options) (string, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("refactor: %w", err)
+	}
+	Program(prog, opts)
+	out := lang.Format(prog)
+	// The rewritten program must still be well-formed.
+	p2, err := lang.Parse(out)
+	if err != nil {
+		return "", fmt.Errorf("refactor: rewritten source does not parse: %w", err)
+	}
+	if _, err := lang.Check(p2); err != nil {
+		return "", fmt.Errorf("refactor: rewritten source does not type-check: %w", err)
+	}
+	return out, nil
+}
+
+// Program rewrites the AST in place.
+func Program(prog *lang.Program, opts Options) {
+	m := opts.mapping()
+	for _, g := range prog.Globals {
+		g.Type = mapType(g.Type, m)
+		if g.Init != nil {
+			rewriteExpr(g.Init, m)
+		}
+	}
+	for _, f := range prog.Funcs {
+		for i := range f.Params {
+			f.Params[i].Type = mapType(f.Params[i].Type, m)
+		}
+		f.Ret = mapType(f.Ret, m)
+		rewriteBlock(f.Body, m)
+	}
+}
+
+func mapType(t lang.Type, m map[lang.TypeKind]lang.TypeKind) lang.Type {
+	if nk, ok := m[t.Kind]; ok {
+		t.Kind = nk
+	}
+	return t
+}
+
+func typeName(k lang.TypeKind) string {
+	for name, kind := range lang.TypeKindByName {
+		if kind == k {
+			return name
+		}
+	}
+	return ""
+}
+
+func rewriteBlock(b *lang.BlockStmt, m map[lang.TypeKind]lang.TypeKind) {
+	for _, s := range b.Stmts {
+		rewriteStmt(s, m)
+	}
+}
+
+func rewriteStmt(s lang.Stmt, m map[lang.TypeKind]lang.TypeKind) {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		rewriteBlock(s, m)
+	case *lang.DeclStmt:
+		s.Decl.Type = mapType(s.Decl.Type, m)
+		if s.Decl.Init != nil {
+			rewriteExpr(s.Decl.Init, m)
+		}
+	case *lang.AssignStmt:
+		rewriteExpr(s.Lhs, m)
+		rewriteExpr(s.Rhs, m)
+	case *lang.ExprStmt:
+		rewriteExpr(s.X, m)
+	case *lang.IfStmt:
+		rewriteExpr(s.Cond, m)
+		rewriteBlock(s.Then, m)
+		if s.Else != nil {
+			rewriteStmt(s.Else, m)
+		}
+	case *lang.WhileStmt:
+		rewriteExpr(s.Cond, m)
+		rewriteBlock(s.Body, m)
+	case *lang.ForStmt:
+		if s.Init != nil {
+			rewriteStmt(s.Init, m)
+		}
+		if s.Cond != nil {
+			rewriteExpr(s.Cond, m)
+		}
+		if s.Post != nil {
+			rewriteStmt(s.Post, m)
+		}
+		rewriteBlock(s.Body, m)
+	case *lang.ReturnStmt:
+		if s.X != nil {
+			rewriteExpr(s.X, m)
+		}
+	}
+}
+
+func rewriteExpr(e lang.Expr, m map[lang.TypeKind]lang.TypeKind) {
+	switch e := e.(type) {
+	case *lang.UnaryExpr:
+		rewriteExpr(e.X, m)
+	case *lang.BinaryExpr:
+		rewriteExpr(e.L, m)
+		rewriteExpr(e.R, m)
+	case *lang.IndexExpr:
+		for _, ix := range e.Indices {
+			rewriteExpr(ix, m)
+		}
+	case *lang.CallExpr:
+		// Conversion calls carry the FP type in their name: f64(x)→p32(x).
+		if k, isType := lang.TypeKindByName[e.Name]; isType {
+			if nk, ok := m[k]; ok {
+				e.Name = typeName(nk)
+			}
+		}
+		for _, a := range e.Args {
+			rewriteExpr(a, m)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package shadow
+
+import "testing"
+
+// BenchmarkAblationLockKey quantifies design decision 4 of DESIGN.md: the
+// per-dereference cost of the lock-and-key temporal-safety check guarding
+// DAG pointer traversal, against an unchecked pointer chase.
+func BenchmarkAblationLockKey(b *testing.B) {
+	var lock uint64 = 42
+	t := &TempMeta{}
+	t.lock = &lock
+	t.key = 42
+	ref := t.ref()
+	b.Run("checked", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if ref.valid() {
+				n++
+			}
+		}
+		if n != b.N {
+			b.Fatal("ref must stay valid")
+		}
+	})
+	b.Run("unchecked", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if ref.md != nil {
+				n++
+			}
+		}
+		if n != b.N {
+			b.Fatal("pointer must stay set")
+		}
+	})
+	b.Run("stale", func(b *testing.B) {
+		lock = 0 // the frame died
+		defer func() { lock = 42 }()
+		for i := 0; i < b.N; i++ {
+			if ref.valid() {
+				b.Fatal("stale ref must be rejected")
+			}
+		}
+	})
+}
+
+// BenchmarkShadowBinOp measures the per-operation cost of the shadow
+// runtime's hot path at each precision (the direct driver of Figures 7/9).
+func BenchmarkShadowBinOp(b *testing.B) {
+	for _, prec := range []uint{128, 256, 512} {
+		prec := prec
+		b.Run(benchName(prec), func(b *testing.B) {
+			src := `
+func main(): p32 {
+	var s: p32 = 0.0;
+	for (var i: i64 = 0; i < 1000; i += 1) {
+		s = s + 1.0625;
+	}
+	return s;
+}
+`
+			rt, m := buildPipeline(b, src, Config{Precision: prec, Tracing: true, MaxReports: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run("main"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = rt
+		})
+	}
+}
+
+func benchName(prec uint) string {
+	switch prec {
+	case 128:
+		return "prec128"
+	case 256:
+		return "prec256"
+	default:
+		return "prec512"
+	}
+}

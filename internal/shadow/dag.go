@@ -1,0 +1,78 @@
+package shadow
+
+import (
+	"positdebug/internal/interp"
+	"positdebug/internal/ir"
+)
+
+// buildDAG walks the metadata graph rooted at a temporary and materializes
+// the DAG of instructions likely responsible for an error (§3.5): operand
+// references are followed only when their lock-and-key check passes and
+// their timestamp precedes the referring node's (so a loop-carried
+// temporary does not appear as its own ancestor).
+func (r *Runtime) buildDAG(root *TempMeta) *DAGNode {
+	return r.dagNode(root, root.Time+1, r.cfg.MaxDAGDepth)
+}
+
+func (r *Runtime) dagNode(t *TempMeta, parentTime uint64, depth int) *DAGNode {
+	meta := r.mod.Meta(t.Inst)
+	n := &DAGNode{
+		Inst:    t.Inst,
+		Text:    meta.Text,
+		Op:      opLabel(meta),
+		Pos:     metaPos(meta),
+		Program: interp.FormatValue(meta.Type, t.Prog),
+		Shadow:  formatBig(&t.Real),
+		ErrBits: int(t.Err),
+	}
+	if t.Inst < 0 {
+		n.Op = "value"
+		n.Text = "(program value)"
+	}
+	if depth <= 0 {
+		return n
+	}
+	for _, ref := range []mdRef{t.Op1, t.Op2} {
+		if !ref.valid() {
+			continue
+		}
+		child := ref.md
+		if child.Time >= parentTime && parentTime > 0 {
+			// The operand's metadata was overwritten after this node was
+			// produced (a loop rewrote the static temporary): stop.
+			continue
+		}
+		if child.Time >= t.Time && t.Time > 0 {
+			continue
+		}
+		n.Kids = append(n.Kids, r.dagNode(child, t.Time, depth-1))
+	}
+	return n
+}
+
+func opLabel(meta ir.InstrMeta) string {
+	switch meta.Op {
+	case ir.OpBin:
+		return ir.BinKind(meta.Kind).String()
+	case ir.OpUn:
+		return ir.UnKind(meta.Kind).String()
+	case ir.OpCmp:
+		return ir.CmpPred(meta.Kind).String()
+	case ir.OpLoad:
+		return "load"
+	case ir.OpStore:
+		return "store"
+	case ir.OpConst:
+		return "const"
+	case ir.OpCast:
+		return "cast"
+	case ir.OpCall:
+		return "call"
+	case ir.OpQVal:
+		return "qval"
+	case ir.OpPrint:
+		return "print"
+	default:
+		return meta.Op.String()
+	}
+}

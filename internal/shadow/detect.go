@@ -1,0 +1,279 @@
+package shadow
+
+import (
+	"math"
+	"math/big"
+	"strconv"
+
+	"positdebug/internal/interp"
+	"positdebug/internal/ir"
+	"positdebug/internal/posit"
+	"positdebug/internal/ulp"
+)
+
+// errInfo carries the data needed to materialize a Report.
+type errInfo struct {
+	errBits int
+	ulps    uint64
+	program string
+	shadow  string
+	root    *TempMeta
+}
+
+func (r *Runtime) count(k Kind) { r.counts[k]++ }
+
+// emit materializes a detailed report (respecting the cap) and invokes the
+// user callback.
+func (r *Runtime) emit(k Kind, inst int32, info errInfo) {
+	if r.cfg.OnError == nil && r.cfg.MaxReports > 0 && len(r.reports) >= r.cfg.MaxReports {
+		return
+	}
+	meta := r.mod.Meta(inst)
+	rep := &Report{
+		Kind:    k,
+		Inst:    inst,
+		Func:    meta.Func,
+		Pos:     metaPos(meta),
+		Text:    meta.Text,
+		ErrBits: info.errBits,
+		ULPs:    info.ulps,
+		Program: info.program,
+		Shadow:  info.shadow,
+	}
+	if r.cfg.Tracing && info.root != nil {
+		rep.DAG = r.buildDAG(info.root)
+	}
+	if r.cfg.MaxReports == 0 || len(r.reports) < r.cfg.MaxReports {
+		r.reports = append(r.reports, rep)
+	}
+	if r.cfg.OnError != nil {
+		r.cfg.OnError(rep)
+	}
+	if r.cfg.BreakOn != nil && r.cfg.BreakOn(rep) {
+		panic(&interp.Stopped{Reason: rep})
+	}
+}
+
+// checkOp classifies the error of a freshly produced value (§3.4). subLike
+// marks additive operations, the only ones that can cancel.
+func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMeta) {
+	progF := interp.ToFloat64(typ, d.Prog)
+
+	// Exceptions first: the program produced NaR/NaN/Inf from operands
+	// that were still finite. (NaR flowing through later operations is the
+	// same exception, not a new one.)
+	progUndef := math.IsNaN(progF) || math.IsInf(progF, 0)
+	if progUndef {
+		opsWereFinite := true
+		for _, op := range []*TempMeta{ta, tb} {
+			if op == nil {
+				continue
+			}
+			of := interp.ToFloat64(typ, op.Prog)
+			if math.IsNaN(of) || math.IsInf(of, 0) {
+				opsWereFinite = false
+			}
+		}
+		if opsWereFinite {
+			r.count(KindNaR)
+			r.emit(KindNaR, id, errInfo{
+				errBits: 64,
+				program: interp.FormatValue(typ, d.Prog),
+				shadow:  formatBig(&d.Real),
+				root:    d,
+			})
+			d.Err = 64
+		}
+		return
+	}
+	if d.Undef {
+		// Shadow blew up (divide by shadow-zero, etc.) while the program
+		// kept a finite value; nothing meaningful to compare.
+		return
+	}
+
+	ulps := ulp.DistanceBig(progF, &d.Real)
+	bits := ulp.Bits(ulps)
+	d.Err = int32(bits)
+	if bits > r.maxOpErr {
+		r.maxOpErr = bits
+	}
+
+	// Catastrophic cancellation (§3.4): cancelled leading bits AND the
+	// computed result at least a factor of ε=2 away from the real result.
+	if subLike && ta != nil && tb != nil && !ta.Undef && !tb.Undef {
+		if cb := cancelledBits(typ, ta.Prog, tb.Prog, d.Prog); cb > 0 && factorTwoOff(progF, &d.Real) {
+			r.count(KindCancellation)
+			r.emit(KindCancellation, id, errInfo{
+				errBits: bits, ulps: ulps,
+				program: interp.FormatValue(typ, d.Prog),
+				shadow:  formatBig(&d.Real),
+				root:    d,
+			})
+			return
+		}
+	}
+
+	if typ.IsPosit() {
+		cfg := typ.PositConfig()
+		pb := posit.Bits(d.Prog)
+		// Saturation: the operation produced maxpos/minpos magnitude while
+		// the real value disagrees — a silently hidden overflow/underflow.
+		if (cfg.IsMaxMag(pb) || cfg.IsMinMag(pb)) && bits > 0 {
+			r.count(KindSaturation)
+			r.emit(KindSaturation, id, errInfo{
+				errBits: bits, ulps: ulps,
+				program: interp.FormatValue(typ, d.Prog),
+				shadow:  formatBig(&d.Real),
+				root:    d,
+			})
+			return
+		}
+		// Loss of precision bits: the result's regime grew past both
+		// operands', shrinking the fraction beyond the threshold (§3.4).
+		if ta != nil && r.cfg.PrecisionLossThreshold > 0 {
+			if lost := fracBitsLost(cfg, d.Prog, ta, tb); lost >= r.cfg.PrecisionLossThreshold {
+				r.count(KindPrecisionLoss)
+				r.emit(KindPrecisionLoss, id, errInfo{
+					errBits: bits, ulps: ulps,
+					program: interp.FormatValue(typ, d.Prog),
+					shadow:  formatBig(&d.Real),
+					root:    d,
+				})
+				return
+			}
+		}
+	}
+
+	if r.cfg.ErrBitsThreshold > 0 && bits >= r.cfg.ErrBitsThreshold {
+		r.count(KindHighError)
+		r.emit(KindHighError, id, errInfo{
+			errBits: bits, ulps: ulps,
+			program: interp.FormatValue(typ, d.Prog),
+			shadow:  formatBig(&d.Real),
+			root:    d,
+		})
+	}
+}
+
+// cancelledBits computes cbits = max(exp(a), exp(b)) − exp(result): the
+// number of leading bits the additive operation cancelled. Zero results
+// with nonzero operands cancel everything (returns a large count).
+func cancelledBits(typ ir.Type, aBits, bBits, resBits uint64) int {
+	ea, aZero := valueExp(typ, aBits)
+	eb, bZero := valueExp(typ, bBits)
+	er, rZero := valueExp(typ, resBits)
+	if aZero || bZero {
+		return 0 // nothing to cancel
+	}
+	top := ea
+	if eb > top {
+		top = eb
+	}
+	if rZero {
+		return 64
+	}
+	return top - er
+}
+
+// valueExp returns the binary exponent of a program value and whether it is
+// zero (or NaR/NaN, treated as zero for cancellation purposes).
+func valueExp(typ ir.Type, bits uint64) (int, bool) {
+	f := interp.ToFloat64(typ, bits)
+	if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, true
+	}
+	return math.Ilogb(f), false
+}
+
+// factorTwoOff implements the paper's ε test: v ≥ 2r or v ≤ r/2 on
+// magnitudes, with the degenerate zero cases counted as catastrophic.
+func factorTwoOff(computed float64, real *big.Float) bool {
+	v := math.Abs(computed)
+	if real.Sign() == 0 {
+		return v != 0
+	}
+	var ar big.Float
+	ar.Abs(real)
+	rf, _ := ar.Float64()
+	if v == 0 {
+		return true
+	}
+	// Sign disagreement is at least as bad as a factor-2 error.
+	if (computed < 0) != (real.Sign() < 0) {
+		return true
+	}
+	return v >= 2*rf || v <= rf/2
+}
+
+// fracBitsLost computes how many fraction bits the result lost relative to
+// its best operand when its regime grew (tapered-precision loss).
+func fracBitsLost(cfg posit.Config, resBits uint64, ta, tb *TempMeta) int {
+	pr := posit.Bits(resBits)
+	if pr == 0 || cfg.IsNaR(pr) {
+		return 0
+	}
+	dr := cfg.Decode(cfg.Abs(pr))
+	bestFrac := -1
+	maxReg := 0
+	for _, op := range []*TempMeta{ta, tb} {
+		if op == nil {
+			continue
+		}
+		pb := posit.Bits(op.Prog)
+		if pb == 0 || cfg.IsNaR(pb) {
+			continue
+		}
+		od := cfg.Decode(cfg.Abs(pb))
+		if od.FracBits > bestFrac {
+			bestFrac = od.FracBits
+		}
+		if od.RegimeBits > maxReg {
+			maxReg = od.RegimeBits
+		}
+	}
+	if bestFrac < 0 || dr.RegimeBits <= maxReg {
+		return 0
+	}
+	return bestFrac - dr.FracBits
+}
+
+// checkOutputAt applies the output threshold to printed/returned values.
+func (r *Runtime) checkOutputAt(id int32, typ ir.Type, s *TempMeta) {
+	progF := interp.ToFloat64(typ, s.Prog)
+	if s.Undef {
+		return
+	}
+	if math.IsNaN(progF) || math.IsInf(progF, 0) {
+		r.count(KindWrongOutput)
+		r.emit(KindWrongOutput, id, errInfo{
+			errBits: 64,
+			program: interp.FormatValue(typ, s.Prog),
+			shadow:  formatBig(&s.Real),
+			root:    s,
+		})
+		if r.outputMaxErr < 64 {
+			r.outputMaxErr = 64
+		}
+		return
+	}
+	ulps := ulp.DistanceBig(progF, &s.Real)
+	bits := ulp.Bits(ulps)
+	if bits > r.outputMaxErr {
+		r.outputMaxErr = bits
+	}
+	if r.cfg.OutputThreshold > 0 && bits >= r.cfg.OutputThreshold {
+		r.count(KindWrongOutput)
+		r.emit(KindWrongOutput, id, errInfo{
+			errBits: bits, ulps: ulps,
+			program: interp.FormatValue(typ, s.Prog),
+			shadow:  formatBig(&s.Real),
+			root:    s,
+		})
+	}
+}
+
+func formatBig(x *big.Float) string {
+	f, _ := x.Float64()
+	return strconv.FormatFloat(f, 'g', 10, 64)
+}

@@ -1,0 +1,146 @@
+// Package shadow implements the PositDebug/FPSanitizer runtime: shadow
+// execution with high-precision values (via internal/bigfp), the paper's
+// constant-size metadata per memory location and per temporary (§3.2),
+// metadata propagation on loads, stores, calls and returns (§3.3),
+// detection and classification of numerical errors (§3.4), and DAG
+// construction for debugging (§3.5).
+//
+// The same runtime serves both posit programs (PositDebug) and IEEE FP
+// programs (FPSanitizer) — exactly the paper's claim that the metadata
+// design generalizes; only value decoding differs per type.
+package shadow
+
+import (
+	"math/big"
+
+	"positdebug/internal/ir"
+)
+
+// mdRef is a guarded pointer to a temporary's metadata: the lock-and-key
+// pair captured when the reference was created decides at use time whether
+// the referenced frame is still alive (§3.2 "lock-and-key metadata for
+// temporal safety"). A stale reference fails the key comparison because
+// keys increase monotonically and are never reused.
+type mdRef struct {
+	md   *TempMeta
+	lock *uint64
+	key  uint64
+}
+
+// valid reports whether the reference may be dereferenced.
+func (r mdRef) valid() bool { return r.md != nil && r.lock != nil && *r.lock == r.key }
+
+// TempMeta is the constant-size metadata of one temporary (virtual
+// register), Figure 3(b) of the paper: the high-precision shadow value, the
+// program's bit-pattern value, the producing instruction, guarded pointers
+// to the operands' metadata, the owning frame's lock and key, and the
+// timestamp that orders updates when a static temporary is rewritten in a
+// loop.
+type TempMeta struct {
+	Real  big.Float // shadow value (in-place, mantissa reused across updates)
+	Undef bool      // shadow value undefined (NaR/NaN territory)
+	Prog  uint64    // program bits at write time
+	Inst  int32     // producing instruction id (−1 unknown)
+	Err   int32     // bits of error recorded when produced
+	Time  uint64    // update timestamp
+	Op1   mdRef
+	Op2   mdRef
+
+	lock    *uint64
+	key     uint64
+	written bool
+}
+
+// ref returns a guarded reference to t.
+func (t *TempMeta) ref() mdRef { return mdRef{md: t, lock: t.lock, key: t.key} }
+
+// MemMeta is the constant-size metadata of one memory location, Figure 3(a)
+// of the paper: shadow value, guarded pointer to the last writer's
+// temporary metadata, producing instruction, and the program's stored bits
+// (used both to detect writes by uninstrumented code, §4.1, and to
+// re-initialize after branch flips).
+type MemMeta struct {
+	Real   big.Float
+	Undef  bool
+	Writer mdRef
+	Inst   int32
+	Err    int32
+	Prog   uint64
+	epoch  uint32 // resync epoch; lags runtime.flipEpoch until refreshed
+	set    bool
+}
+
+// shadowMem is the two-level trie mapping program addresses to MemMeta
+// (§4.1 "Shadow memory"). First-level entries exist for the whole address
+// space up front; second-level pages are allocated on demand, so shadow
+// memory usage is proportional to the program's footprint.
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+type shadowMem struct {
+	pages []*[pageSize]MemMeta
+}
+
+func newShadowMem(limit uint32) *shadowMem {
+	n := (int(limit) + pageSize - 1) / pageSize
+	return &shadowMem{pages: make([]*[pageSize]MemMeta, n)}
+}
+
+// get returns the metadata cell for addr, allocating its page on demand.
+func (s *shadowMem) get(addr uint32) *MemMeta {
+	p := addr >> pageBits
+	if int(p) >= len(s.pages) {
+		// Grow for machines with larger stacks than the initial limit.
+		np := make([]*[pageSize]MemMeta, p+1)
+		copy(np, s.pages)
+		s.pages = np
+	}
+	pg := s.pages[p]
+	if pg == nil {
+		pg = new([pageSize]MemMeta)
+		s.pages[p] = pg
+	}
+	return &pg[addr&pageMask]
+}
+
+// pageCount reports allocated second-level pages (tests and stats).
+func (s *shadowMem) pageCount() int {
+	n := 0
+	for _, p := range s.pages {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// shadowFrame holds the temporary metadata of one activation. Frames are
+// pooled: the paper bounds stack-side metadata by the static temporary
+// count per function, and the pool keeps allocation out of the hot path.
+type shadowFrame struct {
+	fn      *ir.Func
+	temps   []TempMeta
+	lockIdx int
+}
+
+// reset prepares a pooled frame for reuse, preserving allocated big.Float
+// mantissas but invalidating all metadata.
+func (f *shadowFrame) reset(n int32) {
+	if cap(f.temps) < int(n) {
+		f.temps = make([]TempMeta, n)
+		return
+	}
+	f.temps = f.temps[:n]
+	for i := range f.temps {
+		t := &f.temps[i]
+		t.written = false
+		t.Undef = false
+		t.Op1 = mdRef{}
+		t.Op2 = mdRef{}
+		t.Inst = -1
+		t.Err = 0
+	}
+}

@@ -1,0 +1,193 @@
+package shadow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"positdebug/internal/ir"
+)
+
+// Kind classifies a detected numerical error (§3.4 of the paper).
+type Kind uint8
+
+// Error kinds.
+const (
+	KindNone Kind = iota
+	// KindCancellation: a subtraction cancelled the significant digits of
+	// rounded operands and the result differs from the real value by at
+	// least a factor of ε (catastrophic cancellation).
+	KindCancellation
+	// KindPrecisionLoss: the result needed more regime bits than its
+	// operands, losing fraction bits beyond the configured threshold
+	// (posit-specific tapered-accuracy loss).
+	KindPrecisionLoss
+	// KindSaturation: the operation produced or consumed maxpos/minpos —
+	// a silently-hidden overflow or underflow.
+	KindSaturation
+	// KindNaR: the operation produced Not-a-Real (posit) while the shadow
+	// value was defined, or NaN/Inf for FP programs (exceptions).
+	KindNaR
+	// KindBranchFlip: a comparison evaluated differently in the shadow
+	// execution — control flow diverged from the ideal execution.
+	KindBranchFlip
+	// KindWrongCast: a numeric→integer conversion produced a different
+	// integer than the shadow execution.
+	KindWrongCast
+	// KindHighError: the result's error exceeded the reporting threshold
+	// without a more specific classification.
+	KindHighError
+	// KindWrongOutput: a printed or returned value carried error beyond
+	// the output threshold ("wrong results" in the paper's taxonomy).
+	KindWrongOutput
+)
+
+var kindNames = map[Kind]string{
+	KindNone: "none", KindCancellation: "catastrophic-cancellation",
+	KindPrecisionLoss: "precision-loss", KindSaturation: "saturation",
+	KindNaR: "exception-nar", KindBranchFlip: "branch-flip",
+	KindWrongCast: "wrong-int-cast", KindHighError: "high-error",
+	KindWrongOutput: "wrong-output",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Report describes one detected error instance, optionally with the DAG of
+// instructions likely responsible (§3.5).
+type Report struct {
+	Kind    Kind
+	Inst    int32
+	Func    string
+	Pos     string
+	Text    string
+	ErrBits int
+	ULPs    uint64
+	Program string // program value, formatted
+	Shadow  string // shadow (real) value, formatted
+	DAG     *DAGNode
+}
+
+// String renders the report header and DAG.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s] in %s @%s — %q: program=%s shadow=%s (%d bits of error)",
+		r.Kind, r.Func, r.Pos, r.Text, r.Program, r.Shadow, r.ErrBits)
+	if r.DAG != nil {
+		sb.WriteString("\n")
+		sb.WriteString(r.DAG.Render())
+	}
+	return sb.String()
+}
+
+// Summary aggregates a run's detections — the data behind the paper's §5.1
+// effectiveness table.
+type Summary struct {
+	Counts               map[Kind]int
+	TotalOps             uint64 // shadowed numeric operations executed
+	MaxOpErrBits         int    // worst per-operation error observed
+	OutputMaxErrBits     int    // worst error among printed/returned values
+	BranchFlips          int
+	UninstrumentedWrites uint64
+	Reports              []*Report
+}
+
+// Has reports whether any error of the kind was counted.
+func (s *Summary) Has(k Kind) bool { return s.Counts[k] > 0 }
+
+// ByFunction groups the materialized reports by the function containing
+// the offending instruction — the first place to look when triaging a
+// large application.
+func (s *Summary) ByFunction() map[string][]*Report {
+	out := map[string][]*Report{}
+	for _, r := range s.Reports {
+		out[r.Func] = append(out[r.Func], r)
+	}
+	return out
+}
+
+// WorstReport returns the materialized report with the most bits of
+// error, or nil if none were kept.
+func (s *Summary) WorstReport() *Report {
+	var worst *Report
+	for _, r := range s.Reports {
+		if worst == nil || r.ErrBits > worst.ErrBits {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// String renders a human-readable summary.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shadow execution summary: %d numeric ops, worst op error %d bits, worst output error %d bits\n",
+		s.TotalOps, s.MaxOpErrBits, s.OutputMaxErrBits)
+	kinds := make([]Kind, 0, len(s.Counts))
+	for k := range s.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		if s.Counts[k] > 0 {
+			fmt.Fprintf(&sb, "  %-26s %d\n", k.String()+":", s.Counts[k])
+		}
+	}
+	if s.UninstrumentedWrites > 0 {
+		fmt.Fprintf(&sb, "  uninstrumented writes:     %d\n", s.UninstrumentedWrites)
+	}
+	return sb.String()
+}
+
+// DAGNode is one node of the reported instruction DAG: the instruction, its
+// program and shadow values at the time, and its error (the paper's Figures
+// 5 and 6 show exactly these fields per node).
+type DAGNode struct {
+	Inst    int32
+	Text    string
+	Op      string
+	Pos     string
+	Program string
+	Shadow  string
+	ErrBits int
+	Kids    []*DAGNode
+}
+
+// Render draws the DAG as an indented tree.
+func (n *DAGNode) Render() string {
+	var sb strings.Builder
+	n.render(&sb, "", true)
+	return sb.String()
+}
+
+func (n *DAGNode) render(sb *strings.Builder, prefix string, root bool) {
+	head := prefix
+	if !root {
+		head += "└─ "
+	}
+	fmt.Fprintf(sb, "%s[%d bits] %s %s @%s  program=%s shadow=%s\n",
+		head, n.ErrBits, n.Op, n.Text, n.Pos, n.Program, n.Shadow)
+	childPrefix := prefix
+	if !root {
+		childPrefix += "   "
+	}
+	for _, k := range n.Kids {
+		k.render(sb, childPrefix+"  ", false)
+	}
+}
+
+// Size returns the number of nodes in the DAG.
+func (n *DAGNode) Size() int {
+	if n == nil {
+		return 0
+	}
+	sz := 1
+	for _, k := range n.Kids {
+		sz += k.Size()
+	}
+	return sz
+}
+
+// Meta resolution for report rendering.
+func metaPos(m ir.InstrMeta) string {
+	return m.Pos.String()
+}

@@ -1,0 +1,793 @@
+package shadow
+
+import (
+	"math"
+	"math/big"
+
+	"positdebug/internal/bigfp"
+	"positdebug/internal/interp"
+	"positdebug/internal/ir"
+)
+
+// Config controls the shadow runtime.
+type Config struct {
+	// Precision is the shadow mantissa precision in bits (the paper
+	// evaluates 128, 256 and 512; 256 is the default).
+	Precision uint
+	// Tracing enables the DAG metadata (operand pointers, lock-and-key,
+	// timestamps). Disabling it reproduces the paper's "no tracing"
+	// configuration (Figures 8 and 10): errors are still detected from the
+	// shadow values, but no instruction DAGs can be produced.
+	Tracing bool
+	// ErrBitsThreshold is the per-operation error (in double-ULP bits,
+	// §4.2) at which an otherwise-unclassified result is reported. The
+	// paper's prototype reads this from an environment variable.
+	ErrBitsThreshold int
+	// OutputThreshold is the error at which printed/returned values are
+	// reported as wrong outputs.
+	OutputThreshold int
+	// PrecisionLossThreshold is the number of fraction bits an operation
+	// must lose (while growing its regime) to be reported.
+	PrecisionLossThreshold int
+	// MaxReports caps the number of detailed reports kept (counts are
+	// always complete).
+	MaxReports int
+	// MaxDAGDepth caps DAG traversal depth.
+	MaxDAGDepth int
+	// OnError, when set, is invoked synchronously for each report — the
+	// library equivalent of the paper's gdb conditional breakpoints.
+	OnError func(*Report)
+	// BreakOn, when set and returning true for a report, halts execution
+	// at the offending instruction: Machine.Run returns *interp.Stopped
+	// carrying the report. This is the paper's "conditional breakpoint
+	// depending on the amount of the error" workflow as a library API.
+	BreakOn func(*Report) bool
+}
+
+// DefaultConfig mirrors the paper's default setup: 256-bit shadow
+// execution with tracing enabled.
+func DefaultConfig() Config {
+	return Config{
+		Precision:              256,
+		Tracing:                true,
+		ErrBitsThreshold:       45,
+		OutputThreshold:        35,
+		PrecisionLossThreshold: 10,
+		MaxReports:             32,
+		MaxDAGDepth:            16,
+	}
+}
+
+const maxLockDepth = 1100
+
+// Runtime implements interp.Hooks: the PositDebug runtime when the program
+// computes in posits, and the FPSanitizer runtime when it computes in IEEE
+// floats. One instance serves one machine at a time.
+type Runtime struct {
+	mod *ir.Module
+	cfg Config
+	ctx bigfp.Context
+
+	frames  []*shadowFrame
+	pool    []*shadowFrame
+	locks   [maxLockDepth]uint64
+	lockTop int
+	nextKey uint64
+	now     uint64
+
+	mem       *shadowMem
+	argStack  []TempMeta
+	retMeta   TempMeta
+	retValid  bool
+	flipEpoch uint32
+
+	quires map[ir.Type]*shadowQuire
+
+	counts        map[Kind]int
+	reports       []*Report
+	totalOps      uint64
+	maxOpErr      int
+	outputMaxErr  int
+	branchFlips   int
+	uninstrWrites uint64
+
+	// Scratch big.Floats for operand decoding.
+	sa, sb big.Float
+}
+
+// shadowQuire mirrors the program's quire with a wide accumulator; 768
+// mantissa bits exceed the exact range of ⟨32,2⟩ products (481 bits), so
+// the shadow fused operations are effectively exact too.
+type shadowQuire struct {
+	acc   big.Float
+	undef bool
+}
+
+var _ interp.Hooks = (*Runtime)(nil)
+
+// NewRuntime returns a runtime for the module. Attach it to a machine via
+// machine.Hooks before running an instrumented module.
+func NewRuntime(mod *ir.Module, cfg Config) *Runtime {
+	if cfg.Precision == 0 {
+		cfg.Precision = 256
+	}
+	if cfg.MaxDAGDepth == 0 {
+		cfg.MaxDAGDepth = 16
+	}
+	r := &Runtime{
+		mod:    mod,
+		cfg:    cfg,
+		ctx:    bigfp.New(cfg.Precision),
+		mem:    newShadowMem(mod.GlobalBase + mod.GlobalSize + interp.DefaultStackSize),
+		quires: map[ir.Type]*shadowQuire{},
+		counts: map[Kind]int{},
+	}
+	return r
+}
+
+// Reset clears all state at the start of a run.
+func (r *Runtime) Reset() {
+	r.frames = r.frames[:0]
+	r.lockTop = 0
+	r.nextKey = 1
+	r.now = 1
+	r.mem = newShadowMem(uint32(len(r.mem.pages) * pageSize))
+	r.argStack = r.argStack[:0]
+	r.retValid = false
+	r.flipEpoch = 0
+	r.quires = map[ir.Type]*shadowQuire{}
+	r.counts = map[Kind]int{}
+	r.reports = nil
+	r.totalOps = 0
+	r.maxOpErr = 0
+	r.outputMaxErr = 0
+	r.branchFlips = 0
+	r.uninstrWrites = 0
+}
+
+// Summary returns the aggregated detections of the last run.
+func (r *Runtime) Summary() *Summary {
+	counts := make(map[Kind]int, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	return &Summary{
+		Counts:               counts,
+		TotalOps:             r.totalOps,
+		MaxOpErrBits:         r.maxOpErr,
+		OutputMaxErrBits:     r.outputMaxErr,
+		BranchFlips:          r.branchFlips,
+		UninstrumentedWrites: r.uninstrWrites,
+		Reports:              r.reports,
+	}
+}
+
+// ShadowMemPages reports allocated shadow pages (ablation instrumentation).
+func (r *Runtime) ShadowMemPages() int { return r.mem.pageCount() }
+
+func (r *Runtime) cur() *shadowFrame { return r.frames[len(r.frames)-1] }
+
+func (r *Runtime) temp(reg int32) *TempMeta { return &r.cur().temps[reg] }
+
+// EnterFunc pushes a shadow frame, allocates its lock-and-key, and binds
+// parameter metadata from the shadow argument stack (or from the program
+// values for the entry call).
+func (r *Runtime) EnterFunc(fn *ir.Func, argVals []uint64) {
+	if r.lockTop+1 >= maxLockDepth {
+		// Beyond instrumentable depth the machine traps soon anyway.
+		r.lockTop++
+	} else {
+		r.lockTop++
+	}
+	r.locks[r.lockTop] = r.nextKey
+	key := r.nextKey
+	r.nextKey++
+
+	var f *shadowFrame
+	if n := len(r.pool); n > 0 {
+		f = r.pool[n-1]
+		r.pool = r.pool[:n-1]
+	} else {
+		f = &shadowFrame{}
+	}
+	f.fn = fn
+	f.lockIdx = r.lockTop
+	f.reset(fn.NumRegs)
+	r.frames = append(r.frames, f)
+
+	// Lock-and-key only guards DAG pointer traversal; the no-tracing
+	// configuration (Fig 8/10) skips the whole mechanism.
+	if r.cfg.Tracing {
+		lock := &r.locks[r.lockTop]
+		for i := range f.temps {
+			f.temps[i].lock = lock
+			f.temps[i].key = key
+		}
+	}
+
+	// Bind parameters: the caller's PreCall pushed one entry per argument.
+	n := len(fn.Params)
+	if len(r.argStack) >= n && n > 0 {
+		base := len(r.argStack) - n
+		for i := 0; i < n; i++ {
+			src := &r.argStack[base+i]
+			if !fn.Params[i].IsNumeric() {
+				continue
+			}
+			dst := &f.temps[i]
+			if src.written {
+				r.copyMeta(dst, src)
+			} else {
+				r.initFromProgram(dst, fn.Params[i], argVals[i])
+			}
+		}
+		r.argStack = r.argStack[:base]
+	} else {
+		// Entry call (no PreCall): seed parameters from program values.
+		for i := 0; i < n && i < len(argVals); i++ {
+			if fn.Params[i].IsNumeric() {
+				r.initFromProgram(&f.temps[i], fn.Params[i], argVals[i])
+			}
+		}
+	}
+}
+
+// LeaveFunc invalidates the frame's lock and recycles the frame.
+func (r *Runtime) LeaveFunc() {
+	f := r.cur()
+	r.locks[f.lockIdx] = 0 // keys are never reused, so 0 invalidates
+	r.lockTop--
+	r.frames = r.frames[:len(r.frames)-1]
+	r.pool = append(r.pool, f)
+}
+
+// copyMeta copies metadata content (assignment of temporaries, §3.3),
+// keeping the destination's lock/key and refreshing the timestamp.
+func (r *Runtime) copyMeta(dst, src *TempMeta) {
+	r.ctx.Copy(&dst.Real, &src.Real)
+	dst.Undef = src.Undef
+	dst.Prog = src.Prog
+	dst.Inst = src.Inst
+	dst.Err = src.Err
+	if r.cfg.Tracing {
+		dst.Op1 = src.Op1
+		dst.Op2 = src.Op2
+		dst.Time = r.tick()
+	}
+	dst.written = true
+}
+
+// initFromProgram seeds metadata from the program's own value — used for
+// entry arguments, values written by uninstrumented code, and resync after
+// branch flips.
+func (r *Runtime) initFromProgram(t *TempMeta, typ ir.Type, bits uint64) {
+	f := interp.ToFloat64(typ, bits)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		t.Undef = true
+		t.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+	} else {
+		t.Undef = false
+		r.ctx.SetFloat64(&t.Real, f)
+	}
+	t.Prog = bits
+	t.Inst = -1
+	t.Err = 0
+	if r.cfg.Tracing {
+		t.Op1 = mdRef{}
+		t.Op2 = mdRef{}
+		t.Time = r.tick()
+	}
+	t.written = true
+}
+
+// ensure returns the metadata for a register, seeding it from the program
+// value if the shadow has not seen it yet.
+func (r *Runtime) ensure(reg int32, typ ir.Type, bits uint64) *TempMeta {
+	t := r.temp(reg)
+	if !t.written || t.Prog != bits {
+		// Unseen, or the register was rewritten by an untracked
+		// instruction: fall back to the program's value.
+		r.initFromProgram(t, typ, bits)
+	}
+	return t
+}
+
+func (r *Runtime) tick() uint64 {
+	r.now++
+	return r.now
+}
+
+// Const seeds a literal's metadata with the exact source value (§3.3
+// "creation of temporary constants").
+func (r *Runtime) Const(id int32, typ ir.Type, dst int32, bits uint64) {
+	t := r.temp(dst)
+	meta := r.mod.Meta(id)
+	r.ctx.SetFloat64(&t.Real, meta.Const)
+	t.Undef = false
+	t.Prog = bits
+	t.Inst = id
+	t.Err = 0
+	if r.cfg.Tracing {
+		t.Op1 = mdRef{}
+		t.Op2 = mdRef{}
+		t.Time = r.tick()
+	}
+	t.written = true
+}
+
+// Mov copies metadata on register copies.
+func (r *Runtime) Mov(id int32, typ ir.Type, dst, src int32, bits uint64) {
+	s := r.ensure(src, typ, bits)
+	d := r.temp(dst)
+	r.copyMeta(d, s)
+}
+
+// Bin performs the shadow binary operation and runs error detection
+// (§3.3 "posit binary and unary operations", §3.4).
+func (r *Runtime) Bin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64) {
+	ta := r.ensure(a, typ, aVal)
+	tb := r.ensure(b, typ, bVal)
+	d := r.temp(dst)
+
+	undef := ta.Undef || tb.Undef
+	if !undef {
+		switch kind {
+		case ir.BinAdd:
+			r.ctx.Add(&d.Real, &ta.Real, &tb.Real)
+		case ir.BinSub:
+			r.ctx.Sub(&d.Real, &ta.Real, &tb.Real)
+		case ir.BinMul:
+			r.ctx.Mul(&d.Real, &ta.Real, &tb.Real)
+		case ir.BinDiv:
+			_, bad := r.ctx.Div(&d.Real, &ta.Real, &tb.Real)
+			undef = undef || bad
+		}
+	}
+	if undef {
+		d.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+	}
+	d.Undef = undef
+	d.Prog = dstVal
+	d.Inst = id
+	d.written = true
+	if r.cfg.Tracing {
+		d.Op1 = ta.ref()
+		d.Op2 = tb.ref()
+		d.Time = r.tick()
+	}
+	r.totalOps++
+	r.checkOp(id, typ, opSub(kind), d, ta, tb)
+}
+
+func opSub(kind ir.BinKind) bool { return kind == ir.BinSub || kind == ir.BinAdd }
+
+// Un performs the shadow unary operation.
+func (r *Runtime) Un(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64) {
+	ta := r.ensure(a, typ, aVal)
+	d := r.temp(dst)
+	undef := ta.Undef
+	if !undef {
+		switch kind {
+		case ir.UnNeg:
+			r.ctx.Neg(&d.Real, &ta.Real)
+		case ir.UnAbs:
+			r.ctx.Abs(&d.Real, &ta.Real)
+		case ir.UnSqrt:
+			_, bad := r.ctx.Sqrt(&d.Real, &ta.Real)
+			undef = undef || bad
+		default:
+			r.ctx.Copy(&d.Real, &ta.Real)
+		}
+	}
+	if undef {
+		d.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+	}
+	d.Undef = undef
+	d.Prog = dstVal
+	d.Inst = id
+	d.written = true
+	if r.cfg.Tracing {
+		d.Op1 = ta.ref()
+		d.Op2 = mdRef{}
+		d.Time = r.tick()
+	}
+	r.totalOps++
+	r.checkOp(id, typ, false, d, ta, nil)
+}
+
+// Cmp compares in the shadow execution and reports branch flips; after a
+// flip the shadow follows the program's path and re-initializes metadata
+// from the program's values (§3.1).
+func (r *Runtime) Cmp(id int32, pred ir.CmpPred, typ ir.Type, a, b int32, aVal, bVal uint64, outcome bool) {
+	ta := r.ensure(a, typ, aVal)
+	tb := r.ensure(b, typ, bVal)
+	if ta.Undef || tb.Undef {
+		return
+	}
+	c := ta.Real.Cmp(&tb.Real)
+	var shadowOutcome bool
+	switch pred {
+	case ir.CmpEq:
+		shadowOutcome = c == 0
+	case ir.CmpNe:
+		shadowOutcome = c != 0
+	case ir.CmpLt:
+		shadowOutcome = c < 0
+	case ir.CmpLe:
+		shadowOutcome = c <= 0
+	case ir.CmpGt:
+		shadowOutcome = c > 0
+	case ir.CmpGe:
+		shadowOutcome = c >= 0
+	}
+	if shadowOutcome == outcome {
+		return
+	}
+	r.branchFlips++
+	r.count(KindBranchFlip)
+	r.emit(KindBranchFlip, id, errInfo{
+		errBits: maxInt(ta.Err, tb.Err),
+		program: interp.FormatValue(typ, aVal) + " vs " + interp.FormatValue(typ, bVal),
+		shadow:  formatBig(&ta.Real) + " vs " + formatBig(&tb.Real),
+		root:    pickRoot(ta, tb),
+	})
+	r.resyncAfterFlip()
+}
+
+func pickRoot(ta, tb *TempMeta) *TempMeta {
+	if ta.Err >= tb.Err {
+		return ta
+	}
+	return tb
+}
+
+// resyncAfterFlip re-initializes the current frame's temporaries from the
+// program's values and marks shadow memory for lazy resync, so feedback
+// stays meaningful on the program's (divergent) path.
+func (r *Runtime) resyncAfterFlip() {
+	r.flipEpoch++
+	f := r.cur()
+	for i := range f.temps {
+		t := &f.temps[i]
+		if !t.written {
+			continue
+		}
+		typ := r.typeOfInst(t.Inst)
+		if typ == ir.Void {
+			// Unknown producer: re-seed from the recorded program bits
+			// assuming the dominant posit type; conservative but safe.
+			continue
+		}
+		r.initFromProgram(t, typ, t.Prog)
+	}
+}
+
+func (r *Runtime) typeOfInst(id int32) ir.Type {
+	if id < 0 {
+		return ir.Void
+	}
+	return r.mod.Meta(id).Type
+}
+
+// Cast propagates metadata through conversions and checks numeric→integer
+// casts against the shadow execution (§3.4 "casts to integers").
+func (r *Runtime) Cast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64) {
+	switch {
+	case from.IsNumeric() && to.IsNumeric():
+		s := r.ensure(src, from, srcVal)
+		d := r.temp(dst)
+		r.copyMeta(d, s)
+		d.Prog = dstVal
+		d.Inst = id
+		r.totalOps++
+		r.checkOp(id, to, false, d, s, nil)
+	case from.IsNumeric() && to == ir.I64:
+		s := r.ensure(src, from, srcVal)
+		if s.Undef {
+			return
+		}
+		shadowInt := truncBigToInt(&s.Real)
+		if shadowInt != int64(dstVal) {
+			r.count(KindWrongCast)
+			r.emit(KindWrongCast, id, errInfo{
+				errBits: int(s.Err),
+				program: interp.FormatValue(ir.I64, dstVal),
+				shadow:  interp.FormatValue(ir.I64, uint64(shadowInt)),
+				root:    s,
+			})
+		}
+	case from == ir.I64 && to.IsNumeric():
+		d := r.temp(dst)
+		d.Real.SetPrec(r.cfg.Precision).SetInt64(int64(srcVal))
+		d.Undef = false
+		d.Prog = dstVal
+		d.Inst = id
+		d.Err = 0
+		if r.cfg.Tracing {
+			d.Op1 = mdRef{}
+			d.Op2 = mdRef{}
+			d.Time = r.tick()
+		}
+		d.written = true
+		r.totalOps++
+		r.checkOp(id, to, false, d, nil, nil)
+	}
+}
+
+func truncBigToInt(x *big.Float) int64 {
+	i, _ := x.Int64() // big.Float.Int64 truncates toward zero
+	return i
+}
+
+// Load propagates metadata from shadow memory to a temporary (§3.3
+// "memory loads"), detecting uninstrumented writes (§4.1) and applying
+// lazy post-flip resynchronization.
+func (r *Runtime) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) {
+	mm := r.mem.get(addr)
+	d := r.temp(dst)
+	switch {
+	case !mm.set:
+		r.initFromProgram(d, typ, bits)
+		d.Inst = id
+	case mm.Prog != bits:
+		// Some untracked write changed program memory: trust the program.
+		r.uninstrWrites++
+		r.initFromProgram(d, typ, bits)
+		d.Inst = id
+		// Refresh the stale memory metadata too.
+		r.seedMemFromProgram(mm, typ, bits)
+	case mm.epoch < r.flipEpoch:
+		// Post-branch-flip lazy resync.
+		r.initFromProgram(d, typ, bits)
+		d.Inst = id
+		r.seedMemFromProgram(mm, typ, bits)
+	default:
+		r.ctx.Copy(&d.Real, &mm.Real)
+		d.Undef = mm.Undef
+		d.Prog = bits
+		d.Inst = mm.Inst
+		d.Err = mm.Err
+		if r.cfg.Tracing {
+			// If the last writer's frame is still live, inherit its operand
+			// pointers so the DAG can cross the store/load (Figure 4).
+			if mm.Writer.valid() {
+				d.Op1 = mm.Writer.md.Op1
+				d.Op2 = mm.Writer.md.Op2
+			} else {
+				d.Op1 = mdRef{}
+				d.Op2 = mdRef{}
+			}
+			d.Time = r.tick()
+		}
+		d.written = true
+	}
+}
+
+func (r *Runtime) seedMemFromProgram(mm *MemMeta, typ ir.Type, bits uint64) {
+	f := interp.ToFloat64(typ, bits)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		mm.Undef = true
+		mm.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+	} else {
+		mm.Undef = false
+		r.ctx.SetFloat64(&mm.Real, f)
+	}
+	mm.Prog = bits
+	mm.Inst = -1
+	mm.Err = 0
+	mm.Writer = mdRef{}
+	mm.epoch = r.flipEpoch
+	mm.set = true
+}
+
+// Store propagates metadata from a temporary to shadow memory (§3.3
+// "memory stores").
+func (r *Runtime) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint64) {
+	s := r.ensure(src, typ, bits)
+	mm := r.mem.get(addr)
+	r.ctx.Copy(&mm.Real, &s.Real)
+	mm.Undef = s.Undef
+	mm.Prog = bits
+	mm.Inst = s.Inst
+	mm.Err = s.Err
+	if r.cfg.Tracing {
+		mm.Writer = s.ref()
+	} else {
+		mm.Writer = mdRef{}
+	}
+	mm.epoch = r.flipEpoch
+	mm.set = true
+}
+
+// PreCall pushes argument metadata onto the shadow argument stack (§3.2
+// "shadow stack to store metadata for arguments and return values").
+func (r *Runtime) PreCall(callee *ir.Func, args []int32, argVals []uint64) {
+	for i, reg := range args {
+		var entry TempMeta
+		if callee.Params[i].IsNumeric() {
+			src := r.ensure(reg, callee.Params[i], argVals[i])
+			r.ctx.Copy(&entry.Real, &src.Real)
+			entry.Undef = src.Undef
+			entry.Prog = src.Prog
+			entry.Inst = src.Inst
+			entry.Err = src.Err
+			if r.cfg.Tracing {
+				entry.Op1 = src.Op1
+				entry.Op2 = src.Op2
+			}
+			entry.written = true
+		}
+		r.argStack = append(r.argStack, entry)
+	}
+}
+
+// Ret records the return value's metadata before the frame dies.
+func (r *Runtime) Ret(typ ir.Type, src int32, bits uint64) {
+	r.retValid = false
+	if src < 0 || !typ.IsNumeric() {
+		if len(r.frames) == 1 {
+			// Entry function returning a non-numeric value: nothing to do.
+			r.retValid = false
+		}
+		return
+	}
+	s := r.ensure(src, typ, bits)
+	r.ctx.Copy(&r.retMeta.Real, &s.Real)
+	r.retMeta.Undef = s.Undef
+	r.retMeta.Prog = s.Prog
+	r.retMeta.Inst = s.Inst
+	r.retMeta.Err = s.Err
+	if r.cfg.Tracing {
+		r.retMeta.Op1 = s.Op1
+		r.retMeta.Op2 = s.Op2
+	}
+	r.retMeta.written = true
+	r.retValid = true
+	if len(r.frames) == 1 {
+		// The entry function's return is a program output.
+		r.checkOutput(typ, s)
+	}
+}
+
+// PostCall binds the returned metadata into the caller's destination.
+func (r *Runtime) PostCall(id int32, typ ir.Type, dst int32, bits uint64) {
+	if dst < 0 || !typ.IsNumeric() {
+		return
+	}
+	d := r.temp(dst)
+	if r.retValid && r.retMeta.Prog == bits {
+		r.copyMeta(d, &r.retMeta)
+		d.Inst = r.retMeta.Inst
+	} else {
+		// Callee was untracked (or returned through an untracked path).
+		r.initFromProgram(d, typ, bits)
+		d.Inst = id
+	}
+	r.retValid = false
+}
+
+// Print checks program outputs against the shadow execution (§2.2 "wrong
+// outputs").
+func (r *Runtime) Print(id int32, typ ir.Type, src int32, bits uint64) {
+	if !typ.IsNumeric() {
+		return
+	}
+	s := r.ensure(src, typ, bits)
+	r.checkOutputAt(id, typ, s)
+}
+
+func (r *Runtime) checkOutput(typ ir.Type, s *TempMeta) {
+	r.checkOutputAt(s.Inst, typ, s)
+}
+
+// FMA performs the fused multiply-add in the shadow execution: at the
+// shadow precision the product+add rounds once, matching the program's
+// single-rounding semantics.
+func (r *Runtime) FMA(id int32, typ ir.Type, dst, a, b, c int32, dstVal, aVal, bVal, cVal uint64) {
+	ta := r.ensure(a, typ, aVal)
+	tb := r.ensure(b, typ, bVal)
+	tc := r.ensure(c, typ, cVal)
+	d := r.temp(dst)
+	undef := ta.Undef || tb.Undef || tc.Undef
+	if !undef {
+		var prod big.Float
+		prod.SetPrec(2*r.cfg.Precision).Mul(&ta.Real, &tb.Real)
+		r.ctx.Add(&d.Real, &prod, &tc.Real)
+	} else {
+		d.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+	}
+	d.Undef = undef
+	d.Prog = dstVal
+	d.Inst = id
+	d.written = true
+	if r.cfg.Tracing {
+		// Two operand slots: point at the product inputs; the addend is
+		// typically the accumulator this value overwrites next.
+		d.Op1 = ta.ref()
+		d.Op2 = tc.ref()
+		d.Time = r.tick()
+	}
+	r.totalOps++
+	r.checkOp(id, typ, true, d, ta, tc)
+}
+
+// QClear resets all shadow quires.
+func (r *Runtime) QClear(typ ir.Type) {
+	for _, q := range r.quires {
+		q.acc.SetPrec(768).SetInt64(0)
+		q.undef = false
+	}
+}
+
+func (r *Runtime) squire(typ ir.Type) *shadowQuire {
+	q, ok := r.quires[typ]
+	if !ok {
+		q = &shadowQuire{}
+		q.acc.SetPrec(768).SetMode(big.ToNearestEven)
+		r.quires[typ] = q
+	}
+	return q
+}
+
+// QAdd mirrors quire accumulation with shadow operand values.
+func (r *Runtime) QAdd(typ ir.Type, a int32, aVal uint64, negate bool) {
+	q := r.squire(typ)
+	ta := r.ensure(a, typ, aVal)
+	if ta.Undef {
+		q.undef = true
+		return
+	}
+	if negate {
+		q.acc.Sub(&q.acc, &ta.Real)
+	} else {
+		q.acc.Add(&q.acc, &ta.Real)
+	}
+}
+
+// QMAdd mirrors fused multiply-accumulate with shadow operand values.
+func (r *Runtime) QMAdd(typ ir.Type, a, b int32, aVal, bVal uint64, negate bool) {
+	q := r.squire(typ)
+	ta := r.ensure(a, typ, aVal)
+	tb := r.ensure(b, typ, bVal)
+	if ta.Undef || tb.Undef {
+		q.undef = true
+		return
+	}
+	var prod big.Float
+	prod.SetPrec(768).Mul(&ta.Real, &tb.Real)
+	if negate {
+		q.acc.Sub(&q.acc, &prod)
+	} else {
+		q.acc.Add(&q.acc, &prod)
+	}
+}
+
+// QVal seeds the rounded quire value's metadata and checks its error.
+func (r *Runtime) QVal(id int32, typ ir.Type, dst int32, bits uint64) {
+	q := r.squire(typ)
+	d := r.temp(dst)
+	if q.undef {
+		d.Undef = true
+		d.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+	} else {
+		d.Undef = false
+		r.ctx.Copy(&d.Real, &q.acc)
+	}
+	d.Prog = bits
+	d.Inst = id
+	if r.cfg.Tracing {
+		d.Op1 = mdRef{}
+		d.Op2 = mdRef{}
+		d.Time = r.tick()
+	}
+	d.written = true
+	r.totalOps++
+	r.checkOp(id, typ, false, d, nil, nil)
+}
+
+func maxInt(a, b int32) int {
+	if a > b {
+		return int(a)
+	}
+	return int(b)
+}

@@ -1,0 +1,82 @@
+// Package ulp implements the error metric of the paper (§2.3, §4.2):
+// because the ULP of a posit varies wildly with magnitude under tapered
+// accuracy, PositDebug measures error as the ULP distance between the
+// computed and the exact value after converting both to float64 — a format
+// that represents every ⟨32,2⟩ posit exactly as a normal value. The number
+// of "bits of error" is ⌈log2(ulp distance)⌉.
+package ulp
+
+import (
+	"math"
+	"math/big"
+)
+
+// Ordinal maps a float64 onto a signed integer whose natural ordering is
+// numeric ordering, such that consecutive representable doubles map to
+// consecutive integers. NaN maps to the most negative ordinal.
+func Ordinal(f float64) int64 {
+	if math.IsNaN(f) {
+		return math.MinInt64
+	}
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		return math.MinInt64 - b // flip the negative range; −0 maps to 0 like +0
+	}
+	return b
+}
+
+// Distance returns the number of representable doubles between a and b —
+// the ULP error between a computed value and an oracle value. Returns
+// MaxInt64 if either value is NaN.
+func Distance(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.MaxUint64
+	}
+	oa, ob := Ordinal(a), Ordinal(b)
+	if oa > ob {
+		oa, ob = ob, oa
+	}
+	return uint64(ob - oa)
+}
+
+// DistanceBig converts the high-precision oracle value to float64 (rounding
+// to nearest; overflow saturates at ±Inf, which maps to the extreme
+// ordinals) and returns the ULP distance to the computed value.
+func DistanceBig(computed float64, oracle *big.Float) uint64 {
+	f, _ := oracle.Float64()
+	return Distance(computed, f)
+}
+
+// Bits converts a ULP distance to "bits of error": 0 for a distance of 0 or
+// 1 (correctly rounded), otherwise ⌈log2(d)⌉. The output of a correctly
+// rounded ⟨32,2⟩ operation can still legitimately show up to ~25 bits in
+// double space (posit32 has 27 fraction bits vs double's 52).
+func Bits(d uint64) int {
+	if d <= 1 {
+		return 0
+	}
+	// ceil(log2(d)) = bit length of d−1.
+	n := 0
+	for v := d - 1; v > 0; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+// RelativeError returns |computed − oracle| / |oracle| as a float64, or
+// +Inf when the oracle is zero and the computed value is not.
+func RelativeError(computed float64, oracle *big.Float) float64 {
+	if oracle.Sign() == 0 {
+		if computed == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	c := new(big.Float).SetPrec(128).SetFloat64(computed)
+	diff := new(big.Float).SetPrec(128).Sub(c, oracle)
+	diff.Abs(diff)
+	den := new(big.Float).SetPrec(128).Abs(oracle)
+	diff.Quo(diff, den)
+	f, _ := diff.Float64()
+	return f
+}

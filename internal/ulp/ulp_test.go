@@ -1,0 +1,109 @@
+package ulp
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdinalAdjacency(t *testing.T) {
+	cases := []float64{0, 1, -1, 1e-300, -1e-300, 1e300, -1e300, math.Pi, -math.Pi}
+	for _, f := range cases {
+		up := math.Nextafter(f, math.Inf(1))
+		if Ordinal(up)-Ordinal(f) != 1 {
+			t.Fatalf("Nextafter(%g) must be 1 ulp away, got %d", f, Ordinal(up)-Ordinal(f))
+		}
+	}
+	if Ordinal(math.Copysign(0, -1)) != Ordinal(0.0) {
+		t.Fatal("±0 must share an ordinal")
+	}
+}
+
+func TestOrdinalMonotone(t *testing.T) {
+	if err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a < b {
+			return Ordinal(a) < Ordinal(b)
+		}
+		if a > b {
+			return Ordinal(a) > Ordinal(b)
+		}
+		return Ordinal(a) == Ordinal(b) || a == 0 // ±0 compare equal
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance(1.0, 1.0); d != 0 {
+		t.Fatalf("identical values: %d", d)
+	}
+	if d := Distance(1.0, math.Nextafter(1.0, 2)); d != 1 {
+		t.Fatalf("adjacent values: %d", d)
+	}
+	if d := Distance(-1.0, 1.0); d == 0 {
+		t.Fatal("crossing zero must be a large distance")
+	}
+	if d := Distance(math.NaN(), 1.0); d != math.MaxUint64 {
+		t.Fatal("NaN must be maximal distance")
+	}
+	// Symmetry.
+	if Distance(3.5, -7.25) != Distance(-7.25, 3.5) {
+		t.Fatal("distance must be symmetric")
+	}
+}
+
+func TestBits(t *testing.T) {
+	cases := []struct {
+		d    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+		{1 << 52, 52}, {1<<52 + 1, 53},
+	}
+	for _, tc := range cases {
+		if got := Bits(tc.d); got != tc.want {
+			t.Fatalf("Bits(%d) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestPaperExample: §2.3 — a posit computing 2^-116 where the ideal value
+// is 2^-120 has relative error 15 even though it is only 1 posit-ULP off.
+func TestPaperExample(t *testing.T) {
+	computed := math.Ldexp(1, -116)
+	oracle := new(big.Float).SetFloat64(math.Ldexp(1, -120))
+	if rel := RelativeError(computed, oracle); math.Abs(rel-15) > 1e-9 {
+		t.Fatalf("relative error = %v, want 15", rel)
+	}
+	// In double-ULP space the same error is huge — the paper's reporting
+	// metric makes the error visible: 4 binades ≈ 2^54 ulps.
+	d := DistanceBig(computed, oracle)
+	if Bits(d) < 50 {
+		t.Fatalf("bits of error = %d, want ≥ 50", Bits(d))
+	}
+}
+
+func TestDistanceBigOverflow(t *testing.T) {
+	huge := new(big.Float).SetPrec(64)
+	huge.SetString("1e400") // beyond double range → +Inf
+	d := DistanceBig(1.0, huge)
+	if d == 0 || d == math.MaxUint64 {
+		t.Fatalf("overflowing oracle must give a finite large distance, got %d", d)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if rel := RelativeError(0, new(big.Float)); rel != 0 {
+		t.Fatal("0 vs 0")
+	}
+	if rel := RelativeError(1, new(big.Float)); !math.IsInf(rel, 1) {
+		t.Fatal("nonzero vs 0 must be +Inf")
+	}
+	if rel := RelativeError(1.1, new(big.Float).SetFloat64(1.0)); math.Abs(rel-0.1) > 1e-12 {
+		t.Fatalf("rel = %v", rel)
+	}
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RootCountSource is the paper's Figure 2 program with its inputs.
+const RootCountSource = `
+func rootcount(a: p32, b: p32, c: p32): i64 {
+	var t1: p32 = b * b;
+	var t2: p32 = 4.0 * a * c;
+	var t3: p32 = t1 - t2;
+	if (t3 > 0.0) { return 2; }
+	if (t3 == 0.0) { return 1; }
+	return 0;
+}
+
+func main(): i64 {
+	var a: p32 = 18309067625725952.0;
+	var b: p32 = 3246642954240.0;
+	var c: p32 = 143923904.0;
+	return rootcount(a, b, c);
+}
+`
+
+// CordicSinSource generates the §5.2.1 case study: sin(θ) by 50-iteration
+// rotation-mode CORDIC in ⟨32,2⟩ posit arithmetic. The atan table and the
+// scale constant are precomputed at high precision (the paper used
+// 2000-bit MPFR; float64 is exact to well beyond posit32's 27 fraction
+// bits). Running it under PositDebug for θ = 1e−8 reproduces the branch
+// flip in iteration 29 and the error accumulation in y.
+func CordicSinSource(theta float64) string {
+	var sb strings.Builder
+	sb.WriteString("var atan_tab: [50]p32;\nvar pow2_tab: [50]p32;\n\n")
+	sb.WriteString("func init_tables() {\n")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&sb, "\tatan_tab[%d] = %s;\n", i, floatLit(math.Atan(math.Ldexp(1, -i))))
+		fmt.Fprintf(&sb, "\tpow2_tab[%d] = %s;\n", i, floatLit(math.Ldexp(1, -i)))
+	}
+	sb.WriteString("}\n\n")
+	kc := 1.0
+	for i := 0; i < 50; i++ {
+		kc /= math.Sqrt(1 + math.Ldexp(1, -2*i))
+	}
+	fmt.Fprintf(&sb, `
+func cordic_sin(theta: p32): p32 {
+	var x: p32 = %s;
+	var y: p32 = 0.0;
+	var z: p32 = theta;
+	for (var i: i64 = 0; i < 50; i += 1) {
+		var xs: p32 = x * pow2_tab[i];
+		var ys: p32 = y * pow2_tab[i];
+		if (z >= 0.0) {
+			x = x - ys;
+			y = y + xs;
+			z = z - atan_tab[i];
+		} else {
+			x = x + ys;
+			y = y - xs;
+			z = z + atan_tab[i];
+		}
+	}
+	return y;
+}
+
+func main(): p32 {
+	init_tables();
+	var s: p32 = cordic_sin(%s);
+	print(s);
+	return s;
+}
+`, floatLit(kc), floatLit(theta))
+	return sb.String()
+}
+
+// SimpsonSource generates the §5.2.2 case study: ∫ x² dx over
+// [13223113, 13223113+n] by Simpson's rule. fused=false accumulates with
+// ordinary posit additions (the failing version); fused=true uses the
+// quire (the paper's fix), keeping the sum exact until a single rounding.
+// The interval count n must be even.
+func SimpsonSource(n int, fused bool) string {
+	acc := `
+	var s: p32 = fx(a) + fx(b);
+	for (var i: i64 = 1; i < n; i += 1) {
+		var x: p32 = a + p32(i) * h;
+		if (i % 2 == 1) {
+			s = s + 4.0 * fx(x);
+		} else {
+			s = s + 2.0 * fx(x);
+		}
+	}
+	var integral: p32 = s * h / 3.0;`
+	if fused {
+		acc = `
+	qclear();
+	qadd(fx(a));
+	qadd(fx(b));
+	for (var i: i64 = 1; i < n; i += 1) {
+		var x: p32 = a + p32(i) * h;
+		if (i % 2 == 1) {
+			qmadd(4.0, fx(x));
+		} else {
+			qmadd(2.0, fx(x));
+		}
+	}
+	var s: p32 = qround_p32();
+	var integral: p32 = s * h / 3.0;`
+	}
+	return fmt.Sprintf(`
+var n: i64 = %d;
+
+func fx(x: p32): p32 { return x * x; }
+
+func main(): p32 {
+	var a: p32 = 13223113.0;
+	var b: p32 = a + p32(n);
+	var h: p32 = (b - a) / p32(n);
+%s
+	print(integral);
+	return integral;
+}
+`, n, acc)
+}
+
+// QuadraticSource is the §5.2.3 case study: both roots of ax²+bx+c with
+// the paper's inputs (equations 5–7). PositDebug reports ~48 bits of error
+// on the first root (cancellation in −b+√disc) and precision loss through
+// the division by 2a on the second.
+const QuadraticSource = `
+func main(): i64 {
+	var a: p32 = 0.000000000000014396470127131522076524561271071;
+	var b: p32 = 324.884063720703125;
+	var c: p32 = 1822878072832.0;
+	var disc: p32 = sqrt(b * b - 4.0 * a * c);
+	var twoa: p32 = 2.0 * a;
+	var root1: p32 = (0.0 - b + disc) / twoa;
+	var root2: p32 = (0.0 - b - disc) / twoa;
+	print(root1);
+	print(root2);
+	return 0;
+}
+`
+
+func floatLit(f float64) string {
+	s := fmt.Sprintf("%.17g", f)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

@@ -1,0 +1,1034 @@
+// Package workloads holds the PCL programs the evaluation runs: the 19
+// PolyBench linear-algebra kernels and 7 SPEC-like applications used for
+// the overhead figures (7–10), the 32-program error-detection suite behind
+// the §5.1 table, and the case-study programs of §5.2. Kernels are written
+// in FP (f64) exactly as the paper's C sources were; the harness derives
+// posit versions with the refactorer, mirroring the paper's methodology.
+package workloads
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	// Name is the display name used in the paper's figures (e.g. "2mm").
+	Name string
+	// Source returns the FP PCL source at problem size n.
+	Source func(n int) string
+	// DefaultN is the problem size used by the experiment harness; sized
+	// so a full figure regenerates in minutes on a laptop.
+	DefaultN int
+	// Footprint marks kernels with large memory footprints (the paper
+	// observes higher overheads for them).
+	Footprint string // "small" or "large"
+}
+
+func at(src string, n int) string {
+	return strings.ReplaceAll(src, "NN", strconv.Itoa(n))
+}
+
+// PolyBench returns the 19 kernels of PolyBench's linear-algebra suite, in
+// the order the paper's figures plot them.
+func PolyBench() []Kernel {
+	return []Kernel{
+		{Name: "gemm", Source: gemm, DefaultN: 28, Footprint: "small"},
+		{Name: "gemver", Source: gemver, DefaultN: 48, Footprint: "small"},
+		{Name: "gesummv", Source: gesummv, DefaultN: 48, Footprint: "small"},
+		{Name: "symm", Source: symm, DefaultN: 28, Footprint: "small"},
+		{Name: "syr2k", Source: syr2k, DefaultN: 26, Footprint: "small"},
+		{Name: "syrk", Source: syrk, DefaultN: 28, Footprint: "small"},
+		{Name: "trmm", Source: trmm, DefaultN: 30, Footprint: "small"},
+		{Name: "2mm", Source: twoMM, DefaultN: 24, Footprint: "small"},
+		{Name: "3mm", Source: threeMM, DefaultN: 22, Footprint: "small"},
+		{Name: "atax", Source: atax, DefaultN: 48, Footprint: "small"},
+		{Name: "bicg", Source: bicg, DefaultN: 48, Footprint: "small"},
+		{Name: "doitgen", Source: doitgen, DefaultN: 16, Footprint: "small"},
+		{Name: "mvt", Source: mvt, DefaultN: 48, Footprint: "small"},
+		{Name: "cholesky", Source: cholesky, DefaultN: 32, Footprint: "small"},
+		{Name: "durbin", Source: durbin, DefaultN: 64, Footprint: "small"},
+		{Name: "gramschmidt", Source: gramschmidt, DefaultN: 26, Footprint: "small"},
+		{Name: "ludcmp", Source: ludcmp, DefaultN: 30, Footprint: "small"},
+		{Name: "lu", Source: lu, DefaultN: 32, Footprint: "small"},
+		{Name: "trisolv", Source: trisolv, DefaultN: 64, Footprint: "small"},
+	}
+}
+
+// KernelByName finds a kernel across PolyBench and the SPEC-like set.
+func KernelByName(name string) (Kernel, bool) {
+	for _, k := range append(PolyBench(), SpecLike()...) {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+func gemm(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var B: [NN][NN]f64;
+var C: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j + 1) % n) / f64(n);
+			B[i][j] = f64((i * (j + 1)) % n) / f64(n);
+			C[i][j] = f64((i * (j + 2)) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	var alpha: f64 = 1.5;
+	var beta: f64 = 1.2;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			C[i][j] = C[i][j] * beta;
+		}
+		for (var k: i64 = 0; k < n; k += 1) {
+			for (var j: i64 = 0; j < n; j += 1) {
+				C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+			}
+		}
+	}
+}
+
+func checksum(): f64 {
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + C[i][j];
+		}
+	}
+	return s;
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = checksum();
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func gemver(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var u1: [NN]f64;
+var v1: [NN]f64;
+var u2: [NN]f64;
+var v2: [NN]f64;
+var w: [NN]f64;
+var x: [NN]f64;
+var y: [NN]f64;
+var z: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		u1[i] = f64(i % 7) / 7.0;
+		u2[i] = f64((i + 1) % 5) / 5.0;
+		v1[i] = f64((i + 2) % 9) / 9.0;
+		v2[i] = f64((i + 3) % 11) / 11.0;
+		y[i] = f64((i + 4) % 13) / 13.0;
+		z[i] = f64((i + 5) % 17) / 17.0;
+		x[i] = 0.0;
+		w[i] = 0.0;
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	var alpha: f64 = 1.5;
+	var beta: f64 = 1.2;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+		}
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			x[i] = x[i] + beta * A[j][i] * y[j];
+		}
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		x[i] = x[i] + z[i];
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			w[i] = w[i] + alpha * A[i][j] * x[j];
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + w[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func gesummv(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var B: [NN][NN]f64;
+var x: [NN]f64;
+var y: [NN]f64;
+var tmp: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		x[i] = f64(i % 19) / 19.0;
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j + 1) % n) / f64(n);
+			B[i][j] = f64((i * j + 2) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	var alpha: f64 = 1.5;
+	var beta: f64 = 1.2;
+	for (var i: i64 = 0; i < n; i += 1) {
+		tmp[i] = 0.0;
+		y[i] = 0.0;
+		for (var j: i64 = 0; j < n; j += 1) {
+			tmp[i] = A[i][j] * x[j] + tmp[i];
+			y[i] = B[i][j] * x[j] + y[i];
+		}
+		y[i] = alpha * tmp[i] + beta * y[i];
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + y[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func symm(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var B: [NN][NN]f64;
+var C: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i + j) % n) / f64(n);
+			B[i][j] = f64((i * 2 + j) % n) / f64(n);
+			C[i][j] = f64((i + j * 2) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	var alpha: f64 = 1.5;
+	var beta: f64 = 1.2;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			var temp2: f64 = 0.0;
+			for (var k: i64 = 0; k < i; k += 1) {
+				C[k][j] = C[k][j] + alpha * B[i][j] * A[i][k];
+				temp2 = temp2 + B[k][j] * A[i][k];
+			}
+			C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2;
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + C[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func syr2k(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var B: [NN][NN]f64;
+var C: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j + 1) % n) / f64(n);
+			B[i][j] = f64((i * j + 2) % n) / f64(n);
+			C[i][j] = f64((i + j) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	var alpha: f64 = 1.5;
+	var beta: f64 = 1.2;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j <= i; j += 1) {
+			C[i][j] = C[i][j] * beta;
+		}
+		for (var k: i64 = 0; k < n; k += 1) {
+			for (var j: i64 = 0; j <= i; j += 1) {
+				C[i][j] = C[i][j] + A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+			}
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + C[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func syrk(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var C: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j + 1) % n) / f64(n);
+			C[i][j] = f64((i + j) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	var alpha: f64 = 1.5;
+	var beta: f64 = 1.2;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j <= i; j += 1) {
+			C[i][j] = C[i][j] * beta;
+		}
+		for (var k: i64 = 0; k < n; k += 1) {
+			for (var j: i64 = 0; j <= i; j += 1) {
+				C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+			}
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + C[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func trmm(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var B: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j + 1) % n) / f64(n);
+			B[i][j] = f64((n + i - j) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	var alpha: f64 = 1.5;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			for (var k: i64 = i + 1; k < n; k += 1) {
+				B[i][j] = B[i][j] + A[k][i] * B[k][j];
+			}
+			B[i][j] = alpha * B[i][j];
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + B[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func twoMM(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var B: [NN][NN]f64;
+var C: [NN][NN]f64;
+var D: [NN][NN]f64;
+var tmp: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j + 1) % n) / f64(n);
+			B[i][j] = f64((i * (j + 1)) % n) / f64(n);
+			C[i][j] = f64((i * (j + 3) + 1) % n) / f64(n);
+			D[i][j] = f64((i * (j + 2)) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	var alpha: f64 = 1.5;
+	var beta: f64 = 1.2;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			tmp[i][j] = 0.0;
+			for (var k: i64 = 0; k < n; k += 1) {
+				tmp[i][j] = tmp[i][j] + alpha * A[i][k] * B[k][j];
+			}
+		}
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			D[i][j] = D[i][j] * beta;
+			for (var k: i64 = 0; k < n; k += 1) {
+				D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+			}
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + D[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func threeMM(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var B: [NN][NN]f64;
+var C: [NN][NN]f64;
+var D: [NN][NN]f64;
+var E: [NN][NN]f64;
+var F: [NN][NN]f64;
+var G: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j + 1) % n) / f64(n);
+			B[i][j] = f64((i * (j + 1) + 2) % n) / f64(n);
+			C[i][j] = f64((i * (j + 3)) % n) / f64(n);
+			D[i][j] = f64((i * (j + 2) + 2) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			E[i][j] = 0.0;
+			for (var k: i64 = 0; k < n; k += 1) {
+				E[i][j] = E[i][j] + A[i][k] * B[k][j];
+			}
+		}
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			F[i][j] = 0.0;
+			for (var k: i64 = 0; k < n; k += 1) {
+				F[i][j] = F[i][j] + C[i][k] * D[k][j];
+			}
+		}
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			G[i][j] = 0.0;
+			for (var k: i64 = 0; k < n; k += 1) {
+				G[i][j] = G[i][j] + E[i][k] * F[k][j];
+			}
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + G[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func atax(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var x: [NN]f64;
+var y: [NN]f64;
+var tmp: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		x[i] = 1.0 + f64(i) / f64(n);
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i + j) % n) / (5.0 * f64(n));
+		}
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		y[i] = 0.0;
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		tmp[i] = 0.0;
+		for (var j: i64 = 0; j < n; j += 1) {
+			tmp[i] = tmp[i] + A[i][j] * x[j];
+		}
+		for (var j: i64 = 0; j < n; j += 1) {
+			y[j] = y[j] + A[i][j] * tmp[i];
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + y[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func bicg(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var s: [NN]f64;
+var q: [NN]f64;
+var p: [NN]f64;
+var r: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		p[i] = f64(i % 11) / 11.0;
+		r[i] = f64(i % 7) / 7.0;
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * (j + 1)) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		s[i] = 0.0;
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		q[i] = 0.0;
+		for (var j: i64 = 0; j < n; j += 1) {
+			s[j] = s[j] + r[i] * A[i][j];
+			q[i] = q[i] + A[i][j] * p[j];
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var acc: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		acc = acc + s[i] + q[i];
+	}
+	print(acc);
+	return acc;
+}
+`, n)
+}
+
+func doitgen(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var C4: [NN][NN]f64;
+var sum: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			C4[i][j] = f64((i * j) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	// The r/q planes of the 3D tensor are iterated as repeated 2D passes.
+	for (var r: i64 = 0; r < n; r += 1) {
+		for (var q: i64 = 0; q < n; q += 1) {
+			for (var p: i64 = 0; p < n; p += 1) {
+				A[q][p] = f64((r + q + p) % n) / f64(n);
+			}
+			for (var p: i64 = 0; p < n; p += 1) {
+				sum[p] = 0.0;
+				for (var k: i64 = 0; k < n; k += 1) {
+					sum[p] = sum[p] + A[q][k] * C4[k][p];
+				}
+			}
+			for (var p: i64 = 0; p < n; p += 1) {
+				A[q][p] = sum[p];
+			}
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var acc: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			acc = acc + A[i][j];
+		}
+	}
+	print(acc);
+	return acc;
+}
+`, n)
+}
+
+func mvt(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var x1: [NN]f64;
+var x2: [NN]f64;
+var y1: [NN]f64;
+var y2: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		x1[i] = f64(i % n) / f64(n);
+		x2[i] = f64((i + 1) % n) / f64(n);
+		y1[i] = f64((i + 3) % n) / f64(n);
+		y2[i] = f64((i + 4) % n) / f64(n);
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = f64((i * j) % n) / f64(n);
+		}
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			x1[i] = x1[i] + A[i][j] * y1[j];
+		}
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			x2[i] = x2[i] + A[j][i] * y2[j];
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + x1[i] + x2[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func cholesky(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	// Symmetric positive definite: A = B·Bᵀ + n·I, built in place.
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = 0.0;
+		}
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			for (var k: i64 = 0; k < n; k += 1) {
+				A[i][j] = A[i][j] + (f64((i + k) % n) / f64(n)) * (f64((j + k) % n) / f64(n));
+			}
+		}
+		A[i][i] = A[i][i] + f64(n);
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < i; j += 1) {
+			for (var k: i64 = 0; k < j; k += 1) {
+				A[i][j] = A[i][j] - A[i][k] * A[j][k];
+			}
+			A[i][j] = A[i][j] / A[j][j];
+		}
+		for (var k: i64 = 0; k < i; k += 1) {
+			A[i][i] = A[i][i] - A[i][k] * A[i][k];
+		}
+		A[i][i] = sqrt(A[i][i]);
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j <= i; j += 1) {
+			s = s + A[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func durbin(n int) string {
+	return at(`
+var r: [NN]f64;
+var y: [NN]f64;
+var z: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	// A decaying autocorrelation keeps the reflection coefficients in
+	// (−1, 1) so the recursion stays finite.
+	for (var i: i64 = 0; i < n; i += 1) {
+		r[i] = f64(n - i) / f64(2 * n);
+	}
+}
+
+func kernel() {
+	y[0] = -r[0];
+	var beta: f64 = 1.0;
+	var alpha: f64 = -r[0];
+	for (var k: i64 = 1; k < n; k += 1) {
+		beta = (1.0 - alpha * alpha) * beta;
+		var summ: f64 = 0.0;
+		for (var i: i64 = 0; i < k; i += 1) {
+			summ = summ + r[k - i - 1] * y[i];
+		}
+		alpha = -(r[k] + summ) / beta;
+		for (var i: i64 = 0; i < k; i += 1) {
+			z[i] = y[i] + alpha * y[k - i - 1];
+		}
+		for (var i: i64 = 0; i < k; i += 1) {
+			y[i] = z[i];
+		}
+		y[k] = alpha;
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + y[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func gramschmidt(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var Q: [NN][NN]f64;
+var R: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			A[i][j] = (f64((i * j + 1) % n) / f64(n)) * 100.0 + 10.0;
+			Q[i][j] = 0.0;
+			R[i][j] = 0.0;
+		}
+	}
+}
+
+func kernel() {
+	for (var k: i64 = 0; k < n; k += 1) {
+		var nrm: f64 = 0.0;
+		for (var i: i64 = 0; i < n; i += 1) {
+			nrm = nrm + A[i][k] * A[i][k];
+		}
+		R[k][k] = sqrt(nrm);
+		for (var i: i64 = 0; i < n; i += 1) {
+			Q[i][k] = A[i][k] / R[k][k];
+		}
+		for (var j: i64 = k + 1; j < n; j += 1) {
+			R[k][j] = 0.0;
+			for (var i: i64 = 0; i < n; i += 1) {
+				R[k][j] = R[k][j] + Q[i][k] * A[i][j];
+			}
+			for (var i: i64 = 0; i < n; i += 1) {
+				A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+			}
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + R[i][j] + Q[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func ludcmp(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var b: [NN]f64;
+var x: [NN]f64;
+var y: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		b[i] = (f64(i) + 1.0) / (f64(n) * 2.0) + 4.0;
+		for (var j: i64 = 0; j < n; j += 1) {
+			if (j <= i) {
+				A[i][j] = (0.0 - f64(j % n)) / f64(n) + 1.0;
+			} else {
+				A[i][j] = 0.0;
+			}
+		}
+		A[i][i] = 1.0;
+	}
+	// Make it diagonally dominant: A = A·Aᵀ done row by row in place is
+	// costly; instead boost the diagonal.
+	for (var i: i64 = 0; i < n; i += 1) {
+		A[i][i] = A[i][i] + f64(n);
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < i; j += 1) {
+			var w: f64 = A[i][j];
+			for (var k: i64 = 0; k < j; k += 1) {
+				w = w - A[i][k] * A[k][j];
+			}
+			A[i][j] = w / A[j][j];
+		}
+		for (var j: i64 = i; j < n; j += 1) {
+			var w: f64 = A[i][j];
+			for (var k: i64 = 0; k < i; k += 1) {
+				w = w - A[i][k] * A[k][j];
+			}
+			A[i][j] = w;
+		}
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		var w: f64 = b[i];
+		for (var j: i64 = 0; j < i; j += 1) {
+			w = w - A[i][j] * y[j];
+		}
+		y[i] = w;
+	}
+	for (var i: i64 = n - 1; i >= 0; i = i - 1) {
+		var w: f64 = y[i];
+		for (var j: i64 = i + 1; j < n; j += 1) {
+			w = w - A[i][j] * x[j];
+		}
+		x[i] = w / A[i][i];
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + x[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func lu(n int) string {
+	return at(`
+var A: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			if (j <= i) {
+				A[i][j] = (0.0 - f64(j % n)) / f64(n) + 1.0;
+			} else {
+				A[i][j] = 0.0;
+			}
+		}
+		A[i][i] = f64(n);
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < i; j += 1) {
+			for (var k: i64 = 0; k < j; k += 1) {
+				A[i][j] = A[i][j] - A[i][k] * A[k][j];
+			}
+			A[i][j] = A[i][j] / A[j][j];
+		}
+		for (var j: i64 = i; j < n; j += 1) {
+			for (var k: i64 = 0; k < i; k += 1) {
+				A[i][j] = A[i][j] - A[i][k] * A[k][j];
+			}
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + A[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func trisolv(n int) string {
+	return at(`
+var L: [NN][NN]f64;
+var x: [NN]f64;
+var b: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		b[i] = f64(i % 13) / 13.0 + 1.0;
+		for (var j: i64 = 0; j <= i; j += 1) {
+			L[i][j] = (f64(i + n - j) + 1.0) * 2.0 / f64(n);
+		}
+		L[i][i] = L[i][i] + f64(n);
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		x[i] = b[i];
+		for (var j: i64 = 0; j < i; j += 1) {
+			x[i] = x[i] - L[i][j] * x[j];
+		}
+		x[i] = x[i] / L[i][i];
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + x[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}

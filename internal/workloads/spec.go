@@ -1,0 +1,443 @@
+package workloads
+
+// SpecLike returns the seven SPEC-FP substitutes. The licensed SPEC 2000/
+// 2006 sources are unavailable, so each substitute is a synthetic kernel
+// exercising the same FP-operation mix and (relative) memory footprint as
+// the application it stands in for:
+//
+//	spec_ammp   — molecular-dynamics pairwise force loop (6/12 potential)
+//	spec_art    — neural-network forward pass with winner-take-all
+//	spec_equake — seismic wave propagation stencil over a 2D grid
+//	spec_lbm    — lattice-Boltzmann-style streaming/collision over planes
+//	spec_mesa   — 4×4 transform + lighting pipeline over a vertex stream
+//	spec_milc   — 3×3 complex (su3-like) matrix products over sites
+//	spec_sphinx — Gaussian-mixture acoustic scoring (distance + exp-ish)
+//
+// The footprint-heavy ones (lbm, milc, sphinx) stream over larger arrays;
+// the paper observes exactly that class showing the highest shadow
+// overheads because metadata accesses double the cache pressure.
+func SpecLike() []Kernel {
+	return []Kernel{
+		{Name: "spec_ammp", Source: specAmmp, DefaultN: 56, Footprint: "large"},
+		{Name: "spec_art", Source: specArt, DefaultN: 40, Footprint: "large"},
+		{Name: "spec_equake", Source: specEquake, DefaultN: 48, Footprint: "large"},
+		{Name: "spec_lbm", Source: specLbm, DefaultN: 56, Footprint: "large"},
+		{Name: "spec_mesa", Source: specMesa, DefaultN: 1200, Footprint: "large"},
+		{Name: "spec_milc", Source: specMilc, DefaultN: 420, Footprint: "large"},
+		{Name: "spec_sphinx", Source: specSphinx, DefaultN: 64, Footprint: "large"},
+	}
+}
+
+func specAmmp(n int) string {
+	return at(`
+// MD pairwise forces with a Lennard-Jones-like 6/12 potential.
+var px: [NN]f64;
+var py: [NN]f64;
+var pz: [NN]f64;
+var fx: [NN]f64;
+var fy: [NN]f64;
+var fz: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		px[i] = f64(i % 17) / 4.0 + 0.5;
+		py[i] = f64((i * 3) % 23) / 5.0 + 0.5;
+		pz[i] = f64((i * 7) % 29) / 6.0 + 0.5;
+		fx[i] = 0.0;
+		fy[i] = 0.0;
+		fz[i] = 0.0;
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = i + 1; j < n; j += 1) {
+			var dx: f64 = px[i] - px[j];
+			var dy: f64 = py[i] - py[j];
+			var dz: f64 = pz[i] - pz[j];
+			var r2: f64 = dx * dx + dy * dy + dz * dz + 0.01;
+			var inv2: f64 = 1.0 / r2;
+			var inv6: f64 = inv2 * inv2 * inv2;
+			var coef: f64 = inv6 * (inv6 - 0.5) * inv2;
+			fx[i] = fx[i] + coef * dx;
+			fy[i] = fy[i] + coef * dy;
+			fz[i] = fz[i] + coef * dz;
+			fx[j] = fx[j] - coef * dx;
+			fy[j] = fy[j] - coef * dy;
+			fz[j] = fz[j] - coef * dz;
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + fx[i] * fx[i] + fy[i] * fy[i] + fz[i] * fz[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func specArt(n int) string {
+	return at(`
+// Adaptive-resonance-flavoured neural net: feature match + normalization.
+var w: [NN][NN]f64;
+var input: [NN]f64;
+var act: [NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		input[i] = f64((i * 5 + 1) % 31) / 31.0;
+		for (var j: i64 = 0; j < n; j += 1) {
+			w[i][j] = f64((i * j + 3) % 37) / 37.0;
+		}
+	}
+}
+
+func kernel(): i64 {
+	var winner: i64 = 0;
+	for (var pass: i64 = 0; pass < 4; pass += 1) {
+		var best: f64 = -1000000.0;
+		for (var i: i64 = 0; i < n; i += 1) {
+			var dot: f64 = 0.0;
+			var norm: f64 = 0.0;
+			for (var j: i64 = 0; j < n; j += 1) {
+				dot = dot + w[i][j] * input[j];
+				norm = norm + w[i][j];
+			}
+			act[i] = dot / (0.5 + norm);
+			if (act[i] > best) {
+				best = act[i];
+				winner = i;
+			}
+		}
+		// Learn: move the winner toward the input.
+		for (var j: i64 = 0; j < n; j += 1) {
+			w[winner][j] = 0.75 * w[winner][j] + 0.25 * input[j];
+		}
+	}
+	return winner;
+}
+
+func main(): f64 {
+	init_data();
+	var win: i64 = kernel();
+	var s: f64 = f64(win);
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + act[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func specEquake(n int) string {
+	return at(`
+// Seismic wave propagation: damped 5-point stencil time stepping.
+var u0: [NN][NN]f64;
+var u1: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			u0[i][j] = 0.0;
+			u1[i][j] = 0.0;
+		}
+	}
+	u0[n / 2][n / 2] = 100.0;
+}
+
+func kernel() {
+	for (var t: i64 = 0; t < 20; t += 1) {
+		for (var i: i64 = 1; i < n - 1; i += 1) {
+			for (var j: i64 = 1; j < n - 1; j += 1) {
+				u1[i][j] = 0.995 * (u0[i][j]
+					+ 0.175 * (u0[i - 1][j] + u0[i + 1][j] + u0[i][j - 1] + u0[i][j + 1]
+					- 4.0 * u0[i][j]));
+			}
+		}
+		for (var i: i64 = 1; i < n - 1; i += 1) {
+			for (var j: i64 = 1; j < n - 1; j += 1) {
+				u0[i][j] = u1[i][j];
+			}
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + u0[i][j] * u0[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func specLbm(n int) string {
+	return at(`
+// Lattice-Boltzmann-style: 5 distribution planes, stream + collide (BGK).
+var f0: [NN][NN]f64;
+var fe: [NN][NN]f64;
+var fw: [NN][NN]f64;
+var fn_: [NN][NN]f64;
+var fs: [NN][NN]f64;
+var rho: [NN][NN]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			f0[i][j] = 0.4 + f64((i + j) % 5) / 100.0;
+			fe[i][j] = 0.15;
+			fw[i][j] = 0.15;
+			fn_[i][j] = 0.15;
+			fs[i][j] = 0.15;
+		}
+	}
+}
+
+func kernel() {
+	for (var t: i64 = 0; t < 6; t += 1) {
+		// Collision toward local equilibrium.
+		for (var i: i64 = 0; i < n; i += 1) {
+			for (var j: i64 = 0; j < n; j += 1) {
+				rho[i][j] = f0[i][j] + fe[i][j] + fw[i][j] + fn_[i][j] + fs[i][j];
+				var eq: f64 = rho[i][j] / 5.0;
+				var omega: f64 = 0.6;
+				f0[i][j] = f0[i][j] + omega * (eq - f0[i][j]);
+				fe[i][j] = fe[i][j] + omega * (eq - fe[i][j]);
+				fw[i][j] = fw[i][j] + omega * (eq - fw[i][j]);
+				fn_[i][j] = fn_[i][j] + omega * (eq - fn_[i][j]);
+				fs[i][j] = fs[i][j] + omega * (eq - fs[i][j]);
+			}
+		}
+		// Streaming east/west/north/south with periodic wrap.
+		for (var i: i64 = 0; i < n; i += 1) {
+			for (var j: i64 = n - 1; j > 0; j = j - 1) {
+				fe[i][j] = fe[i][j - 1];
+			}
+			fe[i][0] = fe[i][n - 1];
+			for (var j: i64 = 0; j < n - 1; j += 1) {
+				fw[i][j] = fw[i][j + 1];
+			}
+			fw[i][n - 1] = fw[i][0];
+		}
+		for (var j: i64 = 0; j < n; j += 1) {
+			for (var i: i64 = n - 1; i > 0; i = i - 1) {
+				fn_[i][j] = fn_[i - 1][j];
+			}
+			fn_[0][j] = fn_[n - 1][j];
+			for (var i: i64 = 0; i < n - 1; i += 1) {
+				fs[i][j] = fs[i + 1][j];
+			}
+			fs[n - 1][j] = fs[0][j];
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var j: i64 = 0; j < n; j += 1) {
+			s = s + rho[i][j];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func specMesa(n int) string {
+	return at(`
+// Graphics pipeline: 4×4 model-view transform + perspective divide +
+// diffuse lighting over a stream of NN vertices.
+var vx: [NN]f64;
+var vy: [NN]f64;
+var vz: [NN]f64;
+var outc: [NN]f64;
+var M: [4][4]f64;
+var n: i64 = NN;
+
+func init_data() {
+	M[0][0] = 0.96; M[0][1] = 0.10; M[0][2] = 0.00; M[0][3] = 1.0;
+	M[1][0] = -0.1; M[1][1] = 0.95; M[1][2] = 0.05; M[1][3] = 2.0;
+	M[2][0] = 0.02; M[2][1] = -0.05; M[2][2] = 0.99; M[2][3] = 5.0;
+	M[3][0] = 0.0;  M[3][1] = 0.0;  M[3][2] = 0.2;  M[3][3] = 1.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		vx[i] = f64(i % 97) / 48.5 - 1.0;
+		vy[i] = f64((i * 3) % 89) / 44.5 - 1.0;
+		vz[i] = f64((i * 7) % 83) / 41.5 - 1.0;
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		var x: f64 = M[0][0] * vx[i] + M[0][1] * vy[i] + M[0][2] * vz[i] + M[0][3];
+		var y: f64 = M[1][0] * vx[i] + M[1][1] * vy[i] + M[1][2] * vz[i] + M[1][3];
+		var z: f64 = M[2][0] * vx[i] + M[2][1] * vy[i] + M[2][2] * vz[i] + M[2][3];
+		var w: f64 = M[3][0] * vx[i] + M[3][1] * vy[i] + M[3][2] * vz[i] + M[3][3];
+		x = x / w;
+		y = y / w;
+		z = z / w;
+		// Diffuse shading against a fixed light direction.
+		var len: f64 = sqrt(x * x + y * y + z * z) + 0.0001;
+		var ndotl: f64 = (0.3 * x + 0.5 * y + 0.8 * z) / len;
+		if (ndotl < 0.0) { ndotl = 0.0; }
+		outc[i] = 0.1 + 0.9 * ndotl;
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + outc[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func specMilc(n int) string {
+	return at(`
+// Lattice QCD flavour: 3×3 complex matrix times vector per site,
+// accumulated along a path (su3 multiply-add chains).
+var mre: [9]f64;
+var mim: [9]f64;
+var vre: [NN][3]f64;
+var vim: [NN][3]f64;
+var n: i64 = NN;
+
+func init_data() {
+	for (var k: i64 = 0; k < 9; k += 1) {
+		mre[k] = f64((k * 5 + 1) % 7) / 7.0 - 0.4;
+		mim[k] = f64((k * 3 + 2) % 5) / 5.0 - 0.4;
+	}
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var c: i64 = 0; c < 3; c += 1) {
+			vre[i][c] = f64((i + c) % 11) / 11.0;
+			vim[i][c] = f64((i * 2 + c) % 13) / 13.0;
+		}
+	}
+}
+
+func kernel() {
+	for (var step: i64 = 0; step < 4; step += 1) {
+		for (var i: i64 = 0; i < n; i += 1) {
+			var r0: f64 = 0.0; var i0: f64 = 0.0;
+			var r1: f64 = 0.0; var i1: f64 = 0.0;
+			var r2: f64 = 0.0; var i2: f64 = 0.0;
+			for (var c: i64 = 0; c < 3; c += 1) {
+				r0 = r0 + mre[c] * vre[i][c] - mim[c] * vim[i][c];
+				i0 = i0 + mre[c] * vim[i][c] + mim[c] * vre[i][c];
+				r1 = r1 + mre[3 + c] * vre[i][c] - mim[3 + c] * vim[i][c];
+				i1 = i1 + mre[3 + c] * vim[i][c] + mim[3 + c] * vre[i][c];
+				r2 = r2 + mre[6 + c] * vre[i][c] - mim[6 + c] * vim[i][c];
+				i2 = i2 + mre[6 + c] * vim[i][c] + mim[6 + c] * vre[i][c];
+			}
+			vre[i][0] = r0 * 0.5 + vre[i][0] * 0.5;
+			vim[i][0] = i0 * 0.5 + vim[i][0] * 0.5;
+			vre[i][1] = r1 * 0.5 + vre[i][1] * 0.5;
+			vim[i][1] = i1 * 0.5 + vim[i][1] * 0.5;
+			vre[i][2] = r2 * 0.5 + vre[i][2] * 0.5;
+			vim[i][2] = i2 * 0.5 + vim[i][2] * 0.5;
+		}
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var c: i64 = 0; c < 3; c += 1) {
+			s = s + vre[i][c] * vre[i][c] + vim[i][c] * vim[i][c];
+		}
+	}
+	print(s);
+	return s;
+}
+`, n)
+}
+
+func specSphinx(n int) string {
+	return at(`
+// Acoustic scoring: per-frame Gaussian mixture distances with a softmax-
+// style normalization (exp approximated by a rational, as fixed-point
+// speech decoders do).
+var feat: [NN][8]f64;
+var mean: [16][8]f64;
+var ivar: [16][8]f64;
+var score: [NN]f64;
+var n: i64 = NN;
+
+func approx_exp(x: f64): f64 {
+	// 4th-order rational approximation of e^x on the scoring range.
+	var t: f64 = 1.0 + x / 16.0;
+	t = t * t;
+	t = t * t;
+	t = t * t;
+	t = t * t;
+	return t;
+}
+
+func init_data() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		for (var d: i64 = 0; d < 8; d += 1) {
+			feat[i][d] = f64((i * 3 + d) % 21) / 21.0;
+		}
+	}
+	for (var g: i64 = 0; g < 16; g += 1) {
+		for (var d: i64 = 0; d < 8; d += 1) {
+			mean[g][d] = f64((g * 7 + d) % 19) / 19.0;
+			ivar[g][d] = 1.0 + f64((g + d) % 5) / 5.0;
+		}
+	}
+}
+
+func kernel() {
+	for (var i: i64 = 0; i < n; i += 1) {
+		var total: f64 = 0.0;
+		for (var g: i64 = 0; g < 16; g += 1) {
+			var d2: f64 = 0.0;
+			for (var d: i64 = 0; d < 8; d += 1) {
+				var diff: f64 = feat[i][d] - mean[g][d];
+				d2 = d2 + diff * diff * ivar[g][d];
+			}
+			total = total + approx_exp(0.0 - d2);
+		}
+		score[i] = total / 16.0;
+	}
+}
+
+func main(): f64 {
+	init_data();
+	kernel();
+	var s: f64 = 0.0;
+	for (var i: i64 = 0; i < n; i += 1) {
+		s = s + score[i];
+	}
+	print(s);
+	return s;
+}
+`, n)
+}

@@ -1,0 +1,476 @@
+package workloads
+
+import "positdebug/internal/shadow"
+
+// SuiteProgram is one entry of the 32-program error-detection suite used
+// for the paper's §5.1 effectiveness table: twelve FP programs in the style
+// of the Herbgrind suite (classic floating-point pathologies, refactored to
+// posits exactly as the paper did) and twenty posit programs covering the
+// posit-specific error classes.
+type SuiteProgram struct {
+	Name   string
+	Source string
+	// FromFP marks the Herbgrind-style FP programs that the harness first
+	// rewrites to posits with the refactorer.
+	FromFP bool
+	// Expect lists error kinds this program is known to exhibit; the
+	// detection experiment asserts at least one of them is found.
+	Expect []shadow.Kind
+}
+
+// Suite returns the 32 programs.
+func Suite() []SuiteProgram {
+	return append(herbgrindStyle(), positPrograms()...)
+}
+
+func herbgrindStyle() []SuiteProgram {
+	cc := []shadow.Kind{shadow.KindCancellation}
+	high := []shadow.Kind{shadow.KindHighError, shadow.KindWrongOutput, shadow.KindPrecisionLoss}
+	return []SuiteProgram{
+		{Name: "fp_quadratic", FromFP: true, Expect: cc, Source: `
+// Naive quadratic formula: −b+sqrt(b²−4ac) cancels for b² ≫ 4ac.
+func main(): f64 {
+	var a: f64 = 1.0;
+	var b: f64 = 20000.0;
+	var c: f64 = 0.015625;
+	var disc: f64 = b * b - 4.0 * a * c;
+	var root: f64 = (0.0 - b + sqrt(disc)) / (2.0 * a);
+	print(root);
+	return root;
+}`},
+		{Name: "fp_variance", FromFP: true, Expect: cc, Source: `
+// Single-pass variance E[x²]−E[x]² on near-constant data.
+var xs: [256]f64;
+func main(): f64 {
+	for (var i: i64 = 0; i < 256; i += 1) {
+		xs[i] = 10000.0 + f64(i % 2) / 64.0;
+	}
+	var s: f64 = 0.0;
+	var s2: f64 = 0.0;
+	for (var i: i64 = 0; i < 256; i += 1) {
+		s = s + xs[i];
+		s2 = s2 + xs[i] * xs[i];
+	}
+	var mean: f64 = s / 256.0;
+	var variance: f64 = s2 / 256.0 - mean * mean;
+	print(variance);
+	return variance;
+}`},
+		{Name: "fp_exp_taylor", FromFP: true, Expect: cc, Source: `
+// Taylor series of e^x at x = −12: alternating huge terms cancel.
+func main(): f64 {
+	var x: f64 = -12.0;
+	var term: f64 = 1.0;
+	var s: f64 = 1.0;
+	for (var i: i64 = 1; i < 60; i += 1) {
+		term = term * x / f64(i);
+		s = s + term;
+	}
+	print(s);
+	return s;
+}`},
+		{Name: "fp_sqrt_diff", FromFP: true, Expect: cc, Source: `
+// sqrt(x+1) − sqrt(x) for large x.
+func main(): f64 {
+	var x: f64 = 67108864.0;
+	var d: f64 = sqrt(x + 1.0) - sqrt(x);
+	print(d);
+	return d;
+}`},
+		{Name: "fp_archimedes", FromFP: true, Expect: cc, Source: `
+// Archimedes' recurrence for π: t ← (sqrt(t²+1)−1)/t loses all bits.
+func main(): f64 {
+	var t: f64 = 0.57735026918962573;
+	var pi: f64 = 0.0;
+	var sides: f64 = 6.0;
+	for (var i: i64 = 0; i < 20; i += 1) {
+		t = (sqrt(t * t + 1.0) - 1.0) / t;
+		sides = sides * 2.0;
+		pi = sides * t;
+	}
+	print(pi);
+	return pi;
+}`},
+		{Name: "fp_harmonic_drift", FromFP: true, Expect: high, Source: `
+// Forward harmonic accumulation into a large base value.
+func main(): f64 {
+	var s: f64 = 16777216.0;
+	for (var i: i64 = 1; i < 4000; i += 1) {
+		s = s + 1.0 / f64(i);
+	}
+	var drift: f64 = s - 16777216.0;
+	print(drift);
+	return drift;
+}`},
+		{Name: "fp_small_into_large", FromFP: true, Expect: high, Source: `
+// Absorbing small increments into a large accumulator.
+func main(): f64 {
+	var s: f64 = 33554432.0;
+	for (var i: i64 = 0; i < 3000; i += 1) {
+		s = s + 0.0009765625;
+	}
+	var delta: f64 = s - 33554432.0;
+	print(delta);
+	return delta;
+}`},
+		{Name: "fp_muller", FromFP: true, Expect: append(cc, shadow.KindBranchFlip, shadow.KindWrongOutput), Source: `
+// Muller's recurrence: converges to 100 in exact arithmetic but to 5
+// under any finite precision — outputs diverge wildly.
+func main(): f64 {
+	var x0: f64 = 2.0;
+	var x1: f64 = -4.0;
+	for (var i: i64 = 0; i < 40; i += 1) {
+		var x2: f64 = 111.0 - (1130.0 - 3000.0 / x0) / x1;
+		x0 = x1;
+		x1 = x2;
+	}
+	print(x1);
+	return x1;
+}`},
+		{Name: "fp_heron_needle", FromFP: true, Expect: cc, Source: `
+// Heron's formula on a needle triangle.
+func main(): f64 {
+	var a: f64 = 100000.0;
+	var b: f64 = 99999.9999999;
+	var c: f64 = 0.0000000001;
+	var s: f64 = (a + b + c) / 2.0;
+	var area2: f64 = s * (s - a) * (s - b) * (s - c);
+	print(area2);
+	return area2;
+}`},
+		{Name: "fp_log1p_naive", FromFP: true, Expect: cc, Source: `
+// ((1+x) − 1)/x for tiny x: the numerator cancels.
+func main(): f64 {
+	var x: f64 = 0.0000000001;
+	var y: f64 = ((1.0 + x) - 1.0) / x;
+	print(y);
+	return y;
+}`},
+		{Name: "fp_poly_expanded", FromFP: true, Expect: append(cc, shadow.KindHighError), Source: `
+// (x−1)^7 expanded, evaluated near x = 1: alternating cancellation.
+func main(): f64 {
+	var x: f64 = 1.0009765625;
+	var y: f64 = x*x*x*x*x*x*x - 7.0*x*x*x*x*x*x + 21.0*x*x*x*x*x
+		- 35.0*x*x*x*x + 35.0*x*x*x - 21.0*x*x + 7.0*x - 1.0;
+	print(y);
+	return y;
+}`},
+		{Name: "fp_diff_quotient", FromFP: true, Expect: cc, Source: `
+// Numerical derivative of x² at 1 with a step below the posit ULP at 1:
+// x+h rounds back to x and the numerator cancels completely.
+func main(): f64 {
+	var h: f64 = 0.000000003;
+	var x: f64 = 1.0;
+	var d: f64 = ((x + h) * (x + h) - x * x) / h;
+	print(d);
+	return d;
+}`},
+	}
+}
+
+func positPrograms() []SuiteProgram {
+	cc := []shadow.Kind{shadow.KindCancellation}
+	lp := []shadow.Kind{shadow.KindPrecisionLoss}
+	sat := []shadow.Kind{shadow.KindSaturation}
+	nar := []shadow.Kind{shadow.KindNaR}
+	bf := []shadow.Kind{shadow.KindBranchFlip}
+	return []SuiteProgram{
+		{Name: "p_rootcount", Expect: append(cc, shadow.KindBranchFlip), Source: `
+// Figure 2 of the paper.
+func rootcount(a: p32, b: p32, c: p32): i64 {
+	var t1: p32 = b * b;
+	var t2: p32 = 4.0 * a * c;
+	var t3: p32 = t1 - t2;
+	if (t3 > 0.0) { return 2; }
+	if (t3 == 0.0) { return 1; }
+	return 0;
+}
+func main(): i64 {
+	var r: i64 = rootcount(18309067625725952.0, 3246642954240.0, 143923904.0);
+	print(p32(r));
+	return r;
+}`},
+		{Name: "p_simpson_sum", Expect: []shadow.Kind{shadow.KindPrecisionLoss, shadow.KindHighError, shadow.KindWrongOutput}, Source: `
+// Simpson-style accumulation of large terms: the running sum climbs out
+// of the golden zone and new terms are rounded away (§5.2.2).
+func f(x: p32): p32 { return x * x; }
+func main(): p32 {
+	var a: p32 = 13223113.0;
+	var h: p32 = 1.0;
+	var s: p32 = 0.0;
+	for (var i: i64 = 0; i < 4000; i += 1) {
+		var x: p32 = a + p32(i) * h;
+		var w: p32 = 2.0;
+		if (i % 2 == 1) { w = 4.0; }
+		s = s + w * f(x);
+	}
+	print(s);
+	return s;
+}`},
+		{Name: "p_dot_mixed", Expect: []shadow.Kind{shadow.KindPrecisionLoss, shadow.KindHighError}, Source: `
+var xs: [128]p32;
+var ys: [128]p32;
+func main(): p32 {
+	for (var i: i64 = 0; i < 128; i += 1) {
+		xs[i] = 1000000.0 + p32(i);
+		ys[i] = 1000000.0 - p32(i);
+	}
+	var s: p32 = 0.0;
+	for (var i: i64 = 0; i < 128; i += 1) {
+		s = s + xs[i] * ys[i];
+	}
+	print(s);
+	return s;
+}`},
+		{Name: "p_saturate_mul", Expect: sat, Source: `
+func main(): p32 {
+	var x: p32 = 1000000000000000000.0;
+	var y: p32 = x * x * x;
+	print(y);
+	return y;
+}`},
+		{Name: "p_underflow_clamp", Expect: sat, Source: `
+func main(): p32 {
+	var x: p32 = 0.000000000000000001;
+	var y: p32 = x * x * x;
+	print(y);
+	return y;
+}`},
+		{Name: "p_div_zero", Expect: nar, Source: `
+func main(): p32 {
+	var a: p32 = 1.5;
+	var b: p32 = a - 1.5;
+	var c: p32 = a / b;
+	print(c);
+	return c;
+}`},
+		{Name: "p_sqrt_negative", Expect: nar, Source: `
+func main(): p32 {
+	var a: p32 = 2.0;
+	var b: p32 = a - 5.0;
+	var c: p32 = sqrt(b);
+	print(c);
+	return c;
+}`},
+		{Name: "p_wrong_cast", Expect: []shadow.Kind{shadow.KindWrongCast}, Source: `
+func main(): i64 {
+	var big1: p32 = 18309067625725952.0;
+	var big2: p32 = 18309068625725952.0;
+	var d: p32 = big1 * 577.0 - big2 * 577.0;
+	var idx: i64 = i64(d);
+	print(idx);
+	return idx;
+}`},
+		{Name: "p_threshold_flip", Expect: bf, Source: `
+func main(): i64 {
+	var x: p32 = 16777216.0;
+	var y: p32 = x + 0.4375;
+	if (y > x) {
+		print(1);
+		return 1;
+	}
+	print(0);
+	return 0;
+}`},
+		{Name: "p_loop_exit_flip", Expect: bf, Source: `
+// The loop guard tests a cancellation-damaged value: the program sees 0
+// (loop runs), the ideal execution sees a negative value (loop skipped).
+func main(): i64 {
+	var big1: p32 = 18309067625725952.0;
+	var big2: p32 = 18309068625725952.0;
+	var d: p32 = big1 * 577.0 - big2 * 577.0;
+	var i: i64 = 0;
+	while (d >= 0.0 && i < 10) {
+		d = d - 1.0;
+		i += 1;
+	}
+	print(d);
+	return i;
+}`},
+		{Name: "p_det_illcond", Expect: cc, Source: `
+// 2×2 determinant of an ill-conditioned integer matrix whose exact
+// determinant is 1 (Rump-style): the ~1.3e16 products carry only 8
+// fraction bits in ⟨32,2⟩, so the subtraction is pure noise.
+func main(): p32 {
+	var a: p32 = 64919121.0;
+	var b: p32 = 159018721.0;
+	var c: p32 = 83739041.0;
+	var d: p32 = 205117922.0;
+	var det: p32 = a * d - b * c;
+	print(det);
+	return det;
+}`},
+		{Name: "p_running_mean", Expect: []shadow.Kind{shadow.KindHighError, shadow.KindWrongOutput, shadow.KindPrecisionLoss}, Source: `
+var data: [512]p32;
+func main(): p32 {
+	for (var i: i64 = 0; i < 512; i += 1) {
+		data[i] = 250000.0 + p32(i % 3);
+	}
+	var mean: p32 = 0.0;
+	for (var i: i64 = 0; i < 512; i += 1) {
+		mean = mean + (data[i] - mean) / p32(i + 1);
+	}
+	var centered: p32 = mean - 250001.0;
+	print(centered);
+	return centered;
+}`},
+		{Name: "p_compound_growth", Expect: lp, Source: `
+// Repeated multiplication walks the value out of the golden zone,
+// shedding fraction bits at every regime crossing.
+func main(): p32 {
+	var v: p32 = 1.0000001;
+	var r: p32 = 1.9999999;
+	for (var i: i64 = 0; i < 70; i += 1) {
+		v = v * r;
+	}
+	print(v);
+	return v;
+}`},
+		{Name: "p_softmax_overflow", Expect: []shadow.Kind{shadow.KindPrecisionLoss, shadow.KindSaturation, shadow.KindHighError}, Source: `
+// Unnormalized softmax on large logits.
+var logits: [8]p32;
+func main(): p32 {
+	for (var i: i64 = 0; i < 8; i += 1) {
+		logits[i] = 40000000.0 + p32(i) * 11.0;
+	}
+	var denom: p32 = 0.0;
+	for (var i: i64 = 0; i < 8; i += 1) {
+		denom = denom + logits[i] * logits[i] * logits[i];
+	}
+	var out: p32 = logits[0] * logits[0] * logits[0] / denom;
+	print(out);
+	return out;
+}`},
+		{Name: "p_alternating_ln2", Expect: []shadow.Kind{shadow.KindHighError, shadow.KindWrongOutput, shadow.KindCancellation}, Source: `
+// Alternating series for ln 2 with pairwise cancellation amplified by a
+// large multiplier.
+func main(): p32 {
+	var s: p32 = 0.0;
+	var sign: p32 = 1.0;
+	for (var i: i64 = 1; i < 500; i += 1) {
+		s = s + sign * 20000000.0 / p32(i);
+		sign = 0.0 - sign;
+	}
+	var residue: p32 = s - 13862943.0;
+	print(residue);
+	return residue;
+}`},
+		{Name: "p_fib_ratio_flip", Expect: bf, Source: `
+// Golden-ratio convergence test: the equality check flips.
+func main(): i64 {
+	var a: p32 = 1.0;
+	var b: p32 = 1.0;
+	var iters: i64 = 0;
+	for (var i: i64 = 0; i < 40; i += 1) {
+		var c: p32 = a + b;
+		a = b;
+		b = c;
+		var ratio: p32 = b / a;
+		var prev: p32 = a / (b - a);
+		if (ratio == prev) {
+			iters = i;
+			break;
+		}
+	}
+	print(iters);
+	return iters;
+}`},
+		{Name: "p_telescope", Expect: []shadow.Kind{shadow.KindHighError, shadow.KindWrongOutput, shadow.KindPrecisionLoss}, Source: `
+// Telescoping sum Σ 1/(i(i+1)) scaled up: exact answer n/(n+1) · scale.
+func main(): p32 {
+	var s: p32 = 0.0;
+	for (var i: i64 = 1; i <= 2000; i += 1) {
+		s = s + 90000000.0 / (p32(i) * p32(i + 1));
+	}
+	var residue: p32 = s - 89955022.0;
+	print(residue);
+	return residue;
+}`},
+		{Name: "p_cordic_mini", Expect: []shadow.Kind{shadow.KindBranchFlip, shadow.KindHighError, shadow.KindCancellation}, Source: `
+// A miniature of the paper's CORDIC case study: rotation-mode iterations
+// for a tiny angle; z's cancellation flips the direction decisions.
+var atan_tab: [30]p32;
+func main(): p32 {
+	atan_tab[0] = 0.7853981633974483;
+	atan_tab[1] = 0.4636476090008061;
+	atan_tab[2] = 0.24497866312686414;
+	atan_tab[3] = 0.12435499454676144;
+	atan_tab[4] = 0.06241880999595735;
+	atan_tab[5] = 0.031239833430268277;
+	atan_tab[6] = 0.015623728620476831;
+	atan_tab[7] = 0.007812341060101111;
+	atan_tab[8] = 0.0039062301319669718;
+	atan_tab[9] = 0.0019531225164788188;
+	atan_tab[10] = 0.0009765621895593195;
+	atan_tab[11] = 0.0004882812111948983;
+	atan_tab[12] = 0.00024414062014936177;
+	atan_tab[13] = 0.00012207031189367021;
+	atan_tab[14] = 0.00006103515617420877;
+	atan_tab[15] = 0.000030517578115526096;
+	atan_tab[16] = 0.000015258789061315762;
+	atan_tab[17] = 0.00000762939453110197;
+	atan_tab[18] = 0.000003814697265606496;
+	atan_tab[19] = 0.000001907348632810187;
+	atan_tab[20] = 0.0000009536743164059608;
+	atan_tab[21] = 0.00000047683715820308884;
+	atan_tab[22] = 0.00000023841857910155797;
+	atan_tab[23] = 0.00000011920928955078068;
+	atan_tab[24] = 0.00000005960464477539055;
+	atan_tab[25] = 0.000000029802322387695303;
+	atan_tab[26] = 0.000000014901161193847655;
+	atan_tab[27] = 0.000000007450580596923828;
+	atan_tab[28] = 0.000000003725290298461914;
+	atan_tab[29] = 0.000000001862645149230957;
+	var kc: p32 = 0.6072529350088813;
+	var x: p32 = kc;
+	var y: p32 = 0.0;
+	var z: p32 = 0.00000001;
+	var p2: p32 = 1.0;
+	for (var i: i64 = 0; i < 30; i += 1) {
+		var xs: p32 = x * p2;
+		var ys: p32 = y * p2;
+		if (z >= 0.0) {
+			x = x - ys;
+			y = y + xs;
+			z = z - atan_tab[i];
+		} else {
+			x = x + ys;
+			y = y - xs;
+			z = z + atan_tab[i];
+		}
+		p2 = p2 * 0.5;
+	}
+	print(y);
+	return y;
+}`},
+		{Name: "p_norm_skewed", Expect: []shadow.Kind{shadow.KindPrecisionLoss, shadow.KindSaturation, shadow.KindHighError}, Source: `
+// Euclidean norm of a vector with one dominant coordinate: the squares
+// saturate toward maxpos.
+var v: [16]p32;
+func main(): p32 {
+	v[0] = 30000000000000000.0;
+	for (var i: i64 = 1; i < 16; i += 1) {
+		v[i] = p32(i);
+	}
+	var s: p32 = 0.0;
+	for (var i: i64 = 0; i < 16; i += 1) {
+		s = s + v[i] * v[i];
+	}
+	var nrm: p32 = sqrt(s);
+	print(nrm);
+	return nrm;
+}`},
+		{Name: "p_second_root", Expect: lp, Source: `
+// The quadratic case study's second root (§5.2.3): the division by 2a
+// grows the regime and sheds fraction bits.
+func main(): p32 {
+	var a: p32 = 0.000000000000014396470127131522;
+	var b: p32 = 324.884063720703125;
+	var c: p32 = 1822878072832.0;
+	var disc: p32 = sqrt(b * b - 4.0 * a * c);
+	var root2: p32 = (0.0 - b - disc) / (2.0 * a);
+	print(root2);
+	return root2;
+}`},
+	}
+}

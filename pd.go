@@ -1,0 +1,177 @@
+// Package positdebug is a Go reproduction of "Debugging and Detecting
+// Numerical Errors in Computation with Posits" (Chowdhary, Lim,
+// Nagarakatte; PLDI 2020): PositDebug, a compile-time instrumentation that
+// shadow-executes posit programs with high-precision values to detect
+// catastrophic cancellation, precision loss, saturation, NaR exceptions,
+// branch flips, wrong integer casts and wrong outputs — and FPSanitizer,
+// the same metadata design applied to IEEE floating-point programs.
+//
+// The library compiles programs written in PCL (a small C-like numerical
+// language; see internal/lang), lowers them to a register IR, optionally
+// rewrites FP types to posits with the refactorer, instruments the IR with
+// shadow instructions, and executes on an interpreter whose shadow hooks
+// implement the paper's constant-size-metadata runtime.
+//
+// Quick start:
+//
+//	prog, err := positdebug.Compile(src)      // posit or FP source
+//	res, err := prog.Debug(shadow.DefaultConfig(), "main")
+//	fmt.Println(res.Summary)                   // detections
+//	for _, r := range res.Summary.Reports {    // DAGs per error
+//	    fmt.Println(r)
+//	}
+package positdebug
+
+import (
+	"bytes"
+	"fmt"
+
+	"positdebug/internal/codegen"
+	"positdebug/internal/herbgrind"
+	"positdebug/internal/instrument"
+	"positdebug/internal/interp"
+	"positdebug/internal/ir"
+	"positdebug/internal/lang"
+	"positdebug/internal/posit"
+	"positdebug/internal/refactor"
+	"positdebug/internal/shadow"
+)
+
+// Program is a compiled PCL program, ready to run uninstrumented
+// (baseline) or under shadow execution.
+type Program struct {
+	Source  string
+	Checked *lang.Checked
+	Module  *ir.Module // uninstrumented IR
+
+	instrumented *ir.Module
+}
+
+// Compile parses, type-checks, lowers and verifies a PCL source.
+func Compile(src string) (*Program, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("positdebug: %w", err)
+	}
+	chk, err := lang.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("positdebug: %w", err)
+	}
+	mod, err := codegen.Compile(chk)
+	if err != nil {
+		return nil, fmt.Errorf("positdebug: %w", err)
+	}
+	if err := mod.Verify(); err != nil {
+		return nil, fmt.Errorf("positdebug: internal error: %w", err)
+	}
+	return &Program{Source: src, Checked: chk, Module: mod}, nil
+}
+
+// RefactorToPosit rewrites an FP program source into a ⟨32,2⟩ posit
+// program, like the paper's clang-based refactorer.
+func RefactorToPosit(src string) (string, error) {
+	return refactor.Source(src, refactor.Options{})
+}
+
+// Instrumented returns (and caches) the shadow-instrumented module.
+func (p *Program) Instrumented() *ir.Module {
+	if p.instrumented == nil {
+		p.instrumented = instrument.Instrument(p.Module, instrument.Options{})
+	}
+	return p.instrumented
+}
+
+// Result carries a run's outcome.
+type Result struct {
+	Value   uint64          // raw bit-pattern result of the entry function
+	Output  string          // everything the program printed
+	Steps   int64           // instructions executed
+	Summary *shadow.Summary // nil for baseline runs
+}
+
+// P32 decodes the result value as a ⟨32,2⟩ posit.
+func (r *Result) P32() float64 { return posit.Config32.ToFloat64(posit.Bits(r.Value)) }
+
+// F64 decodes the result value as a float64.
+func (r *Result) F64() float64 { return interp.ToFloat64(ir.F64, r.Value) }
+
+// I64 decodes the result value as an int64.
+func (r *Result) I64() int64 { return int64(r.Value) }
+
+// Run executes the uninstrumented program (the baseline of every
+// experiment in the paper's evaluation).
+func (p *Program) Run(fn string, args ...uint64) (*Result, error) {
+	m := interp.New(p.Module)
+	var out bytes.Buffer
+	m.Out = &out
+	v, err := m.Run(fn, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Value: v, Output: out.String(), Steps: m.Steps()}, nil
+}
+
+// Debug executes the program under PositDebug/FPSanitizer shadow
+// execution and returns the detections alongside the program result.
+func (p *Program) Debug(cfg shadow.Config, fn string, args ...uint64) (*Result, error) {
+	mod := p.Instrumented()
+	return p.debugModule(mod, cfg, fn, args...)
+}
+
+// DebugPartial is Debug with selected functions left uninstrumented — the
+// paper's incremental-deployment mode (§4.1): values written by skipped
+// functions are detected at load time via the stored program-value check
+// and re-initialize the shadow.
+func (p *Program) DebugPartial(skip []string, cfg shadow.Config, fn string, args ...uint64) (*Result, error) {
+	skipSet := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	mod := instrument.Instrument(p.Module, instrument.Options{Skip: skipSet})
+	return p.debugModule(mod, cfg, fn, args...)
+}
+
+func (p *Program) debugModule(mod *ir.Module, cfg shadow.Config, fn string, args ...uint64) (*Result, error) {
+	rt := shadow.NewRuntime(mod, cfg)
+	m := interp.New(mod)
+	m.Hooks = rt
+	var out bytes.Buffer
+	m.Out = &out
+	v, err := m.Run(fn, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: rt.Summary()}, nil
+}
+
+// DebugHerbgrind executes under the Herbgrind-style baseline runtime
+// (per-dynamic-op trace metadata) for the §5.4 comparison. It returns the
+// result and the number of trace nodes the run accumulated.
+func (p *Program) DebugHerbgrind(precision uint, fn string, args ...uint64) (*Result, int, error) {
+	mod := p.Instrumented()
+	rt := herbgrind.New(mod, precision)
+	m := interp.New(mod)
+	m.Hooks = rt
+	var out bytes.Buffer
+	m.Out = &out
+	v, err := m.Run(fn, args...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Result{Value: v, Output: out.String(), Steps: m.Steps()}, rt.TraceNodes(), nil
+}
+
+// P32Arg encodes a float64 as a ⟨32,2⟩ posit argument.
+func P32Arg(f float64) uint64 { return uint64(posit.Config32.FromFloat64(f)) }
+
+// P16Arg encodes a float64 as a ⟨16,1⟩ posit argument.
+func P16Arg(f float64) uint64 { return uint64(posit.Config16.FromFloat64(f)) }
+
+// F64Arg encodes a float64 argument.
+func F64Arg(f float64) uint64 { return interp.FromFloat64(ir.F64, f) }
+
+// F32Arg encodes a float32 argument.
+func F32Arg(f float64) uint64 { return interp.FromFloat64(ir.F32, f) }
+
+// I64Arg encodes an int64 argument.
+func I64Arg(v int64) uint64 { return uint64(v) }
