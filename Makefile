@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz campaign-smoke
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/interp/
+
+fuzz:
+	$(GO) test . -run FuzzInjector -fuzz FuzzInjector -fuzztime 30s
+
+# A ~30-second mini resilience campaign: posit vs float under single bit
+# flips, verified deterministic by running it twice and diffing the JSON.
+campaign-smoke: build
+	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -model bitflip -runs 200 -arch both
+	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -model bitflip -runs 200 -arch both -json > /tmp/pdfault-smoke-1.json
+	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -model bitflip -runs 200 -arch both -json > /tmp/pdfault-smoke-2.json
+	diff /tmp/pdfault-smoke-1.json /tmp/pdfault-smoke-2.json
+	@echo "campaign-smoke: deterministic ✓"

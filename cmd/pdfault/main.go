@@ -1,0 +1,121 @@
+// Command pdfault runs deterministic fault-injection campaigns against
+// PositDebug workloads and reports the resilience breakdown — masked, SDC,
+// detected, crashed, hung — per architecture (posit vs float), using the
+// shadow-execution oracle as the detector.
+//
+// Usage:
+//
+//	pdfault -workload polybench/gemm -seed 42 -model bitflip -runs 200
+//
+// The whole campaign is a pure function of the seed: rerunning with the
+// same flags yields a byte-identical report (use -json to diff).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"positdebug/internal/faultinject"
+	"positdebug/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "polybench/gemm", "workload: polybench/<kernel>, spec/<kernel>, suite/<program>")
+	n := flag.Int("n", 0, "problem size (0 = campaign default)")
+	runs := flag.Int("runs", 100, "fault-injected runs per architecture")
+	seed := flag.Int64("seed", 1, "campaign seed (determines every fault)")
+	model := flag.String("model", "bitflip", "fault kind: bitflip|multiflip|nar|saturate")
+	ops := flag.String("ops", "all", "injectable op classes: comma list of arith,const,cast,load,store,call or all")
+	bit := flag.Int("bit", -1, "pin flipped bit position (-1 = random per injection)")
+	flips := flag.Int("flips", 2, "bits flipped per multiflip injection")
+	rate := flag.Float64("rate", 0, "per-event injection probability (0 = single fault per run)")
+	occ := flag.Int64("occ", 0, "pin injection to the k-th eligible event (0 = sweep sites)")
+	inst := flag.Int("inst", -1, "restrict injection to one static instruction id (-1 = any)")
+	arch := flag.String("arch", "posit", "architecture: posit|float|both")
+	timeout := flag.Duration("timeout", 10*time.Second, "wall-clock limit per run")
+	maxSteps := flag.Int64("max-steps", 200_000_000, "step budget per run")
+	prec := flag.Uint("prec", 256, "shadow precision in bits")
+	budget := flag.Int64("budget", 0, "shadow-memory budget in bytes (0 = unlimited; over-budget runs degrade)")
+	threshold := flag.Int("threshold", 10, "masked threshold in output error bits")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
+	schedules := flag.Bool("schedules", false, "embed per-run fault schedules in the JSON report")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		listWorkloads()
+		return
+	}
+
+	kind, err := faultinject.KindByName(*model)
+	if err != nil {
+		fail(err)
+	}
+	classes, err := faultinject.ClassByName(*ops)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := faultinject.CampaignConfig{
+		Workload: *workload,
+		N:        *n,
+		Arch:     *arch,
+		Runs:     *runs,
+		Seed:     *seed,
+		Model: faultinject.Model{
+			Kind:       kind,
+			FlipBits:   *flips,
+			BitPos:     *bit,
+			Ops:        classes,
+			InstID:     int32(*inst),
+			Occurrence: *occ,
+			Rate:       *rate,
+		},
+		Timeout:        *timeout,
+		MaxSteps:       *maxSteps,
+		Precision:      *prec,
+		MaxShadowBytes: *budget,
+		MaskedBits:     *threshold,
+		KeepSchedules:  *schedules,
+	}
+	rep, err := faultinject.RunCampaign(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Print(rep)
+}
+
+func listWorkloads() {
+	var names []string
+	for _, k := range workloads.PolyBench() {
+		names = append(names, "polybench/"+k.Name)
+	}
+	for _, k := range workloads.SpecLike() {
+		names = append(names, "spec/"+k.Name)
+	}
+	for _, p := range workloads.Suite() {
+		names = append(names, "suite/"+p.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pdfault:", err)
+	os.Exit(1)
+}

@@ -2,11 +2,16 @@ package positdebug_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	positdebug "positdebug"
+	"positdebug/internal/faultinject"
+	"positdebug/internal/interp"
 	"positdebug/internal/shadow"
 )
 
@@ -112,4 +117,63 @@ func randomLiteral(rng *rand.Rand) string {
 		v = -v
 	}
 	return fmt.Sprintf("%g", v)
+}
+
+// FuzzInjector throws random fault models at randomly generated programs
+// and asserts the hardened execution contract: no panic ever escapes (the
+// machine converts them to structured errors), every run is bounded by its
+// limits, and the same seed + model replays a byte-identical fault
+// schedule and result.
+func FuzzInjector(f *testing.F) {
+	f.Add(int64(1), uint8(0), 0.01, int64(0), uint8(0xFF))
+	f.Add(int64(42), uint8(1), 0.0, int64(17), uint8(0x03))
+	f.Add(int64(-7), uint8(2), 1.0, int64(0), uint8(0x01))
+	f.Add(int64(999), uint8(3), 0.5, int64(-3), uint8(0x30))
+	f.Fuzz(func(t *testing.T, seed int64, kind uint8, rate float64, occ int64, ops uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		typ := []string{"p32", "p16", "f64", "f32"}[rng.Intn(4)]
+		src := randomProgram(rng, typ)
+		prog, err := positdebug.Compile(src)
+		if err != nil {
+			t.Fatalf("generated program does not compile: %v\n%s", err, src)
+		}
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			rate = 0
+		}
+		model := faultinject.Model{
+			Kind:       faultinject.Kind(kind % 4),
+			Rate:       math.Mod(rate, 1),
+			Occurrence: occ % 500,
+			Ops:        faultinject.OpClass(ops),
+			BitPos:     -1,
+		}
+		cfg := shadow.Config{Precision: 128, MaxReports: 2}
+		lim := interp.Limits{MaxSteps: 2_000_000, Timeout: 5 * time.Second}
+		run := func() (*positdebug.Result, []faultinject.Record, error) {
+			inj := faultinject.NewInjector(nil, model, seed)
+			res, err := prog.DebugWithLimits(cfg, lim, func(h interp.Hooks) interp.Hooks {
+				inj.Inner = h
+				return inj
+			}, "main")
+			return res, inj.Schedule(), err
+		}
+		res1, sched1, err1 := run()
+		res2, sched2, err2 := run()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("determinism: errors differ: %v vs %v\n%s", err1, err2, src)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("determinism: error texts differ: %v vs %v", err1, err2)
+			}
+			return // bounded failure (trap / resource limit) is a valid outcome
+		}
+		if res1.Value != res2.Value || res1.Output != res2.Output {
+			t.Fatalf("determinism: results differ: %#x/%q vs %#x/%q\n%s",
+				res1.Value, res1.Output, res2.Value, res2.Output, src)
+		}
+		if !reflect.DeepEqual(sched1, sched2) {
+			t.Fatalf("determinism: schedules differ:\n%v\nvs\n%v\n%s", sched1, sched2, src)
+		}
+	})
 }

@@ -1,0 +1,473 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	positdebug "positdebug"
+	"positdebug/internal/interp"
+	"positdebug/internal/ir"
+	"positdebug/internal/shadow"
+	"positdebug/internal/ulp"
+	"positdebug/internal/workloads"
+)
+
+// Outcome classifies one fault-injected run against the golden run, using
+// the shadow oracle for detection (the related work's resilience taxonomy:
+// masked / SDC / detected / crashed / hung).
+type Outcome string
+
+// Outcomes.
+const (
+	// OutcomeMasked: the final value stayed within the masked threshold of
+	// the golden value and the oracle raised nothing new.
+	OutcomeMasked Outcome = "masked"
+	// OutcomeSDC: the final value is wrong and no detector fired — silent
+	// data corruption, the dangerous bucket.
+	OutcomeSDC Outcome = "sdc"
+	// OutcomeDetected: PositDebug's shadow oracle flagged the run
+	// (cancellation, precision loss, NaR, branch flip, wrong output, …)
+	// beyond the golden run's baseline detections.
+	OutcomeDetected Outcome = "detected"
+	// OutcomeCrashed: the run died with a trap or internal fault.
+	OutcomeCrashed Outcome = "crashed"
+	// OutcomeHung: the run exceeded its wall-clock or step budget.
+	OutcomeHung Outcome = "hung"
+)
+
+// CampaignConfig describes one resilience campaign.
+type CampaignConfig struct {
+	// Workload names the program: "polybench/<kernel>", "spec/<kernel>",
+	// "suite/<program>", or a bare kernel name.
+	Workload string
+	// N overrides the kernel problem size (0 = a campaign-friendly size,
+	// half the harness default).
+	N int
+	// Arch selects "posit", "float", or "both".
+	Arch string
+	// Runs is the number of fault-injected runs per architecture.
+	Runs int
+	// Seed drives every random choice; the whole campaign is a pure
+	// function of it.
+	Seed int64
+	// Model is the fault model. With neither Occurrence nor Rate set, the
+	// campaign injects exactly one fault per run at a uniformly drawn
+	// dynamic site — the classic single-event-upset sweep.
+	Model Model
+	// Timeout bounds each run's wall clock (default 10s).
+	Timeout time.Duration
+	// MaxSteps bounds each run's instruction count (default 200M).
+	MaxSteps int64
+	// Precision is the shadow precision (default 256).
+	Precision uint
+	// MaxShadowBytes is the shadow-memory budget per run (0 = unlimited);
+	// over-budget runs degrade 256→128→64 and are flagged degraded.
+	MaxShadowBytes int64
+	// MaskedBits is the output-deviation threshold (in double-ULP error
+	// bits vs the golden value) below which a run counts as masked
+	// (default 10).
+	MaskedBits int
+	// KeepSchedules embeds each run's fault schedule in the report.
+	KeepSchedules bool
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Arch == "" {
+		c.Arch = "posit"
+	}
+	if c.Runs == 0 {
+		c.Runs = 100
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200_000_000
+	}
+	if c.Precision == 0 {
+		c.Precision = 256
+	}
+	if c.MaskedBits == 0 {
+		c.MaskedBits = 10
+	}
+	if c.Model.BitPos == 0 {
+		// Zero-value models draw the bit per injection; pinning bit 0
+		// requires driving the Injector directly.
+		c.Model.BitPos = -1
+	}
+	return c
+}
+
+// RunResult is one fault-injected run's record.
+type RunResult struct {
+	Run       int      `json:"run"`
+	Seed      int64    `json:"seed"`
+	Outcome   Outcome  `json:"outcome"`
+	ErrBits   int      `json:"err_bits"`
+	Detected  []string `json:"detected,omitempty"` // new detection kinds vs golden
+	Degraded  bool     `json:"degraded"`
+	Precision uint     `json:"precision"`
+	Injected  int      `json:"injected"` // faults actually injected
+	Schedule  []Record `json:"schedule,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// Totals aggregates one architecture's outcomes.
+type Totals struct {
+	Runs          int     `json:"runs"`
+	Masked        int     `json:"masked"`
+	SDC           int     `json:"sdc"`
+	Detected      int     `json:"detected"`
+	Crashed       int     `json:"crashed"`
+	Hung          int     `json:"hung"`
+	Degraded      int     `json:"degraded"`
+	InjectedRuns  int     `json:"injected_runs"`
+	DetectionRate float64 `json:"detection_rate"` // detected / (detected + sdc)
+}
+
+// ArchReport is one architecture's half of the campaign.
+type ArchReport struct {
+	Arch        string      `json:"arch"` // "posit" or "float"
+	GoldenValue float64     `json:"golden_value"`
+	GoldenKinds []string    `json:"golden_kinds,omitempty"` // baseline oracle detections
+	Candidates  int64       `json:"candidates"`             // eligible injection events per run
+	Results     []RunResult `json:"results"`
+	Totals      Totals      `json:"totals"`
+}
+
+// Report is the aggregate posit-vs-float resilience report.
+type Report struct {
+	Workload  string       `json:"workload"`
+	N         int          `json:"n"`
+	Runs      int          `json:"runs"`
+	Seed      int64        `json:"seed"`
+	Model     string       `json:"model"`
+	Precision uint         `json:"precision"`
+	Arches    []ArchReport `json:"arches"`
+}
+
+// detectable are the oracle kinds compared against the golden baseline, in
+// a fixed order for deterministic reports.
+var detectable = []shadow.Kind{
+	shadow.KindCancellation, shadow.KindPrecisionLoss, shadow.KindSaturation,
+	shadow.KindNaR, shadow.KindBranchFlip, shadow.KindWrongCast,
+	shadow.KindHighError, shadow.KindWrongOutput,
+}
+
+// ResolveWorkload returns the FP PCL source of a workload spec and the
+// problem size used.
+func ResolveWorkload(spec string, n int) (src string, size int, err error) {
+	name := spec
+	if i := strings.IndexByte(spec, '/'); i >= 0 {
+		group := spec[:i]
+		name = spec[i+1:]
+		if group == "suite" {
+			for _, p := range workloads.Suite() {
+				if p.Name == name {
+					return p.Source, 0, nil
+				}
+			}
+			return "", 0, fmt.Errorf("faultinject: no suite program %q", name)
+		}
+		if group != "polybench" && group != "spec" {
+			return "", 0, fmt.Errorf("faultinject: unknown workload group %q", group)
+		}
+	}
+	k, ok := workloads.KernelByName(name)
+	if !ok {
+		return "", 0, fmt.Errorf("faultinject: unknown workload %q", spec)
+	}
+	if n <= 0 {
+		// Campaign-friendly size: thousands of runs, not one figure.
+		n = k.DefaultN / 2
+		if n < 8 {
+			n = 8
+		}
+	}
+	return k.Source(n), n, nil
+}
+
+// RunCampaign executes the sweep: golden + calibration pass per
+// architecture, then cfg.Runs fault-injected runs, each classified with
+// the shadow oracle. Every run is bounded by the configured limits and
+// recovers panics, so one poisoned run never kills the sweep.
+func RunCampaign(cfg CampaignConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	src, n, err := ResolveWorkload(cfg.Workload, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Workload: cfg.Workload, N: n, Runs: cfg.Runs, Seed: cfg.Seed,
+		Model: cfg.Model.Kind.String(), Precision: cfg.Precision,
+	}
+
+	var arches []string
+	switch cfg.Arch {
+	case "posit", "float":
+		arches = []string{cfg.Arch}
+	case "both":
+		arches = []string{"posit", "float"}
+	default:
+		return nil, fmt.Errorf("faultinject: unknown arch %q (want posit|float|both)", cfg.Arch)
+	}
+
+	for _, arch := range arches {
+		ar, err := runArch(cfg, arch, src)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: %s: %w", arch, err)
+		}
+		rep.Arches = append(rep.Arches, *ar)
+	}
+	return rep, nil
+}
+
+func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
+	src := fpSrc
+	if arch == "posit" && !strings.Contains(fpSrc, ": p32") {
+		var err error
+		src, err = positdebug.RefactorToPosit(fpSrc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	prog, err := positdebug.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	retType := ir.F64
+	if fn := prog.Module.FuncByName("main"); fn != nil {
+		retType = fn.Ret
+	}
+
+	scfg := shadow.DefaultConfig()
+	scfg.Precision = cfg.Precision
+	scfg.MaxShadowBytes = cfg.MaxShadowBytes
+	scfg.MaxReports = 0 // counts only; reports are never rendered here
+	scfg.Tracing = false
+	lim := interp.Limits{Timeout: cfg.Timeout, MaxSteps: cfg.MaxSteps}
+
+	// Golden + calibration pass: the counting injector observes the
+	// eligible event stream without corrupting anything.
+	counter := NewInjector(nil, cfg.Model, 0)
+	counter.CountOnly = true
+	golden, err := prog.DebugWithLimits(scfg, lim, func(h interp.Hooks) interp.Hooks {
+		counter.Inner = h
+		return counter
+	}, "main")
+	if err != nil {
+		return nil, fmt.Errorf("golden run: %w", err)
+	}
+	goldenF := decode(retType, golden.Value)
+	goldenCounts := golden.Summary.Counts
+
+	ar := &ArchReport{
+		Arch:        arch,
+		GoldenValue: goldenF,
+		GoldenKinds: kindNamesOf(goldenCounts, nil),
+		Candidates:  counter.Candidates(),
+	}
+	if ar.Candidates == 0 {
+		return nil, fmt.Errorf("workload has no injectable events")
+	}
+
+	for run := 0; run < cfg.Runs; run++ {
+		rr := oneRun(cfg, prog, scfg, lim, retType, goldenF, goldenCounts, ar.Candidates, run)
+		if cfg.KeepSchedules {
+			ar.Results = append(ar.Results, rr)
+		} else {
+			rr.Schedule = nil
+			ar.Results = append(ar.Results, rr)
+		}
+		tallyOutcome(&ar.Totals, rr)
+	}
+	finishTotals(&ar.Totals)
+	return ar, nil
+}
+
+// oneRun executes and classifies a single fault-injected run. Panics from
+// anywhere in the stack are recovered into a crashed outcome — the
+// campaign-level belt to the machine's braces.
+func oneRun(cfg CampaignConfig, prog *positdebug.Program, scfg shadow.Config, lim interp.Limits,
+	retType ir.Type, goldenF float64, goldenCounts map[shadow.Kind]int, candidates int64, run int) (rr RunResult) {
+
+	runSeed := Mix(cfg.Seed, run)
+	rr = RunResult{Run: run, Seed: runSeed, Precision: scfg.Precision}
+	defer func() {
+		if r := recover(); r != nil {
+			rr.Outcome = OutcomeCrashed
+			rr.Error = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+
+	model := cfg.Model
+	if model.Occurrence == 0 && model.Rate == 0 {
+		// Single-event-upset mode: one fault at a uniformly drawn site.
+		rng := splitmix64{state: uint64(runSeed)}
+		model.Occurrence = 1 + int64(rng.next()%uint64(candidates))
+		model.MaxInjections = 1
+	}
+	inj := NewInjector(nil, model, runSeed)
+
+	res, err := prog.DebugWithLimits(scfg, lim, func(h interp.Hooks) interp.Hooks {
+		inj.Inner = h
+		return inj
+	}, "main")
+	rr.Injected = len(inj.Schedule())
+	rr.Schedule = append([]Record(nil), inj.Schedule()...)
+	if err != nil {
+		var re *interp.ResourceExhausted
+		if asResource(err, &re) && (re.Resource == interp.ResSteps || re.Resource == interp.ResWallClock) {
+			rr.Outcome = OutcomeHung
+		} else {
+			rr.Outcome = OutcomeCrashed
+		}
+		rr.Error = err.Error()
+		return rr
+	}
+
+	rr.Degraded = res.Degraded
+	rr.Precision = res.ShadowPrecision
+	rr.Detected = kindNamesOf(res.Summary.Counts, goldenCounts)
+	rr.ErrBits = deviationBits(retType, goldenF, decode(retType, res.Value))
+
+	switch {
+	case len(rr.Detected) > 0:
+		rr.Outcome = OutcomeDetected
+	case rr.ErrBits > cfg.MaskedBits:
+		rr.Outcome = OutcomeSDC
+	default:
+		rr.Outcome = OutcomeMasked
+	}
+	return rr
+}
+
+func asResource(err error, re **interp.ResourceExhausted) bool {
+	for err != nil {
+		if r, ok := err.(*interp.ResourceExhausted); ok {
+			*re = r
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// kindNamesOf lists the kinds whose counts exceed the baseline, in a fixed
+// order.
+func kindNamesOf(counts, baseline map[shadow.Kind]int) []string {
+	var out []string
+	for _, k := range detectable {
+		if counts[k] > baseline[k] {
+			out = append(out, k.String())
+		}
+	}
+	return out
+}
+
+// decode interprets a result bit pattern as a float64 for comparison;
+// integers and booleans pass through exactly.
+func decode(t ir.Type, bits uint64) float64 {
+	switch t {
+	case ir.I64:
+		return float64(int64(bits))
+	case ir.Bool:
+		return float64(bits & 1)
+	default:
+		return interp.ToFloat64(t, bits)
+	}
+}
+
+// deviationBits measures how wrong the faulty final value is, in error
+// bits (log2 of the double-ULP distance), with NaN/Inf divergence maxed.
+func deviationBits(t ir.Type, golden, faulty float64) int {
+	if golden == faulty {
+		return 0
+	}
+	gBad := math.IsNaN(golden) || math.IsInf(golden, 0)
+	fBad := math.IsNaN(faulty) || math.IsInf(faulty, 0)
+	if gBad || fBad {
+		if gBad == fBad {
+			return 0
+		}
+		return 64
+	}
+	if t == ir.I64 || t == ir.Bool {
+		return 64 // integer results must match exactly
+	}
+	return ulp.Bits(ulp.Distance(golden, faulty))
+}
+
+func tallyOutcome(t *Totals, rr RunResult) {
+	t.Runs++
+	if rr.Injected > 0 {
+		t.InjectedRuns++
+	}
+	if rr.Degraded {
+		t.Degraded++
+	}
+	switch rr.Outcome {
+	case OutcomeMasked:
+		t.Masked++
+	case OutcomeSDC:
+		t.SDC++
+	case OutcomeDetected:
+		t.Detected++
+	case OutcomeCrashed:
+		t.Crashed++
+	case OutcomeHung:
+		t.Hung++
+	}
+}
+
+func finishTotals(t *Totals) {
+	if t.Detected+t.SDC > 0 {
+		t.DetectionRate = float64(t.Detected) / float64(t.Detected+t.SDC)
+	}
+}
+
+// String renders the report as an aligned text table, posit vs float.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fault-injection campaign: %s (n=%d), model=%s, %d runs/arch, seed=%d, precision=%d\n",
+		r.Workload, r.N, r.Model, r.Runs, r.Seed, r.Precision)
+	fmt.Fprintf(&sb, "%-8s%10s%10s%10s%10s%10s%10s%12s\n",
+		"arch", "masked", "sdc", "detected", "crashed", "hung", "degraded", "det.rate")
+	for _, a := range r.Arches {
+		t := a.Totals
+		fmt.Fprintf(&sb, "%-8s%10d%10d%10d%10d%10d%10d%11.1f%%\n",
+			a.Arch, t.Masked, t.SDC, t.Detected, t.Crashed, t.Hung, t.Degraded, 100*t.DetectionRate)
+	}
+	for _, a := range r.Arches {
+		if len(a.GoldenKinds) > 0 {
+			fmt.Fprintf(&sb, "note: %s golden run already reports %s (new detections are counted on top)\n",
+				a.Arch, strings.Join(a.GoldenKinds, ", "))
+		}
+	}
+	return sb.String()
+}
+
+// SortedOutcomes lists outcomes with nonzero counts, for compact logs.
+func (t Totals) SortedOutcomes() []string {
+	m := map[string]int{
+		string(OutcomeMasked): t.Masked, string(OutcomeSDC): t.SDC,
+		string(OutcomeDetected): t.Detected, string(OutcomeCrashed): t.Crashed,
+		string(OutcomeHung): t.Hung,
+	}
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, fmt.Sprintf("%s:%d", k, v))
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

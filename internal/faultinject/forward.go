@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"positdebug/internal/interp"
+	"positdebug/internal/ir"
+)
+
+// The Injector is a transparent Hooks decorator: every event is forwarded
+// to the inner hooks unchanged. Corruption happens machine-side through
+// the interp.Injector seam (Mutate), before these observers fire, so the
+// inner runtime always sees the post-fault program values.
+
+// Reset implements interp.Hooks; it also re-seeds the PRNG so a rerun (or
+// a precision-degraded retry) replays the identical fault schedule.
+func (j *Injector) Reset() {
+	j.reseed()
+	j.Inner.Reset()
+}
+
+// EnterFunc implements interp.Hooks.
+func (j *Injector) EnterFunc(fn *ir.Func, argVals []uint64) { j.Inner.EnterFunc(fn, argVals) }
+
+// LeaveFunc implements interp.Hooks.
+func (j *Injector) LeaveFunc() { j.Inner.LeaveFunc() }
+
+// Const implements interp.Hooks.
+func (j *Injector) Const(id int32, typ ir.Type, dst int32, bits uint64) {
+	j.Inner.Const(id, typ, dst, bits)
+}
+
+// Mov implements interp.Hooks.
+func (j *Injector) Mov(id int32, typ ir.Type, dst, src int32, bits uint64) {
+	j.Inner.Mov(id, typ, dst, src, bits)
+}
+
+// Bin implements interp.Hooks.
+func (j *Injector) Bin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64) {
+	j.Inner.Bin(id, kind, typ, dst, a, b, dstVal, aVal, bVal)
+}
+
+// Un implements interp.Hooks.
+func (j *Injector) Un(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64) {
+	j.Inner.Un(id, kind, typ, dst, a, dstVal, aVal)
+}
+
+// Cmp implements interp.Hooks.
+func (j *Injector) Cmp(id int32, pred ir.CmpPred, typ ir.Type, a, b int32, aVal, bVal uint64, outcome bool) {
+	j.Inner.Cmp(id, pred, typ, a, b, aVal, bVal, outcome)
+}
+
+// Cast implements interp.Hooks.
+func (j *Injector) Cast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64) {
+	j.Inner.Cast(id, from, to, dst, src, dstVal, srcVal)
+}
+
+// Load implements interp.Hooks.
+func (j *Injector) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) {
+	j.Inner.Load(id, typ, dst, addr, bits)
+}
+
+// Store implements interp.Hooks.
+func (j *Injector) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint64) {
+	j.Inner.Store(id, typ, addr, src, bits)
+}
+
+// PreCall implements interp.Hooks.
+func (j *Injector) PreCall(callee *ir.Func, args []int32, argVals []uint64) {
+	j.Inner.PreCall(callee, args, argVals)
+}
+
+// PostCall implements interp.Hooks.
+func (j *Injector) PostCall(id int32, typ ir.Type, dst int32, bits uint64) {
+	j.Inner.PostCall(id, typ, dst, bits)
+}
+
+// Ret implements interp.Hooks.
+func (j *Injector) Ret(typ ir.Type, src int32, bits uint64) { j.Inner.Ret(typ, src, bits) }
+
+// Print implements interp.Hooks.
+func (j *Injector) Print(id int32, typ ir.Type, src int32, bits uint64) {
+	j.Inner.Print(id, typ, src, bits)
+}
+
+// FMA implements interp.Hooks.
+func (j *Injector) FMA(id int32, typ ir.Type, dst, a, b, c int32, dstVal, aVal, bVal, cVal uint64) {
+	j.Inner.FMA(id, typ, dst, a, b, c, dstVal, aVal, bVal, cVal)
+}
+
+// QClear implements interp.Hooks.
+func (j *Injector) QClear(typ ir.Type) { j.Inner.QClear(typ) }
+
+// QAdd implements interp.Hooks.
+func (j *Injector) QAdd(typ ir.Type, a int32, aVal uint64, negate bool) {
+	j.Inner.QAdd(typ, a, aVal, negate)
+}
+
+// QMAdd implements interp.Hooks.
+func (j *Injector) QMAdd(typ ir.Type, a, b int32, aVal, bVal uint64, negate bool) {
+	j.Inner.QMAdd(typ, a, b, aVal, bVal, negate)
+}
+
+// QVal implements interp.Hooks.
+func (j *Injector) QVal(id int32, typ ir.Type, dst int32, bits uint64) {
+	j.Inner.QVal(id, typ, dst, bits)
+}
+
+var _ interp.Hooks = (*Injector)(nil)

@@ -53,7 +53,10 @@ func main(n: i64): p32 {
 	var rows []MemoryRow
 	for _, n := range iterCounts {
 		// PositDebug runtime.
-		rt := shadow.NewRuntime(inst, shadow.Config{Precision: 128, Tracing: true, MaxReports: 1})
+		rt, err := shadow.New(inst, shadow.Config{Precision: 128, Tracing: true, MaxReports: 1})
+		if err != nil {
+			return nil, err
+		}
 		m := interp.New(inst)
 		m.Hooks = rt
 		if _, err := m.Run("main", uint64(n)); err != nil {

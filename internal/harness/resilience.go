@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"positdebug/internal/faultinject"
+	"positdebug/internal/workloads"
+)
+
+// ResilienceOptions sizes a fault-injection sweep across the benchmark
+// suite.
+type ResilienceOptions struct {
+	Options
+	// Runs is the number of fault-injected runs per kernel per
+	// architecture (default 50; Quick halves it).
+	Runs int
+	// Seed drives the whole sweep.
+	Seed int64
+	// Model is the fault model (zero value = single random bit flip per
+	// run at a uniformly drawn site).
+	Model faultinject.Model
+}
+
+func (o ResilienceOptions) runs() int {
+	r := o.Runs
+	if r <= 0 {
+		r = 50
+	}
+	if o.Quick {
+		r /= 2
+		if r < 10 {
+			r = 10
+		}
+	}
+	return r
+}
+
+// Resilience runs a posit-vs-float fault-injection campaign over the named
+// workloads and tabulates, per architecture, the fraction of faults the
+// shadow oracle detects, the silent-data-corruption fraction, and the
+// masked fraction — the experiment the paper's detectors enable but its
+// evaluation stops short of.
+func Resilience(names []string, opts ResilienceOptions) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Fault resilience under single bit flips (%d runs/arch, oracle = shadow execution)", opts.runs()),
+		Columns: []string{
+			"P det%", "P sdc%", "P mask%",
+			"F det%", "F sdc%", "F mask%",
+		},
+	}
+	for _, name := range names {
+		cfg := faultinject.CampaignConfig{
+			Workload: name,
+			Arch:     "both",
+			Runs:     opts.runs(),
+			Seed:     opts.Seed,
+			Model:    opts.Model,
+		}
+		if !opts.Quick {
+			// Full-size kernels, matching the timing experiments.
+			if k, ok := workloads.KernelByName(trimGroup(name)); ok {
+				cfg.N = k.DefaultN
+			}
+		}
+		rep, err := faultinject.RunCampaign(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: resilience %s: %w", name, err)
+		}
+		row := make([]float64, 0, 6)
+		for _, a := range rep.Arches {
+			tot := a.Totals
+			pct := func(n int) float64 {
+				if tot.Runs == 0 {
+					return 0
+				}
+				return 100 * float64(n) / float64(tot.Runs)
+			}
+			row = append(row, pct(tot.Detected), pct(tot.SDC), pct(tot.Masked))
+		}
+		t.AddRow(name, row...)
+	}
+	t.FinishGeomean()
+	return t, nil
+}
+
+// trimGroup strips the "polybench/" or "spec/" prefix of a workload spec.
+func trimGroup(spec string) string {
+	if i := strings.IndexByte(spec, '/'); i >= 0 {
+		return spec[i+1:]
+	}
+	return spec
+}

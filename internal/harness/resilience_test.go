@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResilienceQuick(t *testing.T) {
+	tbl, err := Resilience([]string{"polybench/gemm"}, ResilienceOptions{
+		Options: Options{Quick: true},
+		Runs:    10,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("resilience: %v", err)
+	}
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0].Values) != 6 {
+		t.Fatalf("want 1 row × 6 columns, got %+v", tbl.Rows)
+	}
+	// Each architecture's det+sdc+mask percentages cover the non-crashed,
+	// non-hung runs — at most 100% per arch.
+	for arch := 0; arch < 2; arch++ {
+		sum := 0.0
+		for c := 0; c < 3; c++ {
+			sum += tbl.Rows[0].Values[arch*3+c]
+		}
+		if sum < 0 || sum > 100.0001 {
+			t.Fatalf("arch %d percentages sum to %f", arch, sum)
+		}
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "gemm") || !strings.Contains(out, "P det%") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+}

@@ -53,6 +53,24 @@ type Hooks interface {
 	QVal(id int32, typ ir.Type, dst int32, bits uint64)
 }
 
+// Injector is an optional interface a Hooks implementation may satisfy to
+// mutate architectural state — the mechanism behind fault injection. When
+// the machine's hooks implement it, Mutate is consulted immediately before
+// each value-producing shadow event (const, bin, un, cast, load, store,
+// post-call, qval, fma) with the instruction's registry id, opcode, type
+// and the destination's current bits. Returning (newBits, true) rewrites
+// the destination register — or, for stores, the stored memory bytes —
+// before the event is delivered to the hooks, so a decorated shadow
+// runtime observes the corrupted program value against its clean
+// high-precision shadow and can flag the divergence.
+//
+// Injection therefore only reaches instrumented instructions; register
+// moves and comparisons are deliberately excluded (corrupting them would
+// re-seed the shadow from the corrupted value and blind the oracle).
+type Injector interface {
+	Mutate(id int32, op ir.Op, typ ir.Type, bits uint64) (mutated uint64, inject bool)
+}
+
 // NopHooks is the no-op Hooks implementation installed automatically when
 // an instrumented module runs without a runtime attached: shadow
 // instructions execute but observe nothing.

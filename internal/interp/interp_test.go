@@ -2,6 +2,7 @@ package interp
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -301,8 +302,13 @@ func TestStepLimit(t *testing.T) {
 	mod := compile(t, `func f(): i64 { var i: i64 = 0; while (true) { i += 1; } return i; }`)
 	m := New(mod)
 	m.MaxSteps = 10000
-	if _, err := m.Run("f"); err == nil || !strings.Contains(err.Error(), "step limit") {
-		t.Fatalf("want step-limit trap, got %v", err)
+	_, err := m.Run("f")
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit, got %v", err)
+	}
+	var re *ResourceExhausted
+	if !errors.As(err, &re) || re.Resource != ResSteps || re.Limit != 10000 || re.Func != "f" {
+		t.Fatalf("want structured *ResourceExhausted{steps, 10000, f}, got %#v", err)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"positdebug/internal/ir"
 	"positdebug/internal/posit"
@@ -24,6 +25,10 @@ const (
 	DefaultStackSize = 1 << 22 // 4 MiB
 	DefaultMaxSteps  = 2_000_000_000
 	maxCallDepth     = 1024
+
+	// deadlineCheckMask throttles wall-clock polling to every 8192 steps —
+	// cheap enough to leave on for every limited run.
+	deadlineCheckMask = 1<<13 - 1
 )
 
 // Machine executes one module. Not safe for concurrent use.
@@ -39,6 +44,18 @@ type Machine struct {
 	steps  int64
 	depth  int
 	quires map[ir.Type]*posit.Quire
+
+	// Execution-position breadcrumbs for structured fault reports.
+	curFn  *ir.Func
+	curBlk int32
+	curIdx int
+
+	deadline      time.Time
+	checkDeadline bool
+	limSteps      int64
+	limTimeout    time.Duration
+
+	inj Injector
 
 	argScratch []uint64
 }
@@ -68,9 +85,69 @@ type Trap struct {
 
 func (t *Trap) Error() string { return fmt.Sprintf("trap in %s: %s", t.Func, t.Msg) }
 
-// ErrStepLimit is wrapped by the trap raised when the instruction budget is
-// exhausted.
+// ErrStepLimit is wrapped by the ResourceExhausted error returned when the
+// instruction budget is exhausted.
 var ErrStepLimit = errors.New("step limit exceeded")
+
+// Resource names carried by ResourceExhausted.
+const (
+	ResSteps        = "steps"
+	ResWallClock    = "wall-clock"
+	ResShadowMemory = "shadow-memory"
+)
+
+// Limits bounds one execution. The zero value applies only the machine's
+// (default) step budget.
+type Limits struct {
+	// Timeout is the wall-clock budget; 0 disables the deadline. The
+	// machine polls the clock every few thousand instructions, so very
+	// short timeouts overshoot by a sliver.
+	Timeout time.Duration
+	// MaxSteps overrides the machine's instruction budget when positive.
+	MaxSteps int64
+}
+
+// ResourceExhausted is returned when a run exceeds one of its execution
+// limits — the step budget, the wall-clock deadline, or (raised by the
+// shadow runtime) the shadow-memory budget. Campaign runners switch on
+// Resource to classify the run or retry with a degraded configuration.
+type ResourceExhausted struct {
+	Resource string // ResSteps, ResWallClock or ResShadowMemory
+	Limit    int64  // the configured budget (steps, nanoseconds or bytes)
+	Used     int64  // consumption when the limit tripped
+	Func     string // function executing when the limit tripped
+	Steps    int64  // instructions executed so far
+}
+
+func (e *ResourceExhausted) Error() string {
+	return fmt.Sprintf("resource exhausted in %s after %d steps: %s (limit %d, used %d)",
+		e.Func, e.Steps, e.Resource, e.Limit, e.Used)
+}
+
+// Unwrap lets errors.Is(err, ErrStepLimit) keep working for step budgets.
+func (e *ResourceExhausted) Unwrap() error {
+	if e.Resource == ResSteps {
+		return ErrStepLimit
+	}
+	return nil
+}
+
+// InternalFault is returned when a panic escapes the interpreter or a hook
+// during a run: instead of killing the process, Run converts it into a
+// diagnosable error carrying the execution position. One poisoned run in a
+// fault-injection campaign therefore never takes down the sweep.
+type InternalFault struct {
+	Func      string      // function executing when the panic fired
+	Block     int32       // basic block index
+	Index     int         // instruction index within the block
+	Steps     int64       // instructions executed so far
+	Recovered interface{} // the original panic value
+}
+
+func (e *InternalFault) Error() string {
+	return fmt.Sprintf("internal fault in %s (block %d, instr %d, step %d): %v",
+		e.Func, e.Block, e.Index, e.Steps, e.Recovered)
+}
 
 // Stopped is returned by Run when a hook deliberately halted execution —
 // the mechanism behind PositDebug's conditional error breakpoints (the
@@ -90,20 +167,53 @@ func (m *Machine) Mem() []byte { return m.mem }
 // Run executes the module's __init function and then the named function
 // with the given argument bit patterns, returning the function's result.
 // If a hook panics with *Stopped (a debugger breakpoint), Run recovers it
-// and returns it as the error.
+// and returns it as the error. Any other panic escaping the interpreter or
+// a hook is recovered into a structured *InternalFault (or the
+// *ResourceExhausted a hook raised) rather than re-panicking.
 func (m *Machine) Run(name string, args ...uint64) (v uint64, err error) {
+	return m.RunWithLimits(name, Limits{}, args...)
+}
+
+// RunWithLimits is Run with explicit execution limits: a wall-clock
+// timeout on top of the instruction budget, both reported as structured
+// *ResourceExhausted errors.
+func (m *Machine) RunWithLimits(name string, lim Limits, args ...uint64) (v uint64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if s, ok := r.(*Stopped); ok {
-				err = s
-				return
+			switch f := r.(type) {
+			case *Stopped:
+				err = f
+			case *InternalFault:
+				err = f
+			case *ResourceExhausted:
+				if f.Func == "" && m.curFn != nil {
+					f.Func = m.curFn.Name
+				}
+				f.Steps = m.steps
+				err = f
+			default:
+				fault := &InternalFault{Block: m.curBlk, Index: m.curIdx, Steps: m.steps, Recovered: r}
+				if m.curFn != nil {
+					fault.Func = m.curFn.Name
+				}
+				err = fault
 			}
-			panic(r)
 		}
 	}()
 	if m.Hooks == nil {
 		m.Hooks = NopHooks{}
 	}
+	m.inj, _ = m.Hooks.(Injector)
+	if lim.Timeout > 0 {
+		m.deadline = time.Now().Add(lim.Timeout)
+		m.checkDeadline = true
+	} else {
+		m.deadline = time.Time{}
+		m.checkDeadline = false
+	}
+	m.limSteps = lim.MaxSteps
+	m.limTimeout = lim.Timeout
+	m.curFn, m.curBlk, m.curIdx = nil, 0, 0
 	m.steps = 0
 	m.depth = 0
 	m.sp = uint32(len(m.mem))
@@ -163,16 +273,55 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 		defer m.Hooks.LeaveFunc()
 	}
 
-	maxSteps := m.MaxSteps
+	maxSteps := m.limSteps
+	if maxSteps == 0 {
+		maxSteps = m.MaxSteps
+	}
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
 
+	prevFn := m.curFn
+	m.curFn = fn
+	defer func() {
+		m.curFn = prevFn
+		r := recover()
+		if r == nil {
+			return
+		}
+		// Annotate the panic at the innermost frame, where the
+		// breadcrumbs still name the panicking function; outer frames
+		// pass the structured value through unchanged.
+		switch f := r.(type) {
+		case *Stopped, *InternalFault:
+		case *ResourceExhausted:
+			if f.Func == "" {
+				f.Func = fn.Name
+			}
+		default:
+			r = &InternalFault{
+				Func: fn.Name, Block: m.curBlk, Index: m.curIdx,
+				Steps: m.steps, Recovered: f,
+			}
+		}
+		panic(r)
+	}()
+
 	b, i := int32(0), 0
 	for {
 		if m.steps++; m.steps > maxSteps {
-			return 0, m.trap(fn, "%v", ErrStepLimit)
+			return 0, &ResourceExhausted{
+				Resource: ResSteps, Limit: maxSteps, Used: m.steps,
+				Func: fn.Name, Steps: m.steps,
+			}
 		}
+		if m.checkDeadline && m.steps&deadlineCheckMask == 0 && time.Now().After(m.deadline) {
+			return 0, &ResourceExhausted{
+				Resource: ResWallClock, Limit: int64(m.limTimeout), Used: m.steps,
+				Func: fn.Name, Steps: m.steps,
+			}
+		}
+		m.curBlk, m.curIdx = b, i
 		in := &fn.Blocks[b].Instrs[i]
 		i++
 		if m.Trace != nil {
@@ -274,23 +423,39 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 			regs[in.Dst] = fmaEval(in.Type, regs[in.Args[0]], regs[in.Args[1]], regs[in.Args[2]])
 
 		case ir.OpShadowConst:
+			m.mutate(in, regs)
 			m.Hooks.Const(in.ID, in.Type, in.Dst, regs[in.Dst])
 		case ir.OpShadowMov:
 			m.Hooks.Mov(in.ID, in.Type, in.Dst, in.A, regs[in.Dst])
 		case ir.OpShadowBin:
+			m.mutate(in, regs)
 			m.Hooks.Bin(in.ID, ir.BinKind(in.Kind), in.Type, in.Dst, in.A, in.B,
 				regs[in.Dst], regs[in.A], regs[in.B])
 		case ir.OpShadowUn:
+			m.mutate(in, regs)
 			m.Hooks.Un(in.ID, ir.UnKind(in.Kind), in.Type, in.Dst, in.A, regs[in.Dst], regs[in.A])
 		case ir.OpShadowCmp:
 			m.Hooks.Cmp(in.ID, ir.CmpPred(in.Kind), in.Type, in.A, in.B,
 				regs[in.A], regs[in.B], regs[in.Dst] != 0)
 		case ir.OpShadowCast:
+			m.mutate(in, regs)
 			m.Hooks.Cast(in.ID, in.Type, in.Type2, in.Dst, in.A, regs[in.Dst], regs[in.A])
 		case ir.OpShadowLoad:
+			m.mutate(in, regs)
 			m.Hooks.Load(in.ID, in.Type, in.Dst, uint32(regs[in.A]), regs[in.Dst])
 		case ir.OpShadowStore:
-			m.Hooks.Store(in.ID, in.Type, uint32(regs[in.A]), in.B, regs[in.B])
+			stored := regs[in.B]
+			if m.inj != nil {
+				if nb, ok := m.inj.Mutate(in.ID, in.Op, in.Type, stored); ok {
+					// A store fault corrupts the memory cell, not the
+					// register: rewrite the bytes the OpStore just wrote.
+					stored = nb
+					if err := m.store(fn, in.Type, uint32(regs[in.A]), stored); err != nil {
+						return 0, err
+					}
+				}
+			}
+			m.Hooks.Store(in.ID, in.Type, uint32(regs[in.A]), in.B, stored)
 		case ir.OpShadowPreCall:
 			m.argScratch = m.argScratch[:0]
 			for _, a := range in.Args {
@@ -300,6 +465,7 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 		case ir.OpShadowPostCall:
 			var bits uint64
 			if in.Dst >= 0 {
+				m.mutate(in, regs)
 				bits = regs[in.Dst]
 			}
 			m.Hooks.PostCall(in.ID, in.Type, in.Dst, bits)
@@ -318,13 +484,29 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 		case ir.OpShadowQMAdd:
 			m.Hooks.QMAdd(in.Type, in.A, in.B, regs[in.A], regs[in.B], in.Kind == 1)
 		case ir.OpShadowQVal:
+			m.mutate(in, regs)
 			m.Hooks.QVal(in.ID, in.Type, in.Dst, regs[in.Dst])
 		case ir.OpShadowFMA:
+			m.mutate(in, regs)
 			m.Hooks.FMA(in.ID, in.Type, in.Dst, in.Args[0], in.Args[1], in.Args[2],
 				regs[in.Dst], regs[in.Args[0]], regs[in.Args[1]], regs[in.Args[2]])
 		default:
 			return 0, m.trap(fn, "unknown opcode %v", in.Op)
 		}
+	}
+}
+
+// mutate consults the injector (when the hooks implement Injector) right
+// before a value-producing shadow event is delivered, rewriting the
+// destination register with the corrupted bits. The inner hooks then
+// observe the corrupted program value against a clean shadow value, which
+// is exactly what lets the shadow oracle detect the fault.
+func (m *Machine) mutate(in *ir.Instr, regs []uint64) {
+	if m.inj == nil {
+		return
+	}
+	if nb, ok := m.inj.Mutate(in.ID, in.Op, in.Type, regs[in.Dst]); ok {
+		regs[in.Dst] = nb
 	}
 }
 

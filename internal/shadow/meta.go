@@ -81,7 +81,8 @@ const (
 )
 
 type shadowMem struct {
-	pages []*[pageSize]MemMeta
+	pages     []*[pageSize]MemMeta
+	allocated int // second-level pages allocated so far
 }
 
 func newShadowMem(limit uint32) *shadowMem {
@@ -102,20 +103,13 @@ func (s *shadowMem) get(addr uint32) *MemMeta {
 	if pg == nil {
 		pg = new([pageSize]MemMeta)
 		s.pages[p] = pg
+		s.allocated++
 	}
 	return &pg[addr&pageMask]
 }
 
 // pageCount reports allocated second-level pages (tests and stats).
-func (s *shadowMem) pageCount() int {
-	n := 0
-	for _, p := range s.pages {
-		if p != nil {
-			n++
-		}
-	}
-	return n
-}
+func (s *shadowMem) pageCount() int { return s.allocated }
 
 // shadowFrame holds the temporary metadata of one activation. Frames are
 // pooled: the paper bounds stack-side metadata by the static temporary

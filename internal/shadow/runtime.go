@@ -1,6 +1,7 @@
 package shadow
 
 import (
+	"fmt"
 	"math"
 	"math/big"
 
@@ -32,8 +33,16 @@ type Config struct {
 	// MaxReports caps the number of detailed reports kept (counts are
 	// always complete).
 	MaxReports int
-	// MaxDAGDepth caps DAG traversal depth.
+	// MaxDAGDepth caps DAG traversal depth (0 uses the default of 16).
 	MaxDAGDepth int
+	// MaxShadowBytes budgets the estimated shadow-memory footprint
+	// (0 = unlimited). The estimate scales with Precision, so a run that
+	// trips the budget can be retried at a lower precision with the same
+	// budget — the graceful-degradation path campaign runners rely on.
+	// When the budget is exceeded the runtime raises a structured
+	// *interp.ResourceExhausted (resource "shadow-memory") that
+	// Machine.Run returns as an error.
+	MaxShadowBytes int64
 	// OnError, when set, is invoked synchronously for each report — the
 	// library equivalent of the paper's gdb conditional breakpoints.
 	OnError func(*Report)
@@ -105,11 +114,49 @@ type shadowQuire struct {
 
 var _ interp.Hooks = (*Runtime)(nil)
 
-// NewRuntime returns a runtime for the module. Attach it to a machine via
-// machine.Hooks before running an instrumented module.
-func NewRuntime(mod *ir.Module, cfg Config) *Runtime {
-	if cfg.Precision == 0 {
-		cfg.Precision = 256
+// Config validation bounds: precisions below the narrowest sensible
+// shadow (the paper evaluates down to 128 bits; 64 is the degradation
+// floor) or absurdly large ones are configuration mistakes, not
+// experiments.
+const (
+	MinPrecision = 64
+	MaxPrecision = 4096
+)
+
+// Validate rejects configurations that the runtime would previously have
+// patched silently. Campaign sweeps over precision configs fail loudly on
+// bad input instead of producing tables at an unintended precision.
+func (c Config) Validate() error {
+	if c.Precision < MinPrecision || c.Precision > MaxPrecision {
+		return fmt.Errorf("shadow: precision %d out of range [%d, %d]", c.Precision, MinPrecision, MaxPrecision)
+	}
+	if c.ErrBitsThreshold < 0 {
+		return fmt.Errorf("shadow: negative ErrBitsThreshold %d", c.ErrBitsThreshold)
+	}
+	if c.OutputThreshold < 0 {
+		return fmt.Errorf("shadow: negative OutputThreshold %d", c.OutputThreshold)
+	}
+	if c.PrecisionLossThreshold < 0 {
+		return fmt.Errorf("shadow: negative PrecisionLossThreshold %d", c.PrecisionLossThreshold)
+	}
+	if c.MaxReports < 0 {
+		return fmt.Errorf("shadow: negative MaxReports %d", c.MaxReports)
+	}
+	if c.MaxDAGDepth < 0 {
+		return fmt.Errorf("shadow: negative MaxDAGDepth %d", c.MaxDAGDepth)
+	}
+	if c.MaxShadowBytes < 0 {
+		return fmt.Errorf("shadow: negative MaxShadowBytes %d", c.MaxShadowBytes)
+	}
+	return nil
+}
+
+// New returns a runtime for the module, validating the configuration.
+// Attach it to a machine via machine.Hooks before running an instrumented
+// module.
+func New(mod *ir.Module, cfg Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxDAGDepth == 0 {
 		cfg.MaxDAGDepth = 16
@@ -121,6 +168,16 @@ func NewRuntime(mod *ir.Module, cfg Config) *Runtime {
 		mem:    newShadowMem(mod.GlobalBase + mod.GlobalSize + interp.DefaultStackSize),
 		quires: map[ir.Type]*shadowQuire{},
 		counts: map[Kind]int{},
+	}
+	return r, nil
+}
+
+// NewRuntime is the legacy constructor; it panics on an invalid
+// configuration. Prefer New, which reports the validation error.
+func NewRuntime(mod *ir.Module, cfg Config) *Runtime {
+	r, err := New(mod, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return r
 }
@@ -164,6 +221,36 @@ func (r *Runtime) Summary() *Summary {
 
 // ShadowMemPages reports allocated shadow pages (ablation instrumentation).
 func (r *Runtime) ShadowMemPages() int { return r.mem.pageCount() }
+
+// entryBytes estimates the shadow-memory cost of one MemMeta cell: the
+// struct itself plus the lazily grown mantissa, which scales with the
+// shadow precision. The estimate only needs to be deterministic and
+// monotone in Precision so the budget shrinks when a degraded retry drops
+// the precision.
+func (r *Runtime) entryBytes() int64 { return 48 + int64(r.cfg.Precision)/2 }
+
+// ShadowMemBytes reports the estimated shadow-memory footprint.
+func (r *Runtime) ShadowMemBytes() int64 {
+	return int64(r.mem.pageCount()) * pageSize * r.entryBytes()
+}
+
+// memAt returns the metadata cell for addr, enforcing the shadow-memory
+// budget: exceeding it raises *interp.ResourceExhausted, which the machine
+// recovers into a structured error (the trigger for precision-degraded
+// retries).
+func (r *Runtime) memAt(addr uint32) *MemMeta {
+	mm := r.mem.get(addr)
+	if r.cfg.MaxShadowBytes > 0 {
+		if used := r.ShadowMemBytes(); used > r.cfg.MaxShadowBytes {
+			panic(&interp.ResourceExhausted{
+				Resource: interp.ResShadowMemory,
+				Limit:    r.cfg.MaxShadowBytes,
+				Used:     used,
+			})
+		}
+	}
+	return mm
+}
 
 func (r *Runtime) cur() *shadowFrame { return r.frames[len(r.frames)-1] }
 
@@ -523,7 +610,7 @@ func truncBigToInt(x *big.Float) int64 {
 // "memory loads"), detecting uninstrumented writes (§4.1) and applying
 // lazy post-flip resynchronization.
 func (r *Runtime) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) {
-	mm := r.mem.get(addr)
+	mm := r.memAt(addr)
 	d := r.temp(dst)
 	switch {
 	case !mm.set:
@@ -584,7 +671,7 @@ func (r *Runtime) seedMemFromProgram(mm *MemMeta, typ ir.Type, bits uint64) {
 // "memory stores").
 func (r *Runtime) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint64) {
 	s := r.ensure(src, typ, bits)
-	mm := r.mem.get(addr)
+	mm := r.memAt(addr)
 	r.ctx.Copy(&mm.Real, &s.Real)
 	mm.Undef = s.Undef
 	mm.Prog = bits

@@ -24,6 +24,7 @@ package positdebug
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"positdebug/internal/codegen"
@@ -87,6 +88,12 @@ type Result struct {
 	Output  string          // everything the program printed
 	Steps   int64           // instructions executed
 	Summary *shadow.Summary // nil for baseline runs
+
+	// Degraded marks runs that exceeded the shadow-memory budget and were
+	// automatically retried at a reduced precision (DebugWithLimits).
+	Degraded bool
+	// ShadowPrecision is the precision the run finally completed at.
+	ShadowPrecision uint
 }
 
 // P32 decodes the result value as a ⟨32,2⟩ posit.
@@ -132,7 +139,10 @@ func (p *Program) DebugPartial(skip []string, cfg shadow.Config, fn string, args
 }
 
 func (p *Program) debugModule(mod *ir.Module, cfg shadow.Config, fn string, args ...uint64) (*Result, error) {
-	rt := shadow.NewRuntime(mod, cfg)
+	rt, err := shadow.New(mod, cfg)
+	if err != nil {
+		return nil, err
+	}
 	m := interp.New(mod)
 	m.Hooks = rt
 	var out bytes.Buffer
@@ -141,7 +151,55 @@ func (p *Program) debugModule(mod *ir.Module, cfg shadow.Config, fn string, args
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: rt.Summary()}, nil
+	res := &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: rt.Summary()}
+	res.ShadowPrecision = cfg.Precision
+	return res, nil
+}
+
+// DebugWithLimits executes under shadow execution with hardened execution
+// limits — wall-clock timeout and step budget, reported as structured
+// *interp.ResourceExhausted errors — and graceful degradation: when a run
+// exceeds the configured shadow-memory budget (cfg.MaxShadowBytes) the run
+// is retried at half the shadow precision, down to 64 bits, and the result
+// is flagged Degraded rather than failing the run.
+//
+// wrap, when non-nil, decorates the shadow runtime's hooks before they are
+// attached to the machine — the seam the fault injector plugs into. It is
+// invoked once per attempt, so a deterministic decorator replays the same
+// schedule on a degraded retry.
+func (p *Program) DebugWithLimits(cfg shadow.Config, lim interp.Limits, wrap func(interp.Hooks) interp.Hooks, fn string, args ...uint64) (*Result, error) {
+	mod := p.Instrumented()
+	requested := cfg.Precision
+	for {
+		rt, err := shadow.New(mod, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := interp.New(mod)
+		if wrap != nil {
+			m.Hooks = wrap(rt)
+		} else {
+			m.Hooks = rt
+		}
+		var out bytes.Buffer
+		m.Out = &out
+		v, err := m.RunWithLimits(fn, lim, args...)
+		if err != nil {
+			var re *interp.ResourceExhausted
+			if errors.As(err, &re) && re.Resource == interp.ResShadowMemory && cfg.Precision > shadow.MinPrecision {
+				cfg.Precision /= 2
+				if cfg.Precision < shadow.MinPrecision {
+					cfg.Precision = shadow.MinPrecision
+				}
+				continue
+			}
+			return nil, err
+		}
+		res := &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: rt.Summary()}
+		res.ShadowPrecision = cfg.Precision
+		res.Degraded = cfg.Precision != requested
+		return res, nil
+	}
 }
 
 // DebugHerbgrind executes under the Herbgrind-style baseline runtime
