@@ -40,7 +40,7 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 200_000_000, "step budget per run")
 	prec := flag.Uint("prec", 256, "shadow precision in bits")
 	budget := flag.Int64("budget", 0, "shadow-memory budget in bytes (0 = unlimited; over-budget runs degrade)")
-	threshold := flag.Int("threshold", 10, "masked threshold in output error bits")
+	threshold := flag.Int("threshold", 10, "masked threshold in output error bits (0 = default 10, -1 = exact match)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	schedules := flag.Bool("schedules", false, "embed per-run fault schedules in the JSON report")
 	list := flag.Bool("list", false, "list available workloads and exit")

@@ -67,8 +67,8 @@ type CampaignConfig struct {
 	// over-budget runs degrade 256→128→64 and are flagged degraded.
 	MaxShadowBytes int64
 	// MaskedBits is the output-deviation threshold (in double-ULP error
-	// bits vs the golden value) below which a run counts as masked
-	// (default 10).
+	// bits vs the golden value) below which a run counts as masked.
+	// 0 means the default of 10; −1 requires an exact output match.
 	MaskedBits int
 	// KeepSchedules embeds each run's fault schedule in the report.
 	KeepSchedules bool
@@ -92,6 +92,8 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 	}
 	if c.MaskedBits == 0 {
 		c.MaskedBits = 10
+	} else if c.MaskedBits < 0 {
+		c.MaskedBits = 0 // −1 sentinel: exact match required
 	}
 	if c.Model.BitPos == 0 {
 		// Zero-value models draw the bit per injection; pinning bit 0
@@ -247,7 +249,9 @@ func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 	scfg := shadow.DefaultConfig()
 	scfg.Precision = cfg.Precision
 	scfg.MaxShadowBytes = cfg.MaxShadowBytes
-	scfg.MaxReports = 0 // counts only; reports are never rendered here
+	// Classification only reads Summary.Counts; keep a single report per
+	// run so large sweeps don't accumulate them (0 would mean unlimited).
+	scfg.MaxReports = 1
 	scfg.Tracing = false
 	lim := interp.Limits{Timeout: cfg.Timeout, MaxSteps: cfg.MaxSteps}
 
@@ -395,7 +399,13 @@ func deviationBits(t ir.Type, golden, faulty float64) int {
 	gBad := math.IsNaN(golden) || math.IsInf(golden, 0)
 	fBad := math.IsNaN(faulty) || math.IsInf(faulty, 0)
 	if gBad || fBad {
-		if gBad == fBad {
+		// Non-finite values only count as matching when they are the same
+		// exception: both NaN, or infinities of the same sign. golden=+Inf
+		// vs faulty=−Inf is maximally wrong, not masked.
+		bothNaN := math.IsNaN(golden) && math.IsNaN(faulty)
+		sameInf := (math.IsInf(golden, 1) && math.IsInf(faulty, 1)) ||
+			(math.IsInf(golden, -1) && math.IsInf(faulty, -1))
+		if bothNaN || sameInf {
 			return 0
 		}
 		return 64

@@ -60,7 +60,10 @@ type OpClass uint32
 
 // Instruction classes. Register moves and comparisons are deliberately not
 // injectable: corrupting them would make the shadow runtime re-seed its
-// metadata from the corrupted value and blind the oracle.
+// metadata from the corrupted value and blind the oracle. Loads, stores
+// and call returns carry the same hazard, so the injector announces those
+// corruptions to inner hooks implementing interp.InjectionObserver, which
+// lets the shadow runtime flag the divergence instead of resyncing.
 const (
 	ClassArith OpClass = 1 << iota // binary/unary/fma/quire-round results
 	ClassConst                     // literal materialization
@@ -283,6 +286,12 @@ func (j *Injector) Mutate(id int32, op ir.Op, typ ir.Type, bits uint64) (uint64,
 		Seq: j.candidates, InstID: id, Op: op.String(), Type: typ.String(),
 		Bit: bit, Before: bits, After: after,
 	})
+	// Announce the corruption before the machine forwards the event, so
+	// metadata-propagating hooks (load/store/post-call) treat their clean
+	// shadow state as the reference instead of resyncing from the fault.
+	if o, ok := j.Inner.(interp.InjectionObserver); ok {
+		o.ObserveInjection(id, op, typ, bits, after)
+	}
 	return after, true
 }
 

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"encoding/json"
+	"math"
 	"reflect"
 	"testing"
 	"time"
@@ -187,6 +188,117 @@ func TestCorruptions(t *testing.T) {
 func isNaN64(bits uint64) bool {
 	exp := bits >> 52 & 0x7ff
 	return exp == 0x7ff && bits&((1<<52)-1) != 0
+}
+
+const callSrc = `
+var arr: [8]p32;
+
+func scale(x: p32): p32 {
+	return x * 3.0;
+}
+
+func main(): p32 {
+	var s: p32 = 0.0;
+	for (var i: i64 = 0; i < 8; i += 1) {
+		arr[i] = 1.5;
+	}
+	for (var i: i64 = 0; i < 8; i += 1) {
+		s = s + scale(arr[i]);
+	}
+	return s;
+}
+`
+
+// TestInjectionVisibleToOracle: load-, store- and call-class faults reach
+// hooks that propagate metadata instead of recomputing it, so without the
+// InjectionObserver protocol the runtime would mistake them for
+// uninstrumented writes and re-seed its clean shadow from the corrupted
+// value — making every such fault undetectable by construction. A forced
+// NaR at each class must instead be flagged by the oracle, with no
+// spurious uninstrumented-write count.
+func TestInjectionVisibleToOracle(t *testing.T) {
+	prog, err := positdebug.Compile(callSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := shadow.DefaultConfig()
+	cfg.Tracing = false
+	base, err := prog.Debug(cfg, "main")
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	detectableKinds := []shadow.Kind{
+		shadow.KindCancellation, shadow.KindPrecisionLoss, shadow.KindSaturation,
+		shadow.KindNaR, shadow.KindBranchFlip, shadow.KindWrongCast,
+		shadow.KindHighError, shadow.KindWrongOutput,
+	}
+	for _, tc := range []struct {
+		name string
+		ops  OpClass
+	}{
+		{"load", ClassLoad}, {"store", ClassStore}, {"call", ClassCall},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			model := Model{Kind: StuckNaR, Ops: tc.ops, Occurrence: 2, MaxInjections: 1}
+			res, inj := injectedRun(t, prog, model, 1, 0)
+			if got := len(inj.Schedule()); got != 1 {
+				t.Fatalf("want 1 injection, got %d", got)
+			}
+			if res.Summary.UninstrumentedWrites != base.Summary.UninstrumentedWrites {
+				t.Fatalf("injection misread as uninstrumented writes: %d (baseline %d)",
+					res.Summary.UninstrumentedWrites, base.Summary.UninstrumentedWrites)
+			}
+			newDetections := 0
+			for _, k := range detectableKinds {
+				if res.Summary.Counts[k] > base.Summary.Counts[k] {
+					newDetections++
+				}
+			}
+			if newDetections == 0 {
+				t.Fatalf("NaR %s-class fault invisible to the oracle:\n%s", tc.name, res.Summary)
+			}
+		})
+	}
+}
+
+// TestDeviationBitsNonFinite: non-finite golden/faulty pairs only count as
+// equivalent when they are the same exception; +Inf vs −Inf or NaN vs Inf
+// is maximal deviation, not a masked outcome.
+func TestDeviationBitsNonFinite(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := []struct {
+		golden, faulty float64
+		want           int
+	}{
+		{inf, inf, 0},
+		{-inf, -inf, 0},
+		{nan, nan, 0},
+		{inf, -inf, 64},
+		{-inf, inf, 64},
+		{nan, inf, 64},
+		{inf, nan, 64},
+		{1.0, nan, 64},
+		{inf, 1.0, 64},
+	}
+	for _, tc := range cases {
+		if got := deviationBits(ir.F64, tc.golden, tc.faulty); got != tc.want {
+			t.Errorf("deviationBits(%v, %v) = %d, want %d", tc.golden, tc.faulty, got, tc.want)
+		}
+	}
+}
+
+// TestMaskedBitsSentinel: 0 keeps the documented default of 10 and −1
+// demands an exact output match (threshold 0).
+func TestMaskedBitsSentinel(t *testing.T) {
+	if got := (CampaignConfig{}).withDefaults().MaskedBits; got != 10 {
+		t.Errorf("default MaskedBits = %d, want 10", got)
+	}
+	if got := (CampaignConfig{MaskedBits: -1}).withDefaults().MaskedBits; got != 0 {
+		t.Errorf("exact-match MaskedBits = %d, want 0", got)
+	}
+	if got := (CampaignConfig{MaskedBits: 3}).withDefaults().MaskedBits; got != 3 {
+		t.Errorf("explicit MaskedBits = %d, want 3", got)
+	}
 }
 
 // TestParsers: name→kind and name→class round trips, including errors.

@@ -67,8 +67,26 @@ type Hooks interface {
 // Injection therefore only reaches instrumented instructions; register
 // moves and comparisons are deliberately excluded (corrupting them would
 // re-seed the shadow from the corrupted value and blind the oracle).
+// Events whose hooks propagate metadata rather than recompute it — loads,
+// stores, call returns — carry the same re-seed hazard: without extra
+// signalling the runtime would mistake the corruption for an
+// uninstrumented write and resync from it. An injecting decorator must
+// therefore announce each injection to inner hooks implementing
+// InjectionObserver before the corrupted event is forwarded.
 type Injector interface {
 	Mutate(id int32, op ir.Op, typ ir.Type, bits uint64) (mutated uint64, inject bool)
+}
+
+// InjectionObserver is an optional interface the hooks wrapped by an
+// injecting decorator may implement to be told, immediately before the
+// corresponding event fires, that the value it is about to observe was
+// corrupted by fault injection: before is the pre-corruption bit pattern,
+// after the corrupted bits the event will deliver. The shadow runtime uses
+// the announcement to keep its clean metadata as the reference — flagging
+// the divergence — instead of mistaking the corruption for an
+// uninstrumented write and re-seeding the shadow from it.
+type InjectionObserver interface {
+	ObserveInjection(id int32, op ir.Op, typ ir.Type, before, after uint64)
 }
 
 // NopHooks is the no-op Hooks implementation installed automatically when

@@ -90,6 +90,15 @@ type Runtime struct {
 	retValid  bool
 	flipEpoch uint32
 
+	// pendInj records a corruption a fault injector just applied to the
+	// value the next hook event delivers (see interp.InjectionObserver).
+	pendInj struct {
+		valid         bool
+		id            int32
+		op            ir.Op
+		before, after uint64
+	}
+
 	quires map[ir.Type]*shadowQuire
 
 	counts        map[Kind]int
@@ -112,7 +121,34 @@ type shadowQuire struct {
 	undef bool
 }
 
-var _ interp.Hooks = (*Runtime)(nil)
+var (
+	_ interp.Hooks             = (*Runtime)(nil)
+	_ interp.InjectionObserver = (*Runtime)(nil)
+)
+
+// ObserveInjection implements interp.InjectionObserver: a fault injector
+// announces that the value delivered by the next hook event was corrupted
+// from before to after. Load, Store and PostCall consume the record so
+// their clean metadata stays the reference the corruption is judged
+// against — the divergence is flagged — instead of being mistaken for an
+// uninstrumented write and re-seeded from the corrupted value.
+func (r *Runtime) ObserveInjection(id int32, op ir.Op, typ ir.Type, before, after uint64) {
+	r.pendInj.valid = true
+	r.pendInj.id = id
+	r.pendInj.op = op
+	r.pendInj.before = before
+	r.pendInj.after = after
+}
+
+// injectedBefore consumes a pending injection matching this event,
+// returning the pre-corruption bits metadata should be compared against.
+func (r *Runtime) injectedBefore(id int32, op ir.Op, bits uint64) (uint64, bool) {
+	if !r.pendInj.valid || r.pendInj.id != id || r.pendInj.op != op || r.pendInj.after != bits {
+		return bits, false
+	}
+	r.pendInj.valid = false
+	return r.pendInj.before, true
+}
 
 // Config validation bounds: precisions below the narrowest sensible
 // shadow (the paper evaluates down to 128 bits; 64 is the degradation
@@ -192,6 +228,7 @@ func (r *Runtime) Reset() {
 	r.argStack = r.argStack[:0]
 	r.retValid = false
 	r.flipEpoch = 0
+	r.pendInj.valid = false
 	r.quires = map[ir.Type]*shadowQuire{}
 	r.counts = map[Kind]int{}
 	r.reports = nil
@@ -610,28 +647,32 @@ func truncBigToInt(x *big.Float) int64 {
 // "memory loads"), detecting uninstrumented writes (§4.1) and applying
 // lazy post-flip resynchronization.
 func (r *Runtime) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) {
+	// An injected fault corrupts the loaded register, not memory: match the
+	// memory metadata against the clean pre-corruption bits so the fault is
+	// flagged below instead of resynced away as an uninstrumented write.
+	clean, injected := r.injectedBefore(id, ir.OpShadowLoad, bits)
 	mm := r.memAt(addr)
 	d := r.temp(dst)
 	switch {
 	case !mm.set:
-		r.initFromProgram(d, typ, bits)
+		r.initFromProgram(d, typ, clean)
 		d.Inst = id
-	case mm.Prog != bits:
+	case mm.Prog != clean:
 		// Some untracked write changed program memory: trust the program.
 		r.uninstrWrites++
-		r.initFromProgram(d, typ, bits)
+		r.initFromProgram(d, typ, clean)
 		d.Inst = id
 		// Refresh the stale memory metadata too.
-		r.seedMemFromProgram(mm, typ, bits)
+		r.seedMemFromProgram(mm, typ, clean)
 	case mm.epoch < r.flipEpoch:
 		// Post-branch-flip lazy resync.
-		r.initFromProgram(d, typ, bits)
+		r.initFromProgram(d, typ, clean)
 		d.Inst = id
-		r.seedMemFromProgram(mm, typ, bits)
+		r.seedMemFromProgram(mm, typ, clean)
 	default:
 		r.ctx.Copy(&d.Real, &mm.Real)
 		d.Undef = mm.Undef
-		d.Prog = bits
+		d.Prog = clean
 		d.Inst = mm.Inst
 		d.Err = mm.Err
 		if r.cfg.Tracing {
@@ -647,6 +688,13 @@ func (r *Runtime) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint6
 			d.Time = r.tick()
 		}
 		d.written = true
+	}
+	if injected {
+		// The register the program computes with holds the corrupted bits;
+		// the shadow just installed stays clean. Record and judge the
+		// divergence exactly like an arithmetic result.
+		d.Prog = bits
+		r.checkOp(id, typ, false, d, nil, nil)
 	}
 }
 
@@ -670,7 +718,12 @@ func (r *Runtime) seedMemFromProgram(mm *MemMeta, typ ir.Type, bits uint64) {
 // Store propagates metadata from a temporary to shadow memory (§3.3
 // "memory stores").
 func (r *Runtime) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint64) {
-	s := r.ensure(src, typ, bits)
+	// An injected fault corrupts the stored memory cell, not the source
+	// register: bind the register metadata by its clean value, then record
+	// the corrupted bits as the cell's program value so every later load
+	// observes the divergence against the clean shadow.
+	clean, injected := r.injectedBefore(id, ir.OpShadowStore, bits)
+	s := r.ensure(src, typ, clean)
 	mm := r.memAt(addr)
 	r.ctx.Copy(&mm.Real, &s.Real)
 	mm.Undef = s.Undef
@@ -684,6 +737,13 @@ func (r *Runtime) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint
 	}
 	mm.epoch = r.flipEpoch
 	mm.set = true
+	if injected {
+		var tmp TempMeta
+		r.copyMeta(&tmp, s)
+		tmp.Prog = bits
+		r.checkOp(id, typ, false, &tmp, nil, nil)
+		mm.Err = tmp.Err
+	}
 }
 
 // PreCall pushes argument metadata onto the shadow argument stack (§3.2
@@ -741,16 +801,25 @@ func (r *Runtime) PostCall(id int32, typ ir.Type, dst int32, bits uint64) {
 	if dst < 0 || !typ.IsNumeric() {
 		return
 	}
+	// An injected fault corrupts the register the return value landed in,
+	// after the callee's Ret recorded clean metadata: match on the clean
+	// bits and flag the divergence instead of treating the callee as
+	// untracked and re-seeding from the corruption.
+	clean, injected := r.injectedBefore(id, ir.OpShadowPostCall, bits)
 	d := r.temp(dst)
-	if r.retValid && r.retMeta.Prog == bits {
+	if r.retValid && r.retMeta.Prog == clean {
 		r.copyMeta(d, &r.retMeta)
 		d.Inst = r.retMeta.Inst
 	} else {
 		// Callee was untracked (or returned through an untracked path).
-		r.initFromProgram(d, typ, bits)
+		r.initFromProgram(d, typ, clean)
 		d.Inst = id
 	}
 	r.retValid = false
+	if injected {
+		d.Prog = bits
+		r.checkOp(id, typ, false, d, nil, nil)
+	}
 }
 
 // Print checks program outputs against the shadow execution (§2.2 "wrong
