@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz campaign-smoke
+.PHONY: all build vet test race fuzz campaign-smoke bench-json
 
 all: build vet test
 
@@ -14,7 +14,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/interp/
+	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/interp/ ./internal/parallel/
+	$(GO) test -race -count=1 -cpu=1,4 -run ParallelDeterminism ./internal/faultinject/ ./internal/harness/
+
+# Regenerate the checked-in benchmark report (BENCH_shadow.json). CI runs
+# the same tool with -short as a smoke check and uploads the artifact.
+bench-json: build
+	$(GO) run ./cmd/pdbench -out BENCH_shadow.json
 
 fuzz:
 	$(GO) test . -run FuzzInjector -fuzz FuzzInjector -fuzztime 30s

@@ -192,9 +192,13 @@ func BenchmarkAblationShadowMem(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationPositFast: generic ⟨n,es⟩ codec cost per operation
-// across configurations (design decision 6): the decode/encode pipeline
-// is shared, so narrower formats are not meaningfully cheaper.
+// BenchmarkAblationPositFast: posit codec cost per operation across
+// configurations (design decision 6). The fast paths in internal/posit
+// (decode tables for p16/p8, result tables for p8, integer arithmetic with
+// inline RNE for p16) sit behind the Config API; the p16-add-generic /
+// p16-mul-generic sub-benches pin the pre-fast-path pipeline for
+// comparison, and the assertion in fast_test.go guarantees the two agree
+// on every pattern.
 func BenchmarkAblationPositFast(b *testing.B) {
 	x32 := posit.Config32.FromFloat64(1.375)
 	y32 := posit.Config32.FromFloat64(0.8125)
@@ -213,6 +217,28 @@ func BenchmarkAblationPositFast(b *testing.B) {
 	b.Run("p16-add", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = posit.Config16.Add(x16, y16)
+		}
+	})
+	b.Run("p16-mul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config16.Mul(x16, y16)
+		}
+	})
+	b.Run("p16-add-generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config16.GenericAdd(x16, y16)
+		}
+	})
+	b.Run("p16-mul-generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config16.GenericMul(x16, y16)
+		}
+	})
+	x8 := posit.Config8.FromFloat64(1.375)
+	y8 := posit.Config8.FromFloat64(0.8125)
+	b.Run("p8-add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config8.Add(x8, y8)
 		}
 	})
 	b.Run("float64-add", func(b *testing.B) {

@@ -1,0 +1,200 @@
+// Command pdbench runs the repository's performance benchmark suite via
+// testing.Benchmark and emits a machine-readable JSON report — the artifact
+// behind `make bench-json` (checked in as BENCH_shadow.json) and the CI
+// bench-smoke job.
+//
+// Usage:
+//
+//	pdbench                      # full suite to stdout
+//	pdbench -out BENCH.json      # write the report to a file
+//	pdbench -short               # codec + warm-runtime benches only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	positdebug "positdebug"
+	"positdebug/internal/faultinject"
+	"positdebug/internal/harness"
+	"positdebug/internal/interp"
+	"positdebug/internal/posit"
+	"positdebug/internal/shadow"
+	"positdebug/internal/workloads"
+)
+
+// Bench is one benchmark's measurement.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the file format of BENCH_shadow.json.
+type Report struct {
+	Go         string  `json:"go"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Short      bool    `json:"short"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	short := flag.Bool("short", false, "codec and warm-runtime benches only (CI smoke)")
+	flag.Parse()
+
+	rep := &Report{
+		Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Short: *short,
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rep.Benchmarks = append(rep.Benchmarks, Bench{
+			Name: name, Iterations: r.N, NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %12d iters %14.2f ns/op %8d B/op %6d allocs/op\n",
+			name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	codecBenches(add)
+	shadowBenches(add)
+	if !*short {
+		sweepBenches(add)
+	}
+
+	j, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	j = append(j, '\n')
+	if *out == "" {
+		os.Stdout.Write(j)
+		return
+	}
+	if err := os.WriteFile(*out, j, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// codecBenches: raw posit arithmetic, fast paths vs the generic pipeline
+// (mirrors BenchmarkAblationPositFast).
+func codecBenches(add func(string, func(b *testing.B))) {
+	x32, y32 := posit.Config32.FromFloat64(1.375), posit.Config32.FromFloat64(0.8125)
+	x16, y16 := posit.Config16.FromFloat64(1.375), posit.Config16.FromFloat64(0.8125)
+	x8, y8 := posit.Config8.FromFloat64(1.375), posit.Config8.FromFloat64(0.8125)
+	add("posit/p16-add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config16.Add(x16, y16)
+		}
+	})
+	add("posit/p16-mul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config16.Mul(x16, y16)
+		}
+	})
+	add("posit/p16-add-generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config16.GenericAdd(x16, y16)
+		}
+	})
+	add("posit/p16-mul-generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config16.GenericMul(x16, y16)
+		}
+	})
+	add("posit/p8-add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config8.Add(x8, y8)
+		}
+	})
+	add("posit/p32-add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config32.Add(x32, y32)
+		}
+	})
+	add("posit/p32-mul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config32.Mul(x32, y32)
+		}
+	})
+	add("posit/p32-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = posit.Config32.Decode(x32)
+		}
+	})
+}
+
+// shadowBenches: shadow execution of a small posit kernel, cold (fresh
+// runtime + machine per run, the pre-PR shape) vs warm (one reusable
+// Debugger, the campaign-worker shape).
+func shadowBenches(add func(string, func(b *testing.B))) {
+	k, ok := workloads.KernelByName("gemm")
+	if !ok {
+		fatal(fmt.Errorf("no gemm kernel"))
+	}
+	psrc, err := positdebug.RefactorToPosit(k.Source(8))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := positdebug.Compile(psrc)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := shadow.DefaultConfig()
+	cfg.Tracing = false
+	cfg.MaxReports = 1
+	add("shadow/gemm8-cold-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.Debug(cfg, "main"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	dbg, err := prog.NewDebugger(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	add("shadow/gemm8-warm-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dbg.DebugWithLimits(interp.Limits{}, nil, "main"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// sweepBenches: end-to-end figure-scale work — the §5.1 detection suite and
+// a 20-run fault-injection campaign, both sharded by internal/parallel.
+func sweepBenches(add func(string, func(b *testing.B))) {
+	add("harness/detect-suite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunDetection(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ccfg := faultinject.CampaignConfig{
+		Workload: "polybench/gemm", N: 8, Runs: 20, Seed: 42,
+	}
+	add("campaign/gemm8-20runs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := faultinject.RunCampaign(ccfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdbench:", err)
+	os.Exit(1)
+}

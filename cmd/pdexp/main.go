@@ -23,9 +23,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 2, "timing repetitions (best-of)")
+	par := flag.Bool("parallel", true,
+		"shard kernels across CPUs (tables keep sequential order; disable for absolute timings)")
 	flag.Parse()
 
-	opts := harness.Options{Quick: *quick, Repeats: *repeats}
+	opts := harness.Options{Quick: *quick, Repeats: *repeats, Parallel: *par}
 	run := func(name string) {
 		if err := runOne(name, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "pdexp %s: %v\n", name, err)

@@ -9,6 +9,7 @@ import (
 
 	positdebug "positdebug"
 	"positdebug/internal/interp"
+	"positdebug/internal/parallel"
 	"positdebug/internal/ir"
 	"positdebug/internal/shadow"
 	"positdebug/internal/ulp"
@@ -279,14 +280,27 @@ func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 		return nil, fmt.Errorf("workload has no injectable events")
 	}
 
-	for run := 0; run < cfg.Runs; run++ {
-		rr := oneRun(cfg, prog, scfg, lim, retType, goldenF, goldenCounts, ar.Candidates, run)
-		if cfg.KeepSchedules {
-			ar.Results = append(ar.Results, rr)
-		} else {
+	// Fault-injected runs are pure functions of (cfg, run) — each run's
+	// randomness comes from Mix(cfg.Seed, run), not from shared stream
+	// state — so they shard freely across workers. Each worker keeps one
+	// warm Debugger (runtime + machine) across all its runs; results are
+	// merged by run index, making the report byte-identical to a
+	// sequential sweep. The golden run above already populated the
+	// program's instrumented-module cache, so worker construction is
+	// read-only on the Program.
+	results, err := parallel.MapWorker(cfg.Runs,
+		func() (*positdebug.Debugger, error) { return prog.NewDebugger(scfg) },
+		func(d *positdebug.Debugger, run int) (RunResult, error) {
+			return oneRun(cfg, d, scfg, lim, retType, goldenF, goldenCounts, ar.Candidates, run), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, rr := range results {
+		if !cfg.KeepSchedules {
 			rr.Schedule = nil
-			ar.Results = append(ar.Results, rr)
 		}
+		ar.Results = append(ar.Results, rr)
 		tallyOutcome(&ar.Totals, rr)
 	}
 	finishTotals(&ar.Totals)
@@ -296,7 +310,7 @@ func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 // oneRun executes and classifies a single fault-injected run. Panics from
 // anywhere in the stack are recovered into a crashed outcome — the
 // campaign-level belt to the machine's braces.
-func oneRun(cfg CampaignConfig, prog *positdebug.Program, scfg shadow.Config, lim interp.Limits,
+func oneRun(cfg CampaignConfig, dbg *positdebug.Debugger, scfg shadow.Config, lim interp.Limits,
 	retType ir.Type, goldenF float64, goldenCounts map[shadow.Kind]int, candidates int64, run int) (rr RunResult) {
 
 	runSeed := Mix(cfg.Seed, run)
@@ -317,7 +331,7 @@ func oneRun(cfg CampaignConfig, prog *positdebug.Program, scfg shadow.Config, li
 	}
 	inj := NewInjector(nil, model, runSeed)
 
-	res, err := prog.DebugWithLimits(scfg, lim, func(h interp.Hooks) interp.Hooks {
+	res, err := dbg.DebugWithLimits(lim, func(h interp.Hooks) interp.Hooks {
 		inj.Inner = h
 		return inj
 	}, "main")

@@ -1,0 +1,37 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestCampaignParallelDeterminism: the campaign JSON is byte-identical
+// whether the fault-injected runs execute on one worker or are sharded
+// across four — the contract behind internal/parallel's index-merged
+// results and the per-run splitmix64 seed partitioning. GOMAXPROCS is set
+// explicitly so the test is meaningful on single-core CI runners too.
+func TestCampaignParallelDeterminism(t *testing.T) {
+	cfg := CampaignConfig{
+		Workload: "polybench/gemm", N: 8, Runs: 12, Seed: 7,
+		KeepSchedules: true,
+	}
+	runAt := func(procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		rep, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatalf("campaign at GOMAXPROCS=%d: %v", procs, err)
+		}
+		j, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(j)
+	}
+	seq := runAt(1)
+	par := runAt(4)
+	if seq != par {
+		t.Fatalf("parallel campaign diverged from sequential:\n--- GOMAXPROCS=1 ---\n%s\n--- GOMAXPROCS=4 ---\n%s", seq, par)
+	}
+}

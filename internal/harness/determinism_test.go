@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDetectionParallelDeterminism: the §5.1 table renders byte-identically
+// whether the 32 suite programs run on one worker or are sharded across
+// four. Detection kinds are listed in enum order and rows merged by suite
+// index, so scheduling cannot leak into the output. GOMAXPROCS is set
+// explicitly so single-core runners still exercise the multi-worker path.
+func TestDetectionParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice")
+	}
+	runAt := func(procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		d, err := RunDetection()
+		if err != nil {
+			t.Fatalf("RunDetection at GOMAXPROCS=%d: %v", procs, err)
+		}
+		return d.String()
+	}
+	seq := runAt(1)
+	par := runAt(4)
+	if seq != par {
+		t.Fatalf("parallel detection table diverged from sequential:\n--- GOMAXPROCS=1 ---\n%s\n--- GOMAXPROCS=4 ---\n%s", seq, par)
+	}
+}
+
+// TestKernelErrorsParallelDeterminism: same contract for the kernel error
+// sweep — rows in kernel order regardless of worker scheduling.
+func TestKernelErrorsParallelDeterminism(t *testing.T) {
+	opts := Options{Quick: true}
+	runAt := func(procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		rows, err := KernelErrors(opts, 35)
+		if err != nil {
+			t.Fatalf("KernelErrors at GOMAXPROCS=%d: %v", procs, err)
+		}
+		return FormatKernelErrors(rows, 35)
+	}
+	if seq, par := runAt(1), runAt(4); seq != par {
+		t.Fatalf("parallel kernel table diverged from sequential:\n%s\nvs\n%s", seq, par)
+	}
+}

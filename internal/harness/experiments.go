@@ -7,6 +7,7 @@ import (
 	"time"
 
 	positdebug "positdebug"
+	"positdebug/internal/parallel"
 	"positdebug/internal/posit"
 	"positdebug/internal/shadow"
 	"positdebug/internal/workloads"
@@ -142,23 +143,35 @@ func Fig10(opts Options) (*Table, error) {
 }
 
 // overheadSweep runs one measurement function over every kernel and fills
-// the table with slowdown factors.
+// the table with slowdown factors. With opts.Parallel the kernels shard
+// across CPUs (rows still land in kernel order; see Options.Parallel for
+// why the ratios survive contention).
 func overheadSweep(opts Options, t *Table, f func(compiled) (time.Duration, []time.Duration, error)) error {
-	for _, k := range append(workloads.PolyBench(), workloads.SpecLike()...) {
+	kernels := append(workloads.PolyBench(), workloads.SpecLike()...)
+	workers := 1
+	if opts.Parallel {
+		workers = parallel.Workers(len(kernels))
+	}
+	rows, err := parallel.MapN(workers, len(kernels), func(i int) (Row, error) {
+		k := kernels[i]
 		c, err := compileBoth(k.Source(opts.size(k.DefaultN)))
 		if err != nil {
-			return fmt.Errorf("%s: %w", k.Name, err)
+			return Row{}, fmt.Errorf("%s: %w", k.Name, err)
 		}
 		base, instr, err := f(c)
 		if err != nil {
-			return fmt.Errorf("%s: %w", k.Name, err)
+			return Row{}, fmt.Errorf("%s: %w", k.Name, err)
 		}
 		vals := make([]float64, len(instr))
 		for i, d := range instr {
 			vals[i] = float64(d) / float64(base)
 		}
-		t.AddRow(k.Name, vals...)
+		return Row{Name: k.Name, Values: vals}, nil
+	})
+	if err != nil {
+		return err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.FinishGeomean()
 	return nil
 }
@@ -171,21 +184,27 @@ func HerbgrindTable(opts Options) (*Table, error) {
 		Title:   "§5.4: Herbgrind-style runtime vs FPSanitizer (slowdowns over FP baseline, ×)",
 		Columns: []string{"FPSanitizer", "Herbgrind", "HG/FPS"},
 	}
-	for _, k := range workloads.PolyBench() {
+	kernels := workloads.PolyBench()
+	workers := 1
+	if opts.Parallel {
+		workers = parallel.Workers(len(kernels))
+	}
+	rows, err := parallel.MapN(workers, len(kernels), func(i int) (Row, error) {
+		k := kernels[i]
 		n := opts.size(k.DefaultN)
 		if n > 20 {
 			n = 20
 		}
 		c, err := compileBoth(k.Source(n))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return Row{}, fmt.Errorf("%s: %w", k.Name, err)
 		}
 		base, err := measure(opts.repeats(), func() error {
 			_, err := c.fp.Run("main")
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		cfg := shadowConfig(256, true)
 		fps, err := measure(opts.repeats(), func() error {
@@ -193,17 +212,23 @@ func HerbgrindTable(opts Options) (*Table, error) {
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		hg, err := measure(opts.repeats(), func() error {
 			_, _, err := c.fp.DebugHerbgrind(256, "main")
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		t.AddRow(k.Name, float64(fps)/float64(base), float64(hg)/float64(base), float64(hg)/float64(fps))
+		return Row{Name: k.Name, Values: []float64{
+			float64(fps) / float64(base), float64(hg) / float64(base), float64(hg) / float64(fps),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.FinishGeomean()
 	return t, nil
 }
@@ -275,22 +300,33 @@ type DetectionResult struct {
 	LargestDAG int
 }
 
+// detectionOutcome carries one program's row plus the summary it was built
+// from, so aggregation can stay in the deterministic sequential tail.
+type detectionOutcome struct {
+	row DetectionRow
+	sum *shadow.Summary
+}
+
 // RunDetection executes the whole 32-program suite under PositDebug and
-// aggregates detections (the §5.1 table).
+// aggregates detections (the §5.1 table). The programs are independent, so
+// they shard across CPUs; rows are merged in suite order and detection
+// kinds listed in enum order, making the table byte-identical to a
+// sequential run.
 func RunDetection() (*DetectionResult, error) {
-	out := &DetectionResult{}
-	for _, p := range workloads.Suite() {
+	suite := workloads.Suite()
+	outcomes, err := parallel.Map(len(suite), func(i int) (detectionOutcome, error) {
+		p := suite[i]
 		src := p.Source
 		if p.FromFP {
 			var err error
 			src, err = positdebug.RefactorToPosit(src)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", p.Name, err)
+				return detectionOutcome{}, fmt.Errorf("%s: %w", p.Name, err)
 			}
 		}
 		prog, err := positdebug.Compile(src)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return detectionOutcome{}, fmt.Errorf("%s: %w", p.Name, err)
 		}
 		cfg := shadow.DefaultConfig()
 		cfg.ErrBitsThreshold = 35
@@ -298,7 +334,7 @@ func RunDetection() (*DetectionResult, error) {
 		cfg.PrecisionLossThreshold = 8
 		res, err := prog.Debug(cfg, "main")
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return detectionOutcome{}, fmt.Errorf("%s: %w", p.Name, err)
 		}
 		sum := res.Summary
 		row := DetectionRow{
@@ -307,8 +343,8 @@ func RunDetection() (*DetectionResult, error) {
 			MaxOpBits:  sum.MaxOpErrBits,
 			Flips:      sum.BranchFlips,
 		}
-		for k, c := range sum.Counts {
-			if c > 0 {
+		for k := shadow.KindCancellation; k <= shadow.KindWrongOutput; k++ {
+			if sum.Counts[k] > 0 {
 				row.Detected = append(row.Detected, k)
 			}
 		}
@@ -317,6 +353,15 @@ func RunDetection() (*DetectionResult, error) {
 				row.DAGSize = s
 			}
 		}
+		return detectionOutcome{row: row, sum: sum}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &DetectionResult{}
+	for _, oc := range outcomes {
+		row, sum := oc.row, oc.sum
 		out.Rows = append(out.Rows, row)
 
 		worst := row.OutputBits
@@ -401,11 +446,12 @@ type KernelErrorRow struct {
 // paper's §5.1 note "we also observed numerical errors in six PolyBench
 // and all the SPEC-FP applications".
 func KernelErrors(opts Options, thresholdBits int) ([]KernelErrorRow, error) {
-	var rows []KernelErrorRow
-	for _, k := range append(workloads.PolyBench(), workloads.SpecLike()...) {
+	kernels := append(workloads.PolyBench(), workloads.SpecLike()...)
+	return parallel.Map(len(kernels), func(i int) (KernelErrorRow, error) {
+		k := kernels[i]
 		c, err := compileBoth(k.Source(opts.size(k.DefaultN)))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return KernelErrorRow{}, fmt.Errorf("%s: %w", k.Name, err)
 		}
 		cfg := shadow.DefaultConfig()
 		cfg.ErrBitsThreshold = thresholdBits
@@ -413,20 +459,19 @@ func KernelErrors(opts Options, thresholdBits int) ([]KernelErrorRow, error) {
 		cfg.MaxReports = 1
 		res, err := c.pos.Debug(cfg, "main")
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return KernelErrorRow{}, fmt.Errorf("%s: %w", k.Name, err)
 		}
 		worst := res.Summary.MaxOpErrBits
 		if res.Summary.OutputMaxErrBits > worst {
 			worst = res.Summary.OutputMaxErrBits
 		}
-		rows = append(rows, KernelErrorRow{
+		return KernelErrorRow{
 			Name:       k.Name,
 			OutputBits: res.Summary.OutputMaxErrBits,
 			MaxOpBits:  res.Summary.MaxOpErrBits,
 			Flagged:    worst >= thresholdBits,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatKernelErrors renders the kernel error table.

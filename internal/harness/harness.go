@@ -23,6 +23,12 @@ type Options struct {
 	Quick bool
 	// Repeats is the number of timing repetitions (best-of); default 2.
 	Repeats int
+	// Parallel shards the per-kernel sweeps across CPUs. Tables come out in
+	// the same kernel order either way; because every figure reports
+	// slowdown ratios of co-scheduled measurements (baseline and
+	// instrumented runs contend equally), the ratios stay meaningful under
+	// contention — pass false when absolute per-run times matter.
+	Parallel bool
 }
 
 func (o Options) repeats() int {

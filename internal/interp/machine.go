@@ -58,6 +58,9 @@ type Machine struct {
 	inj Injector
 
 	argScratch []uint64
+	// regPool recycles register frames across calls; depth is bounded by
+	// maxCallDepth, so the pool is too.
+	regPool [][]uint64
 }
 
 // New returns a machine for the module with the default stack size.
@@ -245,6 +248,25 @@ func (m *Machine) trap(fn *ir.Func, format string, args ...interface{}) error {
 	return &Trap{Msg: fmt.Sprintf(format, args...), Func: fn.Name}
 }
 
+// getRegs returns a zeroed register frame of n slots, reusing a pooled one
+// when it is large enough (callers rely on unwritten registers reading 0).
+func (m *Machine) getRegs(n int32) []uint64 {
+	if l := len(m.regPool); l > 0 {
+		r := m.regPool[l-1]
+		m.regPool = m.regPool[:l-1]
+		if cap(r) >= int(n) {
+			r = r[:n]
+			clear(r)
+			return r
+		}
+	}
+	return make([]uint64, n)
+}
+
+func (m *Machine) putRegs(regs []uint64) {
+	m.regPool = append(m.regPool, regs)
+}
+
 func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 	if m.depth++; m.depth > maxCallDepth {
 		return 0, m.trap(fn, "call depth exceeded")
@@ -265,7 +287,8 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 	}
 	defer func() { m.sp = savedSP }()
 
-	regs := make([]uint64, fn.NumRegs)
+	regs := m.getRegs(fn.NumRegs)
+	defer m.putRegs(regs)
 	copy(regs, args)
 	hooked := fn.Instrumented && m.Hooks != nil
 	if hooked {

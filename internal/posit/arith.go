@@ -3,8 +3,22 @@ package posit
 import "math/bits"
 
 // Add returns the correctly rounded sum a+b in the configuration.
-// NaR propagates; saturation applies at maxpos/minpos.
+// NaR propagates; saturation applies at maxpos/minpos. ⟨16,1⟩ runs on the
+// integer fast path and ⟨8,0⟩ on the exhaustive result table (fast.go);
+// both are differentially tested against GenericAdd.
 func (c Config) Add(a, b Bits) Bits {
+	switch c {
+	case Config16:
+		return add16(a, b)
+	case Config8:
+		return Bits(p8add[uint32(a)<<8|uint32(b)])
+	}
+	return c.GenericAdd(a, b)
+}
+
+// GenericAdd is the table-free reference addition used to build and verify
+// the fast paths; it rounds identically to Add for every configuration.
+func (c Config) GenericAdd(a, b Bits) Bits {
 	if c.IsNaR(a) || c.IsNaR(b) {
 		return c.NaR()
 	}
@@ -14,7 +28,7 @@ func (c Config) Add(a, b Bits) Bits {
 	if b == 0 {
 		return a
 	}
-	da, db := c.Decode(a), c.Decode(b)
+	da, db := c.genericDecode(a), c.genericDecode(b)
 	return c.encode(addUnpacked(da, db))
 }
 
@@ -100,15 +114,27 @@ func addUnpacked(x, y Decoded) unrounded {
 	return unrounded{neg: x.Neg, scale: scale, frac: hi, sticky: st || lo != 0}
 }
 
-// Mul returns the correctly rounded product a·b.
+// Mul returns the correctly rounded product a·b. Standard-config fast
+// paths as in Add.
 func (c Config) Mul(a, b Bits) Bits {
+	switch c {
+	case Config16:
+		return mul16(a, b)
+	case Config8:
+		return Bits(p8mul[uint32(a)<<8|uint32(b)])
+	}
+	return c.GenericMul(a, b)
+}
+
+// GenericMul is the table-free reference multiplication; see GenericAdd.
+func (c Config) GenericMul(a, b Bits) Bits {
 	if c.IsNaR(a) || c.IsNaR(b) {
 		return c.NaR()
 	}
 	if a == 0 || b == 0 {
 		return 0
 	}
-	da, db := c.Decode(a), c.Decode(b)
+	da, db := c.genericDecode(a), c.genericDecode(b)
 	hi, lo := bits.Mul64(da.Frac, db.Frac)
 	scale := da.Scale + db.Scale
 	// Product of [2^63,2^64) significands lies in [2^126,2^128).

@@ -19,8 +19,29 @@ type Decoded struct {
 }
 
 // Decode unpacks a finite nonzero posit pattern. It must not be called with
-// the zero or NaR patterns; use IsZero/IsNaR first.
+// the zero or NaR patterns; use IsZero/IsNaR first. The standard
+// configurations dispatch to the fast paths in fast.go (lookup tables for
+// ⟨16,1⟩ and ⟨8,0⟩, a constant-folded decoder for ⟨32,2⟩); every other
+// configuration uses the generic field walk.
 func (c Config) Decode(p Bits) Decoded {
+	switch c {
+	case Config16:
+		return p16dec[uint16(p)].decoded()
+	case Config8:
+		return p8dec[uint8(p)].decoded()
+	case Config32:
+		return decode32(p)
+	}
+	return c.genericDecode(p)
+}
+
+// GenericDecode is the table-free reference decoder, exported so that
+// differential tests and ablation benchmarks can compare the fast paths
+// against it (Config16 etc. compare equal to Config{N:16,ES:1}, so calling
+// Decode on a freshly built Config still reaches the fast path).
+func (c Config) GenericDecode(p Bits) Decoded { return c.genericDecode(p) }
+
+func (c Config) genericDecode(p Bits) Decoded {
 	var d Decoded
 	// Align the n-bit pattern to the top of a uint64 so that shifts expose
 	// fields MSB-first and two's-complement negation works on the full word.

@@ -1,0 +1,70 @@
+package shadow
+
+import (
+	"testing"
+)
+
+// allocSrc exercises the whole hot path — loads, stores, binops, a call per
+// iteration — without tripping any detector, so a steady-state run emits no
+// reports and should therefore allocate nothing on a warm runtime.
+const allocSrc = `
+func scale(x: p32, f: p32): p32 {
+	return x * f;
+}
+func main(): p32 {
+	var acc: p32 = 0.0;
+	var buf: [16]p32;
+	var i: i64 = 0;
+	while (i < 16) {
+		buf[i] = scale(1.5, 0.25) + acc;
+		acc = acc + buf[i];
+		i = i + 1;
+	}
+	return acc;
+}
+`
+
+// TestWarmRuntimeAllocs pins the per-run allocation count of a warm
+// Runtime+Machine pair at zero: Reset reuses the shadow-memory trie, frame
+// pool, quire accumulators and counts map in place, the interpreter pools
+// register frames, and the load/store/binop path only touches pre-grown
+// big.Float mantissas. This is the property that lets each campaign worker
+// keep one runtime across hundreds of runs.
+func TestWarmRuntimeAllocs(t *testing.T) {
+	_, m := buildPipeline(t, allocSrc, DefaultConfig())
+	// Warm up: grow mantissas, pools and shadow pages to steady state.
+	for i := 0; i < 3; i++ {
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("warmup run: %v", err)
+		}
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("warm shadow-execution run allocates %v/op, want 0", n)
+	}
+}
+
+// TestWarmRuntimeAllocsNoTracing covers the paper's no-tracing
+// configuration (Figures 8 and 10) on the same property.
+func TestWarmRuntimeAllocsNoTracing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tracing = false
+	_, m := buildPipeline(t, allocSrc, cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("warmup run: %v", err)
+		}
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("warm no-tracing run allocates %v/op, want 0", n)
+	}
+}

@@ -92,7 +92,7 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 		return
 	}
 
-	ulps := ulp.DistanceBig(progF, &d.Real)
+	ulps := ulp.DistanceBigScratch(progF, &d.Real, &r.ulpScratch)
 	bits := ulp.Bits(ulps)
 	d.Err = int32(bits)
 	if bits > r.maxOpErr {
@@ -257,7 +257,7 @@ func (r *Runtime) checkOutputAt(id int32, typ ir.Type, s *TempMeta) {
 		}
 		return
 	}
-	ulps := ulp.DistanceBig(progF, &s.Real)
+	ulps := ulp.DistanceBigScratch(progF, &s.Real, &r.ulpScratch)
 	bits := ulp.Bits(ulps)
 	if bits > r.outputMaxErr {
 		r.outputMaxErr = bits

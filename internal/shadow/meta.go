@@ -80,35 +80,73 @@ const (
 	pageMask = pageSize - 1
 )
 
+// shadowPage is one second-level page plus the generation that last touched
+// it. Pages survive Runtime.Reset: a new run bumps the trie's generation and
+// each page lazily invalidates its cells on first touch, so the cells' lazily
+// grown big.Float mantissas stay warm across runs.
+type shadowPage struct {
+	gen   uint64
+	cells [pageSize]MemMeta
+}
+
 type shadowMem struct {
-	pages     []*[pageSize]MemMeta
-	allocated int // second-level pages allocated so far
+	pages     []*shadowPage
+	gen       uint64
+	allocated int // second-level pages touched this generation
 }
 
 func newShadowMem(limit uint32) *shadowMem {
 	n := (int(limit) + pageSize - 1) / pageSize
-	return &shadowMem{pages: make([]*[pageSize]MemMeta, n)}
+	return &shadowMem{pages: make([]*shadowPage, n), gen: 1}
 }
 
-// get returns the metadata cell for addr, allocating its page on demand.
+// reset starts a new generation: pages (and their mantissas) are kept, but
+// every cell is invalidated on its page's first touch of the new generation.
+// The touched-page counter restarts so the shadow-memory budget keeps its
+// per-run semantics.
+func (s *shadowMem) reset() {
+	s.gen++
+	s.allocated = 0
+}
+
+// get returns the metadata cell for addr, allocating or revalidating its
+// page on demand.
 func (s *shadowMem) get(addr uint32) *MemMeta {
 	p := addr >> pageBits
 	if int(p) >= len(s.pages) {
-		// Grow for machines with larger stacks than the initial limit.
-		np := make([]*[pageSize]MemMeta, p+1)
+		// Grow geometrically for machines with larger stacks than the
+		// initial limit: doubling keeps page-table extension amortized O(1)
+		// per page instead of re-copying the table on every new high page.
+		newLen := 2 * len(s.pages)
+		if newLen < int(p)+1 {
+			newLen = int(p) + 1
+		}
+		np := make([]*shadowPage, newLen)
 		copy(np, s.pages)
 		s.pages = np
 	}
 	pg := s.pages[p]
-	if pg == nil {
-		pg = new([pageSize]MemMeta)
+	switch {
+	case pg == nil:
+		pg = &shadowPage{gen: s.gen}
 		s.pages[p] = pg
 		s.allocated++
+	case pg.gen != s.gen:
+		// First touch this generation: invalidate every cell in place,
+		// dropping writer references but preserving allocated mantissas.
+		for i := range pg.cells {
+			c := &pg.cells[i]
+			c.set = false
+			c.Writer = mdRef{}
+		}
+		pg.gen = s.gen
+		s.allocated++
 	}
-	return &pg[addr&pageMask]
+	return &pg.cells[addr&pageMask]
 }
 
-// pageCount reports allocated second-level pages (tests and stats).
+// pageCount reports second-level pages touched this generation (tests,
+// stats, and the shadow-memory budget).
 func (s *shadowMem) pageCount() int { return s.allocated }
 
 // shadowFrame holds the temporary metadata of one activation. Frames are

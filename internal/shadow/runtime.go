@@ -111,6 +111,8 @@ type Runtime struct {
 
 	// Scratch big.Floats for operand decoding.
 	sa, sb big.Float
+	// Scratch for allocation-free float64 rounding in error checks.
+	ulpScratch big.Float
 }
 
 // shadowQuire mirrors the program's quire with a wide accumulator; 768
@@ -218,19 +220,27 @@ func NewRuntime(mod *ir.Module, cfg Config) *Runtime {
 	return r
 }
 
-// Reset clears all state at the start of a run.
+// Reset clears all state at the start of a run. It reuses the shadow-memory
+// trie, the frame pool, the quire accumulators and the counts map in place,
+// so a Runtime kept warm across runs (one per campaign worker) reaches a
+// steady state with no per-run allocation beyond the reports it emits.
 func (r *Runtime) Reset() {
 	r.frames = r.frames[:0]
 	r.lockTop = 0
 	r.nextKey = 1
 	r.now = 1
-	r.mem = newShadowMem(uint32(len(r.mem.pages) * pageSize))
+	r.mem.reset()
 	r.argStack = r.argStack[:0]
 	r.retValid = false
 	r.flipEpoch = 0
 	r.pendInj.valid = false
-	r.quires = map[ir.Type]*shadowQuire{}
-	r.counts = map[Kind]int{}
+	for _, q := range r.quires {
+		q.acc.SetInt64(0)
+		q.undef = false
+	}
+	clear(r.counts)
+	// Summaries hand out the reports slice, so start a fresh one rather
+	// than truncating the backing array a previous caller may still hold.
 	r.reports = nil
 	r.totalOps = 0
 	r.maxOpErr = 0
@@ -748,9 +758,21 @@ func (r *Runtime) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint
 
 // PreCall pushes argument metadata onto the shadow argument stack (§3.2
 // "shadow stack to store metadata for arguments and return values").
+// Entries are written into the stack slots in place so the slots' lazily
+// grown mantissas are reused call after call instead of reallocated.
 func (r *Runtime) PreCall(callee *ir.Func, args []int32, argVals []uint64) {
 	for i, reg := range args {
-		var entry TempMeta
+		n := len(r.argStack)
+		if n < cap(r.argStack) {
+			r.argStack = r.argStack[:n+1]
+		} else {
+			r.argStack = append(r.argStack, TempMeta{})
+		}
+		entry := &r.argStack[n]
+		entry.written = false
+		entry.Undef = false
+		entry.Op1 = mdRef{}
+		entry.Op2 = mdRef{}
 		if callee.Params[i].IsNumeric() {
 			src := r.ensure(reg, callee.Params[i], argVals[i])
 			r.ctx.Copy(&entry.Real, &src.Real)
@@ -764,7 +786,6 @@ func (r *Runtime) PreCall(callee *ir.Func, args []int32, argVals []uint64) {
 			}
 			entry.written = true
 		}
-		r.argStack = append(r.argStack, entry)
 	}
 }
 

@@ -3,6 +3,7 @@ package ulp
 import (
 	"math"
 	"math/big"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -106,4 +107,61 @@ func TestRelativeError(t *testing.T) {
 	if rel := RelativeError(1.1, new(big.Float).SetFloat64(1.0)); math.Abs(rel-0.1) > 1e-12 {
 		t.Fatalf("rel = %v", rel)
 	}
+}
+
+// TestRoundToFloat64Differential checks the scratch-based rounding against
+// big.Float.Float64 across magnitudes that cross every code path: normal
+// range, ties, subnormals, overflow, zero and negatives.
+func TestRoundToFloat64Differential(t *testing.T) {
+	var scratch big.Float
+	check := func(x *big.Float) {
+		t.Helper()
+		want, _ := x.Float64()
+		got := RoundToFloat64(x, &scratch)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("RoundToFloat64(%s) = %g (%#x), Float64 %g (%#x)",
+				x.Text('g', 30), got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	for _, prec := range []uint{64, 128, 256, 512} {
+		rng := rand.New(rand.NewSource(int64(prec)))
+		for i := 0; i < 20000; i++ {
+			x := new(big.Float).SetPrec(prec)
+			x.SetFloat64(rng.NormFloat64())
+			// Perturb below float64 precision so rounding decisions matter.
+			eps := new(big.Float).SetPrec(prec).SetFloat64(rng.Float64() - 0.5)
+			eps.SetMantExp(eps, -60+rng.Intn(20))
+			x.Add(x, eps)
+			check(x)
+			check(x.Neg(x))
+		}
+		// Exact ties at the float64 rounding position.
+		tie := new(big.Float).SetPrec(prec).SetFloat64(1)
+		half := new(big.Float).SetPrec(prec).SetMantExp(big.NewFloat(1), -53)
+		tie.Add(tie, half)
+		check(tie)
+		// Extremes.
+		for _, e := range []int{-1080, -1074, -1040, -1022, -1021, -1020, 1020, 1023, 1024, 1025, 2000} {
+			x := new(big.Float).SetPrec(prec).SetMantExp(big.NewFloat(1.37), e)
+			check(x)
+			check(new(big.Float).Neg(x))
+		}
+		check(new(big.Float).SetPrec(prec)) // zero
+		check(new(big.Float).SetInf(false))
+		check(new(big.Float).SetInf(true))
+	}
+}
+
+// TestRoundToFloat64Allocs pins the common case at zero allocations.
+func TestRoundToFloat64Allocs(t *testing.T) {
+	x := new(big.Float).SetPrec(256).SetFloat64(1.0 / 3.0)
+	var scratch big.Float
+	RoundToFloat64(x, &scratch) // warm the scratch mantissa
+	var sink float64
+	if n := testing.AllocsPerRun(1000, func() {
+		sink = RoundToFloat64(x, &scratch)
+	}); n != 0 {
+		t.Errorf("RoundToFloat64 allocates %v/op, want 0", n)
+	}
+	_ = sink
 }

@@ -202,6 +202,72 @@ func (p *Program) DebugWithLimits(cfg shadow.Config, lim interp.Limits, wrap fun
 	}
 }
 
+// Debugger is a reusable shadow-execution session: one runtime and one
+// machine kept warm across runs. After the first run, the shadow-memory
+// trie, frame pools, register frames and big.Float mantissas are all
+// reused in place, so repeated runs of the same program — a fault-injection
+// campaign worker, a sweep repetition — execute with no per-run setup
+// allocation. Not safe for concurrent use; parallel callers hold one
+// Debugger per worker (see parallel.MapWorker).
+type Debugger struct {
+	prog *Program
+	cfg  shadow.Config
+	rt   *shadow.Runtime
+	m    *interp.Machine
+	out  bytes.Buffer
+}
+
+// NewDebugger builds a warm-reusable session for the program. The
+// instrumented module is built (and cached on the Program) here, so
+// concurrent workers can construct Debuggers only after one call has
+// populated the cache — or simply construct them sequentially, as
+// parallel.MapWorker does.
+func (p *Program) NewDebugger(cfg shadow.Config) (*Debugger, error) {
+	mod := p.Instrumented()
+	rt, err := shadow.New(mod, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := interp.New(mod)
+	d := &Debugger{prog: p, cfg: cfg, rt: rt, m: m}
+	m.Out = &d.out
+	return d, nil
+}
+
+// DebugWithLimits runs the session's program like Program.DebugWithLimits —
+// same limits, hook decoration and graceful degradation semantics — but on
+// the warm runtime and machine. Degraded retries run on transient runtimes
+// at the reduced precision; the session itself stays at the requested
+// precision, so one budget-tripping run does not degrade subsequent ones.
+func (d *Debugger) DebugWithLimits(lim interp.Limits, wrap func(interp.Hooks) interp.Hooks, fn string, args ...uint64) (*Result, error) {
+	if wrap != nil {
+		d.m.Hooks = wrap(d.rt)
+	} else {
+		d.m.Hooks = d.rt
+	}
+	d.out.Reset()
+	v, err := d.m.RunWithLimits(fn, lim, args...)
+	if err != nil {
+		var re *interp.ResourceExhausted
+		if errors.As(err, &re) && re.Resource == interp.ResShadowMemory && d.cfg.Precision > shadow.MinPrecision {
+			cfg := d.cfg
+			cfg.Precision /= 2
+			if cfg.Precision < shadow.MinPrecision {
+				cfg.Precision = shadow.MinPrecision
+			}
+			res, err := d.prog.DebugWithLimits(cfg, lim, wrap, fn, args...)
+			if res != nil {
+				res.Degraded = true
+			}
+			return res, err
+		}
+		return nil, err
+	}
+	res := &Result{Value: v, Output: d.out.String(), Steps: d.m.Steps(), Summary: d.rt.Summary()}
+	res.ShadowPrecision = d.cfg.Precision
+	return res, nil
+}
+
 // DebugHerbgrind executes under the Herbgrind-style baseline runtime
 // (per-dynamic-op trace metadata) for the §5.4 comparison. It returns the
 // result and the number of trace nodes the run accumulated.
