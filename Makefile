@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz campaign-smoke bench-json
+.PHONY: all build vet test race fuzz campaign-smoke bench-json trace-smoke
 
 all: build vet test
 
@@ -24,6 +24,19 @@ bench-json: build
 
 fuzz:
 	$(GO) test . -run FuzzInjector -fuzz FuzzInjector -fuzztime 30s
+
+# End-to-end observability check: run Figure 2 under PositDebug with an
+# event trace, DAG export and metrics dump, plus a traced mini campaign,
+# then validate the JSONL schema and DOT syntax with obscheck. CI runs
+# this as the trace-smoke job and uploads the artifacts.
+TRACEDIR ?= /tmp/pd-trace-smoke
+trace-smoke: build
+	mkdir -p $(TRACEDIR)
+	$(GO) run ./cmd/pd -trace $(TRACEDIR)/trace.jsonl -dot $(TRACEDIR)/dag.dot -metrics $(TRACEDIR)/metrics.prom testdata/rootcount.pcl
+	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 7 -runs 20 -trace $(TRACEDIR)/campaign.jsonl > /dev/null
+	$(GO) run ./cmd/obscheck -jsonl $(TRACEDIR)/trace.jsonl,$(TRACEDIR)/campaign.jsonl -dot $(TRACEDIR)/dag.dot
+	grep -q '^pd_detections_total' $(TRACEDIR)/metrics.prom
+	@echo "trace-smoke: schema-valid trace, parsable DAG, metrics present ✓"
 
 # A ~30-second mini resilience campaign: posit vs float under single bit
 # flips, verified deterministic by running it twice and diffing the JSON.

@@ -57,7 +57,7 @@ func runShadowed(b *testing.B, p *positdebug.Program, prec uint, tracing bool) {
 	cfg.Tracing = tracing
 	cfg.MaxReports = 4
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Debug(cfg, "main"); err != nil {
+		if _, err := p.Exec("main", positdebug.WithShadow(cfg)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,7 +73,7 @@ func BenchmarkFig2RootCount(b *testing.B) {
 	prog.Instrumented()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := prog.Debug(shadow.DefaultConfig(), "main"); err != nil {
+		if _, err := prog.Exec("main"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -129,7 +129,7 @@ func BenchmarkHerbgrindComparison(b *testing.B) {
 	b.Run("fpsanitizer", func(b *testing.B) { runShadowed(b, fp, 256, true) })
 	b.Run("herbgrind", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := fp.DebugHerbgrind(256, "main"); err != nil {
+			if _, err := fp.Exec("main", positdebug.WithHerbgrind(256)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -185,7 +185,7 @@ func BenchmarkAblationShadowMem(b *testing.B) {
 	b.Run("trie-runtime", func(b *testing.B) { runShadowed(b, pos, 128, false) })
 	b.Run("map-runtime", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := pos.DebugHerbgrind(128, "main"); err != nil {
+			if _, err := pos.Exec("main", positdebug.WithHerbgrind(128)); err != nil {
 				b.Fatal(err)
 			}
 		}

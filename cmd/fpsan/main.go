@@ -38,23 +38,23 @@ func main() {
 	}
 	switch {
 	case *baseline:
-		res, err := prog.Run(*entry)
+		res, err := prog.Exec(*entry, positdebug.WithBaseline())
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(res.Output)
 	case *herb:
-		res, nodes, err := prog.DebugHerbgrind(*prec, *entry)
+		res, err := prog.Exec(*entry, positdebug.WithHerbgrind(*prec))
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(res.Output)
-		fmt.Printf("\nherbgrind-style run: %d dynamic trace nodes accumulated\n", nodes)
+		fmt.Printf("\nherbgrind-style run: %d dynamic trace nodes accumulated\n", res.TraceNodes)
 	default:
 		cfg := shadow.DefaultConfig()
 		cfg.Precision = *prec
 		cfg.Tracing = !*noTracing
-		res, err := prog.Debug(cfg, *entry)
+		res, err := prog.Exec(*entry, positdebug.WithShadow(cfg))
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,78 @@
+// Command obscheck validates observability artifacts: JSON-lines event
+// traces against the closed event schema (kind taxonomy, strict sequence
+// numbering, per-kind required fields) and Graphviz DOT files for
+// structural well-formedness — without needing graphviz installed. It is
+// the checker behind `make trace-smoke`.
+//
+// Usage:
+//
+//	obscheck -jsonl trace.jsonl -dot dag.dot
+//
+// Either flag may be given alone; each may be repeated via comma-separated
+// paths. Exits nonzero on the first violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"positdebug/internal/obs"
+)
+
+func main() {
+	jsonl := flag.String("jsonl", "", "comma-separated JSON-lines trace files to validate")
+	dot := flag.String("dot", "", "comma-separated Graphviz DOT files to validate")
+	quiet := flag.Bool("q", false, "suppress per-file summaries")
+	flag.Parse()
+	if *jsonl == "" && *dot == "" {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-jsonl trace.jsonl[,..]] [-dot dag.dot[,..]]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	for _, path := range splitPaths(*jsonl) {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		n, verr := obs.ValidateJSONLines(f)
+		f.Close()
+		if verr != nil {
+			fail(fmt.Errorf("%s: %w", path, verr))
+		}
+		if !*quiet {
+			fmt.Printf("%s: %d events OK\n", path, n)
+		}
+	}
+	for _, path := range splitPaths(*dot) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.CheckDOT(string(src)); err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		if !*quiet {
+			fmt.Printf("%s: DOT OK\n", path)
+		}
+	}
+}
+
+func splitPaths(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "obscheck:", err)
+	os.Exit(1)
+}

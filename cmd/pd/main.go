@@ -7,6 +7,15 @@
 //
 //	pd [flags] program.pcl
 //
+// Observability:
+//
+//	pd -trace out.jsonl -dot out.dot -metrics out.prom program.pcl
+//
+// writes a structured JSON-lines event trace (run framing, detections,
+// degradations), the error DAGs as Graphviz DOT, and a Prometheus text
+// metrics dump (detections by kind, ULP-error histograms, per-opcode
+// timing) alongside the normal report.
+//
 // Environment (mirroring the paper's prototype):
 //
 //	PD_ERROR_THRESHOLD  per-op error bits threshold (default 45)
@@ -20,6 +29,7 @@ import (
 	"strconv"
 
 	positdebug "positdebug"
+	"positdebug/internal/obs"
 	"positdebug/internal/shadow"
 )
 
@@ -29,6 +39,9 @@ func main() {
 	entry := flag.String("entry", "main", "entry function")
 	baseline := flag.Bool("baseline", false, "run uninstrumented (no shadow execution)")
 	outThreshold := flag.Int("out-threshold", 35, "output error bits threshold")
+	tracePath := flag.String("trace", "", "write a JSON-lines event trace to this file ('-' = stdout)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text metrics dump to this file ('-' = stdout)")
+	dotPath := flag.String("dot", "", "write the error DAGs as Graphviz DOT to this file ('-' = stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pd [flags] program.pcl")
@@ -43,40 +56,109 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if *baseline {
-		res, err := prog.Run(*entry)
+
+	var opts []positdebug.Option
+	var sink *obs.JSONLines
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = outFile(*tracePath)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Print(res.Output)
-		return
+		sink = obs.NewJSONLines(traceFile)
+		opts = append(opts, positdebug.WithTrace(sink))
 	}
-	cfg := shadow.DefaultConfig()
-	cfg.Precision = *prec
-	cfg.Tracing = !*noTracing
-	cfg.OutputThreshold = *outThreshold
-	if v := os.Getenv("PD_ERROR_THRESHOLD"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			cfg.ErrBitsThreshold = n
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		opts = append(opts, positdebug.WithMetrics(reg))
+	}
+
+	if *baseline {
+		opts = append(opts, positdebug.WithBaseline())
+	} else {
+		cfg := shadow.DefaultConfig()
+		cfg.Precision = *prec
+		cfg.Tracing = !*noTracing
+		cfg.OutputThreshold = *outThreshold
+		if v := os.Getenv("PD_ERROR_THRESHOLD"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				cfg.ErrBitsThreshold = n
+			}
 		}
-	}
-	cfg.MaxReports = 16
-	if v := os.Getenv("PD_REPORT_LIMIT"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			cfg.MaxReports = n
+		cfg.MaxReports = 16
+		if v := os.Getenv("PD_REPORT_LIMIT"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				cfg.MaxReports = n
+			}
 		}
+		opts = append(opts, positdebug.WithShadow(cfg))
 	}
-	res, err := prog.Debug(cfg, *entry)
+
+	res, err := prog.Exec(*entry, opts...)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Print(res.Output)
-	fmt.Println()
-	fmt.Print(res.Summary)
-	for _, r := range res.Summary.Reports {
+	if res.Summary != nil {
 		fmt.Println()
-		fmt.Println(r)
+		fmt.Print(res.Summary)
+		for _, r := range res.Summary.Reports {
+			fmt.Println()
+			fmt.Println(r)
+		}
 	}
+
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := closeFile(traceFile); err != nil {
+			fail(err)
+		}
+	}
+	if *dotPath != "" {
+		if res.Summary == nil {
+			fail(fmt.Errorf("-dot requires a shadow run (drop -baseline)"))
+		}
+		f, err := outFile(*dotPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Summary.WriteDOT(f); err != nil {
+			fail(fmt.Errorf("dot: %w", err))
+		}
+		if err := closeFile(f); err != nil {
+			fail(err)
+		}
+	}
+	if reg != nil {
+		f, err := outFile(*metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WriteProm(f); err != nil {
+			fail(fmt.Errorf("metrics: %w", err))
+		}
+		if err := closeFile(f); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// outFile opens path for writing; "-" means stdout.
+func outFile(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+func closeFile(f *os.File) error {
+	if f == os.Stdout {
+		return nil
+	}
+	return f.Close()
 }
 
 func fail(err error) {

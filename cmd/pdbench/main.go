@@ -8,6 +8,12 @@
 //	pdbench                      # full suite to stdout
 //	pdbench -out BENCH.json      # write the report to a file
 //	pdbench -short               # codec + warm-runtime benches only
+//	pdbench -strict              # exit nonzero on a >10% ns/op regression
+//
+// Unless -baseline "" disables it, the run is compared against the
+// checked-in BENCH_shadow.json: per-benchmark ns/op deltas go to stderr,
+// regressions beyond 10% are flagged, and -strict turns them into a
+// nonzero exit for CI.
 package main
 
 import (
@@ -21,7 +27,6 @@ import (
 	positdebug "positdebug"
 	"positdebug/internal/faultinject"
 	"positdebug/internal/harness"
-	"positdebug/internal/interp"
 	"positdebug/internal/posit"
 	"positdebug/internal/shadow"
 	"positdebug/internal/workloads"
@@ -49,6 +54,8 @@ type Report struct {
 func main() {
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	short := flag.Bool("short", false, "codec and warm-runtime benches only (CI smoke)")
+	baseline := flag.String("baseline", "BENCH_shadow.json", "baseline report to diff against (\"\" disables)")
+	strict := flag.Bool("strict", false, "exit nonzero if any benchmark regresses more than 10% vs the baseline")
 	flag.Parse()
 
 	rep := &Report{
@@ -78,11 +85,59 @@ func main() {
 	j = append(j, '\n')
 	if *out == "" {
 		os.Stdout.Write(j)
-		return
-	}
-	if err := os.WriteFile(*out, j, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, j, 0o644); err != nil {
 		fatal(err)
 	}
+
+	if *baseline != "" {
+		regressed := compareBaseline(*baseline, rep)
+		if regressed && *strict {
+			fatal(fmt.Errorf("benchmarks regressed more than %d%% vs %s", regressPct, *baseline))
+		}
+	}
+}
+
+// regressPct is the ns/op slowdown beyond which a benchmark counts as a
+// regression against the baseline report.
+const regressPct = 10
+
+// compareBaseline diffs the fresh report against the checked-in baseline
+// and prints per-benchmark ns/op deltas to stderr. Returns whether any
+// benchmark regressed beyond regressPct. A missing or unreadable baseline
+// is a note, not an error: fresh checkouts and new machines produce one
+// with `pdbench -out BENCH_shadow.json`.
+func compareBaseline(path string, rep *Report) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: no baseline %s (%v); skipping comparison\n", path, err)
+		return false
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: baseline %s unreadable (%v); skipping comparison\n", path, err)
+		return false
+	}
+	byName := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(os.Stderr, "\nvs baseline %s (go %s):\n", path, base.Go)
+	regressed := false
+	for _, b := range rep.Benchmarks {
+		old, ok := byName[b.Name]
+		if !ok || old.NsPerOp == 0 {
+			fmt.Fprintf(os.Stderr, "  %-28s %14.2f ns/op  (new, no baseline entry)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		delta := 100 * (b.NsPerOp - old.NsPerOp) / old.NsPerOp
+		mark := ""
+		if delta > regressPct {
+			mark = fmt.Sprintf("  ** regression > %d%% **", regressPct)
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "  %-28s %14.2f ns/op  %+7.1f%%%s\n", b.Name, b.NsPerOp, delta, mark)
+	}
+	return regressed
 }
 
 // codecBenches: raw posit arithmetic, fast paths vs the generic pipeline
@@ -154,18 +209,18 @@ func shadowBenches(add func(string, func(b *testing.B))) {
 	cfg.MaxReports = 1
 	add("shadow/gemm8-cold-run", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := prog.Debug(cfg, "main"); err != nil {
+			if _, err := prog.Exec("main", positdebug.WithShadow(cfg)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	dbg, err := prog.NewDebugger(cfg)
+	dbg, err := prog.Session(positdebug.WithShadow(cfg))
 	if err != nil {
 		fatal(err)
 	}
 	add("shadow/gemm8-warm-run", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := dbg.DebugWithLimits(interp.Limits{}, nil, "main"); err != nil {
+			if _, err := dbg.Exec("main"); err != nil {
 				b.Fatal(err)
 			}
 		}

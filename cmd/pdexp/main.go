@@ -17,7 +17,18 @@ import (
 	"os"
 
 	"positdebug/internal/harness"
+	"positdebug/internal/obs"
 )
+
+// obsOut carries the optional observability attachments for the detect
+// experiment: a JSON-lines event sink and a metrics registry, flushed to
+// their files once the run finishes.
+type obsOut struct {
+	sink        *obs.JSONLines
+	traceFile   *os.File
+	reg         *obs.Registry
+	metricsPath string
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
@@ -25,15 +36,33 @@ func main() {
 	repeats := flag.Int("repeats", 2, "timing repetitions (best-of)")
 	par := flag.Bool("parallel", true,
 		"shard kernels across CPUs (tables keep sequential order; disable for absolute timings)")
+	tracePath := flag.String("trace", "", "write the detect suite's JSON-lines event trace to this file")
+	metricsPath := flag.String("metrics", "", "write a Prometheus metrics dump of the detect suite to this file")
 	flag.Parse()
+
+	var oo obsOut
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdexp:", err)
+			os.Exit(1)
+		}
+		oo.traceFile = f
+		oo.sink = obs.NewJSONLines(f)
+	}
+	if *metricsPath != "" {
+		oo.reg = obs.NewRegistry()
+		oo.metricsPath = *metricsPath
+	}
 
 	opts := harness.Options{Quick: *quick, Repeats: *repeats, Parallel: *par}
 	run := func(name string) {
-		if err := runOne(name, opts); err != nil {
+		if err := runOne(name, opts, &oo); err != nil {
 			fmt.Fprintf(os.Stderr, "pdexp %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
+	defer flushObs(&oo)
 	if *exp == "all" {
 		for _, name := range []string{
 			"detect", "kernels", "softposit", "fig7", "fig8", "fig9", "fig10",
@@ -46,12 +75,16 @@ func main() {
 	run(*exp)
 }
 
-func runOne(name string, opts harness.Options) error {
+func runOne(name string, opts harness.Options, oo *obsOut) error {
 	fmt.Printf("==== %s ====\n", name)
 	defer fmt.Println()
 	switch name {
 	case "detect":
-		d, err := harness.RunDetection()
+		var sink obs.Sink
+		if oo.sink != nil {
+			sink = oo.sink
+		}
+		d, err := harness.RunDetectionObs(sink, oo.reg)
 		if err != nil {
 			return err
 		}
@@ -147,4 +180,33 @@ func runOne(name string, opts harness.Options) error {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
+}
+
+// flushObs finalizes the trace file and writes the metrics dump.
+func flushObs(oo *obsOut) {
+	if oo.sink != nil {
+		if err := oo.sink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "pdexp: trace:", err)
+			os.Exit(1)
+		}
+		if err := oo.traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pdexp:", err)
+			os.Exit(1)
+		}
+	}
+	if oo.reg != nil {
+		f, err := os.Create(oo.metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdexp:", err)
+			os.Exit(1)
+		}
+		if err := oo.reg.WriteProm(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pdexp: metrics:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pdexp:", err)
+			os.Exit(1)
+		}
+	}
 }

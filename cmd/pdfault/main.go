@@ -8,7 +8,10 @@
 //	pdfault -workload polybench/gemm -seed 42 -model bitflip -runs 200
 //
 // The whole campaign is a pure function of the seed: rerunning with the
-// same flags yields a byte-identical report (use -json to diff).
+// same flags yields a byte-identical report (use -json to diff). The same
+// holds for the -trace event stream: events are staged per run and merged
+// in run order, so the trace is byte-identical regardless of GOMAXPROCS
+// (unless -trace-workers adds the scheduling-dependent lifecycle events).
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"positdebug/internal/faultinject"
+	"positdebug/internal/obs"
 	"positdebug/internal/workloads"
 )
 
@@ -43,6 +47,9 @@ func main() {
 	threshold := flag.Int("threshold", 10, "masked threshold in output error bits (0 = default 10, -1 = exact match)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	schedules := flag.Bool("schedules", false, "embed per-run fault schedules in the JSON report")
+	tracePath := flag.String("trace", "", "write a JSON-lines campaign event trace to this file ('-' = stderr)")
+	traceWorkers := flag.Bool("trace-workers", false, "include worker lifecycle events in the trace (scheduling-dependent)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text metrics dump to this file ('-' = stderr)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
 
@@ -82,9 +89,46 @@ func main() {
 		MaskedBits:     *threshold,
 		KeepSchedules:  *schedules,
 	}
+	var sink *obs.JSONLines
+	var traceFile *os.File
+	if *tracePath != "" {
+		var err error
+		traceFile, err = outFile(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		sink = obs.NewJSONLines(traceFile)
+		cfg.Trace = sink
+		cfg.TraceWorkers = *traceWorkers
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
 	rep, err := faultinject.RunCampaign(cfg)
 	if err != nil {
 		fail(err)
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := closeFile(traceFile); err != nil {
+			fail(err)
+		}
+	}
+	if reg != nil {
+		f, err := outFile(*metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WriteProm(f); err != nil {
+			fail(fmt.Errorf("metrics: %w", err))
+		}
+		if err := closeFile(f); err != nil {
+			fail(err)
+		}
 	}
 
 	if *jsonOut {
@@ -113,6 +157,22 @@ func listWorkloads() {
 	for _, n := range names {
 		fmt.Println(n)
 	}
+}
+
+// outFile opens path for writing; "-" means stderr, keeping stdout clean
+// for the campaign report.
+func outFile(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stderr, nil
+	}
+	return os.Create(path)
+}
+
+func closeFile(f *os.File) error {
+	if f == os.Stderr {
+		return nil
+	}
+	return f.Close()
 }
 
 func fail(err error) {

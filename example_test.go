@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	positdebug "positdebug"
+	"positdebug/internal/obs"
 	"positdebug/internal/shadow"
 )
 
@@ -23,7 +24,7 @@ func main(): i64 {
 	if err != nil {
 		panic(err)
 	}
-	res, err := prog.Debug(shadow.DefaultConfig(), "main")
+	res, err := prog.Exec("main")
 	if err != nil {
 		panic(err)
 	}
@@ -34,6 +35,37 @@ func main(): i64 {
 	// roots found: 1
 	// cancellation detected: true
 	// branch flips: 1
+}
+
+// ExampleProgram_Exec shows the functional-options API: shadow execution
+// with a custom configuration and a bounded event trace.
+func ExampleProgram_Exec() {
+	prog, err := positdebug.Compile(`
+func main(): p32 {
+	var big: p32 = 16777216.0;
+	var r: p32 = (big + 1.0) - big;
+	return r;
+}`)
+	if err != nil {
+		panic(err)
+	}
+	cfg := shadow.DefaultConfig()
+	cfg.ErrBitsThreshold = 10
+	ring := obs.NewRing(64) // keeps only the most recent events
+	res, err := prog.Exec("main", positdebug.WithShadow(cfg), positdebug.WithTrace(ring))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("result:", res.P32())
+	for _, e := range ring.Events() {
+		if e.Kind == obs.EvDetect && e.Detect == "catastrophic-cancellation" {
+			fmt.Println("detected:", e.Detect)
+			break
+		}
+	}
+	// Output:
+	// result: 0
+	// detected: catastrophic-cancellation
 }
 
 // ExampleRefactorToPosit rewrites an FP program to posits, like the

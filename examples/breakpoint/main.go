@@ -45,7 +45,7 @@ func main() {
 	// Break as soon as any operation carries ≥ 45 bits of error.
 	cfg.BreakOn = func(r *shadow.Report) bool { return r.ErrBits >= 45 }
 
-	_, err = prog.Debug(cfg, "main")
+	_, err = prog.Exec("main", positdebug.WithShadow(cfg))
 	var stopped *interp.Stopped
 	if !errors.As(err, &stopped) {
 		fmt.Println("no operation crossed 45 bits of error; result:", err)

@@ -44,7 +44,7 @@ func main() {
 
 	cfg := shadow.DefaultConfig()
 	cfg.OutputThreshold = 10
-	res, err := prog.Debug(cfg, "main")
+	res, err := prog.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,11 +57,11 @@ func main() {
 		fmt.Println(r)
 	}
 
-	_, nodes, err := prog.DebugHerbgrind(256, "main")
+	hg, err := prog.Exec("main", positdebug.WithHerbgrind(256))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nHerbgrind-style run of the same program accumulated %d trace nodes\n", nodes)
+	fmt.Printf("\nHerbgrind-style run of the same program accumulated %d trace nodes\n", hg.TraceNodes)
 	fmt.Println("(unbounded in the dynamic instruction count — the design PositDebug replaces")
 	fmt.Println("with constant-size per-location metadata).")
 }

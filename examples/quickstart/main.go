@@ -45,7 +45,7 @@ func main() {
 	fmt.Println()
 
 	// 2. PositDebug: shadow execution pinpoints why.
-	res, err := prog.Debug(shadow.DefaultConfig(), "main")
+	res, err := prog.Exec("main")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,427 @@
+package positdebug
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"positdebug/internal/herbgrind"
+	"positdebug/internal/instrument"
+	"positdebug/internal/interp"
+	"positdebug/internal/ir"
+	"positdebug/internal/obs"
+	"positdebug/internal/shadow"
+)
+
+// Option configures one execution (Program.Exec, Debugger.Exec) or one warm
+// session (Program.Session). Options compose freely; incompatible
+// combinations (e.g. WithBaseline with WithShadow) are reported as errors
+// instead of being silently resolved.
+type Option func(*execConfig)
+
+type execConfig struct {
+	shadowCfg  shadow.Config
+	shadowSet  bool
+	skip       []string
+	limits     interp.Limits
+	limitsSet  bool
+	wrap       func(interp.Hooks) interp.Hooks
+	trace      obs.Sink
+	traceSet   bool
+	metrics    *obs.Registry
+	metricsSet bool
+	herb       bool
+	herbPrec   uint
+	baseline   bool
+	args       []uint64
+}
+
+// WithShadow selects shadow execution with the given configuration.
+// Omitting it (and WithBaseline/WithHerbgrind) runs with
+// shadow.DefaultConfig().
+func WithShadow(cfg shadow.Config) Option {
+	return func(ec *execConfig) { ec.shadowCfg = cfg; ec.shadowSet = true }
+}
+
+// WithSkip leaves the named functions uninstrumented — the paper's
+// incremental-deployment mode (§4.1). The module is instrumented fresh for
+// the run (or once per session), so prefer a Session when running many
+// times with the same skip set.
+func WithSkip(fns ...string) Option {
+	return func(ec *execConfig) { ec.skip = append(ec.skip, fns...) }
+}
+
+// WithLimits bounds the run with a wall-clock timeout and step budget,
+// reported as structured *interp.ResourceExhausted errors.
+func WithLimits(lim interp.Limits) Option {
+	return func(ec *execConfig) { ec.limits = lim; ec.limitsSet = true }
+}
+
+// WithHooksWrapper decorates the shadow runtime's hooks before they attach
+// to the machine — the seam fault injectors plug into. The wrapper runs
+// once per attempt, so a deterministic decorator replays its schedule on a
+// degraded retry.
+func WithHooksWrapper(w func(interp.Hooks) interp.Hooks) Option {
+	return func(ec *execConfig) { ec.wrap = w }
+}
+
+// WithTrace streams structured events (run lifecycle, detections,
+// precision degradation) into the sink. Detection events are not capped by
+// shadow.Config.MaxReports; bound memory with a bounded sink such as
+// obs.NewRing. Passing nil disables a session-level sink for one run.
+func WithTrace(sink obs.Sink) Option {
+	return func(ec *execConfig) { ec.trace = sink; ec.traceSet = true }
+}
+
+// WithMetrics accumulates counters and histograms into the registry:
+// detections by kind, shadowed ops, per-instruction error-bits
+// distributions, executed steps, and per-opcode timing attribution.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(ec *execConfig) { ec.metrics = reg; ec.metricsSet = true }
+}
+
+// WithHerbgrind selects the Herbgrind-style baseline runtime
+// (per-dynamic-op trace metadata, §5.4 comparison) at the given shadow
+// precision (0 means 256). The trace-node count lands in
+// Result.TraceNodes.
+func WithHerbgrind(precision uint) Option {
+	return func(ec *execConfig) { ec.herb = true; ec.herbPrec = precision }
+}
+
+// WithBaseline runs the uninstrumented program — no shadow execution, no
+// detections. Limits, tracing and metrics still apply.
+func WithBaseline() Option {
+	return func(ec *execConfig) { ec.baseline = true }
+}
+
+// WithArgs passes argument bit patterns to the entry function (see P32Arg,
+// F64Arg and friends for encoding helpers).
+func WithArgs(args ...uint64) Option {
+	return func(ec *execConfig) { ec.args = append(ec.args, args...) }
+}
+
+func buildExecConfig(opts []Option) (*execConfig, error) {
+	ec := &execConfig{}
+	for _, o := range opts {
+		o(ec)
+	}
+	switch {
+	case ec.baseline && ec.herb:
+		return nil, fmt.Errorf("positdebug: WithBaseline conflicts with WithHerbgrind")
+	case ec.baseline && ec.shadowSet:
+		return nil, fmt.Errorf("positdebug: WithBaseline conflicts with WithShadow")
+	case ec.herb && ec.shadowSet:
+		return nil, fmt.Errorf("positdebug: WithHerbgrind conflicts with WithShadow")
+	case (ec.baseline || ec.herb) && len(ec.skip) > 0:
+		return nil, fmt.Errorf("positdebug: WithSkip requires shadow execution")
+	case (ec.baseline || ec.herb) && ec.wrap != nil:
+		return nil, fmt.Errorf("positdebug: WithHooksWrapper requires shadow execution")
+	}
+	if !ec.shadowSet && !ec.baseline && !ec.herb {
+		ec.shadowCfg = shadow.DefaultConfig()
+	}
+	if ec.herb && ec.herbPrec == 0 {
+		ec.herbPrec = 256
+	}
+	return ec, nil
+}
+
+// Exec runs the program's named function. With no options it is shadow
+// execution under shadow.DefaultConfig(); options select the baseline or
+// Herbgrind runtimes, pass arguments, bound the run, decorate hooks, and
+// attach event tracing and metrics. Exec subsumes the deprecated Debug*
+// entry points: shadow runs always honor execution limits and, when
+// shadow.Config.MaxShadowBytes is set, retry at degraded precision
+// (halving down to shadow.MinPrecision) instead of failing, flagging the
+// result Degraded.
+func (p *Program) Exec(fn string, opts ...Option) (*Result, error) {
+	ec, err := buildExecConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case ec.baseline:
+		return execBaseline(p.Module, ec, fn)
+	case ec.herb:
+		return execHerbgrind(p.Instrumented(), ec, fn)
+	}
+	mod := p.Instrumented()
+	if len(ec.skip) > 0 {
+		skipSet := make(map[string]bool, len(ec.skip))
+		for _, s := range ec.skip {
+			skipSet[s] = true
+		}
+		mod = instrument.Instrument(p.Module, instrument.Options{Skip: skipSet})
+	}
+	return execShadowModule(mod, ec, fn)
+}
+
+// emitRunStart/emitRunEnd bracket one execution in the event stream.
+func emitRunStart(sink obs.Sink, fn string, precision uint) {
+	if sink == nil {
+		return
+	}
+	e := obs.NewEvent(obs.EvRunStart)
+	e.Func = fn
+	e.Precision = precision
+	sink.Emit(e)
+}
+
+func emitRunEnd(sink obs.Sink, outcome string, steps int64, precision uint) {
+	if sink == nil {
+		return
+	}
+	e := obs.NewEvent(obs.EvRunEnd)
+	e.Outcome = outcome
+	e.Steps = steps
+	e.Precision = precision
+	sink.Emit(e)
+}
+
+// flushRunMetrics records the per-run interpreter-side metrics: executed
+// steps and, when profiling ran, per-opcode counts and time.
+func flushRunMetrics(reg *obs.Registry, steps int64, prof *interp.OpProfile) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("pd_steps_total").Add(steps)
+	reg.Counter("pd_runs_total").Inc()
+	if prof == nil {
+		return
+	}
+	for _, s := range prof.Stats() {
+		reg.Counter(`pd_op_count{op="` + s.Op.String() + `"}`).Add(s.Count)
+		reg.Counter(`pd_op_nanos{op="` + s.Op.String() + `"}`).Add(s.Nanos)
+	}
+}
+
+func execBaseline(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
+	m := interp.New(mod)
+	var out bytes.Buffer
+	m.Out = &out
+	if ec.metrics != nil {
+		m.Prof = &interp.OpProfile{}
+	}
+	emitRunStart(ec.trace, fn, 0)
+	v, err := m.RunWithLimits(fn, ec.limits, ec.args...)
+	flushRunMetrics(ec.metrics, m.Steps(), m.Prof)
+	if err != nil {
+		emitRunEnd(ec.trace, "error", m.Steps(), 0)
+		return nil, err
+	}
+	emitRunEnd(ec.trace, "ok", m.Steps(), 0)
+	return &Result{Value: v, Output: out.String(), Steps: m.Steps()}, nil
+}
+
+func execHerbgrind(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
+	rt := herbgrind.New(mod, ec.herbPrec)
+	m := interp.New(mod)
+	m.Hooks = rt
+	var out bytes.Buffer
+	m.Out = &out
+	if ec.metrics != nil {
+		m.Prof = &interp.OpProfile{}
+	}
+	emitRunStart(ec.trace, fn, ec.herbPrec)
+	v, err := m.RunWithLimits(fn, ec.limits, ec.args...)
+	flushRunMetrics(ec.metrics, m.Steps(), m.Prof)
+	if err != nil {
+		emitRunEnd(ec.trace, "error", m.Steps(), ec.herbPrec)
+		return nil, err
+	}
+	emitRunEnd(ec.trace, "ok", m.Steps(), ec.herbPrec)
+	return &Result{
+		Value: v, Output: out.String(), Steps: m.Steps(),
+		TraceNodes: rt.TraceNodes(),
+	}, nil
+}
+
+// execShadowModule runs the degradation loop on fresh runtimes: when a run
+// exceeds the shadow-memory budget, retry at half the precision down to
+// shadow.MinPrecision, flagging the result Degraded.
+func execShadowModule(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
+	cfg := ec.shadowCfg
+	if ec.traceSet {
+		cfg.Events = ec.trace
+	}
+	if ec.metricsSet {
+		cfg.Metrics = ec.metrics
+	}
+	emitRunStart(cfg.Events, fn, cfg.Precision)
+	return execShadowLoop(mod, cfg, ec, fn, cfg.Precision)
+}
+
+// execShadowLoop is the degradation loop proper; requested is the
+// precision Degraded is judged against (the warm-session retry path enters
+// below the originally requested precision).
+func execShadowLoop(mod *ir.Module, cfg shadow.Config, ec *execConfig, fn string, requested uint) (*Result, error) {
+	for {
+		rt, err := shadow.New(mod, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := interp.New(mod)
+		if ec.wrap != nil {
+			m.Hooks = ec.wrap(rt)
+		} else {
+			m.Hooks = rt
+		}
+		var out bytes.Buffer
+		m.Out = &out
+		if cfg.Metrics != nil {
+			m.Prof = &interp.OpProfile{}
+		}
+		v, err := m.RunWithLimits(fn, ec.limits, ec.args...)
+		flushRunMetrics(cfg.Metrics, m.Steps(), m.Prof)
+		if err != nil {
+			var re *interp.ResourceExhausted
+			if errors.As(err, &re) && re.Resource == interp.ResShadowMemory && cfg.Precision > shadow.MinPrecision {
+				cfg.Precision /= 2
+				if cfg.Precision < shadow.MinPrecision {
+					cfg.Precision = shadow.MinPrecision
+				}
+				if cfg.Events != nil {
+					e := obs.NewEvent(obs.EvDegrade)
+					e.Precision = cfg.Precision
+					cfg.Events.Emit(e)
+				}
+				continue
+			}
+			emitRunEnd(cfg.Events, "error", m.Steps(), cfg.Precision)
+			return nil, err
+		}
+		res := &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: rt.Summary()}
+		res.ShadowPrecision = cfg.Precision
+		res.Degraded = cfg.Precision != requested
+		outcome := "ok"
+		if res.Degraded {
+			outcome = "degraded"
+		}
+		emitRunEnd(cfg.Events, outcome, m.Steps(), cfg.Precision)
+		return res, nil
+	}
+}
+
+// Session builds a warm-reusable shadow-execution session configured by
+// options: WithShadow selects the configuration (default
+// shadow.DefaultConfig()), WithSkip instruments with functions left out,
+// and WithTrace/WithMetrics bind session-level sinks. Baseline/Herbgrind
+// and per-run options (limits, hook wrappers, args) are rejected — pass
+// those to Debugger.Exec.
+//
+// The instrumented module is built (and, without WithSkip, cached on the
+// Program) here, so concurrent workers construct sessions only after one
+// call has populated the cache — or sequentially, as parallel.MapWorker
+// does.
+func (p *Program) Session(opts ...Option) (*Debugger, error) {
+	ec, err := buildExecConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if ec.baseline || ec.herb {
+		return nil, fmt.Errorf("positdebug: Session supports shadow execution only")
+	}
+	if ec.wrap != nil || len(ec.args) > 0 || ec.limitsSet {
+		return nil, fmt.Errorf("positdebug: WithHooksWrapper/WithArgs/WithLimits are per-run options; pass them to Debugger.Exec")
+	}
+	cfg := ec.shadowCfg
+	if ec.traceSet {
+		cfg.Events = ec.trace
+	}
+	if ec.metricsSet {
+		cfg.Metrics = ec.metrics
+	}
+	mod := p.Instrumented()
+	if len(ec.skip) > 0 {
+		skipSet := make(map[string]bool, len(ec.skip))
+		for _, s := range ec.skip {
+			skipSet[s] = true
+		}
+		mod = instrument.Instrument(p.Module, instrument.Options{Skip: skipSet})
+	}
+	rt, err := shadow.New(mod, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := interp.New(mod)
+	d := &Debugger{prog: p, cfg: cfg, mod: mod, rt: rt, m: m}
+	m.Out = &d.out
+	return d, nil
+}
+
+// Exec runs the session's program on the warm runtime and machine.
+// Accepted options: WithLimits, WithHooksWrapper, WithArgs, WithTrace,
+// WithMetrics (the latter two rebind the session's sinks — campaign
+// workers point each run at its own buffer). Options that change the
+// session's instrumentation (WithShadow, WithSkip, WithBaseline,
+// WithHerbgrind) are rejected; build a new Session instead.
+//
+// Degraded retries run on transient runtimes at the reduced precision; the
+// session itself stays at the requested precision, so one budget-tripping
+// run does not degrade subsequent ones.
+func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
+	ec := &execConfig{}
+	for _, o := range opts {
+		o(ec)
+	}
+	if ec.shadowSet || len(ec.skip) > 0 || ec.baseline || ec.herb {
+		return nil, fmt.Errorf("positdebug: WithShadow/WithSkip/WithBaseline/WithHerbgrind configure a session; build a new Session instead")
+	}
+	if ec.traceSet {
+		d.rt.SetEvents(ec.trace)
+		d.cfg.Events = ec.trace
+	}
+	if ec.metricsSet {
+		d.rt.SetMetrics(ec.metrics)
+		d.cfg.Metrics = ec.metrics
+	}
+	if ec.wrap != nil {
+		d.m.Hooks = ec.wrap(d.rt)
+	} else {
+		d.m.Hooks = d.rt
+	}
+	if d.cfg.Metrics != nil {
+		if d.m.Prof == nil {
+			d.m.Prof = &interp.OpProfile{}
+		} else {
+			d.m.Prof.Reset()
+		}
+	} else {
+		d.m.Prof = nil
+	}
+	d.out.Reset()
+	emitRunStart(d.cfg.Events, fn, d.cfg.Precision)
+	v, err := d.m.RunWithLimits(fn, ec.limits, ec.args...)
+	flushRunMetrics(d.cfg.Metrics, d.m.Steps(), d.m.Prof)
+	if err != nil {
+		var re *interp.ResourceExhausted
+		if errors.As(err, &re) && re.Resource == interp.ResShadowMemory && d.cfg.Precision > shadow.MinPrecision {
+			cfg := d.cfg
+			cfg.Precision /= 2
+			if cfg.Precision < shadow.MinPrecision {
+				cfg.Precision = shadow.MinPrecision
+			}
+			if cfg.Events != nil {
+				e := obs.NewEvent(obs.EvDegrade)
+				e.Precision = cfg.Precision
+				cfg.Events.Emit(e)
+			}
+			// Retry on transient runtimes at the reduced precision; the loop
+			// carries the session's sinks (with any per-run overrides already
+			// applied) and emits the closing run-end itself.
+			res, err := execShadowLoop(d.mod, cfg, &execConfig{
+				limits: ec.limits, wrap: ec.wrap, args: ec.args,
+			}, fn, d.cfg.Precision)
+			if res != nil {
+				res.Degraded = true
+			}
+			return res, err
+		}
+		emitRunEnd(d.cfg.Events, "error", d.m.Steps(), d.cfg.Precision)
+		return nil, err
+	}
+	res := &Result{Value: v, Output: d.out.String(), Steps: d.m.Steps(), Summary: d.rt.Summary()}
+	res.ShadowPrecision = d.cfg.Precision
+	emitRunEnd(d.cfg.Events, "ok", d.m.Steps(), d.cfg.Precision)
+	return res, nil
+}

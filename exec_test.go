@@ -1,0 +1,182 @@
+package positdebug
+
+import (
+	"strings"
+	"testing"
+
+	"positdebug/internal/interp"
+	"positdebug/internal/obs"
+	"positdebug/internal/shadow"
+)
+
+// TestDeprecatedWrappersMatchExec: the Debug* compatibility wrappers are
+// thin delegations — every observable field must match the equivalent
+// Exec call.
+func TestDeprecatedWrappersMatchExec(t *testing.T) {
+	prog, err := Compile(fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shadow.DefaultConfig()
+
+	oldRes, err := prog.Debug(cfg, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := prog.Exec("main", WithShadow(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldRes.Value != newRes.Value || oldRes.Steps != newRes.Steps {
+		t.Fatalf("Debug wrapper diverged: value %d/%d steps %d/%d",
+			oldRes.Value, newRes.Value, oldRes.Steps, newRes.Steps)
+	}
+	for k := shadow.KindCancellation; k <= shadow.KindWrongOutput; k++ {
+		if oldRes.Summary.Counts[k] != newRes.Summary.Counts[k] {
+			t.Fatalf("count[%s] = %d via wrapper, %d via Exec", k,
+				oldRes.Summary.Counts[k], newRes.Summary.Counts[k])
+		}
+	}
+
+	_, nodes, err := prog.DebugHerbgrind(256, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := prog.Exec("main", WithHerbgrind(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes != hg.TraceNodes {
+		t.Fatalf("herbgrind wrapper: %d nodes, Exec: %d", nodes, hg.TraceNodes)
+	}
+
+	dbg, err := prog.NewDebugger(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := dbg.DebugWithLimits(interp.Limits{}, nil, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Value != newRes.Value {
+		t.Fatalf("session wrapper diverged: %d vs %d", warm.Value, newRes.Value)
+	}
+}
+
+// TestExecOptionConflicts: incompatible option combinations fail loudly
+// instead of silently picking a mode.
+func TestExecOptionConflicts(t *testing.T) {
+	prog, err := Compile(fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]Option{
+		{WithBaseline(), WithHerbgrind(256)},
+		{WithBaseline(), WithShadow(shadow.DefaultConfig())},
+		{WithHerbgrind(256), WithShadow(shadow.DefaultConfig())},
+		{WithBaseline(), WithSkip("f")},
+		{WithHerbgrind(256), WithHooksWrapper(func(h interp.Hooks) interp.Hooks { return h })},
+	}
+	for i, opts := range bad {
+		if _, err := prog.Exec("main", opts...); err == nil {
+			t.Fatalf("conflict set %d accepted", i)
+		}
+	}
+	if _, err := prog.Session(WithBaseline()); err == nil {
+		t.Fatal("Session must reject WithBaseline")
+	}
+	if _, err := prog.Session(WithLimits(interp.Limits{})); err == nil {
+		t.Fatal("Session must reject per-run options")
+	}
+	dbg, err := prog.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dbg.Exec("main", WithShadow(shadow.DefaultConfig())); err == nil {
+		t.Fatal("Debugger.Exec must reject WithShadow (fixed at Session time)")
+	}
+}
+
+// TestExecTraceAndMetrics: one shadow run with a sink and registry
+// attached produces run framing plus detections, and the registry picks
+// up the op and detection counters.
+func TestExecTraceAndMetrics(t *testing.T) {
+	prog, err := Compile(fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &obs.Buffer{}
+	reg := obs.NewRegistry()
+	res, err := prog.Exec("main", WithTrace(buf), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := buf.Events()
+	if len(events) < 3 {
+		t.Fatalf("got %d events, want run-start + detections + run-end", len(events))
+	}
+	if events[0].Kind != obs.EvRunStart || events[0].Func != "main" {
+		t.Fatalf("first event %+v, want run-start main", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Kind != obs.EvRunEnd || last.Outcome != "ok" {
+		t.Fatalf("last event %+v, want run-end ok", last)
+	}
+	sawDetect := false
+	for _, e := range events {
+		if e.Kind == obs.EvDetect {
+			sawDetect = true
+			if e.Detect == "" || e.Inst < 0 {
+				t.Fatalf("malformed detection event %+v", e)
+			}
+		}
+	}
+	if !sawDetect {
+		t.Fatal("fig2 must produce detection events")
+	}
+	if reg.Counter("pd_shadow_ops_total").Value() == 0 {
+		t.Fatal("pd_shadow_ops_total not incremented")
+	}
+	if reg.Counter("pd_runs_total").Value() != 1 {
+		t.Fatalf("pd_runs_total = %d, want 1", reg.Counter("pd_runs_total").Value())
+	}
+	kindName := shadow.KindCancellation.String()
+	if reg.Counter(`pd_detections_total{kind="`+kindName+`"}`).Value() == 0 {
+		t.Fatal("cancellation counter not incremented")
+	}
+	var prom strings.Builder
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "pd_op_nanos") {
+		t.Fatalf("per-opcode timing attribution missing from metrics dump:\n%s", prom.String())
+	}
+	_ = res
+}
+
+// TestExecDOTExport: the Summary of a traced run exports its DAGs as DOT
+// that passes the structural checker, and as JSON.
+func TestExecDOTExport(t *testing.T) {
+	prog, err := Compile(fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Exec("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Summary.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckDOT(sb.String()); err != nil {
+		t.Fatalf("exported DOT fails the checker: %v\n%s", err, sb.String())
+	}
+	j, err := res.Summary.GraphsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(j), `"nodes"`) {
+		t.Fatalf("graphs JSON missing nodes:\n%s", j)
+	}
+}

@@ -37,7 +37,7 @@ func TestInstrumentationTransparency(t *testing.T) {
 			{Precision: 128, Tracing: true, MaxReports: 2},
 			{Precision: 256, Tracing: false, MaxReports: 2},
 		} {
-			res, err := prog.Debug(cfg, "main")
+			res, err := prog.Exec("main", positdebug.WithShadow(cfg))
 			if err != nil {
 				t.Fatalf("trial %d: shadowed: %v\n%s", trial, err, src)
 			}
@@ -151,10 +151,11 @@ func FuzzInjector(f *testing.F) {
 		lim := interp.Limits{MaxSteps: 2_000_000, Timeout: 5 * time.Second}
 		run := func() (*positdebug.Result, []faultinject.Record, error) {
 			inj := faultinject.NewInjector(nil, model, seed)
-			res, err := prog.DebugWithLimits(cfg, lim, func(h interp.Hooks) interp.Hooks {
-				inj.Inner = h
-				return inj
-			}, "main")
+			res, err := prog.Exec("main", positdebug.WithShadow(cfg), positdebug.WithLimits(lim),
+				positdebug.WithHooksWrapper(func(h interp.Hooks) interp.Hooks {
+					inj.Inner = h
+					return inj
+				}))
 			return res, inj.Schedule(), err
 		}
 		res1, sched1, err1 := run()

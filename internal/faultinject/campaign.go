@@ -5,12 +5,14 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	positdebug "positdebug"
 	"positdebug/internal/interp"
-	"positdebug/internal/parallel"
 	"positdebug/internal/ir"
+	"positdebug/internal/obs"
+	"positdebug/internal/parallel"
 	"positdebug/internal/shadow"
 	"positdebug/internal/ulp"
 	"positdebug/internal/workloads"
@@ -73,6 +75,20 @@ type CampaignConfig struct {
 	MaskedBits int
 	// KeepSchedules embeds each run's fault schedule in the report.
 	KeepSchedules bool
+	// Trace, when set, receives the campaign's structured event stream:
+	// campaign/arch framing, then per run its run-start, inject and
+	// detection events (buffered per run and merged in run-index order) and
+	// a closing run-outcome. The stream is byte-identical between
+	// sequential and parallel executions of the same campaign.
+	Trace obs.Sink
+	// TraceWorkers additionally emits worker-start/worker-stop lifecycle
+	// events. These depend on GOMAXPROCS and arrive in scheduling order, so
+	// they are opt-in and excluded from the determinism guarantee.
+	TraceWorkers bool
+	// Metrics, when set, aggregates counters across all runs: shadow-oracle
+	// detections by kind, shadowed ops, steps, and campaign outcomes
+	// (pd_campaign_outcomes_total{outcome=...}).
+	Metrics *obs.Registry
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -116,6 +132,11 @@ type RunResult struct {
 	Injected  int      `json:"injected"` // faults actually injected
 	Schedule  []Record `json:"schedule,omitempty"`
 	Error     string   `json:"error,omitempty"`
+
+	// events is the run's buffered event stream (run-start, inject,
+	// detection, run-end), merged into CampaignConfig.Trace in run-index
+	// order by the campaign.
+	events []obs.Event
 }
 
 // Totals aggregates one architecture's outcomes.
@@ -219,12 +240,24 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 		return nil, fmt.Errorf("faultinject: unknown arch %q (want posit|float|both)", cfg.Arch)
 	}
 
+	if cfg.Trace != nil {
+		e := obs.NewEvent(obs.EvCampaignStart)
+		e.Name = cfg.Workload
+		e.Seed = cfg.Seed
+		cfg.Trace.Emit(e)
+	}
 	for _, arch := range arches {
 		ar, err := runArch(cfg, arch, src)
 		if err != nil {
 			return nil, fmt.Errorf("faultinject: %s: %w", arch, err)
 		}
 		rep.Arches = append(rep.Arches, *ar)
+	}
+	if cfg.Trace != nil {
+		e := obs.NewEvent(obs.EvCampaignEnd)
+		e.Name = cfg.Workload
+		e.Seed = cfg.Seed
+		cfg.Trace.Emit(e)
 	}
 	return rep, nil
 }
@@ -254,16 +287,19 @@ func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 	// run so large sweeps don't accumulate them (0 would mean unlimited).
 	scfg.MaxReports = 1
 	scfg.Tracing = false
+	scfg.Metrics = cfg.Metrics
 	lim := interp.Limits{Timeout: cfg.Timeout, MaxSteps: cfg.MaxSteps}
 
 	// Golden + calibration pass: the counting injector observes the
 	// eligible event stream without corrupting anything.
 	counter := NewInjector(nil, cfg.Model, 0)
 	counter.CountOnly = true
-	golden, err := prog.DebugWithLimits(scfg, lim, func(h interp.Hooks) interp.Hooks {
-		counter.Inner = h
-		return counter
-	}, "main")
+	golden, err := prog.Exec("main",
+		positdebug.WithShadow(scfg), positdebug.WithLimits(lim),
+		positdebug.WithHooksWrapper(func(h interp.Hooks) interp.Hooks {
+			counter.Inner = h
+			return counter
+		}))
 	if err != nil {
 		return nil, fmt.Errorf("golden run: %w", err)
 	}
@@ -279,24 +315,75 @@ func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 	if ar.Candidates == 0 {
 		return nil, fmt.Errorf("workload has no injectable events")
 	}
+	if cfg.Trace != nil {
+		e := obs.NewEvent(obs.EvArchStart)
+		e.Arch = arch
+		e.Program = fmt.Sprintf("%g", goldenF)
+		cfg.Trace.Emit(e)
+	}
+
+	// Worker lifecycle events arrive live, in scheduling order, guarded by
+	// a mutex — the one part of the stream that is GOMAXPROCS-dependent,
+	// which is why it is opt-in (see CampaignConfig.TraceWorkers).
+	var workerMu sync.Mutex
+	workerN := 0
+	newWorker := func() (*positdebug.Debugger, error) {
+		d, err := prog.Session(positdebug.WithShadow(scfg))
+		if err == nil && cfg.TraceWorkers && cfg.Trace != nil {
+			workerMu.Lock()
+			e := obs.NewEvent(obs.EvWorkerStart)
+			e.Worker = workerN
+			e.Arch = arch
+			workerN++
+			cfg.Trace.Emit(e)
+			workerMu.Unlock()
+		}
+		return d, err
+	}
 
 	// Fault-injected runs are pure functions of (cfg, run) — each run's
 	// randomness comes from Mix(cfg.Seed, run), not from shared stream
 	// state — so they shard freely across workers. Each worker keeps one
 	// warm Debugger (runtime + machine) across all its runs; results are
 	// merged by run index, making the report byte-identical to a
-	// sequential sweep. The golden run above already populated the
-	// program's instrumented-module cache, so worker construction is
+	// sequential sweep. When tracing, each run fills its own obs.Buffer,
+	// drained below in run-index order — that is what keeps the event
+	// stream byte-identical too. The golden run above already populated
+	// the program's instrumented-module cache, so worker construction is
 	// read-only on the Program.
-	results, err := parallel.MapWorker(cfg.Runs,
-		func() (*positdebug.Debugger, error) { return prog.NewDebugger(scfg) },
+	results, err := parallel.MapWorker(cfg.Runs, newWorker,
 		func(d *positdebug.Debugger, run int) (RunResult, error) {
 			return oneRun(cfg, d, scfg, lim, retType, goldenF, goldenCounts, ar.Candidates, run), nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	if cfg.TraceWorkers && cfg.Trace != nil {
+		// All workers have quiesced once MapWorker returns.
+		for w := 0; w < workerN; w++ {
+			e := obs.NewEvent(obs.EvWorkerStop)
+			e.Worker = w
+			e.Arch = arch
+			cfg.Trace.Emit(e)
+		}
+	}
 	for _, rr := range results {
+		if cfg.Trace != nil {
+			for _, e := range rr.events {
+				e.Run = rr.Run
+				cfg.Trace.Emit(e)
+			}
+			e := obs.NewEvent(obs.EvRunOutcome)
+			e.Run = rr.Run
+			e.Outcome = string(rr.Outcome)
+			e.ErrBits = rr.ErrBits
+			e.Seed = rr.Seed
+			cfg.Trace.Emit(e)
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter(`pd_campaign_outcomes_total{outcome="` + string(rr.Outcome) + `"}`).Inc()
+		}
+		rr.events = nil
 		if !cfg.KeepSchedules {
 			rr.Schedule = nil
 		}
@@ -331,10 +418,25 @@ func oneRun(cfg CampaignConfig, dbg *positdebug.Debugger, scfg shadow.Config, li
 	}
 	inj := NewInjector(nil, model, runSeed)
 
-	res, err := dbg.DebugWithLimits(lim, func(h interp.Hooks) interp.Hooks {
-		inj.Inner = h
-		return inj
-	}, "main")
+	opts := []positdebug.Option{
+		positdebug.WithLimits(lim),
+		positdebug.WithHooksWrapper(func(h interp.Hooks) interp.Hooks {
+			inj.Inner = h
+			return inj
+		}),
+	}
+	var buf *obs.Buffer
+	if cfg.Trace != nil {
+		// Stage this run's events in a private buffer; the campaign merges
+		// buffers in run-index order, stamping the run index.
+		buf = &obs.Buffer{}
+		inj.Events = buf
+		opts = append(opts, positdebug.WithTrace(buf))
+	}
+	res, err := dbg.Exec("main", opts...)
+	if buf != nil {
+		rr.events = append([]obs.Event(nil), buf.Events()...)
+	}
 	rr.Injected = len(inj.Schedule())
 	rr.Schedule = append([]Record(nil), inj.Schedule()...)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
+	"positdebug/internal/obs"
 )
 
 // Kind selects the corruption applied at an injection site.
@@ -218,6 +219,11 @@ type Injector struct {
 	// corrupting anything — the calibration pass campaigns use to size
 	// their occurrence sweeps.
 	CountOnly bool
+
+	// Events, when set, receives one obs.EvInject event per injected fault,
+	// in schedule order — interleaved with the shadow runtime's detection
+	// events when both share a sink.
+	Events obs.Sink
 }
 
 var (
@@ -286,6 +292,15 @@ func (j *Injector) Mutate(id int32, op ir.Op, typ ir.Type, bits uint64) (uint64,
 		Seq: j.candidates, InstID: id, Op: op.String(), Type: typ.String(),
 		Bit: bit, Before: bits, After: after,
 	})
+	if j.Events != nil {
+		e := obs.NewEvent(obs.EvInject)
+		e.Inst = id
+		e.Op = op.String()
+		e.Bit = bit
+		e.Before = fmt.Sprintf("0x%x", bits)
+		e.After = fmt.Sprintf("0x%x", after)
+		j.Events.Emit(e)
+	}
 	// Announce the corruption before the machine forwards the event, so
 	// metadata-propagating hooks (load/store/post-call) treat their clean
 	// shadow state as the reference instead of resyncing from the fault.

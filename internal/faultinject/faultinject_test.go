@@ -46,10 +46,12 @@ func injectedRun(t *testing.T, prog *positdebug.Program, model Model, seed int64
 	cfg.Tracing = false
 	cfg.MaxShadowBytes = budget
 	inj := NewInjector(nil, model, seed)
-	res, err := prog.DebugWithLimits(cfg, interp.Limits{Timeout: 10 * time.Second}, func(h interp.Hooks) interp.Hooks {
-		inj.Inner = h
-		return inj
-	}, "main")
+	res, err := prog.Exec("main", positdebug.WithShadow(cfg),
+		positdebug.WithLimits(interp.Limits{Timeout: 10 * time.Second}),
+		positdebug.WithHooksWrapper(func(h interp.Hooks) interp.Hooks {
+			inj.Inner = h
+			return inj
+		}))
 	if err != nil {
 		t.Fatalf("injected run: %v", err)
 	}
@@ -114,10 +116,11 @@ func TestCountOnly(t *testing.T) {
 	counter.CountOnly = true
 	cfg := shadow.DefaultConfig()
 	cfg.MaxReports = 0
-	res, err := prog.DebugWithLimits(cfg, interp.Limits{}, func(h interp.Hooks) interp.Hooks {
-		counter.Inner = h
-		return counter
-	}, "main")
+	res, err := prog.Exec("main", positdebug.WithShadow(cfg),
+		positdebug.WithHooksWrapper(func(h interp.Hooks) interp.Hooks {
+			counter.Inner = h
+			return counter
+		}))
 	if err != nil {
 		t.Fatalf("count-only run: %v", err)
 	}
@@ -127,7 +130,7 @@ func TestCountOnly(t *testing.T) {
 	if counter.Candidates() == 0 {
 		t.Fatal("count-only run saw no eligible events")
 	}
-	base, err := prog.Debug(cfg, "main")
+	base, err := prog.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		t.Fatalf("baseline: %v", err)
 	}
@@ -223,7 +226,7 @@ func TestInjectionVisibleToOracle(t *testing.T) {
 	}
 	cfg := shadow.DefaultConfig()
 	cfg.Tracing = false
-	base, err := prog.Debug(cfg, "main")
+	base, err := prog.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		t.Fatalf("baseline: %v", err)
 	}

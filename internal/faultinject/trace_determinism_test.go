@@ -1,0 +1,89 @@
+package faultinject
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"positdebug/internal/obs"
+)
+
+// TestCampaignTraceParallelDeterminism: the campaign's structured event
+// stream (JSON lines) is byte-identical whether the runs execute on one
+// worker or are sharded across four. Events carry no timestamps and are
+// buffered per run, then merged in run-index order by the campaign; the
+// terminal sink assigns the sequence numbers — so scheduling cannot leak
+// into the trace. Worker lifecycle events are excluded by default precisely
+// because they would break this.
+func TestCampaignTraceParallelDeterminism(t *testing.T) {
+	runAt := func(procs int) (string, int) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		var out bytes.Buffer
+		sink := obs.NewJSONLines(&out)
+		cfg := CampaignConfig{
+			Workload: "polybench/gemm", N: 8, Runs: 12, Seed: 7,
+			Trace: sink,
+		}
+		if _, err := RunCampaign(cfg); err != nil {
+			t.Fatalf("campaign at GOMAXPROCS=%d: %v", procs, err)
+		}
+		if sink.Err() != nil {
+			t.Fatalf("sink error: %v", sink.Err())
+		}
+		return out.String(), int(sink.Count())
+	}
+	seq, nSeq := runAt(1)
+	par, nPar := runAt(4)
+	if seq != par {
+		t.Fatalf("parallel campaign trace diverged from sequential (%d vs %d events):\n--- GOMAXPROCS=1 ---\n%s\n--- GOMAXPROCS=4 ---\n%s",
+			nSeq, nPar, seq, par)
+	}
+	// The trace must also be schema-valid and non-trivial: campaign
+	// framing + one run-start/run-end/run-outcome triple per run at least.
+	n, err := obs.ValidateJSONLines(bytes.NewReader([]byte(seq)))
+	if err != nil {
+		t.Fatalf("trace schema: %v", err)
+	}
+	if want := 2 + 1 + 3*12; n < want {
+		t.Fatalf("trace has %d events, want at least %d", n, want)
+	}
+}
+
+// TestCampaignTraceWorkers: the opt-in worker lifecycle events appear and
+// the rest of the stream still validates (seq numbering intact).
+func TestCampaignTraceWorkers(t *testing.T) {
+	var out bytes.Buffer
+	sink := obs.NewJSONLines(&out)
+	cfg := CampaignConfig{
+		Workload: "polybench/gemm", N: 8, Runs: 4, Seed: 3,
+		Trace: sink, TraceWorkers: true,
+	}
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateJSONLines(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("trace schema: %v", err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte(`"worker-start"`)) ||
+		!bytes.Contains(out.Bytes(), []byte(`"worker-stop"`)) {
+		t.Fatalf("worker lifecycle events missing:\n%s", out.String())
+	}
+}
+
+// TestCampaignTraceInjectEvents: injected faults show up as inject events
+// stamped with their run index, interleaved before the run's outcome.
+func TestCampaignTraceInjectEvents(t *testing.T) {
+	var out bytes.Buffer
+	sink := obs.NewJSONLines(&out)
+	cfg := CampaignConfig{
+		Workload: "polybench/gemm", N: 8, Runs: 6, Seed: 11,
+		Trace: sink,
+	}
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte(`"kind":"inject"`)) {
+		t.Fatalf("no inject events in trace:\n%s", out.String())
+	}
+}

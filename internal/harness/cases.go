@@ -52,7 +52,7 @@ func RunRootCount() (*CaseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := prog.Debug(shadow.DefaultConfig(), "main")
+	res, err := prog.Exec("main", positdebug.WithShadow(shadow.DefaultConfig()))
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +75,7 @@ func RunCordic(theta float64) (*CaseResult, error) {
 	}
 	cfg := shadow.DefaultConfig()
 	cfg.OutputThreshold = 40
-	res, err := prog.Debug(cfg, "main")
+	res, err := prog.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -103,11 +103,11 @@ func RunSimpson(n int) (*CaseResult, error) {
 		return nil, err
 	}
 	cfg := shadow.DefaultConfig()
-	resN, err := naive.Debug(cfg, "main")
+	resN, err := naive.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		return nil, err
 	}
-	resF, err := fused.Debug(cfg, "main")
+	resF, err := fused.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +136,7 @@ func RunQuadratic() (*CaseResult, error) {
 	cfg := shadow.DefaultConfig()
 	cfg.PrecisionLossThreshold = 5
 	cfg.OutputThreshold = 30
-	res, err := prog.Debug(cfg, "main")
+	res, err := prog.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	positdebug "positdebug"
+	"positdebug/internal/obs"
 	"positdebug/internal/parallel"
 	"positdebug/internal/posit"
 	"positdebug/internal/shadow"
@@ -33,7 +34,7 @@ func Fig7(opts Options) (*Table, error) {
 		for _, prec := range []uint{512, 256, 128} {
 			cfg := shadowConfig(prec, true)
 			d, err := measure(opts.repeats(), func() error {
-				_, err := c.pos.Debug(cfg, "main")
+				_, err := c.pos.Exec("main", positdebug.WithShadow(cfg))
 				return err
 			})
 			if err != nil {
@@ -65,7 +66,7 @@ func Fig8(opts Options) (*Table, error) {
 		for _, tracing := range []bool{true, false} {
 			cfg := shadowConfig(256, tracing)
 			d, err := measure(opts.repeats(), func() error {
-				_, err := c.pos.Debug(cfg, "main")
+				_, err := c.pos.Exec("main", positdebug.WithShadow(cfg))
 				return err
 			})
 			if err != nil {
@@ -97,7 +98,7 @@ func Fig9(opts Options) (*Table, error) {
 		for _, prec := range []uint{512, 256, 128} {
 			cfg := shadowConfig(prec, true)
 			d, err := measure(opts.repeats(), func() error {
-				_, err := c.fp.Debug(cfg, "main")
+				_, err := c.fp.Exec("main", positdebug.WithShadow(cfg))
 				return err
 			})
 			if err != nil {
@@ -129,7 +130,7 @@ func Fig10(opts Options) (*Table, error) {
 		for _, tracing := range []bool{true, false} {
 			cfg := shadowConfig(256, tracing)
 			d, err := measure(opts.repeats(), func() error {
-				_, err := c.fp.Debug(cfg, "main")
+				_, err := c.fp.Exec("main", positdebug.WithShadow(cfg))
 				return err
 			})
 			if err != nil {
@@ -208,14 +209,14 @@ func HerbgrindTable(opts Options) (*Table, error) {
 		}
 		cfg := shadowConfig(256, true)
 		fps, err := measure(opts.repeats(), func() error {
-			_, err := c.fp.Debug(cfg, "main")
+			_, err := c.fp.Exec("main", positdebug.WithShadow(cfg))
 			return err
 		})
 		if err != nil {
 			return Row{}, err
 		}
 		hg, err := measure(opts.repeats(), func() error {
-			_, _, err := c.fp.DebugHerbgrind(256, "main")
+			_, err := c.fp.Exec("main", positdebug.WithHerbgrind(256))
 			return err
 		})
 		if err != nil {
@@ -301,10 +302,13 @@ type DetectionResult struct {
 }
 
 // detectionOutcome carries one program's row plus the summary it was built
-// from, so aggregation can stay in the deterministic sequential tail.
+// from, so aggregation can stay in the deterministic sequential tail. When
+// tracing, events holds the program's buffered event stream, merged into
+// the sink in suite order after the parallel phase.
 type detectionOutcome struct {
-	row DetectionRow
-	sum *shadow.Summary
+	row    DetectionRow
+	sum    *shadow.Summary
+	events []obs.Event
 }
 
 // RunDetection executes the whole 32-program suite under PositDebug and
@@ -313,7 +317,24 @@ type detectionOutcome struct {
 // kinds listed in enum order, making the table byte-identical to a
 // sequential run.
 func RunDetection() (*DetectionResult, error) {
+	return RunDetectionObs(nil, nil)
+}
+
+// RunDetectionObs is RunDetection with observability attached: each
+// program's shadow events (run framing plus detections) are staged in a
+// per-case buffer and drained into sink in suite order, with Run stamped
+// to the suite index. Because events carry no timestamps and sequence
+// numbers are assigned by the terminal sink at merge time, the stream is
+// byte-identical no matter how the suite shards across CPUs. A nil sink
+// disables tracing; a nil registry disables metrics. Either may be set
+// independently.
+func RunDetectionObs(sink obs.Sink, reg *obs.Registry) (*DetectionResult, error) {
 	suite := workloads.Suite()
+	if sink != nil {
+		e := obs.NewEvent(obs.EvCampaignStart)
+		e.Name = "detection-suite"
+		sink.Emit(e)
+	}
 	outcomes, err := parallel.Map(len(suite), func(i int) (detectionOutcome, error) {
 		p := suite[i]
 		src := p.Source
@@ -332,7 +353,16 @@ func RunDetection() (*DetectionResult, error) {
 		cfg.ErrBitsThreshold = 35
 		cfg.OutputThreshold = 35
 		cfg.PrecisionLossThreshold = 8
-		res, err := prog.Debug(cfg, "main")
+		opts := []positdebug.Option{positdebug.WithShadow(cfg)}
+		var buf *obs.Buffer
+		if sink != nil {
+			buf = &obs.Buffer{}
+			opts = append(opts, positdebug.WithTrace(buf))
+		}
+		if reg != nil {
+			opts = append(opts, positdebug.WithMetrics(reg))
+		}
+		res, err := prog.Exec("main", opts...)
 		if err != nil {
 			return detectionOutcome{}, fmt.Errorf("%s: %w", p.Name, err)
 		}
@@ -353,14 +383,24 @@ func RunDetection() (*DetectionResult, error) {
 				row.DAGSize = s
 			}
 		}
-		return detectionOutcome{row: row, sum: sum}, nil
+		oc := detectionOutcome{row: row, sum: sum}
+		if buf != nil {
+			oc.events = append([]obs.Event(nil), buf.Events()...)
+		}
+		return oc, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	out := &DetectionResult{}
-	for _, oc := range outcomes {
+	for i, oc := range outcomes {
+		if sink != nil {
+			for _, e := range oc.events {
+				e.Run = i
+				sink.Emit(e)
+			}
+		}
 		row, sum := oc.row, oc.sum
 		out.Rows = append(out.Rows, row)
 
@@ -398,6 +438,11 @@ func RunDetection() (*DetectionResult, error) {
 		if row.DAGSize > out.LargestDAG {
 			out.LargestDAG = row.DAGSize
 		}
+	}
+	if sink != nil {
+		e := obs.NewEvent(obs.EvCampaignEnd)
+		e.Name = "detection-suite"
+		sink.Emit(e)
 	}
 	return out, nil
 }
@@ -457,7 +502,7 @@ func KernelErrors(opts Options, thresholdBits int) ([]KernelErrorRow, error) {
 		cfg.ErrBitsThreshold = thresholdBits
 		cfg.OutputThreshold = thresholdBits
 		cfg.MaxReports = 1
-		res, err := c.pos.Debug(cfg, "main")
+		res, err := c.pos.Exec("main", positdebug.WithShadow(cfg))
 		if err != nil {
 			return KernelErrorRow{}, fmt.Errorf("%s: %w", k.Name, err)
 		}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"positdebug/internal/obs"
+	"positdebug/internal/shadow"
+)
+
+// TestDetectionTraceParallelDeterminism: the §5.1 detection suite's event
+// stream is byte-identical whether the 32 programs run on one CPU or
+// shard across four. Each program's events are staged in a private buffer
+// during the parallel phase and drained into the terminal sink in suite
+// order, so scheduling cannot reorder the stream; events carry no
+// timestamps and the sink assigns sequence numbers at merge time.
+func TestDetectionTraceParallelDeterminism(t *testing.T) {
+	runAt := func(procs int) (string, int) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		var out bytes.Buffer
+		sink := obs.NewJSONLines(&out)
+		if _, err := RunDetectionObs(sink, nil); err != nil {
+			t.Fatalf("detection suite at GOMAXPROCS=%d: %v", procs, err)
+		}
+		if sink.Err() != nil {
+			t.Fatalf("sink error: %v", sink.Err())
+		}
+		return out.String(), int(sink.Count())
+	}
+	seq, nSeq := runAt(1)
+	par, nPar := runAt(4)
+	if seq != par {
+		t.Fatalf("parallel detection trace diverged from sequential (%d vs %d events)", nSeq, nPar)
+	}
+	n, err := obs.ValidateJSONLines(bytes.NewReader([]byte(seq)))
+	if err != nil {
+		t.Fatalf("trace schema: %v", err)
+	}
+	// Campaign framing plus at least run-start/run-end per suite program,
+	// and the suite is known to produce detections on top of that.
+	if want := 2 + 2*32; n < want {
+		t.Fatalf("trace has %d events, want at least %d", n, want)
+	}
+	if !bytes.Contains([]byte(seq), []byte(`"kind":"detection"`)) {
+		t.Fatalf("no detection events in suite trace")
+	}
+}
+
+// TestDetectionObsMetrics: running the suite with a registry populates the
+// shared counters; the same registry is safe to bind across the parallel
+// workers because every update is an atomic add.
+func TestDetectionObsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	if _, err := RunDetectionObs(nil, reg); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("pd_runs_total").Value(); got < 32 {
+		t.Fatalf("pd_runs_total = %d, want >= 32", got)
+	}
+	if got := reg.Counter("pd_shadow_ops_total").Value(); got == 0 {
+		t.Fatalf("pd_shadow_ops_total = 0, want > 0")
+	}
+	var dets int64
+	for k := shadow.KindCancellation; k <= shadow.KindWrongOutput; k++ {
+		dets += reg.Counter(`pd_detections_total{kind="` + k.String() + `"}`).Value()
+	}
+	if dets == 0 {
+		t.Fatalf("no detections counted across the suite")
+	}
+}

@@ -38,6 +38,9 @@ type Machine struct {
 	Out      io.Writer // print destination; nil discards
 	Trace    io.Writer // when set, every executed instruction is logged
 	MaxSteps int64     // instruction budget; 0 means DefaultMaxSteps
+	// Prof, when set, accumulates per-opcode counts and wall time (see
+	// OpProfile). Nil disables the two clock reads per instruction.
+	Prof *OpProfile
 
 	mem    []byte
 	sp     uint32
@@ -350,6 +353,10 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 		if m.Trace != nil {
 			fmt.Fprintf(m.Trace, "%s b%d: %s\n", fn.Name, b, in)
 		}
+		var opStart time.Time
+		if m.Prof != nil {
+			opStart = time.Now()
+		}
 		switch in.Op {
 		case ir.OpNop:
 		case ir.OpConst:
@@ -515,6 +522,9 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 				regs[in.Dst], regs[in.Args[0]], regs[in.Args[1]], regs[in.Args[2]])
 		default:
 			return 0, m.trap(fn, "unknown opcode %v", in.Op)
+		}
+		if m.Prof != nil {
+			m.Prof.observe(in.Op, time.Since(opStart))
 		}
 	}
 }

@@ -1,0 +1,78 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"positdebug/internal/ir"
+)
+
+// numOps sizes the per-opcode arrays; OpShadowFMA is the last opcode.
+const numOps = int(ir.OpShadowFMA) + 1
+
+// OpProfile attributes execution time and counts to opcodes — the
+// hot-instruction view behind `pd -metrics`. Attach one to Machine.Prof;
+// timing costs two clock reads per instruction, so leave it nil when not
+// profiling. OpCall time is inclusive of the callee; returns and trapping
+// instructions exit the dispatch loop before attribution and are not
+// counted.
+type OpProfile struct {
+	Counts [numOps]int64
+	Nanos  [numOps]int64
+}
+
+func (p *OpProfile) observe(op ir.Op, d time.Duration) {
+	p.Counts[op]++
+	p.Nanos[op] += int64(d)
+}
+
+// OpStat is one row of the profile.
+type OpStat struct {
+	Op    ir.Op
+	Count int64
+	Nanos int64
+}
+
+// Stats returns the nonzero rows, most time first (count breaks ties, then
+// opcode order so the output is deterministic).
+func (p *OpProfile) Stats() []OpStat {
+	var out []OpStat
+	for op := 0; op < numOps; op++ {
+		if p.Counts[op] == 0 {
+			continue
+		}
+		out = append(out, OpStat{Op: ir.Op(op), Count: p.Counts[op], Nanos: p.Nanos[op]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos > out[j].Nanos
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// String renders the profile as an aligned table.
+func (p *OpProfile) String() string {
+	var sb strings.Builder
+	sb.WriteString("per-opcode timing attribution:\n")
+	for _, s := range p.Stats() {
+		avg := int64(0)
+		if s.Count > 0 {
+			avg = s.Nanos / s.Count
+		}
+		fmt.Fprintf(&sb, "  %-18s %10d ops  %12s total  %8s/op\n",
+			s.Op, s.Count, time.Duration(s.Nanos), time.Duration(avg))
+	}
+	return sb.String()
+}
+
+// Reset zeroes the profile for reuse across runs.
+func (p *OpProfile) Reset() {
+	*p = OpProfile{}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Graph is a machine-readable error DAG: nodes are instructions that
+// contributed to a detected error, edges point from an instruction to the
+// operands it consumed. It serializes to Graphviz DOT and to JSON, next to
+// the shadow runtime's pretty-printer.
+type Graph struct {
+	// Name labels the graph (DOT graph id); sanitized on output.
+	Name string `json:"name,omitempty"`
+	// Label is a free-form caption (detection kind, position, error bits).
+	Label string `json:"label,omitempty"`
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// Node is one DAG vertex.
+type Node struct {
+	// ID is unique within the graph. Negative-instruction placeholders
+	// (arguments, constants folded away) get synthetic ids.
+	ID int `json:"id"`
+	// Inst is the static instruction id, −1 for synthetic nodes.
+	Inst int32 `json:"inst"`
+	// Op is the opcode mnemonic.
+	Op string `json:"op,omitempty"`
+	// Pos is the source position (file:line:col) when known.
+	Pos string `json:"pos,omitempty"`
+	// Program and Shadow are the computed and high-precision values.
+	Program string `json:"program,omitempty"`
+	Shadow  string `json:"shadow,omitempty"`
+	// ErrBits is the bits-of-error at this node.
+	ErrBits int `json:"err_bits"`
+	// Root marks the node the detection fired on.
+	Root bool `json:"root,omitempty"`
+}
+
+// Edge is one DAG arc from a consumer instruction to an operand.
+type Edge struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// dotEscape makes a string safe inside a double-quoted DOT string.
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// WriteDOT writes the graph in Graphviz DOT syntax. Output is fully
+// deterministic: nodes sort by id, edges by (from, to).
+func (g *Graph) WriteDOT(w io.Writer) error {
+	name := g.Name
+	if name == "" {
+		name = "errdag"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", name); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  rankdir=BT;\n")
+	fmt.Fprintf(w, "  node [shape=box, fontname=\"monospace\"];\n")
+	if g.Label != "" {
+		fmt.Fprintf(w, "  label=\"%s\";\n", dotEscape(g.Label))
+	}
+
+	nodes := append([]Node(nil), g.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		var parts []string
+		if n.Op != "" {
+			parts = append(parts, n.Op)
+		}
+		if n.Pos != "" {
+			parts = append(parts, n.Pos)
+		}
+		if n.Program != "" || n.Shadow != "" {
+			parts = append(parts, fmt.Sprintf("P=%s S=%s", n.Program, n.Shadow))
+		}
+		parts = append(parts, fmt.Sprintf("err=%d bits", n.ErrBits))
+		attrs := fmt.Sprintf("label=\"%s\"", dotEscape(strings.Join(parts, "\n")))
+		if n.Root {
+			attrs += ", style=filled, fillcolor=\"#ffdddd\""
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s];\n", n.ID, attrs); err != nil {
+			return err
+		}
+	}
+
+	edges := append([]Edge(nil), g.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", e.From, e.To); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// DOT renders the graph as a DOT string.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	_ = g.WriteDOT(&sb)
+	return sb.String()
+}
+
+// WriteDOTAll writes several graphs as one DOT file: a single digraph with
+// one cluster subgraph per DAG, so `dot -Tsvg` renders the whole detection
+// report at once.
+func WriteDOTAll(w io.Writer, name string, graphs []Graph) error {
+	if name == "" {
+		name = "errdags"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", name); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  rankdir=BT;\n")
+	fmt.Fprintf(w, "  node [shape=box, fontname=\"monospace\"];\n")
+	for gi, g := range graphs {
+		fmt.Fprintf(w, "  subgraph cluster_%d {\n", gi)
+		if g.Label != "" {
+			fmt.Fprintf(w, "    label=\"%s\";\n", dotEscape(g.Label))
+		}
+		nodes := append([]Node(nil), g.Nodes...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+		for _, n := range nodes {
+			var parts []string
+			if n.Op != "" {
+				parts = append(parts, n.Op)
+			}
+			if n.Pos != "" {
+				parts = append(parts, n.Pos)
+			}
+			parts = append(parts, fmt.Sprintf("err=%d bits", n.ErrBits))
+			attrs := fmt.Sprintf("label=\"%s\"", dotEscape(strings.Join(parts, "\n")))
+			if n.Root {
+				attrs += ", style=filled, fillcolor=\"#ffdddd\""
+			}
+			if _, err := fmt.Fprintf(w, "    g%dn%d [%s];\n", gi, n.ID, attrs); err != nil {
+				return err
+			}
+		}
+		edges := append([]Edge(nil), g.Edges...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		for _, e := range edges {
+			if _, err := fmt.Fprintf(w, "    g%dn%d -> g%dn%d;\n", gi, e.From, gi, e.To); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "  }"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// CheckDOT is a lightweight structural validator for the DOT we emit —
+// enough for CI to catch a broken writer without depending on graphviz:
+// it requires a digraph header, balanced braces/brackets, balanced quotes
+// per line, and a closing brace.
+func CheckDOT(src string) error {
+	trimmed := strings.TrimSpace(src)
+	if !strings.HasPrefix(trimmed, "digraph") {
+		return fmt.Errorf("dot: missing digraph header")
+	}
+	braces, brackets := 0, 0
+	for ln, line := range strings.Split(src, "\n") {
+		inQuote := false
+		esc := false
+		for _, r := range line {
+			if esc {
+				esc = false
+				continue
+			}
+			switch r {
+			case '\\':
+				if inQuote {
+					esc = true
+				}
+			case '"':
+				inQuote = !inQuote
+			case '{':
+				if !inQuote {
+					braces++
+				}
+			case '}':
+				if !inQuote {
+					braces--
+				}
+			case '[':
+				if !inQuote {
+					brackets++
+				}
+			case ']':
+				if !inQuote {
+					brackets--
+				}
+			}
+		}
+		if inQuote {
+			return fmt.Errorf("dot: unbalanced quote on line %d", ln+1)
+		}
+		if braces < 0 {
+			return fmt.Errorf("dot: unmatched '}' on line %d", ln+1)
+		}
+		if brackets < 0 {
+			return fmt.Errorf("dot: unmatched ']' on line %d", ln+1)
+		}
+	}
+	if braces != 0 {
+		return fmt.Errorf("dot: %d unclosed '{'", braces)
+	}
+	if brackets != 0 {
+		return fmt.Errorf("dot: %d unclosed '['", brackets)
+	}
+	return nil
+}

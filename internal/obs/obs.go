@@ -1,0 +1,105 @@
+// Package obs is the observability layer behind the option-based run API:
+// a structured event stream with pluggable sinks, a metrics registry
+// (counters and histograms exported via expvar and a Prometheus-style text
+// dump), and machine-readable graph export (Graphviz DOT, JSON) for the
+// error DAGs the shadow runtime produces.
+//
+// Determinism is a first-class constraint, matching internal/parallel's
+// contract: events carry no wall-clock timestamps, and sequence numbers are
+// assigned by the terminal sink, so a parallel campaign that buffers events
+// per run and merges them in run-index order produces a byte-identical
+// trace to a sequential one. Scheduling-dependent events (worker lifecycle)
+// are segregated behind explicit opt-ins so the canonical stream stays
+// reproducible across GOMAXPROCS settings.
+package obs
+
+// Event kinds. Every event in a trace carries exactly one of these.
+const (
+	// EvRunStart opens one program execution (fields: Func, Precision,
+	// and Seed/Arch when a campaign stamps them).
+	EvRunStart = "run-start"
+	// EvRunEnd closes one program execution (fields: Steps, Precision,
+	// Outcome "ok"/"degraded"/"error").
+	EvRunEnd = "run-end"
+	// EvDetect is one shadow-oracle detection (fields: Detect, Inst, Func,
+	// Pos, ErrBits, Program, Shadow). Saturation and NaR exceptions are
+	// detections with the corresponding Detect kind.
+	EvDetect = "detection"
+	// EvDegrade marks a shadow-memory-budget retry at a lower precision
+	// (fields: Precision = the new, reduced precision).
+	EvDegrade = "degrade"
+	// EvInject is one injected fault (fields: Inst, Op, Bit, Before,
+	// After), emitted in schedule order interleaved with detections.
+	EvInject = "inject"
+	// EvRunOutcome is a campaign's classification of one run (fields: Run,
+	// Outcome masked/sdc/detected/crashed/hung, ErrBits, Seed).
+	EvRunOutcome = "run-outcome"
+	// EvWorkerStart / EvWorkerStop bracket one worker's lifetime (field:
+	// Worker). They depend on GOMAXPROCS, so campaigns only emit them on
+	// explicit opt-in, outside the deterministic canonical stream.
+	EvWorkerStart = "worker-start"
+	EvWorkerStop  = "worker-stop"
+	// EvCampaignStart / EvCampaignEnd bracket a fault-injection campaign
+	// (fields: Name = workload, Seed).
+	EvCampaignStart = "campaign-start"
+	EvCampaignEnd   = "campaign-end"
+	// EvArchStart opens one architecture's half of a campaign (fields:
+	// Arch, Program = formatted golden value).
+	EvArchStart = "arch-start"
+)
+
+// Event is one observability record. The zero value is not valid; use
+// NewEvent so the "absent" sentinels (Run = −1, Inst = −1) are in place.
+// Fields are a fixed superset across kinds — see the Ev* constants for
+// which fields each kind populates — so one JSON-lines schema covers the
+// whole stream.
+type Event struct {
+	// Seq is assigned by the terminal sink, 1-based and strictly
+	// increasing within one trace.
+	Seq uint64 `json:"seq"`
+	// Kind is one of the Ev* constants.
+	Kind string `json:"kind"`
+	// Run is the campaign run index (0-based); −1 outside campaigns.
+	Run int `json:"run"`
+	// Inst is the static instruction id; −1 when not tied to one.
+	Inst int32 `json:"inst"`
+
+	Op        string `json:"op,omitempty"`
+	Func      string `json:"func,omitempty"`
+	Pos       string `json:"pos,omitempty"`
+	Detect    string `json:"detect,omitempty"`
+	ErrBits   int    `json:"err_bits,omitempty"`
+	Program   string `json:"program,omitempty"`
+	Shadow    string `json:"shadow,omitempty"`
+	Arch      string `json:"arch,omitempty"`
+	Name      string `json:"name,omitempty"`
+	Outcome   string `json:"outcome,omitempty"`
+	Steps     int64  `json:"steps,omitempty"`
+	Precision uint   `json:"precision,omitempty"`
+	Worker    int    `json:"worker,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Bit       int    `json:"bit,omitempty"`
+	// Before/After are bit patterns rendered as 0x-prefixed hex so 64-bit
+	// values survive JSON number precision.
+	Before string `json:"before,omitempty"`
+	After  string `json:"after,omitempty"`
+}
+
+// NewEvent returns an event of the kind with the absent-field sentinels
+// set.
+func NewEvent(kind string) Event {
+	return Event{Kind: kind, Run: -1, Inst: -1}
+}
+
+// Sink consumes events. Implementations must tolerate events arriving from
+// a single goroutine at a time; concurrent producers buffer per shard (see
+// Buffer) and merge deterministically.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// knownKinds is the closed event taxonomy; ValidateJSONLines rejects
+// anything outside it so schema drift fails CI instead of silently passing.
+var knownKinds = map[string]bool{
+	EvRunStart:      true,
+	EvRunEnd:        true,
+	EvDetect:        true,
+	EvDegrade:       true,
+	EvInject:        true,
+	EvRunOutcome:    true,
+	EvWorkerStart:   true,
+	EvWorkerStop:    true,
+	EvCampaignStart: true,
+	EvCampaignEnd:   true,
+	EvArchStart:     true,
+}
+
+// ValidateJSONLines checks a JSON-lines trace against the event schema:
+// every line parses as an Event with no unknown fields, kinds come from the
+// closed taxonomy, sequence numbers start at 1 and increase strictly by 1,
+// and per-kind required fields are present. Returns the number of valid
+// events, or the first violation.
+func ValidateJSONLines(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		n    int
+		prev uint64
+	)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		dec := json.NewDecoder(newByteReader(line))
+		dec.DisallowUnknownFields()
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return n, fmt.Errorf("line %d: %v", n, err)
+		}
+		if err := checkEvent(e, prev); err != nil {
+			return n, fmt.Errorf("line %d: %v", n, err)
+		}
+		prev = e.Seq
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("trace: empty")
+	}
+	return n, nil
+}
+
+func checkEvent(e Event, prev uint64) error {
+	if !knownKinds[e.Kind] {
+		return fmt.Errorf("unknown kind %q", e.Kind)
+	}
+	if e.Seq != prev+1 {
+		return fmt.Errorf("seq %d after %d (must increase by 1 from 1)", e.Seq, prev)
+	}
+	switch e.Kind {
+	case EvRunStart:
+		if e.Func == "" {
+			return fmt.Errorf("%s: missing func", e.Kind)
+		}
+	case EvRunEnd:
+		if e.Outcome == "" {
+			return fmt.Errorf("%s: missing outcome", e.Kind)
+		}
+	case EvDetect:
+		if e.Detect == "" {
+			return fmt.Errorf("%s: missing detect", e.Kind)
+		}
+	case EvDegrade:
+		if e.Precision == 0 {
+			return fmt.Errorf("%s: missing precision", e.Kind)
+		}
+	case EvInject:
+		if e.Inst < 0 {
+			return fmt.Errorf("%s: missing inst", e.Kind)
+		}
+	case EvRunOutcome:
+		if e.Outcome == "" {
+			return fmt.Errorf("%s: missing outcome", e.Kind)
+		}
+		if e.Run < 0 {
+			return fmt.Errorf("%s: missing run", e.Kind)
+		}
+	case EvCampaignStart, EvCampaignEnd:
+		if e.Name == "" {
+			return fmt.Errorf("%s: missing name", e.Kind)
+		}
+	case EvArchStart:
+		if e.Arch == "" {
+			return fmt.Errorf("%s: missing arch", e.Kind)
+		}
+	}
+	return nil
+}
+
+// newByteReader avoids importing bytes just for a one-shot reader.
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}

@@ -2,6 +2,8 @@ package shadow
 
 import (
 	"testing"
+
+	"positdebug/internal/obs"
 )
 
 // allocSrc exercises the whole hot path — loads, stores, binops, a call per
@@ -45,6 +47,72 @@ func TestWarmRuntimeAllocs(t *testing.T) {
 	})
 	if n != 0 {
 		t.Errorf("warm shadow-execution run allocates %v/op, want 0", n)
+	}
+}
+
+// TestWarmRuntimeAllocsEventsAttached: attaching an event sink and a
+// metrics registry must not cost the warm path anything when no detector
+// fires — events are only built on detection, and metric updates are
+// cached-pointer atomic adds plus one map read for the per-instruction
+// histogram. AllocsPerRun must stay at zero with tracing observability
+// enabled but quiet.
+func TestWarmRuntimeAllocsEventsAttached(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Events = obs.NewRing(64)
+	cfg.Metrics = obs.NewRegistry()
+	_, m := buildPipeline(t, allocSrc, cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("warmup run: %v", err)
+		}
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("warm run with sink+metrics attached allocates %v/op, want 0", n)
+	}
+}
+
+// allocDetectSrc trips the cancellation detector every run, so each run
+// emits detection events into the sink.
+const allocDetectSrc = `
+func main(): p32 {
+	var big: p32 = 16777216.0;
+	var one: p32 = 1.0;
+	var x: p32 = (big + one) - big;
+	return x;
+}
+`
+
+// TestWarmRuntimeAllocsRingSinkBounded: with a detection-emitting program
+// and a ring sink, per-run allocations stay bounded — the ring evicts
+// rather than grows, so a long campaign with tracing enabled has constant
+// memory. The bound is deliberately loose (event construction does
+// allocate strings); the property under test is boundedness, not zero.
+func TestWarmRuntimeAllocsRingSinkBounded(t *testing.T) {
+	ring := obs.NewRing(8)
+	cfg := DefaultConfig()
+	cfg.MaxReports = 1
+	cfg.Events = ring
+	_, m := buildPipeline(t, allocDetectSrc, cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("warmup run: %v", err)
+		}
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, err := m.Run("main"); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if n > 500 {
+		t.Errorf("warm detecting run with ring sink allocates %v/op, want bounded (<= 500)", n)
+	}
+	if ring.Len() > 8 {
+		t.Errorf("ring holds %d events, cap 8", ring.Len())
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
+	"positdebug/internal/obs"
 	"positdebug/internal/posit"
 	"positdebug/internal/ulp"
 )
@@ -20,11 +21,30 @@ type errInfo struct {
 	root    *TempMeta
 }
 
-func (r *Runtime) count(k Kind) { r.counts[k]++ }
+func (r *Runtime) count(k Kind) {
+	r.counts[k]++
+	if c := r.metDet[k]; c != nil {
+		c.Inc()
+	}
+}
 
 // emit materializes a detailed report (respecting the cap) and invokes the
-// user callback.
+// user callback. The event stream, when bound, sees every detection — it is
+// not subject to MaxReports; a bounded sink (obs.Ring) bounds memory
+// instead.
 func (r *Runtime) emit(k Kind, inst int32, info errInfo) {
+	if r.events != nil {
+		em := r.mod.Meta(inst)
+		e := obs.NewEvent(obs.EvDetect)
+		e.Detect = k.String()
+		e.Inst = inst
+		e.Func = em.Func
+		e.Pos = metaPos(em)
+		e.ErrBits = info.errBits
+		e.Program = info.program
+		e.Shadow = info.shadow
+		r.events.Emit(e)
+	}
 	if r.cfg.OnError == nil && r.cfg.MaxReports > 0 && len(r.reports) >= r.cfg.MaxReports {
 		return
 	}
@@ -97,6 +117,12 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 	d.Err = int32(bits)
 	if bits > r.maxOpErr {
 		r.maxOpErr = bits
+	}
+	if r.metErrHist != nil {
+		r.metErrHist.Observe(bits)
+		if id >= 0 {
+			r.instHistFor(id).Observe(bits)
+		}
 	}
 
 	// Catastrophic cancellation (§3.4): cancelled leading bits AND the

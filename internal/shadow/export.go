@@ -1,0 +1,73 @@
+package shadow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"positdebug/internal/obs"
+)
+
+// Graph converts a report's instruction DAG to the machine-readable
+// obs.Graph form (Graphviz DOT, JSON). Node ids are assigned in DFS order,
+// so the conversion is deterministic.
+func (rep *Report) Graph() obs.Graph {
+	g := obs.Graph{
+		Name:  fmt.Sprintf("inst%d", rep.Inst),
+		Label: fmt.Sprintf("%s in %s @%s (%d bits)", rep.Kind, rep.Func, rep.Pos, rep.ErrBits),
+		Nodes: []obs.Node{},
+		Edges: []obs.Edge{},
+	}
+	if rep.DAG == nil {
+		return g
+	}
+	var walk func(n *DAGNode, root bool) int
+	walk = func(n *DAGNode, root bool) int {
+		id := len(g.Nodes) + 1
+		g.Nodes = append(g.Nodes, obs.Node{
+			ID:      id,
+			Inst:    n.Inst,
+			Op:      n.Op,
+			Pos:     n.Pos,
+			Program: n.Program,
+			Shadow:  n.Shadow,
+			ErrBits: n.ErrBits,
+			Root:    root,
+		})
+		for _, k := range n.Kids {
+			kid := walk(k, false)
+			g.Edges = append(g.Edges, obs.Edge{From: id, To: kid})
+		}
+		return id
+	}
+	walk(rep.DAG, true)
+	return g
+}
+
+// Graphs converts every materialized report's DAG (reports without a DAG —
+// tracing disabled — are skipped).
+func (s *Summary) Graphs() []obs.Graph {
+	var out []obs.Graph
+	for _, rep := range s.Reports {
+		if rep.DAG == nil {
+			continue
+		}
+		out = append(out, rep.Graph())
+	}
+	return out
+}
+
+// WriteDOT writes all report DAGs as one Graphviz file (a cluster per
+// detection). Writes a valid empty digraph when no DAGs were produced.
+func (s *Summary) WriteDOT(w io.Writer) error {
+	return obs.WriteDOTAll(w, "positdebug", s.Graphs())
+}
+
+// GraphsJSON renders all report DAGs as indented JSON.
+func (s *Summary) GraphsJSON() ([]byte, error) {
+	gs := s.Graphs()
+	if gs == nil {
+		gs = []obs.Graph{}
+	}
+	return json.MarshalIndent(gs, "", "  ")
+}

@@ -1,0 +1,81 @@
+package shadow
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"positdebug/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden export files")
+
+// exportSrc is the Figure 2 discriminant: a stable cancellation whose DAG
+// (b*b, 4ac, the subtraction) is small and deterministic — ideal for
+// pinning the DOT and JSON export formats.
+const exportSrc = `
+func main(): i64 {
+	var a: p32 = 18309067625725952.0;
+	var b: p32 = 3246642954240.0;
+	var c: p32 = 143923904.0;
+	var t1: p32 = b * b;
+	var t2: p32 = 4.0 * a * c;
+	var t3: p32 = t1 - t2;
+	if (t3 > 0.0) { return 2; }
+	if (t3 == 0.0) { return 1; }
+	return 0;
+}
+`
+
+// TestGoldenDAGExport pins the Graphviz DOT and JSON renderings of the
+// error DAGs byte-for-byte. Run with -update after an intentional format
+// change. The files also feed CheckDOT, so a format regression that breaks
+// DOT syntax fails twice.
+func TestGoldenDAGExport(t *testing.T) {
+	rt, m := buildPipeline(t, exportSrc, DefaultConfig())
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	sum := rt.Summary()
+	if len(sum.Reports) == 0 {
+		t.Fatal("export program produced no reports")
+	}
+
+	var dot bytes.Buffer
+	if err := sum.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckDOT(dot.String()); err != nil {
+		t.Fatalf("exported DOT fails the syntax checker: %v", err)
+	}
+	jsonOut, err := sum.GraphsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compareGolden(t, "fig2_dag.dot.golden", dot.Bytes())
+	compareGolden(t, "fig2_dag.json.golden", jsonOut)
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}

@@ -52,6 +52,10 @@ var kindNames = map[Kind]string{
 
 func (k Kind) String() string { return kindNames[k] }
 
+// MarshalText renders the kind name, so JSON maps keyed by Kind serialize
+// as readable strings instead of enum ordinals.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
 // Report describes one detected error instance, optionally with the DAG of
 // instructions likely responsible (§3.5).
 type Report struct {

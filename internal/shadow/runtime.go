@@ -8,6 +8,7 @@ import (
 	"positdebug/internal/bigfp"
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
+	"positdebug/internal/obs"
 )
 
 // Config controls the shadow runtime.
@@ -51,6 +52,16 @@ type Config struct {
 	// carrying the report. This is the paper's "conditional breakpoint
 	// depending on the amount of the error" workflow as a library API.
 	BreakOn func(*Report) bool
+	// Events, when set, receives one obs.EvDetect event per detection —
+	// uncapped by MaxReports (use a bounded sink such as obs.Ring to bound
+	// memory). Events carry no timestamps, so the stream is deterministic.
+	Events obs.Sink
+	// Metrics, when set, receives counters and histograms: detections by
+	// kind (pd_detections_total{kind=...}), shadowed ops
+	// (pd_shadow_ops_total), the per-operation error-bits distribution
+	// (pd_op_err_bits) and its per-instruction breakdown
+	// (pd_inst_err_bits{inst=...}).
+	Metrics *obs.Registry
 }
 
 // DefaultConfig mirrors the paper's default setup: 256-bit shadow
@@ -104,6 +115,7 @@ type Runtime struct {
 	counts        map[Kind]int
 	reports       []*Report
 	totalOps      uint64
+	flushedOps    uint64
 	maxOpErr      int
 	outputMaxErr  int
 	branchFlips   int
@@ -113,6 +125,16 @@ type Runtime struct {
 	sa, sb big.Float
 	// Scratch for allocation-free float64 rounding in error checks.
 	ulpScratch big.Float
+
+	// Observability bindings (see Config.Events / Config.Metrics). Metric
+	// pointers are resolved once at bind time so the hot path pays one nil
+	// check plus an atomic add, never a registry lookup.
+	events     obs.Sink
+	reg        *obs.Registry
+	metOps     *obs.Counter
+	metDet     [KindWrongOutput + 1]*obs.Counter
+	metErrHist *obs.Histogram
+	instHist   map[int32]*obs.Histogram
 }
 
 // shadowQuire mirrors the program's quire with a wide accumulator; 768
@@ -207,7 +229,52 @@ func New(mod *ir.Module, cfg Config) (*Runtime, error) {
 		quires: map[ir.Type]*shadowQuire{},
 		counts: map[Kind]int{},
 	}
+	r.events = cfg.Events
+	r.bindMetrics(cfg.Metrics)
 	return r, nil
+}
+
+// SetEvents rebinds the event sink on a warm runtime (per-run tracing in
+// campaign workers). A nil sink disables emission.
+func (r *Runtime) SetEvents(s obs.Sink) {
+	r.events = s
+	r.cfg.Events = s
+}
+
+// SetMetrics rebinds the metrics registry on a warm runtime, re-resolving
+// the cached counter pointers. A nil registry disables metric updates.
+func (r *Runtime) SetMetrics(reg *obs.Registry) {
+	r.cfg.Metrics = reg
+	r.bindMetrics(reg)
+}
+
+func (r *Runtime) bindMetrics(reg *obs.Registry) {
+	r.reg = reg
+	if reg == nil {
+		r.metOps = nil
+		r.metDet = [KindWrongOutput + 1]*obs.Counter{}
+		r.metErrHist = nil
+		r.instHist = nil
+		return
+	}
+	r.metOps = reg.Counter("pd_shadow_ops_total")
+	for k := KindCancellation; k <= KindWrongOutput; k++ {
+		r.metDet[k] = reg.Counter(`pd_detections_total{kind="` + k.String() + `"}`)
+	}
+	r.metErrHist = reg.Histogram("pd_op_err_bits")
+	r.instHist = map[int32]*obs.Histogram{}
+}
+
+// instHistFor returns the per-instruction error histogram, creating it on
+// first observation. The map persists across Reset, so warm runs reach a
+// steady state with no per-run allocation.
+func (r *Runtime) instHistFor(id int32) *obs.Histogram {
+	h, ok := r.instHist[id]
+	if !ok {
+		h = r.reg.Histogram(`pd_inst_err_bits{inst="` + fmt.Sprint(id) + `"}`)
+		r.instHist[id] = h
+	}
+	return h
 }
 
 // NewRuntime is the legacy constructor; it panics on an invalid
@@ -242,15 +309,28 @@ func (r *Runtime) Reset() {
 	// Summaries hand out the reports slice, so start a fresh one rather
 	// than truncating the backing array a previous caller may still hold.
 	r.reports = nil
+	r.flushOps()
 	r.totalOps = 0
+	r.flushedOps = 0
 	r.maxOpErr = 0
 	r.outputMaxErr = 0
 	r.branchFlips = 0
 	r.uninstrWrites = 0
 }
 
+// flushOps forwards the not-yet-exported portion of totalOps to the
+// shadow-ops counter. Delta tracking keeps Summary and Reset both safe to
+// call without double-counting.
+func (r *Runtime) flushOps() {
+	if r.metOps != nil && r.totalOps > r.flushedOps {
+		r.metOps.Add(int64(r.totalOps - r.flushedOps))
+		r.flushedOps = r.totalOps
+	}
+}
+
 // Summary returns the aggregated detections of the last run.
 func (r *Runtime) Summary() *Summary {
+	r.flushOps()
 	counts := make(map[Kind]int, len(r.counts))
 	for k, v := range r.counts {
 		counts[k] = v

@@ -104,7 +104,7 @@ func TestSuitePrograms(t *testing.T) {
 			cfg := shadow.DefaultConfig()
 			cfg.ErrBitsThreshold = 35
 			cfg.OutputThreshold = 35
-			res, err := prog.Debug(cfg, "main")
+			res, err := prog.Exec("main", positdebug.WithShadow(cfg))
 			if err != nil {
 				t.Fatalf("debug: %v", err)
 			}
@@ -131,7 +131,7 @@ func TestCordicCaseStudy(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	cfg := shadow.DefaultConfig()
-	res, err := prog.Debug(cfg, "main")
+	res, err := prog.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +167,11 @@ func TestSimpsonCaseStudy(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := shadow.DefaultConfig()
-	resN, err := naive.Debug(cfg, "main")
+	resN, err := naive.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resF, err := fused.Debug(cfg, "main")
+	resF, err := fused.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestQuadraticCaseStudy(t *testing.T) {
 	}
 	cfg := shadow.DefaultConfig()
 	cfg.PrecisionLossThreshold = 5
-	res, err := prog.Debug(cfg, "main")
+	res, err := prog.Exec("main", positdebug.WithShadow(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestRootCountCaseStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := prog.Debug(shadow.DefaultConfig(), "main")
+	res, err := prog.Exec("main")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,20 +15,24 @@
 // Quick start:
 //
 //	prog, err := positdebug.Compile(src)      // posit or FP source
-//	res, err := prog.Debug(shadow.DefaultConfig(), "main")
+//	res, err := prog.Exec("main")             // shadow execution, defaults
 //	fmt.Println(res.Summary)                   // detections
 //	for _, r := range res.Summary.Reports {    // DAGs per error
 //	    fmt.Println(r)
 //	}
+//
+// Exec takes functional options — WithShadow, WithSkip, WithLimits,
+// WithHooksWrapper, WithTrace, WithMetrics, WithHerbgrind, WithBaseline,
+// WithArgs — so cross-cutting concerns compose instead of multiplying
+// entry points. Warm sessions (Program.Session / Debugger.Exec) accept the
+// same options. The Debug* methods remain as deprecated wrappers.
 package positdebug
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 
 	"positdebug/internal/codegen"
-	"positdebug/internal/herbgrind"
 	"positdebug/internal/instrument"
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
@@ -87,13 +91,16 @@ type Result struct {
 	Value   uint64          // raw bit-pattern result of the entry function
 	Output  string          // everything the program printed
 	Steps   int64           // instructions executed
-	Summary *shadow.Summary // nil for baseline runs
+	Summary *shadow.Summary // nil for baseline and Herbgrind runs
 
 	// Degraded marks runs that exceeded the shadow-memory budget and were
-	// automatically retried at a reduced precision (DebugWithLimits).
+	// automatically retried at a reduced precision.
 	Degraded bool
 	// ShadowPrecision is the precision the run finally completed at.
 	ShadowPrecision uint
+	// TraceNodes is the number of trace nodes a Herbgrind-baseline run
+	// (WithHerbgrind) accumulated; 0 otherwise.
+	TraceNodes int
 }
 
 // P32 decodes the result value as a ⟨32,2⟩ posit.
@@ -106,100 +113,35 @@ func (r *Result) F64() float64 { return interp.ToFloat64(ir.F64, r.Value) }
 func (r *Result) I64() int64 { return int64(r.Value) }
 
 // Run executes the uninstrumented program (the baseline of every
-// experiment in the paper's evaluation).
+// experiment in the paper's evaluation). Equivalent to
+// Exec(fn, WithBaseline(), WithArgs(args...)).
 func (p *Program) Run(fn string, args ...uint64) (*Result, error) {
-	m := interp.New(p.Module)
-	var out bytes.Buffer
-	m.Out = &out
-	v, err := m.Run(fn, args...)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Value: v, Output: out.String(), Steps: m.Steps()}, nil
+	return p.Exec(fn, WithBaseline(), WithArgs(args...))
 }
 
 // Debug executes the program under PositDebug/FPSanitizer shadow
 // execution and returns the detections alongside the program result.
+//
+// Deprecated: use Exec(fn, WithShadow(cfg), WithArgs(args...)).
 func (p *Program) Debug(cfg shadow.Config, fn string, args ...uint64) (*Result, error) {
-	mod := p.Instrumented()
-	return p.debugModule(mod, cfg, fn, args...)
+	return p.Exec(fn, WithShadow(cfg), WithArgs(args...))
 }
 
 // DebugPartial is Debug with selected functions left uninstrumented — the
-// paper's incremental-deployment mode (§4.1): values written by skipped
-// functions are detected at load time via the stored program-value check
-// and re-initialize the shadow.
+// paper's incremental-deployment mode (§4.1).
+//
+// Deprecated: use Exec(fn, WithShadow(cfg), WithSkip(skip...), WithArgs(args...)).
 func (p *Program) DebugPartial(skip []string, cfg shadow.Config, fn string, args ...uint64) (*Result, error) {
-	skipSet := make(map[string]bool, len(skip))
-	for _, s := range skip {
-		skipSet[s] = true
-	}
-	mod := instrument.Instrument(p.Module, instrument.Options{Skip: skipSet})
-	return p.debugModule(mod, cfg, fn, args...)
-}
-
-func (p *Program) debugModule(mod *ir.Module, cfg shadow.Config, fn string, args ...uint64) (*Result, error) {
-	rt, err := shadow.New(mod, cfg)
-	if err != nil {
-		return nil, err
-	}
-	m := interp.New(mod)
-	m.Hooks = rt
-	var out bytes.Buffer
-	m.Out = &out
-	v, err := m.Run(fn, args...)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: rt.Summary()}
-	res.ShadowPrecision = cfg.Precision
-	return res, nil
+	return p.Exec(fn, WithShadow(cfg), WithSkip(skip...), WithArgs(args...))
 }
 
 // DebugWithLimits executes under shadow execution with hardened execution
-// limits — wall-clock timeout and step budget, reported as structured
-// *interp.ResourceExhausted errors — and graceful degradation: when a run
-// exceeds the configured shadow-memory budget (cfg.MaxShadowBytes) the run
-// is retried at half the shadow precision, down to 64 bits, and the result
-// is flagged Degraded rather than failing the run.
+// limits and graceful precision degradation.
 //
-// wrap, when non-nil, decorates the shadow runtime's hooks before they are
-// attached to the machine — the seam the fault injector plugs into. It is
-// invoked once per attempt, so a deterministic decorator replays the same
-// schedule on a degraded retry.
+// Deprecated: use Exec(fn, WithShadow(cfg), WithLimits(lim),
+// WithHooksWrapper(wrap), WithArgs(args...)).
 func (p *Program) DebugWithLimits(cfg shadow.Config, lim interp.Limits, wrap func(interp.Hooks) interp.Hooks, fn string, args ...uint64) (*Result, error) {
-	mod := p.Instrumented()
-	requested := cfg.Precision
-	for {
-		rt, err := shadow.New(mod, cfg)
-		if err != nil {
-			return nil, err
-		}
-		m := interp.New(mod)
-		if wrap != nil {
-			m.Hooks = wrap(rt)
-		} else {
-			m.Hooks = rt
-		}
-		var out bytes.Buffer
-		m.Out = &out
-		v, err := m.RunWithLimits(fn, lim, args...)
-		if err != nil {
-			var re *interp.ResourceExhausted
-			if errors.As(err, &re) && re.Resource == interp.ResShadowMemory && cfg.Precision > shadow.MinPrecision {
-				cfg.Precision /= 2
-				if cfg.Precision < shadow.MinPrecision {
-					cfg.Precision = shadow.MinPrecision
-				}
-				continue
-			}
-			return nil, err
-		}
-		res := &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: rt.Summary()}
-		res.ShadowPrecision = cfg.Precision
-		res.Degraded = cfg.Precision != requested
-		return res, nil
-	}
+	return p.Exec(fn, WithShadow(cfg), WithLimits(lim), WithHooksWrapper(wrap), WithArgs(args...))
 }
 
 // Debugger is a reusable shadow-execution session: one runtime and one
@@ -208,81 +150,45 @@ func (p *Program) DebugWithLimits(cfg shadow.Config, lim interp.Limits, wrap fun
 // reused in place, so repeated runs of the same program — a fault-injection
 // campaign worker, a sweep repetition — execute with no per-run setup
 // allocation. Not safe for concurrent use; parallel callers hold one
-// Debugger per worker (see parallel.MapWorker).
+// Debugger per worker (see parallel.MapWorker). Build one with
+// Program.Session and run with Debugger.Exec.
 type Debugger struct {
 	prog *Program
 	cfg  shadow.Config
+	mod  *ir.Module
 	rt   *shadow.Runtime
 	m    *interp.Machine
 	out  bytes.Buffer
 }
 
-// NewDebugger builds a warm-reusable session for the program. The
-// instrumented module is built (and cached on the Program) here, so
-// concurrent workers can construct Debuggers only after one call has
-// populated the cache — or simply construct them sequentially, as
-// parallel.MapWorker does.
+// NewDebugger builds a warm-reusable session for the program.
+//
+// Deprecated: use Session(WithShadow(cfg)).
 func (p *Program) NewDebugger(cfg shadow.Config) (*Debugger, error) {
-	mod := p.Instrumented()
-	rt, err := shadow.New(mod, cfg)
-	if err != nil {
-		return nil, err
-	}
-	m := interp.New(mod)
-	d := &Debugger{prog: p, cfg: cfg, rt: rt, m: m}
-	m.Out = &d.out
-	return d, nil
+	return p.Session(WithShadow(cfg))
 }
 
-// DebugWithLimits runs the session's program like Program.DebugWithLimits —
-// same limits, hook decoration and graceful degradation semantics — but on
-// the warm runtime and machine. Degraded retries run on transient runtimes
-// at the reduced precision; the session itself stays at the requested
-// precision, so one budget-tripping run does not degrade subsequent ones.
+// DebugWithLimits runs the session's program with limits, hook decoration
+// and graceful degradation on the warm runtime and machine.
+//
+// Deprecated: use Exec(fn, WithLimits(lim), WithHooksWrapper(wrap),
+// WithArgs(args...)).
 func (d *Debugger) DebugWithLimits(lim interp.Limits, wrap func(interp.Hooks) interp.Hooks, fn string, args ...uint64) (*Result, error) {
-	if wrap != nil {
-		d.m.Hooks = wrap(d.rt)
-	} else {
-		d.m.Hooks = d.rt
-	}
-	d.out.Reset()
-	v, err := d.m.RunWithLimits(fn, lim, args...)
-	if err != nil {
-		var re *interp.ResourceExhausted
-		if errors.As(err, &re) && re.Resource == interp.ResShadowMemory && d.cfg.Precision > shadow.MinPrecision {
-			cfg := d.cfg
-			cfg.Precision /= 2
-			if cfg.Precision < shadow.MinPrecision {
-				cfg.Precision = shadow.MinPrecision
-			}
-			res, err := d.prog.DebugWithLimits(cfg, lim, wrap, fn, args...)
-			if res != nil {
-				res.Degraded = true
-			}
-			return res, err
-		}
-		return nil, err
-	}
-	res := &Result{Value: v, Output: d.out.String(), Steps: d.m.Steps(), Summary: d.rt.Summary()}
-	res.ShadowPrecision = d.cfg.Precision
-	return res, nil
+	return d.Exec(fn, WithLimits(lim), WithHooksWrapper(wrap), WithArgs(args...))
 }
 
 // DebugHerbgrind executes under the Herbgrind-style baseline runtime
 // (per-dynamic-op trace metadata) for the §5.4 comparison. It returns the
 // result and the number of trace nodes the run accumulated.
+//
+// Deprecated: use Exec(fn, WithHerbgrind(precision), WithArgs(args...))
+// and read Result.TraceNodes.
 func (p *Program) DebugHerbgrind(precision uint, fn string, args ...uint64) (*Result, int, error) {
-	mod := p.Instrumented()
-	rt := herbgrind.New(mod, precision)
-	m := interp.New(mod)
-	m.Hooks = rt
-	var out bytes.Buffer
-	m.Out = &out
-	v, err := m.Run(fn, args...)
+	res, err := p.Exec(fn, WithHerbgrind(precision), WithArgs(args...))
 	if err != nil {
 		return nil, 0, err
 	}
-	return &Result{Value: v, Output: out.String(), Steps: m.Steps()}, rt.TraceNodes(), nil
+	return res, res.TraceNodes, nil
 }
 
 // P32Arg encodes a float64 as a ⟨32,2⟩ posit argument.

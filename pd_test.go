@@ -37,7 +37,7 @@ func TestPublicPipeline(t *testing.T) {
 	if base.Summary != nil {
 		t.Fatal("baseline must not carry a summary")
 	}
-	dbg, err := prog.Debug(shadow.DefaultConfig(), "main")
+	dbg, err := prog.Exec("main")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func main(): f64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := prog.Debug(shadow.DefaultConfig(), "main")
+	res, err := prog.Exec("main", WithShadow(shadow.DefaultConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,14 +89,14 @@ func TestDebugHerbgrind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, nodes, err := prog.DebugHerbgrind(256, "main")
+	res, err := prog.Exec("main", WithHerbgrind(256))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.I64() != 1 {
 		t.Fatalf("herbgrind-mode result %d, want 1", res.I64())
 	}
-	if nodes == 0 {
+	if res.TraceNodes == 0 {
 		t.Fatal("herbgrind mode must accumulate trace nodes")
 	}
 }
@@ -117,16 +117,17 @@ func main(n: i64): p32 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, small, err := prog.DebugHerbgrind(128, "main", 100)
+	small, err := prog.Exec("main", WithHerbgrind(128), WithArgs(100))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, large, err := prog.DebugHerbgrind(128, "main", 1000)
+	large, err := prog.Exec("main", WithHerbgrind(128), WithArgs(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if large < small*5 {
-		t.Fatalf("trace nodes must grow ~linearly with iterations: %d vs %d", small, large)
+	if large.TraceNodes < small.TraceNodes*5 {
+		t.Fatalf("trace nodes must grow ~linearly with iterations: %d vs %d",
+			small.TraceNodes, large.TraceNodes)
 	}
 }
 
@@ -181,7 +182,7 @@ func main(): p32 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := prog.DebugPartial([]string{"libwrite"}, shadow.DefaultConfig(), "main")
+	res, err := prog.Exec("main", WithShadow(shadow.DefaultConfig()), WithSkip("libwrite"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func main(): p32 {
 		t.Fatalf("uninstrumented write not detected: %s", res.Summary)
 	}
 	// The fully instrumented run of the same program sees no such writes.
-	full, err := prog.Debug(shadow.DefaultConfig(), "main")
+	full, err := prog.Exec("main")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,16 +212,16 @@ func TestDebuggerWarmEqualsCold(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := shadow.DefaultConfig()
-	cold, err := prog.Debug(cfg, "main")
+	cold, err := prog.Exec("main", WithShadow(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	dbg, err := prog.NewDebugger(cfg)
+	dbg, err := prog.Session(WithShadow(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		warm, err := dbg.DebugWithLimits(interp.Limits{}, nil, "main")
+		warm, err := dbg.Exec("main", WithLimits(interp.Limits{}))
 		if err != nil {
 			t.Fatalf("warm run %d: %v", i, err)
 		}
