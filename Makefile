@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz campaign-smoke bench-json trace-smoke
+.PHONY: all build vet test race fuzz fuzz-frontend campaign-smoke bench-json bench-serve trace-smoke
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/interp/ ./internal/parallel/
+	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/interp/ ./internal/parallel/ ./internal/server/
 	$(GO) test -race -count=1 -cpu=1,4 -run ParallelDeterminism ./internal/faultinject/ ./internal/harness/
 
 # Regenerate the checked-in benchmark report (BENCH_shadow.json). CI runs
@@ -22,8 +22,20 @@ race:
 bench-json: build
 	$(GO) run ./cmd/pdbench -out BENCH_shadow.json
 
+# Regenerate the checked-in serve-path report (BENCH_serve.json):
+# requests/sec and p50/p99 latency through the full HTTP service.
+bench-serve: build
+	$(GO) run ./cmd/pdbench -serve -out BENCH_serve.json
+
 fuzz:
 	$(GO) test . -run FuzzInjector -fuzz FuzzInjector -fuzztime 30s
+
+# The service compiles untrusted request bodies: the parser and type
+# checker must error, never panic, on arbitrary input. CI runs this as
+# the fuzz-smoke job.
+fuzz-frontend:
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 30s ./internal/lang/
+	$(GO) test -run xxx -fuzz FuzzTypeCheck -fuzztime 30s ./internal/lang/
 
 # End-to-end observability check: run Figure 2 under PositDebug with an
 # event trace, DAG export and metrics dump, plus a traced mini campaign,

@@ -9,6 +9,7 @@
 //	pdbench -out BENCH.json      # write the report to a file
 //	pdbench -short               # codec + warm-runtime benches only
 //	pdbench -strict              # exit nonzero on a >10% ns/op regression
+//	pdbench -serve -out BENCH_serve.json   # HTTP serve-path throughput/latency
 //
 // Unless -baseline "" disables it, the run is compared against the
 // checked-in BENCH_shadow.json: per-benchmark ns/op deltas go to stderr,
@@ -56,7 +57,16 @@ func main() {
 	short := flag.Bool("short", false, "codec and warm-runtime benches only (CI smoke)")
 	baseline := flag.String("baseline", "BENCH_shadow.json", "baseline report to diff against (\"\" disables)")
 	strict := flag.Bool("strict", false, "exit nonzero if any benchmark regresses more than 10% vs the baseline")
+	serve := flag.Bool("serve", false, "benchmark the HTTP serve path instead (requests/sec + latency percentiles)")
+	serveReqs := flag.Int("serve-requests", 400, "requests per serve-path scenario")
 	flag.Parse()
+
+	if *serve {
+		if err := serveBench(*out, *serveReqs); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	rep := &Report{
 		Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,

@@ -12,17 +12,29 @@
 // holds for the -trace event stream: events are staged per run and merged
 // in run order, so the trace is byte-identical regardless of GOMAXPROCS
 // (unless -trace-workers adds the scheduling-dependent lifecycle events).
+//
+// Long campaigns are crash-safe with -journal: every completed run is
+// write-ahead-logged (fsync'd per record), and rerunning the same command
+// resumes past the journaled runs — the resumed report is byte-identical
+// to an uninterrupted one. -timeout bounds the whole campaign's wall
+// clock, and Ctrl-C/SIGTERM stop it cooperatively; both paths leave the
+// journal resumable.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"positdebug/internal/faultinject"
+	"positdebug/internal/interp"
 	"positdebug/internal/obs"
 	"positdebug/internal/workloads"
 )
@@ -40,7 +52,9 @@ func main() {
 	occ := flag.Int64("occ", 0, "pin injection to the k-th eligible event (0 = sweep sites)")
 	inst := flag.Int("inst", -1, "restrict injection to one static instruction id (-1 = any)")
 	arch := flag.String("arch", "posit", "architecture: posit|float|both")
-	timeout := flag.Duration("timeout", 10*time.Second, "wall-clock limit per run")
+	runTimeout := flag.Duration("run-timeout", 10*time.Second, "wall-clock limit per run")
+	timeout := flag.Duration("timeout", 0, "whole-campaign deadline (0 = none); an expired deadline cancels the sweep cooperatively")
+	journalPath := flag.String("journal", "", "crash-safe JSONL write-ahead journal: completed runs are fsync'd here and resumed on rerun")
 	maxSteps := flag.Int64("max-steps", 200_000_000, "step budget per run")
 	prec := flag.Uint("prec", 256, "shadow precision in bits")
 	budget := flag.Int64("budget", 0, "shadow-memory budget in bytes (0 = unlimited; over-budget runs degrade)")
@@ -82,7 +96,7 @@ func main() {
 			Occurrence: *occ,
 			Rate:       *rate,
 		},
-		Timeout:        *timeout,
+		Timeout:        *runTimeout,
 		MaxSteps:       *maxSteps,
 		Precision:      *prec,
 		MaxShadowBytes: *budget,
@@ -106,8 +120,35 @@ func main() {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
-	rep, err := faultinject.RunCampaign(cfg)
+	if *journalPath != "" {
+		journal, err := faultinject.OpenJournal(*journalPath, cfg)
+		if err != nil {
+			fail(err)
+		}
+		defer journal.Close()
+		if n := journal.Resumed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "pdfault: resuming past %d journaled runs\n", n)
+		}
+		cfg.Journal = journal
+	}
+
+	// One context carries both hard-stop paths: the whole-campaign
+	// deadline and Ctrl-C/SIGTERM. Either cancels the sweep cooperatively —
+	// the run in flight stops within one interpreter poll interval — and
+	// with -journal the completed prefix stays resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := faultinject.RunCampaignContext(ctx, cfg)
 	if err != nil {
+		var c *interp.Cancelled
+		if errors.As(err, &c) && *journalPath != "" {
+			fmt.Fprintln(os.Stderr, "pdfault: campaign interrupted; rerun the same command to resume from the journal")
+		}
 		fail(err)
 	}
 	if sink != nil {

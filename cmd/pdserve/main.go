@@ -1,0 +1,73 @@
+// Command pdserve runs PositDebug as a hardened HTTP service: POST a PCL
+// program to /run and get back its result, step count and shadow-oracle
+// detections.
+//
+// Usage:
+//
+//	pdserve -addr :8080 -concurrency 8 -queue 32
+//
+// The service is built for sustained operation: admission is bounded (load
+// beyond the queue is shed with 429 + Retry-After), every run is governed
+// by the request context (a disconnected client stops the interpreter
+// within a few thousand instructions), panics are isolated per request,
+// and -soft-mem-limit enables a watchdog that degrades shadow precision
+// 256→128→64 under memory pressure instead of falling over. SIGTERM/
+// Ctrl-C drain gracefully: in-flight requests finish, new ones get 503,
+// and the process exits 0.
+//
+// Endpoints: POST /run, GET /healthz, /readyz, /metrics (Prometheus text).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"positdebug/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrency := flag.Int("concurrency", 0, "max simultaneously executing runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max queued runs before load shedding (0 = 4x concurrency)")
+	timeout := flag.Duration("run-timeout", 2*time.Second, "default per-run wall-clock budget")
+	maxTimeout := flag.Duration("max-run-timeout", 30*time.Second, "cap on the per-request timeout_ms field")
+	maxSteps := flag.Int64("max-steps", 50_000_000, "per-run instruction budget")
+	prec := flag.Uint("prec", 256, "shadow precision in bits at zero memory pressure")
+	shadowBudget := flag.Int64("shadow-budget", 0, "per-run shadow-memory budget in bytes (0 = unlimited)")
+	softMem := flag.Uint64("soft-mem-limit", 0, "heap bytes at which the watchdog degrades shadow precision (0 = off)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxSteps:       *maxSteps,
+		Precision:      *prec,
+		MaxShadowBytes: *shadowBudget,
+		SoftMemLimit:   *softMem,
+		DrainTimeout:   *drain,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pdserve: listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, l); err != nil {
+		fmt.Fprintln(os.Stderr, "pdserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "pdserve: drained; bye")
+}

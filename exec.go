@@ -2,6 +2,7 @@ package positdebug
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,6 +21,7 @@ import (
 type Option func(*execConfig)
 
 type execConfig struct {
+	ctx        context.Context
 	shadowCfg  shadow.Config
 	shadowSet  bool
 	skip       []string
@@ -34,6 +36,24 @@ type execConfig struct {
 	herbPrec   uint
 	baseline   bool
 	args       []uint64
+}
+
+// WithContext governs the run with a context: cancelling it stops the
+// interpreter cooperatively within one poll interval (a few thousand
+// instructions) and the run returns a structured *interp.Cancelled —
+// distinct from the *interp.ResourceExhausted a budget trip produces.
+// This is a per-run option (like WithLimits): pass it to Exec or
+// Debugger.Exec, not Session.
+func WithContext(ctx context.Context) Option {
+	return func(ec *execConfig) { ec.ctx = ctx }
+}
+
+// context returns the run's governing context (Background when unset).
+func (ec *execConfig) context() context.Context {
+	if ec.ctx != nil {
+		return ec.ctx
+	}
+	return context.Background()
 }
 
 // WithShadow selects shadow execution with the given configuration.
@@ -203,7 +223,7 @@ func execBaseline(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
 		m.Prof = &interp.OpProfile{}
 	}
 	emitRunStart(ec.trace, fn, 0)
-	v, err := m.RunWithLimits(fn, ec.limits, ec.args...)
+	v, err := m.RunContext(ec.context(), fn, ec.limits, ec.args...)
 	flushRunMetrics(ec.metrics, m.Steps(), m.Prof)
 	if err != nil {
 		emitRunEnd(ec.trace, "error", m.Steps(), 0)
@@ -223,7 +243,7 @@ func execHerbgrind(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
 		m.Prof = &interp.OpProfile{}
 	}
 	emitRunStart(ec.trace, fn, ec.herbPrec)
-	v, err := m.RunWithLimits(fn, ec.limits, ec.args...)
+	v, err := m.RunContext(ec.context(), fn, ec.limits, ec.args...)
 	flushRunMetrics(ec.metrics, m.Steps(), m.Prof)
 	if err != nil {
 		emitRunEnd(ec.trace, "error", m.Steps(), ec.herbPrec)
@@ -271,7 +291,7 @@ func execShadowLoop(mod *ir.Module, cfg shadow.Config, ec *execConfig, fn string
 		if cfg.Metrics != nil {
 			m.Prof = &interp.OpProfile{}
 		}
-		v, err := m.RunWithLimits(fn, ec.limits, ec.args...)
+		v, err := m.RunContext(ec.context(), fn, ec.limits, ec.args...)
 		flushRunMetrics(cfg.Metrics, m.Steps(), m.Prof)
 		if err != nil {
 			var re *interp.ResourceExhausted
@@ -321,8 +341,8 @@ func (p *Program) Session(opts ...Option) (*Debugger, error) {
 	if ec.baseline || ec.herb {
 		return nil, fmt.Errorf("positdebug: Session supports shadow execution only")
 	}
-	if ec.wrap != nil || len(ec.args) > 0 || ec.limitsSet {
-		return nil, fmt.Errorf("positdebug: WithHooksWrapper/WithArgs/WithLimits are per-run options; pass them to Debugger.Exec")
+	if ec.wrap != nil || len(ec.args) > 0 || ec.limitsSet || ec.ctx != nil {
+		return nil, fmt.Errorf("positdebug: WithHooksWrapper/WithArgs/WithLimits/WithContext are per-run options; pass them to Debugger.Exec")
 	}
 	cfg := ec.shadowCfg
 	if ec.traceSet {
@@ -391,7 +411,7 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 	}
 	d.out.Reset()
 	emitRunStart(d.cfg.Events, fn, d.cfg.Precision)
-	v, err := d.m.RunWithLimits(fn, ec.limits, ec.args...)
+	v, err := d.m.RunContext(ec.context(), fn, ec.limits, ec.args...)
 	flushRunMetrics(d.cfg.Metrics, d.m.Steps(), d.m.Prof)
 	if err != nil {
 		var re *interp.ResourceExhausted
@@ -410,7 +430,7 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 			// carries the session's sinks (with any per-run overrides already
 			// applied) and emits the closing run-end itself.
 			res, err := execShadowLoop(d.mod, cfg, &execConfig{
-				limits: ec.limits, wrap: ec.wrap, args: ec.args,
+				ctx: ec.ctx, limits: ec.limits, wrap: ec.wrap, args: ec.args,
 			}, fn, d.cfg.Precision)
 			if res != nil {
 				res.Degraded = true

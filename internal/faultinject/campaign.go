@@ -1,6 +1,8 @@
 package faultinject
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -89,6 +91,14 @@ type CampaignConfig struct {
 	// detections by kind, shadowed ops, steps, and campaign outcomes
 	// (pd_campaign_outcomes_total{outcome=...}).
 	Metrics *obs.Registry
+	// Journal, when set, write-ahead-logs every completed run (fsync'd per
+	// record) and replays runs already journaled by a previous — possibly
+	// killed — invocation of the same campaign, so the final report is
+	// byte-identical to an uninterrupted run. Open one with OpenJournal;
+	// its header pins the campaign parameters, so a journal from different
+	// flags is rejected rather than silently mixed in. Trace events are not
+	// journaled: resumed runs contribute no per-run events to Trace.
+	Journal *Journal
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -219,6 +229,17 @@ func ResolveWorkload(spec string, n int) (src string, size int, err error) {
 // the shadow oracle. Every run is bounded by the configured limits and
 // recovers panics, so one poisoned run never kills the sweep.
 func RunCampaign(cfg CampaignConfig) (*Report, error) {
+	return RunCampaignContext(context.Background(), cfg)
+}
+
+// RunCampaignContext is RunCampaign governed by a context — the
+// whole-campaign deadline and Ctrl-C path. Cancellation stops the sweep
+// cooperatively: workers stop claiming new runs, the run in flight stops
+// within one interpreter poll interval, and the campaign returns a
+// *interp.Cancelled error (never a partial report). With a Journal
+// attached, runs completed before the cancellation are already on disk and
+// a later invocation resumes past them.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*Report, error) {
 	cfg = cfg.withDefaults()
 	src, n, err := ResolveWorkload(cfg.Workload, cfg.N)
 	if err != nil {
@@ -247,9 +268,9 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 		cfg.Trace.Emit(e)
 	}
 	for _, arch := range arches {
-		ar, err := runArch(cfg, arch, src)
+		ar, err := runArch(ctx, cfg, arch, src)
 		if err != nil {
-			return nil, fmt.Errorf("faultinject: %s: %w", arch, err)
+			return nil, fmt.Errorf("faultinject: %s: %w", arch, asCancelled(ctx, err))
 		}
 		rep.Arches = append(rep.Arches, *ar)
 	}
@@ -262,7 +283,22 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	return rep, nil
 }
 
-func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
+// asCancelled normalizes a cancellation observed between runs (a bare
+// context error from the worker pool) into the same structured
+// *interp.Cancelled an interrupted hot loop produces, so callers switch on
+// one type.
+func asCancelled(ctx context.Context, err error) error {
+	var c *interp.Cancelled
+	if errors.As(err, &c) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &interp.Cancelled{Cause: context.Cause(ctx)}
+	}
+	return err
+}
+
+func runArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 	src := fpSrc
 	if arch == "posit" && !strings.Contains(fpSrc, ": p32") {
 		var err error
@@ -295,6 +331,7 @@ func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 	counter := NewInjector(nil, cfg.Model, 0)
 	counter.CountOnly = true
 	golden, err := prog.Exec("main",
+		positdebug.WithContext(ctx),
 		positdebug.WithShadow(scfg), positdebug.WithLimits(lim),
 		positdebug.WithHooksWrapper(func(h interp.Hooks) interp.Hooks {
 			counter.Inner = h
@@ -351,9 +388,23 @@ func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 	// stream byte-identical too. The golden run above already populated
 	// the program's instrumented-module cache, so worker construction is
 	// read-only on the Program.
-	results, err := parallel.MapWorker(cfg.Runs, newWorker,
+	results, err := parallel.MapWorkerCtx(ctx, cfg.Runs, newWorker,
 		func(d *positdebug.Debugger, run int) (RunResult, error) {
-			return oneRun(cfg, d, scfg, lim, retType, goldenF, goldenCounts, ar.Candidates, run), nil
+			if cfg.Journal != nil {
+				if rr, ok := cfg.Journal.lookup(arch, run); ok {
+					return rr, nil
+				}
+			}
+			rr, err := oneRun(ctx, cfg, d, scfg, lim, retType, goldenF, goldenCounts, ar.Candidates, run)
+			if err != nil {
+				return rr, err
+			}
+			if cfg.Journal != nil {
+				if jerr := cfg.Journal.record(arch, rr); jerr != nil {
+					return rr, fmt.Errorf("journal: %w", jerr)
+				}
+			}
+			return rr, nil
 		})
 	if err != nil {
 		return nil, err
@@ -396,9 +447,12 @@ func runArch(cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
 
 // oneRun executes and classifies a single fault-injected run. Panics from
 // anywhere in the stack are recovered into a crashed outcome — the
-// campaign-level belt to the machine's braces.
-func oneRun(cfg CampaignConfig, dbg *positdebug.Debugger, scfg shadow.Config, lim interp.Limits,
-	retType ir.Type, goldenF float64, goldenCounts map[shadow.Kind]int, candidates int64, run int) (rr RunResult) {
+// campaign-level belt to the machine's braces. A context cancellation is
+// the one failure that is NOT classified: it is an external abort, so it
+// propagates as the error and the campaign stops instead of recording a
+// bogus outcome.
+func oneRun(ctx context.Context, cfg CampaignConfig, dbg *positdebug.Debugger, scfg shadow.Config, lim interp.Limits,
+	retType ir.Type, goldenF float64, goldenCounts map[shadow.Kind]int, candidates int64, run int) (rr RunResult, abort error) {
 
 	runSeed := Mix(cfg.Seed, run)
 	rr = RunResult{Run: run, Seed: runSeed, Precision: scfg.Precision}
@@ -419,6 +473,7 @@ func oneRun(cfg CampaignConfig, dbg *positdebug.Debugger, scfg shadow.Config, li
 	inj := NewInjector(nil, model, runSeed)
 
 	opts := []positdebug.Option{
+		positdebug.WithContext(ctx),
 		positdebug.WithLimits(lim),
 		positdebug.WithHooksWrapper(func(h interp.Hooks) interp.Hooks {
 			inj.Inner = h
@@ -440,6 +495,10 @@ func oneRun(cfg CampaignConfig, dbg *positdebug.Debugger, scfg shadow.Config, li
 	rr.Injected = len(inj.Schedule())
 	rr.Schedule = append([]Record(nil), inj.Schedule()...)
 	if err != nil {
+		var c *interp.Cancelled
+		if errors.As(err, &c) {
+			return rr, err
+		}
 		var re *interp.ResourceExhausted
 		if asResource(err, &re) && (re.Resource == interp.ResSteps || re.Resource == interp.ResWallClock) {
 			rr.Outcome = OutcomeHung
@@ -447,7 +506,7 @@ func oneRun(cfg CampaignConfig, dbg *positdebug.Debugger, scfg shadow.Config, li
 			rr.Outcome = OutcomeCrashed
 		}
 		rr.Error = err.Error()
-		return rr
+		return rr, nil
 	}
 
 	rr.Degraded = res.Degraded
@@ -463,7 +522,7 @@ func oneRun(cfg CampaignConfig, dbg *positdebug.Debugger, scfg shadow.Config, li
 	default:
 		rr.Outcome = OutcomeMasked
 	}
-	return rr
+	return rr, nil
 }
 
 func asResource(err error, re **interp.ResourceExhausted) bool {

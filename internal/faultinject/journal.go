@@ -1,0 +1,208 @@
+package faultinject
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalVersion guards the on-disk format; bump it when the record layout
+// changes so stale journals are rejected instead of misread.
+const journalVersion = 1
+
+// journalMeta pins the campaign a journal belongs to. Every parameter that
+// influences a run's result is part of the fingerprint: resuming under
+// different flags would splice results from two different experiments into
+// one report, so OpenJournal rejects a mismatch outright.
+type journalMeta struct {
+	Version   int    `json:"version"`
+	Workload  string `json:"workload"`
+	N         int    `json:"n"`
+	Arch      string `json:"arch"`
+	Runs      int    `json:"runs"`
+	Seed      int64  `json:"seed"`
+	Model     string `json:"model"` // canonical dump of the fault model
+	Timeout   int64  `json:"timeout_ns"`
+	MaxSteps  int64  `json:"max_steps"`
+	Precision uint   `json:"precision"`
+	Budget    int64  `json:"max_shadow_bytes"`
+	Masked    int    `json:"masked_bits"`
+}
+
+func metaFor(cfg CampaignConfig) journalMeta {
+	cfg = cfg.withDefaults()
+	return journalMeta{
+		Version:  journalVersion,
+		Workload: cfg.Workload, N: cfg.N, Arch: cfg.Arch,
+		Runs: cfg.Runs, Seed: cfg.Seed,
+		Model:   fmt.Sprintf("%+v", cfg.Model),
+		Timeout: int64(cfg.Timeout), MaxSteps: cfg.MaxSteps,
+		Precision: cfg.Precision, Budget: cfg.MaxShadowBytes,
+		Masked: cfg.MaskedBits,
+	}
+}
+
+// journalRecord is one JSONL line: a header (first line of every journal)
+// or one completed run.
+type journalRecord struct {
+	Kind   string       `json:"kind"` // "header" or "run"
+	Meta   *journalMeta `json:"meta,omitempty"`
+	Arch   string       `json:"arch,omitempty"`
+	Result *RunResult   `json:"result,omitempty"`
+}
+
+type journalKey struct {
+	arch string
+	run  int
+}
+
+// Journal is a crash-safe write-ahead log for fault-injection campaigns:
+// one JSONL record per completed run, fsync'd before the run is reported
+// upward, so a campaign killed at any instant loses at most the runs still
+// in flight. Reopening the same path resumes: journaled runs are replayed
+// from disk instead of re-executed, and because every run is a pure
+// function of (config, run index), the resumed report is byte-identical to
+// an uninterrupted one.
+//
+// A torn final record (the process died mid-write) is detected on open and
+// truncated away before appending resumes, so the log stays parseable
+// forever. Safe for concurrent use by campaign workers.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	enc       *json.Encoder
+	completed map[journalKey]RunResult
+}
+
+// OpenJournal opens (or creates) the journal at path for the given
+// campaign. A fresh file is stamped with the campaign's parameter
+// fingerprint; an existing one must carry a matching fingerprint, and its
+// completed runs become the resume set. The caller owns Close.
+func OpenJournal(path string, cfg CampaignConfig) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, completed: map[journalKey]RunResult{}}
+	meta := metaFor(cfg)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if len(raw) == 0 {
+		if err := j.append(journalRecord{Kind: "header", Meta: &meta}); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	good, err := j.load(raw, meta)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop a torn tail (crash mid-write) so appends produce valid JSONL.
+	if good < int64(len(raw)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load parses the journal bytes, validates the header against meta, fills
+// the resume set, and returns the offset of the first byte past the last
+// intact record.
+func (j *Journal) load(raw []byte, meta journalMeta) (int64, error) {
+	var good int64
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(nil, 1<<24)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn or corrupt record: resume from the last good one
+		}
+		if first {
+			if rec.Kind != "header" || rec.Meta == nil {
+				return 0, fmt.Errorf("faultinject: journal has no header record")
+			}
+			if *rec.Meta != meta {
+				return 0, fmt.Errorf("faultinject: journal belongs to a different campaign (recorded %+v, want %+v)", *rec.Meta, meta)
+			}
+			first = false
+		} else if rec.Kind == "run" && rec.Result != nil {
+			j.completed[journalKey{rec.Arch, rec.Result.Run}] = *rec.Result
+		}
+		good += int64(len(line)) + 1 // the scanner consumed the trailing \n
+	}
+	if first {
+		return 0, fmt.Errorf("faultinject: journal has no header record")
+	}
+	return good, nil
+}
+
+// append writes one record and forces it to stable storage. The fsync per
+// record is the crash-safety contract: once record returns, that run
+// survives a kill -9.
+func (j *Journal) append(rec journalRecord) error {
+	if j.enc == nil {
+		j.enc = json.NewEncoder(j.f)
+	}
+	if err := j.enc.Encode(rec); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// record journals one completed run. Called concurrently by campaign
+// workers; records land in completion order, which is irrelevant — resume
+// keys on (arch, run).
+func (j *Journal) record(arch string, rr RunResult) error {
+	rr.events = nil // unexported anyway, but keep the stored value canonical
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.completed[journalKey{arch, rr.Run}]; ok {
+		return nil
+	}
+	if err := j.append(journalRecord{Kind: "run", Arch: arch, Result: &rr}); err != nil {
+		return err
+	}
+	j.completed[journalKey{arch, rr.Run}] = rr
+	return nil
+}
+
+// lookup returns the journaled result for (arch, run), if any.
+func (j *Journal) lookup(arch string, run int) (RunResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rr, ok := j.completed[journalKey{arch, run}]
+	return rr, ok
+}
+
+// Resumed reports how many runs the journal replayed from a previous
+// invocation (the size of the resume set at open time is not tracked
+// separately: call this before the campaign starts appending).
+func (j *Journal) Resumed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.completed)
+}
+
+// Close releases the underlying file. The journal is left on disk: a
+// completed campaign's journal simply replays every run if reused.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,228 @@
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"positdebug/internal/interp"
+)
+
+func journalCfg() CampaignConfig {
+	return CampaignConfig{
+		Workload: "polybench/gemm", N: 8, Arch: "posit",
+		Runs: 24, Seed: 42,
+	}
+}
+
+func reportJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	j, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestJournalResumeByteIdentical is the crash-safety contract: a campaign
+// cancelled mid-sweep (standing in for a killed process — the journal is
+// fsync'd per record, so the on-disk state is the same) resumes from its
+// journal and produces a report byte-identical to an uninterrupted run.
+func TestJournalResumeByteIdentical(t *testing.T) {
+	cfg := journalCfg()
+	want, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := reportJSON(t, want)
+
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+
+	// Pass 1: journaled, cut down by a context cancelled shortly after the
+	// sweep starts. Any completed prefix (including none) is a valid crash
+	// point.
+	j1, err := OpenJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := cfg
+	cfg1.Journal = j1
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := RunCampaignContext(ctx, cfg1); err != nil {
+		var c *interp.Cancelled
+		if !errors.As(err, &c) {
+			t.Fatalf("interrupted campaign: want *interp.Cancelled, got %v", err)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 2: resume from the journal, uninterrupted.
+	j2, err := OpenJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	t.Logf("resuming past %d journaled runs", j2.Resumed())
+	cfg2 := cfg
+	cfg2.Journal = j2
+	got, err := RunCampaign(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON := reportJSON(t, got); string(gotJSON) != string(wantJSON) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", wantJSON, gotJSON)
+	}
+}
+
+// TestJournalFullReplay: a journal from a completed campaign replays every
+// run — zero re-execution, same bytes.
+func TestJournalFullReplay(t *testing.T) {
+	cfg := journalCfg()
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j1, err := OpenJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := cfg
+	cfg1.Journal = j1
+	want, err := RunCampaign(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	j2, err := OpenJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Resumed() != cfg.Runs {
+		t.Fatalf("want all %d runs journaled, got %d", cfg.Runs, j2.Resumed())
+	}
+	cfg2 := cfg
+	cfg2.Journal = j2
+	got, err := RunCampaign(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reportJSON(t, got)) != string(reportJSON(t, want)) {
+		t.Fatal("full replay differs from the journaled run")
+	}
+}
+
+// TestJournalRejectsDifferentCampaign: a journal is pinned to its
+// parameters; resuming under different flags is an error, not a silent mix
+// of two experiments.
+func TestJournalRejectsDifferentCampaign(t *testing.T) {
+	cfg := journalCfg()
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j, err := OpenJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	other := cfg
+	other.Seed = 7
+	if _, err := OpenJournal(path, other); err == nil {
+		t.Fatal("journal accepted a campaign with a different seed")
+	}
+	other = cfg
+	other.Runs = cfg.Runs * 2
+	if _, err := OpenJournal(path, other); err == nil {
+		t.Fatal("journal accepted a campaign with a different run count")
+	}
+}
+
+// TestJournalTornTail: a record torn by a crash mid-write is truncated on
+// reopen; the intact prefix survives and appending resumes cleanly.
+func TestJournalTornTail(t *testing.T) {
+	cfg := journalCfg()
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j, err := OpenJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.record("posit", RunResult{Run: 3, Seed: Mix(cfg.Seed, 3), Outcome: OutcomeMasked}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"run","arch":"posit","result":{"ru`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path, cfg)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer j2.Close()
+	if j2.Resumed() != 1 {
+		t.Fatalf("want the 1 intact run, got %d", j2.Resumed())
+	}
+	if _, ok := j2.lookup("posit", 3); !ok {
+		t.Fatal("intact record lost")
+	}
+	if err := j2.record("posit", RunResult{Run: 4, Outcome: OutcomeMasked}); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	// The file must be fully parseable again.
+	j3, err := OpenJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Resumed() != 2 {
+		t.Fatalf("want 2 runs after repair, got %d", j3.Resumed())
+	}
+}
+
+// TestCampaignCancelled: cancelling the campaign context halts the sweep —
+// including a hot interpreter loop in flight — and surfaces *Cancelled.
+func TestCampaignCancelled(t *testing.T) {
+	cfg := CampaignConfig{
+		Workload: "polybench/gemm", N: 16, Arch: "posit",
+		Runs: 200, Seed: 1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunCampaignContext(ctx, cfg)
+	elapsed := time.Since(start)
+	var c *interp.Cancelled
+	if !errors.As(err, &c) {
+		t.Fatalf("want *interp.Cancelled, got %v", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("campaign took %v to honor cancellation", elapsed)
+	}
+}
+
+// TestCampaignPreCancelled: an already-dead context never starts a run.
+func TestCampaignPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCampaignContext(ctx, journalCfg())
+	var c *interp.Cancelled
+	if !errors.As(err, &c) {
+		t.Fatalf("want *interp.Cancelled, got %v", err)
+	}
+}

@@ -10,6 +10,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +58,13 @@ type Machine struct {
 	checkDeadline bool
 	limSteps      int64
 	limTimeout    time.Duration
+
+	// runCtx/ctxDone carry the run's context (RunContext). ctxDone is the
+	// pre-fetched Done channel so the hot loop pays one nil check plus a
+	// non-blocking receive every deadlineCheckMask steps, never a ctx
+	// method call per instruction.
+	runCtx  context.Context
+	ctxDone <-chan struct{}
 
 	inj Injector
 
@@ -155,6 +163,28 @@ func (e *InternalFault) Error() string {
 		e.Func, e.Block, e.Index, e.Steps, e.Recovered)
 }
 
+// Cancelled is returned by RunContext when the governing context is
+// cancelled while the program runs. It is deliberately distinct from
+// *ResourceExhausted: a cancellation is an external decision (client
+// disconnect, server drain, campaign deadline), not a budget the run blew
+// through, and callers map the two to different failure handling (HTTP 499
+// vs 503, campaign abort vs "hung" classification). The interpreter polls
+// the context cooperatively every few thousand instructions, so a hot loop
+// stops within one step-budget check of the cancellation.
+type Cancelled struct {
+	Func  string // function executing when the cancellation was observed
+	Steps int64  // instructions executed so far
+	Cause error  // context.Cause at observation time
+}
+
+func (e *Cancelled) Error() string {
+	return fmt.Sprintf("run cancelled in %s after %d steps: %v", e.Func, e.Steps, e.Cause)
+}
+
+// Unwrap exposes the context cause, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) work.
+func (e *Cancelled) Unwrap() error { return e.Cause }
+
 // Stopped is returned by Run when a hook deliberately halted execution —
 // the mechanism behind PositDebug's conditional error breakpoints (the
 // paper's gdb workflow). Reason carries the hook's payload, typically a
@@ -184,12 +214,38 @@ func (m *Machine) Run(name string, args ...uint64) (v uint64, err error) {
 // timeout on top of the instruction budget, both reported as structured
 // *ResourceExhausted errors.
 func (m *Machine) RunWithLimits(name string, lim Limits, args ...uint64) (v uint64, err error) {
+	return m.RunContext(context.Background(), name, lim, args...)
+}
+
+// RunContext is RunWithLimits governed by a context: when ctx is cancelled
+// the interpreter stops cooperatively within one step-budget check and
+// returns a structured *Cancelled error. A context with no Done channel
+// (context.Background()) adds no per-step cost beyond one nil check per
+// poll interval.
+func (m *Machine) RunContext(ctx context.Context, name string, lim Limits, args ...uint64) (v uint64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.runCtx, m.ctxDone = ctx, ctx.Done()
+	if m.ctxDone != nil {
+		select {
+		case <-m.ctxDone:
+			return 0, &Cancelled{Cause: context.Cause(ctx)}
+		default:
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			switch f := r.(type) {
 			case *Stopped:
 				err = f
 			case *InternalFault:
+				err = f
+			case *Cancelled:
+				if f.Func == "" && m.curFn != nil {
+					f.Func = m.curFn.Name
+				}
+				f.Steps = m.steps
 				err = f
 			case *ResourceExhausted:
 				if f.Func == "" && m.curFn != nil {
@@ -320,6 +376,10 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 		// pass the structured value through unchanged.
 		switch f := r.(type) {
 		case *Stopped, *InternalFault:
+		case *Cancelled:
+			if f.Func == "" {
+				f.Func = fn.Name
+			}
 		case *ResourceExhausted:
 			if f.Func == "" {
 				f.Func = fn.Name
@@ -341,10 +401,19 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 				Func: fn.Name, Steps: m.steps,
 			}
 		}
-		if m.checkDeadline && m.steps&deadlineCheckMask == 0 && time.Now().After(m.deadline) {
-			return 0, &ResourceExhausted{
-				Resource: ResWallClock, Limit: int64(m.limTimeout), Used: m.steps,
-				Func: fn.Name, Steps: m.steps,
+		if m.steps&deadlineCheckMask == 0 {
+			if m.checkDeadline && time.Now().After(m.deadline) {
+				return 0, &ResourceExhausted{
+					Resource: ResWallClock, Limit: int64(m.limTimeout), Used: m.steps,
+					Func: fn.Name, Steps: m.steps,
+				}
+			}
+			if m.ctxDone != nil {
+				select {
+				case <-m.ctxDone:
+					return 0, &Cancelled{Func: fn.Name, Steps: m.steps, Cause: context.Cause(m.runCtx)}
+				default:
+				}
 			}
 		}
 		m.curBlk, m.curIdx = b, i

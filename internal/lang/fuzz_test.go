@@ -1,0 +1,55 @@
+package lang
+
+import (
+	"os"
+	"testing"
+)
+
+// seedCorpus feeds both fuzz targets: the repo's example program plus
+// inline seeds covering every syntactic construct, so the fuzzer mutates
+// from real shapes instead of rediscovering the grammar byte by byte.
+func seedCorpus(f *testing.F) {
+	if src, err := os.ReadFile("../../testdata/rootcount.pcl"); err == nil {
+		f.Add(string(src))
+	}
+	seeds := []string{
+		"",
+		"func main(): i64 { return 0; }",
+		"var A: [4]f64;\nfunc f(i: i64): f64 { return A[i]; }",
+		"func f(a: p32, b: p32): p32 { var t: p32 = a * b - 4.0; return t; }",
+		"func f(n: i64): i64 { if (n <= 1) { return 1; } return n * f(n - 1); }",
+		"func f(): i64 { var i: i64 = 0; while (i < 10) { i += 1; } return i; }",
+		"func f(): i64 { for (var i: i64 = 0; i < 4; i += 1) { print(i); } return 0; }",
+		"func f(a: f32): f64 { return a as f64; }",
+		"func f(a: i64, b: i64): bool { return a < b && !(a == b) || a > b; }",
+		"func f(): p16 { return 1.5; }",
+		"// comment\nfunc f(): i64 { return -9223372036854775808; }",
+		"func f(): f64 { return 1.0e308 + 0x10; }",
+		"var G: i64;\nfunc f(): i64 { G = 3; return G % 2; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+}
+
+// FuzzParse: the parser must reject arbitrary input with an error, never a
+// panic — the service compiles untrusted request bodies.
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src)
+	})
+}
+
+// FuzzTypeCheck: anything the parser accepts must flow through the type
+// checker without panicking.
+func FuzzTypeCheck(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_, _ = Check(prog)
+	})
+}

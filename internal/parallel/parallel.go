@@ -21,6 +21,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -51,7 +52,13 @@ type panicValue struct {
 // (0..workers−1). Panics from items are captured and the lowest-index one
 // re-raised after all workers drain. workers ≤ 1 runs inline on the
 // caller's goroutine.
-func run(workers, n int, item func(w, i int)) {
+//
+// done, when non-nil, is a cancellation signal: once it is closed, workers
+// stop claiming new items (items already executing are interrupted only by
+// their own cooperative mechanisms — see interp.RunContext). Cancellation
+// never tears a merge: every claimed item either completes or records its
+// own error.
+func run(done <-chan struct{}, workers, n int, item func(w, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -66,6 +73,13 @@ func run(workers, n int, item func(w, i int)) {
 	var first *panicValue
 	worker := func(w int) {
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			i := int(cursor.Add(1)) - 1
 			if i >= n {
 				return
@@ -127,7 +141,15 @@ func ForEach(n int, fn func(i int)) {
 // ForEachN is ForEach with an explicit worker count; workers ≤ 1 runs
 // sequentially on the calling goroutine.
 func ForEachN(workers, n int, fn func(i int)) {
-	run(workers, n, func(_, i int) { fn(i) })
+	run(nil, workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachCtx is ForEach under a context: once ctx is cancelled no new
+// items start. It returns ctx.Err() when the sweep was cut short, nil when
+// every item ran.
+func ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	run(ctx.Done(), Workers(n), n, func(_, i int) { fn(i) })
+	return ctx.Err()
 }
 
 // Map computes results[i] = fn(i) for every i in [0,n) across
@@ -144,10 +166,27 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
-	run(workers, n, func(_, i int) {
+	run(nil, workers, n, func(_, i int) {
 		results[i], errs[i] = fn(i)
 	})
 	return results, firstErr(errs)
+}
+
+// MapCtx is Map under a context: once ctx is cancelled, workers stop
+// claiming new items and MapCtx returns after in-flight items finish. The
+// returned error is the lowest-index item error, or ctx.Err() when the
+// sweep was cut short with no item failing on its own. A cut-short result
+// slice still has length n, with zero values at unvisited indices.
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	run(ctx.Done(), Workers(n), n, func(_, i int) {
+		results[i], errs[i] = fn(i)
+	})
+	if err := firstErr(errs); err != nil {
+		return results, err
+	}
+	return results, ctx.Err()
 }
 
 // MapWorker is Map with per-worker state: each worker constructs its state
@@ -160,6 +199,15 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 //
 // A newState error aborts before any item runs.
 func MapWorker[S, T any](n int, newState func() (S, error), fn func(s S, i int) (T, error)) ([]T, error) {
+	return MapWorkerCtx(context.Background(), n, newState, fn)
+}
+
+// MapWorkerCtx is MapWorker under a context: once ctx is cancelled,
+// workers stop claiming new items (in-flight items are interrupted only by
+// their own cooperative mechanisms) and the call returns after they drain.
+// The returned error is the lowest-index item error, or ctx.Err() when the
+// sweep was cut short with no item failing on its own.
+func MapWorkerCtx[S, T any](ctx context.Context, n int, newState func() (S, error), fn func(s S, i int) (T, error)) ([]T, error) {
 	workers := Workers(n)
 	states := make([]S, workers)
 	for w := 0; w < workers; w++ {
@@ -171,8 +219,11 @@ func MapWorker[S, T any](n int, newState func() (S, error), fn func(s S, i int) 
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
-	run(workers, n, func(w, i int) {
+	run(ctx.Done(), workers, n, func(w, i int) {
 		results[i], errs[i] = fn(states[w], i)
 	})
-	return results, firstErr(errs)
+	if err := firstErr(errs); err != nil {
+		return results, err
+	}
+	return results, ctx.Err()
 }

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrainOnSIGTERM is the shutdown contract end to end, with a
+// real signal: a SIGTERM delivered mid-request lets the in-flight run
+// finish with 200, answers new requests 503 while draining, and Serve
+// returns nil (the binary's clean-exit path).
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	s := New(Config{
+		MaxConcurrent:  2,
+		DefaultTimeout: 30 * time.Second,
+		DrainTimeout:   20 * time.Second,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+
+	// The same wiring cmd/pdserve uses: NotifyContext turns SIGTERM into
+	// context cancellation, which flips Serve into its drain window.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ctx, l) }()
+
+	post := func(req RunRequest) (int, RunResponse, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, RunResponse{}, err
+		}
+		resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, RunResponse{}, err
+		}
+		defer resp.Body.Close()
+		var rr RunResponse
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(b, &rr); err != nil {
+				return resp.StatusCode, rr, err
+			}
+		}
+		return resp.StatusCode, rr, nil
+	}
+
+	// Launch the slow in-flight request, wait until it is actually
+	// executing, then deliver SIGTERM to ourselves.
+	var wg sync.WaitGroup
+	var slowCode int
+	var slowResp RunResponse
+	var slowErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slowCode, slowResp, slowErr = post(RunRequest{Source: slowSrc})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never started executing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drain must become observable, then reject new work with 503
+	// while the slow request is still in flight.
+	for deadline = time.Now().Add(5 * time.Second); !s.Draining(); {
+		if time.Now().After(deadline) {
+			t.Fatal("SIGTERM did not begin the drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.InFlight() == 0 {
+		t.Fatal("in-flight request finished before the drain was observed; slow source is too fast for this test")
+	}
+	code, _, err := post(RunRequest{Source: goodSrc})
+	if err != nil {
+		t.Fatalf("request during drain: %v", err)
+	}
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: want 503, got %d", code)
+	}
+
+	// The in-flight request completes normally.
+	wg.Wait()
+	if slowErr != nil {
+		t.Fatalf("in-flight request: %v", slowErr)
+	}
+	if slowCode != http.StatusOK {
+		t.Fatalf("in-flight request: want 200, got %d", slowCode)
+	}
+	if slowResp.Steps == 0 {
+		t.Fatalf("in-flight request returned no work: %+v", slowResp)
+	}
+
+	// And Serve returns nil — the clean exit.
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve: want nil on graceful drain, got %v", err)
+		}
+	case <-time.After(25 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}
+
+// TestClientDisconnectCancelsRun: a client that goes away mid-run stops
+// the interpreter (the request context propagates into the hot loop) and
+// frees the execution slot promptly.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	s := New(Config{
+		MaxConcurrent:  1,
+		DefaultTimeout: 30 * time.Second,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+	ctx, cancelServe := context.WithCancel(context.Background())
+	defer cancelServe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ctx, l) }()
+
+	// A request that would spin forever, abandoned by its client.
+	body, _ := json.Marshal(RunRequest{Source: spinSrc, MaxSteps: 1 << 50})
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, base+"/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("spin request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelReq()
+	if err := <-done; err == nil {
+		t.Fatal("abandoned request reported success")
+	}
+
+	// The slot must free: a normal request on the 1-slot server succeeds
+	// without waiting for any budget to expire.
+	start := time.Now()
+	for {
+		resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(mustJSON(RunRequest{Source: goodSrc})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Fatalf("slot never freed after client disconnect (last status %d)", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to free the slot", elapsed)
+	}
+}
+
+func mustJSON(v interface{}) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

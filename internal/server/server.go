@@ -1,0 +1,592 @@
+// Package server is PositDebug as a hardened HTTP service: it compiles,
+// shadow-executes and debugs posit/FP programs per request, built for the
+// long-running production posture the paper's constant-size metadata makes
+// viable — bounded admission, cooperative cancellation end-to-end, graceful
+// degradation under memory pressure, and a clean drain on shutdown.
+//
+// Failure taxonomy → HTTP status:
+//
+//	compile/parse/check error, bad request shape  → 400
+//	program trap (OOB access, stack overflow)     → 422
+//	*interp.Cancelled (client gone, drain)        → 499
+//	*interp.InternalFault (recovered panic)       → 500
+//	*interp.ResourceExhausted (budgets)           → 503
+//	admission queue full (load shed)              → 429 + Retry-After
+//	draining                                      → 503
+//
+// Every run is bounded (wall clock + steps), governed by the request
+// context (a disconnected client stops the interpreter within one poll
+// interval), and isolated (a panic anywhere in the run is a structured 500
+// for that request, never a crashed process). A memory-pressure watchdog
+// steps the fleet-wide shadow precision 256→128→64 and back, reported via
+// Degraded in responses and the pd_serve_precision_bits gauge.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	positdebug "positdebug"
+	"positdebug/internal/interp"
+	"positdebug/internal/obs"
+	"positdebug/internal/shadow"
+)
+
+// StatusClientClosedRequest is nginx's 499: the client went away (or the
+// server began draining) and the run was cancelled before completing.
+const StatusClientClosedRequest = 499
+
+// Config tunes the service. The zero value gets production-safe defaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing runs
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds runs waiting for an execution slot; beyond it the
+	// request is shed with 429 + Retry-After (default 4×MaxConcurrent).
+	MaxQueue int
+	// DefaultTimeout is the per-run wall-clock budget when the request
+	// doesn't set one (default 2s); MaxTimeout caps what a request may ask
+	// for (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSteps is the per-run instruction budget (default 50M); requests
+	// may lower it, never raise it.
+	MaxSteps int64
+	// MaxSourceBytes caps the request body (default 256 KiB).
+	MaxSourceBytes int64
+	// Precision is the shadow precision served at zero memory pressure
+	// (default 256). The watchdog degrades it stepwise to 128 then 64.
+	Precision uint
+	// MaxShadowBytes is the per-run shadow-memory budget (0 = unlimited);
+	// over-budget runs degrade per-run on top of the fleet-wide step.
+	MaxShadowBytes int64
+	// SoftMemLimit is the heap size (bytes) at which the watchdog steps
+	// the fleet-wide precision down one notch; recovery happens below half
+	// the limit. 0 disables the watchdog.
+	SoftMemLimit uint64
+	// WatchdogInterval is the memory poll cadence (default 1s).
+	WatchdogInterval time.Duration
+	// DrainTimeout bounds how long Serve waits for in-flight requests
+	// after shutdown begins (default 30s).
+	DrainTimeout time.Duration
+	// CacheSize is the compiled-program LRU capacity (default 64). A
+	// cache hit is the warm-session path: compile and instrumentation are
+	// already done, the request pays only for execution.
+	CacheSize int
+	// Metrics receives service and shadow-oracle metrics (default: a
+	// fresh registry, exposed at /metrics).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 50_000_000
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 256 << 10
+	}
+	if c.Precision == 0 {
+		c.Precision = 256
+	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// maxPrecShift bounds degradation at Precision>>2: 256→128→64, the
+// paper's evaluated precisions and shadow.MinPrecision's floor.
+const maxPrecShift = 2
+
+// Server is one service instance. Build with New, expose via Handler or
+// run with Serve.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	precShift atomic.Int32
+
+	drainOnce sync.Once
+	drainCh   chan struct{}
+
+	// memUsage reports current heap use for the watchdog; replaced in
+	// tests to simulate pressure without allocating gigabytes.
+	memUsage func() uint64
+
+	cache *progCache
+	mux   *http.ServeMux
+}
+
+// New builds a server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		drainCh: make(chan struct{}),
+		cache:   newProgCache(cfg.CacheSize),
+	}
+	s.memUsage = heapInUse
+	s.reg.Gauge("pd_serve_precision_bits").Set(int64(s.EffectivePrecision()))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler (/run, /healthz, /readyz,
+// /metrics).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// InFlight reports currently executing runs (tests and the drain loop).
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// BeginDrain flips the server into drain mode: /readyz and new /run
+// requests answer 503 while in-flight runs finish. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// Serve accepts connections on l until ctx is cancelled (the SIGTERM path
+// in cmd/pdserve), then drains gracefully: new requests are rejected with
+// 503, in-flight requests finish (bounded by DrainTimeout), and Serve
+// returns nil for a clean exit. The memory watchdog runs for the lifetime
+// of the listener when SoftMemLimit is set.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	if s.cfg.SoftMemLimit > 0 {
+		go s.watchdog(stopWatch)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.BeginDrain()
+	// Drain window: the listener stays open so late arrivals get an
+	// explicit 503 (not a connection refused) while in-flight runs finish.
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for (s.inflight.Load() > 0 || s.queued.Load() > 0) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	if err != nil {
+		// Stragglers past the drain budget: close connections outright;
+		// their request contexts cancel and the interpreter stops with
+		// *Cancelled within one poll interval.
+		_ = hs.Close()
+	}
+	<-errc // always http.ErrServerClosed by now
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// EffectivePrecision is the fleet-wide shadow precision after the
+// watchdog's degradation steps.
+func (s *Server) EffectivePrecision() uint {
+	p := s.cfg.Precision >> uint(s.precShift.Load())
+	if p < shadow.MinPrecision {
+		p = shadow.MinPrecision
+	}
+	return p
+}
+
+// RunRequest is the /run request body.
+type RunRequest struct {
+	// Source is the PCL program (posit or FP types).
+	Source string `json:"source"`
+	// Fn is the entry function (default "main").
+	Fn string `json:"fn,omitempty"`
+	// Args are entry-function argument bit patterns, as strings so 64-bit
+	// values survive JSON ("0x..." hex or decimal).
+	Args []string `json:"args,omitempty"`
+	// Baseline runs uninstrumented — no shadow execution, no detections.
+	Baseline bool `json:"baseline,omitempty"`
+	// TimeoutMS lowers the per-run wall-clock budget (capped by the
+	// server's MaxTimeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSteps lowers the per-run instruction budget (never raises it).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+}
+
+// RunResponse is the /run success body.
+type RunResponse struct {
+	// Value is the entry function's result bit pattern, 0x-prefixed hex.
+	Value string `json:"value"`
+	// Rendered is the result decoded per the entry function's return type.
+	Rendered string `json:"rendered"`
+	// Output is everything the program printed.
+	Output string `json:"output,omitempty"`
+	// Steps is the instruction count.
+	Steps int64 `json:"steps"`
+	// Detections counts shadow-oracle detections by kind (absent for
+	// baseline runs).
+	Detections map[string]int `json:"detections,omitempty"`
+	// Precision is the shadow precision the run completed at; Degraded
+	// marks runs below the server's configured precision — fleet-wide
+	// memory-pressure degradation or a per-run shadow-budget retry.
+	Precision uint `json:"precision,omitempty"`
+	Degraded  bool `json:"degraded"`
+	// Cached reports a compile-cache hit (the warm path).
+	Cached bool `json:"cached"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind is the failure taxonomy bucket: bad-request, compile, trap,
+	// cancelled, internal-fault, resource-exhausted, shed, draining.
+	Kind string `json:"kind"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, kind, msg string) {
+	s.reg.Counter(`pd_serve_requests_total{code="` + strconv.Itoa(code) + `"}`).Inc()
+	writeJSON(w, code, ErrorResponse{Error: msg, Kind: kind})
+}
+
+// statusFor maps a run error onto the failure taxonomy.
+func statusFor(err error) (int, string) {
+	var c *interp.Cancelled
+	if errors.As(err, &c) {
+		return StatusClientClosedRequest, "cancelled"
+	}
+	var re *interp.ResourceExhausted
+	if errors.As(err, &re) {
+		return http.StatusServiceUnavailable, "resource-exhausted"
+	}
+	var f *interp.InternalFault
+	if errors.As(err, &f) {
+		return http.StatusInternalServerError, "internal-fault"
+	}
+	var tr *interp.Trap
+	if errors.As(err, &tr) {
+		return http.StatusUnprocessableEntity, "trap"
+	}
+	return http.StatusInternalServerError, "internal-fault"
+}
+
+// admit acquires an execution slot, queueing up to MaxQueue requests.
+// Returns (release, 0) on success, or (nil, status) when the request must
+// be rejected: 429 when the queue is full (load shed), 503 when draining,
+// 499 when the client went away while queued.
+func (s *Server) admit(ctx context.Context) (func(), int) {
+	if s.Draining() {
+		return nil, http.StatusServiceUnavailable
+	}
+	release := func() {
+		<-s.sem
+		s.inflight.Add(-1)
+		s.reg.Gauge("pd_serve_inflight").Set(s.inflight.Load())
+	}
+	acquire := func() func() {
+		s.inflight.Add(1)
+		s.reg.Gauge("pd_serve_inflight").Set(s.inflight.Load())
+		return release
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return acquire(), 0
+	default:
+	}
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.reg.Counter("pd_serve_shed_total").Inc()
+		return nil, http.StatusTooManyRequests
+	}
+	s.reg.Gauge("pd_serve_queue_depth").Set(s.queued.Load())
+	defer func() {
+		s.queued.Add(-1)
+		s.reg.Gauge("pd_serve_queue_depth").Set(s.queued.Load())
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return acquire(), 0
+	case <-ctx.Done():
+		return nil, StatusClientClosedRequest
+	case <-s.drainCh:
+		return nil, http.StatusServiceUnavailable
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "bad-request", "POST only")
+		return
+	}
+	release, code := s.admit(r.Context())
+	if code != 0 {
+		switch code {
+		case http.StatusTooManyRequests:
+			w.Header().Set("Retry-After", "1")
+			s.writeErr(w, code, "shed", "admission queue full; retry later")
+		case http.StatusServiceUnavailable:
+			s.writeErr(w, code, "draining", "server is draining")
+		default:
+			s.writeErr(w, code, "cancelled", "client closed request while queued")
+		}
+		return
+	}
+	defer release()
+	// Per-request panic isolation: the interpreter already converts run
+	// panics into *InternalFault; this belt catches bugs in the handler
+	// path itself so one poisoned request never kills the process.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.writeErr(w, http.StatusInternalServerError, "internal-fault",
+				fmt.Sprintf("panic serving request: %v", rec))
+		}
+	}()
+
+	var req RunRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Source == "" {
+		s.writeErr(w, http.StatusBadRequest, "bad-request", "missing source")
+		return
+	}
+
+	prog, cached, err := s.cache.get(req.Source)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "compile", err.Error())
+		return
+	}
+	if cached {
+		s.reg.Counter("pd_serve_cache_hits_total").Inc()
+	} else {
+		s.reg.Counter("pd_serve_cache_misses_total").Inc()
+	}
+
+	fnName := req.Fn
+	if fnName == "" {
+		fnName = "main"
+	}
+	fn := prog.Module.FuncByName(fnName)
+	if fn == nil {
+		s.writeErr(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("no function %q", fnName))
+		return
+	}
+	args := make([]uint64, 0, len(req.Args))
+	for _, a := range req.Args {
+		v, err := strconv.ParseUint(a, 0, 64)
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, "bad-request", "bad argument "+strconv.Quote(a)+": "+err.Error())
+			return
+		}
+		args = append(args, v)
+	}
+	if len(args) != len(fn.Params) {
+		s.writeErr(w, http.StatusBadRequest, "bad-request",
+			fmt.Sprintf("%s takes %d args, got %d", fnName, len(fn.Params), len(args)))
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	maxSteps := s.cfg.MaxSteps
+	if req.MaxSteps > 0 && req.MaxSteps < maxSteps {
+		maxSteps = req.MaxSteps
+	}
+	lim := interp.Limits{Timeout: timeout, MaxSteps: maxSteps}
+
+	opts := []positdebug.Option{
+		positdebug.WithContext(r.Context()),
+		positdebug.WithLimits(lim),
+		positdebug.WithArgs(args...),
+	}
+	basePrec := s.cfg.Precision
+	var scfg shadow.Config
+	if req.Baseline {
+		opts = append(opts, positdebug.WithBaseline())
+	} else {
+		scfg = shadow.DefaultConfig()
+		scfg.Precision = s.EffectivePrecision()
+		scfg.MaxShadowBytes = s.cfg.MaxShadowBytes
+		scfg.Tracing = false
+		scfg.MaxReports = 1
+		scfg.Metrics = s.reg
+		opts = append(opts, positdebug.WithShadow(scfg))
+	}
+
+	res, err := prog.Exec(fnName, opts...)
+	if err != nil {
+		code, kind := statusFor(err)
+		s.writeErr(w, code, kind, err.Error())
+		return
+	}
+
+	resp := RunResponse{
+		Value:    "0x" + strconv.FormatUint(res.Value, 16),
+		Rendered: interp.FormatValue(fn.Ret, res.Value),
+		Output:   res.Output,
+		Steps:    res.Steps,
+		Cached:   cached,
+	}
+	if !req.Baseline {
+		resp.Precision = res.ShadowPrecision
+		resp.Degraded = res.Degraded || res.ShadowPrecision < basePrec
+		if res.Summary != nil && len(res.Summary.Counts) > 0 {
+			resp.Detections = make(map[string]int, len(res.Summary.Counts))
+			for k, n := range res.Summary.Counts {
+				resp.Detections[k.String()] = n
+			}
+		}
+		if resp.Degraded {
+			s.reg.Counter("pd_serve_degraded_responses_total").Inc()
+		}
+	}
+	s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":    "ok",
+		"precision": s.EffectivePrecision(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteProm(w)
+}
+
+// progCache is a small LRU of compiled programs keyed by source text — the
+// warm-session path of the service. Entries are published only after
+// Instrumented() has run, so a cached *positdebug.Program is read-only and
+// safe to Exec from any number of concurrent requests.
+type progCache struct {
+	mu   sync.Mutex
+	cap  int
+	tick int64
+	m    map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	prog *positdebug.Program
+	last int64
+}
+
+func newProgCache(capacity int) *progCache {
+	return &progCache{cap: capacity, m: make(map[string]*cacheEntry, capacity)}
+}
+
+func (c *progCache) get(src string) (*positdebug.Program, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.m[src]; ok {
+		c.tick++
+		e.last = c.tick
+		c.mu.Unlock()
+		return e.prog, true, nil
+	}
+	c.mu.Unlock()
+
+	// Compile outside the lock: one slow compile must not serialize every
+	// cache hit behind it. Concurrent misses on the same source compile
+	// twice; the first to publish wins.
+	prog, err := positdebug.Compile(src)
+	if err != nil {
+		return nil, false, err
+	}
+	prog.Instrumented() // freeze the lazy cache before publishing
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[src]; ok {
+		c.tick++
+		e.last = c.tick
+		return e.prog, true, nil
+	}
+	if len(c.m) >= c.cap {
+		var oldest string
+		var min int64 = 1<<63 - 1
+		for k, e := range c.m {
+			if e.last < min {
+				min, oldest = e.last, k
+			}
+		}
+		delete(c.m, oldest)
+	}
+	c.tick++
+	c.m[src] = &cacheEntry{prog: prog, last: c.tick}
+	return prog, false, nil
+}

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const goodSrc = `
+func main(): p32 {
+	var a: p32 = 1.0;
+	var b: p32 = 3.0;
+	return a / b;
+}
+`
+
+// slowSrc burns steps long enough to still be running when the test acts
+// (cancel, drain, shed) but finishes fast once allowed to.
+const slowSrc = `
+func main(): i64 {
+	var i: i64 = 0;
+	while (i < 2000000) {
+		i += 1;
+	}
+	return i;
+}
+`
+
+// spinSrc never terminates on its own: only a budget or cancellation
+// stops it.
+const spinSrc = `
+func main(): i64 {
+	var i: i64 = 0;
+	while (true) {
+		i += 1;
+	}
+	return i;
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, req RunRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestRunOK(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postRun(t, ts, RunRequest{Source: goodSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Steps == 0 || rr.Value == "" {
+		t.Fatalf("empty result: %+v", rr)
+	}
+	if rr.Degraded {
+		t.Fatalf("unexpected degradation: %+v", rr)
+	}
+	if rr.Precision != 256 {
+		t.Fatalf("want precision 256, got %d", rr.Precision)
+	}
+	if rr.Cached {
+		t.Fatal("first run cannot be a cache hit")
+	}
+
+	// Second run of the same source is the warm path.
+	resp, body = postRun(t, ts, RunRequest{Source: goodSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr2 RunResponse
+	if err := json.Unmarshal(body, &rr2); err != nil {
+		t.Fatal(err)
+	}
+	if !rr2.Cached {
+		t.Fatal("second run of identical source should hit the compile cache")
+	}
+	if rr2.Value != rr.Value || rr2.Steps != rr.Steps {
+		t.Fatalf("cached run diverged: %+v vs %+v", rr, rr2)
+	}
+}
+
+// TestFailureTaxonomy pins the error → HTTP status mapping the service
+// documents: compile errors 400, traps 422, budget trips 503.
+func TestFailureTaxonomy(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  RunRequest
+		code int
+		kind string
+	}{
+		{"compile error", RunRequest{Source: "func main(: i64 {}"}, 400, "compile"},
+		{"missing source", RunRequest{}, 400, "bad-request"},
+		{"unknown fn", RunRequest{Source: goodSrc, Fn: "nope"}, 400, "bad-request"},
+		{"bad arity", RunRequest{Source: goodSrc, Args: []string{"1"}}, 400, "bad-request"},
+		{"bad arg", RunRequest{Source: goodSrc, Fn: "main", Args: []string{}}, 200, ""},
+		{"step budget", RunRequest{Source: spinSrc, MaxSteps: 100_000}, 503, "resource-exhausted"},
+		{"wall clock", RunRequest{Source: spinSrc, TimeoutMS: 50}, 503, "resource-exhausted"},
+		{"trap", RunRequest{Source: `
+var A: [4]i64;
+func main(): i64 {
+	var i: i64 = 100000000;
+	return A[i];
+}
+`}, 422, "trap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postRun(t, ts, tc.req)
+			if resp.StatusCode != tc.code {
+				t.Fatalf("want %d, got %d: %s", tc.code, resp.StatusCode, body)
+			}
+			if tc.code == 200 {
+				return
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("non-JSON error body %q: %v", body, err)
+			}
+			if er.Kind != tc.kind {
+				t.Fatalf("want kind %q, got %q (%s)", tc.kind, er.Kind, er.Error)
+			}
+		})
+	}
+}
+
+// TestLoadShedding saturates a 1-slot, 1-queue server with long runs and
+// checks the overflow is shed with 429 + Retry-After while the admitted
+// requests complete.
+func TestLoadShedding(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		MaxConcurrent:  1,
+		MaxQueue:       1,
+		DefaultTimeout: 30 * time.Second,
+	})
+	const total = 8
+	codes := make([]int, total)
+	var retryAfter []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postRun(t, ts, RunRequest{Source: slowSrc})
+			mu.Lock()
+			codes[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retryAfter = append(retryAfter, resp.Header.Get("Retry-After"))
+			}
+			mu.Unlock()
+		}(i)
+		time.Sleep(10 * time.Millisecond) // establish arrival order
+	}
+	wg.Wait()
+	var ok, shed int
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d (all: %v)", c, codes)
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no requests shed at 1-slot/1-queue capacity: %v", codes)
+	}
+	if ok < 2 {
+		t.Fatalf("admitted requests should complete: %v", codes)
+	}
+	for _, ra := range retryAfter {
+		if ra == "" {
+			t.Fatal("429 without Retry-After header")
+		}
+	}
+}
+
+// TestDegradationUnderMemoryPressure drives the watchdog's state machine
+// directly: over the soft limit precision steps 256→128→64 (and responses
+// flag Degraded), below half the limit it recovers notch by notch.
+func TestDegradationUnderMemoryPressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{SoftMemLimit: 1 << 30})
+	heap := uint64(0)
+	var mu sync.Mutex
+	s.memUsage = func() uint64 { mu.Lock(); defer mu.Unlock(); return heap }
+	setHeap := func(v uint64) { mu.Lock(); heap = v; mu.Unlock() }
+
+	want := func(prec uint) {
+		t.Helper()
+		if p := s.EffectivePrecision(); p != prec {
+			t.Fatalf("want effective precision %d, got %d", prec, p)
+		}
+	}
+	want(256)
+	setHeap(2 << 30)
+	s.watchdogStep()
+	want(128)
+
+	resp, body := postRun(t, ts, RunRequest{Source: goodSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Degraded || rr.Precision != 128 {
+		t.Fatalf("want degraded run at 128 bits, got %+v", rr)
+	}
+
+	s.watchdogStep()
+	want(64)
+	s.watchdogStep() // floor: never below shadow.MinPrecision
+	want(64)
+
+	setHeap(1 << 28) // well under limit/2: recover stepwise
+	s.watchdogStep()
+	want(128)
+	s.watchdogStep()
+	want(256)
+	s.watchdogStep()
+	want(256)
+
+	resp, body = postRun(t, ts, RunRequest{Source: goodSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	rr = RunResponse{}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Degraded {
+		t.Fatalf("recovered server still serving degraded runs: %+v", rr)
+	}
+}
+
+// TestPanicIsolation: a handler-path panic answers 500 for that request
+// and the server keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Force a panic inside the guarded section via a poisoned cache.
+	s.cache = nil
+	resp, body := postRun(t, ts, RunRequest{Source: goodSrc})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("want 500 from panicking handler, got %d: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "internal-fault" {
+		t.Fatalf("want kind internal-fault, got %q", er.Kind)
+	}
+
+	// Heal the cache: the process survived and serves normally.
+	s.cache = newProgCache(4)
+	resp, body = postRun(t, ts, RunRequest{Source: goodSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server did not survive the panic: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestEndpoints covers /healthz, /readyz (including the draining flip) and
+// /metrics exposure of the service gauges.
+func TestEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, "256") {
+		t.Fatalf("readyz: %d %s", code, body)
+	}
+
+	postRun(t, ts, RunRequest{Source: goodSrc})
+	_, metrics := get("/metrics")
+	for _, want := range []string{
+		"pd_serve_precision_bits 256",
+		`pd_serve_requests_total{code="200"} 1`,
+		"pd_serve_cache_misses_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	s.BeginDrain()
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Fatalf("draining readyz: %d %s", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatal("healthz must stay 200 while draining (process is alive)")
+	}
+	resp, _ := postRun(t, ts, RunRequest{Source: goodSrc})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /run: want 503, got %d", resp.StatusCode)
+	}
+}
+
+// TestBaselineRun: baseline requests skip shadow execution and report no
+// detections or precision.
+func TestBaselineRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postRun(t, ts, RunRequest{Source: goodSrc, Baseline: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Precision != 0 || rr.Detections != nil {
+		t.Fatalf("baseline run leaked shadow fields: %+v", rr)
+	}
+}
+
+// TestDetectionsSurface: the classic catastrophic-cancellation program
+// must surface detections in the response map.
+func TestDetectionsSurface(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := `
+func main(): p32 {
+	var a: p32 = 10000.0;
+	var b: p32 = 10000.01;
+	return (b - a) * 100000.0;
+}
+`
+	resp, body := postRun(t, ts, RunRequest{Source: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range rr.Detections {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("cancellation-heavy program reported no detections: %+v", rr)
+	}
+}
+
+// TestArgsRoundTrip passes arguments in both encodings.
+func TestArgsRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := `
+func add(a: i64, b: i64): i64 {
+	return a + b;
+}
+`
+	resp, body := postRun(t, ts, RunRequest{Source: src, Fn: "add", Args: []string{"40", "0x2"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Value != "0x2a" {
+		t.Fatalf("want 0x2a, got %s", rr.Value)
+	}
+}
+
+// TestRequestBodyLimit: a body over MaxSourceBytes is a 400, not an OOM.
+func TestRequestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSourceBytes: 1024})
+	big := RunRequest{Source: fmt.Sprintf("// %s\n%s", strings.Repeat("x", 4096), goodSrc)}
+	resp, _ := postRun(t, ts, big)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: want 400, got %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"runtime"
+	"time"
+)
+
+// heapInUse is the watchdog's default memory probe. HeapInuse (spans in
+// active use) tracks real pressure better than HeapAlloc, which includes
+// garbage awaiting collection and would trigger degradation on churn.
+func heapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// watchdog polls heap use every WatchdogInterval and steps the fleet-wide
+// shadow precision one notch down (256→128→64) each time the heap is over
+// SoftMemLimit, recovering one notch back once it falls below half the
+// limit. The hysteresis gap keeps the service from oscillating at the
+// boundary; degraded runs report Degraded=true so clients know the answer
+// came at reduced precision rather than silently changing quality.
+func (s *Server) watchdog(stop <-chan struct{}) {
+	t := time.NewTicker(s.cfg.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		s.watchdogStep()
+	}
+}
+
+// watchdogStep is one poll of the degradation state machine (split out so
+// tests can drive it synchronously).
+func (s *Server) watchdogStep() {
+	heap := s.memUsage()
+	shift := s.precShift.Load()
+	switch {
+	case heap > s.cfg.SoftMemLimit && shift < maxPrecShift:
+		s.precShift.Store(shift + 1)
+		s.reg.Counter("pd_serve_degrade_steps_total").Inc()
+	case heap < s.cfg.SoftMemLimit/2 && shift > 0:
+		s.precShift.Store(shift - 1)
+	default:
+		return
+	}
+	s.reg.Gauge("pd_serve_precision_bits").Set(int64(s.EffectivePrecision()))
+}
