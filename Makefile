@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-frontend campaign-smoke bench-json bench-serve trace-smoke
+.PHONY: all build vet test race fuzz fuzz-frontend campaign-smoke bench-json bench-serve bench-profile trace-smoke profile-smoke
 
 all: build vet test
 
@@ -27,6 +27,11 @@ bench-json: build
 bench-serve: build
 	$(GO) run ./cmd/pdbench -serve -out BENCH_serve.json
 
+# Regenerate the checked-in profiler-overhead report (BENCH_profile.json):
+# full-shadow vs sampled-shadow cost and checked-op fraction on gemm.
+bench-profile: build
+	$(GO) run ./cmd/pdbench -profile -out BENCH_profile.json
+
 fuzz:
 	$(GO) test . -run FuzzInjector -fuzz FuzzInjector -fuzztime 30s
 
@@ -52,6 +57,22 @@ trace-smoke: build
 
 # A ~30-second mini resilience campaign: posit vs float under single bit
 # flips, verified deterministic by running it twice and diffing the JSON.
+# End-to-end profiler check: the parallel-determinism test under the race
+# detector at -cpu=1,4 (profiles and Chrome traces must be byte-identical
+# sequential vs 4 workers), then a real pdprof record whose profile is
+# diffed against a -workers 4 re-record and whose Chrome trace obscheck
+# validates for Perfetto-loadability. CI runs this as the profile-smoke job.
+PROFDIR ?= /tmp/pd-profile-smoke
+profile-smoke: build
+	$(GO) test -race -count=1 -cpu=1,4 -run TestProfileParallelDeterminism ./internal/harness/
+	mkdir -p $(PROFDIR)
+	$(GO) run ./cmd/pdprof record -kernel gemm -n 8 -runs 8 -sample 16 -trace $(PROFDIR)/trace.json -o $(PROFDIR)/seq.pdprof
+	$(GO) run ./cmd/pdprof record -kernel gemm -n 8 -runs 8 -sample 16 -workers 4 -o $(PROFDIR)/par.pdprof
+	diff $(PROFDIR)/seq.pdprof $(PROFDIR)/par.pdprof
+	$(GO) run ./cmd/obscheck -chrome $(PROFDIR)/trace.json
+	$(GO) run ./cmd/pdprof top -n 5 $(PROFDIR)/seq.pdprof
+	@echo "profile-smoke: deterministic profile, valid Chrome trace ✓"
+
 campaign-smoke: build
 	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -model bitflip -runs 200 -arch both
 	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -model bitflip -runs 200 -arch both -json > /tmp/pdfault-smoke-1.json

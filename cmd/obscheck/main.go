@@ -4,11 +4,14 @@
 // structural well-formedness — without needing graphviz installed. It is
 // the checker behind `make trace-smoke`.
 //
+// It also validates Chrome trace-event JSON (pdprof -trace output) for
+// Perfetto-loadability: known phases, required fields, positive pid/tid.
+//
 // Usage:
 //
-//	obscheck -jsonl trace.jsonl -dot dag.dot
+//	obscheck -jsonl trace.jsonl -dot dag.dot -chrome trace.json
 //
-// Either flag may be given alone; each may be repeated via comma-separated
+// Any flag may be given alone; each may be repeated via comma-separated
 // paths. Exits nonzero on the first violation.
 package main
 
@@ -24,10 +27,11 @@ import (
 func main() {
 	jsonl := flag.String("jsonl", "", "comma-separated JSON-lines trace files to validate")
 	dot := flag.String("dot", "", "comma-separated Graphviz DOT files to validate")
+	chrome := flag.String("chrome", "", "comma-separated Chrome trace-event JSON files to validate")
 	quiet := flag.Bool("q", false, "suppress per-file summaries")
 	flag.Parse()
-	if *jsonl == "" && *dot == "" {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-jsonl trace.jsonl[,..]] [-dot dag.dot[,..]]")
+	if *jsonl == "" && *dot == "" && *chrome == "" {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-jsonl trace.jsonl[,..]] [-dot dag.dot[,..]] [-chrome trace.json[,..]]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -55,6 +59,20 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Printf("%s: DOT OK\n", path)
+		}
+	}
+	for _, path := range splitPaths(*chrome) {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		n, verr := obs.ValidateChromeTrace(f)
+		f.Close()
+		if verr != nil {
+			fail(fmt.Errorf("%s: %w", path, verr))
+		}
+		if !*quiet {
+			fmt.Printf("%s: %d trace events OK\n", path, n)
 		}
 	}
 }

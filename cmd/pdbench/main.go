@@ -59,10 +59,19 @@ func main() {
 	strict := flag.Bool("strict", false, "exit nonzero if any benchmark regresses more than 10% vs the baseline")
 	serve := flag.Bool("serve", false, "benchmark the HTTP serve path instead (requests/sec + latency percentiles)")
 	serveReqs := flag.Int("serve-requests", 400, "requests per serve-path scenario")
+	profileMode := flag.Bool("profile", false, "benchmark the numerical-error profiler instead: full-shadow vs sampled-shadow overhead (BENCH_profile.json)")
+	profileKernel := flag.String("profile-kernel", "gemm", "kernel for -profile")
+	profileN := flag.Int("profile-n", 8, "problem size for -profile")
 	flag.Parse()
 
 	if *serve {
 		if err := serveBench(*out, *serveReqs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *profileMode {
+		if err := profileBench(*out, *profileKernel, *profileN); err != nil {
 			fatal(err)
 		}
 		return

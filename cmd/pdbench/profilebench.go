@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	positdebug "positdebug"
+	"positdebug/internal/profile"
+	"positdebug/internal/shadow"
+	"positdebug/internal/workloads"
+)
+
+// ProfileBenchRow is one profiling variant's measurement: how much a warm
+// shadow run costs with the numerical-error profiler attached at a given
+// sampling stride, and what fraction of dynamic compute instances the
+// stride actually error-checked (the accuracy side of the tradeoff).
+type ProfileBenchRow struct {
+	Name string `json:"name"`
+	// Sample is the stride: 0 = uninstrumented baseline, 1 = full shadow.
+	Sample  int     `json:"sample"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Slowdown is NsPerOp over the uninstrumented baseline's.
+	Slowdown float64 `json:"slowdown_vs_baseline"`
+	// CheckedOps / TotalOps are per-run dynamic compute instances checked
+	// against the shadow oracle vs executed (profiled variants only).
+	CheckedOps int64   `json:"checked_ops,omitempty"`
+	TotalOps   int64   `json:"total_ops,omitempty"`
+	CheckedPct float64 `json:"checked_pct,omitempty"`
+}
+
+// ProfileReport is the file format of BENCH_profile.json.
+type ProfileReport struct {
+	Go         string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Kernel     string            `json:"kernel"`
+	N          int               `json:"n"`
+	Rows       []ProfileBenchRow `json:"rows"`
+}
+
+// profileBench measures the full-shadow vs sampled-shadow overhead
+// tradeoff on one PolyBench kernel: uninstrumented baseline, plain shadow
+// execution, and shadow execution with the profiler at strides 1/4/16/64,
+// all on warm sessions so the numbers isolate per-run cost.
+func profileBench(out, kernel string, n int) error {
+	k, ok := workloads.KernelByName(kernel)
+	if !ok {
+		return fmt.Errorf("no kernel %q", kernel)
+	}
+	psrc, err := positdebug.RefactorToPosit(k.Source(n))
+	if err != nil {
+		return err
+	}
+	prog, err := positdebug.Compile(psrc)
+	if err != nil {
+		return err
+	}
+	prog.SetSourceName(kernel)
+	mod := prog.Instrumented()
+	cfg := shadow.DefaultConfig()
+	cfg.Tracing = false
+	cfg.MaxReports = 1
+
+	rep := &ProfileReport{
+		Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Kernel: kernel, N: n,
+	}
+	emit := func(row ProfileBenchRow) {
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(os.Stderr, "%-26s %14.2f ns/op %8.2fx baseline", row.Name, row.NsPerOp, row.Slowdown)
+		if row.TotalOps > 0 {
+			fmt.Fprintf(os.Stderr, "  checked %5.1f%% of ops", row.CheckedPct)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	base := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.Exec("main", positdebug.WithBaseline()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	baseNs := float64(base.T.Nanoseconds()) / float64(base.N)
+	emit(ProfileBenchRow{Name: "baseline", Sample: 0, NsPerOp: baseNs, Slowdown: 1})
+
+	plain, err := prog.Session(positdebug.WithShadow(cfg))
+	if err != nil {
+		return err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plain.Exec("main"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	emit(ProfileBenchRow{Name: "shadow", Sample: 1, NsPerOp: ns, Slowdown: ns / baseNs})
+
+	for _, stride := range []int{1, 4, 16, 64} {
+		col := profile.NewCollector()
+		dbg, err := prog.Session(
+			positdebug.WithShadow(cfg),
+			positdebug.WithProfile(col),
+			positdebug.WithSampling(stride),
+		)
+		if err != nil {
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dbg.Exec("main"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		snap := col.Snapshot(mod, kernel, "posit32", int64(r.N), int64(stride))
+		var checked, total int64
+		for _, ip := range snap.Insts {
+			checked += ip.Checked
+			total += ip.Count
+		}
+		row := ProfileBenchRow{
+			Name: fmt.Sprintf("profile/sample-%d", stride), Sample: stride,
+			NsPerOp: ns, Slowdown: ns / baseNs,
+			CheckedOps: checked, TotalOps: total,
+		}
+		if total > 0 {
+			row.CheckedPct = 100 * float64(checked) / float64(total)
+		}
+		emit(row)
+	}
+
+	j, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	j = append(j, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(j)
+		return err
+	}
+	return os.WriteFile(out, j, 0o644)
+}

@@ -15,13 +15,23 @@
 // Ctrl-C drain gracefully: in-flight requests finish, new ones get 503,
 // and the process exits 0.
 //
-// Endpoints: POST /run, GET /healthz, /readyz, /metrics (Prometheus text).
+// Observability: every request gets an id (X-Request-Id, stamped on every
+// event it emits). -flight N arms a per-request flight recorder — the last
+// N events (lifecycle, detections, causal spans) are dumped as JSONL to
+// -flight-log whenever a request answers 5xx or reports detections.
+// -profile aggregates per-instruction numerical-error profiles across
+// requests (keyed by source hash) at /debug/profile; -pprof mounts Go's
+// runtime profiling endpoints under /debug/pprof/.
+//
+// Endpoints: POST /run, GET /healthz, /readyz, /metrics (Prometheus text),
+// and optionally GET /debug/profile, /debug/pprof/*.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -42,18 +52,39 @@ func main() {
 	shadowBudget := flag.Int64("shadow-budget", 0, "per-run shadow-memory budget in bytes (0 = unlimited)")
 	softMem := flag.Uint64("soft-mem-limit", 0, "heap bytes at which the watchdog degrades shadow precision (0 = off)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	flight := flag.Int("flight", 256, "per-request flight-recorder capacity in events (0 = off)")
+	flightLog := flag.String("flight-log", "", "file receiving flight-recorder JSONL dumps (default stderr)")
+	profileReqs := flag.Bool("profile", false, "aggregate per-instruction numerical-error profiles at /debug/profile")
+	profileSample := flag.Int("profile-sample", 1, "shadow sampling stride for request profiling (1 = full shadow)")
+	pprofFlag := flag.Bool("pprof", false, "mount Go runtime profiling at /debug/pprof/")
 	flag.Parse()
 
+	var flightW io.Writer
+	if *flightLog != "" {
+		f, err := os.OpenFile(*flightLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdserve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		flightW = f
+	}
+
 	srv := server.New(server.Config{
-		MaxConcurrent:  *concurrency,
-		MaxQueue:       *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxSteps:       *maxSteps,
-		Precision:      *prec,
-		MaxShadowBytes: *shadowBudget,
-		SoftMemLimit:   *softMem,
-		DrainTimeout:   *drain,
+		MaxConcurrent:   *concurrency,
+		MaxQueue:        *queue,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxSteps:        *maxSteps,
+		Precision:       *prec,
+		MaxShadowBytes:  *shadowBudget,
+		SoftMemLimit:    *softMem,
+		DrainTimeout:    *drain,
+		FlightRecorder:  *flight,
+		FlightLog:       flightW,
+		ProfileRequests: *profileReqs,
+		ProfileSample:   *profileSample,
+		EnablePprof:     *pprofFlag,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -5,12 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"positdebug/internal/herbgrind"
 	"positdebug/internal/instrument"
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
 	"positdebug/internal/obs"
+	"positdebug/internal/profile"
 	"positdebug/internal/shadow"
 )
 
@@ -36,6 +38,11 @@ type execConfig struct {
 	herbPrec   uint
 	baseline   bool
 	args       []uint64
+	prof       *profile.Collector
+	profSet    bool
+	sample     int64
+	sampleSet  bool
+	spans      *obs.Tracer
 }
 
 // WithContext governs the run with a context: cancelling it stops the
@@ -120,6 +127,38 @@ func WithArgs(args ...uint64) Option {
 	return func(ec *execConfig) { ec.args = append(ec.args, args...) }
 }
 
+// WithProfile accumulates per-static-instruction error statistics into the
+// collector: dynamic counts, the error-bits histogram, cancellation
+// severity, saturation/NaR tallies, and (when the collector's Timing flag
+// is set) shadow-op latency. The collector persists across runs — snapshot
+// it with profile.Collector.Snapshot and merge snapshots across workers
+// (profile.Merge is commutative, so the merged profile is byte-identical
+// whatever the worker count). Requires shadow execution.
+func WithProfile(c *profile.Collector) Option {
+	return func(ec *execConfig) { ec.prof = c; ec.profSet = true }
+}
+
+// WithSampling shadows every nth dynamic instance of each static compute
+// instruction (binary/unary ops, casts, FMA, quire rounding) and skips the
+// rest, cutting shadow overhead roughly by n at the cost of missing
+// detections on skipped instances. Structural events always run, so
+// metadata propagation and the output oracle stay exact. The decision is
+// deterministic — (instruction id, occurrence counter), counters reset per
+// run — so sampled runs are as reproducible as full ones. n ≤ 1 means full
+// shadow. Requires shadow execution.
+func WithSampling(n int) Option {
+	return func(ec *execConfig) { ec.sample = int64(n); ec.sampleSet = true }
+}
+
+// WithSpans emits causal spans (shadow-exec, report) for the run into the
+// tracer — the feed behind the Chrome-trace export (obs.WriteChromeTrace).
+// The tracer's sink sees span-begin/span-end events interleaved with the
+// run's other events. Requires nothing special; baseline and Herbgrind
+// runs emit an exec span.
+func WithSpans(tr *obs.Tracer) Option {
+	return func(ec *execConfig) { ec.spans = tr }
+}
+
 func buildExecConfig(opts []Option) (*execConfig, error) {
 	ec := &execConfig{}
 	for _, o := range opts {
@@ -136,6 +175,10 @@ func buildExecConfig(opts []Option) (*execConfig, error) {
 		return nil, fmt.Errorf("positdebug: WithSkip requires shadow execution")
 	case (ec.baseline || ec.herb) && ec.wrap != nil:
 		return nil, fmt.Errorf("positdebug: WithHooksWrapper requires shadow execution")
+	case (ec.baseline || ec.herb) && (ec.profSet || ec.sampleSet):
+		return nil, fmt.Errorf("positdebug: WithProfile/WithSampling require shadow execution")
+	case ec.sampleSet && ec.sample < 0:
+		return nil, fmt.Errorf("positdebug: negative sampling stride %d", ec.sample)
 	}
 	if !ec.shadowSet && !ec.baseline && !ec.herb {
 		ec.shadowCfg = shadow.DefaultConfig()
@@ -174,6 +217,46 @@ func (p *Program) Exec(fn string, opts ...Option) (*Result, error) {
 		mod = instrument.Instrument(p.Module, instrument.Options{Skip: skipSet})
 	}
 	return execShadowModule(mod, ec, fn)
+}
+
+// monoBase anchors the monotonic clock behind shadow-op latency timing.
+var monoBase = time.Now()
+
+// monoNanos returns monotonic nanoseconds since a process-local base.
+func monoNanos() int64 { return int64(time.Since(monoBase)) }
+
+// samplingFor returns the sampling/timing decorator a run needs — non-nil
+// when the stride subsamples (n > 1) or the collector wants latency
+// timing — with its callbacks bound to the collector. The caller sets
+// Inner.
+func samplingFor(c *profile.Collector, n int64) *interp.Sampling {
+	if n <= 1 && (c == nil || !c.Timing) {
+		return nil
+	}
+	s := interp.NewSampling(nil, n)
+	if c != nil {
+		s.OnSkip = c.Skipped
+		if c.Timing {
+			s.Clock = monoNanos
+			s.OnTime = c.Latency
+		}
+	}
+	return s
+}
+
+// shadowHooks builds one attempt's hooks chain: runtime innermost, then
+// the sampling/timing decorator, then the user wrapper (fault injectors)
+// outermost — so injected faults still reach the oracle on sampled runs.
+func shadowHooks(rt *shadow.Runtime, cfg shadow.Config, ec *execConfig) interp.Hooks {
+	var hooks interp.Hooks = rt
+	if s := samplingFor(cfg.Profile, ec.sample); s != nil {
+		s.Inner = hooks
+		hooks = s
+	}
+	if ec.wrap != nil {
+		hooks = ec.wrap(hooks)
+	}
+	return hooks
 }
 
 // emitRunStart/emitRunEnd bracket one execution in the event stream.
@@ -223,7 +306,9 @@ func execBaseline(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
 		m.Prof = &interp.OpProfile{}
 	}
 	emitRunStart(ec.trace, fn, 0)
+	sp := ec.spans.Start("exec")
 	v, err := m.RunContext(ec.context(), fn, ec.limits, ec.args...)
+	sp.End()
 	flushRunMetrics(ec.metrics, m.Steps(), m.Prof)
 	if err != nil {
 		emitRunEnd(ec.trace, "error", m.Steps(), 0)
@@ -243,7 +328,9 @@ func execHerbgrind(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
 		m.Prof = &interp.OpProfile{}
 	}
 	emitRunStart(ec.trace, fn, ec.herbPrec)
+	sp := ec.spans.Start("exec")
 	v, err := m.RunContext(ec.context(), fn, ec.limits, ec.args...)
+	sp.End()
 	flushRunMetrics(ec.metrics, m.Steps(), m.Prof)
 	if err != nil {
 		emitRunEnd(ec.trace, "error", m.Steps(), ec.herbPrec)
@@ -267,6 +354,9 @@ func execShadowModule(mod *ir.Module, ec *execConfig, fn string) (*Result, error
 	if ec.metricsSet {
 		cfg.Metrics = ec.metrics
 	}
+	if ec.profSet {
+		cfg.Profile = ec.prof
+	}
 	emitRunStart(cfg.Events, fn, cfg.Precision)
 	return execShadowLoop(mod, cfg, ec, fn, cfg.Precision)
 }
@@ -281,17 +371,15 @@ func execShadowLoop(mod *ir.Module, cfg shadow.Config, ec *execConfig, fn string
 			return nil, err
 		}
 		m := interp.New(mod)
-		if ec.wrap != nil {
-			m.Hooks = ec.wrap(rt)
-		} else {
-			m.Hooks = rt
-		}
+		m.Hooks = shadowHooks(rt, cfg, ec)
 		var out bytes.Buffer
 		m.Out = &out
 		if cfg.Metrics != nil {
 			m.Prof = &interp.OpProfile{}
 		}
+		sp := ec.spans.Start("shadow-exec")
 		v, err := m.RunContext(ec.context(), fn, ec.limits, ec.args...)
+		sp.End()
 		flushRunMetrics(cfg.Metrics, m.Steps(), m.Prof)
 		if err != nil {
 			var re *interp.ResourceExhausted
@@ -310,7 +398,10 @@ func execShadowLoop(mod *ir.Module, cfg shadow.Config, ec *execConfig, fn string
 			emitRunEnd(cfg.Events, "error", m.Steps(), cfg.Precision)
 			return nil, err
 		}
-		res := &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: rt.Summary()}
+		rp := ec.spans.Start("report")
+		summary := rt.Summary()
+		rp.End()
+		res := &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: summary}
 		res.ShadowPrecision = cfg.Precision
 		res.Degraded = cfg.Precision != requested
 		outcome := "ok"
@@ -325,7 +416,8 @@ func execShadowLoop(mod *ir.Module, cfg shadow.Config, ec *execConfig, fn string
 // Session builds a warm-reusable shadow-execution session configured by
 // options: WithShadow selects the configuration (default
 // shadow.DefaultConfig()), WithSkip instruments with functions left out,
-// and WithTrace/WithMetrics bind session-level sinks. Baseline/Herbgrind
+// and WithTrace/WithMetrics/WithProfile/WithSampling bind session-level
+// sinks and sampled-shadow state. Baseline/Herbgrind
 // and per-run options (limits, hook wrappers, args) are rejected — pass
 // those to Debugger.Exec.
 //
@@ -351,6 +443,9 @@ func (p *Program) Session(opts ...Option) (*Debugger, error) {
 	if ec.metricsSet {
 		cfg.Metrics = ec.metrics
 	}
+	if ec.profSet {
+		cfg.Profile = ec.prof
+	}
 	mod := p.Instrumented()
 	if len(ec.skip) > 0 {
 		skipSet := make(map[string]bool, len(ec.skip))
@@ -364,15 +459,16 @@ func (p *Program) Session(opts ...Option) (*Debugger, error) {
 		return nil, err
 	}
 	m := interp.New(mod)
-	d := &Debugger{prog: p, cfg: cfg, mod: mod, rt: rt, m: m}
+	d := &Debugger{prog: p, cfg: cfg, mod: mod, rt: rt, m: m, sampleN: ec.sample}
 	m.Out = &d.out
 	return d, nil
 }
 
 // Exec runs the session's program on the warm runtime and machine.
 // Accepted options: WithLimits, WithHooksWrapper, WithArgs, WithTrace,
-// WithMetrics (the latter two rebind the session's sinks — campaign
-// workers point each run at its own buffer). Options that change the
+// WithMetrics, WithProfile, WithSampling, WithSpans (sink-like options
+// rebind the session's sinks — campaign workers point each run at its own
+// buffer). Options that change the
 // session's instrumentation (WithShadow, WithSkip, WithBaseline,
 // WithHerbgrind) are rejected; build a new Session instead.
 //
@@ -387,6 +483,9 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 	if ec.shadowSet || len(ec.skip) > 0 || ec.baseline || ec.herb {
 		return nil, fmt.Errorf("positdebug: WithShadow/WithSkip/WithBaseline/WithHerbgrind configure a session; build a new Session instead")
 	}
+	if ec.sampleSet && ec.sample < 0 {
+		return nil, fmt.Errorf("positdebug: negative sampling stride %d", ec.sample)
+	}
 	if ec.traceSet {
 		d.rt.SetEvents(ec.trace)
 		d.cfg.Events = ec.trace
@@ -395,10 +494,29 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 		d.rt.SetMetrics(ec.metrics)
 		d.cfg.Metrics = ec.metrics
 	}
+	if ec.profSet {
+		d.rt.SetProfile(ec.prof)
+		d.cfg.Profile = ec.prof
+		d.sampler = nil
+	}
+	if ec.sampleSet {
+		d.sampleN = ec.sample
+		d.sampler = nil
+	}
+	if d.sampler == nil {
+		d.sampler = samplingFor(d.cfg.Profile, d.sampleN)
+		if d.sampler != nil {
+			d.sampler.Inner = d.rt
+		}
+	}
+	var base interp.Hooks = d.rt
+	if d.sampler != nil {
+		base = d.sampler
+	}
 	if ec.wrap != nil {
-		d.m.Hooks = ec.wrap(d.rt)
+		d.m.Hooks = ec.wrap(base)
 	} else {
-		d.m.Hooks = d.rt
+		d.m.Hooks = base
 	}
 	if d.cfg.Metrics != nil {
 		if d.m.Prof == nil {
@@ -411,7 +529,9 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 	}
 	d.out.Reset()
 	emitRunStart(d.cfg.Events, fn, d.cfg.Precision)
+	sp := ec.spans.Start("shadow-exec")
 	v, err := d.m.RunContext(ec.context(), fn, ec.limits, ec.args...)
+	sp.End()
 	flushRunMetrics(d.cfg.Metrics, d.m.Steps(), d.m.Prof)
 	if err != nil {
 		var re *interp.ResourceExhausted
@@ -431,6 +551,7 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 			// applied) and emits the closing run-end itself.
 			res, err := execShadowLoop(d.mod, cfg, &execConfig{
 				ctx: ec.ctx, limits: ec.limits, wrap: ec.wrap, args: ec.args,
+				sample: d.sampleN, spans: ec.spans,
 			}, fn, d.cfg.Precision)
 			if res != nil {
 				res.Degraded = true
@@ -440,7 +561,10 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 		emitRunEnd(d.cfg.Events, "error", d.m.Steps(), d.cfg.Precision)
 		return nil, err
 	}
-	res := &Result{Value: v, Output: d.out.String(), Steps: d.m.Steps(), Summary: d.rt.Summary()}
+	rp := ec.spans.Start("report")
+	summary := d.rt.Summary()
+	rp.End()
+	res := &Result{Value: v, Output: d.out.String(), Steps: d.m.Steps(), Summary: summary}
 	res.ShadowPrecision = d.cfg.Precision
 	emitRunEnd(d.cfg.Events, "ok", d.m.Steps(), d.cfg.Precision)
 	return res, nil

@@ -27,6 +27,7 @@ func Instrument(mod *ir.Module, opts Options) *ir.Module {
 		GlobalBase: mod.GlobalBase,
 		GlobalSize: mod.GlobalSize,
 		Registry:   mod.Registry,
+		Source:     mod.Source,
 	}
 	out.Funcs = make([]*ir.Func, len(mod.Funcs))
 	for i, f := range mod.Funcs {

@@ -1,0 +1,238 @@
+package interp
+
+import "positdebug/internal/ir"
+
+// Sampling is a Hooks decorator implementing sampled shadow execution: it
+// forwards every nth dynamic instance of each static compute instruction
+// (binary/unary ops, casts, FMA, quire rounding) to the inner hooks and
+// drops the rest, cutting shadow-execution cost roughly by the sampling
+// factor. Structural events — constants, moves, comparisons, loads,
+// stores, calls, returns, prints, quire accumulation — are always
+// forwarded, so metadata propagation and the branch-flip/output oracles
+// stay exact; only per-operation error checks are subsampled.
+//
+// Determinism: the decision is a pure function of (static instruction id,
+// per-id occurrence counter), counters reset on Reset, so the same program
+// run shadows exactly the same dynamic instances regardless of GOMAXPROCS
+// or worker placement. The first instance of every static instruction is
+// always shadowed (counter ≡ 0 mod n), so every instruction appears in the
+// profile.
+//
+// Accuracy tradeoff: a skipped instance leaves the destination's shadow
+// metadata stale; the runtime's program-value check re-seeds it from the
+// program bits on next use, so downstream comparisons measure error
+// accumulated since the last sampled point rather than since the start.
+// Detections that need exact operand history (cancellation on the skipped
+// instance itself) are missed for skipped instances — that is the paid-for
+// overhead reduction, quantified in BENCH_profile.json.
+//
+// Fault-injection caveat: an injecting decorator outside the sampler still
+// mutates architectural state even when the sampler drops the annotated
+// event; the injection announcement is forwarded and matched by value, so
+// a dropped event leaves the announcement pending until a matching (id,
+// op, bits) event arrives. Sampled profiling runs and injection campaigns
+// are therefore kept as separate modes.
+type Sampling struct {
+	// Inner receives the forwarded events.
+	Inner Hooks
+	// N is the sampling stride: shadow every Nth instance (N ≤ 1 forwards
+	// everything).
+	N int64
+	// OnSkip, when set, is called with the static instruction id of every
+	// dropped compute event — the profiler's dynamic-count feed.
+	OnSkip func(id int32)
+	// Clock, when set, times each forwarded compute event (monotonic
+	// nanoseconds) and reports it through OnTime — the shadow-op latency
+	// feed. Leave nil to keep clock reads off the hot path.
+	Clock  func() int64
+	OnTime func(id int32, ns int64)
+
+	counts []int64 // per static id occurrence counters, reset per run
+}
+
+var _ Hooks = (*Sampling)(nil)
+
+// NewSampling wraps inner with stride n.
+func NewSampling(inner Hooks, n int64) *Sampling {
+	return &Sampling{Inner: inner, N: n}
+}
+
+// take decides whether this dynamic instance of id is shadowed.
+func (s *Sampling) take(id int32) bool {
+	if s.N <= 1 {
+		return true
+	}
+	if id < 0 {
+		return true
+	}
+	if int(id) >= len(s.counts) {
+		grown := make([]int64, int(id)+16)
+		copy(grown, s.counts)
+		s.counts = grown
+	}
+	c := s.counts[id]
+	s.counts[id] = c + 1
+	if c%s.N == 0 {
+		return true
+	}
+	if s.OnSkip != nil {
+		s.OnSkip(id)
+	}
+	return false
+}
+
+// Reset implements Hooks, restarting the occurrence counters so sampling
+// decisions are identical run after run.
+func (s *Sampling) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.Inner.Reset()
+}
+
+// EnterFunc implements Hooks.
+func (s *Sampling) EnterFunc(fn *ir.Func, argVals []uint64) { s.Inner.EnterFunc(fn, argVals) }
+
+// LeaveFunc implements Hooks.
+func (s *Sampling) LeaveFunc() { s.Inner.LeaveFunc() }
+
+// Const implements Hooks.
+func (s *Sampling) Const(id int32, typ ir.Type, dst int32, bits uint64) {
+	s.Inner.Const(id, typ, dst, bits)
+}
+
+// Mov implements Hooks.
+func (s *Sampling) Mov(id int32, typ ir.Type, dst, src int32, bits uint64) {
+	s.Inner.Mov(id, typ, dst, src, bits)
+}
+
+// Bin implements Hooks (sampled).
+func (s *Sampling) Bin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64) {
+	if !s.take(id) {
+		return
+	}
+	if s.Clock == nil {
+		s.Inner.Bin(id, kind, typ, dst, a, b, dstVal, aVal, bVal)
+		return
+	}
+	t0 := s.Clock()
+	s.Inner.Bin(id, kind, typ, dst, a, b, dstVal, aVal, bVal)
+	s.time(id, t0)
+}
+
+// Un implements Hooks (sampled).
+func (s *Sampling) Un(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64) {
+	if !s.take(id) {
+		return
+	}
+	if s.Clock == nil {
+		s.Inner.Un(id, kind, typ, dst, a, dstVal, aVal)
+		return
+	}
+	t0 := s.Clock()
+	s.Inner.Un(id, kind, typ, dst, a, dstVal, aVal)
+	s.time(id, t0)
+}
+
+// Cmp implements Hooks.
+func (s *Sampling) Cmp(id int32, pred ir.CmpPred, typ ir.Type, a, b int32, aVal, bVal uint64, outcome bool) {
+	s.Inner.Cmp(id, pred, typ, a, b, aVal, bVal, outcome)
+}
+
+// Cast implements Hooks (sampled).
+func (s *Sampling) Cast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64) {
+	if !s.take(id) {
+		return
+	}
+	if s.Clock == nil {
+		s.Inner.Cast(id, from, to, dst, src, dstVal, srcVal)
+		return
+	}
+	t0 := s.Clock()
+	s.Inner.Cast(id, from, to, dst, src, dstVal, srcVal)
+	s.time(id, t0)
+}
+
+// Load implements Hooks.
+func (s *Sampling) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) {
+	s.Inner.Load(id, typ, dst, addr, bits)
+}
+
+// Store implements Hooks.
+func (s *Sampling) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint64) {
+	s.Inner.Store(id, typ, addr, src, bits)
+}
+
+// PreCall implements Hooks.
+func (s *Sampling) PreCall(callee *ir.Func, args []int32, argVals []uint64) {
+	s.Inner.PreCall(callee, args, argVals)
+}
+
+// PostCall implements Hooks.
+func (s *Sampling) PostCall(id int32, typ ir.Type, dst int32, bits uint64) {
+	s.Inner.PostCall(id, typ, dst, bits)
+}
+
+// Ret implements Hooks.
+func (s *Sampling) Ret(typ ir.Type, src int32, bits uint64) { s.Inner.Ret(typ, src, bits) }
+
+// Print implements Hooks.
+func (s *Sampling) Print(id int32, typ ir.Type, src int32, bits uint64) {
+	s.Inner.Print(id, typ, src, bits)
+}
+
+// FMA implements Hooks (sampled).
+func (s *Sampling) FMA(id int32, typ ir.Type, dst, a, b, c int32, dstVal, aVal, bVal, cVal uint64) {
+	if !s.take(id) {
+		return
+	}
+	if s.Clock == nil {
+		s.Inner.FMA(id, typ, dst, a, b, c, dstVal, aVal, bVal, cVal)
+		return
+	}
+	t0 := s.Clock()
+	s.Inner.FMA(id, typ, dst, a, b, c, dstVal, aVal, bVal, cVal)
+	s.time(id, t0)
+}
+
+// QClear implements Hooks.
+func (s *Sampling) QClear(typ ir.Type) { s.Inner.QClear(typ) }
+
+// QAdd implements Hooks.
+func (s *Sampling) QAdd(typ ir.Type, a int32, aVal uint64, negate bool) {
+	s.Inner.QAdd(typ, a, aVal, negate)
+}
+
+// QMAdd implements Hooks.
+func (s *Sampling) QMAdd(typ ir.Type, a, b int32, aVal, bVal uint64, negate bool) {
+	s.Inner.QMAdd(typ, a, b, aVal, bVal, negate)
+}
+
+// QVal implements Hooks (sampled).
+func (s *Sampling) QVal(id int32, typ ir.Type, dst int32, bits uint64) {
+	if !s.take(id) {
+		return
+	}
+	if s.Clock == nil {
+		s.Inner.QVal(id, typ, dst, bits)
+		return
+	}
+	t0 := s.Clock()
+	s.Inner.QVal(id, typ, dst, bits)
+	s.time(id, t0)
+}
+
+// ObserveInjection implements InjectionObserver by forwarding to the inner
+// hooks when they observe injections, so a fault injector outside the
+// sampler keeps reaching the shadow oracle.
+func (s *Sampling) ObserveInjection(id int32, op ir.Op, typ ir.Type, before, after uint64) {
+	if obs, ok := s.Inner.(InjectionObserver); ok {
+		obs.ObserveInjection(id, op, typ, before, after)
+	}
+}
+
+func (s *Sampling) time(id int32, t0 int64) {
+	if s.OnTime != nil {
+		s.OnTime(id, s.Clock()-t0)
+	}
+}

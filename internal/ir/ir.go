@@ -279,6 +279,10 @@ type Module struct {
 	GlobalBase uint32 // first address of global storage
 	GlobalSize uint32
 	Registry   []InstrMeta // indexed by Instr.ID
+	// Source names where the module came from (workload name, source
+	// hash). PCL has no file system, so reports and profiles prefix
+	// positions with this to form a conventional file:line:col.
+	Source string
 }
 
 // Meta returns the registry entry for an instruction id, or a zero entry

@@ -75,11 +75,20 @@ func (h *Histogram) Bucket(v int) int64 {
 }
 
 // Quantile returns the smallest bucket value at or below which at least
-// q (0..1) of the observations fall — a coarse integer quantile.
+// q of the observations fall — a coarse integer quantile. q is clamped
+// into [0, 1]: q ≤ 0 returns the smallest observed bucket, q ≥ 1 the
+// largest (never the overflow bucket unless observations landed there).
+// An empty histogram returns 0.
 func (h *Histogram) Quantile(q float64) int {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
+	}
+	if q < 0 || q != q { // clamp negatives and NaN
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := int64(q * float64(total))
 	if target < 1 {

@@ -46,6 +46,13 @@ const (
 	// EvArchStart opens one architecture's half of a campaign (fields:
 	// Arch, Program = formatted golden value).
 	EvArchStart = "arch-start"
+	// EvSpanBegin / EvSpanEnd bracket one causal span (fields: Name = span
+	// name, Span = deterministic span id, Parent = enclosing span id or 0).
+	// EvSpanEnd additionally carries Nanos = wall duration, but only when
+	// the tracer runs in timing mode — wall clocks are nondeterministic, so
+	// the canonical stream leaves Nanos zero.
+	EvSpanBegin = "span-begin"
+	EvSpanEnd   = "span-end"
 )
 
 // Event is one observability record. The zero value is not valid; use
@@ -83,6 +90,19 @@ type Event struct {
 	// values survive JSON number precision.
 	Before string `json:"before,omitempty"`
 	After  string `json:"after,omitempty"`
+
+	// Req identifies the request (or recording run) that produced the
+	// event; pdserve stamps it end-to-end so trace lines from concurrent
+	// requests stay separable.
+	Req string `json:"req,omitempty"`
+	// Span is the span id for span-begin/span-end events, deterministic by
+	// construction (per-tracer counter), and Parent the enclosing span's
+	// id (0 = root).
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Nanos is a wall-clock duration in nanoseconds, stamped only in
+	// timing mode and excluded from byte-determinism guarantees.
+	Nanos int64 `json:"nanos,omitempty"`
 }
 
 // NewEvent returns an event of the kind with the absent-field sentinels

@@ -61,6 +61,34 @@ func TestValidateJSONLinesRejects(t *testing.T) {
 	}
 }
 
+// TestValidateJSONLinesFlightLog: a flight log concatenates per-request
+// ring dumps — the sequence restarts at each request-id change and, after
+// eviction, a dump may start above 1. Both must validate; a seq break
+// *within* one request's stream must not.
+func TestValidateJSONLinesFlightLog(t *testing.T) {
+	ok := strings.Join([]string{
+		`{"seq":1,"kind":"run-start","run":-1,"inst":-1,"func":"main","req":"r1"}`,
+		`{"seq":2,"kind":"run-end","run":-1,"inst":-1,"outcome":"ok","req":"r1"}`,
+		`{"seq":4,"kind":"run-start","run":-1,"inst":-1,"func":"main","req":"r2"}`, // evicted head
+		`{"seq":5,"kind":"run-end","run":-1,"inst":-1,"outcome":"ok","req":"r2"}`,
+	}, "\n")
+	if n, err := ValidateJSONLines(strings.NewReader(ok)); err != nil || n != 4 {
+		t.Fatalf("flight log rejected: n=%d err=%v", n, err)
+	}
+	bad := strings.Join([]string{
+		`{"seq":1,"kind":"run-start","run":-1,"inst":-1,"func":"main","req":"r1"}`,
+		`{"seq":3,"kind":"run-end","run":-1,"inst":-1,"outcome":"ok","req":"r1"}`,
+	}, "\n")
+	if _, err := ValidateJSONLines(strings.NewReader(bad)); err == nil {
+		t.Fatal("in-stream seq gap accepted")
+	}
+	// Unstamped traces still must start at 1.
+	if _, err := ValidateJSONLines(strings.NewReader(
+		`{"seq":2,"kind":"run-start","run":-1,"inst":-1,"func":"main"}`)); err == nil {
+		t.Fatal("unstamped trace starting at 2 accepted")
+	}
+}
+
 func TestRingEviction(t *testing.T) {
 	r := NewRing(3)
 	for i := 0; i < 5; i++ {

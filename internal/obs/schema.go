@@ -21,19 +21,27 @@ var knownKinds = map[string]bool{
 	EvCampaignStart: true,
 	EvCampaignEnd:   true,
 	EvArchStart:     true,
+	EvSpanBegin:     true,
+	EvSpanEnd:       true,
 }
 
 // ValidateJSONLines checks a JSON-lines trace against the event schema:
 // every line parses as an Event with no unknown fields, kinds come from the
 // closed taxonomy, sequence numbers start at 1 and increase strictly by 1,
-// and per-kind required fields are present. Returns the number of valid
-// events, or the first violation.
+// and per-kind required fields are present. Sequencing is per stream: when
+// the request id changes between lines, a new stream begins and its
+// sequence may start anywhere (a flight log concatenates per-request ring
+// dumps, and a full ring evicted its oldest events) — but within a stream
+// the strict +1 rule holds. Returns the number of valid events, or the
+// first violation.
 func ValidateJSONLines(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	var (
-		n    int
-		prev uint64
+		n       int
+		prev    uint64
+		prevReq string
+		first   = true
 	)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -47,10 +55,11 @@ func ValidateJSONLines(r io.Reader) (int, error) {
 		if err := dec.Decode(&e); err != nil {
 			return n, fmt.Errorf("line %d: %v", n, err)
 		}
-		if err := checkEvent(e, prev); err != nil {
+		newStream := first || e.Req != prevReq
+		if err := checkEvent(e, prev, newStream); err != nil {
 			return n, fmt.Errorf("line %d: %v", n, err)
 		}
-		prev = e.Seq
+		prev, prevReq, first = e.Seq, e.Req, false
 	}
 	if err := sc.Err(); err != nil {
 		return n, err
@@ -61,11 +70,17 @@ func ValidateJSONLines(r io.Reader) (int, error) {
 	return n, nil
 }
 
-func checkEvent(e Event, prev uint64) error {
+func checkEvent(e Event, prev uint64, newStream bool) error {
 	if !knownKinds[e.Kind] {
 		return fmt.Errorf("unknown kind %q", e.Kind)
 	}
-	if e.Seq != prev+1 {
+	// A request-stamped stream may begin at any sequence number (ring
+	// eviction drops its head); unstamped traces must start at 1.
+	if newStream && e.Req != "" {
+		if e.Seq == 0 {
+			return fmt.Errorf("seq 0 (must be positive)")
+		}
+	} else if e.Seq != prev+1 {
 		return fmt.Errorf("seq %d after %d (must increase by 1 from 1)", e.Seq, prev)
 	}
 	switch e.Kind {
@@ -103,6 +118,16 @@ func checkEvent(e Event, prev uint64) error {
 	case EvArchStart:
 		if e.Arch == "" {
 			return fmt.Errorf("%s: missing arch", e.Kind)
+		}
+	case EvSpanBegin, EvSpanEnd:
+		if e.Name == "" {
+			return fmt.Errorf("%s: missing name", e.Kind)
+		}
+		if e.Span == 0 {
+			return fmt.Errorf("%s: missing span id", e.Kind)
+		}
+		if e.Kind == EvSpanBegin && e.Parent >= e.Span {
+			return fmt.Errorf("%s: parent %d not older than span %d", e.Kind, e.Parent, e.Span)
 		}
 	}
 	return nil

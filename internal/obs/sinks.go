@@ -42,9 +42,10 @@ func (s *JSONLines) Err() error { return s.err }
 // bounded in-memory sink for always-on tracing: a warm session can emit
 // indefinitely with memory bounded by the capacity.
 type Ring struct {
-	buf   []Event
-	next  int
-	total uint64
+	buf     []Event
+	next    int
+	total   uint64
+	dropped uint64
 }
 
 // NewRing returns a ring sink holding at most capacity events (minimum 1).
@@ -65,6 +66,7 @@ func (r *Ring) Emit(e Event) {
 	}
 	r.buf[r.next] = e
 	r.next = (r.next + 1) % cap(r.buf)
+	r.dropped++
 }
 
 // Total reports how many events were emitted over the ring's lifetime
@@ -73,6 +75,22 @@ func (r *Ring) Total() uint64 { return r.total }
 
 // Len reports how many events are currently retained.
 func (r *Ring) Len() int { return len(r.buf) }
+
+// Dropped reports how many events the ring has evicted to make room —
+// the flight recorder's data-loss indicator. Total() − Dropped() ==
+// Len() always holds.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// PublishMetrics records the ring's lifetime totals into the registry as
+// pd_flight_events_total / pd_flight_dropped_total counters (monotonic:
+// callers invoke it once per ring lifetime, e.g. after a request).
+func (r *Ring) PublishMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("pd_flight_events_total").Add(int64(r.total))
+	reg.Counter("pd_flight_dropped_total").Add(int64(r.dropped))
+}
 
 // Events returns the retained events, oldest first.
 func (r *Ring) Events() []Event {
@@ -90,6 +108,7 @@ func (r *Ring) Reset() {
 	r.buf = r.buf[:0]
 	r.next = 0
 	r.total = 0
+	r.dropped = 0
 }
 
 // Buffer accumulates events in order without assigning sequence numbers —
@@ -126,6 +145,26 @@ func (b *Buffer) DrainTo(s Sink, stamp func(*Event)) {
 	}
 	b.Reset()
 }
+
+// SeqBuffer is a terminal in-memory sink: like Buffer it retains every
+// event, but it assigns sequence numbers on emit. It is the sink to feed
+// WriteChromeTrace, whose virtual timestamps are the sequence numbers —
+// events staged in per-run Buffers get their final order here.
+type SeqBuffer struct {
+	events []Event
+}
+
+// Emit implements Sink.
+func (b *SeqBuffer) Emit(e Event) {
+	e.Seq = uint64(len(b.events) + 1)
+	b.events = append(b.events, e)
+}
+
+// Events returns the retained events in emission order.
+func (b *SeqBuffer) Events() []Event { return b.events }
+
+// Len reports the number of retained events.
+func (b *SeqBuffer) Len() int { return len(b.events) }
 
 // Multi fans one event out to several sinks in order.
 type Multi []Sink

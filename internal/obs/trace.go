@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Tracer emits causal spans (span-begin/span-end event pairs) into a sink.
+// Span ids are a per-tracer counter in begin order, and the canonical
+// stream carries no wall time, so a tracer fed by a deterministic pipeline
+// produces byte-identical spans regardless of scheduling; parallel sweeps
+// give each run its own tracer over the run's Buffer, exactly like every
+// other event. Timing mode (EnableTiming) adds wall-clock durations to
+// span-end events for human profiling, at the documented cost of byte
+// determinism.
+//
+// A nil *Tracer is valid and inert: Start returns a nil span whose End is
+// a no-op, so call sites can trace unconditionally:
+//
+//	defer tr.Start("compile").End()
+//
+// Not safe for concurrent use — one tracer per goroutine, like Buffer.
+type Tracer struct {
+	sink  Sink
+	req   string
+	next  uint64
+	stack []uint64
+	clock func() int64 // monotonic ns; non-nil only in timing mode
+}
+
+// NewTracer returns a tracer emitting into sink.
+func NewTracer(sink Sink) *Tracer { return &Tracer{sink: sink} }
+
+// SetReq stamps every subsequent span event with the request/run id.
+func (t *Tracer) SetReq(req string) {
+	if t != nil {
+		t.req = req
+	}
+}
+
+// EnableTiming turns on wall-clock durations using the given monotonic
+// nanosecond clock (pass nil to turn timing back off).
+func (t *Tracer) EnableTiming(clock func() int64) {
+	if t != nil {
+		t.clock = clock
+	}
+}
+
+// Span is one open span; End closes it. The zero of *Span (nil) is inert.
+type Span struct {
+	t     *Tracer
+	id    uint64
+	name  string
+	start int64
+	done  bool
+}
+
+// Start opens a span nested under the tracer's currently open span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	t.next++
+	id := t.next
+	var parent uint64
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	t.stack = append(t.stack, id)
+	e := NewEvent(EvSpanBegin)
+	e.Name = name
+	e.Span = id
+	e.Parent = parent
+	e.Req = t.req
+	t.sink.Emit(e)
+	s := &Span{t: t, id: id, name: name}
+	if t.clock != nil {
+		s.start = t.clock()
+	}
+	return s
+}
+
+// End closes the span, emitting its span-end event. Ending out of order
+// pops the stack down to (and including) this span, so a forgotten inner
+// End cannot wedge the tracer. Double End is a no-op.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	t := s.t
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s.id {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	e := NewEvent(EvSpanEnd)
+	e.Name = s.name
+	e.Span = s.id
+	e.Req = t.req
+	if t.clock != nil {
+		e.Nanos = t.clock() - s.start
+	}
+	t.sink.Emit(e)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Array
+// with metadata" variant), the subset Perfetto renders: complete spans
+// (ph "X") and instants (ph "i").
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    uint64            `json:"ts"`
+	Dur   uint64            `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace-event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace converts an event stream into Chrome trace-event JSON
+// loadable in Perfetto or chrome://tracing. Spans become complete ("X")
+// slices, detections and injections become instant ("i") markers.
+// Timestamps are virtual — the event's sequence number, in microsecond
+// ticks — so the output inherits the stream's byte determinism; wall
+// durations, when the tracer recorded them, ride along in args.wall_ns.
+// Tracks (tids) are assigned per distinct (run, req) in first-appearance
+// order. Spans still open at the end of the stream are dropped.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	// Pre-index span ends by id so a single forward pass can emit complete
+	// slices at their begin position (keeping output order deterministic).
+	type endInfo struct {
+		seq   uint64
+		nanos int64
+	}
+	ends := map[uint64]endInfo{}
+	for _, e := range events {
+		if e.Kind == EvSpanEnd && e.Span != 0 {
+			ends[e.Span] = endInfo{seq: e.Seq, nanos: e.Nanos}
+		}
+	}
+
+	tids := map[string]int{}
+	tidOf := func(e Event) int {
+		key := fmt.Sprintf("%d/%s", e.Run, e.Req)
+		if id, ok := tids[key]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[key] = id
+		return id
+	}
+
+	tr := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, e := range events {
+		switch e.Kind {
+		case EvSpanBegin:
+			end, ok := ends[e.Span]
+			if !ok || end.seq < e.Seq {
+				continue
+			}
+			ce := chromeEvent{
+				Name: e.Name, Phase: "X",
+				TS: e.Seq, Dur: end.seq - e.Seq,
+				PID: 1, TID: tidOf(e),
+			}
+			if ce.Dur == 0 {
+				ce.Dur = 1
+			}
+			args := map[string]string{}
+			if e.Req != "" {
+				args["req"] = e.Req
+			}
+			if e.Parent != 0 {
+				args["parent"] = fmt.Sprint(e.Parent)
+			}
+			if end.nanos != 0 {
+				args["wall_ns"] = fmt.Sprint(end.nanos)
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ce)
+		case EvDetect, EvInject:
+			ce := chromeEvent{
+				Name: e.Kind, Phase: "i", Scope: "t",
+				TS: e.Seq, PID: 1, TID: tidOf(e),
+			}
+			args := map[string]string{}
+			if e.Detect != "" {
+				args["detect"] = e.Detect
+			}
+			if e.Pos != "" {
+				args["pos"] = e.Pos
+			}
+			if e.Inst >= 0 {
+				args["inst"] = fmt.Sprint(e.Inst)
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ce)
+		}
+	}
+	b, err := json.MarshalIndent(&tr, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ValidateChromeTrace checks Chrome trace-event JSON structurally: the
+// top-level object parses with no unknown fields, every event has a name,
+// a known phase, a positive pid/tid, and complete events carry a duration.
+// Returns the number of trace events.
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var tr chromeTrace
+	if err := dec.Decode(&tr); err != nil {
+		return 0, fmt.Errorf("chrome trace: %v", err)
+	}
+	for i, e := range tr.TraceEvents {
+		if e.Name == "" {
+			return i, fmt.Errorf("chrome trace: event %d: missing name", i)
+		}
+		switch e.Phase {
+		case "X":
+			if e.Dur == 0 {
+				return i, fmt.Errorf("chrome trace: event %d (%s): complete event without dur", i, e.Name)
+			}
+		case "i":
+		default:
+			return i, fmt.Errorf("chrome trace: event %d (%s): unsupported phase %q", i, e.Name, e.Phase)
+		}
+		if e.PID <= 0 || e.TID <= 0 {
+			return i, fmt.Errorf("chrome trace: event %d (%s): bad pid/tid %d/%d", i, e.Name, e.PID, e.TID)
+		}
+	}
+	return len(tr.TraceEvents), nil
+}

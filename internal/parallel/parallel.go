@@ -208,12 +208,30 @@ func MapWorker[S, T any](n int, newState func() (S, error), fn func(s S, i int) 
 // The returned error is the lowest-index item error, or ctx.Err() when the
 // sweep was cut short with no item failing on its own.
 func MapWorkerCtx[S, T any](ctx context.Context, n int, newState func() (S, error), fn func(s S, i int) (T, error)) ([]T, error) {
-	workers := Workers(n)
+	results, _, err := MapWorkerStates(ctx, Workers(n), n, newState, fn)
+	return results, err
+}
+
+// MapWorkerStates is MapWorkerCtx with an explicit worker count and the
+// per-worker states returned to the caller. Profiling sweeps use it to run
+// one profile.Collector per worker and merge the collectors' snapshots
+// afterwards — since the merge is commutative and states are returned in
+// worker order, the merged profile is identical whatever the worker count
+// or item placement. workers ≤ 1 runs sequentially on the calling
+// goroutine. The states slice has one entry per effective worker
+// (min(workers, n), at least 1); on a newState error it is nil.
+func MapWorkerStates[S, T any](ctx context.Context, workers, n int, newState func() (S, error), fn func(s S, i int) (T, error)) ([]T, []S, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	states := make([]S, workers)
 	for w := 0; w < workers; w++ {
 		s, err := newState()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		states[w] = s
 	}
@@ -223,7 +241,7 @@ func MapWorkerCtx[S, T any](ctx context.Context, n int, newState func() (S, erro
 		results[i], errs[i] = fn(states[w], i)
 	})
 	if err := firstErr(errs); err != nil {
-		return results, err
+		return results, states, err
 	}
-	return results, ctx.Err()
+	return results, states, ctx.Err()
 }

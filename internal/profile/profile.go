@@ -1,0 +1,492 @@
+// Package profile aggregates numerical-error statistics per static
+// instruction — the cross-run view the per-run shadow reports cannot give:
+// which instructions are chronically noisy, how their ULP error
+// distributes, and (optionally) where shadow-execution time goes. It is
+// the data model behind cmd/pdprof and the pdserve /debug/profile
+// endpoint.
+//
+// The design constraints mirror internal/parallel's determinism contract:
+//
+//   - Collection is deterministic: a Collector fed by a deterministic run
+//     accumulates identical stats regardless of scheduling. Latency
+//     histograms are the one exception and are therefore opt-in (Timing),
+//     excluded from byte-identity checks.
+//   - Merging is commutative and associative: Merge(a,b) == Merge(b,a)
+//     byte-for-byte after serialization, so per-worker profiles merged in
+//     any order — or profiles from different machines merged days apart —
+//     produce the same artifact.
+//   - Serialization is versioned and canonical: instructions sorted by id,
+//     histograms as sorted sparse pairs, json.MarshalIndent, so two equal
+//     profiles are byte-identical files and `diff` means something.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"positdebug/internal/ir"
+)
+
+// Version is the profile file-format version; ReadJSON rejects files whose
+// version it does not understand.
+const Version = 1
+
+// HistBuckets sizes a Hist: bucket 0 holds zero observations, bucket i
+// (1..64) holds values v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i —
+// exponential buckets. For err-bits observations (already log2 of the ULP
+// distance) ObserveBits indexes directly, which makes the histogram
+// exponential in ULPs with one bucket per doubling.
+const HistBuckets = 65
+
+// Hist is a fixed-shape exponential-bucket histogram. The zero value is
+// ready to use. Not safe for concurrent use (profiles are per-worker and
+// merged, never shared).
+type Hist struct {
+	Buckets [HistBuckets]int64
+	Count   int64
+	Sum     int64
+}
+
+// ObserveBits records an observation already on the 0..64 log scale
+// (err bits). Out-of-range values clamp.
+func (h *Hist) ObserveBits(b int) {
+	if b < 0 {
+		b = 0
+	}
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += int64(b)
+}
+
+// ObserveExp records a raw value into its log2 bucket (latency in
+// nanoseconds). Negative values clamp to 0.
+func (h *Hist) ObserveExp(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Buckets[bits.Len64(uint64(v))]++
+	h.Count++
+	h.Sum += v
+}
+
+// Merge adds o's observations into h.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// Max returns the highest nonempty bucket index (0 when empty).
+func (h *Hist) Max() int {
+	for i := HistBuckets - 1; i > 0; i-- {
+		if h.Buckets[i] != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// histJSON is the canonical wire form: sparse [bucket, count] pairs in
+// ascending bucket order, so equal histograms serialize byte-identically
+// and empty buckets cost nothing.
+type histJSON struct {
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Buckets [][2]int64 `json:"buckets"`
+}
+
+// MarshalJSON implements json.Marshaler with the canonical sparse form.
+func (h Hist) MarshalJSON() ([]byte, error) {
+	hj := histJSON{Count: h.Count, Sum: h.Sum, Buckets: [][2]int64{}}
+	for i, c := range h.Buckets {
+		if c != 0 {
+			hj.Buckets = append(hj.Buckets, [2]int64{int64(i), c})
+		}
+	}
+	return json.Marshal(hj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Hist) UnmarshalJSON(b []byte) error {
+	var hj histJSON
+	if err := json.Unmarshal(b, &hj); err != nil {
+		return err
+	}
+	*h = Hist{Count: hj.Count, Sum: hj.Sum}
+	for _, p := range hj.Buckets {
+		if p[0] < 0 || p[0] >= HistBuckets {
+			return fmt.Errorf("profile: histogram bucket %d out of range", p[0])
+		}
+		h.Buckets[p[0]] = p[1]
+	}
+	return nil
+}
+
+// InstProfile is the aggregated record of one static instruction.
+type InstProfile struct {
+	// ID is the static instruction id (the module registry index).
+	ID int32 `json:"id"`
+	// Func, Pos, Text and Op come from the frontend's registry entry: Pos
+	// is "file:line:col" (file from the module's source name).
+	Func string `json:"func"`
+	Pos  string `json:"pos"`
+	Text string `json:"text,omitempty"`
+	Op   string `json:"op,omitempty"`
+
+	// Count is the dynamic occurrences observed (including instances the
+	// sampler skipped); Checked is how many were shadow-checked. Without
+	// sampling the two are equal.
+	Count   int64 `json:"count"`
+	Checked int64 `json:"checked"`
+
+	// Err is the distribution of per-occurrence ULP error in bits (§4.2
+	// metric) — exponential in ULPs by construction. ErrSum/ErrMax are the
+	// aggregate and worst error in bits across all checked occurrences.
+	Err    Hist  `json:"err"`
+	ErrSum int64 `json:"err_sum"`
+	ErrMax int   `json:"err_max"`
+
+	// Detection tallies attributed to this instruction; Cancel is the
+	// severity distribution (cancelled leading bits) of the cancellations.
+	Cancellations int64 `json:"cancellations,omitempty"`
+	Cancel        *Hist `json:"cancel,omitempty"`
+	Saturations   int64 `json:"saturations,omitempty"`
+	NaRs          int64 `json:"nars,omitempty"`
+
+	// Lat is the shadow-op latency distribution (log2 nanosecond buckets)
+	// and LatNanos the total; only populated when the collector ran with
+	// Timing enabled, and deliberately excluded from determinism checks.
+	Lat      *Hist `json:"lat,omitempty"`
+	LatNanos int64 `json:"lat_nanos,omitempty"`
+}
+
+// merge folds o into p; the identity fields must already have been checked.
+func (p *InstProfile) merge(o *InstProfile) {
+	p.Count += o.Count
+	p.Checked += o.Checked
+	p.Err.Merge(&o.Err)
+	p.ErrSum += o.ErrSum
+	if o.ErrMax > p.ErrMax {
+		p.ErrMax = o.ErrMax
+	}
+	p.Cancellations += o.Cancellations
+	if o.Cancel != nil {
+		if p.Cancel == nil {
+			p.Cancel = &Hist{}
+		}
+		p.Cancel.Merge(o.Cancel)
+	}
+	p.Saturations += o.Saturations
+	p.NaRs += o.NaRs
+	p.LatNanos += o.LatNanos
+	if o.Lat != nil {
+		if p.Lat == nil {
+			p.Lat = &Hist{}
+		}
+		p.Lat.Merge(o.Lat)
+	}
+}
+
+// Profile is the serializable aggregate: one record per static instruction
+// that produced at least one observation, sorted by id.
+type Profile struct {
+	Version int `json:"version"`
+	// Key identifies what was profiled (workload name, source hash).
+	// Merging profiles with different keys is an error.
+	Key string `json:"key"`
+	// Arch is "posit" or "float" when known.
+	Arch string `json:"arch,omitempty"`
+	// Runs is the number of program executions aggregated.
+	Runs int64 `json:"runs"`
+	// SampleEvery records the sampling stride the profile was collected at
+	// (0 or 1 = full shadow). Profiles at different strides do not merge.
+	SampleEvery int64 `json:"sample_every,omitempty"`
+
+	Insts []*InstProfile `json:"insts"`
+}
+
+// Merge returns a new profile combining p and o. It is commutative:
+// Merge(a, b) and Merge(b, a) serialize byte-identically. Key, Version and
+// SampleEvery must match; conflicting per-instruction metadata (same id,
+// different source position) is an error rather than a silent pick.
+func Merge(p, o *Profile) (*Profile, error) {
+	if p.Version != o.Version {
+		return nil, fmt.Errorf("profile: version mismatch %d vs %d", p.Version, o.Version)
+	}
+	if p.Key != o.Key {
+		return nil, fmt.Errorf("profile: key mismatch %q vs %q", p.Key, o.Key)
+	}
+	if p.Arch != o.Arch {
+		return nil, fmt.Errorf("profile: arch mismatch %q vs %q", p.Arch, o.Arch)
+	}
+	if normStride(p.SampleEvery) != normStride(o.SampleEvery) {
+		return nil, fmt.Errorf("profile: sampling stride mismatch %d vs %d", p.SampleEvery, o.SampleEvery)
+	}
+	out := &Profile{
+		Version: p.Version, Key: p.Key, Arch: p.Arch,
+		Runs: p.Runs + o.Runs, SampleEvery: p.SampleEvery,
+	}
+	byID := make(map[int32]*InstProfile, len(p.Insts)+len(o.Insts))
+	for _, src := range [][]*InstProfile{p.Insts, o.Insts} {
+		for _, ip := range src {
+			if have, ok := byID[ip.ID]; ok {
+				if have.Func != ip.Func || have.Pos != ip.Pos {
+					return nil, fmt.Errorf("profile: instruction %d metadata conflict (%s %s vs %s %s)",
+						ip.ID, have.Func, have.Pos, ip.Func, ip.Pos)
+				}
+				have.merge(ip)
+				continue
+			}
+			cp := *ip
+			if ip.Lat != nil {
+				lat := *ip.Lat
+				cp.Lat = &lat
+			}
+			if ip.Cancel != nil {
+				can := *ip.Cancel
+				cp.Cancel = &can
+			}
+			byID[ip.ID] = &cp
+		}
+	}
+	out.Insts = make([]*InstProfile, 0, len(byID))
+	for _, ip := range byID {
+		out.Insts = append(out.Insts, ip)
+	}
+	sort.Slice(out.Insts, func(i, j int) bool { return out.Insts[i].ID < out.Insts[j].ID })
+	return out, nil
+}
+
+// MergeAll folds any number of profiles; order does not affect the result.
+func MergeAll(ps ...*Profile) (*Profile, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("profile: nothing to merge")
+	}
+	out := ps[0]
+	var err error
+	for _, p := range ps[1:] {
+		if out, err = Merge(out, p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func normStride(n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return n
+}
+
+// WriteJSON writes the canonical serialization (sorted, indented, trailing
+// newline) so equal profiles are byte-identical files.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	sort.Slice(p.Insts, func(i, j int) bool { return p.Insts[i].ID < p.Insts[j].ID })
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadJSON parses a profile, enforcing the format version.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if p.Version != Version {
+		return nil, fmt.Errorf("profile: unsupported version %d (want %d)", p.Version, Version)
+	}
+	return &p, nil
+}
+
+// DetectKind classifies a detection tally without importing the shadow
+// package (which imports this one).
+type DetectKind uint8
+
+// Detection tallies the collector tracks per instruction.
+const (
+	DetectCancellation DetectKind = iota
+	DetectSaturation
+	DetectNaR
+)
+
+// instStats is the mutable per-instruction accumulator behind a Collector.
+type instStats struct {
+	count, checked int64
+	err            Hist
+	errSum         int64
+	errMax         int
+	cancels        int64
+	cancel         *Hist
+	sats           int64
+	nars           int64
+	latNanos       int64
+	lat            *Hist
+}
+
+// Collector accumulates per-instruction statistics during shadow
+// execution. It is bound to a run via the WithProfile option; the shadow
+// runtime feeds it on the hot path, so lookups are a dense slice index.
+// Not safe for concurrent use: parallel sweeps hold one Collector per
+// worker and merge the snapshots (Merge is commutative, so worker count
+// and scheduling never change the merged bytes).
+type Collector struct {
+	// Timing enables shadow-op latency histograms. Wall-clock timing is
+	// inherently nondeterministic, so determinism checks run with Timing
+	// off.
+	Timing bool
+
+	stats []*instStats
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+func (c *Collector) at(id int32) *instStats {
+	if id < 0 {
+		return nil
+	}
+	if int(id) >= len(c.stats) {
+		grown := make([]*instStats, int(id)+16)
+		copy(grown, c.stats)
+		c.stats = grown
+	}
+	s := c.stats[id]
+	if s == nil {
+		s = &instStats{}
+		c.stats[id] = s
+	}
+	return s
+}
+
+// Checked records one shadow-checked occurrence with its error in bits.
+func (c *Collector) Checked(id int32, errBits int) {
+	s := c.at(id)
+	if s == nil {
+		return
+	}
+	s.count++
+	s.checked++
+	s.err.ObserveBits(errBits)
+	if errBits > 0 {
+		s.errSum += int64(errBits)
+	}
+	if errBits > s.errMax {
+		s.errMax = errBits
+	}
+}
+
+// Skipped records one occurrence the sampler did not shadow.
+func (c *Collector) Skipped(id int32) {
+	if s := c.at(id); s != nil {
+		s.count++
+	}
+}
+
+// Detect tallies one detection attributed to the instruction. severity is
+// the cancelled leading bits for cancellations (fed into the severity
+// histogram) and ignored for the other kinds.
+func (c *Collector) Detect(id int32, k DetectKind, severity int) {
+	s := c.at(id)
+	if s == nil {
+		return
+	}
+	switch k {
+	case DetectCancellation:
+		s.cancels++
+		if s.cancel == nil {
+			s.cancel = &Hist{}
+		}
+		s.cancel.ObserveBits(severity)
+	case DetectSaturation:
+		s.sats++
+	case DetectNaR:
+		s.nars++
+	}
+}
+
+// Latency records the wall time one shadow op spent (Timing mode only; the
+// caller guards on Timing to keep clock reads off the default hot path).
+func (c *Collector) Latency(id int32, ns int64) {
+	s := c.at(id)
+	if s == nil {
+		return
+	}
+	s.latNanos += ns
+	if s.lat == nil {
+		s.lat = &Hist{}
+	}
+	s.lat.ObserveExp(ns)
+}
+
+// Reset drops all accumulated statistics, keeping the backing slice.
+func (c *Collector) Reset() {
+	for i := range c.stats {
+		c.stats[i] = nil
+	}
+}
+
+// Snapshot materializes the collector into a serializable profile,
+// resolving instruction metadata (function, source position, text) from
+// the module registry. key names what was profiled, runs how many
+// executions the collector saw, and sampleEvery the sampling stride (0 or
+// 1 = full shadow).
+func (c *Collector) Snapshot(mod *ir.Module, key, arch string, runs, sampleEvery int64) *Profile {
+	p := &Profile{Version: Version, Key: key, Arch: arch, Runs: runs}
+	if sampleEvery > 1 {
+		p.SampleEvery = sampleEvery
+	}
+	src := mod.Source
+	if src == "" {
+		src = "src"
+	}
+	for id, s := range c.stats {
+		if s == nil || s.count == 0 {
+			continue
+		}
+		meta := mod.Meta(int32(id))
+		ip := &InstProfile{
+			ID:   int32(id),
+			Func: meta.Func,
+			Pos:  fmt.Sprintf("%s:%s", src, meta.Pos),
+			Text: meta.Text,
+			Op:   meta.Op.String(),
+
+			Count:   s.count,
+			Checked: s.checked,
+			Err:     s.err,
+			ErrSum:  s.errSum,
+			ErrMax:  s.errMax,
+
+			Cancellations: s.cancels,
+			Saturations:   s.sats,
+			NaRs:          s.nars,
+			LatNanos:      s.latNanos,
+		}
+		if s.lat != nil {
+			lat := *s.lat
+			ip.Lat = &lat
+		}
+		if s.cancel != nil {
+			can := *s.cancel
+			ip.Cancel = &can
+		}
+		p.Insts = append(p.Insts, ip)
+	}
+	sort.Slice(p.Insts, func(i, j int) bool { return p.Insts[i].ID < p.Insts[j].ID })
+	return p
+}

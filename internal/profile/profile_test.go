@@ -1,0 +1,243 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"positdebug/internal/ir"
+	"positdebug/internal/lang"
+)
+
+func testModule() *ir.Module {
+	return &ir.Module{
+		Source: "test.pcl",
+		Registry: []ir.InstrMeta{
+			{Func: "main", Pos: lang.Pos{Line: 1, Col: 2}, Text: "x + y", Op: ir.OpBin},
+			{Func: "main", Pos: lang.Pos{Line: 2, Col: 4}, Text: "x * y", Op: ir.OpBin},
+			{Func: "f", Pos: lang.Pos{Line: 9, Col: 1}, Text: "a - b", Op: ir.OpBin},
+		},
+	}
+}
+
+func sampleProfile(t *testing.T, seedErr int) *Profile {
+	t.Helper()
+	c := NewCollector()
+	c.Checked(0, seedErr)
+	c.Checked(0, seedErr+3)
+	c.Skipped(0)
+	c.Checked(1, 0)
+	c.Detect(1, DetectCancellation, 12)
+	c.Checked(2, 30)
+	c.Detect(2, DetectSaturation, 0)
+	c.Detect(2, DetectNaR, 0)
+	return c.Snapshot(testModule(), "k", "posit", 1, 0)
+}
+
+func marshal(t *testing.T, p *Profile) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSnapshotResolvesMetadata(t *testing.T) {
+	p := sampleProfile(t, 5)
+	if len(p.Insts) != 3 {
+		t.Fatalf("got %d insts, want 3", len(p.Insts))
+	}
+	ip := p.Insts[0]
+	if ip.Pos != "test.pcl:1:2" {
+		t.Errorf("pos = %q, want test.pcl:1:2", ip.Pos)
+	}
+	if ip.Func != "main" || ip.Op != "bin" {
+		t.Errorf("meta = %q/%q", ip.Func, ip.Op)
+	}
+	if ip.Count != 3 || ip.Checked != 2 {
+		t.Errorf("count/checked = %d/%d, want 3/2", ip.Count, ip.Checked)
+	}
+	if ip.ErrSum != 13 || ip.ErrMax != 8 {
+		t.Errorf("errSum/errMax = %d/%d, want 13/8", ip.ErrSum, ip.ErrMax)
+	}
+	if p.Insts[2].Saturations != 1 || p.Insts[2].NaRs != 1 {
+		t.Errorf("detections not tallied: %+v", p.Insts[2])
+	}
+}
+
+// Merge must be commutative byte-for-byte: worker profiles are merged in
+// whatever order the pool finishes, and the result must not depend on it.
+func TestMergeCommutative(t *testing.T) {
+	a := sampleProfile(t, 5)
+	b := sampleProfile(t, 11)
+	ab, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Merge(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sab, sba := marshal(t, ab), marshal(t, ba); sab != sba {
+		t.Fatalf("merge not commutative:\n--- a,b ---\n%s\n--- b,a ---\n%s", sab, sba)
+	}
+	if ab.Runs != 2 {
+		t.Errorf("runs = %d, want 2", ab.Runs)
+	}
+	if got := ab.Insts[0].ErrSum; got != 13+25 {
+		t.Errorf("merged errSum = %d, want 38", got)
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	a, b, c := sampleProfile(t, 1), sampleProfile(t, 2), sampleProfile(t, 3)
+	left, err := MergeAll(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := MergeAll(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshal(t, left) != marshal(t, right) {
+		t.Fatal("merge order changed the serialized profile")
+	}
+}
+
+func TestMergeRejectsMismatches(t *testing.T) {
+	a := sampleProfile(t, 5)
+	b := sampleProfile(t, 5)
+	b.Key = "other"
+	if _, err := Merge(a, b); err == nil {
+		t.Error("key mismatch not rejected")
+	}
+	b = sampleProfile(t, 5)
+	b.SampleEvery = 16
+	if _, err := Merge(a, b); err == nil {
+		t.Error("stride mismatch not rejected")
+	}
+	b = sampleProfile(t, 5)
+	b.Insts[0].Pos = "elsewhere:1:1"
+	if _, err := Merge(a, b); err == nil {
+		t.Error("metadata conflict not rejected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.Timing = true
+	c.Checked(0, 7)
+	c.Latency(0, 1234)
+	p := c.Snapshot(testModule(), "k", "posit", 1, 16)
+	s1 := marshal(t, p)
+	back, err := ReadJSON(strings.NewReader(s1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 := marshal(t, back); s1 != s2 {
+		t.Fatalf("round trip changed bytes:\n%s\nvs\n%s", s1, s2)
+	}
+	if back.SampleEvery != 16 {
+		t.Errorf("sampleEvery = %d", back.SampleEvery)
+	}
+	if back.Insts[0].Lat == nil || back.Insts[0].Lat.Count != 1 {
+		t.Error("latency histogram lost in round trip")
+	}
+}
+
+func TestReadJSONRejectsWrongVersion(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"version":99,"key":"k","insts":[]}`)); err == nil {
+		t.Error("version 99 accepted")
+	}
+}
+
+func TestHistObserve(t *testing.T) {
+	var h Hist
+	h.ObserveBits(-3)
+	h.ObserveBits(0)
+	h.ObserveBits(64)
+	h.ObserveBits(1000)
+	if h.Buckets[0] != 2 || h.Buckets[64] != 2 {
+		t.Errorf("clamping wrong: %v %v", h.Buckets[0], h.Buckets[64])
+	}
+	var e Hist
+	e.ObserveExp(0) // bits.Len64(0)=0
+	e.ObserveExp(1) // bucket 1
+	e.ObserveExp(1023)
+	e.ObserveExp(1024)
+	if e.Buckets[0] != 1 || e.Buckets[1] != 1 || e.Buckets[10] != 1 || e.Buckets[11] != 1 {
+		t.Errorf("exp bucketing wrong: %v", e.Buckets[:12])
+	}
+	if e.Max() != 11 {
+		t.Errorf("Max = %d, want 11", e.Max())
+	}
+}
+
+func TestTopRanking(t *testing.T) {
+	p := sampleProfile(t, 5)
+	top := p.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("got %d rows", len(top))
+	}
+	// id 2 has errSum 30, id 0 has 13, id 1 has 0.
+	if top[0].ID != 2 || top[1].ID != 0 {
+		t.Errorf("ranking wrong: %d, %d", top[0].ID, top[1].ID)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTop(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test.pcl:9:1") {
+		t.Errorf("report missing source position:\n%s", buf.String())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := sampleProfile(t, 5)
+	b := sampleProfile(t, 11)
+	b.Insts = b.Insts[:2] // drop id 2 from b
+	rows, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// id 2: only in a, delta -30. id 0: 13 → 25, delta +12.
+	if rows[0].ID != 2 || rows[0].OnlyIn != "a" || rows[0].DeltaSum != -30 {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	if rows[1].ID != 0 || rows[1].DeltaSum != 12 {
+		t.Errorf("row1 = %+v", rows[1])
+	}
+	var buf bytes.Buffer
+	if err := WriteDiff(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	// Keys differing only in the arch segment diff fine (posit vs float
+	// builds of one kernel share static ids); different workloads do not.
+	a.Key, b.Key = "gemm/n=8/posit32", "gemm/n=8/f64"
+	if _, err := Diff(a, b); err != nil {
+		t.Errorf("cross-arch diff refused: %v", err)
+	}
+	a.Key = "other"
+	if _, err := Diff(a, b); err == nil {
+		t.Error("cross-key diff accepted")
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	c.Checked(0, 5)
+	c.Reset()
+	p := c.Snapshot(testModule(), "k", "", 0, 0)
+	if len(p.Insts) != 0 {
+		t.Errorf("reset left %d insts", len(p.Insts))
+	}
+	// Negative ids must be ignored, not panic.
+	c.Checked(-1, 5)
+	c.Skipped(-1)
+	c.Detect(-1, DetectNaR, 0)
+	c.Latency(-1, 1)
+}

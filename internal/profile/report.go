@@ -1,0 +1,157 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Top returns up to n instruction profiles ranked noisiest-first:
+// aggregate error bits descending, then worst single error, then dynamic
+// count, then id — a total order, so reports are deterministic.
+func (p *Profile) Top(n int) []*InstProfile {
+	ranked := make([]*InstProfile, len(p.Insts))
+	copy(ranked, p.Insts)
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if a.ErrSum != b.ErrSum {
+			return a.ErrSum > b.ErrSum
+		}
+		if a.ErrMax != b.ErrMax {
+			return a.ErrMax > b.ErrMax
+		}
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.ID < b.ID
+	})
+	if n > 0 && n < len(ranked) {
+		ranked = ranked[:n]
+	}
+	return ranked
+}
+
+// WriteTop renders the top-n table as aligned text: rank, source
+// position, function, op, dynamic/checked counts, mean and max error in
+// bits, and detection tallies.
+func (p *Profile) WriteTop(w io.Writer, n int) error {
+	ranked := p.Top(n)
+	fmt.Fprintf(w, "profile %q", p.Key)
+	if p.Arch != "" {
+		fmt.Fprintf(w, " arch=%s", p.Arch)
+	}
+	fmt.Fprintf(w, " runs=%d", p.Runs)
+	if p.SampleEvery > 1 {
+		fmt.Fprintf(w, " sample=1/%d", p.SampleEvery)
+	}
+	fmt.Fprintf(w, " insts=%d\n", len(p.Insts))
+
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tpos\tfunc\top\tcount\tchecked\terr(mean)\terr(max)\tcancel\tsat\tnar")
+	for i, ip := range ranked {
+		mean := 0.0
+		if ip.Checked > 0 {
+			mean = float64(ip.ErrSum) / float64(ip.Checked)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%d\t%d\t%.2f\t%d\t%d\t%d\t%d\n",
+			i+1, ip.Pos, ip.Func, ip.Op, ip.Count, ip.Checked,
+			mean, ip.ErrMax, ip.Cancellations, ip.Saturations, ip.NaRs)
+	}
+	return tw.Flush()
+}
+
+// DiffRow is one instruction's before/after comparison.
+type DiffRow struct {
+	ID       int32  `json:"id"`
+	Pos      string `json:"pos"`
+	Func     string `json:"func"`
+	Op       string `json:"op,omitempty"`
+	AErrSum  int64  `json:"a_err_sum"`
+	BErrSum  int64  `json:"b_err_sum"`
+	DeltaSum int64  `json:"delta_err_sum"`
+	AErrMax  int    `json:"a_err_max"`
+	BErrMax  int    `json:"b_err_max"`
+	OnlyIn   string `json:"only_in,omitempty"` // "a" or "b" when not shared
+}
+
+// Diff compares two profiles of the same workload, returning rows sorted
+// by absolute aggregate-error change (largest movement first, then id).
+// Unlike Merge it tolerates differing strides/run counts — that is the
+// point of a diff — and keys that differ only in their final
+// "/"-separated arch segment (posit32 vs f64 builds of one kernel share
+// static ids: RefactorToPosit rewrites types in place, so the IR
+// traversal order that assigns ids is identical even where source
+// columns shift). Fully different keys are still refused.
+func Diff(a, b *Profile) ([]DiffRow, error) {
+	if a.Key != b.Key && trimArch(a.Key) != trimArch(b.Key) {
+		return nil, fmt.Errorf("profile: diffing different keys %q vs %q", a.Key, b.Key)
+	}
+	bByID := make(map[int32]*InstProfile, len(b.Insts))
+	for _, ip := range b.Insts {
+		bByID[ip.ID] = ip
+	}
+	var rows []DiffRow
+	for _, ap := range a.Insts {
+		row := DiffRow{ID: ap.ID, Pos: ap.Pos, Func: ap.Func, Op: ap.Op,
+			AErrSum: ap.ErrSum, AErrMax: ap.ErrMax}
+		if bp, ok := bByID[ap.ID]; ok {
+			row.BErrSum, row.BErrMax = bp.ErrSum, bp.ErrMax
+			delete(bByID, ap.ID)
+		} else {
+			row.OnlyIn = "a"
+		}
+		row.DeltaSum = row.BErrSum - row.AErrSum
+		rows = append(rows, row)
+	}
+	for _, bp := range b.Insts {
+		if _, gone := bByID[bp.ID]; !gone {
+			continue
+		}
+		rows = append(rows, DiffRow{ID: bp.ID, Pos: bp.Pos, Func: bp.Func, Op: bp.Op,
+			BErrSum: bp.ErrSum, BErrMax: bp.ErrMax, DeltaSum: bp.ErrSum, OnlyIn: "b"})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ai, aj := abs64(rows[i].DeltaSum), abs64(rows[j].DeltaSum)
+		if ai != aj {
+			return ai > aj
+		}
+		return rows[i].ID < rows[j].ID
+	})
+	return rows, nil
+}
+
+// WriteDiff renders the diff rows as aligned text.
+func WriteDiff(w io.Writer, rows []DiffRow) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "pos\tfunc\top\terr_sum(a)\terr_sum(b)\tdelta\terr_max(a→b)\tnote")
+	for _, r := range rows {
+		note := ""
+		switch r.OnlyIn {
+		case "a":
+			note = "only in a"
+		case "b":
+			note = "only in b"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%+d\t%d→%d\t%s\n",
+			r.Pos, r.Func, r.Op, r.AErrSum, r.BErrSum, r.DeltaSum, r.AErrMax, r.BErrMax, note)
+	}
+	return tw.Flush()
+}
+
+// trimArch drops a key's final "/"-separated segment (the arch), leaving
+// the workload identity: "gemm/n=8/posit32" → "gemm/n=8".
+func trimArch(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i > 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

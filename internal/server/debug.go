@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	positdebug "positdebug"
+	"positdebug/internal/obs"
+	"positdebug/internal/profile"
+)
+
+// flight is one request's observability context: the request id, the span
+// tracer, and (when the recorder is enabled) the bounded ring holding the
+// request's most recent events, each stamped with the id. The tracer and
+// span are nil-safe, so handler code uses them unconditionally.
+type flight struct {
+	id   string
+	ring *obs.Ring
+	sink obs.Sink
+	tr   *obs.Tracer
+	span *obs.Span // the request-level span, closed at response time
+}
+
+// newFlight assigns the next request id and, when configured, builds the
+// request's flight ring and tracer.
+func (s *Server) newFlight() *flight {
+	fl := &flight{id: fmt.Sprintf("r%08d", s.reqSeq.Add(1))}
+	if s.cfg.FlightRecorder > 0 {
+		ring := obs.NewRing(s.cfg.FlightRecorder)
+		id := fl.id
+		fl.ring = ring
+		fl.sink = obs.SinkFunc(func(e obs.Event) {
+			e.Req = id
+			ring.Emit(e)
+		})
+		fl.tr = obs.NewTracer(fl.sink)
+	}
+	fl.span = fl.tr.Start("request")
+	return fl
+}
+
+// failRun answers an error, closing the request span first so it lands in
+// the ring, and dumps the flight recorder on 5xx — the black-box readout
+// for the responses worth investigating.
+func (s *Server) failRun(w http.ResponseWriter, fl *flight, code int, kind, msg string) {
+	fl.span.End()
+	s.reg.Counter(`pd_serve_requests_total{code="` + strconv.Itoa(code) + `"}`).Inc()
+	writeJSON(w, code, ErrorResponse{Error: msg, Kind: kind, Req: fl.id})
+	if code >= 500 {
+		s.dumpFlight(fl)
+	}
+	s.closeFlight(fl)
+}
+
+// dumpFlight writes the request's retained events as JSONL to FlightLog.
+// Events keep their in-request sequence numbers and carry the request id,
+// so interleaved dumps from concurrent requests still attribute cleanly.
+func (s *Server) dumpFlight(fl *flight) {
+	if fl.ring == nil || s.cfg.FlightLog == nil {
+		return
+	}
+	events := fl.ring.Events()
+	if len(events) == 0 {
+		return
+	}
+	s.reg.Counter("pd_flight_dumps_total").Inc()
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	enc := json.NewEncoder(s.cfg.FlightLog)
+	for _, e := range events {
+		if enc.Encode(e) != nil {
+			return
+		}
+	}
+}
+
+// closeFlight publishes the ring's lifetime totals (event and drop counts)
+// into the registry once per request.
+func (s *Server) closeFlight(fl *flight) {
+	if fl.ring != nil {
+		fl.ring.PublishMetrics(s.reg)
+	}
+}
+
+// mergeProfile folds one request's collector into the live aggregate for
+// its program, keyed by the source hash stamped in cache.get.
+func (s *Server) mergeProfile(prog *positdebug.Program, col *profile.Collector) {
+	mod := prog.Instrumented()
+	snap := col.Snapshot(mod, mod.Source, "pcl", 1, int64(s.cfg.ProfileSample))
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	prev, ok := s.profiles[snap.Key]
+	if !ok {
+		s.profiles[snap.Key] = snap
+		return
+	}
+	// A merge failure would mean two programs share a source hash with
+	// different instruction metadata; keep the existing aggregate.
+	if merged, err := profile.Merge(prev, snap); err == nil {
+		s.profiles[snap.Key] = merged
+	}
+}
+
+// handleDebugProfile serves the live numerical-error profiles: JSON keyed
+// by source hash, or the top-N text report with ?top=N.
+func (s *Server) handleDebugProfile(w http.ResponseWriter, r *http.Request) {
+	s.profMu.Lock()
+	keys := make([]string, 0, len(s.profiles))
+	for k := range s.profiles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if n, _ := strconv.Atoi(r.URL.Query().Get("top")); n > 0 {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, k := range keys {
+			if err := s.profiles[k].WriteTop(w, n); err != nil {
+				break
+			}
+			fmt.Fprintln(w)
+		}
+		s.profMu.Unlock()
+		return
+	}
+	out := make(map[string]*profile.Profile, len(s.profiles))
+	for _, k := range keys {
+		out[k] = s.profiles[k]
+	}
+	s.profMu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}

@@ -24,11 +24,16 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -38,6 +43,7 @@ import (
 	positdebug "positdebug"
 	"positdebug/internal/interp"
 	"positdebug/internal/obs"
+	"positdebug/internal/profile"
 	"positdebug/internal/shadow"
 )
 
@@ -85,6 +91,25 @@ type Config struct {
 	// Metrics receives service and shadow-oracle metrics (default: a
 	// fresh registry, exposed at /metrics).
 	Metrics *obs.Registry
+	// FlightRecorder sizes the per-request flight ring: every request
+	// records its last N observability events (run lifecycle, detections,
+	// causal spans), each stamped with the request id, and the ring is
+	// dumped as JSONL to FlightLog when the request answers 5xx or
+	// reports detections. 0 disables the recorder.
+	FlightRecorder int
+	// FlightLog receives flight-recorder dumps (default os.Stderr).
+	// Writes are serialized; each line is one obs.Event.
+	FlightLog io.Writer
+	// ProfileRequests collects a per-request numerical-error profile and
+	// merges it into a live aggregate keyed by source hash, served at
+	// /debug/profile (JSON; ?top=N for the text report).
+	ProfileRequests bool
+	// ProfileSample is the shadow sampling stride for request profiling
+	// (default 1 = full shadow).
+	ProfileSample int
+	// EnablePprof mounts Go's runtime profiling endpoints
+	// (net/http/pprof) under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +146,12 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.FlightRecorder > 0 && c.FlightLog == nil {
+		c.FlightLog = os.Stderr
+	}
+	if c.ProfileSample <= 0 {
+		c.ProfileSample = 1
+	}
 	return c
 }
 
@@ -147,6 +178,14 @@ type Server struct {
 	// tests to simulate pressure without allocating gigabytes.
 	memUsage func() uint64
 
+	// reqSeq numbers requests; the id rides every event of the request's
+	// flight ring and the X-Request-Id response header.
+	reqSeq   atomic.Uint64
+	flightMu sync.Mutex // serializes FlightLog dumps
+
+	profMu   sync.Mutex
+	profiles map[string]*profile.Profile // live aggregates by source hash
+
 	cache *progCache
 	mux   *http.ServeMux
 }
@@ -162,12 +201,23 @@ func New(cfg Config) *Server {
 		cache:   newProgCache(cfg.CacheSize),
 	}
 	s.memUsage = heapInUse
+	s.profiles = make(map[string]*profile.Profile)
 	s.reg.Gauge("pd_serve_precision_bits").Set(int64(s.EffectivePrecision()))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.ProfileRequests {
+		mux.HandleFunc("/debug/profile", s.handleDebugProfile)
+	}
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
@@ -287,6 +337,9 @@ type RunResponse struct {
 	Degraded  bool `json:"degraded"`
 	// Cached reports a compile-cache hit (the warm path).
 	Cached bool `json:"cached"`
+	// Req is the request id, also sent as X-Request-Id and stamped on
+	// every flight-recorder event of this request.
+	Req string `json:"req,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -295,6 +348,9 @@ type ErrorResponse struct {
 	// Kind is the failure taxonomy bucket: bad-request, compile, trap,
 	// cancelled, internal-fault, resource-exhausted, shed, draining.
 	Kind string `json:"kind"`
+	// Req is the request id (when the request got far enough to be
+	// assigned one).
+	Req string `json:"req,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -401,20 +457,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	fl := s.newFlight()
+	w.Header().Set("X-Request-Id", fl.id)
+
 	var req RunRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.writeErr(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		s.failRun(w, fl, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
 		return
 	}
 	if req.Source == "" {
-		s.writeErr(w, http.StatusBadRequest, "bad-request", "missing source")
+		s.failRun(w, fl, http.StatusBadRequest, "bad-request", "missing source")
 		return
 	}
 
+	csp := fl.tr.Start("compile")
 	prog, cached, err := s.cache.get(req.Source)
+	csp.End()
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, "compile", err.Error())
+		s.failRun(w, fl, http.StatusBadRequest, "compile", err.Error())
 		return
 	}
 	if cached {
@@ -429,20 +490,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	fn := prog.Module.FuncByName(fnName)
 	if fn == nil {
-		s.writeErr(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("no function %q", fnName))
+		s.failRun(w, fl, http.StatusBadRequest, "bad-request", fmt.Sprintf("no function %q", fnName))
 		return
 	}
 	args := make([]uint64, 0, len(req.Args))
 	for _, a := range req.Args {
 		v, err := strconv.ParseUint(a, 0, 64)
 		if err != nil {
-			s.writeErr(w, http.StatusBadRequest, "bad-request", "bad argument "+strconv.Quote(a)+": "+err.Error())
+			s.failRun(w, fl, http.StatusBadRequest, "bad-request", "bad argument "+strconv.Quote(a)+": "+err.Error())
 			return
 		}
 		args = append(args, v)
 	}
 	if len(args) != len(fn.Params) {
-		s.writeErr(w, http.StatusBadRequest, "bad-request",
+		s.failRun(w, fl, http.StatusBadRequest, "bad-request",
 			fmt.Sprintf("%s takes %d args, got %d", fnName, len(fn.Params), len(args)))
 		return
 	}
@@ -465,8 +526,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		positdebug.WithLimits(lim),
 		positdebug.WithArgs(args...),
 	}
+	if fl.sink != nil {
+		opts = append(opts, positdebug.WithTrace(fl.sink), positdebug.WithSpans(fl.tr))
+	}
 	basePrec := s.cfg.Precision
 	var scfg shadow.Config
+	var col *profile.Collector
 	if req.Baseline {
 		opts = append(opts, positdebug.WithBaseline())
 	} else {
@@ -477,13 +542,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		scfg.MaxReports = 1
 		scfg.Metrics = s.reg
 		opts = append(opts, positdebug.WithShadow(scfg))
+		if s.cfg.ProfileRequests {
+			col = profile.NewCollector()
+			opts = append(opts,
+				positdebug.WithProfile(col),
+				positdebug.WithSampling(s.cfg.ProfileSample))
+		}
 	}
 
 	res, err := prog.Exec(fnName, opts...)
 	if err != nil {
 		code, kind := statusFor(err)
-		s.writeErr(w, code, kind, err.Error())
+		s.failRun(w, fl, code, kind, err.Error())
 		return
+	}
+	if col != nil {
+		s.mergeProfile(prog, col)
 	}
 
 	resp := RunResponse{
@@ -506,8 +580,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.reg.Counter("pd_serve_degraded_responses_total").Inc()
 		}
 	}
+	resp.Req = fl.id
+	fl.span.End()
 	s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
 	writeJSON(w, http.StatusOK, resp)
+	if len(resp.Detections) > 0 {
+		s.dumpFlight(fl)
+	}
+	s.closeFlight(fl)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -567,6 +647,11 @@ func (c *progCache) get(src string) (*positdebug.Program, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	// Name the program by source hash before freezing: profile keys and
+	// report positions render as src-<hash>:line:col, stable across
+	// requests and server restarts.
+	sum := sha256.Sum256([]byte(src))
+	prog.SetSourceName("src-" + hex.EncodeToString(sum[:6]))
 	prog.Instrumented() // freeze the lazy cache before publishing
 
 	c.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"positdebug/internal/ir"
 	"positdebug/internal/obs"
 	"positdebug/internal/posit"
+	"positdebug/internal/profile"
 	"positdebug/internal/ulp"
 )
 
@@ -96,6 +97,10 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 		}
 		if opsWereFinite {
 			r.count(KindNaR)
+			if r.prof != nil {
+				r.prof.Checked(id, 64)
+				r.prof.Detect(id, profile.DetectNaR, 0)
+			}
 			r.emit(KindNaR, id, errInfo{
 				errBits: 64,
 				program: interp.FormatValue(typ, d.Prog),
@@ -124,12 +129,18 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 			r.instHistFor(id).Observe(bits)
 		}
 	}
+	if r.prof != nil {
+		r.prof.Checked(id, bits)
+	}
 
 	// Catastrophic cancellation (§3.4): cancelled leading bits AND the
 	// computed result at least a factor of ε=2 away from the real result.
 	if subLike && ta != nil && tb != nil && !ta.Undef && !tb.Undef {
 		if cb := cancelledBits(typ, ta.Prog, tb.Prog, d.Prog); cb > 0 && factorTwoOff(progF, &d.Real) {
 			r.count(KindCancellation)
+			if r.prof != nil {
+				r.prof.Detect(id, profile.DetectCancellation, cb)
+			}
 			r.emit(KindCancellation, id, errInfo{
 				errBits: bits, ulps: ulps,
 				program: interp.FormatValue(typ, d.Prog),
@@ -147,6 +158,9 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 		// the real value disagrees — a silently hidden overflow/underflow.
 		if (cfg.IsMaxMag(pb) || cfg.IsMinMag(pb)) && bits > 0 {
 			r.count(KindSaturation)
+			if r.prof != nil {
+				r.prof.Detect(id, profile.DetectSaturation, 0)
+			}
 			r.emit(KindSaturation, id, errInfo{
 				errBits: bits, ulps: ulps,
 				program: interp.FormatValue(typ, d.Prog),

@@ -9,6 +9,7 @@ import (
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
 	"positdebug/internal/obs"
+	"positdebug/internal/profile"
 )
 
 // Config controls the shadow runtime.
@@ -62,6 +63,12 @@ type Config struct {
 	// (pd_op_err_bits) and its per-instruction breakdown
 	// (pd_inst_err_bits{inst=...}).
 	Metrics *obs.Registry
+	// Profile, when set, accumulates per-static-instruction error
+	// statistics (error-bits histogram, cancellation severity,
+	// saturation/NaR tallies) across runs — the numerical-error profiler's
+	// feed. The collector is not reset between runs; snapshot and merge it
+	// from the caller (see internal/profile).
+	Profile *profile.Collector
 }
 
 // DefaultConfig mirrors the paper's default setup: 256-bit shadow
@@ -135,6 +142,10 @@ type Runtime struct {
 	metDet     [KindWrongOutput + 1]*obs.Counter
 	metErrHist *obs.Histogram
 	instHist   map[int32]*obs.Histogram
+
+	// prof, when non-nil, receives per-instruction error statistics from
+	// checkOp (see Config.Profile).
+	prof *profile.Collector
 }
 
 // shadowQuire mirrors the program's quire with a wide accumulator; 768
@@ -231,6 +242,7 @@ func New(mod *ir.Module, cfg Config) (*Runtime, error) {
 	}
 	r.events = cfg.Events
 	r.bindMetrics(cfg.Metrics)
+	r.prof = cfg.Profile
 	return r, nil
 }
 
@@ -246,6 +258,13 @@ func (r *Runtime) SetEvents(s obs.Sink) {
 func (r *Runtime) SetMetrics(reg *obs.Registry) {
 	r.cfg.Metrics = reg
 	r.bindMetrics(reg)
+}
+
+// SetProfile rebinds the profile collector on a warm runtime. A nil
+// collector disables profiling.
+func (r *Runtime) SetProfile(c *profile.Collector) {
+	r.cfg.Profile = c
+	r.prof = c
 }
 
 func (r *Runtime) bindMetrics(reg *obs.Registry) {

@@ -86,6 +86,18 @@ func (p *Program) Instrumented() *ir.Module {
 	return p.instrumented
 }
 
+// SetSourceName names the program's source for reports and profiles: PCL
+// has no file system, so positions render as name:line:col with whatever
+// the caller passes — a workload name ("polybench/gemm"), a source hash
+// (the server uses one), a file path. Call before the first run; the name
+// is stamped into both the module and any already-instrumented copy.
+func (p *Program) SetSourceName(name string) {
+	p.Module.Source = name
+	if p.instrumented != nil {
+		p.instrumented.Source = name
+	}
+}
+
 // Result carries a run's outcome.
 type Result struct {
 	Value   uint64          // raw bit-pattern result of the entry function
@@ -159,6 +171,12 @@ type Debugger struct {
 	rt   *shadow.Runtime
 	m    *interp.Machine
 	out  bytes.Buffer
+
+	// sampleN and sampler carry the session's sampled-shadow state: the
+	// stride (WithSampling) and the warm decorator, rebuilt lazily when a
+	// per-run option rebinds the profile collector or the stride.
+	sampleN int64
+	sampler *interp.Sampling
 }
 
 // NewDebugger builds a warm-reusable session for the program.
