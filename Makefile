@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-frontend campaign-smoke bench-json bench-serve bench-profile trace-smoke profile-smoke
+.PHONY: all build vet test race fuzz fuzz-frontend campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke
 
 all: build vet test
 
@@ -31,6 +31,11 @@ bench-serve: build
 # full-shadow vs sampled-shadow cost and checked-op fraction on gemm.
 bench-profile: build
 	$(GO) run ./cmd/pdbench -profile -out BENCH_profile.json
+
+# Regenerate the checked-in fabric report (BENCH_fabric.json): 1- vs
+# 3-worker distributed campaign throughput and merged-report latency.
+bench-fabric: build
+	$(GO) run ./cmd/pdbench -fabric -out BENCH_fabric.json
 
 fuzz:
 	$(GO) test . -run FuzzInjector -fuzz FuzzInjector -fuzztime 30s
@@ -79,3 +84,24 @@ campaign-smoke: build
 	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -model bitflip -runs 200 -arch both -json > /tmp/pdfault-smoke-2.json
 	diff /tmp/pdfault-smoke-1.json /tmp/pdfault-smoke-2.json
 	@echo "campaign-smoke: deterministic ✓"
+
+# Distributed-fabric end-to-end check: the worker-loss and coordinator-
+# resume tests under the race detector at -cpu=1,4 (a 3-worker campaign
+# with one worker destroyed mid-flight, and a killed/restarted
+# coordinator, must both produce bytes identical to a sequential run),
+# then a real 2-process pdserve fleet driven by pdcoord, diffed against
+# pdfault on the same flags. CI runs this as the fabric-smoke job.
+FABDIR ?= /tmp/pd-fabric-smoke
+fabric-smoke: build
+	$(GO) test -race -count=1 -cpu=1,4 -run 'TestFabricWorkerLossByteIdentical|TestFabricCoordinatorResume' ./internal/fabric/
+	mkdir -p $(FABDIR)
+	$(GO) build -o $(FABDIR)/pdserve ./cmd/pdserve
+	$(FABDIR)/pdserve -addr 127.0.0.1:8711 & echo $$! > $(FABDIR)/w1.pid
+	$(FABDIR)/pdserve -addr 127.0.0.1:8712 & echo $$! > $(FABDIR)/w2.pid
+	sleep 1
+	$(GO) run ./cmd/pdcoord -workers http://127.0.0.1:8711,http://127.0.0.1:8712 \
+		-workload polybench/gemm -seed 42 -runs 60 -arch both -shard-size 8 -json > $(FABDIR)/coord.json; \
+		status=$$?; kill `cat $(FABDIR)/w1.pid` `cat $(FABDIR)/w2.pid` 2>/dev/null; exit $$status
+	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -runs 60 -arch both -json > $(FABDIR)/seq.json
+	diff $(FABDIR)/coord.json $(FABDIR)/seq.json
+	@echo "fabric-smoke: distributed report byte-identical to sequential ✓"

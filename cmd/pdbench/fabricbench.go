@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"positdebug/internal/fabric"
+	"positdebug/internal/faultinject"
+	"positdebug/internal/server"
+)
+
+// FabricBenchRow is one fleet size's campaign measurement: wall-clock for
+// the whole distributed run (dispatch + execution + merge) and the
+// resulting per-architecture-run throughput.
+type FabricBenchRow struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	// Speedup is this row's throughput over the 1-worker row's.
+	Speedup float64 `json:"speedup_vs_1_worker"`
+}
+
+// FabricReport is the file format of BENCH_fabric.json.
+type FabricReport struct {
+	Go         string           `json:"go"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Workload   string           `json:"workload"`
+	N          int              `json:"n"`
+	Runs       int              `json:"runs"`
+	ShardSize  int              `json:"shard_size"`
+	Rows       []FabricBenchRow `json:"rows"`
+	// MergeMS is the merged-report latency alone: assembling the final
+	// report from already-fetched shard results (the coordinator's
+	// critical section after the last worker answers).
+	MergeMS float64 `json:"merge_ms"`
+}
+
+// fabricBench measures distributed campaign throughput with 1 vs 3
+// in-process pdserve workers, plus the shard-merge latency on its own.
+// Workers share this process's cores, so the 3-worker speedup is a lower
+// bound for what distinct machines would show — the number reported is
+// about fabric overhead (HTTP, scheduling, merge), not linear scaling.
+func fabricBench(out, workload string, n, runs, shardSize int) error {
+	ccfg := faultinject.CampaignConfig{Workload: workload, N: n, Arch: "posit", Runs: runs, Seed: 42}
+	rep := &FabricReport{
+		Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Workload: workload, N: n,
+		Runs: runs, ShardSize: shardSize,
+	}
+
+	var baseRate float64
+	for _, nWorkers := range []int{1, 3} {
+		urls := make([]string, nWorkers)
+		servers := make([]*httptest.Server, nWorkers)
+		for i := range urls {
+			servers[i] = httptest.NewServer(server.New(server.Config{DefaultTimeout: 30 * time.Second}).Handler())
+			urls[i] = servers[i].URL
+		}
+		co, err := fabric.New(fabric.Config{Workers: urls, ShardSize: shardSize})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := co.RunCampaign(context.Background(), ccfg); err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		for _, ts := range servers {
+			ts.Close()
+		}
+		row := FabricBenchRow{
+			Name: fmt.Sprintf("campaign/%d-worker", nWorkers), Workers: nWorkers,
+			Seconds: secs, RunsPerSec: float64(runs) / secs,
+		}
+		if nWorkers == 1 {
+			baseRate = row.RunsPerSec
+			row.Speedup = 1
+		} else if baseRate > 0 {
+			row.Speedup = row.RunsPerSec / baseRate
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(os.Stderr, "%-22s %8.2fs %10.2f runs/s %6.2fx\n", row.Name, row.Seconds, row.RunsPerSec, row.Speedup)
+	}
+
+	// Merge latency: shards already in hand, how long until report bytes.
+	var shards []*faultinject.ShardResult
+	for lo := 0; lo < runs; lo += shardSize {
+		hi := lo + shardSize
+		if hi > runs {
+			hi = runs
+		}
+		sh, err := faultinject.RunShard(context.Background(), faultinject.ShardRequest{
+			Version: faultinject.ShardVersion, Config: ccfg.Wire(), Arch: "posit", Lo: lo, Hi: hi,
+		})
+		if err != nil {
+			return err
+		}
+		shards = append(shards, sh)
+	}
+	const mergeIters = 20
+	start := time.Now()
+	for i := 0; i < mergeIters; i++ {
+		if _, err := faultinject.AssembleReport(ccfg, shards); err != nil {
+			return err
+		}
+	}
+	rep.MergeMS = float64(time.Since(start).Microseconds()) / 1000 / mergeIters
+	fmt.Fprintf(os.Stderr, "%-22s %8.3fms per merge (%d shards)\n", "merge", rep.MergeMS, len(shards))
+
+	j, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	j = append(j, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(j)
+		return err
+	}
+	return os.WriteFile(out, j, 0o644)
+}

@@ -62,6 +62,9 @@ func main() {
 	profileMode := flag.Bool("profile", false, "benchmark the numerical-error profiler instead: full-shadow vs sampled-shadow overhead (BENCH_profile.json)")
 	profileKernel := flag.String("profile-kernel", "gemm", "kernel for -profile")
 	profileN := flag.Int("profile-n", 8, "problem size for -profile")
+	fabricMode := flag.Bool("fabric", false, "benchmark the distributed campaign fabric instead: 1- vs 3-worker throughput and merge latency (BENCH_fabric.json)")
+	fabricRuns := flag.Int("fabric-runs", 48, "campaign runs for -fabric")
+	fabricShard := flag.Int("fabric-shard-size", 8, "shard size for -fabric")
 	flag.Parse()
 
 	if *serve {
@@ -72,6 +75,12 @@ func main() {
 	}
 	if *profileMode {
 		if err := profileBench(*out, *profileKernel, *profileN); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fabricMode {
+		if err := fabricBench(*out, "polybench/"+*profileKernel, *profileN, *fabricRuns, *fabricShard); err != nil {
 			fatal(err)
 		}
 		return

@@ -120,14 +120,15 @@ func main() {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
+	resumed := 0
 	if *journalPath != "" {
 		journal, err := faultinject.OpenJournal(*journalPath, cfg)
 		if err != nil {
 			fail(err)
 		}
 		defer journal.Close()
-		if n := journal.Resumed(); n > 0 {
-			fmt.Fprintf(os.Stderr, "pdfault: resuming past %d journaled runs\n", n)
+		if resumed = journal.Resumed(); resumed > 0 {
+			fmt.Fprintf(os.Stderr, "pdfault: resuming past %d journaled runs\n", resumed)
 		}
 		cfg.Journal = journal
 	}
@@ -170,6 +171,16 @@ func main() {
 		if err := closeFile(f); err != nil {
 			fail(err)
 		}
+	}
+
+	// The resume split goes to stderr in both output modes: how much of
+	// the campaign was replayed from the journal versus executed now is
+	// the first thing to check when a resumed run finishes suspiciously
+	// fast (or slow).
+	if cfg.Journal != nil {
+		total := rep.Runs * len(rep.Arches)
+		fmt.Fprintf(os.Stderr, "pdfault: %d of %d runs replayed from journal, %d executed this invocation\n",
+			resumed, total, total-resumed)
 	}
 
 	if *jsonOut {

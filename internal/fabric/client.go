@@ -1,0 +1,130 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"positdebug/internal/faultinject"
+	"positdebug/internal/harness"
+	"positdebug/internal/profile"
+)
+
+// callError classifies one failed worker call for the scheduler: was it
+// backpressure (status 429 + retryAfter), a lease expiry (reassign), an
+// unretryable rejection (permanent — the request itself is wrong, no
+// worker will ever accept it), or an ordinary transient fault.
+type callError struct {
+	status       int // HTTP status, 0 for transport-level failures
+	retryAfter   time.Duration
+	permanent    bool
+	leaseExpired bool
+	err          error
+}
+
+func (e *callError) Error() string {
+	switch {
+	case e.leaseExpired:
+		return fmt.Sprintf("lease expired: %v", e.err)
+	case e.status != 0:
+		return fmt.Sprintf("HTTP %d: %v", e.status, e.err)
+	default:
+		return e.err.Error()
+	}
+}
+
+func (e *callError) Unwrap() error { return e.err }
+
+// post sends one JSON request and returns the response body on 200, or a
+// classified *callError otherwise. The response body of an error reply is
+// folded into the error text — worker-side diagnostics (taxonomy kind,
+// message) travel back to the coordinator's log.
+func (c *Coordinator) post(ctx context.Context, url string, in any) ([]byte, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return nil, &callError{permanent: true, err: fmt.Errorf("encoding request: %w", err)}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, &callError{permanent: true, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		// Connection refused, reset, timeout: the canonical transient
+		// fault — retryable on this or any other worker.
+		return nil, &callError{err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, &callError{err: fmt.Errorf("reading response: %w", err)}
+	}
+	if resp.StatusCode == http.StatusOK {
+		return b, nil
+	}
+	ce := &callError{
+		status: resp.StatusCode,
+		err:    fmt.Errorf("%s", strings.TrimSpace(string(b))),
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ce.retryAfter = time.Duration(secs) * time.Second
+		}
+	case http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusMethodNotAllowed:
+		// The worker understood us and said the request can never
+		// succeed (version skew, unknown workload, deterministic trap).
+		// Retrying would loop forever on the same answer.
+		ce.permanent = true
+	}
+	return nil, ce
+}
+
+// maxResponseBytes bounds a worker reply; a shard of tens of thousands of
+// runs serializes to a few MB, so 1 GiB is pure paranoia against a
+// misbehaving endpoint streaming garbage forever.
+const maxResponseBytes = 1 << 30
+
+// postCampaignShard runs one campaign shard (or golden probe) on a worker
+// and verifies the echo: a result describing a different shard than the
+// one asked for means request/response mixup and is treated as a worker
+// fault, not merged.
+func (c *Coordinator) postCampaignShard(ctx context.Context, base string, req faultinject.ShardRequest) (*faultinject.ShardResult, error) {
+	b, err := c.post(ctx, base+"/campaign/shard", req)
+	if err != nil {
+		return nil, err
+	}
+	var res faultinject.ShardResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, &callError{err: fmt.Errorf("undecodable shard response: %w", err)}
+	}
+	if res.Arch != req.Arch || res.Lo != req.Lo || res.Hi != req.Hi {
+		return nil, &callError{err: fmt.Errorf("shard echo mismatch: asked %s[%d,%d), got %s[%d,%d)",
+			req.Arch, req.Lo, req.Hi, res.Arch, res.Lo, res.Hi)}
+	}
+	if want := req.Hi - req.Lo; len(res.Results) != want {
+		return nil, &callError{err: fmt.Errorf("shard returned %d results for a %d-run range", len(res.Results), want)}
+	}
+	return &res, nil
+}
+
+// postProfileShard runs one profile shard on a worker and decodes the
+// canonical profile JSON it returns.
+func (c *Coordinator) postProfileShard(ctx context.Context, base string, req harness.ProfileShard) (*profile.Profile, error) {
+	b, err := c.post(ctx, base+"/profile/shard", req)
+	if err != nil {
+		return nil, err
+	}
+	p, err := profile.ReadJSON(bytes.NewReader(b))
+	if err != nil {
+		return nil, &callError{err: fmt.Errorf("undecodable profile response: %w", err)}
+	}
+	return p, nil
+}

@@ -1,0 +1,543 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"positdebug/internal/faultinject"
+	"positdebug/internal/harness"
+	"positdebug/internal/obs"
+	"positdebug/internal/server"
+)
+
+// testCampaign is the shared oracle workload: small enough to run many
+// times per test, big enough that shards split non-trivially.
+func testCampaign() faultinject.CampaignConfig {
+	return faultinject.CampaignConfig{
+		Workload: "polybench/gemm", N: 8, Arch: "both", Runs: 12, Seed: 42,
+	}
+}
+
+// newWorker spins up a real pdserve worker (full admission path included).
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := server.New(server.Config{DefaultTimeout: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fastCfg returns a coordinator config tuned for tests: tiny backoffs so
+// retries don't dominate wall clock, hedging off unless a test opts in.
+func fastCfg(workers ...string) Config {
+	return Config{
+		Workers:     workers,
+		ShardSize:   4,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		HedgeAfter:  -1,
+		EjectAfter:  2,
+		Probation:   200 * time.Millisecond,
+	}
+}
+
+func reportBytes(t *testing.T, rep *faultinject.Report) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sequentialOracle(t *testing.T, cfg faultinject.CampaignConfig) []byte {
+	t.Helper()
+	rep, err := faultinject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reportBytes(t, rep)
+}
+
+// TestFabricWorkerLossByteIdentical is the headline robustness test:
+// three workers run a campaign, one is SIGKILL-equivalently destroyed
+// after serving its first shard (connections severed, port refusing), and
+// the merged report must still be byte-identical to a sequential
+// single-process run.
+func TestFabricWorkerLossByteIdentical(t *testing.T) {
+	ccfg := testCampaign()
+	want := sequentialOracle(t, ccfg)
+
+	w1 := newWorker(t)
+	w3 := newWorker(t)
+	// w2 dies after its first shard response: in-flight connections are
+	// severed and every later dial is refused, exactly what a kill -9 of
+	// the worker process looks like from the coordinator's side.
+	var served atomic.Int32
+	var w2 *httptest.Server
+	base := server.New(server.Config{DefaultTimeout: 30 * time.Second}).Handler()
+	w2 = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		base.ServeHTTP(w, r)
+		if r.URL.Path == "/campaign/shard" && served.Add(1) == 1 {
+			go func() {
+				w2.CloseClientConnections()
+				w2.Close()
+			}()
+		}
+	}))
+	t.Cleanup(w2.Close)
+
+	reg := obs.NewRegistry()
+	cfg := fastCfg(w1.URL, w2.URL, w3.URL)
+	cfg.Metrics = reg
+	cfg.Logf = t.Logf
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatalf("fabric report differs from sequential oracle\nfabric: %s\noracle: %s", got, want)
+	}
+}
+
+// TestFabricCoordinatorResume kills the coordinator mid-campaign (context
+// cancel after two shards commit) and restarts it on the same journal:
+// the second invocation must re-dispatch zero journaled runs and the
+// final report must match the sequential oracle byte for byte.
+func TestFabricCoordinatorResume(t *testing.T) {
+	ccfg := testCampaign()
+	want := sequentialOracle(t, ccfg)
+	jpath := filepath.Join(t.TempDir(), "campaign.journal")
+
+	// Phase 1: cancel the coordinator after two shard responses have been
+	// produced — a controlled stand-in for kill -9, since every committed
+	// shard is already fsync'd to the journal when onDone returns.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var served atomic.Int32
+	base := server.New(server.Config{DefaultTimeout: 30 * time.Second}).Handler()
+	w := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		base.ServeHTTP(rw, r)
+		if r.URL.Path == "/campaign/shard" && served.Add(1) == 2 {
+			cancel()
+		}
+	}))
+	t.Cleanup(w.Close)
+
+	j1, err := faultinject.OpenJournal(jpath, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg(w.URL)
+	cfg.Journal = j1
+	co1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co1.RunCampaign(ctx, ccfg); err == nil {
+		t.Fatal("phase 1 should have been cancelled mid-campaign")
+	}
+	j1.Close()
+
+	// Snapshot what phase 1 committed.
+	j2, err := faultinject.OpenJournal(jpath, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := map[string]bool{}
+	for _, arch := range []string{"posit", "float"} {
+		for run := 0; run < ccfg.Runs; run++ {
+			if _, ok := j2.Lookup(arch, run); ok {
+				committed[fmt.Sprintf("%s/%d", arch, run)] = true
+			}
+		}
+	}
+	if len(committed) == 0 {
+		t.Fatal("phase 1 journaled nothing; the resume test needs partial progress")
+	}
+	t.Logf("phase 1 committed %d of %d runs", len(committed), 2*ccfg.Runs)
+
+	// Phase 2: a fresh coordinator on the same journal. The worker-side
+	// middleware fails the test on any request for an already-journaled
+	// run — "resume re-runs zero completed shards" enforced at the wire.
+	w2 := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/campaign/shard" {
+			body, _ := io.ReadAll(r.Body)
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			var req faultinject.ShardRequest
+			if err := json.Unmarshal(body, &req); err == nil {
+				for run := req.Lo; run < req.Hi; run++ {
+					if committed[fmt.Sprintf("%s/%d", req.Arch, run)] {
+						t.Errorf("resume re-dispatched journaled run %s/%d (shard [%d,%d))", req.Arch, run, req.Lo, req.Hi)
+					}
+				}
+			}
+		}
+		base.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(w2.Close)
+
+	cfg2 := fastCfg(w2.URL)
+	cfg2.Journal = j2
+	co2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co2.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatalf("resumed fabric report differs from sequential oracle\nfabric: %s\noracle: %s", got, want)
+	}
+}
+
+// TestFabricResumeFullyJournaled: a journal that already holds every run
+// must produce the report via a single golden probe — zero run requests.
+func TestFabricResumeFullyJournaled(t *testing.T) {
+	ccfg := testCampaign()
+	ccfg.Arch = "posit"
+	ccfg.Runs = 6
+	want := sequentialOracle(t, ccfg)
+	jpath := filepath.Join(t.TempDir(), "full.journal")
+
+	// Fill the journal out-of-band, as an in-process campaign would (no
+	// golden records — those are fabric-only).
+	j, err := faultinject.OpenJournal(jpath, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := faultinject.RunShard(context.Background(), faultinject.ShardRequest{
+		Version: faultinject.ShardVersion, Config: ccfg.Wire(), Arch: "posit", Lo: 0, Hi: ccfg.Runs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range full.Results {
+		if err := j.Record("posit", rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	var runReqs atomic.Int32
+	base := server.New(server.Config{DefaultTimeout: 30 * time.Second}).Handler()
+	w := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/campaign/shard" {
+			body, _ := io.ReadAll(r.Body)
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			var req faultinject.ShardRequest
+			if err := json.Unmarshal(body, &req); err == nil && req.Lo < req.Hi {
+				runReqs.Add(1)
+			}
+		}
+		base.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(w.Close)
+
+	j2, err := faultinject.OpenJournal(jpath, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cfg := fastCfg(w.URL)
+	cfg.Journal = j2
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := runReqs.Load(); n != 0 {
+		t.Fatalf("fully journaled resume issued %d run-executing shard requests (want 0: golden probe only)", n)
+	}
+	if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("fully journaled resume differs from sequential oracle")
+	}
+}
+
+// TestFabricHonorsRetryAfter: a 429 is flow control, not failure — the
+// coordinator must wait out the advertised window and must not count the
+// throttle toward ejection.
+func TestFabricHonorsRetryAfter(t *testing.T) {
+	ccfg := testCampaign()
+	ccfg.Arch = "posit"
+	ccfg.Runs = 4
+	want := sequentialOracle(t, ccfg)
+
+	var throttled atomic.Bool
+	base := server.New(server.Config{DefaultTimeout: 30 * time.Second}).Handler()
+	w := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/campaign/shard" && throttled.CompareAndSwap(false, true) {
+			rw.Header().Set("Retry-After", "1")
+			rw.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(rw, `{"error":"saturated","kind":"overload"}`)
+			return
+		}
+		base.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(w.Close)
+
+	reg := obs.NewRegistry()
+	cfg := fastCfg(w.URL)
+	cfg.ShardSize = ccfg.Runs // single shard: the 429 must gate the whole campaign
+	cfg.Metrics = reg
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("campaign finished in %v; a 1s Retry-After window was not honored", elapsed)
+	}
+	if n := reg.Counter("pd_fabric_throttles_total").Value(); n != 1 {
+		t.Fatalf("throttles counter = %d, want 1", n)
+	}
+	if n := reg.Counter("pd_fabric_ejections_total").Value(); n != 0 {
+		t.Fatalf("a throttle cost the worker %d ejections; backpressure must not count as failure", n)
+	}
+	if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("throttled campaign differs from sequential oracle")
+	}
+}
+
+// TestFabricEjectsFailingWorker: a persistently broken worker is ejected
+// after EjectAfter consecutive failures and the campaign completes on the
+// healthy one, byte-identically.
+func TestFabricEjectsFailingWorker(t *testing.T) {
+	ccfg := testCampaign()
+	want := sequentialOracle(t, ccfg)
+
+	good := newWorker(t)
+	bad := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		http.Error(rw, `{"error":"disk on fire","kind":"internal-fault"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+
+	reg := obs.NewRegistry()
+	cfg := fastCfg(good.URL, bad.URL)
+	cfg.Metrics = reg
+	cfg.Probation = time.Hour // once out, stays out for this test
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("pd_fabric_ejections_total").Value(); n < 1 {
+		t.Fatalf("ejections counter = %d, want >= 1", n)
+	}
+	if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("campaign with ejected worker differs from sequential oracle")
+	}
+}
+
+// TestFabricLeaseReassignment: a worker that accepts a shard and then
+// hangs forever must not hang the campaign — the lease expires and the
+// shard is reassigned (here: retried on the same, now recovered, worker).
+func TestFabricLeaseReassignment(t *testing.T) {
+	ccfg := testCampaign()
+	ccfg.Arch = "posit"
+	ccfg.Runs = 4
+	want := sequentialOracle(t, ccfg)
+
+	// Precompute the shard answer so the retry fits any lease: the point
+	// of this test is the hang and its lease-driven escape, not shard
+	// compute time (which -race -cpu=1 inflates past a tight lease).
+	canned, err := faultinject.RunShard(context.Background(), faultinject.ShardRequest{
+		Version: faultinject.ShardVersion, Config: ccfg.Wire(), Arch: "posit", Lo: 0, Hi: ccfg.Runs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cannedJSON, err := json.Marshal(canned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hung atomic.Bool
+	stop := make(chan struct{})
+	w := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) // consumed body → disconnects are detected
+		if hung.CompareAndSwap(false, true) {
+			select {
+			case <-r.Context().Done(): // the lease was torn down
+			case <-stop: // test over; don't wedge server cleanup
+			}
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Write(cannedJSON)
+	}))
+	t.Cleanup(w.Close)
+	t.Cleanup(func() { close(stop) })
+
+	reg := obs.NewRegistry()
+	cfg := fastCfg(w.URL)
+	cfg.ShardSize = ccfg.Runs
+	cfg.LeaseTimeout = 300 * time.Millisecond
+	cfg.EjectAfter = 5 // keep the sole worker admitted; this test is about leases
+	cfg.Metrics = reg
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("pd_fabric_reassignments_total").Value(); n < 1 {
+		t.Fatalf("reassignments counter = %d, want >= 1", n)
+	}
+	if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("campaign with expired lease differs from sequential oracle")
+	}
+}
+
+// TestFabricHedgesStraggler: with one worker stuck on a shard and another
+// idle, the coordinator launches a duplicate attempt after HedgeAfter and
+// takes the first answer. The lease is deliberately long — hedging, not
+// lease expiry, must rescue the shard.
+func TestFabricHedgesStraggler(t *testing.T) {
+	ccfg := testCampaign()
+	ccfg.Arch = "posit"
+	want := sequentialOracle(t, ccfg)
+
+	var hung atomic.Bool
+	stop := make(chan struct{})
+	base := server.New(server.Config{DefaultTimeout: 30 * time.Second}).Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/campaign/shard" && hung.CompareAndSwap(false, true) {
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-r.Context().Done(): // the winning hedge cancelled us
+			case <-stop:
+			}
+			return
+		}
+		base.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(slow.Close)
+	t.Cleanup(func() { close(stop) })
+	fast := newWorker(t)
+
+	reg := obs.NewRegistry()
+	cfg := fastCfg(slow.URL, fast.URL)
+	cfg.HedgeAfter = 200 * time.Millisecond
+	cfg.LeaseTimeout = time.Minute
+	cfg.Metrics = reg
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("campaign took %v; hedging should have rescued the stuck shard long before the lease", elapsed)
+	}
+	if n := reg.Counter(`pd_fabric_hedges_total{kind="campaign"}`).Value(); n < 1 {
+		t.Fatalf("hedges counter = %d, want >= 1", n)
+	}
+	if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("hedged campaign differs from sequential oracle")
+	}
+}
+
+// TestFabricPermanentErrorFailsFast: version skew (or any 400) must fail
+// the job immediately instead of burning MaxAttempts on a request no
+// worker will ever accept.
+func TestFabricPermanentErrorFailsFast(t *testing.T) {
+	w := newWorker(t)
+	cfg := fastCfg(w.URL)
+	cfg.MaxAttempts = 1000 // would take forever if the coordinator retried
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := testCampaign()
+	bad.Workload = "polybench/no-such-kernel"
+	start := time.Now()
+	if _, err := co.RunCampaign(context.Background(), bad); err == nil {
+		t.Fatal("campaign on an unknown workload should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("permanent failure took %v to surface; it must fail fast", elapsed)
+	}
+}
+
+// TestFabricProfileByteIdentical: a profile sweep sharded across two
+// workers merges to the bytes of a single-process sweep.
+func TestFabricProfileByteIdentical(t *testing.T) {
+	w1 := newWorker(t)
+	w2 := newWorker(t)
+	cfg := fastCfg(w1.URL, w2.URL)
+	cfg.ShardSize = 2
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := co.RunProfile(context.Background(), ProfileSweep{Kernel: "gemm", N: 8, Posit: true, Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := harness.RecordProfile(harness.ProfileOptions{Kernel: "gemm", N: 8, Posit: true, Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gb, wb bytes.Buffer
+	if err := got.WriteJSON(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteJSON(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb.Bytes(), wb.Bytes()) {
+		t.Fatal("fabric profile differs from single-process sweep")
+	}
+}
+
+// TestFabricBackoffBounds: the retry schedule must grow, cap, and jitter
+// within [d/2, d].
+func TestFabricBackoffBounds(t *testing.T) {
+	co, err := New(Config{Workers: []string{"http://x"}, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for failures, ceil := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		4: 800 * time.Millisecond,
+		9: time.Second, // capped
+	} {
+		for i := 0; i < 50; i++ {
+			d := co.backoff(failures)
+			if d < ceil/2 || d > ceil {
+				t.Fatalf("backoff(%d) = %v, want within [%v, %v]", failures, d, ceil/2, ceil)
+			}
+		}
+	}
+}

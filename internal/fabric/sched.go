@@ -1,0 +1,336 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// This file is the fabric's failure-domain core: a single-goroutine event
+// loop that assigns tasks (shards) to workers and absorbs every way a
+// worker can disappoint — refuse, throttle, hang, crash, or lie slowly.
+// All scheduler state (task and worker structs) is owned by the loop;
+// attempt goroutines only perform the HTTP call and report back on a
+// channel, so there is no locking and no data race by construction.
+
+// task is one dispatchable unit of work — a campaign shard, a golden
+// probe, or a profile shard. The scheduler is agnostic to the payload:
+// call performs one attempt against one worker, onDone commits the first
+// successful result (journal writes run here, on the event loop).
+type task struct {
+	label  string
+	call   func(ctx context.Context, workerURL string) (any, error)
+	onDone func(res any) error
+
+	// Scheduler-owned state.
+	failures    int       // failed attempts (429 throttles excluded)
+	inflight    int       // outstanding attempts (>1 while hedged)
+	launched    time.Time // start of the oldest outstanding attempt
+	notBefore   time.Time // backoff gate for the next attempt
+	lastURL     string    // worker of the most recent attempt
+	lastFailURL string    // worker of the most recent failed attempt
+	done        bool
+	result      any
+	cancels     []context.CancelFunc
+}
+
+func (t *task) cancelAll() {
+	for _, c := range t.cancels {
+		c()
+	}
+	t.cancels = nil
+}
+
+// workerState tracks one worker's health. A worker earns ejection by
+// consecutive failures and re-enters on probation when the window passes:
+// consecFails is deliberately NOT reset at re-admission, so one more
+// failure re-ejects immediately, while one success clears the slate.
+type workerState struct {
+	url          string
+	busy         bool
+	consecFails  int
+	offlineUntil time.Time // ejection or Retry-After throttle window
+}
+
+func (w *workerState) eligible(now time.Time) bool {
+	return !w.busy && !now.Before(w.offlineUntil)
+}
+
+// attemptEnd is one finished attempt, reported by its goroutine.
+type attemptEnd struct {
+	t   *task
+	w   *workerState
+	res any
+	err error
+}
+
+// runTasks drives every task to completion (or the job to failure) across
+// the configured workers. It returns nil only when every task has a
+// committed result.
+func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) error {
+	workers := make([]*workerState, 0, len(c.cfg.Workers))
+	for _, u := range c.cfg.Workers {
+		workers = append(workers, &workerState{url: u})
+	}
+	done := make(chan attemptEnd, len(workers)) // buffered: in-flight attempts can always report, even after an early return
+
+	remaining := 0
+	for _, t := range tasks {
+		if !t.done {
+			remaining++
+		}
+	}
+	outstanding := 0
+
+	fail := func(err error) error {
+		for _, t := range tasks {
+			t.cancelAll()
+		}
+		return err
+	}
+
+	for remaining > 0 {
+		now := time.Now()
+
+		// Dispatch: fresh work first, then hedges for stragglers.
+		for _, t := range tasks {
+			if t.done || t.inflight != 0 || now.Before(t.notBefore) {
+				continue
+			}
+			w := c.workerFor(t, workers, now, false)
+			if w == nil {
+				continue
+			}
+			c.launch(ctx, t, w, done)
+			outstanding++
+		}
+		if c.cfg.HedgeAfter > 0 {
+			for _, t := range tasks {
+				if t.done || t.inflight != 1 || now.Sub(t.launched) < c.cfg.HedgeAfter {
+					continue
+				}
+				w := c.workerFor(t, workers, now, true)
+				if w == nil {
+					continue
+				}
+				c.reg.Counter(`pd_fabric_hedges_total{kind="` + kind + `"}`).Inc()
+				c.logf("fabric: hedging %s on %s (first attempt %v old)", t.label, w.url, now.Sub(t.launched).Round(time.Millisecond))
+				c.launch(ctx, t, w, done)
+				outstanding++
+			}
+		}
+
+		// Wait for an attempt to finish, a backoff/ejection/hedge deadline
+		// to pass, or the whole job to be cancelled.
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if wake, ok := c.nextWake(tasks, workers, now); ok {
+			d := time.Until(wake)
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		} else if outstanding == 0 {
+			// No attempts in flight and nothing scheduled to become
+			// runnable: the loop would block forever. Cannot happen with a
+			// non-empty worker list (ejections and backoffs are finite),
+			// but fail loudly rather than hang if the invariant breaks.
+			return fail(fmt.Errorf("fabric: scheduler stalled with %d tasks remaining", remaining))
+		}
+
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return fail(context.Cause(ctx))
+		case <-timerC:
+			continue
+		case ev := <-done:
+			if timer != nil {
+				timer.Stop()
+			}
+			outstanding--
+			ev.w.busy = false
+			ev.t.inflight--
+			if ev.t.done {
+				// A hedge mate already won. A loser's error is expected
+				// (we cancelled it) and says nothing about worker health;
+				// a second success still clears the worker's record.
+				if ev.err == nil {
+					ev.w.consecFails = 0
+				}
+				continue
+			}
+			if ev.err == nil {
+				ev.w.consecFails = 0
+				ev.t.done = true
+				ev.t.result = ev.res
+				ev.t.cancelAll()
+				remaining--
+				c.reg.Counter(`pd_fabric_shards_total{kind="` + kind + `"}`).Inc()
+				if ev.t.onDone != nil {
+					if err := ev.t.onDone(ev.res); err != nil {
+						return fail(fmt.Errorf("fabric: committing %s: %w", ev.t.label, err))
+					}
+				}
+				continue
+			}
+			if err := c.noteFailure(ev, kind, time.Now()); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return nil
+}
+
+// launch starts one attempt of t on w under a lease: a per-attempt
+// deadline after which the coordinator stops waiting and reassigns the
+// shard, whatever the worker is (or isn't) doing.
+func (c *Coordinator) launch(ctx context.Context, t *task, w *workerState, done chan<- attemptEnd) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTimeout)
+	t.cancels = append(t.cancels, cancel)
+	w.busy = true
+	t.lastURL = w.url
+	t.inflight++
+	if t.inflight == 1 {
+		t.launched = time.Now()
+	}
+	go func() {
+		defer cancel()
+		res, err := t.call(actx, w.url)
+		if err != nil && actx.Err() != nil && ctx.Err() == nil {
+			// The lease expired (or the task was superseded), not the job:
+			// mark it so the loop can report a reassignment rather than a
+			// worker fault.
+			err = &callError{leaseExpired: true, err: err}
+		}
+		done <- attemptEnd{t: t, w: w, res: res, err: err}
+	}()
+}
+
+// workerFor picks the worker for one attempt of t: the healthiest (fewest
+// consecutive failures) among the idle, non-ejected, non-throttled ones.
+// A retry never goes straight back to the worker that just failed it when
+// the fleet has an alternative — waiting for a busy healthy worker beats
+// burning MaxAttempts against a dead port — and a hedge never lands on
+// the worker running the attempt it is meant to outrun. Hedging itself
+// trades duplicated work for tail latency: whichever copy answers first
+// wins and the loser is cancelled.
+func (c *Coordinator) workerFor(t *task, workers []*workerState, now time.Time, hedge bool) *workerState {
+	var best *workerState
+	for _, w := range workers {
+		if !w.eligible(now) {
+			continue
+		}
+		if hedge && w.url == t.lastURL {
+			continue
+		}
+		if !hedge && len(workers) > 1 && w.url == t.lastFailURL {
+			continue
+		}
+		if best == nil || w.consecFails < best.consecFails {
+			best = w
+		}
+	}
+	return best
+}
+
+// nextWake returns the earliest future instant at which the dispatch
+// picture can change without an attempt finishing: a task's backoff
+// expiring, a worker's ejection/throttle window closing, or a sole
+// in-flight attempt crossing the hedge threshold.
+func (c *Coordinator) nextWake(tasks []*task, workers []*workerState, now time.Time) (time.Time, bool) {
+	var wake time.Time
+	consider := func(at time.Time) {
+		if at.After(now) && (wake.IsZero() || at.Before(wake)) {
+			wake = at
+		}
+	}
+	for _, t := range tasks {
+		if t.done {
+			continue
+		}
+		if t.inflight == 0 {
+			consider(t.notBefore)
+		}
+		if c.cfg.HedgeAfter > 0 && t.inflight == 1 {
+			consider(t.launched.Add(c.cfg.HedgeAfter))
+		}
+	}
+	for _, w := range workers {
+		if !w.busy {
+			consider(w.offlineUntil)
+		}
+	}
+	return wake, !wake.IsZero()
+}
+
+// noteFailure applies one failed attempt to worker health and task retry
+// state. It returns a non-nil error only when the job as a whole must
+// stop: a permanent (non-retryable) response or a task out of attempts.
+func (c *Coordinator) noteFailure(ev attemptEnd, kind string, now time.Time) error {
+	t, w := ev.t, ev.w
+	ce, _ := ev.err.(*callError)
+
+	if ce != nil && ce.status == 429 {
+		// Backpressure, not breakage: the worker told us when to come
+		// back. Honor the window, try the shard elsewhere immediately,
+		// and leave the worker's health record untouched.
+		d := ce.retryAfter
+		if d <= 0 {
+			d = time.Second
+		}
+		w.offlineUntil = now.Add(d)
+		c.reg.Counter("pd_fabric_throttles_total").Inc()
+		c.logf("fabric: %s throttled (Retry-After %v), shard %s goes elsewhere", w.url, d, t.label)
+		return nil
+	}
+
+	if ce != nil && ce.leaseExpired {
+		c.reg.Counter("pd_fabric_reassignments_total").Inc()
+		c.logf("fabric: lease on %s expired at %s, reassigning", t.label, w.url)
+	}
+
+	t.lastFailURL = w.url
+	w.consecFails++
+	if w.consecFails >= c.cfg.EjectAfter && now.After(w.offlineUntil) {
+		// Eject. consecFails stays at the threshold: when the probation
+		// window passes the worker is re-admitted, but its next failure
+		// re-ejects it instantly — one strike on probation.
+		w.offlineUntil = now.Add(c.cfg.Probation)
+		c.reg.Counter("pd_fabric_ejections_total").Inc()
+		c.logf("fabric: ejecting %s for %v after %d consecutive failures", w.url, c.cfg.Probation, w.consecFails)
+	}
+
+	if ce != nil && ce.permanent {
+		return fmt.Errorf("fabric: %s rejected by %s as unretryable: %w", t.label, w.url, ev.err)
+	}
+	t.failures++
+	if t.failures >= c.cfg.MaxAttempts {
+		return fmt.Errorf("fabric: %s failed %d times, last on %s: %w", t.label, t.failures, w.url, ev.err)
+	}
+	t.notBefore = now.Add(c.backoff(t.failures))
+	c.reg.Counter(`pd_fabric_shard_retries_total{kind="` + kind + `"}`).Inc()
+	c.logf("fabric: %s attempt %d failed on %s (%v), retrying after %v", t.label, t.failures, w.url, ev.err, time.Until(t.notBefore).Round(time.Millisecond))
+	return nil
+}
+
+// backoff returns the wait before attempt n+1: capped exponential growth
+// with full jitter on the upper half, so a fleet of retries decorrelates
+// instead of thundering back in lockstep.
+func (c *Coordinator) backoff(failures int) time.Duration {
+	d := c.cfg.BaseBackoff
+	for i := 1; i < failures && d < c.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	half := d / 2
+	c.rngMu.Lock()
+	jit := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.rngMu.Unlock()
+	return half + jit
+}

@@ -298,7 +298,23 @@ func asCancelled(ctx context.Context, err error) error {
 	return err
 }
 
-func runArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
+// archPrep is the output of the golden + calibration pass: everything the
+// per-run loop needs, shared between the local campaign path (runArch) and
+// the distributed shard path (RunShard) so both classify runs identically.
+type archPrep struct {
+	prog         *positdebug.Program
+	scfg         shadow.Config
+	lim          interp.Limits
+	retType      ir.Type
+	goldenF      float64
+	goldenCounts map[shadow.Kind]int
+	info         ArchInfo
+}
+
+// prepArch compiles the workload for one architecture and executes the
+// golden + calibration pass: the counting injector observes the eligible
+// event stream without corrupting anything.
+func prepArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*archPrep, error) {
 	src := fpSrc
 	if arch == "posit" && !strings.Contains(fpSrc, ": p32") {
 		var err error
@@ -326,8 +342,6 @@ func runArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*Arch
 	scfg.Metrics = cfg.Metrics
 	lim := interp.Limits{Timeout: cfg.Timeout, MaxSteps: cfg.MaxSteps}
 
-	// Golden + calibration pass: the counting injector observes the
-	// eligible event stream without corrupting anything.
 	counter := NewInjector(nil, cfg.Model, 0)
 	counter.CountOnly = true
 	golden, err := prog.Exec("main",
@@ -342,16 +356,52 @@ func runArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*Arch
 	}
 	goldenF := decode(retType, golden.Value)
 	goldenCounts := golden.Summary.Counts
-
-	ar := &ArchReport{
-		Arch:        arch,
-		GoldenValue: goldenF,
-		GoldenKinds: kindNamesOf(goldenCounts, nil),
-		Candidates:  counter.Candidates(),
+	p := &archPrep{
+		prog: prog, scfg: scfg, lim: lim, retType: retType,
+		goldenF: goldenF, goldenCounts: goldenCounts,
+		info: ArchInfo{
+			GoldenValue: goldenF,
+			GoldenKinds: kindNamesOf(goldenCounts, nil),
+			Candidates:  counter.Candidates(),
+		},
 	}
-	if ar.Candidates == 0 {
+	if p.info.Candidates == 0 {
 		return nil, fmt.Errorf("workload has no injectable events")
 	}
+	return p, nil
+}
+
+// assembleArch turns one architecture's golden info plus its run results
+// (in run-index order) into the final ArchReport. Both the local campaign
+// and the distributed fabric merge go through this one function, which is
+// what makes a report assembled from remote shards byte-identical to a
+// sequential single-process run.
+func assembleArch(cfg CampaignConfig, arch string, info ArchInfo, results []RunResult) *ArchReport {
+	ar := &ArchReport{
+		Arch:        arch,
+		GoldenValue: info.GoldenValue,
+		GoldenKinds: info.GoldenKinds,
+		Candidates:  info.Candidates,
+	}
+	for _, rr := range results {
+		rr.events = nil
+		if !cfg.KeepSchedules {
+			rr.Schedule = nil
+		}
+		ar.Results = append(ar.Results, rr)
+		tallyOutcome(&ar.Totals, rr)
+	}
+	finishTotals(&ar.Totals)
+	return ar
+}
+
+func runArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*ArchReport, error) {
+	p, err := prepArch(ctx, cfg, arch, fpSrc)
+	if err != nil {
+		return nil, err
+	}
+	prog, scfg, lim := p.prog, p.scfg, p.lim
+	retType, goldenF, goldenCounts := p.retType, p.goldenF, p.goldenCounts
 	if cfg.Trace != nil {
 		e := obs.NewEvent(obs.EvArchStart)
 		e.Arch = arch
@@ -395,7 +445,7 @@ func runArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*Arch
 					return rr, nil
 				}
 			}
-			rr, err := oneRun(ctx, cfg, d, scfg, lim, retType, goldenF, goldenCounts, ar.Candidates, run)
+			rr, err := oneRun(ctx, cfg, d, scfg, lim, retType, goldenF, goldenCounts, p.info.Candidates, run)
 			if err != nil {
 				return rr, err
 			}
@@ -434,15 +484,8 @@ func runArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*Arch
 		if cfg.Metrics != nil {
 			cfg.Metrics.Counter(`pd_campaign_outcomes_total{outcome="` + string(rr.Outcome) + `"}`).Inc()
 		}
-		rr.events = nil
-		if !cfg.KeepSchedules {
-			rr.Schedule = nil
-		}
-		ar.Results = append(ar.Results, rr)
-		tallyOutcome(&ar.Totals, rr)
 	}
-	finishTotals(&ar.Totals)
-	return ar, nil
+	return assembleArch(cfg, arch, p.info, results), nil
 }
 
 // oneRun executes and classifies a single fault-injected run. Panics from

@@ -45,13 +45,16 @@ func metaFor(cfg CampaignConfig) journalMeta {
 	}
 }
 
-// journalRecord is one JSONL line: a header (first line of every journal)
-// or one completed run.
+// journalRecord is one JSONL line: a header (first line of every journal),
+// one completed run, or one architecture's golden info (written by the
+// fabric coordinator so a resume never re-runs the golden pass; readers
+// that predate it skip unknown kinds).
 type journalRecord struct {
-	Kind   string       `json:"kind"` // "header" or "run"
+	Kind   string       `json:"kind"` // "header", "run" or "golden"
 	Meta   *journalMeta `json:"meta,omitempty"`
 	Arch   string       `json:"arch,omitempty"`
 	Result *RunResult   `json:"result,omitempty"`
+	Golden *ArchInfo    `json:"golden,omitempty"`
 }
 
 type journalKey struct {
@@ -75,6 +78,7 @@ type Journal struct {
 	f         *os.File
 	enc       *json.Encoder
 	completed map[journalKey]RunResult
+	golden    map[string]ArchInfo
 }
 
 // OpenJournal opens (or creates) the journal at path for the given
@@ -86,7 +90,7 @@ func OpenJournal(path string, cfg CampaignConfig) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, completed: map[journalKey]RunResult{}}
+	j := &Journal{f: f, completed: map[journalKey]RunResult{}, golden: map[string]ArchInfo{}}
 	meta := metaFor(cfg)
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -143,6 +147,8 @@ func (j *Journal) load(raw []byte, meta journalMeta) (int64, error) {
 			first = false
 		} else if rec.Kind == "run" && rec.Result != nil {
 			j.completed[journalKey{rec.Arch, rec.Result.Run}] = *rec.Result
+		} else if rec.Kind == "golden" && rec.Golden != nil {
+			j.golden[rec.Arch] = *rec.Golden
 		}
 		good += int64(len(line)) + 1 // the scanner consumed the trailing \n
 	}
@@ -188,6 +194,38 @@ func (j *Journal) lookup(arch string, run int) (RunResult, bool) {
 	defer j.mu.Unlock()
 	rr, ok := j.completed[journalKey{arch, run}]
 	return rr, ok
+}
+
+// Record journals one completed run — the fabric coordinator's write path,
+// identical to the in-process campaign's: fsync'd before returning,
+// idempotent on (arch, run).
+func (j *Journal) Record(arch string, rr RunResult) error { return j.record(arch, rr) }
+
+// Lookup returns the journaled result for (arch, run), if any.
+func (j *Journal) Lookup(arch string, run int) (RunResult, bool) { return j.lookup(arch, run) }
+
+// RecordGolden journals one architecture's golden info so a resumed
+// coordinator can rebuild the report without re-running the golden pass.
+// Idempotent per architecture.
+func (j *Journal) RecordGolden(arch string, info ArchInfo) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.golden[arch]; ok {
+		return nil
+	}
+	if err := j.append(journalRecord{Kind: "golden", Arch: arch, Golden: &info}); err != nil {
+		return err
+	}
+	j.golden[arch] = info
+	return nil
+}
+
+// GoldenInfo returns the journaled golden info for an architecture, if any.
+func (j *Journal) GoldenInfo(arch string) (ArchInfo, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info, ok := j.golden[arch]
+	return info, ok
 }
 
 // Resumed reports how many runs the journal replayed from a previous

@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzCampaign is the fixed campaign every fuzz iteration opens against;
+// only the journal bytes vary.
+var fuzzCampaign = CampaignConfig{Workload: "polybench/gemm", Runs: 16, Seed: 42}
+
+// validJournalBytes builds a well-formed journal for the fuzz corpus.
+func validJournalBytes(t interface{ Fatal(...any) }, runs int) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	meta := metaFor(fuzzCampaign)
+	if err := enc.Encode(journalRecord{Kind: "header", Meta: &meta}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < runs; i++ {
+		rr := RunResult{Run: i, Seed: Mix(fuzzCampaign.Seed, i), Outcome: OutcomeMasked}
+		if err := enc.Encode(journalRecord{Kind: "run", Arch: "posit", Result: &rr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := ArchInfo{GoldenValue: 1.5, Candidates: 100}
+	if err := enc.Encode(journalRecord{Kind: "golden", Arch: "posit", Golden: &info}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzJournalLoad feeds arbitrary bytes through the journal open path:
+// torn tails, corrupt headers, mixed-fingerprint records, binary garbage.
+// The contract under attack: OpenJournal never panics, and its torn-tail
+// truncation is deterministic — opening the file it just repaired yields
+// the same resume set and the same bytes (truncation reaches a fixed point
+// after one pass).
+func FuzzJournalLoad(f *testing.F) {
+	valid := validJournalBytes(f, 4)
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7])                                              // torn tail mid-record
+	f.Add(append(append([]byte{}, valid...), "{\"kind"...))                  // torn appended record
+	f.Add(append(append([]byte{}, valid...), 0, 1, 2, 0xff))                 // binary garbage tail
+	f.Add([]byte(`{"kind":"run","arch":"posit","result":{"run":0}}` + "\n")) // runs before header
+	f.Add([]byte(`{"kind":"header","meta":{"version":99,"workload":"other"}}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add(bytes.Replace(valid, []byte(`"seed":42`), []byte(`"seed":43`), 1)) // fingerprint mismatch
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "journal.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(path, fuzzCampaign)
+		if err != nil {
+			// Rejected journals must be rejected identically on retry —
+			// no partial truncation before the error.
+			if _, err2 := OpenJournal(path, fuzzCampaign); err2 == nil {
+				t.Fatalf("first open failed (%v) but second succeeded", err)
+			}
+			return
+		}
+		resumed := j.Resumed()
+		after1, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		j2, err := OpenJournal(path, fuzzCampaign)
+		if err != nil {
+			t.Fatalf("reopen of repaired journal failed: %v", err)
+		}
+		if j2.Resumed() != resumed {
+			t.Fatalf("resume set changed across reopen: %d then %d", resumed, j2.Resumed())
+		}
+		after2, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		if !bytes.Equal(after1, after2) {
+			t.Fatalf("truncation not a fixed point: %d bytes then %d bytes", len(after1), len(after2))
+		}
+	})
+}

@@ -49,6 +49,13 @@ type ProfileOptions struct {
 // is commutative, so sequential and parallel sweeps produce byte-identical
 // profiles (profile.WriteJSON is canonical).
 func RecordProfile(o ProfileOptions) (*profile.Profile, error) {
+	return RecordProfileContext(context.Background(), o)
+}
+
+// RecordProfileContext is RecordProfile governed by a context — the
+// fabric-worker path, where a disconnected coordinator stops the sweep
+// instead of leaving it running headless.
+func RecordProfileContext(ctx context.Context, o ProfileOptions) (*profile.Profile, error) {
 	k, ok := workloads.KernelByName(o.Kernel)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown kernel %q", o.Kernel)
@@ -111,7 +118,7 @@ func RecordProfile(o ProfileOptions) (*profile.Profile, error) {
 		}
 		return &pstate{col: col, d: d}, nil
 	}
-	outs, states, err := parallel.MapWorkerStates(context.Background(), workers, runs,
+	outs, states, err := parallel.MapWorkerStates(ctx, workers, runs,
 		newState, func(s *pstate, i int) ([]obs.Event, error) {
 			var opts []positdebug.Option
 			var buf *obs.Buffer

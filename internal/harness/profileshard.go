@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"positdebug/internal/profile"
+)
+
+// ProfileShardVersion guards the coordinator↔worker profile-shard exchange
+// format, mirroring faultinject.ShardVersion for campaigns.
+const ProfileShardVersion = 1
+
+// ProfileShard asks a worker for one slice of a profiling sweep: Runs
+// executions of a kernel under the given sampling stride and precision.
+// Because every run of a kernel is identical and deterministic, and
+// profile.Merge is commutative with Runs additive, shards of any size
+// merge into the same canonical bytes a single-process sweep produces.
+// Timing is deliberately absent: latency histograms are nondeterministic
+// and would break the fabric's byte-identity contract.
+type ProfileShard struct {
+	Version   int    `json:"version"`
+	Kernel    string `json:"kernel"`
+	N         int    `json:"n,omitempty"`
+	Posit     bool   `json:"posit,omitempty"`
+	Runs      int    `json:"runs"`
+	Sample    int    `json:"sample,omitempty"`
+	Precision uint   `json:"precision,omitempty"`
+}
+
+// Validate rejects malformed or version-skewed profile-shard requests.
+func (p ProfileShard) Validate() error {
+	if p.Version != ProfileShardVersion {
+		return fmt.Errorf("harness: profile shard version %d, this worker speaks %d", p.Version, ProfileShardVersion)
+	}
+	if p.Kernel == "" {
+		return fmt.Errorf("harness: profile shard names no kernel")
+	}
+	if p.Runs <= 0 {
+		return fmt.Errorf("harness: profile shard asks for %d runs", p.Runs)
+	}
+	return nil
+}
+
+// RunProfileShard executes one profile shard and returns the merged
+// per-instruction profile for its runs.
+func RunProfileShard(ctx context.Context, p ProfileShard) (*profile.Profile, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return RecordProfileContext(ctx, ProfileOptions{
+		Kernel: p.Kernel, N: p.N, Posit: p.Posit,
+		Runs: p.Runs, Sample: p.Sample, Precision: p.Precision,
+	})
+}

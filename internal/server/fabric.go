@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"positdebug/internal/faultinject"
+	"positdebug/internal/harness"
+	"positdebug/internal/interp"
+)
+
+// This file is the worker side of the distributed campaign/profile fabric
+// (internal/fabric is the coordinator side): shard endpoints that execute
+// a slice of an embarrassingly-parallel sweep, and a batch endpoint that
+// amortizes admission for many small runs. All three go through the same
+// bounded admission queue as /run — a shard occupies one slot for its
+// whole duration, so a saturated worker sheds further shards with 429 and
+// the queue-depth-derived Retry-After, which is exactly the backpressure
+// signal the coordinator's backoff honors.
+
+// handleCampaignShard executes runs [lo, hi) of one architecture of a
+// fault-injection campaign (faultinject.RunShard) and streams back the
+// classified results plus the golden info they were judged against.
+func (s *Server) handleCampaignShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "bad-request", "POST only")
+		return
+	}
+	release, code := s.admit(r.Context())
+	if code != 0 {
+		s.rejectAdmission(w, code)
+		return
+	}
+	defer release()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.writeErr(w, http.StatusInternalServerError, "internal-fault",
+				fmt.Sprintf("panic serving shard: %v", rec))
+		}
+	}()
+
+	var req faultinject.ShardRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		return
+	}
+	res, err := faultinject.RunShard(r.Context(), req)
+	if err != nil {
+		code, kind := shardStatusFor(err)
+		s.writeErr(w, code, kind, err.Error())
+		return
+	}
+	s.reg.Counter(`pd_serve_shards_total{kind="campaign"}`).Inc()
+	s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleProfileShard executes one slice of a profiling sweep
+// (harness.RunProfileShard) and returns the canonical profile JSON, ready
+// for the coordinator's commutative merge.
+func (s *Server) handleProfileShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "bad-request", "POST only")
+		return
+	}
+	release, code := s.admit(r.Context())
+	if code != 0 {
+		s.rejectAdmission(w, code)
+		return
+	}
+	defer release()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.writeErr(w, http.StatusInternalServerError, "internal-fault",
+				fmt.Sprintf("panic serving shard: %v", rec))
+		}
+	}()
+
+	var req harness.ProfileShard
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		return
+	}
+	prof, err := harness.RunProfileShard(r.Context(), req)
+	if err != nil {
+		code, kind := shardStatusFor(err)
+		s.writeErr(w, code, kind, err.Error())
+		return
+	}
+	s.reg.Counter(`pd_serve_shards_total{kind="profile"}`).Inc()
+	s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = prof.WriteJSON(w)
+}
+
+// shardStatusFor maps a shard error onto the failure taxonomy: interpreter
+// failures keep their /run semantics; anything else (validation, unknown
+// workload, version skew, compile) is the coordinator's fault — 400, so a
+// coordinator never retries a request that can't succeed.
+func shardStatusFor(err error) (int, string) {
+	var c *interp.Cancelled
+	var re *interp.ResourceExhausted
+	var f *interp.InternalFault
+	var tr *interp.Trap
+	switch {
+	case errors.As(err, &c), errors.As(err, &re), errors.As(err, &f), errors.As(err, &tr):
+		return statusFor(err)
+	default:
+		return http.StatusBadRequest, "bad-request"
+	}
+}
+
+// BatchRequest is the POST /batch body: up to MaxBatch run requests
+// admitted as one unit.
+type BatchRequest struct {
+	Requests []RunRequest `json:"requests"`
+}
+
+// BatchItem is one sub-request's outcome; exactly one of Response/Error is
+// set, and Status carries the HTTP code the same request would have
+// received on /run.
+type BatchItem struct {
+	Status   int            `json:"status"`
+	Response *RunResponse   `json:"response,omitempty"`
+	Error    *ErrorResponse `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /batch answer, responses in request order.
+type BatchResponse struct {
+	Responses []BatchItem `json:"responses"`
+}
+
+// handleBatch admits once and runs every sub-request sequentially in that
+// one slot: N small runs cost one queue transition instead of N, and a
+// coordinator submitting per-kernel probes can't starve interactive /run
+// traffic by flooding the queue. Sub-request failures are per-item — one
+// bad program doesn't fail its neighbors — and the batch as a whole
+// answers 200 whenever admission succeeded.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "bad-request", "POST only")
+		return
+	}
+	release, code := s.admit(r.Context())
+	if code != 0 {
+		s.rejectAdmission(w, code)
+		return
+	}
+	defer release()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.writeErr(w, http.StatusInternalServerError, "internal-fault",
+				fmt.Sprintf("panic serving batch: %v", rec))
+		}
+	}()
+
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes*int64(s.cfg.MaxBatch))
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeErr(w, http.StatusBadRequest, "bad-request", "empty batch")
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		s.writeErr(w, http.StatusBadRequest, "bad-request",
+			fmt.Sprintf("batch of %d exceeds the %d limit", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+
+	out := BatchResponse{Responses: make([]BatchItem, 0, len(req.Requests))}
+	for _, sub := range req.Requests {
+		if err := r.Context().Err(); err != nil {
+			// Client gone: stop burning the slot on answers nobody reads.
+			s.reg.Counter(`pd_serve_requests_total{code="499"}`).Inc()
+			return
+		}
+		fl := s.newFlight()
+		resp, code, kind, msg := s.execRun(r.Context(), sub, fl)
+		fl.span.End()
+		if code != http.StatusOK {
+			s.reg.Counter(`pd_serve_requests_total{code="` + fmt.Sprint(code) + `"}`).Inc()
+			out.Responses = append(out.Responses, BatchItem{
+				Status: code, Error: &ErrorResponse{Error: msg, Kind: kind, Req: fl.id},
+			})
+			if code >= 500 {
+				s.dumpFlight(fl)
+			}
+			s.closeFlight(fl)
+			continue
+		}
+		s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
+		rc := resp
+		out.Responses = append(out.Responses, BatchItem{Status: http.StatusOK, Response: &rc})
+		if len(resp.Detections) > 0 {
+			s.dumpFlight(fl)
+		}
+		s.closeFlight(fl)
+	}
+	s.reg.Counter("pd_serve_batches_total").Inc()
+	writeJSON(w, http.StatusOK, out)
+}

@@ -88,6 +88,10 @@ type Config struct {
 	// cache hit is the warm-session path: compile and instrumentation are
 	// already done, the request pays only for execution.
 	CacheSize int
+	// MaxBatch caps the sub-requests accepted in one POST /batch body
+	// (default 64). A batch takes a single admission slot — the amortized
+	// path for clients submitting many small runs.
+	MaxBatch int
 	// Metrics receives service and shadow-oracle metrics (default: a
 	// fresh registry, exposed at /metrics).
 	Metrics *obs.Registry
@@ -142,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
@@ -205,6 +212,9 @@ func New(cfg Config) *Server {
 	s.reg.Gauge("pd_serve_precision_bits").Set(int64(s.EffectivePrecision()))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/campaign/shard", s.handleCampaignShard)
+	mux.HandleFunc("/profile/shard", s.handleProfileShard)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -428,6 +438,37 @@ func (s *Server) admit(ctx context.Context) (func(), int) {
 	}
 }
 
+// retryAfterSecs derives the Retry-After hint from the live admission
+// backlog: the queue ahead of a shed arrival drains at roughly
+// MaxConcurrent runs per DefaultTimeout worth of wall clock, so advertise
+// that estimate (clamped to [1, 30] seconds) instead of a blind constant.
+// Coordinators honor it, which turns load shedding into real backpressure.
+func (s *Server) retryAfterSecs() int {
+	waves := (s.queued.Load() + int64(s.cfg.MaxConcurrent) - 1) / int64(s.cfg.MaxConcurrent)
+	secs := int(float64(waves) * s.cfg.DefaultTimeout.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// rejectAdmission answers the three admission failures with their taxonomy
+// kinds; 429s carry the queue-depth-derived Retry-After hint.
+func (s *Server) rejectAdmission(w http.ResponseWriter, code int) {
+	switch code {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+		s.writeErr(w, code, "shed", "admission queue full; retry later")
+	case http.StatusServiceUnavailable:
+		s.writeErr(w, code, "draining", "server is draining")
+	default:
+		s.writeErr(w, code, "cancelled", "client closed request while queued")
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeErr(w, http.StatusMethodNotAllowed, "bad-request", "POST only")
@@ -435,15 +476,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	release, code := s.admit(r.Context())
 	if code != 0 {
-		switch code {
-		case http.StatusTooManyRequests:
-			w.Header().Set("Retry-After", "1")
-			s.writeErr(w, code, "shed", "admission queue full; retry later")
-		case http.StatusServiceUnavailable:
-			s.writeErr(w, code, "draining", "server is draining")
-		default:
-			s.writeErr(w, code, "cancelled", "client closed request while queued")
-		}
+		s.rejectAdmission(w, code)
 		return
 	}
 	defer release()
@@ -466,17 +499,38 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.failRun(w, fl, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
 		return
 	}
-	if req.Source == "" {
-		s.failRun(w, fl, http.StatusBadRequest, "bad-request", "missing source")
+	resp, code, kind, msg := s.execRun(r.Context(), req, fl)
+	if code != http.StatusOK {
+		s.failRun(w, fl, code, kind, msg)
 		return
+	}
+	fl.span.End()
+	s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
+	writeJSON(w, http.StatusOK, resp)
+	if len(resp.Detections) > 0 {
+		s.dumpFlight(fl)
+	}
+	s.closeFlight(fl)
+}
+
+// execRun is the run pipeline shared by /run and /batch: compile (through
+// the cache), resolve the entry function and arguments, execute under the
+// request context and budgets, and classify any failure onto the taxonomy.
+// The caller owns admission, the flight lifecycle and the HTTP response;
+// on success the returned response already carries the flight id.
+func (s *Server) execRun(ctx context.Context, req RunRequest, fl *flight) (RunResponse, int, string, string) {
+	fail := func(code int, kind, msg string) (RunResponse, int, string, string) {
+		return RunResponse{}, code, kind, msg
+	}
+	if req.Source == "" {
+		return fail(http.StatusBadRequest, "bad-request", "missing source")
 	}
 
 	csp := fl.tr.Start("compile")
 	prog, cached, err := s.cache.get(req.Source)
 	csp.End()
 	if err != nil {
-		s.failRun(w, fl, http.StatusBadRequest, "compile", err.Error())
-		return
+		return fail(http.StatusBadRequest, "compile", err.Error())
 	}
 	if cached {
 		s.reg.Counter("pd_serve_cache_hits_total").Inc()
@@ -490,22 +544,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	fn := prog.Module.FuncByName(fnName)
 	if fn == nil {
-		s.failRun(w, fl, http.StatusBadRequest, "bad-request", fmt.Sprintf("no function %q", fnName))
-		return
+		return fail(http.StatusBadRequest, "bad-request", fmt.Sprintf("no function %q", fnName))
 	}
 	args := make([]uint64, 0, len(req.Args))
 	for _, a := range req.Args {
 		v, err := strconv.ParseUint(a, 0, 64)
 		if err != nil {
-			s.failRun(w, fl, http.StatusBadRequest, "bad-request", "bad argument "+strconv.Quote(a)+": "+err.Error())
-			return
+			return fail(http.StatusBadRequest, "bad-request", "bad argument "+strconv.Quote(a)+": "+err.Error())
 		}
 		args = append(args, v)
 	}
 	if len(args) != len(fn.Params) {
-		s.failRun(w, fl, http.StatusBadRequest, "bad-request",
+		return fail(http.StatusBadRequest, "bad-request",
 			fmt.Sprintf("%s takes %d args, got %d", fnName, len(fn.Params), len(args)))
-		return
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -522,7 +573,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	lim := interp.Limits{Timeout: timeout, MaxSteps: maxSteps}
 
 	opts := []positdebug.Option{
-		positdebug.WithContext(r.Context()),
+		positdebug.WithContext(ctx),
 		positdebug.WithLimits(lim),
 		positdebug.WithArgs(args...),
 	}
@@ -553,8 +604,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, err := prog.Exec(fnName, opts...)
 	if err != nil {
 		code, kind := statusFor(err)
-		s.failRun(w, fl, code, kind, err.Error())
-		return
+		return fail(code, kind, err.Error())
 	}
 	if col != nil {
 		s.mergeProfile(prog, col)
@@ -581,13 +631,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Req = fl.id
-	fl.span.End()
-	s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
-	writeJSON(w, http.StatusOK, resp)
-	if len(resp.Detections) > 0 {
-		s.dumpFlight(fl)
-	}
-	s.closeFlight(fl)
+	return resp, http.StatusOK, "", ""
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
