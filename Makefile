@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-frontend campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke
+.PHONY: all build vet test race fuzz fuzz-frontend fuzz-bytecode campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke vm-smoke
 
 all: build vet test
 
@@ -46,6 +46,29 @@ fuzz:
 fuzz-frontend:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 30s ./internal/lang/
 	$(GO) test -run xxx -fuzz FuzzTypeCheck -fuzztime 30s ./internal/lang/
+
+# Bytecode pipeline fuzzing: the chunk decoder must reject arbitrary bytes
+# cleanly (and verifier-accepted chunks must roundtrip), and the compiler
+# must never emit a chunk the verifier rejects nor one the VM executes
+# differently from the tree-walker.
+fuzz-bytecode:
+	$(GO) test -run xxx -fuzz FuzzChunkLoad -fuzztime 30s ./internal/bytecode/
+	$(GO) test -run xxx -fuzz FuzzCompile -fuzztime 30s .
+
+# Two-backend differential suite under the race detector at -cpu=1,4:
+# detection runs, polybench kernels, step limits, a fault campaign, a
+# profile, sampled injection, and warm sessions must all be byte-identical
+# between the tree-walking interpreter and the bytecode VM, sequential and
+# 4-worker alike. A pd run of the Figure 2 program on each backend is then
+# diffed end to end. CI runs this as the vm-smoke job.
+VMDIR ?= /tmp/pd-vm-smoke
+vm-smoke: build
+	$(GO) test -race -count=1 -cpu=1,4 -run TestBackendDiff .
+	mkdir -p $(VMDIR)
+	$(GO) run ./cmd/pd -backend=treewalk testdata/rootcount.pcl > $(VMDIR)/treewalk.txt
+	$(GO) run ./cmd/pd -backend=vm testdata/rootcount.pcl > $(VMDIR)/vm.txt
+	diff $(VMDIR)/treewalk.txt $(VMDIR)/vm.txt
+	@echo "vm-smoke: VM output byte-identical to tree-walker ✓"
 
 # End-to-end observability check: run Figure 2 under PositDebug with an
 # event trace, DAG export and metrics dump, plus a traced mini campaign,

@@ -1,0 +1,340 @@
+package positdebug_test
+
+// The two-backend differential suite: every workload, the detection
+// programs, fault campaigns, and profiling sweeps must produce
+// byte-identical artifacts whether they run on the tree-walk interpreter
+// or the bytecode VM. The tree-walker is the semantic oracle; any
+// divergence here is a VM bug by definition. `make vm-smoke` runs this
+// file under -race -cpu=1,4 so the identity also holds across worker
+// counts.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	positdebug "positdebug"
+	"positdebug/internal/backend"
+	"positdebug/internal/faultinject"
+	"positdebug/internal/harness"
+	"positdebug/internal/interp"
+	"positdebug/internal/obs"
+	"positdebug/internal/shadow"
+	"positdebug/internal/workloads"
+)
+
+var bothBackends = []backend.Kind{backend.Treewalk, backend.VM}
+
+// execOutcome is everything observable from one Exec, canonicalized for
+// byte comparison across backends.
+type execOutcome struct {
+	Value   uint64
+	Output  string
+	Steps   int64
+	Summary json.RawMessage
+	Trace   json.RawMessage
+	Err     string
+}
+
+func runOnBackend(t *testing.T, prog *positdebug.Program, k backend.Kind, extra ...positdebug.Option) execOutcome {
+	t.Helper()
+	buf := &obs.Buffer{}
+	opts := append([]positdebug.Option{
+		positdebug.WithBackend(k),
+		positdebug.WithTrace(buf),
+	}, extra...)
+	res, err := prog.Exec("main", opts...)
+	oc := execOutcome{Trace: mustJSON(t, buf.Events())}
+	if err != nil {
+		oc.Err = err.Error()
+		return oc
+	}
+	oc.Value = res.Value
+	oc.Output = res.Output
+	oc.Steps = res.Steps
+	if res.Summary != nil {
+		oc.Summary = mustJSON(t, res.Summary)
+	}
+	return oc
+}
+
+func mustJSON(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func diffOutcomes(t *testing.T, name string, tw, vm execOutcome) {
+	t.Helper()
+	if tw.Err != vm.Err {
+		t.Errorf("%s: error diverged\n  treewalk: %q\n  vm:       %q", name, tw.Err, vm.Err)
+		return
+	}
+	if tw.Value != vm.Value {
+		t.Errorf("%s: value diverged: treewalk %#x, vm %#x", name, tw.Value, vm.Value)
+	}
+	if tw.Output != vm.Output {
+		t.Errorf("%s: output diverged\n  treewalk: %q\n  vm:       %q", name, tw.Output, vm.Output)
+	}
+	if tw.Steps != vm.Steps {
+		t.Errorf("%s: steps diverged: treewalk %d, vm %d", name, tw.Steps, vm.Steps)
+	}
+	if !bytes.Equal(tw.Summary, vm.Summary) {
+		t.Errorf("%s: shadow summary diverged\n  treewalk: %s\n  vm:       %s", name, tw.Summary, vm.Summary)
+	}
+	if !bytes.Equal(tw.Trace, vm.Trace) {
+		t.Errorf("%s: trace stream diverged\n  treewalk: %s\n  vm:       %s", name, tw.Trace, vm.Trace)
+	}
+}
+
+// TestBackendDiffDetectionSuite runs all 32 detection-suite programs with
+// the §5.1 thresholds on both backends and requires identical results,
+// summaries, and event streams.
+func TestBackendDiffDetectionSuite(t *testing.T) {
+	for _, p := range workloads.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			src := p.Source
+			if p.FromFP {
+				var err error
+				src, err = positdebug.RefactorToPosit(src)
+				if err != nil {
+					t.Fatalf("refactor: %v", err)
+				}
+			}
+			prog, err := positdebug.Compile(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			cfg := shadow.DefaultConfig()
+			cfg.ErrBitsThreshold = 35
+			cfg.OutputThreshold = 35
+			cfg.PrecisionLossThreshold = 8
+			tw := runOnBackend(t, prog, backend.Treewalk, positdebug.WithShadow(cfg))
+			vm := runOnBackend(t, prog, backend.VM, positdebug.WithShadow(cfg))
+			diffOutcomes(t, p.Name, tw, vm)
+		})
+	}
+}
+
+// TestBackendDiffKernels runs a spread of PolyBench/SPEC-like kernels —
+// FP original and posit refactor, baseline and shadowed — on both
+// backends.
+func TestBackendDiffKernels(t *testing.T) {
+	kernels := []string{"gemm", "atax", "durbin", "cholesky", "spec_equake"}
+	for _, name := range kernels {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k, ok := workloads.KernelByName(name)
+			if !ok {
+				t.Fatalf("unknown kernel %q", name)
+			}
+			fpSrc := k.Source(8)
+			posSrc, err := positdebug.RefactorToPosit(fpSrc)
+			if err != nil {
+				t.Fatalf("refactor: %v", err)
+			}
+			for _, v := range []struct {
+				arch string
+				src  string
+			}{{"f64", fpSrc}, {"posit32", posSrc}} {
+				prog, err := positdebug.Compile(v.src)
+				if err != nil {
+					t.Fatalf("compile %s: %v", v.arch, err)
+				}
+				tw := runOnBackend(t, prog, backend.Treewalk, positdebug.WithBaseline())
+				vm := runOnBackend(t, prog, backend.VM, positdebug.WithBaseline())
+				diffOutcomes(t, name+"/"+v.arch+"/baseline", tw, vm)
+
+				tw = runOnBackend(t, prog, backend.Treewalk, positdebug.WithShadow(shadow.DefaultConfig()))
+				vm = runOnBackend(t, prog, backend.VM, positdebug.WithShadow(shadow.DefaultConfig()))
+				diffOutcomes(t, name+"/"+v.arch+"/shadow", tw, vm)
+			}
+		})
+	}
+}
+
+// TestBackendDiffStepLimits sweeps the step budget across a contiguous
+// window so limits trip at every offset relative to the VM's fused
+// superinstruction boundaries, and requires the structured
+// ResourceExhausted errors to match field-for-field. This pins the
+// fused-pair step-accounting split (base op at s+1, shadow at s+2).
+func TestBackendDiffStepLimits(t *testing.T) {
+	k, _ := workloads.KernelByName("gemm")
+	src, err := positdebug.RefactorToPosit(k.Source(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := positdebug.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhausted := func(k backend.Kind, maxSteps int64) (interp.ResourceExhausted, string) {
+		_, err := prog.Exec("main",
+			positdebug.WithBackend(k),
+			positdebug.WithShadow(shadow.DefaultConfig()),
+			positdebug.WithLimits(interp.Limits{MaxSteps: maxSteps}))
+		var re *interp.ResourceExhausted
+		if !errors.As(err, &re) {
+			t.Fatalf("backend %v limit %d: want ResourceExhausted, got %v", k, maxSteps, err)
+		}
+		return *re, err.Error()
+	}
+	for maxSteps := int64(40); maxSteps < 104; maxSteps++ {
+		tw, twMsg := exhausted(backend.Treewalk, maxSteps)
+		vm, vmMsg := exhausted(backend.VM, maxSteps)
+		if tw != vm || twMsg != vmMsg {
+			t.Fatalf("limit %d: treewalk %+v (%s), vm %+v (%s)", maxSteps, tw, twMsg, vm, vmMsg)
+		}
+	}
+}
+
+// TestBackendDiffCampaign runs the same small fault campaign on both
+// backends — posit and float arches, traced — and requires byte-identical
+// report JSON and event streams. The Backend field is excluded from the
+// report and journal fingerprint precisely because of this identity.
+func TestBackendDiffCampaign(t *testing.T) {
+	run := func(k backend.Kind) (string, string) {
+		var trace bytes.Buffer
+		sink := obs.NewJSONLines(&trace)
+		rep, err := faultinject.RunCampaign(faultinject.CampaignConfig{
+			Workload: "polybench/gemm",
+			N:        6,
+			Arch:     "both",
+			Runs:     12,
+			Seed:     42,
+			Trace:    sink,
+			Backend:  k,
+		})
+		if err != nil {
+			t.Fatalf("campaign on %v: %v", k, err)
+		}
+		if sink.Err() != nil {
+			t.Fatalf("sink on %v: %v", k, sink.Err())
+		}
+		b, err := json.MarshalIndent(rep, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), trace.String()
+	}
+	twRep, twTrace := run(backend.Treewalk)
+	vmRep, vmTrace := run(backend.VM)
+	if twRep != vmRep {
+		t.Errorf("campaign report diverged\n  treewalk: %s\n  vm:       %s", twRep, vmRep)
+	}
+	if twTrace != vmTrace {
+		t.Errorf("campaign trace diverged\n  treewalk: %s\n  vm:       %s", twTrace, vmTrace)
+	}
+}
+
+// TestBackendDiffProfile records the same multi-run, multi-worker error
+// profile on both backends; the canonical profile JSON (file:line:col
+// attribution included, fed by the VM's source-position table) and the
+// traced event stream must match byte-for-byte.
+func TestBackendDiffProfile(t *testing.T) {
+	run := func(k backend.Kind) (string, string) {
+		var trace bytes.Buffer
+		sink := obs.NewJSONLines(&trace)
+		p, err := harness.RecordProfile(harness.ProfileOptions{
+			Kernel:  "gemm",
+			N:       6,
+			Posit:   true,
+			Runs:    4,
+			Workers: 2,
+			Trace:   sink,
+			Backend: k,
+		})
+		if err != nil {
+			t.Fatalf("profile on %v: %v", k, err)
+		}
+		var out bytes.Buffer
+		if err := p.WriteJSON(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), trace.String()
+	}
+	twProf, twTrace := run(backend.Treewalk)
+	vmProf, vmTrace := run(backend.VM)
+	if twProf != vmProf {
+		t.Errorf("merged profile diverged\n  treewalk: %s\n  vm:       %s", twProf, vmProf)
+	}
+	if twTrace != vmTrace {
+		t.Errorf("profile trace diverged\n  treewalk: %s\n  vm:       %s", twTrace, vmTrace)
+	}
+}
+
+// TestBackendDiffSampledInjection exercises the seams the VM must keep
+// working: a sampling wrapper (which breaks the FastShadow assertion) and
+// a fault injector (which must see identical dynamic instruction streams
+// to corrupt identically).
+func TestBackendDiffSampledInjection(t *testing.T) {
+	k, _ := workloads.KernelByName("gemm")
+	src, err := positdebug.RefactorToPosit(k.Source(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := positdebug.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []int{1, 3, 7} {
+		tw := runOnBackend(t, prog, backend.Treewalk,
+			positdebug.WithShadow(shadow.DefaultConfig()), positdebug.WithSampling(stride))
+		vm := runOnBackend(t, prog, backend.VM,
+			positdebug.WithShadow(shadow.DefaultConfig()), positdebug.WithSampling(stride))
+		diffOutcomes(t, "sampled", tw, vm)
+	}
+}
+
+// TestBackendDiffWarmSession runs the same program repeatedly on one warm
+// Session per backend, interleaving entry functions, to check that the
+// VM's dirty-region memory reset reproduces the tree-walker's full
+// memclr image exactly — including after a treewalk run dirtied memory on
+// a machine later switched to the VM (the Session path never switches,
+// but repeated VM runs reuse the same arena).
+func TestBackendDiffWarmSession(t *testing.T) {
+	k, _ := workloads.KernelByName("atax")
+	src, err := positdebug.RefactorToPosit(k.Source(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := positdebug.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := func(k backend.Kind) []execOutcome {
+		d, err := prog.Session(positdebug.WithShadow(shadow.DefaultConfig()), positdebug.WithBackend(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []execOutcome
+		for i := 0; i < 4; i++ {
+			res, err := d.Exec("main")
+			oc := execOutcome{}
+			if err != nil {
+				oc.Err = err.Error()
+			} else {
+				oc.Value, oc.Output, oc.Steps = res.Value, res.Output, res.Steps
+				if res.Summary != nil {
+					oc.Summary = mustJSON(t, res.Summary)
+				}
+			}
+			out = append(out, oc)
+		}
+		return out
+	}
+	tws, vms := session(backend.Treewalk), session(backend.VM)
+	for i := range tws {
+		diffOutcomes(t, "warm-run", tws[i], vms[i])
+		if i > 0 && tws[i].Value != tws[0].Value {
+			t.Fatalf("treewalk warm run %d drifted from run 0", i)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"strconv"
 
 	positdebug "positdebug"
+	"positdebug/internal/backend"
 	"positdebug/internal/obs"
 	"positdebug/internal/shadow"
 )
@@ -42,6 +43,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSON-lines event trace to this file ('-' = stdout)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text metrics dump to this file ('-' = stdout)")
 	dotPath := flag.String("dot", "", "write the error DAGs as Graphviz DOT to this file ('-' = stdout)")
+	backendFlag := flag.String("backend", "", "execution backend: treewalk|vm (default treewalk)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pd [flags] program.pcl")
@@ -57,7 +59,12 @@ func main() {
 		fail(err)
 	}
 
-	var opts []positdebug.Option
+	bk, err := backend.Parse(*backendFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	opts := []positdebug.Option{positdebug.WithBackend(bk)}
 	var sink *obs.JSONLines
 	var traceFile *os.File
 	if *tracePath != "" {

@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	positdebug "positdebug"
+	"positdebug/internal/backend"
 	"positdebug/internal/faultinject"
 	"positdebug/internal/harness"
 	"positdebug/internal/posit"
@@ -65,6 +67,7 @@ func main() {
 	fabricMode := flag.Bool("fabric", false, "benchmark the distributed campaign fabric instead: 1- vs 3-worker throughput and merge latency (BENCH_fabric.json)")
 	fabricRuns := flag.Int("fabric-runs", 48, "campaign runs for -fabric")
 	fabricShard := flag.Int("fabric-shard-size", 8, "shard size for -fabric")
+	backendsFlag := flag.String("backend", "treewalk,vm", "comma-separated execution backends for the shadow and sweep benches; the first keeps the canonical bench name, the rest get an @backend suffix")
 	flag.Parse()
 
 	if *serve {
@@ -86,6 +89,11 @@ func main() {
 		return
 	}
 
+	kinds, err := parseBackends(*backendsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	rep := &Report{
 		Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), Short: *short,
@@ -101,9 +109,18 @@ func main() {
 	}
 
 	codecBenches(add)
-	shadowBenches(add)
-	if !*short {
-		sweepBenches(add)
+	for i, k := range kinds {
+		// The first backend keeps the canonical bench names so reports stay
+		// diffable against old baselines; the rest are recorded side by side
+		// under name@backend for the comparison below.
+		suffix := ""
+		if i > 0 {
+			suffix = "@" + k.String()
+		}
+		shadowBenches(add, k, suffix)
+		if !*short {
+			sweepBenches(add, k, suffix)
+		}
 	}
 
 	j, err := json.MarshalIndent(rep, "", "  ")
@@ -117,12 +134,79 @@ func main() {
 		fatal(err)
 	}
 
+	regressed := false
 	if *baseline != "" {
-		regressed := compareBaseline(*baseline, rep)
-		if regressed && *strict {
-			fatal(fmt.Errorf("benchmarks regressed more than %d%% vs %s", regressPct, *baseline))
-		}
+		regressed = compareBaseline(*baseline, rep)
 	}
+	if compareBackends(rep) {
+		regressed = true
+	}
+	if regressed && *strict {
+		fatal(fmt.Errorf("benchmarks regressed more than %d%% (vs baseline %s or VM vs treewalk)", regressPct, *baseline))
+	}
+}
+
+// parseBackends maps the -backend flag ("treewalk,vm") to backend kinds,
+// rejecting duplicates so each bench name stays unique in the report.
+func parseBackends(list string) ([]backend.Kind, error) {
+	var kinds []backend.Kind
+	seen := map[backend.Kind]bool{}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := backend.Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("backend %v listed twice", k)
+		}
+		seen[k] = true
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-backend lists no backends")
+	}
+	return kinds, nil
+}
+
+// compareBackends diffs each benchmark recorded under a non-canonical
+// backend (name@vm) against its canonical twin from the same report and
+// flags the pair when the alternate backend is slower beyond regressPct —
+// the guard that keeps the fused-superinstruction VM from quietly losing
+// its advantage over the tree-walker.
+func compareBackends(rep *Report) bool {
+	byName := make(map[string]Bench, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	regressed := false
+	header := false
+	for _, b := range rep.Benchmarks {
+		at := strings.LastIndex(b.Name, "@")
+		if at < 0 {
+			continue
+		}
+		base, ok := byName[b.Name[:at]]
+		if !ok || base.NsPerOp == 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintln(os.Stderr, "\nbackend comparison:")
+			header = true
+		}
+		delta := 100 * (b.NsPerOp - base.NsPerOp) / base.NsPerOp
+		mark := ""
+		if delta > regressPct {
+			mark = fmt.Sprintf("  ** %s slower than %s by > %d%% **", b.Name[at+1:], b.Name[:at], regressPct)
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "  %-28s %14.2f ns/op  %+7.1f%% vs %s%s\n",
+			b.Name, b.NsPerOp, delta, b.Name[:at], mark)
+	}
+	return regressed
 }
 
 // regressPct is the ns/op slowdown beyond which a benchmark counts as a
@@ -219,7 +303,7 @@ func codecBenches(add func(string, func(b *testing.B))) {
 // shadowBenches: shadow execution of a small posit kernel, cold (fresh
 // runtime + machine per run, the pre-PR shape) vs warm (one reusable
 // Debugger, the campaign-worker shape).
-func shadowBenches(add func(string, func(b *testing.B))) {
+func shadowBenches(add func(string, func(b *testing.B)), bk backend.Kind, suffix string) {
 	k, ok := workloads.KernelByName("gemm")
 	if !ok {
 		fatal(fmt.Errorf("no gemm kernel"))
@@ -235,18 +319,18 @@ func shadowBenches(add func(string, func(b *testing.B))) {
 	cfg := shadow.DefaultConfig()
 	cfg.Tracing = false
 	cfg.MaxReports = 1
-	add("shadow/gemm8-cold-run", func(b *testing.B) {
+	add("shadow/gemm8-cold-run"+suffix, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := prog.Exec("main", positdebug.WithShadow(cfg)); err != nil {
+			if _, err := prog.Exec("main", positdebug.WithShadow(cfg), positdebug.WithBackend(bk)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	dbg, err := prog.Session(positdebug.WithShadow(cfg))
+	dbg, err := prog.Session(positdebug.WithShadow(cfg), positdebug.WithBackend(bk))
 	if err != nil {
 		fatal(err)
 	}
-	add("shadow/gemm8-warm-run", func(b *testing.B) {
+	add("shadow/gemm8-warm-run"+suffix, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := dbg.Exec("main"); err != nil {
 				b.Fatal(err)
@@ -257,18 +341,18 @@ func shadowBenches(add func(string, func(b *testing.B))) {
 
 // sweepBenches: end-to-end figure-scale work — the §5.1 detection suite and
 // a 20-run fault-injection campaign, both sharded by internal/parallel.
-func sweepBenches(add func(string, func(b *testing.B))) {
-	add("harness/detect-suite", func(b *testing.B) {
+func sweepBenches(add func(string, func(b *testing.B)), bk backend.Kind, suffix string) {
+	add("harness/detect-suite"+suffix, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := harness.RunDetection(); err != nil {
+			if _, err := harness.RunDetectionOn(bk, nil, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	ccfg := faultinject.CampaignConfig{
-		Workload: "polybench/gemm", N: 8, Runs: 20, Seed: 42,
+		Workload: "polybench/gemm", N: 8, Runs: 20, Seed: 42, Backend: bk,
 	}
-	add("campaign/gemm8-20runs", func(b *testing.B) {
+	add("campaign/gemm8-20runs"+suffix, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := faultinject.RunCampaign(ccfg); err != nil {
 				b.Fatal(err)

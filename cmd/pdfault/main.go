@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"positdebug/internal/backend"
 	"positdebug/internal/faultinject"
 	"positdebug/internal/interp"
 	"positdebug/internal/obs"
@@ -65,6 +66,7 @@ func main() {
 	traceWorkers := flag.Bool("trace-workers", false, "include worker lifecycle events in the trace (scheduling-dependent)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text metrics dump to this file ('-' = stderr)")
 	list := flag.Bool("list", false, "list available workloads and exit")
+	backendFlag := flag.String("backend", "", "execution backend: treewalk|vm (default treewalk)")
 	flag.Parse()
 
 	if *list {
@@ -77,6 +79,10 @@ func main() {
 		fail(err)
 	}
 	classes, err := faultinject.ClassByName(*ops)
+	if err != nil {
+		fail(err)
+	}
+	bk, err := backend.Parse(*backendFlag)
 	if err != nil {
 		fail(err)
 	}
@@ -102,6 +108,7 @@ func main() {
 		MaxShadowBytes: *budget,
 		MaskedBits:     *threshold,
 		KeepSchedules:  *schedules,
+		Backend:        bk,
 	}
 	var sink *obs.JSONLines
 	var traceFile *os.File

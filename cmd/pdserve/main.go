@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"positdebug/internal/backend"
 	"positdebug/internal/server"
 )
 
@@ -57,6 +58,7 @@ func main() {
 	profileReqs := flag.Bool("profile", false, "aggregate per-instruction numerical-error profiles at /debug/profile")
 	profileSample := flag.Int("profile-sample", 1, "shadow sampling stride for request profiling (1 = full shadow)")
 	pprofFlag := flag.Bool("pprof", false, "mount Go runtime profiling at /debug/pprof/")
+	backendFlag := flag.String("backend", "", "execution backend for every served run: treewalk|vm (default treewalk)")
 	flag.Parse()
 
 	var flightW io.Writer
@@ -68,6 +70,12 @@ func main() {
 		}
 		defer f.Close()
 		flightW = f
+	}
+
+	bk, err := backend.Parse(*backendFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdserve:", err)
+		os.Exit(2)
 	}
 
 	srv := server.New(server.Config{
@@ -85,6 +93,7 @@ func main() {
 		ProfileRequests: *profileReqs,
 		ProfileSample:   *profileSample,
 		EnablePprof:     *pprofFlag,
+		Backend:         bk,
 	})
 
 	l, err := net.Listen("tcp", *addr)

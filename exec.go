@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"positdebug/internal/backend"
 	"positdebug/internal/herbgrind"
 	"positdebug/internal/instrument"
 	"positdebug/internal/interp"
@@ -43,6 +44,8 @@ type execConfig struct {
 	sample     int64
 	sampleSet  bool
 	spans      *obs.Tracer
+	backend    backend.Kind
+	backendSet bool
 }
 
 // WithContext governs the run with a context: cancelling it stops the
@@ -148,6 +151,18 @@ func WithProfile(c *profile.Collector) Option {
 // shadow. Requires shadow execution.
 func WithSampling(n int) Option {
 	return func(ec *execConfig) { ec.sample = int64(n); ec.sampleSet = true }
+}
+
+// WithBackend selects the execution engine for the run or session: the
+// tree-walking reference interpreter (backend.Treewalk, the default) or the
+// fused-bytecode VM (backend.VM). The two produce byte-identical detection
+// reports, traces, campaign artifacts, and merged profiles; the VM is the
+// fast path for shadow execution, the tree-walker the differential-testing
+// oracle. Runs that need per-IR-instruction granularity (instruction
+// tracing, per-opcode timing via WithMetrics) fall back to the tree-walker
+// transparently.
+func WithBackend(k backend.Kind) Option {
+	return func(ec *execConfig) { ec.backend = k; ec.backendSet = true }
 }
 
 // WithSpans emits causal spans (shadow-exec, report) for the run into the
@@ -300,6 +315,7 @@ func flushRunMetrics(reg *obs.Registry, steps int64, prof *interp.OpProfile) {
 
 func execBaseline(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
 	m := interp.New(mod)
+	m.Backend = ec.backend
 	var out bytes.Buffer
 	m.Out = &out
 	if ec.metrics != nil {
@@ -321,6 +337,7 @@ func execBaseline(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
 func execHerbgrind(mod *ir.Module, ec *execConfig, fn string) (*Result, error) {
 	rt := herbgrind.New(mod, ec.herbPrec)
 	m := interp.New(mod)
+	m.Backend = ec.backend
 	m.Hooks = rt
 	var out bytes.Buffer
 	m.Out = &out
@@ -371,6 +388,7 @@ func execShadowLoop(mod *ir.Module, cfg shadow.Config, ec *execConfig, fn string
 			return nil, err
 		}
 		m := interp.New(mod)
+		m.Backend = ec.backend
 		m.Hooks = shadowHooks(rt, cfg, ec)
 		var out bytes.Buffer
 		m.Out = &out
@@ -459,6 +477,7 @@ func (p *Program) Session(opts ...Option) (*Debugger, error) {
 		return nil, err
 	}
 	m := interp.New(mod)
+	m.Backend = ec.backend
 	d := &Debugger{prog: p, cfg: cfg, mod: mod, rt: rt, m: m, sampleN: ec.sample}
 	m.Out = &d.out
 	return d, nil
@@ -502,6 +521,9 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 	if ec.sampleSet {
 		d.sampleN = ec.sample
 		d.sampler = nil
+	}
+	if ec.backendSet {
+		d.m.Backend = ec.backend
 	}
 	if d.sampler == nil {
 		d.sampler = samplingFor(d.cfg.Profile, d.sampleN)
@@ -551,7 +573,7 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 			// applied) and emits the closing run-end itself.
 			res, err := execShadowLoop(d.mod, cfg, &execConfig{
 				ctx: ec.ctx, limits: ec.limits, wrap: ec.wrap, args: ec.args,
-				sample: d.sampleN, spans: ec.spans,
+				sample: d.sampleN, spans: ec.spans, backend: d.m.Backend,
 			}, fn, d.cfg.Precision)
 			if res != nil {
 				res.Degraded = true

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	positdebug "positdebug"
+	"positdebug/internal/backend"
+	"positdebug/internal/bytecode"
 	"positdebug/internal/faultinject"
 	"positdebug/internal/interp"
 	"positdebug/internal/shadow"
@@ -175,6 +177,74 @@ func FuzzInjector(f *testing.F) {
 		}
 		if !reflect.DeepEqual(sched1, sched2) {
 			t.Fatalf("determinism: schedules differ:\n%v\nvs\n%v\n%s", sched1, sched2, src)
+		}
+	})
+}
+
+// FuzzCompile fuzzes the bytecode pipeline end to end over randomly
+// generated PCL programs: the compiler must never emit a chunk the verifier
+// rejects (fused or not), the chunk must survive an encode/decode roundtrip,
+// and the VM must execute the verifier-accepted chunk without panicking —
+// producing exactly the tree-walker's result, output, and detection
+// summary.
+func FuzzCompile(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(42), uint8(1))
+	f.Add(int64(-7), uint8(2))
+	f.Add(int64(999), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, typPick uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		typ := []string{"p32", "p16", "f64", "f32"}[int(typPick)%4]
+		src := randomProgram(rng, typ)
+		prog, err := positdebug.Compile(src)
+		if err != nil {
+			t.Fatalf("generated program does not compile: %v\n%s", err, src)
+		}
+		for _, fuse := range []bool{false, true} {
+			ch, err := bytecode.Compile(prog.Instrumented(), bytecode.Options{Fuse: fuse})
+			if err != nil {
+				t.Fatalf("bytecode compile (fuse=%v): %v\n%s", fuse, err, src)
+			}
+			if err := bytecode.Verify(ch); err != nil {
+				t.Fatalf("compiler emitted a chunk the verifier rejects (fuse=%v): %v\n%s\n%s",
+					fuse, err, ch.Disasm(), src)
+			}
+			re, err := bytecode.Decode(ch.Encode())
+			if err != nil {
+				t.Fatalf("encode/decode roundtrip (fuse=%v): %v\n%s", fuse, err, src)
+			}
+			if err := bytecode.Verify(re); err != nil {
+				t.Fatalf("roundtripped chunk no longer verifies (fuse=%v): %v\n%s", fuse, err, src)
+			}
+		}
+		cfg := shadow.Config{Precision: 128, Tracing: true, MaxReports: 2}
+		lim := interp.Limits{MaxSteps: 2_000_000, Timeout: 5 * time.Second}
+		run := func(bk backend.Kind) (*positdebug.Result, error) {
+			return prog.Exec("main", positdebug.WithBackend(bk),
+				positdebug.WithShadow(cfg), positdebug.WithLimits(lim))
+		}
+		tw, errTW := run(backend.Treewalk)
+		vm, errVM := run(backend.VM)
+		if (errTW == nil) != (errVM == nil) {
+			t.Fatalf("backends disagree on failure: treewalk=%v vm=%v\n%s", errTW, errVM, src)
+		}
+		if errTW != nil {
+			if errTW.Error() != errVM.Error() {
+				t.Fatalf("backends disagree on error text:\n  treewalk: %v\n  vm:       %v\n%s",
+					errTW, errVM, src)
+			}
+			return // bounded failure, identically reported — a valid outcome
+		}
+		if tw.Value != vm.Value || tw.Output != vm.Output {
+			t.Fatalf("backends diverged: %#x/%q vs %#x/%q\n%s",
+				tw.Value, tw.Output, vm.Value, vm.Output, src)
+		}
+		if (tw.Summary == nil) != (vm.Summary == nil) {
+			t.Fatalf("backends disagree on summary presence\n%s", src)
+		}
+		if tw.Summary != nil && tw.Summary.String() != vm.Summary.String() {
+			t.Fatalf("backends diverged on detection summary:\n--- treewalk ---\n%s\n--- vm ---\n%s\n%s",
+				tw.Summary, vm.Summary, src)
 		}
 	})
 }

@@ -1,0 +1,56 @@
+package bytecode_test
+
+import (
+	"bytes"
+	"testing"
+
+	positdebug "positdebug"
+	"positdebug/internal/bytecode"
+)
+
+// FuzzChunkLoad throws arbitrary bytes at the chunk decoder and asserts the
+// loading contract: Decode never panics, and any chunk that passes Verify
+// can be disassembled and re-encoded to a byte-identical form that still
+// verifies. This is the safety boundary the VM relies on — vmCall assumes
+// every structural invariant Verify checks.
+func FuzzChunkLoad(f *testing.F) {
+	// Real encodes as seeds: the synthetic every-opcode chunk and both
+	// compiled forms of the golden program give the fuzzer a valid corpus
+	// to mutate from.
+	f.Add(allOpcodesModule().Encode())
+	if prog, err := positdebug.Compile(goldenSrc); err == nil {
+		for _, fuse := range []bool{false, true} {
+			if ch, err := bytecode.Compile(prog.Instrumented(), bytecode.Options{Fuse: fuse}); err == nil {
+				f.Add(ch.Encode())
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("pdbc1\n"))
+	f.Add(append([]byte("pdbc1\n"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := bytecode.Decode(raw)
+		if err != nil {
+			return // malformed input rejected cleanly — that's the contract
+		}
+		if err := bytecode.Verify(m); err != nil {
+			return // decoded but structurally invalid; the VM never sees it
+		}
+		// Verifier-accepted chunks must survive the full tool pipeline.
+		dis := m.Disasm()
+		enc := m.Encode()
+		m2, err := bytecode.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded chunk failed: %v", err)
+		}
+		if err := bytecode.Verify(m2); err != nil {
+			t.Fatalf("re-encoded chunk no longer verifies: %v", err)
+		}
+		if dis2 := m2.Disasm(); dis2 != dis {
+			t.Fatalf("encode/decode changed the chunk:\n--- before ---\n%s--- after ---\n%s", dis, dis2)
+		}
+		if enc2 := m2.Encode(); !bytes.Equal(enc2, enc) {
+			t.Fatalf("Encode is not a fixed point: %d bytes vs %d bytes", len(enc2), len(enc))
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	positdebug "positdebug"
+	"positdebug/internal/backend"
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
 	"positdebug/internal/obs"
@@ -99,6 +100,13 @@ type CampaignConfig struct {
 	// flags is rejected rather than silently mixed in. Trace events are not
 	// journaled: resumed runs contribute no per-run events to Trace.
 	Journal *Journal
+	// Backend selects the execution engine (tree-walk interpreter or
+	// bytecode VM) for the golden pass and every fault-injected run. The
+	// two backends produce byte-identical campaign artifacts, so Backend is
+	// deliberately excluded from the report JSON, the journal fingerprint,
+	// and the fabric wire format: a journal or shard computed under one
+	// backend composes cleanly with runs from the other.
+	Backend backend.Kind `json:"-"`
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -345,7 +353,7 @@ func prepArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*arc
 	counter := NewInjector(nil, cfg.Model, 0)
 	counter.CountOnly = true
 	golden, err := prog.Exec("main",
-		positdebug.WithContext(ctx),
+		positdebug.WithContext(ctx), positdebug.WithBackend(cfg.Backend),
 		positdebug.WithShadow(scfg), positdebug.WithLimits(lim),
 		positdebug.WithHooksWrapper(func(h interp.Hooks) interp.Hooks {
 			counter.Inner = h
@@ -415,7 +423,7 @@ func runArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*Arch
 	var workerMu sync.Mutex
 	workerN := 0
 	newWorker := func() (*positdebug.Debugger, error) {
-		d, err := prog.Session(positdebug.WithShadow(scfg))
+		d, err := prog.Session(positdebug.WithShadow(scfg), positdebug.WithBackend(cfg.Backend))
 		if err == nil && cfg.TraceWorkers && cfg.Trace != nil {
 			workerMu.Lock()
 			e := obs.NewEvent(obs.EvWorkerStart)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	positdebug "positdebug"
+	"positdebug/internal/backend"
 	"positdebug/internal/obs"
 	"positdebug/internal/parallel"
 	"positdebug/internal/posit"
@@ -317,7 +318,7 @@ type detectionOutcome struct {
 // kinds listed in enum order, making the table byte-identical to a
 // sequential run.
 func RunDetection() (*DetectionResult, error) {
-	return RunDetectionObs(nil, nil)
+	return RunDetectionOn(backend.Default, nil, nil)
 }
 
 // RunDetectionObs is RunDetection with observability attached: each
@@ -329,6 +330,14 @@ func RunDetection() (*DetectionResult, error) {
 // disables tracing; a nil registry disables metrics. Either may be set
 // independently.
 func RunDetectionObs(sink obs.Sink, reg *obs.Registry) (*DetectionResult, error) {
+	return RunDetectionOn(backend.Default, sink, reg)
+}
+
+// RunDetectionOn is RunDetectionObs pinned to one execution backend. The
+// suite's rows, summaries and event streams are byte-identical across
+// backends (the backend differential tests depend on it); the knob exists
+// so pdbench can time the suite on each backend.
+func RunDetectionOn(bk backend.Kind, sink obs.Sink, reg *obs.Registry) (*DetectionResult, error) {
 	suite := workloads.Suite()
 	if sink != nil {
 		e := obs.NewEvent(obs.EvCampaignStart)
@@ -353,7 +362,7 @@ func RunDetectionObs(sink obs.Sink, reg *obs.Registry) (*DetectionResult, error)
 		cfg.ErrBitsThreshold = 35
 		cfg.OutputThreshold = 35
 		cfg.PrecisionLossThreshold = 8
-		opts := []positdebug.Option{positdebug.WithShadow(cfg)}
+		opts := []positdebug.Option{positdebug.WithShadow(cfg), positdebug.WithBackend(bk)}
 		var buf *obs.Buffer
 		if sink != nil {
 			buf = &obs.Buffer{}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	positdebug "positdebug"
+	"positdebug/internal/backend"
 	"positdebug/internal/obs"
 	"positdebug/internal/parallel"
 	"positdebug/internal/profile"
@@ -40,6 +41,9 @@ type ProfileOptions struct {
 	// and drained in run-index order, so the stream is deterministic under
 	// any worker count. Feed it to obs.WriteChromeTrace for Perfetto.
 	Trace obs.Sink
+	// Backend selects the execution engine; both produce byte-identical
+	// merged profiles.
+	Backend backend.Kind
 }
 
 // RecordProfile runs a workload kernel Runs times under shadow execution
@@ -112,6 +116,7 @@ func RecordProfileContext(ctx context.Context, o ProfileOptions) (*profile.Profi
 			positdebug.WithShadow(cfg),
 			positdebug.WithProfile(col),
 			positdebug.WithSampling(sample),
+			positdebug.WithBackend(o.Backend),
 		)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 
 	"positdebug/internal/ir"
@@ -9,6 +10,12 @@ import (
 
 // binEval computes a binary operation on bit-pattern values.
 func (m *Machine) binEval(fn *ir.Func, k ir.BinKind, t ir.Type, a, b uint64) (uint64, error) {
+	return binEvalN(fn.Name, k, t, a, b)
+}
+
+// binEvalN is binEval keyed by function name, so the VM backend can report
+// identical traps from chunk functions (whose ir.Func may be absent).
+func binEvalN(name string, k ir.BinKind, t ir.Type, a, b uint64) (uint64, error) {
 	switch t {
 	case ir.I64:
 		x, y := int64(a), int64(b)
@@ -21,7 +28,7 @@ func (m *Machine) binEval(fn *ir.Func, k ir.BinKind, t ir.Type, a, b uint64) (ui
 			return uint64(x * y), nil
 		case ir.BinDiv:
 			if y == 0 {
-				return 0, m.trap(fn, "integer division by zero")
+				return 0, &Trap{Msg: "integer division by zero", Func: name}
 			}
 			if x == math.MinInt64 && y == -1 {
 				return uint64(x), nil // wraps, like hardware
@@ -29,7 +36,7 @@ func (m *Machine) binEval(fn *ir.Func, k ir.BinKind, t ir.Type, a, b uint64) (ui
 			return uint64(x / y), nil
 		case ir.BinRem:
 			if y == 0 {
-				return 0, m.trap(fn, "integer modulo by zero")
+				return 0, &Trap{Msg: "integer modulo by zero", Func: name}
 			}
 			if x == math.MinInt64 && y == -1 {
 				return 0, nil
@@ -78,7 +85,7 @@ func (m *Machine) binEval(fn *ir.Func, k ir.BinKind, t ir.Type, a, b uint64) (ui
 			return uint64(cfg.Div(x, y)), nil
 		}
 	}
-	return 0, m.trap(fn, "bad binop %v on %v", k, t)
+	return 0, &Trap{Msg: fmt.Sprintf("bad binop %v on %v", k, t), Func: name}
 }
 
 func unEval(k ir.UnKind, t ir.Type, a uint64) uint64 {

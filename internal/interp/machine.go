@@ -17,6 +17,8 @@ import (
 	"math"
 	"time"
 
+	"positdebug/internal/backend"
+	"positdebug/internal/bytecode"
 	"positdebug/internal/ir"
 	"positdebug/internal/posit"
 )
@@ -42,6 +44,12 @@ type Machine struct {
 	// Prof, when set, accumulates per-opcode counts and wall time (see
 	// OpProfile). Nil disables the two clock reads per instruction.
 	Prof *OpProfile
+	// Backend selects the execution engine: the tree-walking reference
+	// interpreter (default) or the fused-bytecode VM. Both produce
+	// byte-identical observable behavior; per-instruction tracing and
+	// opcode profiling need per-IR-step granularity, so runs with Trace or
+	// Prof set always take the tree-walker regardless of Backend.
+	Backend backend.Kind
 
 	mem    []byte
 	sp     uint32
@@ -49,10 +57,29 @@ type Machine struct {
 	depth  int
 	quires map[ir.Type]*posit.Quire
 
-	// Execution-position breadcrumbs for structured fault reports.
+	// chunk caches the module compiled to fused bytecode (VM backend).
+	chunk *bytecode.Module
+	// lowWater tracks the lowest stack byte written since the last memory
+	// reset, letting VM runs zero only the dirty region. Tree-walk runs
+	// poison it to "whole stack dirty".
+	lowWater uint32
+	// nextPoll is the step count at which the VM loop next polls the
+	// deadline and context (every deadlineCheckMask+1 steps, like the
+	// tree-walker's mask check, which fused two-step ops may straddle).
+	nextPoll int64
+	// fastHooks is non-nil when the current run's hooks implement
+	// FastShadow and no injector is active; fused superinstructions then
+	// deliver events through it.
+	fastHooks FastShadow
+
+	// Execution-position breadcrumbs for structured fault reports. The
+	// tree-walker maintains curBlk/curIdx per instruction; the VM loop
+	// stores only vmPC and resolves it to block/index lazily in the
+	// panic-annotation path (breadcrumbs are read exclusively there).
 	curFn  *ir.Func
 	curBlk int32
 	curIdx int
+	vmPC   int
 
 	deadline      time.Time
 	checkDeadline bool
@@ -85,9 +112,10 @@ func NewWithStack(mod *ir.Module, stack uint32) *Machine {
 	total = (total + 7) / 8 * 8
 	total += stack
 	return &Machine{
-		Mod:    mod,
-		mem:    make([]byte, total),
-		quires: map[ir.Type]*posit.Quire{},
+		Mod:      mod,
+		mem:      make([]byte, total),
+		quires:   map[ir.Type]*posit.Quire{},
+		lowWater: total, // fresh memory is all zero: nothing dirty
 	}
 }
 
@@ -266,6 +294,18 @@ func (m *Machine) RunContext(ctx context.Context, name string, lim Limits, args 
 		m.Hooks = NopHooks{}
 	}
 	m.inj, _ = m.Hooks.(Injector)
+	useVM := m.Backend == backend.VM && m.Trace == nil && m.Prof == nil
+	var chunk *bytecode.Module
+	if useVM {
+		var cerr error
+		if chunk, cerr = m.ensureChunk(); cerr != nil {
+			return 0, cerr
+		}
+	}
+	m.fastHooks = nil
+	if useVM && m.inj == nil {
+		m.fastHooks, _ = m.Hooks.(FastShadow)
+	}
 	if lim.Timeout > 0 {
 		m.deadline = time.Now().Add(lim.Timeout)
 		m.checkDeadline = true
@@ -279,8 +319,16 @@ func (m *Machine) RunContext(ctx context.Context, name string, lim Limits, args 
 	m.steps = 0
 	m.depth = 0
 	m.sp = uint32(len(m.mem))
-	for i := range m.mem {
-		m.mem[i] = 0
+	if useVM {
+		m.zeroDirtyMem()
+		m.nextPoll = deadlineCheckMask + 1
+	} else {
+		for i := range m.mem {
+			m.mem[i] = 0
+		}
+		// A tree-walk run dirties the stack without low-water tracking;
+		// make the next VM run on this machine re-zero the whole stack.
+		m.lowWater = m.Mod.GlobalBase + m.Mod.GlobalSize
 	}
 	for _, q := range m.quires {
 		q.Clear()
@@ -288,17 +336,25 @@ func (m *Machine) RunContext(ctx context.Context, name string, lim Limits, args 
 	if m.Hooks != nil {
 		m.Hooks.Reset()
 	}
-	if init := m.Mod.FuncByName("__init"); init != nil {
-		if _, err := m.call(init, nil); err != nil {
-			return 0, err
-		}
-	}
 	fn := m.Mod.FuncByName(name)
 	if fn == nil {
 		return 0, fmt.Errorf("interp: no function %q", name)
 	}
 	if len(args) != len(fn.Params) {
 		return 0, fmt.Errorf("interp: %s takes %d args, got %d", name, len(fn.Params), len(args))
+	}
+	if useVM {
+		if ii, ok := m.Mod.FuncIdx["__init"]; ok {
+			if _, err := m.vmCall(chunk, ii, nil); err != nil {
+				return 0, err
+			}
+		}
+		return m.vmCall(chunk, m.Mod.FuncIdx[name], args)
+	}
+	if init := m.Mod.FuncByName("__init"); init != nil {
+		if _, err := m.call(init, nil); err != nil {
+			return 0, err
+		}
 	}
 	return m.call(fn, args)
 }

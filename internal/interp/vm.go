@@ -1,0 +1,836 @@
+package interp
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"positdebug/internal/bytecode"
+	"positdebug/internal/ir"
+	"positdebug/internal/posit"
+)
+
+// FastShadow is an optional interface a Hooks implementation may satisfy to
+// receive shadow events through the VM's fused superinstructions without an
+// injector in the loop. The methods mirror the corresponding Hooks methods
+// exactly and MUST produce byte-identical observable behavior (reports,
+// traces, profiles, panics); what they may additionally assume is that the
+// delivered program value is the uncorrupted result of the base operation
+// that just executed, which lets a runtime reuse one decode of that result
+// for conversion, exponent and precision-geometry checks instead of
+// re-deriving each from the raw bits.
+//
+// The machine binds FastShadow only when the run has no Injector and the
+// Hooks value implements it directly — wrapping decorators (samplers,
+// injectors, user hooks) naturally break the type assertion and fall back
+// to the generic mutate-then-Hooks path the tree-walker uses.
+type FastShadow interface {
+	FastConst(id int32, typ ir.Type, dst int32, bits uint64)
+	FastMov(id int32, typ ir.Type, dst, src int32, bits uint64)
+	FastBin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64)
+	// FastBinP32 fuses the ⟨32,2⟩ add/sub/mul base arithmetic into the
+	// shadow event: the implementation computes and returns the program
+	// result itself (bit-identical to Config32.Add/Sub/Mul), which lets it
+	// reuse its memoized operand decodes for both the arithmetic and the
+	// detection pass. kind is one of BinAdd/BinSub/BinMul.
+	FastBinP32(id int32, kind ir.BinKind, dst, a, b int32, aVal, bVal uint64) uint64
+	FastUn(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64)
+	FastCast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64)
+	FastLoad(id int32, typ ir.Type, dst int32, addr uint32, bits uint64)
+	FastStore(id int32, typ ir.Type, addr uint32, src int32, bits uint64)
+}
+
+// ensureChunk lazily compiles the module to fused bytecode, once per
+// machine. Compile verifies the chunk before returning it, so execution
+// never sees an unverified program.
+func (m *Machine) ensureChunk() (*bytecode.Module, error) {
+	if m.chunk != nil {
+		return m.chunk, nil
+	}
+	ch, err := bytecode.Compile(m.Mod, bytecode.Options{Fuse: true})
+	if err != nil {
+		return nil, fmt.Errorf("interp: vm backend: %w", err)
+	}
+	m.chunk = ch
+	return ch, nil
+}
+
+// zeroDirtyMem prepares memory for a VM run by zeroing globals plus only
+// the dirty region of the stack — everything at or above lowWater is
+// untouched since the last reset and still zero. Frame pushes and stores
+// maintain lowWater, and tree-walk runs poison it to "whole stack dirty",
+// so the optimization is exact: a VM run always starts from the same
+// all-zero image a full memclr would produce.
+func (m *Machine) zeroDirtyMem() {
+	gb, gs := m.Mod.GlobalBase, m.Mod.GlobalSize
+	clear(m.mem[gb : gb+gs])
+	lw := m.lowWater
+	if lw < gb+gs {
+		lw = gb + gs
+	}
+	if int(lw) < len(m.mem) {
+		clear(m.mem[lw:])
+	}
+	m.lowWater = uint32(len(m.mem))
+}
+
+// vmMutate is mutate for bytecode instructions: consult the injector right
+// before a value-producing shadow event and rewrite the destination
+// register with the corrupted bits.
+func (m *Machine) vmMutate(id int32, op ir.Op, t ir.Type, regs []uint64, dst int32) {
+	if m.inj == nil {
+		return
+	}
+	if nb, ok := m.inj.Mutate(id, op, t, regs[dst]); ok {
+		regs[dst] = nb
+	}
+}
+
+// memTrap builds the out-of-bounds trap off the hot path, keeping
+// vmLoad/vmStore within the inlining budget.
+func (m *Machine) memTrap(fname string, size, addr uint32) error {
+	return &Trap{Msg: fmt.Sprintf("memory access out of bounds: addr=%d size=%d", addr, size), Func: fname}
+}
+
+// vmLoad reads size bytes little-endian with the tree-walker's bounds rule.
+func (m *Machine) vmLoad(ch *bytecode.Module, fname string, size, addr uint32) (uint64, error) {
+	if addr < ch.GlobalBase || uint64(addr)+uint64(size) > uint64(len(m.mem)) {
+		return 0, m.memTrap(fname, size, addr)
+	}
+	switch size {
+	case 1:
+		return uint64(m.mem[addr]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.mem[addr:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.mem[addr:])), nil
+	default:
+		return binary.LittleEndian.Uint64(m.mem[addr:]), nil
+	}
+}
+
+// vmStore writes size bytes little-endian and tracks the stack low-water
+// mark that zeroDirtyMem relies on.
+func (m *Machine) vmStore(ch *bytecode.Module, fname string, size, addr uint32, v uint64) error {
+	if addr < ch.GlobalBase || uint64(addr)+uint64(size) > uint64(len(m.mem)) {
+		return m.memTrap(fname, size, addr)
+	}
+	// Only stack addresses move the low-water mark: the globals region is
+	// unconditionally cleared by zeroDirtyMem, and letting a global store
+	// drag lowWater below the stack base would degenerate the next reset
+	// into a full-stack memclr.
+	if sb := ch.GlobalBase + ch.GlobalSize; addr >= sb && addr < m.lowWater {
+		m.lowWater = addr
+	}
+	switch size {
+	case 1:
+		m.mem[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.mem[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.mem[addr:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(m.mem[addr:], v)
+	}
+	return nil
+}
+
+// vmCall executes one verified bytecode function, mirroring Machine.call
+// exactly: same frame discipline, register pooling, hook protocol, step
+// accounting, poll cadence, traps, and panic annotation — so every
+// observable artifact is byte-identical to the tree-walker's.
+func (m *Machine) vmCall(ch *bytecode.Module, fi int32, args []uint64) (uint64, error) {
+	f := ch.Funcs[fi]
+	if m.depth++; m.depth > maxCallDepth {
+		return 0, &Trap{Msg: "call depth exceeded", Func: f.Name}
+	}
+	defer func() { m.depth-- }()
+
+	frame := (f.FrameSize + 7) / 8 * 8
+	// The comparison runs in uint64 so a decoded chunk with absurd global
+	// or frame sizes traps instead of wrapping the stack pointer.
+	base := uint64(ch.GlobalBase) + uint64(ch.GlobalSize)
+	if uint64(m.sp) < base+uint64(frame) {
+		return 0, &Trap{Msg: "stack overflow", Func: f.Name}
+	}
+	savedSP := m.sp
+	m.sp -= frame
+	fp := m.sp
+	if fp < m.lowWater {
+		m.lowWater = fp
+	}
+	// Zero the frame so stale stack data never leaks into locals.
+	for i := fp; i < savedSP; i++ {
+		m.mem[i] = 0
+	}
+	defer func() { m.sp = savedSP }()
+
+	regs := m.getRegs(f.NumRegs)
+	defer m.putRegs(regs)
+	copy(regs, args)
+	if f.Instrumented {
+		m.Hooks.EnterFunc(f.IR, regs[:f.NumParams])
+		defer m.Hooks.LeaveFunc()
+	}
+
+	maxSteps := m.limSteps
+	if maxSteps == 0 {
+		maxSteps = m.MaxSteps
+	}
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	prevFn := m.curFn
+	m.curFn = f.IR
+	defer func() {
+		m.curFn = prevFn
+		r := recover()
+		if r == nil {
+			return
+		}
+		// Annotate the panic at the innermost frame, where the breadcrumbs
+		// still name the panicking function; outer frames pass the
+		// structured value through unchanged.
+		switch fv := r.(type) {
+		case *Stopped, *InternalFault:
+		case *Cancelled:
+			if fv.Func == "" {
+				fv.Func = f.Name
+			}
+		case *ResourceExhausted:
+			if fv.Func == "" {
+				fv.Func = f.Name
+			}
+		default:
+			// Resolve the lazy breadcrumb: the dispatch loop records only
+			// the bytecode pc; block/index are looked up here, on the one
+			// path that reads them. A panic in the shadow half of a fused
+			// pair reports the second IR instruction of the pair, matching
+			// the tree-walker's position at the equivalent point.
+			blk, idx := m.curBlk, m.curIdx
+			if p := m.vmPC; p >= 0 && p < len(f.Pos) {
+				blk, idx = f.Pos[p].Blk, int(f.Pos[p].Idx)
+				if f.Code[p].Op >= bytecode.FusedFirst {
+					idx++
+				}
+			}
+			r = &InternalFault{
+				Func: f.Name, Block: blk, Index: idx,
+				Steps: m.steps, Recovered: fv,
+			}
+		}
+		panic(r)
+	}()
+
+	code := f.Code
+	pos := f.Pos
+	fh := m.fastHooks
+	pc := 0
+	// checkAt folds the step limit and the poll cadence into one per-op
+	// comparison: the slow path below disambiguates and recomputes it. A
+	// stale (too low) checkAt after a nested call merely re-enters the slow
+	// path early; nextPoll only grows and maxSteps is fixed per run, so the
+	// cached value never overshoots either threshold.
+	checkAt := maxSteps
+	if m.nextPoll-1 < checkAt {
+		checkAt = m.nextPoll - 1
+	}
+	for {
+		in := &code[pc]
+		op := in.Op
+		// A fused superinstruction is two IR steps; charge both up front
+		// and, when the budget splits the pair, replay exactly what the
+		// tree-walker would have executed before tripping.
+		var w int64 = 1
+		if op >= bytecode.FusedFirst {
+			w = 2
+		}
+		if m.steps += w; m.steps > checkAt {
+			if m.steps > maxSteps {
+				if w == 2 && m.steps-1 <= maxSteps {
+					// Eager breadcrumb: the replayed first half is the base
+					// op, so the fused +1 in the lazy resolution must not
+					// apply.
+					m.curBlk, m.curIdx = pos[pc].Blk, int(pos[pc].Idx)
+					m.vmPC = -1
+					if err := m.vmFirstHalf(ch, f, in, regs); err != nil {
+						return 0, err
+					}
+				} else if w == 2 {
+					m.steps--
+				}
+				return 0, &ResourceExhausted{
+					Resource: ResSteps, Limit: maxSteps, Used: m.steps,
+					Func: f.Name, Steps: m.steps,
+				}
+			}
+			if m.steps >= m.nextPoll {
+				m.nextPoll = (m.steps &^ deadlineCheckMask) + deadlineCheckMask + 1
+				if m.checkDeadline && time.Now().After(m.deadline) {
+					return 0, &ResourceExhausted{
+						Resource: ResWallClock, Limit: int64(m.limTimeout), Used: m.steps,
+						Func: f.Name, Steps: m.steps,
+					}
+				}
+				if m.ctxDone != nil {
+					select {
+					case <-m.ctxDone:
+						return 0, &Cancelled{Func: f.Name, Steps: m.steps, Cause: context.Cause(m.runCtx)}
+					default:
+					}
+				}
+			}
+			checkAt = maxSteps
+			if m.nextPoll-1 < checkAt {
+				checkAt = m.nextPoll - 1
+			}
+		}
+		m.vmPC = pc
+		pc++
+		switch op {
+		case bytecode.OpNop:
+		case bytecode.OpConst:
+			regs[in.Dst] = in.Imm
+		case bytecode.OpMov:
+			regs[in.Dst] = regs[in.A]
+		case bytecode.OpAddI64:
+			regs[in.Dst] = uint64(int64(regs[in.A]) + int64(regs[in.B]))
+		case bytecode.OpSubI64:
+			regs[in.Dst] = uint64(int64(regs[in.A]) - int64(regs[in.B]))
+		case bytecode.OpMulI64:
+			regs[in.Dst] = uint64(int64(regs[in.A]) * int64(regs[in.B]))
+		case bytecode.OpDivI64, bytecode.OpRemI64:
+			k := ir.BinDiv
+			if op == bytecode.OpRemI64 {
+				k = ir.BinRem
+			}
+			v, err := binEvalN(f.Name, k, ir.I64, regs[in.A], regs[in.B])
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case bytecode.OpAddP16:
+			regs[in.Dst] = uint64(posit.Config16.Add(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+		case bytecode.OpSubP16:
+			regs[in.Dst] = uint64(posit.Config16.Sub(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+		case bytecode.OpMulP16:
+			regs[in.Dst] = uint64(posit.Config16.Mul(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+		case bytecode.OpAddP32:
+			regs[in.Dst] = uint64(posit.Config32.Add(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+		case bytecode.OpSubP32:
+			regs[in.Dst] = uint64(posit.Config32.Sub(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+		case bytecode.OpMulP32:
+			regs[in.Dst] = uint64(posit.Config32.Mul(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+		case bytecode.OpBin:
+			v, err := binEvalN(f.Name, ir.BinKind(in.K), ir.Type(in.T), regs[in.A], regs[in.B])
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case bytecode.OpUn:
+			regs[in.Dst] = unEval(ir.UnKind(in.K), ir.Type(in.T), regs[in.A])
+		case bytecode.OpLtI64:
+			if int64(regs[in.A]) < int64(regs[in.B]) {
+				regs[in.Dst] = 1
+			} else {
+				regs[in.Dst] = 0
+			}
+		case bytecode.OpCmp:
+			if cmpEval(ir.CmpPred(in.K), ir.Type(in.T), regs[in.A], regs[in.B]) {
+				regs[in.Dst] = 1
+			} else {
+				regs[in.Dst] = 0
+			}
+		case bytecode.OpCast:
+			regs[in.Dst] = castEval(ir.Type(in.T), ir.Type(in.T2), regs[in.A])
+		case bytecode.OpLoad1:
+			v, err := m.vmLoad(ch, f.Name, 1, uint32(regs[in.A]))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case bytecode.OpLoad2:
+			v, err := m.vmLoad(ch, f.Name, 2, uint32(regs[in.A]))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case bytecode.OpLoad4:
+			// Widths 4 and 8 carry all numeric and index traffic; inlined
+			// like the fused load to keep the call out of the loop.
+			a := uint32(regs[in.A])
+			if a < ch.GlobalBase || uint64(a)+4 > uint64(len(m.mem)) {
+				return 0, m.memTrap(f.Name, 4, a)
+			}
+			regs[in.Dst] = uint64(binary.LittleEndian.Uint32(m.mem[a:]))
+		case bytecode.OpLoad8:
+			a := uint32(regs[in.A])
+			if a < ch.GlobalBase || uint64(a)+8 > uint64(len(m.mem)) {
+				return 0, m.memTrap(f.Name, 8, a)
+			}
+			regs[in.Dst] = binary.LittleEndian.Uint64(m.mem[a:])
+		case bytecode.OpStore1:
+			if err := m.vmStore(ch, f.Name, 1, uint32(regs[in.A]), regs[in.B]); err != nil {
+				return 0, err
+			}
+		case bytecode.OpStore2:
+			if err := m.vmStore(ch, f.Name, 2, uint32(regs[in.A]), regs[in.B]); err != nil {
+				return 0, err
+			}
+		case bytecode.OpStore4:
+			a := uint32(regs[in.A])
+			if a < ch.GlobalBase || uint64(a)+4 > uint64(len(m.mem)) {
+				return 0, m.memTrap(f.Name, 4, a)
+			}
+			if sb := ch.GlobalBase + ch.GlobalSize; a >= sb && a < m.lowWater {
+				m.lowWater = a
+			}
+			binary.LittleEndian.PutUint32(m.mem[a:], uint32(regs[in.B]))
+		case bytecode.OpStore8:
+			a := uint32(regs[in.A])
+			if a < ch.GlobalBase || uint64(a)+8 > uint64(len(m.mem)) {
+				return 0, m.memTrap(f.Name, 8, a)
+			}
+			if sb := ch.GlobalBase + ch.GlobalSize; a >= sb && a < m.lowWater {
+				m.lowWater = a
+			}
+			binary.LittleEndian.PutUint64(m.mem[a:], regs[in.B])
+		case bytecode.OpFrameAddr:
+			regs[in.Dst] = uint64(fp) + in.Imm
+		case bytecode.OpAddrIndex:
+			regs[in.Dst] = regs[in.A] + regs[in.B]*in.Imm
+		case bytecode.OpBr:
+			if regs[in.A] != 0 {
+				pc = int(in.Dst)
+			} else {
+				pc = int(in.B)
+			}
+		case bytecode.OpJmp:
+			pc = int(in.Dst)
+		case bytecode.OpCall:
+			m.argScratch = m.argScratch[:0]
+			for _, a := range ch.Args[in.Imm : in.Imm+uint64(in.B)] {
+				m.argScratch = append(m.argScratch, regs[a])
+			}
+			v, err := m.vmCall(ch, in.A, m.argScratch)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst >= 0 {
+				regs[in.Dst] = v
+			}
+		case bytecode.OpRet:
+			if in.A >= 0 {
+				return regs[in.A], nil
+			}
+			return 0, nil
+		case bytecode.OpPrint:
+			m.print(ir.Type(in.T), regs[in.A])
+		case bytecode.OpPrintStr:
+			if m.Out != nil {
+				fmt.Fprintln(m.Out, ch.Strs[in.Imm])
+			}
+		case bytecode.OpQClear:
+			// qclear() is untyped at the source level; reset every quire.
+			for _, q := range m.quires {
+				q.Clear()
+			}
+		case bytecode.OpQAdd:
+			q := m.quire(ir.Type(in.T))
+			if in.K == 1 {
+				q.Sub(posit.Bits(regs[in.A]))
+			} else {
+				q.Add(posit.Bits(regs[in.A]))
+			}
+		case bytecode.OpQMAdd:
+			q := m.quire(ir.Type(in.T))
+			if in.K == 1 {
+				q.SubProduct(posit.Bits(regs[in.A]), posit.Bits(regs[in.B]))
+			} else {
+				q.AddProduct(posit.Bits(regs[in.A]), posit.Bits(regs[in.B]))
+			}
+		case bytecode.OpQVal:
+			regs[in.Dst] = uint64(m.quire(ir.Type(in.T)).Posit())
+		case bytecode.OpFMA:
+			regs[in.Dst] = fmaEval(ir.Type(in.T), regs[in.A], regs[in.B], regs[int32(in.Imm)])
+
+		case bytecode.OpShConst:
+			m.vmMutate(in.ID, ir.OpShadowConst, ir.Type(in.T), regs, in.Dst)
+			m.Hooks.Const(in.ID, ir.Type(in.T), in.Dst, regs[in.Dst])
+		case bytecode.OpShMov:
+			m.Hooks.Mov(in.ID, ir.Type(in.T), in.Dst, in.A, regs[in.Dst])
+		case bytecode.OpShBin:
+			m.vmMutate(in.ID, ir.OpShadowBin, ir.Type(in.T), regs, in.Dst)
+			m.Hooks.Bin(in.ID, ir.BinKind(in.K), ir.Type(in.T), in.Dst, in.A, in.B,
+				regs[in.Dst], regs[in.A], regs[in.B])
+		case bytecode.OpShUn:
+			m.vmMutate(in.ID, ir.OpShadowUn, ir.Type(in.T), regs, in.Dst)
+			m.Hooks.Un(in.ID, ir.UnKind(in.K), ir.Type(in.T), in.Dst, in.A, regs[in.Dst], regs[in.A])
+		case bytecode.OpShCmp:
+			m.Hooks.Cmp(in.ID, ir.CmpPred(in.K), ir.Type(in.T), in.A, in.B,
+				regs[in.A], regs[in.B], regs[in.Dst] != 0)
+		case bytecode.OpShCast:
+			m.vmMutate(in.ID, ir.OpShadowCast, ir.Type(in.T), regs, in.Dst)
+			m.Hooks.Cast(in.ID, ir.Type(in.T), ir.Type(in.T2), in.Dst, in.A, regs[in.Dst], regs[in.A])
+		case bytecode.OpShLoad:
+			m.vmMutate(in.ID, ir.OpShadowLoad, ir.Type(in.T), regs, in.Dst)
+			m.Hooks.Load(in.ID, ir.Type(in.T), in.Dst, uint32(regs[in.A]), regs[in.Dst])
+		case bytecode.OpShStore:
+			stored := regs[in.B]
+			if m.inj != nil {
+				if nb, ok := m.inj.Mutate(in.ID, ir.OpShadowStore, ir.Type(in.T), stored); ok {
+					// A store fault corrupts the memory cell, not the
+					// register: rewrite the bytes the store just wrote.
+					stored = nb
+					if err := m.vmStore(ch, f.Name, ir.Type(in.T).Size(), uint32(regs[in.A]), stored); err != nil {
+						return 0, err
+					}
+				}
+			}
+			m.Hooks.Store(in.ID, ir.Type(in.T), uint32(regs[in.A]), in.B, stored)
+		case bytecode.OpShPreCall:
+			m.argScratch = m.argScratch[:0]
+			argRegs := ch.Args[in.Imm : in.Imm+uint64(in.B)]
+			for _, a := range argRegs {
+				m.argScratch = append(m.argScratch, regs[a])
+			}
+			m.Hooks.PreCall(ch.Funcs[in.A].IR, argRegs, m.argScratch)
+		case bytecode.OpShPostCall:
+			var bits uint64
+			if in.Dst >= 0 {
+				m.vmMutate(in.ID, ir.OpShadowPostCall, ir.Type(in.T), regs, in.Dst)
+				bits = regs[in.Dst]
+			}
+			m.Hooks.PostCall(in.ID, ir.Type(in.T), in.Dst, bits)
+		case bytecode.OpShRet:
+			var bits uint64
+			if in.A >= 0 {
+				bits = regs[in.A]
+			}
+			m.Hooks.Ret(ir.Type(in.T), in.A, bits)
+		case bytecode.OpShPrint:
+			m.Hooks.Print(in.ID, ir.Type(in.T), in.A, regs[in.A])
+		case bytecode.OpShQClear:
+			m.Hooks.QClear(ir.Type(in.T))
+		case bytecode.OpShQAdd:
+			m.Hooks.QAdd(ir.Type(in.T), in.A, regs[in.A], in.K == 1)
+		case bytecode.OpShQMAdd:
+			m.Hooks.QMAdd(ir.Type(in.T), in.A, in.B, regs[in.A], regs[in.B], in.K == 1)
+		case bytecode.OpShQVal:
+			m.vmMutate(in.ID, ir.OpShadowQVal, ir.Type(in.T), regs, in.Dst)
+			m.Hooks.QVal(in.ID, ir.Type(in.T), in.Dst, regs[in.Dst])
+		case bytecode.OpShFMA:
+			m.vmMutate(in.ID, ir.OpShadowFMA, ir.Type(in.T), regs, in.Dst)
+			c := int32(in.Imm)
+			m.Hooks.FMA(in.ID, ir.Type(in.T), in.Dst, in.A, in.B, c,
+				regs[in.Dst], regs[in.A], regs[in.B], regs[c])
+
+		case bytecode.OpFusedConst:
+			regs[in.Dst] = in.Imm
+			if fh != nil {
+				fh.FastConst(in.ID, ir.Type(in.T), in.Dst, in.Imm)
+			} else {
+				m.vmMutate(in.ID, ir.OpShadowConst, ir.Type(in.T), regs, in.Dst)
+				m.Hooks.Const(in.ID, ir.Type(in.T), in.Dst, regs[in.Dst])
+			}
+		case bytecode.OpFusedMov:
+			regs[in.Dst] = regs[in.A]
+			if fh != nil {
+				fh.FastMov(in.ID, ir.Type(in.T), in.Dst, in.A, regs[in.Dst])
+			} else {
+				m.Hooks.Mov(in.ID, ir.Type(in.T), in.Dst, in.A, regs[in.Dst])
+			}
+		case bytecode.OpFusedAddP16:
+			av, bv := regs[in.A], regs[in.B]
+			regs[in.Dst] = uint64(posit.Config16.Add(posit.Bits(av), posit.Bits(bv)))
+			if fh != nil {
+				fh.FastBin(in.ID, ir.BinAdd, ir.P16, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			} else {
+				m.vmMutate(in.ID, ir.OpShadowBin, ir.P16, regs, in.Dst)
+				m.Hooks.Bin(in.ID, ir.BinAdd, ir.P16, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			}
+		case bytecode.OpFusedSubP16:
+			av, bv := regs[in.A], regs[in.B]
+			regs[in.Dst] = uint64(posit.Config16.Sub(posit.Bits(av), posit.Bits(bv)))
+			if fh != nil {
+				fh.FastBin(in.ID, ir.BinSub, ir.P16, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			} else {
+				m.vmMutate(in.ID, ir.OpShadowBin, ir.P16, regs, in.Dst)
+				m.Hooks.Bin(in.ID, ir.BinSub, ir.P16, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			}
+		case bytecode.OpFusedMulP16:
+			av, bv := regs[in.A], regs[in.B]
+			regs[in.Dst] = uint64(posit.Config16.Mul(posit.Bits(av), posit.Bits(bv)))
+			if fh != nil {
+				fh.FastBin(in.ID, ir.BinMul, ir.P16, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			} else {
+				m.vmMutate(in.ID, ir.OpShadowBin, ir.P16, regs, in.Dst)
+				m.Hooks.Bin(in.ID, ir.BinMul, ir.P16, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			}
+		case bytecode.OpFusedAddP32:
+			av, bv := regs[in.A], regs[in.B]
+			if fh != nil {
+				// One dispatch covers arithmetic, codec fast path, and
+				// shadow bookkeeping: the shadow runtime computes the
+				// program result from its memoized operand decodes —
+				// bit-identical to Config32.Add — so the ⟨32,2⟩ bits are
+				// decoded exactly once per operand.
+				regs[in.Dst] = fh.FastBinP32(in.ID, ir.BinAdd, in.Dst, in.A, in.B, av, bv)
+			} else {
+				regs[in.Dst] = uint64(posit.Config32.Add(posit.Bits(av), posit.Bits(bv)))
+				m.vmMutate(in.ID, ir.OpShadowBin, ir.P32, regs, in.Dst)
+				m.Hooks.Bin(in.ID, ir.BinAdd, ir.P32, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			}
+		case bytecode.OpFusedSubP32:
+			av, bv := regs[in.A], regs[in.B]
+			if fh != nil {
+				regs[in.Dst] = fh.FastBinP32(in.ID, ir.BinSub, in.Dst, in.A, in.B, av, bv)
+			} else {
+				regs[in.Dst] = uint64(posit.Config32.Sub(posit.Bits(av), posit.Bits(bv)))
+				m.vmMutate(in.ID, ir.OpShadowBin, ir.P32, regs, in.Dst)
+				m.Hooks.Bin(in.ID, ir.BinSub, ir.P32, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			}
+		case bytecode.OpFusedMulP32:
+			av, bv := regs[in.A], regs[in.B]
+			if fh != nil {
+				regs[in.Dst] = fh.FastBinP32(in.ID, ir.BinMul, in.Dst, in.A, in.B, av, bv)
+			} else {
+				regs[in.Dst] = uint64(posit.Config32.Mul(posit.Bits(av), posit.Bits(bv)))
+				m.vmMutate(in.ID, ir.OpShadowBin, ir.P32, regs, in.Dst)
+				m.Hooks.Bin(in.ID, ir.BinMul, ir.P32, in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			}
+		case bytecode.OpFusedBin:
+			av, bv := regs[in.A], regs[in.B]
+			v, err := binEvalN(f.Name, ir.BinKind(in.K), ir.Type(in.T), av, bv)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+			if fh != nil {
+				fh.FastBin(in.ID, ir.BinKind(in.K), ir.Type(in.T), in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			} else {
+				m.vmMutate(in.ID, ir.OpShadowBin, ir.Type(in.T), regs, in.Dst)
+				m.Hooks.Bin(in.ID, ir.BinKind(in.K), ir.Type(in.T), in.Dst, in.A, in.B, regs[in.Dst], av, bv)
+			}
+		case bytecode.OpFusedUn:
+			av := regs[in.A]
+			regs[in.Dst] = unEval(ir.UnKind(in.K), ir.Type(in.T), av)
+			if fh != nil {
+				fh.FastUn(in.ID, ir.UnKind(in.K), ir.Type(in.T), in.Dst, in.A, regs[in.Dst], av)
+			} else {
+				m.vmMutate(in.ID, ir.OpShadowUn, ir.Type(in.T), regs, in.Dst)
+				m.Hooks.Un(in.ID, ir.UnKind(in.K), ir.Type(in.T), in.Dst, in.A, regs[in.Dst], av)
+			}
+		case bytecode.OpFusedCmp:
+			av, bv := regs[in.A], regs[in.B]
+			res := cmpEval(ir.CmpPred(in.K), ir.Type(in.T), av, bv)
+			if res {
+				regs[in.Dst] = 1
+			} else {
+				regs[in.Dst] = 0
+			}
+			m.Hooks.Cmp(in.ID, ir.CmpPred(in.K), ir.Type(in.T), in.A, in.B, av, bv, res)
+		case bytecode.OpFusedCast:
+			av := regs[in.A]
+			regs[in.Dst] = castEval(ir.Type(in.T), ir.Type(in.T2), av)
+			if fh != nil {
+				fh.FastCast(in.ID, ir.Type(in.T), ir.Type(in.T2), in.Dst, in.A, regs[in.Dst], av)
+			} else {
+				m.vmMutate(in.ID, ir.OpShadowCast, ir.Type(in.T), regs, in.Dst)
+				m.Hooks.Cast(in.ID, ir.Type(in.T), ir.Type(in.T2), in.Dst, in.A, regs[in.Dst], av)
+			}
+		case bytecode.OpFusedLoad:
+			// Manually inlined vmLoad: the 4- and 8-byte widths carry all
+			// numeric traffic, and the call overhead is visible at this
+			// opcode's frequency.
+			addr := uint32(regs[in.A])
+			sz := uint32(in.K)
+			if addr < ch.GlobalBase || uint64(addr)+uint64(sz) > uint64(len(m.mem)) {
+				return 0, m.memTrap(f.Name, sz, addr)
+			}
+			var v uint64
+			switch sz {
+			case 1:
+				v = uint64(m.mem[addr])
+			case 2:
+				v = uint64(binary.LittleEndian.Uint16(m.mem[addr:]))
+			case 4:
+				v = uint64(binary.LittleEndian.Uint32(m.mem[addr:]))
+			default:
+				v = binary.LittleEndian.Uint64(m.mem[addr:])
+			}
+			regs[in.Dst] = v
+			if fh != nil {
+				fh.FastLoad(in.ID, ir.Type(in.T), in.Dst, uint32(regs[in.A]), regs[in.Dst])
+			} else {
+				m.vmMutate(in.ID, ir.OpShadowLoad, ir.Type(in.T), regs, in.Dst)
+				m.Hooks.Load(in.ID, ir.Type(in.T), in.Dst, uint32(regs[in.A]), regs[in.Dst])
+			}
+		case bytecode.OpFusedStore:
+			// Manually inlined vmStore, including its low-water bookkeeping.
+			saddr := uint32(regs[in.A])
+			ssz := uint32(in.K)
+			if saddr < ch.GlobalBase || uint64(saddr)+uint64(ssz) > uint64(len(m.mem)) {
+				return 0, m.memTrap(f.Name, ssz, saddr)
+			}
+			if sb := ch.GlobalBase + ch.GlobalSize; saddr >= sb && saddr < m.lowWater {
+				m.lowWater = saddr
+			}
+			sv := regs[in.B]
+			switch ssz {
+			case 1:
+				m.mem[saddr] = byte(sv)
+			case 2:
+				binary.LittleEndian.PutUint16(m.mem[saddr:], uint16(sv))
+			case 4:
+				binary.LittleEndian.PutUint32(m.mem[saddr:], uint32(sv))
+			default:
+				binary.LittleEndian.PutUint64(m.mem[saddr:], sv)
+			}
+			if fh != nil {
+				fh.FastStore(in.ID, ir.Type(in.T), uint32(regs[in.A]), in.B, regs[in.B])
+			} else {
+				stored := regs[in.B]
+				if m.inj != nil {
+					if nb, ok := m.inj.Mutate(in.ID, ir.OpShadowStore, ir.Type(in.T), stored); ok {
+						stored = nb
+						if err := m.vmStore(ch, f.Name, ir.Type(in.T).Size(), uint32(regs[in.A]), stored); err != nil {
+							return 0, err
+						}
+					}
+				}
+				m.Hooks.Store(in.ID, ir.Type(in.T), uint32(regs[in.A]), in.B, stored)
+			}
+		case bytecode.OpFusedPrint:
+			m.print(ir.Type(in.T), regs[in.A])
+			m.Hooks.Print(in.ID, ir.Type(in.T), in.A, regs[in.A])
+		case bytecode.OpFusedQClear:
+			for _, q := range m.quires {
+				q.Clear()
+			}
+			m.Hooks.QClear(ir.Type(in.T))
+		case bytecode.OpFusedQAdd:
+			q := m.quire(ir.Type(in.T))
+			if in.K == 1 {
+				q.Sub(posit.Bits(regs[in.A]))
+			} else {
+				q.Add(posit.Bits(regs[in.A]))
+			}
+			m.Hooks.QAdd(ir.Type(in.T), in.A, regs[in.A], in.K == 1)
+		case bytecode.OpFusedQMAdd:
+			q := m.quire(ir.Type(in.T))
+			if in.K == 1 {
+				q.SubProduct(posit.Bits(regs[in.A]), posit.Bits(regs[in.B]))
+			} else {
+				q.AddProduct(posit.Bits(regs[in.A]), posit.Bits(regs[in.B]))
+			}
+			m.Hooks.QMAdd(ir.Type(in.T), in.A, in.B, regs[in.A], regs[in.B], in.K == 1)
+		case bytecode.OpFusedQVal:
+			regs[in.Dst] = uint64(m.quire(ir.Type(in.T)).Posit())
+			m.vmMutate(in.ID, ir.OpShadowQVal, ir.Type(in.T), regs, in.Dst)
+			m.Hooks.QVal(in.ID, ir.Type(in.T), in.Dst, regs[in.Dst])
+		case bytecode.OpFusedFMA:
+			c := int32(in.Imm)
+			regs[in.Dst] = fmaEval(ir.Type(in.T), regs[in.A], regs[in.B], regs[c])
+			m.vmMutate(in.ID, ir.OpShadowFMA, ir.Type(in.T), regs, in.Dst)
+			m.Hooks.FMA(in.ID, ir.Type(in.T), in.Dst, in.A, in.B, c,
+				regs[in.Dst], regs[in.A], regs[in.B], regs[c])
+		case bytecode.OpFusedRet:
+			// The shadow half comes first here: instrumentation emits
+			// sh.ret immediately before ret.
+			var bits uint64
+			if in.A >= 0 {
+				bits = regs[in.A]
+			}
+			m.Hooks.Ret(ir.Type(in.T), in.A, bits)
+			if in.A >= 0 {
+				return regs[in.A], nil
+			}
+			return 0, nil
+		default:
+			return 0, &Trap{Msg: fmt.Sprintf("unknown opcode %v", op), Func: f.Name}
+		}
+	}
+}
+
+// vmFirstHalf executes only the first IR instruction of a fused pair — the
+// base operation, or for sh.ret+ret the shadow event — reproducing exactly
+// what the tree-walker would have run before a step budget that splits the
+// pair trips. The second half is never executed.
+func (m *Machine) vmFirstHalf(ch *bytecode.Module, f *bytecode.Func, in *bytecode.Inst, regs []uint64) error {
+	switch in.Op {
+	case bytecode.OpFusedConst:
+		regs[in.Dst] = in.Imm
+	case bytecode.OpFusedMov:
+		regs[in.Dst] = regs[in.A]
+	case bytecode.OpFusedAddP16:
+		regs[in.Dst] = uint64(posit.Config16.Add(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+	case bytecode.OpFusedSubP16:
+		regs[in.Dst] = uint64(posit.Config16.Sub(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+	case bytecode.OpFusedMulP16:
+		regs[in.Dst] = uint64(posit.Config16.Mul(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+	case bytecode.OpFusedAddP32:
+		regs[in.Dst] = uint64(posit.Config32.Add(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+	case bytecode.OpFusedSubP32:
+		regs[in.Dst] = uint64(posit.Config32.Sub(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+	case bytecode.OpFusedMulP32:
+		regs[in.Dst] = uint64(posit.Config32.Mul(posit.Bits(regs[in.A]), posit.Bits(regs[in.B])))
+	case bytecode.OpFusedBin:
+		v, err := binEvalN(f.Name, ir.BinKind(in.K), ir.Type(in.T), regs[in.A], regs[in.B])
+		if err != nil {
+			return err
+		}
+		regs[in.Dst] = v
+	case bytecode.OpFusedUn:
+		regs[in.Dst] = unEval(ir.UnKind(in.K), ir.Type(in.T), regs[in.A])
+	case bytecode.OpFusedCmp:
+		if cmpEval(ir.CmpPred(in.K), ir.Type(in.T), regs[in.A], regs[in.B]) {
+			regs[in.Dst] = 1
+		} else {
+			regs[in.Dst] = 0
+		}
+	case bytecode.OpFusedCast:
+		regs[in.Dst] = castEval(ir.Type(in.T), ir.Type(in.T2), regs[in.A])
+	case bytecode.OpFusedLoad:
+		v, err := m.vmLoad(ch, f.Name, uint32(in.K), uint32(regs[in.A]))
+		if err != nil {
+			return err
+		}
+		regs[in.Dst] = v
+	case bytecode.OpFusedStore:
+		return m.vmStore(ch, f.Name, uint32(in.K), uint32(regs[in.A]), regs[in.B])
+	case bytecode.OpFusedPrint:
+		m.print(ir.Type(in.T), regs[in.A])
+	case bytecode.OpFusedQClear:
+		for _, q := range m.quires {
+			q.Clear()
+		}
+	case bytecode.OpFusedQAdd:
+		q := m.quire(ir.Type(in.T))
+		if in.K == 1 {
+			q.Sub(posit.Bits(regs[in.A]))
+		} else {
+			q.Add(posit.Bits(regs[in.A]))
+		}
+	case bytecode.OpFusedQMAdd:
+		q := m.quire(ir.Type(in.T))
+		if in.K == 1 {
+			q.SubProduct(posit.Bits(regs[in.A]), posit.Bits(regs[in.B]))
+		} else {
+			q.AddProduct(posit.Bits(regs[in.A]), posit.Bits(regs[in.B]))
+		}
+	case bytecode.OpFusedQVal:
+		regs[in.Dst] = uint64(m.quire(ir.Type(in.T)).Posit())
+	case bytecode.OpFusedFMA:
+		regs[in.Dst] = fmaEval(ir.Type(in.T), regs[in.A], regs[in.B], regs[int32(in.Imm)])
+	case bytecode.OpFusedRet:
+		var bits uint64
+		if in.A >= 0 {
+			bits = regs[in.A]
+		}
+		m.Hooks.Ret(ir.Type(in.T), in.A, bits)
+	}
+	return nil
+}

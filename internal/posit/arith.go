@@ -12,6 +12,8 @@ func (c Config) Add(a, b Bits) Bits {
 		return add16(a, b)
 	case Config8:
 		return Bits(p8add[uint32(a)<<8|uint32(b)])
+	case Config32:
+		return add32(a, b)
 	}
 	return c.GenericAdd(a, b)
 }
@@ -122,6 +124,8 @@ func (c Config) Mul(a, b Bits) Bits {
 		return mul16(a, b)
 	case Config8:
 		return Bits(p8mul[uint32(a)<<8|uint32(b)])
+	case Config32:
+		return mul32(a, b)
 	}
 	return c.GenericMul(a, b)
 }

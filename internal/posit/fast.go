@@ -284,3 +284,66 @@ func decode32(p Bits) Decoded {
 	d.Frac = 1<<63 | after<<2>>1
 	return d
 }
+
+const nar32 = Bits(0x8000_0000)
+
+// add32 is ⟨32,2⟩ addition: the generic exact-sum pipeline fed by the
+// constant-folded decoder. The arithmetic after decoding is GenericAdd's
+// own (addUnpacked + encode), and decode32 matches genericDecode on all
+// 2^32 patterns, so add32 rounds identically to the reference by
+// construction (enforced in fast_test.go).
+func add32(a, b Bits) Bits {
+	if a == nar32 || b == nar32 {
+		return nar32
+	}
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	return Config32.AddDecoded(decode32(a), decode32(b))
+}
+
+// mul32 is ⟨32,2⟩ multiplication; see add32.
+func mul32(a, b Bits) Bits {
+	if a == nar32 || b == nar32 {
+		return nar32
+	}
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return Config32.MulDecoded(decode32(a), decode32(b))
+}
+
+// AddDecoded returns the correctly rounded sum of two pre-decoded posits.
+// Both operands must be finite and nonzero (a Decoded is only defined for
+// such patterns); callers that cache decodes — the shadow runtime's fused
+// superinstruction path — handle the NaR/zero cases on the raw bits first.
+// Subtraction is AddDecoded with the subtrahend's Neg flipped: decoders
+// negate before extracting fields, so Decode(Neg(p)) differs from
+// Decode(p) only in Neg.
+func (c Config) AddDecoded(da, db Decoded) Bits {
+	return c.encode(addUnpacked(da, db))
+}
+
+// MulDecoded returns the correctly rounded product of two pre-decoded
+// posits; the same operand contract as AddDecoded applies. The body is
+// GenericMul's own post-decode arithmetic.
+func (c Config) MulDecoded(da, db Decoded) Bits {
+	hi, lo := bits.Mul64(da.Frac, db.Frac)
+	scale := da.Scale + db.Scale
+	// Product of [2^63,2^64) significands lies in [2^126,2^128).
+	if hi>>63 == 1 {
+		scale++
+	} else {
+		hi = hi<<1 | lo>>63
+		lo <<= 1
+	}
+	return c.encode(unrounded{
+		neg:    da.Neg != db.Neg,
+		scale:  scale,
+		frac:   hi,
+		sticky: lo != 0,
+	})
+}

@@ -177,3 +177,56 @@ var (
 	sink16  Bits
 	sinkDec Decoded
 )
+
+// edge32 mirrors edge16 for ⟨32,2⟩: zero, NaR, ±1, ±minpos, ±maxpos,
+// saturation-region neighbors and patterns that exercise long regimes.
+func edge32() []Bits {
+	c := Config32
+	edges := []Bits{0, c.NaR(), c.One(), c.Neg(c.One()), c.MinPos(), c.Neg(c.MinPos()),
+		c.MaxPos(), c.Neg(c.MaxPos())}
+	for _, p := range []Bits{0x7ffffffe, 0x7ffffff0, 0x7fff0000, 0x00000002, 0x00000003,
+		0x40000001, 0x3fffffff, 0x55555555, 0xaaaaaaaa & Bits(c.Mask())} {
+		edges = append(edges, p, c.Neg(p))
+	}
+	return edges
+}
+
+// TestFastArith32Random differentially tests the ⟨32,2⟩ fast Add/Mul paths
+// against the table-free generic reference: the full edge cross product
+// plus uniform random pairs (the exhaustive 2^64 product is infeasible).
+func TestFastArith32Random(t *testing.T) {
+	edges := edge32()
+	for _, a := range edges {
+		for _, b := range edges {
+			if got, want := Config32.Add(a, b), Config32.GenericAdd(a, b); got != want {
+				t.Fatalf("Add32(%#08x, %#08x) = %#08x, generic %#08x", a, b, got, want)
+			}
+			if got, want := Config32.Mul(a, b), Config32.GenericMul(a, b); got != want {
+				t.Fatalf("Mul32(%#08x, %#08x) = %#08x, generic %#08x", a, b, got, want)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := 2_000_000
+	if testing.Short() {
+		n = 100_000
+	}
+	for i := 0; i < n; i++ {
+		a := Bits(rng.Uint32())
+		b := Bits(rng.Uint32())
+		// Bias a fraction of pairs toward nearby magnitudes, where addition's
+		// cancellation and renormalization paths live.
+		if i%4 == 0 {
+			b = a ^ Bits(rng.Uint32()&0xffff)
+		}
+		if got, want := Config32.Add(a, b), Config32.GenericAdd(a, b); got != want {
+			t.Fatalf("Add32(%#08x, %#08x) = %#08x, generic %#08x", a, b, got, want)
+		}
+		if got, want := Config32.Mul(a, b), Config32.GenericMul(a, b); got != want {
+			t.Fatalf("Mul32(%#08x, %#08x) = %#08x, generic %#08x", a, b, got, want)
+		}
+		if got, want := Config32.Sub(a, b), Config32.GenericAdd(a, Config32.Neg(b)); got != want {
+			t.Fatalf("Sub32(%#08x, %#08x) = %#08x, generic %#08x", a, b, got, want)
+		}
+	}
+}

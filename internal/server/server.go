@@ -41,6 +41,7 @@ import (
 	"time"
 
 	positdebug "positdebug"
+	"positdebug/internal/backend"
 	"positdebug/internal/interp"
 	"positdebug/internal/obs"
 	"positdebug/internal/profile"
@@ -114,6 +115,11 @@ type Config struct {
 	// EnablePprof mounts Go's runtime profiling endpoints
 	// (net/http/pprof) under /debug/pprof/.
 	EnablePprof bool
+	// Backend selects the execution engine for every served run
+	// (default backend.Default, the tree-walking interpreter). The VM
+	// backend produces byte-identical responses at lower ns/op; flip it
+	// service-wide with pdserve -backend=vm.
+	Backend backend.Kind
 }
 
 func (c Config) withDefaults() Config {
@@ -576,6 +582,7 @@ func (s *Server) execRun(ctx context.Context, req RunRequest, fl *flight) (RunRe
 		positdebug.WithContext(ctx),
 		positdebug.WithLimits(lim),
 		positdebug.WithArgs(args...),
+		positdebug.WithBackend(s.cfg.Backend),
 	}
 	if fl.sink != nil {
 		opts = append(opts, positdebug.WithTrace(fl.sink), positdebug.WithSpans(fl.tr))

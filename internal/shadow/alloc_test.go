@@ -3,6 +3,8 @@ package shadow
 import (
 	"testing"
 
+	"positdebug/internal/backend"
+	"positdebug/internal/interp"
 	"positdebug/internal/obs"
 )
 
@@ -26,28 +28,50 @@ func main(): p32 {
 }
 `
 
-// TestWarmRuntimeAllocs pins the per-run allocation count of a warm
-// Runtime+Machine pair at zero: Reset reuses the shadow-memory trie, frame
-// pool, quire accumulators and counts map in place, the interpreter pools
-// register frames, and the load/store/binop path only touches pre-grown
-// big.Float mantissas. This is the property that lets each campaign worker
-// keep one runtime across hundreds of runs.
-func TestWarmRuntimeAllocs(t *testing.T) {
-	_, m := buildPipeline(t, allocSrc, DefaultConfig())
-	// Warm up: grow mantissas, pools and shadow pages to steady state.
+// warmAllocsPerRun measures steady-state allocations of m.Run on one
+// backend: warm up (growing mantissas, pools, shadow pages, and — on the
+// VM — compiling and caching the bytecode chunk), then count.
+func warmAllocsPerRun(t *testing.T, m *interp.Machine, k backend.Kind) float64 {
+	t.Helper()
+	m.Backend = k
 	for i := 0; i < 3; i++ {
 		if _, err := m.Run("main"); err != nil {
-			t.Fatalf("warmup run: %v", err)
+			t.Fatalf("%v warmup run: %v", k, err)
 		}
 	}
-	n := testing.AllocsPerRun(10, func() {
+	return testing.AllocsPerRun(10, func() {
 		if _, err := m.Run("main"); err != nil {
-			t.Fatalf("run: %v", err)
+			t.Fatalf("%v run: %v", k, err)
 		}
 	})
-	if n != 0 {
-		t.Errorf("warm shadow-execution run allocates %v/op, want 0", n)
+}
+
+// eachBackend runs the guard on the tree-walker and the VM. Both must hold
+// the same steady-state allocation property: the register pool, chunk
+// cache, and shadow structures all live on the shared Machine/Runtime, so
+// warm Session reuse — and even switching backends between runs — costs
+// nothing at steady state.
+func eachBackend(t *testing.T, f func(t *testing.T, k backend.Kind)) {
+	for _, k := range []backend.Kind{backend.Treewalk, backend.VM} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) { f(t, k) })
 	}
+}
+
+// TestWarmRuntimeAllocs pins the per-run allocation count of a warm
+// Runtime+Machine pair at zero on both backends: Reset reuses the
+// shadow-memory trie, frame pool, quire accumulators and counts map in
+// place, the interpreter pools register frames (one pool on the Machine,
+// shared by tree-walk and VM runs), and the load/store/binop path only
+// touches pre-grown big.Float mantissas. This is the property that lets
+// each campaign worker keep one runtime across hundreds of runs.
+func TestWarmRuntimeAllocs(t *testing.T) {
+	_, m := buildPipeline(t, allocSrc, DefaultConfig())
+	eachBackend(t, func(t *testing.T, k backend.Kind) {
+		if n := warmAllocsPerRun(t, m, k); n != 0 {
+			t.Errorf("warm %v shadow-execution run allocates %v/op, want 0", k, n)
+		}
+	})
 }
 
 // TestWarmRuntimeAllocsEventsAttached: attaching an event sink and a
@@ -55,25 +79,17 @@ func TestWarmRuntimeAllocs(t *testing.T) {
 // fires — events are only built on detection, and metric updates are
 // cached-pointer atomic adds plus one map read for the per-instruction
 // histogram. AllocsPerRun must stay at zero with tracing observability
-// enabled but quiet.
+// enabled but quiet, on both backends.
 func TestWarmRuntimeAllocsEventsAttached(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Events = obs.NewRing(64)
 	cfg.Metrics = obs.NewRegistry()
 	_, m := buildPipeline(t, allocSrc, cfg)
-	for i := 0; i < 3; i++ {
-		if _, err := m.Run("main"); err != nil {
-			t.Fatalf("warmup run: %v", err)
-		}
-	}
-	n := testing.AllocsPerRun(10, func() {
-		if _, err := m.Run("main"); err != nil {
-			t.Fatalf("run: %v", err)
+	eachBackend(t, func(t *testing.T, k backend.Kind) {
+		if n := warmAllocsPerRun(t, m, k); n != 0 {
+			t.Errorf("warm %v run with sink+metrics attached allocates %v/op, want 0", k, n)
 		}
 	})
-	if n != 0 {
-		t.Errorf("warm run with sink+metrics attached allocates %v/op, want 0", n)
-	}
 }
 
 // allocDetectSrc trips the cancellation detector every run, so each run
@@ -98,22 +114,14 @@ func TestWarmRuntimeAllocsRingSinkBounded(t *testing.T) {
 	cfg.MaxReports = 1
 	cfg.Events = ring
 	_, m := buildPipeline(t, allocDetectSrc, cfg)
-	for i := 0; i < 3; i++ {
-		if _, err := m.Run("main"); err != nil {
-			t.Fatalf("warmup run: %v", err)
+	eachBackend(t, func(t *testing.T, k backend.Kind) {
+		if n := warmAllocsPerRun(t, m, k); n > 500 {
+			t.Errorf("warm %v detecting run with ring sink allocates %v/op, want bounded (<= 500)", k, n)
 		}
-	}
-	n := testing.AllocsPerRun(10, func() {
-		if _, err := m.Run("main"); err != nil {
-			t.Fatalf("run: %v", err)
+		if ring.Len() > 8 {
+			t.Errorf("ring holds %d events, cap 8", ring.Len())
 		}
 	})
-	if n > 500 {
-		t.Errorf("warm detecting run with ring sink allocates %v/op, want bounded (<= 500)", n)
-	}
-	if ring.Len() > 8 {
-		t.Errorf("ring holds %d events, cap 8", ring.Len())
-	}
 }
 
 // TestWarmRuntimeAllocsNoTracing covers the paper's no-tracing
@@ -122,17 +130,9 @@ func TestWarmRuntimeAllocsNoTracing(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Tracing = false
 	_, m := buildPipeline(t, allocSrc, cfg)
-	for i := 0; i < 3; i++ {
-		if _, err := m.Run("main"); err != nil {
-			t.Fatalf("warmup run: %v", err)
-		}
-	}
-	n := testing.AllocsPerRun(10, func() {
-		if _, err := m.Run("main"); err != nil {
-			t.Fatalf("run: %v", err)
+	eachBackend(t, func(t *testing.T, k backend.Kind) {
+		if n := warmAllocsPerRun(t, m, k); n != 0 {
+			t.Errorf("warm %v no-tracing run allocates %v/op, want 0", k, n)
 		}
 	})
-	if n != 0 {
-		t.Errorf("warm no-tracing run allocates %v/op, want 0", n)
-	}
 }

@@ -1,0 +1,247 @@
+package shadow
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"positdebug/internal/interp"
+	"positdebug/internal/ir"
+	"positdebug/internal/posit"
+)
+
+// xorshift is a tiny deterministic PRNG so the property tests sample the
+// same patterns on every run and every platform.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// checkPval asserts every pval field against the slow derivation it
+// replaces: ToFloat64 for the conversion, valueExp for the cancellation
+// exponent, Decode(Abs) for the precision-loss geometry.
+func checkPval(t *testing.T, typ ir.Type, bits uint64) {
+	t.Helper()
+	pv := computePval(typ, bits)
+	slowF := interp.ToFloat64(typ, bits)
+	if math.Float64bits(pv.f) != math.Float64bits(slowF) {
+		t.Fatalf("%v %#x: f = %v (%#x), ToFloat64 = %v (%#x)",
+			typ, bits, pv.f, math.Float64bits(pv.f), slowF, math.Float64bits(slowF))
+	}
+	slowExp, slowZero := valueExp(typ, bits)
+	if pv.zero != slowZero {
+		t.Fatalf("%v %#x: zero = %v, valueExp zero = %v", typ, bits, pv.zero, slowZero)
+	}
+	if !slowZero && int(pv.exp) != slowExp {
+		t.Fatalf("%v %#x: exp = %d, valueExp = %d", typ, bits, pv.exp, slowExp)
+	}
+	if undef := math.IsNaN(slowF) || math.IsInf(slowF, 0); pv.undef != undef {
+		t.Fatalf("%v %#x: undef = %v, want %v", typ, bits, pv.undef, undef)
+	}
+	if typ.IsPosit() {
+		cfg := typ.PositConfig()
+		pb := posit.Bits(bits)
+		if pb != 0 && !cfg.IsNaR(pb) {
+			d := cfg.Decode(cfg.Abs(pb))
+			if int(pv.fbits) != d.FracBits || int(pv.rbits) != d.RegimeBits {
+				t.Fatalf("%v %#x: geometry (%d,%d), Decode(Abs) (%d,%d)",
+					typ, bits, pv.fbits, pv.rbits, d.FracBits, d.RegimeBits)
+			}
+			// The reconstructed decode must be the literal Decode result:
+			// FastBinP32 feeds it to AddDecoded and MulDecoded, where
+			// Frac/Scale/Neg all matter, not just the geometry fields.
+			if want := cfg.Decode(pb); pv.decoded() != want {
+				t.Fatalf("%v %#x: decoded() = %+v, want %+v", typ, bits, pv.decoded(), want)
+			}
+		}
+	}
+}
+
+// TestPvalMatchesSlowDerivations checks the single-decode view against the
+// regular detection pass's helpers: exhaustively for ⟨8,0⟩ and ⟨16,1⟩,
+// and over structured + random patterns for ⟨32,2⟩, f32, f64 and i64.
+func TestPvalMatchesSlowDerivations(t *testing.T) {
+	for b := uint64(0); b < 1<<8; b++ {
+		checkPval(t, ir.P8, b)
+	}
+	for b := uint64(0); b < 1<<16; b++ {
+		checkPval(t, ir.P16, b)
+	}
+	specials := []uint64{
+		0, 0x80000000, // zero, NaR
+		1, 0x7fffffff, // minpos, maxpos
+		0xffffffff, 0x80000001, // -minpos, -maxpos
+		0x40000000, 0xc0000000, // ±1
+		math.Float64bits(math.NaN()), math.Float64bits(math.Inf(1)),
+		math.Float64bits(math.Inf(-1)), math.Float64bits(0.1),
+		1 << 63, ^uint64(0),
+	}
+	for _, b := range specials {
+		checkPval(t, ir.P32, b&0xffffffff)
+		checkPval(t, ir.F32, b&0xffffffff)
+		checkPval(t, ir.F64, b)
+		checkPval(t, ir.I64, b)
+	}
+	rng := xorshift(0x9e3779b97f4a7c15)
+	for i := 0; i < 200000; i++ {
+		b := rng.next()
+		checkPval(t, ir.P32, b&0xffffffff)
+		checkPval(t, ir.F32, b&0xffffffff)
+		checkPval(t, ir.F64, b)
+		checkPval(t, ir.I64, b)
+	}
+}
+
+// TestFastCheckOpByteIdentical drives the same adversarial event stream —
+// random and special patterns, including NaR results from finite operands,
+// saturated results, cancellations and precision loss — through binImpl's
+// regular and fast detection passes on two runtimes, and requires
+// identical summaries (counts, error maxima, and full report lists).
+func TestFastCheckOpByteIdentical(t *testing.T) {
+	for _, typ := range []ir.Type{ir.P16, ir.P32} {
+		typ := typ
+		t.Run(typ.String(), func(t *testing.T) {
+			drive := func(fast bool) *Summary {
+				rt, _ := buildPipeline(t, rootCountSrc, DefaultConfig())
+				fn := rt.mod.FuncByName("rootcount")
+				var id int32 = -1
+				for i := int32(0); int(i) < len(rt.mod.Registry); i++ {
+					if rt.mod.Meta(i).Type != ir.Void {
+						id = i
+						break
+					}
+				}
+				if id < 0 {
+					t.Fatal("no instrumented instruction found")
+				}
+				one := uint64(typ.PositConfig().FromFloat64(1))
+				rt.Reset()
+				rt.EnterFunc(fn, []uint64{one, one, one})
+				cfg := typ.PositConfig()
+				mask := uint64(1)<<cfg.N - 1
+				special := []uint64{0, uint64(cfg.NaR()), uint64(cfg.MaxPos()),
+					uint64(cfg.MinPos()), uint64(cfg.Neg(cfg.MaxPos())), one}
+				rng := xorshift(0x2545f4914f6cdd1d)
+				for i := 0; i < 4000; i++ {
+					pick := func() uint64 {
+						v := rng.next()
+						if v%4 == 0 {
+							return special[(v>>8)%uint64(len(special))]
+						}
+						return v & mask
+					}
+					aBits, bBits := pick(), pick()
+					kind := ir.BinKind(rng.next() % 4)
+					var res posit.Bits
+					switch kind {
+					case ir.BinAdd:
+						res = cfg.Add(posit.Bits(aBits), posit.Bits(bBits))
+					case ir.BinSub:
+						res = cfg.Sub(posit.Bits(aBits), posit.Bits(bBits))
+					case ir.BinMul:
+						res = cfg.Mul(posit.Bits(aBits), posit.Bits(bBits))
+					case ir.BinDiv:
+						res = cfg.Div(posit.Bits(aBits), posit.Bits(bBits))
+					}
+					rt.binImpl(id, kind, typ, 3, 1, 2, uint64(res), aBits, bBits, fast)
+					// Occasionally chain: reuse the destination as an operand
+					// so the fast pass exercises its memoized decode.
+					if rng.next()%3 == 0 {
+						chained := cfg.Add(res, posit.Bits(aBits))
+						rt.binImpl(id, ir.BinAdd, typ, 4, 3, 1, uint64(chained), uint64(res), aBits, fast)
+					}
+				}
+				return rt.Summary()
+			}
+			slow, fastSum := drive(false), drive(true)
+			sj, err := json.Marshal(slow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fj, err := json.Marshal(fastSum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(sj) != string(fj) {
+				t.Fatalf("summaries diverged\n  slow: %s\n  fast: %s", sj, fj)
+			}
+		})
+	}
+}
+
+// TestFastBinP32MatchesConfig32 pins the fused superinstruction's program
+// arithmetic: the bits FastBinP32 returns to the VM must equal
+// Config32.Add/Sub/Mul for every operand pair, specials included. The
+// decoded-operand path (AddDecoded/MulDecoded over memoized decodes) is
+// bit-identical to the codec by construction; this test is the proof
+// obligation.
+func TestFastBinP32MatchesConfig32(t *testing.T) {
+	rt, _ := buildPipeline(t, rootCountSrc, DefaultConfig())
+	fn := rt.mod.FuncByName("rootcount")
+	var id int32 = -1
+	for i := int32(0); int(i) < len(rt.mod.Registry); i++ {
+		if rt.mod.Meta(i).Type != ir.Void {
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		t.Fatal("no instrumented instruction found")
+	}
+	cfg := posit.Config32
+	one := uint64(cfg.FromFloat64(1))
+	rt.Reset()
+	rt.EnterFunc(fn, []uint64{one, one, one})
+
+	mask := uint64(1)<<cfg.N - 1
+	special := []uint64{0, uint64(cfg.NaR()), uint64(cfg.MaxPos()),
+		uint64(cfg.MinPos()), uint64(cfg.Neg(cfg.MaxPos())),
+		uint64(cfg.Neg(cfg.MinPos())), one, uint64(cfg.Neg(cfg.One()))}
+	check := func(kind ir.BinKind, aBits, bBits uint64) {
+		t.Helper()
+		var want posit.Bits
+		switch kind {
+		case ir.BinAdd:
+			want = cfg.Add(posit.Bits(aBits), posit.Bits(bBits))
+		case ir.BinSub:
+			want = cfg.Sub(posit.Bits(aBits), posit.Bits(bBits))
+		case ir.BinMul:
+			want = cfg.Mul(posit.Bits(aBits), posit.Bits(bBits))
+		}
+		got := rt.FastBinP32(id, kind, 3, 1, 2, aBits, bBits)
+		if got != uint64(want) {
+			t.Fatalf("FastBinP32(%v, %#x, %#x) = %#x, Config32 = %#x",
+				kind, aBits, bBits, got, uint64(want))
+		}
+	}
+	kinds := []ir.BinKind{ir.BinAdd, ir.BinSub, ir.BinMul}
+	// Full special × special cross product for every kind.
+	for _, kind := range kinds {
+		for _, a := range special {
+			for _, b := range special {
+				check(kind, a, b)
+			}
+		}
+	}
+	// Random sweep, with a bias toward near-equal operands so Sub's
+	// cancellation/renormalization path is exercised.
+	rng := xorshift(0x9e3779b97f4a7c15)
+	n := 200000
+	if testing.Short() {
+		n = 20000
+	}
+	for i := 0; i < n; i++ {
+		a := rng.next() & mask
+		b := rng.next() & mask
+		if i%4 == 0 {
+			b = a ^ (rng.next() & 0xffff)
+		}
+		check(kinds[rng.next()%3], a, b)
+	}
+}

@@ -49,6 +49,12 @@ type TempMeta struct {
 	lock    *uint64
 	key     uint64
 	written bool
+
+	// pv caches the detection pass's decoded view of Prog (see fastpath.go).
+	// Validity is keyed on (pvBits, pv.typ) matching the read, so the cache
+	// is a pure memoization and never needs invalidating when Prog changes.
+	pv     pval
+	pvBits uint64
 }
 
 // ref returns a guarded reference to t.
@@ -68,6 +74,13 @@ type MemMeta struct {
 	Prog   uint64
 	epoch  uint32 // resync epoch; lags runtime.flipEpoch until refreshed
 	set    bool
+
+	// pv caches the decoded view of the stored bits (see fastpath.go).
+	// Like TempMeta's cache it is a pure memoization keyed on (pvBits,
+	// pv.typ), so generation rollover and resyncs need not clear it: a
+	// stale entry whose key still matches is still correct.
+	pv     pval
+	pvBits uint64
 }
 
 // shadowMem is the two-level trie mapping program addresses to MemMeta
@@ -93,6 +106,13 @@ type shadowMem struct {
 	pages     []*shadowPage
 	gen       uint64
 	allocated int // second-level pages touched this generation
+
+	// One-entry lookup cache: loop nests hit the same page for long runs,
+	// so the common get() is an index compare instead of a trie walk. The
+	// cached page is always one already validated for the current
+	// generation; reset() drops it.
+	lastIdx uint32
+	last    *shadowPage
 }
 
 func newShadowMem(limit uint32) *shadowMem {
@@ -107,12 +127,16 @@ func newShadowMem(limit uint32) *shadowMem {
 func (s *shadowMem) reset() {
 	s.gen++
 	s.allocated = 0
+	s.last = nil
 }
 
 // get returns the metadata cell for addr, allocating or revalidating its
 // page on demand.
 func (s *shadowMem) get(addr uint32) *MemMeta {
 	p := addr >> pageBits
+	if p == s.lastIdx && s.last != nil {
+		return &s.last.cells[addr&pageMask]
+	}
 	if int(p) >= len(s.pages) {
 		// Grow geometrically for machines with larger stacks than the
 		// initial limit: doubling keeps page-table extension amortized O(1)
@@ -142,6 +166,7 @@ func (s *shadowMem) get(addr uint32) *MemMeta {
 		pg.gen = s.gen
 		s.allocated++
 	}
+	s.lastIdx, s.last = p, pg
 	return &pg.cells[addr&pageMask]
 }
 

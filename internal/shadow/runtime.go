@@ -558,8 +558,23 @@ func (r *Runtime) Mov(id int32, typ ir.Type, dst, src int32, bits uint64) {
 // Bin performs the shadow binary operation and runs error detection
 // (§3.3 "posit binary and unary operations", §3.4).
 func (r *Runtime) Bin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64) {
+	r.binImpl(id, kind, typ, dst, a, b, dstVal, aVal, bVal, false)
+}
+
+// binImpl is Bin with the detection pass selectable: the regular decode-
+// per-check path (fast=false, the tree-walker's contract) or the
+// single-decode fast path (fast=true, reached only through FastBin). Both
+// produce byte-identical observable behavior.
+func (r *Runtime) binImpl(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64, fast bool) {
 	ta := r.ensure(a, typ, aVal)
 	tb := r.ensure(b, typ, bVal)
+	r.binCore(id, kind, typ, dst, dstVal, ta, tb, fast)
+}
+
+// binCore is binImpl past operand resolution: FastBinP32 has already
+// ensured the operand temps (it needed their decodes to compute the
+// result), so it enters here directly rather than re-running ensure.
+func (r *Runtime) binCore(id int32, kind ir.BinKind, typ ir.Type, dst int32, dstVal uint64, ta, tb *TempMeta, fast bool) {
 	d := r.temp(dst)
 
 	undef := ta.Undef || tb.Undef
@@ -589,13 +604,21 @@ func (r *Runtime) Bin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, d
 		d.Time = r.tick()
 	}
 	r.totalOps++
-	r.checkOp(id, typ, opSub(kind), d, ta, tb)
+	if fast {
+		r.fastCheckOp(id, typ, opSub(kind), d, ta, tb)
+	} else {
+		r.checkOp(id, typ, opSub(kind), d, ta, tb)
+	}
 }
 
 func opSub(kind ir.BinKind) bool { return kind == ir.BinSub || kind == ir.BinAdd }
 
 // Un performs the shadow unary operation.
 func (r *Runtime) Un(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64) {
+	r.unImpl(id, kind, typ, dst, a, dstVal, aVal, false)
+}
+
+func (r *Runtime) unImpl(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64, fast bool) {
 	ta := r.ensure(a, typ, aVal)
 	d := r.temp(dst)
 	undef := ta.Undef
@@ -625,7 +648,11 @@ func (r *Runtime) Un(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal
 		d.Time = r.tick()
 	}
 	r.totalOps++
-	r.checkOp(id, typ, false, d, ta, nil)
+	if fast {
+		r.fastCheckOp(id, typ, false, d, ta, nil)
+	} else {
+		r.checkOp(id, typ, false, d, ta, nil)
+	}
 }
 
 // Cmp compares in the shadow execution and reports branch flips; after a
@@ -705,6 +732,10 @@ func (r *Runtime) typeOfInst(id int32) ir.Type {
 // Cast propagates metadata through conversions and checks numeric→integer
 // casts against the shadow execution (§3.4 "casts to integers").
 func (r *Runtime) Cast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64) {
+	r.castImpl(id, from, to, dst, src, dstVal, srcVal, false)
+}
+
+func (r *Runtime) castImpl(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64, fast bool) {
 	switch {
 	case from.IsNumeric() && to.IsNumeric():
 		s := r.ensure(src, from, srcVal)
@@ -713,7 +744,11 @@ func (r *Runtime) Cast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVa
 		d.Prog = dstVal
 		d.Inst = id
 		r.totalOps++
-		r.checkOp(id, to, false, d, s, nil)
+		if fast {
+			r.fastCheckOp(id, to, false, d, s, nil)
+		} else {
+			r.checkOp(id, to, false, d, s, nil)
+		}
 	case from.IsNumeric() && to == ir.I64:
 		s := r.ensure(src, from, srcVal)
 		if s.Undef {
@@ -743,7 +778,11 @@ func (r *Runtime) Cast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVa
 		}
 		d.written = true
 		r.totalOps++
-		r.checkOp(id, to, false, d, nil, nil)
+		if fast {
+			r.fastCheckOp(id, to, false, d, nil, nil)
+		} else {
+			r.checkOp(id, to, false, d, nil, nil)
+		}
 	}
 }
 
@@ -756,6 +795,12 @@ func truncBigToInt(x *big.Float) int64 {
 // "memory loads"), detecting uninstrumented writes (§4.1) and applying
 // lazy post-flip resynchronization.
 func (r *Runtime) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) {
+	r.loadImpl(id, typ, dst, addr, bits)
+}
+
+// loadImpl is Load's body; it returns the touched cells so the fast path
+// (fastpath.go) can move the memoized decode between them.
+func (r *Runtime) loadImpl(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) (*MemMeta, *TempMeta) {
 	// An injected fault corrupts the loaded register, not memory: match the
 	// memory metadata against the clean pre-corruption bits so the fault is
 	// flagged below instead of resynced away as an uninstrumented write.
@@ -805,6 +850,7 @@ func (r *Runtime) Load(id int32, typ ir.Type, dst int32, addr uint32, bits uint6
 		d.Prog = bits
 		r.checkOp(id, typ, false, d, nil, nil)
 	}
+	return mm, d
 }
 
 func (r *Runtime) seedMemFromProgram(mm *MemMeta, typ ir.Type, bits uint64) {
@@ -827,6 +873,12 @@ func (r *Runtime) seedMemFromProgram(mm *MemMeta, typ ir.Type, bits uint64) {
 // Store propagates metadata from a temporary to shadow memory (§3.3
 // "memory stores").
 func (r *Runtime) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint64) {
+	r.storeImpl(id, typ, addr, src, bits)
+}
+
+// storeImpl is Store's body; it returns the touched cells so the fast path
+// can move the memoized decode between them.
+func (r *Runtime) storeImpl(id int32, typ ir.Type, addr uint32, src int32, bits uint64) (*MemMeta, *TempMeta) {
 	// An injected fault corrupts the stored memory cell, not the source
 	// register: bind the register metadata by its clean value, then record
 	// the corrupted bits as the cell's program value so every later load
@@ -853,6 +905,7 @@ func (r *Runtime) Store(id int32, typ ir.Type, addr uint32, src int32, bits uint
 		r.checkOp(id, typ, false, &tmp, nil, nil)
 		mm.Err = tmp.Err
 	}
+	return mm, s
 }
 
 // PreCall pushes argument metadata onto the shadow argument stack (§3.2
