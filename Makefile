@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-frontend fuzz-bytecode campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke vm-smoke
+.PHONY: all build vet test race fuzz fuzz-frontend fuzz-bytecode campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke vm-smoke oracle-smoke
 
 all: build vet test
 
@@ -17,10 +17,25 @@ race:
 	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/interp/ ./internal/parallel/ ./internal/server/
 	$(GO) test -race -count=1 -cpu=1,4 -run ParallelDeterminism ./internal/faultinject/ ./internal/harness/
 
-# Regenerate the checked-in benchmark report (BENCH_shadow.json). CI runs
-# the same tool with -short as a smoke check and uploads the artifact.
+# Regenerate the checked-in benchmark report (BENCH_shadow.json),
+# including the per-oracle speed/precision frontier rows (@dd/@residue).
+# CI runs the same tool with -short as a smoke check and uploads the
+# artifact.
 bench-json: build
-	$(GO) run ./cmd/pdbench -out BENCH_shadow.json
+	$(GO) run ./cmd/pdbench -oracle bigfp,dd,residue -out BENCH_shadow.json
+
+# Cross-oracle differential suite under the race detector at -cpu=1,4:
+# the dd oracle must agree with bigfp-256 on every exhaustive ⟨8,0⟩ op
+# pair and on the full §5.1 detection suite's verdicts (both backends),
+# the cheap oracles must run allocation-free warm, and the server's
+# watchdog must walk the bigfp → dd → dd-sampled ladder under memory
+# pressure. CI runs this as the oracle-smoke job.
+oracle-smoke: build
+	$(GO) test -race -count=1 -cpu=1,4 -run 'TestOracleDiff' .
+	$(GO) test -race -count=1 -cpu=1,4 ./internal/shadow/oracle/
+	$(GO) test -race -count=1 -cpu=1,4 -run 'TestWarmRuntimeAllocsOracles' ./internal/shadow/
+	$(GO) test -race -count=1 -cpu=1,4 -run 'TestDegradation' ./internal/server/
+	@echo "oracle-smoke: dd/residue agree with bigfp within contract ✓"
 
 # Regenerate the checked-in serve-path report (BENCH_serve.json):
 # requests/sec and p50/p99 latency through the full HTTP service.

@@ -293,6 +293,44 @@ func TestBackendDiffSampledInjection(t *testing.T) {
 	}
 }
 
+// TestBackendDiffSampledSuite runs every detection-suite program sampled at
+// several strides on both backends. Since Sampling implements FastShadow,
+// the VM delivers sampled compute events through the fused
+// superinstruction path; this test pins that the sampler's take() decisions
+// and skip semantics (stale metadata, program result still computed) are
+// byte-identical to the tree-walker's, detection verdicts included.
+func TestBackendDiffSampledSuite(t *testing.T) {
+	for _, p := range workloads.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			src := p.Source
+			if p.FromFP {
+				var err error
+				src, err = positdebug.RefactorToPosit(src)
+				if err != nil {
+					t.Fatalf("refactor: %v", err)
+				}
+			}
+			prog, err := positdebug.Compile(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			cfg := shadow.DefaultConfig()
+			cfg.ErrBitsThreshold = 35
+			cfg.OutputThreshold = 35
+			cfg.PrecisionLossThreshold = 8
+			for _, stride := range []int{2, 5} {
+				tw := runOnBackend(t, prog, backend.Treewalk,
+					positdebug.WithShadow(cfg), positdebug.WithSampling(stride))
+				vm := runOnBackend(t, prog, backend.VM,
+					positdebug.WithShadow(cfg), positdebug.WithSampling(stride))
+				diffOutcomes(t, p.Name, tw, vm)
+			}
+		})
+	}
+}
+
 // TestBackendDiffWarmSession runs the same program repeatedly on one warm
 // Session per backend, interleaving entry functions, to check that the
 // VM's dirty-region memory reset reproduces the tree-walker's full

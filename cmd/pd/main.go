@@ -32,10 +32,12 @@ import (
 	"positdebug/internal/backend"
 	"positdebug/internal/obs"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 )
 
 func main() {
-	prec := flag.Uint("prec", 256, "shadow precision in bits (128/256/512)")
+	prec := flag.Uint("prec", 256, "bigfp shadow precision in bits (128/256/512)")
+	oracleFlag := flag.String("oracle", "bigfp", "shadow oracle: bigfp|dd|residue")
 	noTracing := flag.Bool("no-tracing", false, "disable DAG metadata (detection only)")
 	entry := flag.String("entry", "main", "entry function")
 	baseline := flag.Bool("baseline", false, "run uninstrumented (no shadow execution)")
@@ -63,6 +65,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	orc, err := oracle.Parse(*oracleFlag)
+	if err != nil {
+		fail(err)
+	}
 
 	opts := []positdebug.Option{positdebug.WithBackend(bk)}
 	var sink *obs.JSONLines
@@ -84,8 +90,7 @@ func main() {
 	if *baseline {
 		opts = append(opts, positdebug.WithBaseline())
 	} else {
-		cfg := shadow.DefaultConfig()
-		cfg.Precision = *prec
+		cfg := shadow.ConfigFor(orc, *prec)
 		cfg.Tracing = !*noTracing
 		cfg.OutputThreshold = *outThreshold
 		if v := os.Getenv("PD_ERROR_THRESHOLD"); v != "" {

@@ -9,6 +9,7 @@
 //	pdbench -out BENCH.json      # write the report to a file
 //	pdbench -short               # codec + warm-runtime benches only
 //	pdbench -strict              # exit nonzero on a >10% ns/op regression
+//	pdbench -oracle bigfp,dd,residue       # per-oracle speed/precision frontier rows
 //	pdbench -serve -out BENCH_serve.json   # HTTP serve-path throughput/latency
 //
 // Unless -baseline "" disables it, the run is compared against the
@@ -21,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/big"
 	"os"
 	"runtime"
 	"strings"
@@ -32,6 +34,7 @@ import (
 	"positdebug/internal/harness"
 	"positdebug/internal/posit"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 	"positdebug/internal/workloads"
 )
 
@@ -68,6 +71,7 @@ func main() {
 	fabricRuns := flag.Int("fabric-runs", 48, "campaign runs for -fabric")
 	fabricShard := flag.Int("fabric-shard-size", 8, "shard size for -fabric")
 	backendsFlag := flag.String("backend", "treewalk,vm", "comma-separated execution backends for the shadow and sweep benches; the first keeps the canonical bench name, the rest get an @backend suffix")
+	oraclesFlag := flag.String("oracle", "bigfp", "comma-separated shadow oracles (bigfp|dd|residue) for the shadow benches; the first keeps the canonical bench name, the rest get an @oracle suffix")
 	flag.Parse()
 
 	if *serve {
@@ -90,6 +94,10 @@ func main() {
 	}
 
 	kinds, err := parseBackends(*backendsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	orcs, err := parseOracles(*oraclesFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -117,10 +125,20 @@ func main() {
 		if i > 0 {
 			suffix = "@" + k.String()
 		}
-		shadowBenches(add, k, suffix)
+		shadowBenches(add, k, benchShadowConfig(orcs[0]), suffix)
 		if !*short {
 			sweepBenches(add, k, suffix)
 		}
+	}
+	// Non-canonical oracles get their own shadow rows on the canonical
+	// backend — the per-oracle speed/precision frontier recorded in
+	// BENCH_shadow.json (shadow/gemm8-warm-run@dd and friends).
+	if len(orcs) > 1 {
+		oracleArithBenches(add, orcs[0], "")
+	}
+	for _, orc := range orcs[1:] {
+		oracleArithBenches(add, orc, "@"+string(orc))
+		shadowBenches(add, kinds[0], benchShadowConfig(orc), "@"+string(orc))
 	}
 
 	j, err := json.MarshalIndent(rep, "", "  ")
@@ -139,6 +157,9 @@ func main() {
 		regressed = compareBaseline(*baseline, rep)
 	}
 	if compareBackends(rep) {
+		regressed = true
+	}
+	if compareOracles(rep, orcs[0]) {
 		regressed = true
 	}
 	if regressed && *strict {
@@ -172,6 +193,68 @@ func parseBackends(list string) ([]backend.Kind, error) {
 	return kinds, nil
 }
 
+// parseOracles maps the -oracle flag ("bigfp,dd,residue") to oracle kinds,
+// rejecting duplicates so each bench name stays unique in the report.
+func parseOracles(list string) ([]oracle.Kind, error) {
+	var kinds []oracle.Kind
+	seen := map[oracle.Kind]bool{}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := oracle.Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("oracle %s listed twice", k)
+		}
+		seen[k] = true
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-oracle lists no oracles")
+	}
+	return kinds, nil
+}
+
+// benchShadowConfig is the shadow configuration the shadow benches run
+// under: the given oracle at its default precision (256 bits for bigfp),
+// tracing off and reporting capped, so the rows measure shadow arithmetic
+// rather than report construction.
+func benchShadowConfig(orc oracle.Kind) shadow.Config {
+	cfg := shadow.ConfigFor(orc, 0)
+	cfg.Tracing = false
+	cfg.MaxReports = 1
+	return cfg
+}
+
+// oracleArithBenches isolates the cost the oracle choice actually
+// controls: one shadowed multiply-accumulate (the gemm inner-loop op) plus
+// the ULP error check, with every interpreter and metadata cost stripped
+// away. These are the speed axis of the speed/precision frontier; the
+// dd-vs-bigfp 2x gate in compareOracles reads them.
+func oracleArithBenches(add func(string, func(b *testing.B)), orc oracle.Kind, suffix string) {
+	o, err := oracle.New(orc, 0)
+	if err != nil {
+		fatal(err)
+	}
+	add("oracle/muladd-ulps"+suffix, func(b *testing.B) {
+		var acc, x, y, prod oracle.Value
+		var scratch big.Float
+		o.SetFloat64(&acc, 0)
+		o.SetFloat64(&x, 1.375)
+		o.SetFloat64(&y, 0.8125)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Mul(&prod, &x, &y)
+			o.Add(&acc, &acc, &prod)
+			_ = o.Ulps(1.1171875, &prod, &scratch)
+		}
+	})
+}
+
 // compareBackends diffs each benchmark recorded under a non-canonical
 // backend (name@vm) against its canonical twin from the same report and
 // flags the pair when the alternate backend is slower beyond regressPct —
@@ -189,6 +272,9 @@ func compareBackends(rep *Report) bool {
 		if at < 0 {
 			continue
 		}
+		if _, err := oracle.Parse(b.Name[at+1:]); err == nil {
+			continue // oracle rows are diffed by compareOracles
+		}
 		base, ok := byName[b.Name[:at]]
 		if !ok || base.NsPerOp == 0 {
 			continue
@@ -205,6 +291,62 @@ func compareBackends(rep *Report) bool {
 		}
 		fmt.Fprintf(os.Stderr, "  %-28s %14.2f ns/op  %+7.1f%% vs %s%s\n",
 			b.Name, b.NsPerOp, delta, b.Name[:at], mark)
+	}
+	return regressed
+}
+
+// compareOracles diffs each benchmark recorded under a non-canonical
+// shadow oracle (name@dd, name@residue) against its canonical twin — the
+// speed/precision frontier. When the canonical oracle is bigfp the
+// comparison is also a gate: the double-double oracle exists to be cheap,
+// so the warm-run row must stay at least 2x faster than bigfp-256, and any
+// oracle row slower than bigfp beyond regressPct counts as a regression.
+func compareOracles(rep *Report, canonical oracle.Kind) bool {
+	byName := make(map[string]Bench, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	regressed := false
+	header := false
+	for _, b := range rep.Benchmarks {
+		at := strings.LastIndex(b.Name, "@")
+		if at < 0 {
+			continue
+		}
+		kind, err := oracle.Parse(b.Name[at+1:])
+		if err != nil {
+			continue // backend rows belong to compareBackends
+		}
+		base, ok := byName[b.Name[:at]]
+		if !ok || base.NsPerOp == 0 || b.NsPerOp == 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(os.Stderr, "\noracle comparison (canonical = %s):\n", canonical)
+			header = true
+		}
+		speedup := base.NsPerOp / b.NsPerOp
+		mark := ""
+		switch {
+		case canonical != oracle.BigFP:
+			// Non-bigfp canonical rows have no speed contract to enforce.
+		case kind == oracle.DD && strings.HasPrefix(b.Name, "oracle/") && speedup < 2:
+			// The oracle choice controls the per-op shadow arithmetic, so
+			// that is where dd's 2x-over-bigfp-256 contract is enforced; the
+			// end-to-end gemm rows (interpreter dispatch + metadata
+			// bookkeeping shared by every oracle) are gated below at
+			// "not slower" like any other warm row.
+			mark = "  ** dd arithmetic lost its 2x advantage over bigfp-256 **"
+			regressed = true
+		case strings.Contains(b.Name, "cold"):
+			// Cold runs are dominated by identical-across-oracles allocation
+			// work and too noisy to gate; the row is informational.
+		case b.NsPerOp > base.NsPerOp*(1+regressPct/100.0):
+			mark = fmt.Sprintf("  ** %s slower than bigfp by > %d%% **", kind, regressPct)
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "  %-32s %14.2f ns/op  %6.2fx vs %s%s\n",
+			b.Name, b.NsPerOp, speedup, b.Name[:at], mark)
 	}
 	return regressed
 }
@@ -302,8 +444,9 @@ func codecBenches(add func(string, func(b *testing.B))) {
 
 // shadowBenches: shadow execution of a small posit kernel, cold (fresh
 // runtime + machine per run, the pre-PR shape) vs warm (one reusable
-// Debugger, the campaign-worker shape).
-func shadowBenches(add func(string, func(b *testing.B)), bk backend.Kind, suffix string) {
+// Debugger, the campaign-worker shape). cfg picks the shadow oracle the
+// rows are measured under (see benchShadowConfig).
+func shadowBenches(add func(string, func(b *testing.B)), bk backend.Kind, cfg shadow.Config, suffix string) {
 	k, ok := workloads.KernelByName("gemm")
 	if !ok {
 		fatal(fmt.Errorf("no gemm kernel"))
@@ -316,9 +459,6 @@ func shadowBenches(add func(string, func(b *testing.B)), bk backend.Kind, suffix
 	if err != nil {
 		fatal(err)
 	}
-	cfg := shadow.DefaultConfig()
-	cfg.Tracing = false
-	cfg.MaxReports = 1
 	add("shadow/gemm8-cold-run"+suffix, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := prog.Exec("main", positdebug.WithShadow(cfg), positdebug.WithBackend(bk)); err != nil {

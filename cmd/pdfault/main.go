@@ -37,6 +37,7 @@ import (
 	"positdebug/internal/faultinject"
 	"positdebug/internal/interp"
 	"positdebug/internal/obs"
+	"positdebug/internal/shadow/oracle"
 	"positdebug/internal/workloads"
 )
 
@@ -57,7 +58,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "whole-campaign deadline (0 = none); an expired deadline cancels the sweep cooperatively")
 	journalPath := flag.String("journal", "", "crash-safe JSONL write-ahead journal: completed runs are fsync'd here and resumed on rerun")
 	maxSteps := flag.Int64("max-steps", 200_000_000, "step budget per run")
-	prec := flag.Uint("prec", 256, "shadow precision in bits")
+	prec := flag.Uint("prec", 256, "bigfp shadow precision in bits")
+	oracleFlag := flag.String("oracle", "bigfp", "shadow oracle: bigfp|dd|residue")
 	budget := flag.Int64("budget", 0, "shadow-memory budget in bytes (0 = unlimited; over-budget runs degrade)")
 	threshold := flag.Int("threshold", 10, "masked threshold in output error bits (0 = default 10, -1 = exact match)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
@@ -86,6 +88,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	orc, err := oracle.Parse(*oracleFlag)
+	if err != nil {
+		fail(err)
+	}
 
 	cfg := faultinject.CampaignConfig{
 		Workload: *workload,
@@ -105,6 +111,7 @@ func main() {
 		Timeout:        *runTimeout,
 		MaxSteps:       *maxSteps,
 		Precision:      *prec,
+		Oracle:         orc,
 		MaxShadowBytes: *budget,
 		MaskedBits:     *threshold,
 		KeepSchedules:  *schedules,

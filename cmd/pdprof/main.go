@@ -27,6 +27,7 @@ import (
 	"positdebug/internal/harness"
 	"positdebug/internal/obs"
 	"positdebug/internal/profile"
+	"positdebug/internal/shadow/oracle"
 )
 
 func main() {
@@ -61,7 +62,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pdprof record -kernel <name> [-n N] [-fp] [-runs R] [-workers W]
-                [-sample S] [-timing] [-prec P] [-trace file] [-o file]
+                [-sample S] [-timing] [-prec P] [-oracle bigfp|dd|residue] [-trace file] [-o file]
   pdprof merge  -o <file> <profile.json>...
   pdprof top    [-n N] <profile.json>
   pdprof diff   <a.json> <b.json>`)
@@ -113,10 +114,16 @@ func cmdRecord(args []string) error {
 	workers := fs.Int("workers", 0, "worker count (0 = GOMAXPROCS); the merged profile is identical either way")
 	sample := fs.Int("sample", 1, "shadow every Sth dynamic instance per static instruction (1 = full shadow)")
 	timing := fs.Bool("timing", false, "record shadow-op latency (makes the profile nondeterministic)")
-	prec := fs.Uint("prec", 0, "shadow precision in bits (0 = default)")
+	prec := fs.Uint("prec", 0, "bigfp shadow precision in bits (0 = default)")
+	oracleFlag := fs.String("oracle", "bigfp", "shadow oracle: bigfp|dd|residue")
 	tracePath := fs.String("trace", "", "also write a Chrome trace-event JSON of the sweep (Perfetto-loadable)")
 	out := fs.String("o", "", "profile output file (default stdout)")
 	fs.Parse(args)
+
+	orc, err := oracle.Parse(*oracleFlag)
+	if err != nil {
+		return err
+	}
 
 	var buf *obs.SeqBuffer
 	var sink obs.Sink
@@ -133,6 +140,7 @@ func cmdRecord(args []string) error {
 		Sample:    *sample,
 		Timing:    *timing,
 		Precision: *prec,
+		Oracle:    orc,
 		Trace:     sink,
 	})
 	if err != nil {

@@ -40,6 +40,7 @@ import (
 
 	"positdebug/internal/backend"
 	"positdebug/internal/server"
+	"positdebug/internal/shadow/oracle"
 )
 
 func main() {
@@ -49,9 +50,10 @@ func main() {
 	timeout := flag.Duration("run-timeout", 2*time.Second, "default per-run wall-clock budget")
 	maxTimeout := flag.Duration("max-run-timeout", 30*time.Second, "cap on the per-request timeout_ms field")
 	maxSteps := flag.Int64("max-steps", 50_000_000, "per-run instruction budget")
-	prec := flag.Uint("prec", 256, "shadow precision in bits at zero memory pressure")
+	prec := flag.Uint("prec", 256, "bigfp shadow precision in bits at zero memory pressure")
+	oracleFlag := flag.String("oracle", "bigfp", "shadow oracle at zero memory pressure: bigfp|dd|residue")
 	shadowBudget := flag.Int64("shadow-budget", 0, "per-run shadow-memory budget in bytes (0 = unlimited)")
-	softMem := flag.Uint64("soft-mem-limit", 0, "heap bytes at which the watchdog degrades shadow precision (0 = off)")
+	softMem := flag.Uint64("soft-mem-limit", 0, "heap bytes at which the watchdog degrades the shadow-oracle tier (0 = off)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	flight := flag.Int("flight", 256, "per-request flight-recorder capacity in events (0 = off)")
 	flightLog := flag.String("flight-log", "", "file receiving flight-recorder JSONL dumps (default stderr)")
@@ -77,6 +79,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdserve:", err)
 		os.Exit(2)
 	}
+	orc, err := oracle.Parse(*oracleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdserve:", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		MaxConcurrent:   *concurrency,
@@ -85,6 +92,7 @@ func main() {
 		MaxTimeout:      *maxTimeout,
 		MaxSteps:        *maxSteps,
 		Precision:       *prec,
+		Oracle:          orc,
 		MaxShadowBytes:  *shadowBudget,
 		SoftMemLimit:    *softMem,
 		DrainTimeout:    *drain,

@@ -15,6 +15,7 @@ import (
 	"positdebug/internal/obs"
 	"positdebug/internal/profile"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 )
 
 // Option configures one execution (Program.Exec, Debugger.Exec) or one warm
@@ -46,6 +47,8 @@ type execConfig struct {
 	spans      *obs.Tracer
 	backend    backend.Kind
 	backendSet bool
+	oracleKind oracle.Kind
+	oracleSet  bool
 }
 
 // WithContext governs the run with a context: cancelling it stops the
@@ -153,6 +156,19 @@ func WithSampling(n int) Option {
 	return func(ec *execConfig) { ec.sample = int64(n); ec.sampleSet = true }
 }
 
+// WithShadowOracle selects the shadow-arithmetic backend for the run or
+// session: oracle.BigFP (arbitrary precision, the default; governed by
+// shadow.Config.Precision), oracle.DD (allocation-free double-double,
+// ~106 bits) or oracle.Residue (float64 estimate with per-op rounding
+// residues, 53 bits). It composes with WithShadow — the oracle choice
+// overrides the config's Oracle field — and requires shadow execution.
+// Fixed-precision oracles do not take part in shadow-memory precision
+// degradation: if a dd/residue run trips the budget, the structured
+// *interp.ResourceExhausted is returned as-is.
+func WithShadowOracle(kind oracle.Kind) Option {
+	return func(ec *execConfig) { ec.oracleKind = kind; ec.oracleSet = true }
+}
+
 // WithBackend selects the execution engine for the run or session: the
 // tree-walking reference interpreter (backend.Treewalk, the default) or the
 // fused-bytecode VM (backend.VM). The two produce byte-identical detection
@@ -192,11 +208,16 @@ func buildExecConfig(opts []Option) (*execConfig, error) {
 		return nil, fmt.Errorf("positdebug: WithHooksWrapper requires shadow execution")
 	case (ec.baseline || ec.herb) && (ec.profSet || ec.sampleSet):
 		return nil, fmt.Errorf("positdebug: WithProfile/WithSampling require shadow execution")
+	case (ec.baseline || ec.herb) && ec.oracleSet:
+		return nil, fmt.Errorf("positdebug: WithShadowOracle requires shadow execution")
 	case ec.sampleSet && ec.sample < 0:
 		return nil, fmt.Errorf("positdebug: negative sampling stride %d", ec.sample)
 	}
 	if !ec.shadowSet && !ec.baseline && !ec.herb {
 		ec.shadowCfg = shadow.DefaultConfig()
+	}
+	if ec.oracleSet {
+		ec.shadowCfg.Oracle = ec.oracleKind
 	}
 	if ec.herb && ec.herbPrec == 0 {
 		ec.herbPrec = 256
@@ -401,7 +422,12 @@ func execShadowLoop(mod *ir.Module, cfg shadow.Config, ec *execConfig, fn string
 		flushRunMetrics(cfg.Metrics, m.Steps(), m.Prof)
 		if err != nil {
 			var re *interp.ResourceExhausted
-			if errors.As(err, &re) && re.Resource == interp.ResShadowMemory && cfg.Precision > shadow.MinPrecision {
+			// Only the bigfp oracle has a precision knob to degrade; a
+			// fixed-precision oracle tripping the budget surfaces the
+			// structured error (the server-side watchdog degrades across
+			// oracles instead).
+			if errors.As(err, &re) && re.Resource == interp.ResShadowMemory &&
+				cfg.OracleKind() == oracle.BigFP && cfg.Precision > shadow.MinPrecision {
 				cfg.Precision /= 2
 				if cfg.Precision < shadow.MinPrecision {
 					cfg.Precision = shadow.MinPrecision
@@ -420,7 +446,8 @@ func execShadowLoop(mod *ir.Module, cfg shadow.Config, ec *execConfig, fn string
 		summary := rt.Summary()
 		rp.End()
 		res := &Result{Value: v, Output: out.String(), Steps: m.Steps(), Summary: summary}
-		res.ShadowPrecision = cfg.Precision
+		res.ShadowOracle = cfg.OracleKind()
+		res.ShadowPrecision = oracle.NominalPrecision(res.ShadowOracle, cfg.Precision)
 		res.Degraded = cfg.Precision != requested
 		outcome := "ok"
 		if res.Degraded {
@@ -499,8 +526,8 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 	for _, o := range opts {
 		o(ec)
 	}
-	if ec.shadowSet || len(ec.skip) > 0 || ec.baseline || ec.herb {
-		return nil, fmt.Errorf("positdebug: WithShadow/WithSkip/WithBaseline/WithHerbgrind configure a session; build a new Session instead")
+	if ec.shadowSet || ec.oracleSet || len(ec.skip) > 0 || ec.baseline || ec.herb {
+		return nil, fmt.Errorf("positdebug: WithShadow/WithShadowOracle/WithSkip/WithBaseline/WithHerbgrind configure a session; build a new Session instead")
 	}
 	if ec.sampleSet && ec.sample < 0 {
 		return nil, fmt.Errorf("positdebug: negative sampling stride %d", ec.sample)
@@ -557,7 +584,8 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 	flushRunMetrics(d.cfg.Metrics, d.m.Steps(), d.m.Prof)
 	if err != nil {
 		var re *interp.ResourceExhausted
-		if errors.As(err, &re) && re.Resource == interp.ResShadowMemory && d.cfg.Precision > shadow.MinPrecision {
+		if errors.As(err, &re) && re.Resource == interp.ResShadowMemory &&
+			d.cfg.OracleKind() == oracle.BigFP && d.cfg.Precision > shadow.MinPrecision {
 			cfg := d.cfg
 			cfg.Precision /= 2
 			if cfg.Precision < shadow.MinPrecision {
@@ -587,7 +615,8 @@ func (d *Debugger) Exec(fn string, opts ...Option) (*Result, error) {
 	summary := d.rt.Summary()
 	rp.End()
 	res := &Result{Value: v, Output: d.out.String(), Steps: d.m.Steps(), Summary: summary}
-	res.ShadowPrecision = d.cfg.Precision
+	res.ShadowOracle = d.cfg.OracleKind()
+	res.ShadowPrecision = oracle.NominalPrecision(res.ShadowOracle, d.cfg.Precision)
 	emitRunEnd(d.cfg.Events, "ok", d.m.Steps(), d.cfg.Precision)
 	return res, nil
 }

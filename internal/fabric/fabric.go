@@ -311,6 +311,9 @@ type ProfileSweep struct {
 	Runs      int
 	Sample    int
 	Precision uint
+	// Oracle names the shadow-arithmetic backend ("" = bigfp); it rides
+	// the shard wire so every worker profiles under the same oracle.
+	Oracle string
 }
 
 // RunProfile executes the sweep across the worker fleet and returns a
@@ -334,6 +337,7 @@ func (c *Coordinator) RunProfile(ctx context.Context, sweep ProfileSweep) (*prof
 			Version: harness.ProfileShardVersion,
 			Kernel:  sweep.Kernel, N: sweep.N, Posit: sweep.Posit,
 			Runs: size, Sample: sweep.Sample, Precision: sweep.Precision,
+			Oracle: sweep.Oracle,
 		}
 		label := fmt.Sprintf("profile %s[%d,%d)", sweep.Kernel, lo, lo+size)
 		tasks = append(tasks, &task{

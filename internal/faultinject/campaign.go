@@ -17,6 +17,7 @@ import (
 	"positdebug/internal/obs"
 	"positdebug/internal/parallel"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 	"positdebug/internal/ulp"
 	"positdebug/internal/workloads"
 )
@@ -67,10 +68,16 @@ type CampaignConfig struct {
 	Timeout time.Duration
 	// MaxSteps bounds each run's instruction count (default 200M).
 	MaxSteps int64
-	// Precision is the shadow precision (default 256).
+	// Precision is the bigfp shadow precision (default 256).
 	Precision uint
+	// Oracle selects the shadow-arithmetic backend (empty = bigfp, the
+	// historical behavior; see internal/shadow/oracle). Campaigns run on a
+	// cheap oracle classify against the same detection machinery at lower
+	// shadow cost.
+	Oracle oracle.Kind
 	// MaxShadowBytes is the shadow-memory budget per run (0 = unlimited);
-	// over-budget runs degrade 256→128→64 and are flagged degraded.
+	// over-budget bigfp runs degrade 256→128→64 and are flagged degraded
+	// (fixed-precision oracles surface the budget error instead).
 	MaxShadowBytes int64
 	// MaskedBits is the output-deviation threshold (in double-ULP error
 	// bits vs the golden value) below which a run counts as masked.
@@ -107,6 +114,17 @@ type CampaignConfig struct {
 	// and the fabric wire format: a journal or shard computed under one
 	// backend composes cleanly with runs from the other.
 	Backend backend.Kind `json:"-"`
+}
+
+// oracleLabel renders a non-default oracle kind for reports and journal
+// records; bigfp (including the empty zero value) renders as "" so every
+// pre-oracle artifact — JSON reports, journals, shard payloads — stays
+// byte-identical.
+func oracleLabel(k oracle.Kind) string {
+	if k == "" || k == oracle.BigFP {
+		return ""
+	}
+	return string(k)
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -147,6 +165,7 @@ type RunResult struct {
 	Detected  []string `json:"detected,omitempty"` // new detection kinds vs golden
 	Degraded  bool     `json:"degraded"`
 	Precision uint     `json:"precision"`
+	Oracle    string   `json:"oracle,omitempty"` // non-bigfp shadow backend, if any
 	Injected  int      `json:"injected"` // faults actually injected
 	Schedule  []Record `json:"schedule,omitempty"`
 	Error     string   `json:"error,omitempty"`
@@ -188,6 +207,7 @@ type Report struct {
 	Seed      int64        `json:"seed"`
 	Model     string       `json:"model"`
 	Precision uint         `json:"precision"`
+	Oracle    string       `json:"oracle,omitempty"` // non-bigfp shadow backend, if any
 	Arches    []ArchReport `json:"arches"`
 }
 
@@ -257,6 +277,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*Report, error
 	rep := &Report{
 		Workload: cfg.Workload, N: n, Runs: cfg.Runs, Seed: cfg.Seed,
 		Model: cfg.Model.Kind.String(), Precision: cfg.Precision,
+		Oracle: oracleLabel(cfg.Oracle),
 	}
 
 	var arches []string
@@ -341,6 +362,7 @@ func prepArch(ctx context.Context, cfg CampaignConfig, arch, fpSrc string) (*arc
 	}
 
 	scfg := shadow.DefaultConfig()
+	scfg.Oracle = cfg.Oracle
 	scfg.Precision = cfg.Precision
 	scfg.MaxShadowBytes = cfg.MaxShadowBytes
 	// Classification only reads Summary.Counts; keep a single report per
@@ -506,7 +528,7 @@ func oneRun(ctx context.Context, cfg CampaignConfig, dbg *positdebug.Debugger, s
 	retType ir.Type, goldenF float64, goldenCounts map[shadow.Kind]int, candidates int64, run int) (rr RunResult, abort error) {
 
 	runSeed := Mix(cfg.Seed, run)
-	rr = RunResult{Run: run, Seed: runSeed, Precision: scfg.Precision}
+	rr = RunResult{Run: run, Seed: runSeed, Precision: scfg.Precision, Oracle: oracleLabel(scfg.OracleKind())}
 	defer func() {
 		if r := recover(); r != nil {
 			rr.Outcome = OutcomeCrashed
@@ -562,6 +584,7 @@ func oneRun(ctx context.Context, cfg CampaignConfig, dbg *positdebug.Debugger, s
 
 	rr.Degraded = res.Degraded
 	rr.Precision = res.ShadowPrecision
+	rr.Oracle = oracleLabel(res.ShadowOracle)
 	rr.Detected = kindNamesOf(res.Summary.Counts, goldenCounts)
 	rr.ErrBits = deviationBits(retType, goldenF, decode(retType, res.Value))
 
@@ -675,6 +698,9 @@ func (r *Report) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "fault-injection campaign: %s (n=%d), model=%s, %d runs/arch, seed=%d, precision=%d\n",
 		r.Workload, r.N, r.Model, r.Runs, r.Seed, r.Precision)
+	if r.Oracle != "" {
+		fmt.Fprintf(&sb, "shadow oracle: %s\n", r.Oracle)
+	}
 	fmt.Fprintf(&sb, "%-8s%10s%10s%10s%10s%10s%10s%12s\n",
 		"arch", "masked", "sdc", "detected", "crashed", "hung", "degraded", "det.rate")
 	for _, a := range r.Arches {

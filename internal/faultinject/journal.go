@@ -28,6 +28,7 @@ type journalMeta struct {
 	Timeout   int64  `json:"timeout_ns"`
 	MaxSteps  int64  `json:"max_steps"`
 	Precision uint   `json:"precision"`
+	Oracle    string `json:"oracle,omitempty"` // non-bigfp shadow backend, if any
 	Budget    int64  `json:"max_shadow_bytes"`
 	Masked    int    `json:"masked_bits"`
 }
@@ -40,7 +41,8 @@ func metaFor(cfg CampaignConfig) journalMeta {
 		Runs: cfg.Runs, Seed: cfg.Seed,
 		Model:   fmt.Sprintf("%+v", cfg.Model),
 		Timeout: int64(cfg.Timeout), MaxSteps: cfg.MaxSteps,
-		Precision: cfg.Precision, Budget: cfg.MaxShadowBytes,
+		Precision: cfg.Precision, Oracle: oracleLabel(cfg.Oracle),
+		Budget: cfg.MaxShadowBytes,
 		Masked: cfg.MaskedBits,
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	positdebug "positdebug"
 	"positdebug/internal/parallel"
+	"positdebug/internal/shadow/oracle"
 )
 
 func durationNS(ns int64) time.Duration { return time.Duration(ns) }
@@ -35,6 +36,7 @@ type WireConfig struct {
 	TimeoutNS      int64  `json:"timeout_ns,omitempty"`
 	MaxSteps       int64  `json:"max_steps,omitempty"`
 	Precision      uint   `json:"precision,omitempty"`
+	Oracle         string `json:"oracle,omitempty"`
 	MaxShadowBytes int64  `json:"max_shadow_bytes,omitempty"`
 	MaskedBits     int    `json:"masked_bits,omitempty"`
 	KeepSchedules  bool   `json:"keep_schedules,omitempty"`
@@ -46,7 +48,8 @@ func (c CampaignConfig) Wire() WireConfig {
 		Workload: c.Workload, N: c.N, Arch: c.Arch, Runs: c.Runs,
 		Seed: c.Seed, Model: c.Model,
 		TimeoutNS: int64(c.Timeout), MaxSteps: c.MaxSteps,
-		Precision: c.Precision, MaxShadowBytes: c.MaxShadowBytes,
+		Precision: c.Precision, Oracle: string(c.Oracle),
+		MaxShadowBytes: c.MaxShadowBytes,
 		MaskedBits: c.MaskedBits, KeepSchedules: c.KeepSchedules,
 	}
 }
@@ -57,7 +60,8 @@ func (w WireConfig) Campaign() CampaignConfig {
 		Workload: w.Workload, N: w.N, Arch: w.Arch, Runs: w.Runs,
 		Seed: w.Seed, Model: w.Model,
 		Timeout: durationNS(w.TimeoutNS), MaxSteps: w.MaxSteps,
-		Precision: w.Precision, MaxShadowBytes: w.MaxShadowBytes,
+		Precision: w.Precision, Oracle: oracle.Kind(w.Oracle),
+		MaxShadowBytes: w.MaxShadowBytes,
 		MaskedBits: w.MaskedBits, KeepSchedules: w.KeepSchedules,
 	}
 }
@@ -217,6 +221,7 @@ func AssembleReport(cfg CampaignConfig, shards []*ShardResult) (*Report, error) 
 	rep := &Report{
 		Workload: dcfg.Workload, N: n, Runs: dcfg.Runs, Seed: dcfg.Seed,
 		Model: dcfg.Model.Kind.String(), Precision: dcfg.Precision,
+		Oracle: oracleLabel(dcfg.Oracle),
 	}
 	for _, arch := range arches {
 		var info ArchInfo

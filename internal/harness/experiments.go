@@ -12,6 +12,7 @@ import (
 	"positdebug/internal/parallel"
 	"positdebug/internal/posit"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 	"positdebug/internal/workloads"
 )
 
@@ -338,6 +339,13 @@ func RunDetectionObs(sink obs.Sink, reg *obs.Registry) (*DetectionResult, error)
 // backends (the backend differential tests depend on it); the knob exists
 // so pdbench can time the suite on each backend.
 func RunDetectionOn(bk backend.Kind, sink obs.Sink, reg *obs.Registry) (*DetectionResult, error) {
+	return RunDetectionOracle(bk, oracle.BigFP, sink, reg)
+}
+
+// RunDetectionOracle is RunDetectionOn with the shadow-arithmetic oracle
+// pinned — the cross-oracle differential suite and pdbench's per-oracle
+// timing both drive the full §5.1 suite through this entry point.
+func RunDetectionOracle(bk backend.Kind, kind oracle.Kind, sink obs.Sink, reg *obs.Registry) (*DetectionResult, error) {
 	suite := workloads.Suite()
 	if sink != nil {
 		e := obs.NewEvent(obs.EvCampaignStart)
@@ -358,7 +366,7 @@ func RunDetectionOn(bk backend.Kind, sink obs.Sink, reg *obs.Registry) (*Detecti
 		if err != nil {
 			return detectionOutcome{}, fmt.Errorf("%s: %w", p.Name, err)
 		}
-		cfg := shadow.DefaultConfig()
+		cfg := shadow.ConfigFor(kind, 0)
 		cfg.ErrBitsThreshold = 35
 		cfg.OutputThreshold = 35
 		cfg.PrecisionLossThreshold = 8

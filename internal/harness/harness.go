@@ -14,6 +14,7 @@ import (
 
 	positdebug "positdebug"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 )
 
 // Options controls experiment scale.
@@ -155,12 +156,17 @@ func compileBoth(src string) (compiled, error) {
 	return compiled{fp: fp, pos: pos}, nil
 }
 
-// shadowConfig builds a runtime config at a precision, with tracing and
-// thresholds tuned for overhead measurement (reporting capped so report
-// construction never dominates).
+// shadowConfig builds a runtime config at a bigfp precision, with tracing
+// and thresholds tuned for overhead measurement (reporting capped so
+// report construction never dominates).
 func shadowConfig(precision uint, tracing bool) shadow.Config {
-	cfg := shadow.DefaultConfig()
-	cfg.Precision = precision
+	return shadowConfigOracle(oracle.BigFP, precision, tracing)
+}
+
+// shadowConfigOracle is shadowConfig retargeted at any shadow oracle —
+// pdbench's per-oracle comparison rows are measured through it.
+func shadowConfigOracle(kind oracle.Kind, precision uint, tracing bool) shadow.Config {
+	cfg := shadow.ConfigFor(kind, precision)
 	cfg.Tracing = tracing
 	cfg.MaxReports = 4
 	return cfg

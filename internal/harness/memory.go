@@ -9,6 +9,7 @@ import (
 	"positdebug/internal/instrument"
 	"positdebug/internal/interp"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 )
 
 // MemoryRow is one input size's metadata footprint comparison.
@@ -52,8 +53,10 @@ func main(n: i64): p32 {
 	inst := instrument.Instrument(prog.Module, instrument.Options{})
 	var rows []MemoryRow
 	for _, n := range iterCounts {
-		// PositDebug runtime.
-		rt, err := shadow.New(inst, shadow.Config{Precision: 128, Tracing: true, MaxReports: 1})
+		// PositDebug runtime (bigfp oracle at 128 bits, the paper's
+		// memory-measurement configuration).
+		scfg := shadow.Config{Tracing: true, MaxReports: 1}.ForOracle(oracle.BigFP, 128)
+		rt, err := shadow.New(inst, scfg)
 		if err != nil {
 			return nil, err
 		}

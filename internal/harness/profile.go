@@ -10,6 +10,7 @@ import (
 	"positdebug/internal/parallel"
 	"positdebug/internal/profile"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 	"positdebug/internal/workloads"
 )
 
@@ -34,8 +35,10 @@ type ProfileOptions struct {
 	// times are inherently nondeterministic, so timing profiles are not
 	// byte-comparable across runs — leave false when determinism matters.
 	Timing bool
-	// Precision overrides the shadow precision; 0 keeps the default.
+	// Precision overrides the bigfp shadow precision; 0 keeps the default.
 	Precision uint
+	// Oracle selects the shadow-arithmetic backend (empty = bigfp).
+	Oracle oracle.Kind
 	// Trace, when non-nil, receives every run's events — run lifecycle,
 	// detections, and causal spans (shadow-exec, report) — staged per run
 	// and drained in run-index order, so the stream is deterministic under
@@ -98,6 +101,7 @@ func RecordProfileContext(ctx context.Context, o ProfileOptions) (*profile.Profi
 		sample = 1
 	}
 	cfg := shadow.DefaultConfig()
+	cfg.Oracle = o.Oracle
 	cfg.Tracing = false
 	cfg.MaxReports = 4
 	if o.Precision > 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"positdebug/internal/profile"
+	"positdebug/internal/shadow/oracle"
 )
 
 // ProfileShardVersion guards the coordinator↔worker profile-shard exchange
@@ -26,6 +27,7 @@ type ProfileShard struct {
 	Runs      int    `json:"runs"`
 	Sample    int    `json:"sample,omitempty"`
 	Precision uint   `json:"precision,omitempty"`
+	Oracle    string `json:"oracle,omitempty"` // non-bigfp shadow backend, if any
 }
 
 // Validate rejects malformed or version-skewed profile-shard requests.
@@ -51,5 +53,6 @@ func RunProfileShard(ctx context.Context, p ProfileShard) (*profile.Profile, err
 	return RecordProfileContext(ctx, ProfileOptions{
 		Kernel: p.Kernel, N: p.N, Posit: p.Posit,
 		Runs: p.Runs, Sample: p.Sample, Precision: p.Precision,
+		Oracle: oracle.Kind(p.Oracle),
 	})
 }

@@ -1,6 +1,9 @@
 package interp
 
-import "positdebug/internal/ir"
+import (
+	"positdebug/internal/ir"
+	"positdebug/internal/posit"
+)
 
 // Sampling is a Hooks decorator implementing sampled shadow execution: it
 // forwards every nth dynamic instance of each static compute instruction
@@ -48,9 +51,17 @@ type Sampling struct {
 	OnTime func(id int32, ns int64)
 
 	counts []int64 // per static id occurrence counters, reset per run
+
+	// fastInner caches Inner's FastShadow view (nil when Inner does not
+	// implement it), resolved lazily so callers may assign Inner after
+	// construction. Reset re-resolves, covering sessions that rebind the
+	// inner hooks between runs.
+	fastInner FastShadow
+	fastBound bool
 }
 
 var _ Hooks = (*Sampling)(nil)
+var _ FastShadow = (*Sampling)(nil)
 
 // NewSampling wraps inner with stride n.
 func NewSampling(inner Hooks, n int64) *Sampling {
@@ -87,7 +98,18 @@ func (s *Sampling) Reset() {
 	for i := range s.counts {
 		s.counts[i] = 0
 	}
+	s.fastBound = false
+	s.fastInner = nil
 	s.Inner.Reset()
+}
+
+// fast resolves (and caches) the inner hooks' FastShadow view.
+func (s *Sampling) fast() FastShadow {
+	if !s.fastBound {
+		s.fastInner, _ = s.Inner.(FastShadow)
+		s.fastBound = true
+	}
+	return s.fastInner
 }
 
 // EnterFunc implements Hooks.
@@ -235,4 +257,149 @@ func (s *Sampling) time(id int32, t0 int64) {
 	if s.OnTime != nil {
 		s.OnTime(id, s.Clock()-t0)
 	}
+}
+
+// FastShadow adapter: the sampler composes with the VM's fused dispatch by
+// implementing FastShadow itself. Structural events (const/mov/load/store)
+// are always forwarded — to the inner fused methods when the inner hooks
+// implement FastShadow, otherwise to the generic Hooks methods. Compute
+// events apply the same take() gate (and Clock timing) as the tree-walker
+// path, so a sampled run makes identical sampling decisions on both
+// backends. A skipped FastBinP32 still computes the ⟨32,2⟩ program result
+// (bit-identical to the VM's unfused path) without touching metadata, which
+// matches the tree-walker's skip behavior: architectural state advances,
+// shadow metadata goes stale until the next sampled touch.
+
+// FastConst implements FastShadow (always forwarded).
+func (s *Sampling) FastConst(id int32, typ ir.Type, dst int32, bits uint64) {
+	if fh := s.fast(); fh != nil {
+		fh.FastConst(id, typ, dst, bits)
+		return
+	}
+	s.Inner.Const(id, typ, dst, bits)
+}
+
+// FastMov implements FastShadow (always forwarded).
+func (s *Sampling) FastMov(id int32, typ ir.Type, dst, src int32, bits uint64) {
+	if fh := s.fast(); fh != nil {
+		fh.FastMov(id, typ, dst, src, bits)
+		return
+	}
+	s.Inner.Mov(id, typ, dst, src, bits)
+}
+
+// FastBin implements FastShadow (sampled).
+func (s *Sampling) FastBin(id int32, kind ir.BinKind, typ ir.Type, dst, a, b int32, dstVal, aVal, bVal uint64) {
+	if !s.take(id) {
+		return
+	}
+	var t0 int64
+	if s.Clock != nil {
+		t0 = s.Clock()
+	}
+	if fh := s.fast(); fh != nil {
+		fh.FastBin(id, kind, typ, dst, a, b, dstVal, aVal, bVal)
+	} else {
+		s.Inner.Bin(id, kind, typ, dst, a, b, dstVal, aVal, bVal)
+	}
+	if s.Clock != nil {
+		s.time(id, t0)
+	}
+}
+
+// fusedP32Result recomputes the fused ⟨32,2⟩ base arithmetic a FastBinP32
+// implementation is responsible for — bit-identical to the VM's unfused
+// path — so the sampler can skip the shadow event without stalling the
+// program.
+func fusedP32Result(kind ir.BinKind, aVal, bVal uint64) uint64 {
+	a, b := posit.Bits(aVal), posit.Bits(bVal)
+	switch kind {
+	case ir.BinAdd:
+		return uint64(posit.Config32.Add(a, b))
+	case ir.BinSub:
+		return uint64(posit.Config32.Sub(a, b))
+	default: // BinMul — the only other fused kind
+		return uint64(posit.Config32.Mul(a, b))
+	}
+}
+
+// FastBinP32 implements FastShadow (sampled): a skipped instance computes
+// the program result directly and leaves shadow metadata untouched; a taken
+// instance delegates to the inner fused path (or falls back to computing
+// the result and delivering a generic Bin event).
+func (s *Sampling) FastBinP32(id int32, kind ir.BinKind, dst, a, b int32, aVal, bVal uint64) uint64 {
+	if !s.take(id) {
+		return fusedP32Result(kind, aVal, bVal)
+	}
+	var t0 int64
+	if s.Clock != nil {
+		t0 = s.Clock()
+	}
+	var res uint64
+	if fh := s.fast(); fh != nil {
+		res = fh.FastBinP32(id, kind, dst, a, b, aVal, bVal)
+	} else {
+		res = fusedP32Result(kind, aVal, bVal)
+		s.Inner.Bin(id, kind, ir.P32, dst, a, b, res, aVal, bVal)
+	}
+	if s.Clock != nil {
+		s.time(id, t0)
+	}
+	return res
+}
+
+// FastUn implements FastShadow (sampled).
+func (s *Sampling) FastUn(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, dstVal, aVal uint64) {
+	if !s.take(id) {
+		return
+	}
+	var t0 int64
+	if s.Clock != nil {
+		t0 = s.Clock()
+	}
+	if fh := s.fast(); fh != nil {
+		fh.FastUn(id, kind, typ, dst, a, dstVal, aVal)
+	} else {
+		s.Inner.Un(id, kind, typ, dst, a, dstVal, aVal)
+	}
+	if s.Clock != nil {
+		s.time(id, t0)
+	}
+}
+
+// FastCast implements FastShadow (sampled).
+func (s *Sampling) FastCast(id int32, from, to ir.Type, dst, src int32, dstVal, srcVal uint64) {
+	if !s.take(id) {
+		return
+	}
+	var t0 int64
+	if s.Clock != nil {
+		t0 = s.Clock()
+	}
+	if fh := s.fast(); fh != nil {
+		fh.FastCast(id, from, to, dst, src, dstVal, srcVal)
+	} else {
+		s.Inner.Cast(id, from, to, dst, src, dstVal, srcVal)
+	}
+	if s.Clock != nil {
+		s.time(id, t0)
+	}
+}
+
+// FastLoad implements FastShadow (always forwarded).
+func (s *Sampling) FastLoad(id int32, typ ir.Type, dst int32, addr uint32, bits uint64) {
+	if fh := s.fast(); fh != nil {
+		fh.FastLoad(id, typ, dst, addr, bits)
+		return
+	}
+	s.Inner.Load(id, typ, dst, addr, bits)
+}
+
+// FastStore implements FastShadow (always forwarded).
+func (s *Sampling) FastStore(id int32, typ ir.Type, addr uint32, src int32, bits uint64) {
+	if fh := s.fast(); fh != nil {
+		fh.FastStore(id, typ, addr, src, bits)
+		return
+	}
+	s.Inner.Store(id, typ, addr, src, bits)
 }

@@ -22,9 +22,12 @@ import (
 // re-deriving each from the raw bits.
 //
 // The machine binds FastShadow only when the run has no Injector and the
-// Hooks value implements it directly — wrapping decorators (samplers,
-// injectors, user hooks) naturally break the type assertion and fall back
-// to the generic mutate-then-Hooks path the tree-walker uses.
+// Hooks value implements it directly. Sampling composes: it implements
+// FastShadow as an adapter, gating fused compute events with the same
+// take() decision it applies on the tree-walker path. Other wrapping
+// decorators (injectors, user hooks) naturally break the type assertion
+// and fall back to the generic mutate-then-Hooks path the tree-walker
+// uses.
 type FastShadow interface {
 	FastConst(id int32, typ ir.Type, dst int32, bits uint64)
 	FastMov(id int32, typ ir.Type, dst, src int32, bits uint64)

@@ -18,8 +18,9 @@
 // context (a disconnected client stops the interpreter within one poll
 // interval), and isolated (a panic anywhere in the run is a structured 500
 // for that request, never a crashed process). A memory-pressure watchdog
-// steps the fleet-wide shadow precision 256→128→64 and back, reported via
-// Degraded in responses and the pd_serve_precision_bits gauge.
+// steps the fleet down a shadow-oracle ladder (bigfp → double-double →
+// double-double sampled) and back, reported via Degraded/Oracle in
+// responses and the pd_serve_precision_bits / pd_serve_shadow_tier gauges.
 package server
 
 import (
@@ -46,6 +47,7 @@ import (
 	"positdebug/internal/obs"
 	"positdebug/internal/profile"
 	"positdebug/internal/shadow"
+	"positdebug/internal/shadow/oracle"
 )
 
 // StatusClientClosedRequest is nginx's 499: the client went away (or the
@@ -70,9 +72,16 @@ type Config struct {
 	MaxSteps int64
 	// MaxSourceBytes caps the request body (default 256 KiB).
 	MaxSourceBytes int64
-	// Precision is the shadow precision served at zero memory pressure
-	// (default 256). The watchdog degrades it stepwise to 128 then 64.
+	// Precision is the bigfp shadow precision served at zero memory
+	// pressure (default 256). Fixed-precision oracles ignore it.
 	Precision uint
+	// Oracle is the shadow-arithmetic backend served at zero memory
+	// pressure (default oracle.BigFP). Under pressure the watchdog walks
+	// the degradation ladder: a bigfp fleet steps to the double-double
+	// oracle, then to double-double with sampled shadow execution; a
+	// fleet already on a cheap fixed-precision oracle only has sampling
+	// left to give.
+	Oracle oracle.Kind
 	// MaxShadowBytes is the per-run shadow-memory budget (0 = unlimited);
 	// over-budget runs degrade per-run on top of the fleet-wide step.
 	MaxShadowBytes int64
@@ -144,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.Precision == 0 {
 		c.Precision = 256
 	}
+	if k, err := oracle.Parse(string(c.Oracle)); err == nil {
+		c.Oracle = k
+	}
 	if c.WatchdogInterval <= 0 {
 		c.WatchdogInterval = time.Second
 	}
@@ -168,9 +180,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// maxPrecShift bounds degradation at Precision>>2: 256→128→64, the
-// paper's evaluated precisions and shadow.MinPrecision's floor.
-const maxPrecShift = 2
+// shadowTier is one rung of the fleet-wide degradation ladder: which
+// oracle the fleet serves, the bigfp precision (meaningful on bigfp rungs
+// only) and the shadow sampling stride (1 = full shadow execution).
+type shadowTier struct {
+	Oracle    oracle.Kind
+	Precision uint
+	Sample    int
+}
+
+// degradeSampleStride is the sampling stride of the ladder's final rung:
+// shadow every 16th dynamic instance per static instruction, the same
+// stride the profiler benchmarks as ~an order of magnitude of overhead
+// reduction while keeping every instruction in the profile.
+const degradeSampleStride = 16
+
+// degradationLadder builds the fleet's tiers for a base configuration.
+// The watchdog degrades across oracles — bigfp → double-double →
+// double-double sampled — instead of shaving bigfp mantissa bits: the
+// double-double oracle frees the arbitrary-precision mantissas entirely
+// (16 fixed bytes per entry) while keeping 106-bit shadow arithmetic,
+// a far better memory/accuracy trade than bigfp-64. A base that already
+// runs a cheap fixed-precision oracle only has sampling left to give.
+func degradationLadder(kind oracle.Kind, prec uint) []shadowTier {
+	if kind == oracle.BigFP {
+		return []shadowTier{
+			{Oracle: oracle.BigFP, Precision: prec, Sample: 1},
+			{Oracle: oracle.DD, Precision: prec, Sample: 1},
+			{Oracle: oracle.DD, Precision: prec, Sample: degradeSampleStride},
+		}
+	}
+	return []shadowTier{
+		{Oracle: kind, Precision: prec, Sample: 1},
+		{Oracle: kind, Precision: prec, Sample: degradeSampleStride},
+	}
+}
 
 // Server is one service instance. Build with New, expose via Handler or
 // run with Serve.
@@ -182,7 +226,10 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 
-	precShift atomic.Int32
+	// ladder is the degradation ladder; tierShift indexes the rung
+	// currently served fleet-wide (0 = the configured base tier).
+	ladder    []shadowTier
+	tierShift atomic.Int32
 
 	drainOnce sync.Once
 	drainCh   chan struct{}
@@ -213,9 +260,11 @@ func New(cfg Config) *Server {
 		drainCh: make(chan struct{}),
 		cache:   newProgCache(cfg.CacheSize),
 	}
+	s.ladder = degradationLadder(cfg.Oracle, cfg.Precision)
 	s.memUsage = heapInUse
 	s.profiles = make(map[string]*profile.Profile)
 	s.reg.Gauge("pd_serve_precision_bits").Set(int64(s.EffectivePrecision()))
+	s.reg.Gauge("pd_serve_shadow_tier").Set(0)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/batch", s.handleBatch)
@@ -305,14 +354,22 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	return nil
 }
 
-// EffectivePrecision is the fleet-wide shadow precision after the
-// watchdog's degradation steps.
-func (s *Server) EffectivePrecision() uint {
-	p := s.cfg.Precision >> uint(s.precShift.Load())
-	if p < shadow.MinPrecision {
-		p = shadow.MinPrecision
+// EffectiveTier is the degradation-ladder rung the fleet currently serves.
+func (s *Server) EffectiveTier() shadowTier {
+	shift := int(s.tierShift.Load())
+	if shift >= len(s.ladder) {
+		shift = len(s.ladder) - 1
 	}
-	return p
+	return s.ladder[shift]
+}
+
+// EffectivePrecision is the nominal shadow precision of the tier the fleet
+// currently serves: the configured bigfp precision on the base rung, the
+// oracle's fixed precision (106-bit double-double, 53-bit residue) on
+// degraded rungs.
+func (s *Server) EffectivePrecision() uint {
+	t := s.EffectiveTier()
+	return oracle.NominalPrecision(t.Oracle, t.Precision)
 }
 
 // RunRequest is the /run request body.
@@ -346,11 +403,14 @@ type RunResponse struct {
 	// Detections counts shadow-oracle detections by kind (absent for
 	// baseline runs).
 	Detections map[string]int `json:"detections,omitempty"`
-	// Precision is the shadow precision the run completed at; Degraded
-	// marks runs below the server's configured precision — fleet-wide
+	// Precision is the nominal shadow precision the run completed at
+	// (the bigfp mantissa precision, or the fixed precision of a cheap
+	// oracle); Oracle names the shadow backend that served it. Degraded
+	// marks runs served below the configured tier — fleet-wide
 	// memory-pressure degradation or a per-run shadow-budget retry.
-	Precision uint `json:"precision,omitempty"`
-	Degraded  bool `json:"degraded"`
+	Precision uint   `json:"precision,omitempty"`
+	Oracle    string `json:"oracle,omitempty"`
+	Degraded  bool   `json:"degraded"`
 	// Cached reports a compile-cache hit (the warm path).
 	Cached bool `json:"cached"`
 	// Req is the request id, also sent as X-Request-Id and stamped on
@@ -587,24 +647,31 @@ func (s *Server) execRun(ctx context.Context, req RunRequest, fl *flight) (RunRe
 	if fl.sink != nil {
 		opts = append(opts, positdebug.WithTrace(fl.sink), positdebug.WithSpans(fl.tr))
 	}
-	basePrec := s.cfg.Precision
+	tier := s.EffectiveTier()
+	fleetDegraded := tier != s.ladder[0]
 	var scfg shadow.Config
 	var col *profile.Collector
 	if req.Baseline {
 		opts = append(opts, positdebug.WithBaseline())
 	} else {
-		scfg = shadow.DefaultConfig()
-		scfg.Precision = s.EffectivePrecision()
+		scfg = shadow.ConfigFor(tier.Oracle, tier.Precision)
 		scfg.MaxShadowBytes = s.cfg.MaxShadowBytes
 		scfg.Tracing = false
 		scfg.MaxReports = 1
 		scfg.Metrics = s.reg
 		opts = append(opts, positdebug.WithShadow(scfg))
+		// The tier's sampling stride and the profiler's stride compose by
+		// taking the coarser of the two — one sampler serves both.
+		stride := tier.Sample
 		if s.cfg.ProfileRequests {
 			col = profile.NewCollector()
-			opts = append(opts,
-				positdebug.WithProfile(col),
-				positdebug.WithSampling(s.cfg.ProfileSample))
+			opts = append(opts, positdebug.WithProfile(col))
+			if s.cfg.ProfileSample > stride {
+				stride = s.cfg.ProfileSample
+			}
+		}
+		if stride > 1 || col != nil {
+			opts = append(opts, positdebug.WithSampling(stride))
 		}
 	}
 
@@ -625,8 +692,9 @@ func (s *Server) execRun(ctx context.Context, req RunRequest, fl *flight) (RunRe
 		Cached:   cached,
 	}
 	if !req.Baseline {
-		resp.Precision = res.ShadowPrecision
-		resp.Degraded = res.Degraded || res.ShadowPrecision < basePrec
+		resp.Precision = oracle.NominalPrecision(res.ShadowOracle, res.ShadowPrecision)
+		resp.Oracle = string(res.ShadowOracle)
+		resp.Degraded = res.Degraded || fleetDegraded
 		if res.Summary != nil && len(res.Summary.Counts) > 0 {
 			resp.Detections = make(map[string]int, len(res.Summary.Counts))
 			for k, n := range res.Summary.Counts {
@@ -650,9 +718,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	tier := s.EffectiveTier()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":    "ok",
 		"precision": s.EffectivePrecision(),
+		"oracle":    string(tier.Oracle),
+		"sample":    tier.Sample,
 	})
 }
 

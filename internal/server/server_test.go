@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"positdebug/internal/shadow/oracle"
 )
 
 const goodSrc = `
@@ -210,8 +212,10 @@ func TestLoadShedding(t *testing.T) {
 }
 
 // TestDegradationUnderMemoryPressure drives the watchdog's state machine
-// directly: over the soft limit precision steps 256→128→64 (and responses
-// flag Degraded), below half the limit it recovers notch by notch.
+// directly: over the soft limit the fleet walks the oracle ladder — bigfp
+// 256 → double-double (106-bit, fixed 16-byte entries) → double-double
+// with sampled shadow execution — and responses flag Degraded and name the
+// serving oracle; below half the limit it recovers rung by rung.
 func TestDegradationUnderMemoryPressure(t *testing.T) {
 	s, ts := newTestServer(t, Config{SoftMemLimit: 1 << 30})
 	heap := uint64(0)
@@ -219,16 +223,20 @@ func TestDegradationUnderMemoryPressure(t *testing.T) {
 	s.memUsage = func() uint64 { mu.Lock(); defer mu.Unlock(); return heap }
 	setHeap := func(v uint64) { mu.Lock(); heap = v; mu.Unlock() }
 
-	want := func(prec uint) {
+	want := func(kind oracle.Kind, prec uint, sample int) {
 		t.Helper()
+		tier := s.EffectiveTier()
+		if tier.Oracle != kind || tier.Sample != sample {
+			t.Fatalf("want tier {%s sample=%d}, got %+v", kind, sample, tier)
+		}
 		if p := s.EffectivePrecision(); p != prec {
 			t.Fatalf("want effective precision %d, got %d", prec, p)
 		}
 	}
-	want(256)
+	want(oracle.BigFP, 256, 1)
 	setHeap(2 << 30)
 	s.watchdogStep()
-	want(128)
+	want(oracle.DD, 106, 1)
 
 	resp, body := postRun(t, ts, RunRequest{Source: goodSrc})
 	if resp.StatusCode != http.StatusOK {
@@ -238,22 +246,35 @@ func TestDegradationUnderMemoryPressure(t *testing.T) {
 	if err := json.Unmarshal(body, &rr); err != nil {
 		t.Fatal(err)
 	}
-	if !rr.Degraded || rr.Precision != 128 {
-		t.Fatalf("want degraded run at 128 bits, got %+v", rr)
+	if !rr.Degraded || rr.Oracle != "dd" || rr.Precision != 106 {
+		t.Fatalf("want degraded dd run at 106 bits, got %+v", rr)
 	}
 
 	s.watchdogStep()
-	want(64)
-	s.watchdogStep() // floor: never below shadow.MinPrecision
-	want(64)
+	want(oracle.DD, 106, 16) // last rung: dd + sampled shadow execution
+	s.watchdogStep()         // floor: the ladder has no lower rung
+	want(oracle.DD, 106, 16)
+
+	// The sampled rung serves runs too, still flagged Degraded.
+	resp, body = postRun(t, ts, RunRequest{Source: goodSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	rr = RunResponse{}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Degraded || rr.Oracle != "dd" {
+		t.Fatalf("want degraded sampled dd run, got %+v", rr)
+	}
 
 	setHeap(1 << 28) // well under limit/2: recover stepwise
 	s.watchdogStep()
-	want(128)
+	want(oracle.DD, 106, 1)
 	s.watchdogStep()
-	want(256)
+	want(oracle.BigFP, 256, 1)
 	s.watchdogStep()
-	want(256)
+	want(oracle.BigFP, 256, 1)
 
 	resp, body = postRun(t, ts, RunRequest{Source: goodSrc})
 	if resp.StatusCode != http.StatusOK {
@@ -265,6 +286,28 @@ func TestDegradationUnderMemoryPressure(t *testing.T) {
 	}
 	if rr.Degraded {
 		t.Fatalf("recovered server still serving degraded runs: %+v", rr)
+	}
+	if rr.Oracle != "bigfp" || rr.Precision != 256 {
+		t.Fatalf("recovered server should serve bigfp-256, got %+v", rr)
+	}
+}
+
+// TestDegradationLadderNonBigfp: a fleet configured for a fixed-precision
+// oracle has only sampling to degrade to.
+func TestDegradationLadderNonBigfp(t *testing.T) {
+	s := New(Config{Oracle: oracle.DD, SoftMemLimit: 1 << 30})
+	heap := uint64(2 << 30)
+	s.memUsage = func() uint64 { return heap }
+	if tier := s.EffectiveTier(); tier.Oracle != oracle.DD || tier.Sample != 1 {
+		t.Fatalf("base tier: %+v", tier)
+	}
+	s.watchdogStep()
+	if tier := s.EffectiveTier(); tier.Oracle != oracle.DD || tier.Sample != degradeSampleStride {
+		t.Fatalf("degraded tier: %+v", tier)
+	}
+	s.watchdogStep()
+	if tier := s.EffectiveTier(); tier.Sample != degradeSampleStride {
+		t.Fatalf("ladder should floor at the sampled rung: %+v", tier)
 	}
 }
 

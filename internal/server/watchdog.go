@@ -14,12 +14,14 @@ func heapInUse() uint64 {
 	return ms.HeapInuse
 }
 
-// watchdog polls heap use every WatchdogInterval and steps the fleet-wide
-// shadow precision one notch down (256→128→64) each time the heap is over
-// SoftMemLimit, recovering one notch back once it falls below half the
-// limit. The hysteresis gap keeps the service from oscillating at the
-// boundary; degraded runs report Degraded=true so clients know the answer
-// came at reduced precision rather than silently changing quality.
+// watchdog polls heap use every WatchdogInterval and steps the fleet one
+// rung down the shadow-oracle degradation ladder (bigfp → double-double →
+// double-double sampled) each time the heap is over SoftMemLimit,
+// recovering one rung back once it falls below half the limit. The
+// hysteresis gap keeps the service from oscillating at the boundary;
+// degraded runs report Degraded=true (and name the serving oracle) so
+// clients know the answer came from a cheaper tier rather than silently
+// changing quality.
 func (s *Server) watchdog(stop <-chan struct{}) {
 	t := time.NewTicker(s.cfg.WatchdogInterval)
 	defer t.Stop()
@@ -37,15 +39,16 @@ func (s *Server) watchdog(stop <-chan struct{}) {
 // tests can drive it synchronously).
 func (s *Server) watchdogStep() {
 	heap := s.memUsage()
-	shift := s.precShift.Load()
+	shift := s.tierShift.Load()
 	switch {
-	case heap > s.cfg.SoftMemLimit && shift < maxPrecShift:
-		s.precShift.Store(shift + 1)
+	case heap > s.cfg.SoftMemLimit && int(shift) < len(s.ladder)-1:
+		s.tierShift.Store(shift + 1)
 		s.reg.Counter("pd_serve_degrade_steps_total").Inc()
 	case heap < s.cfg.SoftMemLimit/2 && shift > 0:
-		s.precShift.Store(shift - 1)
+		s.tierShift.Store(shift - 1)
 	default:
 		return
 	}
 	s.reg.Gauge("pd_serve_precision_bits").Set(int64(s.EffectivePrecision()))
+	s.reg.Gauge("pd_serve_shadow_tier").Set(int64(s.tierShift.Load()))
 }

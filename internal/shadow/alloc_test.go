@@ -6,6 +6,7 @@ import (
 	"positdebug/internal/backend"
 	"positdebug/internal/interp"
 	"positdebug/internal/obs"
+	"positdebug/internal/shadow/oracle"
 )
 
 // allocSrc exercises the whole hot path — loads, stores, binops, a call per
@@ -72,6 +73,25 @@ func TestWarmRuntimeAllocs(t *testing.T) {
 			t.Errorf("warm %v shadow-execution run allocates %v/op, want 0", k, n)
 		}
 	})
+}
+
+// TestWarmRuntimeAllocsOracles holds the same zero-allocation property
+// under the cheaper shadow oracles: a warm dd or residue runtime must not
+// allocate at all on either backend — there are no mantissas to grow in
+// the first place, which is exactly why the server's watchdog may degrade
+// onto them under memory pressure.
+func TestWarmRuntimeAllocsOracles(t *testing.T) {
+	for _, kind := range []oracle.Kind{oracle.DD, oracle.Residue} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			_, m := buildPipeline(t, allocSrc, ConfigFor(kind, 0))
+			eachBackend(t, func(t *testing.T, k backend.Kind) {
+				if n := warmAllocsPerRun(t, m, k); n != 0 {
+					t.Errorf("warm %v/%s shadow-execution run allocates %v/op, want 0", k, kind, n)
+				}
+			})
+		})
+	}
 }
 
 // TestWarmRuntimeAllocsEventsAttached: attaching an event sink and a

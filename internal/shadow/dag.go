@@ -22,7 +22,7 @@ func (r *Runtime) dagNode(t *TempMeta, parentTime uint64, depth int) *DAGNode {
 		Op:      opLabel(meta),
 		Pos:     metaPos(meta),
 		Program: interp.FormatValue(meta.Type, t.Prog),
-		Shadow:  formatBig(&t.Real),
+		Shadow:  r.orc.Format(&t.Real),
 		ErrBits: int(t.Err),
 	}
 	if t.Inst < 0 {

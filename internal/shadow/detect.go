@@ -2,8 +2,6 @@ package shadow
 
 import (
 	"math"
-	"math/big"
-	"strconv"
 
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
@@ -104,7 +102,7 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 			r.emit(KindNaR, id, errInfo{
 				errBits: 64,
 				program: interp.FormatValue(typ, d.Prog),
-				shadow:  formatBig(&d.Real),
+				shadow:  r.orc.Format(&d.Real),
 				root:    d,
 			})
 			d.Err = 64
@@ -117,7 +115,7 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 		return
 	}
 
-	ulps := ulp.DistanceBigScratch(progF, &d.Real, &r.ulpScratch)
+	ulps := r.orc.Ulps(progF, &d.Real, &r.ulpScratch)
 	bits := ulp.Bits(ulps)
 	d.Err = int32(bits)
 	if bits > r.maxOpErr {
@@ -136,7 +134,7 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 	// Catastrophic cancellation (§3.4): cancelled leading bits AND the
 	// computed result at least a factor of ε=2 away from the real result.
 	if subLike && ta != nil && tb != nil && !ta.Undef && !tb.Undef {
-		if cb := cancelledBits(typ, ta.Prog, tb.Prog, d.Prog); cb > 0 && factorTwoOff(progF, &d.Real) {
+		if cb := cancelledBits(typ, ta.Prog, tb.Prog, d.Prog); cb > 0 && factorTwoOff(progF, r.orc.Float64(&d.Real), r.orc.Sign(&d.Real)) {
 			r.count(KindCancellation)
 			if r.prof != nil {
 				r.prof.Detect(id, profile.DetectCancellation, cb)
@@ -144,7 +142,7 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 			r.emit(KindCancellation, id, errInfo{
 				errBits: bits, ulps: ulps,
 				program: interp.FormatValue(typ, d.Prog),
-				shadow:  formatBig(&d.Real),
+				shadow:  r.orc.Format(&d.Real),
 				root:    d,
 			})
 			return
@@ -164,7 +162,7 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 			r.emit(KindSaturation, id, errInfo{
 				errBits: bits, ulps: ulps,
 				program: interp.FormatValue(typ, d.Prog),
-				shadow:  formatBig(&d.Real),
+				shadow:  r.orc.Format(&d.Real),
 				root:    d,
 			})
 			return
@@ -177,7 +175,7 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 				r.emit(KindPrecisionLoss, id, errInfo{
 					errBits: bits, ulps: ulps,
 					program: interp.FormatValue(typ, d.Prog),
-					shadow:  formatBig(&d.Real),
+					shadow:  r.orc.Format(&d.Real),
 					root:    d,
 				})
 				return
@@ -190,7 +188,7 @@ func (r *Runtime) checkOp(id int32, typ ir.Type, subLike bool, d, ta, tb *TempMe
 		r.emit(KindHighError, id, errInfo{
 			errBits: bits, ulps: ulps,
 			program: interp.FormatValue(typ, d.Prog),
-			shadow:  formatBig(&d.Real),
+			shadow:  r.orc.Format(&d.Real),
 			root:    d,
 		})
 	}
@@ -227,20 +225,22 @@ func valueExp(typ ir.Type, bits uint64) (int, bool) {
 }
 
 // factorTwoOff implements the paper's ε test: v ≥ 2r or v ≤ r/2 on
-// magnitudes, with the degenerate zero cases counted as catastrophic.
-func factorTwoOff(computed float64, real *big.Float) bool {
+// magnitudes, with the degenerate zero cases counted as catastrophic. It
+// takes the shadow value pre-rounded to float64 (plus its exact sign) so
+// one implementation serves every oracle; for bigfp this matches the old
+// big.Float comparison because round-to-nearest preserves magnitude order
+// and |fl(x)| == fl(|x|).
+func factorTwoOff(computed, shadowF float64, shadowSign int) bool {
 	v := math.Abs(computed)
-	if real.Sign() == 0 {
+	if shadowSign == 0 {
 		return v != 0
 	}
-	var ar big.Float
-	ar.Abs(real)
-	rf, _ := ar.Float64()
+	rf := math.Abs(shadowF)
 	if v == 0 {
 		return true
 	}
 	// Sign disagreement is at least as bad as a factor-2 error.
-	if (computed < 0) != (real.Sign() < 0) {
+	if (computed < 0) != (shadowSign < 0) {
 		return true
 	}
 	return v >= 2*rf || v <= rf/2
@@ -289,7 +289,7 @@ func (r *Runtime) checkOutputAt(id int32, typ ir.Type, s *TempMeta) {
 		r.emit(KindWrongOutput, id, errInfo{
 			errBits: 64,
 			program: interp.FormatValue(typ, s.Prog),
-			shadow:  formatBig(&s.Real),
+			shadow:  r.orc.Format(&s.Real),
 			root:    s,
 		})
 		if r.outputMaxErr < 64 {
@@ -297,7 +297,7 @@ func (r *Runtime) checkOutputAt(id int32, typ ir.Type, s *TempMeta) {
 		}
 		return
 	}
-	ulps := ulp.DistanceBigScratch(progF, &s.Real, &r.ulpScratch)
+	ulps := r.orc.Ulps(progF, &s.Real, &r.ulpScratch)
 	bits := ulp.Bits(ulps)
 	if bits > r.outputMaxErr {
 		r.outputMaxErr = bits
@@ -307,13 +307,8 @@ func (r *Runtime) checkOutputAt(id int32, typ ir.Type, s *TempMeta) {
 		r.emit(KindWrongOutput, id, errInfo{
 			errBits: bits, ulps: ulps,
 			program: interp.FormatValue(typ, s.Prog),
-			shadow:  formatBig(&s.Real),
+			shadow:  r.orc.Format(&s.Real),
 			root:    s,
 		})
 	}
-}
-
-func formatBig(x *big.Float) string {
-	f, _ := x.Float64()
-	return strconv.FormatFloat(f, 'g', 10, 64)
 }

@@ -267,7 +267,7 @@ func (r *Runtime) fastCheckOp(id int32, typ ir.Type, subLike bool, d, ta, tb *Te
 			r.emit(KindNaR, id, errInfo{
 				errBits: 64,
 				program: interp.FormatValue(typ, d.Prog),
-				shadow:  formatBig(&d.Real),
+				shadow:  r.orc.Format(&d.Real),
 				root:    d,
 			})
 			d.Err = 64
@@ -278,7 +278,7 @@ func (r *Runtime) fastCheckOp(id int32, typ ir.Type, subLike bool, d, ta, tb *Te
 		return
 	}
 
-	ulps := ulp.DistanceBigScratch(progF, &d.Real, &r.ulpScratch)
+	ulps := r.orc.Ulps(progF, &d.Real, &r.ulpScratch)
 	bits := ulp.Bits(ulps)
 	d.Err = int32(bits)
 	if bits > r.maxOpErr {
@@ -295,7 +295,7 @@ func (r *Runtime) fastCheckOp(id int32, typ ir.Type, subLike bool, d, ta, tb *Te
 	}
 
 	if subLike && ta != nil && tb != nil && !ta.Undef && !tb.Undef {
-		if cb := fastCancelledBits(ta.pvalFor(typ), tb.pvalFor(typ), pd); cb > 0 && factorTwoOff(progF, &d.Real) {
+		if cb := fastCancelledBits(ta.pvalFor(typ), tb.pvalFor(typ), pd); cb > 0 && factorTwoOff(progF, r.orc.Float64(&d.Real), r.orc.Sign(&d.Real)) {
 			r.count(KindCancellation)
 			if r.prof != nil {
 				r.prof.Detect(id, profile.DetectCancellation, cb)
@@ -303,7 +303,7 @@ func (r *Runtime) fastCheckOp(id int32, typ ir.Type, subLike bool, d, ta, tb *Te
 			r.emit(KindCancellation, id, errInfo{
 				errBits: bits, ulps: ulps,
 				program: interp.FormatValue(typ, d.Prog),
-				shadow:  formatBig(&d.Real),
+				shadow:  r.orc.Format(&d.Real),
 				root:    d,
 			})
 			return
@@ -321,7 +321,7 @@ func (r *Runtime) fastCheckOp(id int32, typ ir.Type, subLike bool, d, ta, tb *Te
 			r.emit(KindSaturation, id, errInfo{
 				errBits: bits, ulps: ulps,
 				program: interp.FormatValue(typ, d.Prog),
-				shadow:  formatBig(&d.Real),
+				shadow:  r.orc.Format(&d.Real),
 				root:    d,
 			})
 			return
@@ -336,7 +336,7 @@ func (r *Runtime) fastCheckOp(id int32, typ ir.Type, subLike bool, d, ta, tb *Te
 				r.emit(KindPrecisionLoss, id, errInfo{
 					errBits: bits, ulps: ulps,
 					program: interp.FormatValue(typ, d.Prog),
-					shadow:  formatBig(&d.Real),
+					shadow:  r.orc.Format(&d.Real),
 					root:    d,
 				})
 				return
@@ -349,7 +349,7 @@ func (r *Runtime) fastCheckOp(id int32, typ ir.Type, subLike bool, d, ta, tb *Te
 		r.emit(KindHighError, id, errInfo{
 			errBits: bits, ulps: ulps,
 			program: interp.FormatValue(typ, d.Prog),
-			shadow:  formatBig(&d.Real),
+			shadow:  r.orc.Format(&d.Real),
 			root:    d,
 		})
 	}

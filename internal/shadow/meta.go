@@ -1,19 +1,20 @@
 // Package shadow implements the PositDebug/FPSanitizer runtime: shadow
-// execution with high-precision values (via internal/bigfp), the paper's
-// constant-size metadata per memory location and per temporary (§3.2),
-// metadata propagation on loads, stores, calls and returns (§3.3),
-// detection and classification of numerical errors (§3.4), and DAG
-// construction for debugging (§3.5).
+// execution with high-precision values, the paper's constant-size metadata
+// per memory location and per temporary (§3.2), metadata propagation on
+// loads, stores, calls and returns (§3.3), detection and classification of
+// numerical errors (§3.4), and DAG construction for debugging (§3.5).
 //
 // The same runtime serves both posit programs (PositDebug) and IEEE FP
 // programs (FPSanitizer) — exactly the paper's claim that the metadata
-// design generalizes; only value decoding differs per type.
+// design generalizes; only value decoding differs per type. The shadow
+// arithmetic itself is pluggable (internal/shadow/oracle): the paper's
+// arbitrary-precision bigfp oracle, an allocation-free double-double
+// oracle, or a residue-tracking float64 oracle, selected by Config.Oracle.
 package shadow
 
 import (
-	"math/big"
-
 	"positdebug/internal/ir"
+	"positdebug/internal/shadow/oracle"
 )
 
 // mdRef is a guarded pointer to a temporary's metadata: the lock-and-key
@@ -37,7 +38,7 @@ func (r mdRef) valid() bool { return r.md != nil && r.lock != nil && *r.lock == 
 // timestamp that orders updates when a static temporary is rewritten in a
 // loop.
 type TempMeta struct {
-	Real  big.Float // shadow value (in-place, mantissa reused across updates)
+	Real  oracle.Value // shadow value (in-place, storage reused across updates)
 	Undef bool      // shadow value undefined (NaR/NaN territory)
 	Prog  uint64    // program bits at write time
 	Inst  int32     // producing instruction id (−1 unknown)
@@ -66,7 +67,7 @@ func (t *TempMeta) ref() mdRef { return mdRef{md: t, lock: t.lock, key: t.key} }
 // (used both to detect writes by uninstrumented code, §4.1, and to
 // re-initialize after branch flips).
 type MemMeta struct {
-	Real   big.Float
+	Real   oracle.Value
 	Undef  bool
 	Writer mdRef
 	Inst   int32

@@ -5,17 +5,30 @@ import (
 	"math"
 	"math/big"
 
-	"positdebug/internal/bigfp"
 	"positdebug/internal/interp"
 	"positdebug/internal/ir"
 	"positdebug/internal/obs"
 	"positdebug/internal/profile"
+	"positdebug/internal/shadow/oracle"
 )
 
 // Config controls the shadow runtime.
 type Config struct {
-	// Precision is the shadow mantissa precision in bits (the paper
-	// evaluates 128, 256 and 512; 256 is the default).
+	// Oracle selects the shadow-arithmetic backend: oracle.BigFP
+	// (arbitrary precision, governed by Precision), oracle.DD
+	// (allocation-free double-double, ~106 bits) or oracle.Residue
+	// (float64 estimate + per-op rounding residues, 53 bits). The zero
+	// value selects BigFP, so configurations that only set Precision —
+	// including ones decoded from pre-oracle JSON — keep their exact
+	// historical behavior.
+	Oracle oracle.Kind
+	// Precision is the bigfp oracle's mantissa precision in bits (the
+	// paper evaluates 128, 256 and 512; 256 is the default). Other
+	// oracles have fixed precision and ignore it.
+	//
+	// Deprecated: setting Precision alone is the legacy way to choose a
+	// shadow configuration and implies the bigfp oracle. New code should
+	// set Oracle explicitly (see ConfigFor / Config.ForOracle).
 	Precision uint
 	// Tracing enables the DAG metadata (operand pointers, lock-and-key,
 	// timestamps). Disabling it reproduces the paper's "no tracing"
@@ -85,6 +98,37 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigFor returns DefaultConfig retargeted at the given oracle backend.
+// precision applies to the bigfp oracle only; 0 keeps the 256-bit default.
+func ConfigFor(kind oracle.Kind, precision uint) Config {
+	return DefaultConfig().ForOracle(kind, precision)
+}
+
+// ForOracle returns c retargeted at kind — the migration path off raw
+// Precision-only construction. precision applies to the bigfp oracle only;
+// 0 keeps c.Precision.
+func (c Config) ForOracle(kind oracle.Kind, precision uint) Config {
+	c.Oracle = kind
+	if precision != 0 {
+		c.Precision = precision
+	}
+	return c
+}
+
+// OracleKind normalizes the configured oracle (empty selects BigFP).
+func (c Config) OracleKind() oracle.Kind {
+	k, err := oracle.Parse(string(c.Oracle))
+	if err != nil {
+		return c.Oracle
+	}
+	return k
+}
+
+// NewOracle constructs the configured oracle instance.
+func (c Config) NewOracle() (oracle.Oracle, error) {
+	return oracle.New(c.Oracle, c.Precision)
+}
+
 const maxLockDepth = 1100
 
 // Runtime implements interp.Hooks: the PositDebug runtime when the program
@@ -93,7 +137,7 @@ const maxLockDepth = 1100
 type Runtime struct {
 	mod *ir.Module
 	cfg Config
-	ctx bigfp.Context
+	orc oracle.Oracle
 
 	frames  []*shadowFrame
 	pool    []*shadowFrame
@@ -132,6 +176,10 @@ type Runtime struct {
 	sa, sb big.Float
 	// Scratch for allocation-free float64 rounding in error checks.
 	ulpScratch big.Float
+	// Scratch big.Floats bridging oracle values into the 768-bit shadow
+	// quire (and one for the shadow fused product), so quire-carrying
+	// programs stay allocation-free on the warm path.
+	qsA, qsB, qProd big.Float
 
 	// Observability bindings (see Config.Events / Config.Metrics). Metric
 	// pointers are resolved once at bind time so the hot path pays one nil
@@ -198,7 +246,14 @@ const (
 // patched silently. Campaign sweeps over precision configs fail loudly on
 // bad input instead of producing tables at an unintended precision.
 func (c Config) Validate() error {
-	if c.Precision < MinPrecision || c.Precision > MaxPrecision {
+	kind, err := oracle.Parse(string(c.Oracle))
+	if err != nil {
+		return fmt.Errorf("shadow: %w", err)
+	}
+	// Precision governs only the bigfp oracle; fixed-precision oracles
+	// ignore it, so a stale Precision in a retargeted config is not an
+	// error.
+	if kind == oracle.BigFP && (c.Precision < MinPrecision || c.Precision > MaxPrecision) {
 		return fmt.Errorf("shadow: precision %d out of range [%d, %d]", c.Precision, MinPrecision, MaxPrecision)
 	}
 	if c.ErrBitsThreshold < 0 {
@@ -232,10 +287,14 @@ func New(mod *ir.Module, cfg Config) (*Runtime, error) {
 	if cfg.MaxDAGDepth == 0 {
 		cfg.MaxDAGDepth = 16
 	}
+	orc, err := cfg.NewOracle()
+	if err != nil {
+		return nil, err
+	}
 	r := &Runtime{
 		mod:    mod,
 		cfg:    cfg,
-		ctx:    bigfp.New(cfg.Precision),
+		orc:    orc,
 		mem:    newShadowMem(mod.GlobalBase + mod.GlobalSize + interp.DefaultStackSize),
 		quires: map[ir.Type]*shadowQuire{},
 		counts: map[Kind]int{},
@@ -369,11 +428,16 @@ func (r *Runtime) Summary() *Summary {
 func (r *Runtime) ShadowMemPages() int { return r.mem.pageCount() }
 
 // entryBytes estimates the shadow-memory cost of one MemMeta cell: the
-// struct itself plus the lazily grown mantissa, which scales with the
-// shadow precision. The estimate only needs to be deterministic and
-// monotone in Precision so the budget shrinks when a degraded retry drops
-// the precision.
-func (r *Runtime) entryBytes() int64 { return 48 + int64(r.cfg.Precision)/2 }
+// struct itself plus the selected oracle's real per-entry footprint —
+// bigfp's lazily grown mantissa scales with Precision, dd is a fixed
+// 16-byte pair, residue a single float64. The estimate only needs to be
+// deterministic and monotone across degradation steps so the budget
+// shrinks when a degraded retry drops precision or switches to a cheaper
+// oracle.
+func (r *Runtime) entryBytes() int64 { return 48 + r.orc.EntryBytes() }
+
+// OracleKind reports the backend this runtime shadows with.
+func (r *Runtime) OracleKind() oracle.Kind { return r.orc.Kind() }
 
 // ShadowMemBytes reports the estimated shadow-memory footprint.
 func (r *Runtime) ShadowMemBytes() int64 {
@@ -477,7 +541,7 @@ func (r *Runtime) LeaveFunc() {
 // copyMeta copies metadata content (assignment of temporaries, §3.3),
 // keeping the destination's lock/key and refreshing the timestamp.
 func (r *Runtime) copyMeta(dst, src *TempMeta) {
-	r.ctx.Copy(&dst.Real, &src.Real)
+	r.orc.Copy(&dst.Real, &src.Real)
 	dst.Undef = src.Undef
 	dst.Prog = src.Prog
 	dst.Inst = src.Inst
@@ -497,10 +561,10 @@ func (r *Runtime) initFromProgram(t *TempMeta, typ ir.Type, bits uint64) {
 	f := interp.ToFloat64(typ, bits)
 	if math.IsNaN(f) || math.IsInf(f, 0) {
 		t.Undef = true
-		t.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+		r.orc.SetInt64(&t.Real, 0)
 	} else {
 		t.Undef = false
-		r.ctx.SetFloat64(&t.Real, f)
+		r.orc.SetFloat64(&t.Real, f)
 	}
 	t.Prog = bits
 	t.Inst = -1
@@ -535,7 +599,7 @@ func (r *Runtime) tick() uint64 {
 func (r *Runtime) Const(id int32, typ ir.Type, dst int32, bits uint64) {
 	t := r.temp(dst)
 	meta := r.mod.Meta(id)
-	r.ctx.SetFloat64(&t.Real, meta.Const)
+	r.orc.SetFloat64(&t.Real, meta.Const)
 	t.Undef = false
 	t.Prog = bits
 	t.Inst = id
@@ -581,18 +645,18 @@ func (r *Runtime) binCore(id int32, kind ir.BinKind, typ ir.Type, dst int32, dst
 	if !undef {
 		switch kind {
 		case ir.BinAdd:
-			r.ctx.Add(&d.Real, &ta.Real, &tb.Real)
+			r.orc.Add(&d.Real, &ta.Real, &tb.Real)
 		case ir.BinSub:
-			r.ctx.Sub(&d.Real, &ta.Real, &tb.Real)
+			r.orc.Sub(&d.Real, &ta.Real, &tb.Real)
 		case ir.BinMul:
-			r.ctx.Mul(&d.Real, &ta.Real, &tb.Real)
+			r.orc.Mul(&d.Real, &ta.Real, &tb.Real)
 		case ir.BinDiv:
-			_, bad := r.ctx.Div(&d.Real, &ta.Real, &tb.Real)
+			bad := r.orc.Div(&d.Real, &ta.Real, &tb.Real)
 			undef = undef || bad
 		}
 	}
 	if undef {
-		d.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+		r.orc.SetInt64(&d.Real, 0)
 	}
 	d.Undef = undef
 	d.Prog = dstVal
@@ -625,18 +689,18 @@ func (r *Runtime) unImpl(id int32, kind ir.UnKind, typ ir.Type, dst, a int32, ds
 	if !undef {
 		switch kind {
 		case ir.UnNeg:
-			r.ctx.Neg(&d.Real, &ta.Real)
+			r.orc.Neg(&d.Real, &ta.Real)
 		case ir.UnAbs:
-			r.ctx.Abs(&d.Real, &ta.Real)
+			r.orc.Abs(&d.Real, &ta.Real)
 		case ir.UnSqrt:
-			_, bad := r.ctx.Sqrt(&d.Real, &ta.Real)
+			bad := r.orc.Sqrt(&d.Real, &ta.Real)
 			undef = undef || bad
 		default:
-			r.ctx.Copy(&d.Real, &ta.Real)
+			r.orc.Copy(&d.Real, &ta.Real)
 		}
 	}
 	if undef {
-		d.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+		r.orc.SetInt64(&d.Real, 0)
 	}
 	d.Undef = undef
 	d.Prog = dstVal
@@ -664,7 +728,7 @@ func (r *Runtime) Cmp(id int32, pred ir.CmpPred, typ ir.Type, a, b int32, aVal, 
 	if ta.Undef || tb.Undef {
 		return
 	}
-	c := ta.Real.Cmp(&tb.Real)
+	c := r.orc.Cmp(&ta.Real, &tb.Real)
 	var shadowOutcome bool
 	switch pred {
 	case ir.CmpEq:
@@ -688,7 +752,7 @@ func (r *Runtime) Cmp(id int32, pred ir.CmpPred, typ ir.Type, a, b int32, aVal, 
 	r.emit(KindBranchFlip, id, errInfo{
 		errBits: maxInt(ta.Err, tb.Err),
 		program: interp.FormatValue(typ, aVal) + " vs " + interp.FormatValue(typ, bVal),
-		shadow:  formatBig(&ta.Real) + " vs " + formatBig(&tb.Real),
+		shadow:  r.orc.Format(&ta.Real) + " vs " + r.orc.Format(&tb.Real),
 		root:    pickRoot(ta, tb),
 	})
 	r.resyncAfterFlip()
@@ -754,7 +818,7 @@ func (r *Runtime) castImpl(id int32, from, to ir.Type, dst, src int32, dstVal, s
 		if s.Undef {
 			return
 		}
-		shadowInt := truncBigToInt(&s.Real)
+		shadowInt := r.orc.Int64(&s.Real)
 		if shadowInt != int64(dstVal) {
 			r.count(KindWrongCast)
 			r.emit(KindWrongCast, id, errInfo{
@@ -766,7 +830,7 @@ func (r *Runtime) castImpl(id int32, from, to ir.Type, dst, src int32, dstVal, s
 		}
 	case from == ir.I64 && to.IsNumeric():
 		d := r.temp(dst)
-		d.Real.SetPrec(r.cfg.Precision).SetInt64(int64(srcVal))
+		r.orc.SetInt64(&d.Real, int64(srcVal))
 		d.Undef = false
 		d.Prog = dstVal
 		d.Inst = id
@@ -784,11 +848,6 @@ func (r *Runtime) castImpl(id int32, from, to ir.Type, dst, src int32, dstVal, s
 			r.checkOp(id, to, false, d, nil, nil)
 		}
 	}
-}
-
-func truncBigToInt(x *big.Float) int64 {
-	i, _ := x.Int64() // big.Float.Int64 truncates toward zero
-	return i
 }
 
 // Load propagates metadata from shadow memory to a temporary (§3.3
@@ -824,7 +883,7 @@ func (r *Runtime) loadImpl(id int32, typ ir.Type, dst int32, addr uint32, bits u
 		d.Inst = id
 		r.seedMemFromProgram(mm, typ, clean)
 	default:
-		r.ctx.Copy(&d.Real, &mm.Real)
+		r.orc.Copy(&d.Real, &mm.Real)
 		d.Undef = mm.Undef
 		d.Prog = clean
 		d.Inst = mm.Inst
@@ -857,10 +916,10 @@ func (r *Runtime) seedMemFromProgram(mm *MemMeta, typ ir.Type, bits uint64) {
 	f := interp.ToFloat64(typ, bits)
 	if math.IsNaN(f) || math.IsInf(f, 0) {
 		mm.Undef = true
-		mm.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+		r.orc.SetInt64(&mm.Real, 0)
 	} else {
 		mm.Undef = false
-		r.ctx.SetFloat64(&mm.Real, f)
+		r.orc.SetFloat64(&mm.Real, f)
 	}
 	mm.Prog = bits
 	mm.Inst = -1
@@ -886,7 +945,7 @@ func (r *Runtime) storeImpl(id int32, typ ir.Type, addr uint32, src int32, bits 
 	clean, injected := r.injectedBefore(id, ir.OpShadowStore, bits)
 	s := r.ensure(src, typ, clean)
 	mm := r.memAt(addr)
-	r.ctx.Copy(&mm.Real, &s.Real)
+	r.orc.Copy(&mm.Real, &s.Real)
 	mm.Undef = s.Undef
 	mm.Prog = bits
 	mm.Inst = s.Inst
@@ -927,7 +986,7 @@ func (r *Runtime) PreCall(callee *ir.Func, args []int32, argVals []uint64) {
 		entry.Op2 = mdRef{}
 		if callee.Params[i].IsNumeric() {
 			src := r.ensure(reg, callee.Params[i], argVals[i])
-			r.ctx.Copy(&entry.Real, &src.Real)
+			r.orc.Copy(&entry.Real, &src.Real)
 			entry.Undef = src.Undef
 			entry.Prog = src.Prog
 			entry.Inst = src.Inst
@@ -952,7 +1011,7 @@ func (r *Runtime) Ret(typ ir.Type, src int32, bits uint64) {
 		return
 	}
 	s := r.ensure(src, typ, bits)
-	r.ctx.Copy(&r.retMeta.Real, &s.Real)
+	r.orc.Copy(&r.retMeta.Real, &s.Real)
 	r.retMeta.Undef = s.Undef
 	r.retMeta.Prog = s.Prog
 	r.retMeta.Inst = s.Inst
@@ -1019,11 +1078,9 @@ func (r *Runtime) FMA(id int32, typ ir.Type, dst, a, b, c int32, dstVal, aVal, b
 	d := r.temp(dst)
 	undef := ta.Undef || tb.Undef || tc.Undef
 	if !undef {
-		var prod big.Float
-		prod.SetPrec(2*r.cfg.Precision).Mul(&ta.Real, &tb.Real)
-		r.ctx.Add(&d.Real, &prod, &tc.Real)
+		r.orc.FMA(&d.Real, &ta.Real, &tb.Real, &tc.Real)
 	} else {
-		d.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+		r.orc.SetInt64(&d.Real, 0)
 	}
 	d.Undef = undef
 	d.Prog = dstVal
@@ -1066,10 +1123,11 @@ func (r *Runtime) QAdd(typ ir.Type, a int32, aVal uint64, negate bool) {
 		q.undef = true
 		return
 	}
+	r.orc.Big(&r.qsA, &ta.Real)
 	if negate {
-		q.acc.Sub(&q.acc, &ta.Real)
+		q.acc.Sub(&q.acc, &r.qsA)
 	} else {
-		q.acc.Add(&q.acc, &ta.Real)
+		q.acc.Add(&q.acc, &r.qsA)
 	}
 }
 
@@ -1082,12 +1140,13 @@ func (r *Runtime) QMAdd(typ ir.Type, a, b int32, aVal, bVal uint64, negate bool)
 		q.undef = true
 		return
 	}
-	var prod big.Float
-	prod.SetPrec(768).Mul(&ta.Real, &tb.Real)
+	r.orc.Big(&r.qsA, &ta.Real)
+	r.orc.Big(&r.qsB, &tb.Real)
+	r.qProd.SetPrec(768).Mul(&r.qsA, &r.qsB)
 	if negate {
-		q.acc.Sub(&q.acc, &prod)
+		q.acc.Sub(&q.acc, &r.qProd)
 	} else {
-		q.acc.Add(&q.acc, &prod)
+		q.acc.Add(&q.acc, &r.qProd)
 	}
 }
 
@@ -1097,10 +1156,10 @@ func (r *Runtime) QVal(id int32, typ ir.Type, dst int32, bits uint64) {
 	d := r.temp(dst)
 	if q.undef {
 		d.Undef = true
-		d.Real.SetPrec(r.cfg.Precision).SetInt64(0)
+		r.orc.SetInt64(&d.Real, 0)
 	} else {
 		d.Undef = false
-		r.ctx.Copy(&d.Real, &q.acc)
+		r.orc.SetBig(&d.Real, &q.acc)
 	}
 	d.Prog = bits
 	d.Inst = id

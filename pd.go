@@ -38,6 +38,7 @@ import (
 	"positdebug/internal/ir"
 	"positdebug/internal/lang"
 	"positdebug/internal/posit"
+	"positdebug/internal/shadow/oracle"
 	"positdebug/internal/refactor"
 	"positdebug/internal/shadow"
 )
@@ -108,8 +109,14 @@ type Result struct {
 	// Degraded marks runs that exceeded the shadow-memory budget and were
 	// automatically retried at a reduced precision.
 	Degraded bool
-	// ShadowPrecision is the precision the run finally completed at.
+	// ShadowPrecision is the nominal significand precision the run finally
+	// completed at: the configured bigfp precision, or the selected
+	// oracle's fixed width (106 for dd, 53 for residue).
 	ShadowPrecision uint
+	// ShadowOracle is the shadow-arithmetic backend the run used
+	// (oracle.BigFP, oracle.DD or oracle.Residue); empty for baseline and
+	// Herbgrind runs.
+	ShadowOracle oracle.Kind
 	// TraceNodes is the number of trace nodes a Herbgrind-baseline run
 	// (WithHerbgrind) accumulated; 0 otherwise.
 	TraceNodes int
