@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-frontend fuzz-bytecode campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke vm-smoke oracle-smoke
+.PHONY: all build vet test race fuzz fuzz-frontend fuzz-bytecode campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke chaos-smoke vm-smoke oracle-smoke
 
 all: build vet test
 
@@ -143,3 +143,28 @@ fabric-smoke: build
 	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -runs 60 -arch both -json > $(FABDIR)/seq.json
 	diff $(FABDIR)/coord.json $(FABDIR)/seq.json
 	@echo "fabric-smoke: distributed report byte-identical to sequential ✓"
+
+# Self-healing fleet check. First the chaos suite under the race detector
+# at -cpu=1,4: real campaigns through the fault-injecting proxy (latency,
+# error storms, connection resets, truncated bodies, blackholes) with one
+# worker killed and another joining mid-run, every merged report required
+# byte-identical to sequential pdfault. Then a real 2-process fleet
+# assembled by discovery alone: two pdserve workers self-register with a
+# pdcoord registration endpoint (no -workers flag anywhere), the campaign
+# runs, and the result is diffed against pdfault. Workers start before
+# the coordinator on purpose — the registration loop must survive beats
+# into the void until the endpoint appears. CI runs this as the
+# chaos-smoke job.
+CHAOSDIR ?= /tmp/pd-chaos-smoke
+chaos-smoke: build
+	$(GO) test -race -count=1 -cpu=1,4 ./internal/chaos/
+	mkdir -p $(CHAOSDIR)
+	$(GO) build -o $(CHAOSDIR)/pdserve ./cmd/pdserve
+	$(CHAOSDIR)/pdserve -addr 127.0.0.1:8713 -coordinator http://127.0.0.1:8731 -heartbeat 250ms & echo $$! > $(CHAOSDIR)/w1.pid
+	$(CHAOSDIR)/pdserve -addr 127.0.0.1:8714 -coordinator http://127.0.0.1:8731 -heartbeat 250ms & echo $$! > $(CHAOSDIR)/w2.pid
+	$(GO) run ./cmd/pdcoord -listen 127.0.0.1:8731 -min-workers 2 \
+		-workload polybench/gemm -seed 42 -runs 60 -arch both -shard-size 8 -json > $(CHAOSDIR)/coord.json; \
+		status=$$?; kill `cat $(CHAOSDIR)/w1.pid` `cat $(CHAOSDIR)/w2.pid` 2>/dev/null; exit $$status
+	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -runs 60 -arch both -json > $(CHAOSDIR)/seq.json
+	diff $(CHAOSDIR)/coord.json $(CHAOSDIR)/seq.json
+	@echo "chaos-smoke: self-registered fleet byte-identical to sequential ✓"

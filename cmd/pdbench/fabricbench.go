@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -41,6 +45,28 @@ type FabricReport struct {
 	// report from already-fetched shard results (the coordinator's
 	// critical section after the last worker answers).
 	MergeMS float64 `json:"merge_ms"`
+	// Ring measures compile-cache affinity under membership churn.
+	Ring *RingBenchReport `json:"ring,omitempty"`
+}
+
+// RingBenchReport quantifies what consistent-hash worker selection buys:
+// the fraction of same-kernel requests that re-hit a warm compile cache
+// before and after a membership change, against the naive mod-hash
+// placement a fleet without a ring would use.
+type RingBenchReport struct {
+	Kernels      int `json:"kernels"`
+	VirtualNodes int `json:"virtual_nodes"`
+	// StaticHitRate: warm re-requests on a stable 3-worker fleet.
+	StaticHitRate float64 `json:"static_hit_rate"`
+	// ChurnHitRate: re-requests routed by the post-join 4-worker ring —
+	// only kernels on the moved arc go cold.
+	ChurnHitRate float64 `json:"churn_hit_rate"`
+	// MovedFraction: kernels whose ring owner changed when the fourth
+	// worker joined (ideally ≈ 1/4).
+	MovedFraction float64 `json:"moved_fraction"`
+	// ModHashMovedFraction: how many kernels mod-hash placement
+	// (hash % fleet size) would have moved on the same join (≈ 3/4).
+	ModHashMovedFraction float64 `json:"mod_hash_moved_fraction"`
 }
 
 // fabricBench measures distributed campaign throughput with 1 vs 3
@@ -115,6 +141,15 @@ func fabricBench(out, workload string, n, runs, shardSize int) error {
 	rep.MergeMS = float64(time.Since(start).Microseconds()) / 1000 / mergeIters
 	fmt.Fprintf(os.Stderr, "%-22s %8.3fms per merge (%d shards)\n", "merge", rep.MergeMS, len(shards))
 
+	ring, err := ringBench()
+	if err != nil {
+		return err
+	}
+	rep.Ring = ring
+	fmt.Fprintf(os.Stderr, "%-22s %5.0f%% static, %5.0f%% after join (ring moved %.0f%%, mod-hash would move %.0f%%)\n",
+		"cache affinity", ring.StaticHitRate*100, ring.ChurnHitRate*100,
+		ring.MovedFraction*100, ring.ModHashMovedFraction*100)
+
 	j, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -126,3 +161,100 @@ func fabricBench(out, workload string, n, runs, shardSize int) error {
 	}
 	return os.WriteFile(out, j, 0o644)
 }
+
+// ringBench measures compile-cache affinity across a membership change.
+// Distinct synthetic kernels are warmed on a 3-worker fleet with requests
+// routed by ring ownership; then a fourth worker joins, the ring is
+// rebuilt, and every kernel is requested once more through the new ring.
+// Kernels off the moved arc land on the worker that already compiled them
+// (warm hit); mod-hash placement would have reshuffled almost everything.
+func ringBench() (*RingBenchReport, error) {
+	const kernels = 48
+	workers := make([]*httptest.Server, 0, 4)
+	defer func() {
+		for _, ts := range workers {
+			ts.Close()
+		}
+	}()
+	addWorker := func() string {
+		ts := httptest.NewServer(server.New(server.Config{DefaultTimeout: 30 * time.Second}).Handler())
+		workers = append(workers, ts)
+		return ts.URL
+	}
+	urls := []string{addWorker(), addWorker(), addWorker()}
+
+	srcs := make([]string, kernels)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("func main(): i64 { var r: i64 = %d; print(r); return r; }", i*7+1)
+	}
+
+	post := func(workerURL, src string) (cached bool, err error) {
+		body, err := json.Marshal(server.RunRequest{Source: src})
+		if err != nil {
+			return false, err
+		}
+		resp, err := http.Post(workerURL+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			return false, fmt.Errorf("ring bench: /run on %s: %d: %s", workerURL, resp.StatusCode, b)
+		}
+		var rr server.RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return false, err
+		}
+		return rr.Cached, nil
+	}
+
+	rep := &RingBenchReport{Kernels: kernels, VirtualNodes: fabric.DefaultVirtualNodes}
+	ring3 := fabric.NewRing(urls, fabric.DefaultVirtualNodes)
+
+	// Cold pass then warm pass on the stable fleet, both ring-routed.
+	for _, src := range srcs {
+		if _, err := post(ring3.Owner(src), src); err != nil {
+			return nil, err
+		}
+	}
+	staticHits := 0
+	for _, src := range srcs {
+		hit, err := post(ring3.Owner(src), src)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			staticHits++
+		}
+	}
+	rep.StaticHitRate = float64(staticHits) / kernels
+
+	// A fourth worker joins; the ring moves one arc, mod-hash would
+	// reshuffle nearly everything.
+	urls4 := append(append([]string{}, urls...), addWorker())
+	ring4 := fabric.NewRing(urls4, fabric.DefaultVirtualNodes)
+	churnHits, moved, modMoved := 0, 0, 0
+	for _, src := range srcs {
+		if ring4.Owner(src) != ring3.Owner(src) {
+			moved++
+		}
+		h := fnv.New64a()
+		h.Write([]byte(src))
+		if h.Sum64()%3 != h.Sum64()%4 {
+			modMoved++
+		}
+		hit, err := post(ring4.Owner(src), src)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			churnHits++
+		}
+	}
+	rep.ChurnHitRate = float64(churnHits) / kernels
+	rep.MovedFraction = float64(moved) / kernels
+	rep.ModHashMovedFraction = float64(modMoved) / kernels
+	return rep, nil
+}
+

@@ -4,12 +4,29 @@
 // into a report byte-identical to a single-process run of the same
 // configuration.
 //
-// Usage:
+// Usage (static fleet):
 //
 //	pdserve -addr :8701 &
 //	pdserve -addr :8702 &
 //	pdcoord -workers http://localhost:8701,http://localhost:8702 \
 //	        -workload polybench/gemm -seed 42 -runs 200 -arch both -json
+//
+// Usage (elastic fleet — workers find the coordinator):
+//
+//	pdserve -addr :8701 -coordinator http://localhost:8731 &
+//	pdserve -addr :8702 -coordinator http://localhost:8731 &
+//	pdcoord -listen 127.0.0.1:8731 -min-workers 2 \
+//	        -workload polybench/gemm -seed 42 -runs 200 -arch both -json
+//
+// -listen serves the registrar (POST /fabric/register, /fabric/deregister,
+// GET /fabric/members): workers self-register, heartbeat, and may join or
+// leave mid-campaign — a joiner starts taking shards immediately, a drain
+// announcement migrates in-flight leases without waiting for expiry, and
+// silent workers are expired by heartbeat TTL and active /readyz probing.
+// Worker selection walks a consistent-hash ring keyed by kernel identity,
+// so same-kernel shards keep landing on workers with warm compile caches
+// and membership churn moves only the affected arc. -workers and -listen
+// compose; at least one is required.
 //
 // Worker failures are the expected case, not the exceptional one: shards
 // are retried with capped exponential backoff (429 Retry-After windows
@@ -31,6 +48,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,8 +61,33 @@ import (
 	"positdebug/internal/obs"
 )
 
+// parseWorkers splits a -workers list into validated base URLs: entries
+// are trimmed, empties (trailing commas, doubled commas) dropped, and
+// anything that isn't an absolute http(s) URL rejected with an error
+// naming the offending entry.
+func parseWorkers(list string) ([]string, error) {
+	var out []string
+	for _, entry := range strings.Split(list, ",") {
+		if strings.TrimSpace(entry) == "" {
+			continue
+		}
+		u, err := fabric.NormalizeWorkerURL(entry)
+		if err != nil {
+			return nil, fmt.Errorf("-workers: %v", err)
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
 func main() {
-	workers := flag.String("workers", "", "comma-separated pdserve base URLs (required)")
+	workers := flag.String("workers", "", "comma-separated pdserve base URLs (optional when -listen is set)")
+	listen := flag.String("listen", "", "serve the worker-registration endpoint on this address; workers join with pdserve -coordinator")
+	minWorkers := flag.Int("min-workers", 1, "with -listen: wait for this many registered workers before dispatching")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", 15*time.Second, "with -listen: drop a registered worker whose heartbeats stop for this long")
+	probeInterval := flag.Duration("probe-interval", 3*time.Second, "with -listen: /readyz probe cadence for every member (negative = off)")
+	vnodes := flag.Int("vnodes", fabric.DefaultVirtualNodes, "virtual nodes per worker on the consistent-hash ring")
+	jitterSeed := flag.Int64("jitter-seed", 0, "seed for backoff/hedge jitter (0 = time-derived); fixed seeds replay retry schedules")
 	workload := flag.String("workload", "polybench/gemm", "workload: polybench/<kernel>, spec/<kernel>, suite/<program>")
 	n := flag.Int("n", 0, "problem size (0 = campaign default)")
 	runs := flag.Int("runs", 100, "fault-injected runs per architecture (profile mode: total runs)")
@@ -81,18 +125,24 @@ func main() {
 	sample := flag.Int("sample", 1, "profile mode: shadow sampling stride")
 	flag.Parse()
 
-	if *workers == "" {
-		fail(errors.New("-workers is required (comma-separated pdserve URLs)"))
+	workerURLs, err := parseWorkers(*workers)
+	if err != nil {
+		fail(err)
+	}
+	if len(workerURLs) == 0 && *listen == "" {
+		fail(errors.New("no fleet: pass -workers (static URLs), -listen (worker self-registration), or both"))
 	}
 
 	fcfg := fabric.Config{
-		Workers:      strings.Split(*workers, ","),
+		Workers:      workerURLs,
 		ShardSize:    *shardSize,
 		MaxAttempts:  *maxAttempts,
 		LeaseTimeout: *lease,
 		HedgeAfter:   *hedge,
 		EjectAfter:   *eject,
 		Probation:    *probation,
+		VirtualNodes: *vnodes,
+		JitterSeed:   *jitterSeed,
 	}
 	if *verbose {
 		fcfg.Logf = func(format string, args ...any) {
@@ -111,6 +161,39 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// -listen: serve the registrar next to the campaign so the fleet can
+	// assemble (and keep changing) while shards are in flight.
+	if *listen != "" {
+		members := fabric.NewMembership()
+		fcfg.Members = members
+		registrar, err := fabric.NewRegistrar(fabric.RegistrarConfig{
+			Members:       members,
+			HeartbeatTTL:  *heartbeatTTL,
+			ProbeInterval: *probeInterval,
+			Metrics:       reg,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "pdcoord: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fail(err)
+		}
+		hs := &http.Server{Handler: registrar.Handler()}
+		go hs.Serve(ln)
+		go registrar.Run(ctx)
+		defer hs.Close()
+		fmt.Fprintf(os.Stderr, "pdcoord: registration endpoint on %s\n", ln.Addr())
+
+		// Count static -workers toward the floor: they are members too.
+		if err := waitForWorkers(ctx, members, len(workerURLs), *minWorkers); err != nil {
+			fail(err)
+		}
 	}
 
 	if *profileMode {
@@ -203,6 +286,30 @@ func main() {
 		return
 	}
 	fmt.Print(rep)
+}
+
+// waitForWorkers blocks until enough workers have registered to satisfy
+// -min-workers. Static -workers entries count toward the floor (they join
+// the roster when the coordinator is built, after this wait), so only the
+// remainder must arrive via registration.
+func waitForWorkers(ctx context.Context, members *fabric.Membership, static, min int) error {
+	need := min - static
+	if need <= 0 {
+		return nil
+	}
+	notify := members.Notify()
+	if members.Len() < need {
+		fmt.Fprintf(os.Stderr, "pdcoord: waiting for %d worker(s) to register...\n", need-members.Len())
+	}
+	for members.Len() < need {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("interrupted with %d of %d workers registered", members.Len()+static, min)
+		case <-notify:
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pdcoord: fleet assembled: %d worker(s)\n", members.Len()+static)
+	return nil
 }
 
 func writeMetrics(reg *obs.Registry, path string) {

@@ -23,6 +23,15 @@
 // requests (keyed by source hash) at /debug/profile; -pprof mounts Go's
 // runtime profiling endpoints under /debug/pprof/.
 //
+// Fleet membership: -coordinator http://coord:8731 makes the worker
+// self-register with a pdcoord registrar and heartbeat every -heartbeat
+// interval, advertising its capacity/oracle/backend tier. The worker may
+// start before the coordinator — failed beats retry forever. On SIGTERM
+// the drain announces departure to the coordinator first, so in-flight
+// shard leases migrate immediately instead of waiting out their expiry.
+// -advertise overrides the URL the coordinator dials back (default:
+// derived from the listen address).
+//
 // Endpoints: POST /run, GET /healthz, /readyz, /metrics (Prometheus text),
 // and optionally GET /debug/profile, /debug/pprof/*.
 package main
@@ -43,6 +52,30 @@ import (
 	"positdebug/internal/shadow/oracle"
 )
 
+// advertiseURL derives the base URL workers advertise to the coordinator
+// from the bound listener address: an unspecified host (":8080",
+// "0.0.0.0") is replaced with 127.0.0.1 — good for single-host fleets,
+// which is what address-less listening means; multi-host fleets pass
+// -advertise explicitly.
+func advertiseURL(addr net.Addr) string {
+	host, port := "127.0.0.1", ""
+	if tcp, ok := addr.(*net.TCPAddr); ok {
+		if ip := tcp.IP; ip != nil && !ip.IsUnspecified() {
+			host = ip.String()
+			if ip.To4() == nil {
+				host = "[" + host + "]"
+			}
+		}
+		port = fmt.Sprintf("%d", tcp.Port)
+	} else if h, p, err := net.SplitHostPort(addr.String()); err == nil {
+		if h != "" && h != "::" && h != "0.0.0.0" {
+			host = h
+		}
+		port = p
+	}
+	return "http://" + host + ":" + port
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	concurrency := flag.Int("concurrency", 0, "max simultaneously executing runs (0 = GOMAXPROCS)")
@@ -61,6 +94,9 @@ func main() {
 	profileSample := flag.Int("profile-sample", 1, "shadow sampling stride for request profiling (1 = full shadow)")
 	pprofFlag := flag.Bool("pprof", false, "mount Go runtime profiling at /debug/pprof/")
 	backendFlag := flag.String("backend", "", "execution backend for every served run: treewalk|vm (default treewalk)")
+	coordinator := flag.String("coordinator", "", "fabric coordinator registrar base URL to self-register with (pdcoord -listen)")
+	advertise := flag.String("advertise", "", "base URL the coordinator should dial this worker at (default: derived from -addr)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "registration heartbeat interval when -coordinator is set")
 	flag.Parse()
 
 	var flightW io.Writer
@@ -113,6 +149,20 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *coordinator != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseURL(l.Addr())
+		}
+		go srv.RegisterLoop(ctx, server.RegisterConfig{
+			Coordinator: *coordinator,
+			Advertise:   adv,
+			Interval:    *heartbeat,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "pdserve: "+format+"\n", args...)
+			},
+		})
+	}
 	if err := srv.Serve(ctx, l); err != nil {
 		fmt.Fprintln(os.Stderr, "pdserve:", err)
 		os.Exit(1)

@@ -1,0 +1,358 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"positdebug/internal/fabric"
+	"positdebug/internal/faultinject"
+	"positdebug/internal/obs"
+	"positdebug/internal/server"
+)
+
+// The chaos campaign suite: real multi-worker campaigns through the
+// fault-injecting proxy, each asserting the merged report is
+// byte-identical to a sequential single-process pdfault run. Every test
+// also asserts its faults actually fired — a calm run must not pass as a
+// chaotic one.
+
+func chaosCampaign() faultinject.CampaignConfig {
+	return faultinject.CampaignConfig{
+		Workload: "polybench/gemm", N: 8, Arch: "both", Runs: 16, Seed: 1337,
+	}
+}
+
+func oracleBytes(t *testing.T, cfg faultinject.CampaignConfig) []byte {
+	t.Helper()
+	rep, err := faultinject.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func fabricBytes(t *testing.T, rep *faultinject.Report) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// chaosCfg is the coordinator shape for chaos runs: quick retries, quick
+// ejections, death verdicts on, hedging off unless a test opts in.
+func chaosCfg(workers ...string) fabric.Config {
+	return fabric.Config{
+		Workers:      workers,
+		ShardSize:    2,
+		MaxAttempts:  12,
+		BaseBackoff:  5 * time.Millisecond,
+		MaxBackoff:   50 * time.Millisecond,
+		LeaseTimeout: time.Minute,
+		HedgeAfter:   -1,
+		EjectAfter:   2,
+		DeadAfter:    2,
+		Probation:    50 * time.Millisecond,
+		JitterSeed:   42,
+	}
+}
+
+// TestChaosFaultStormByteIdentical drives a campaign through three
+// proxies injecting a mixed storm — latency, 5xx errors, connection
+// resets, truncated bodies — and requires the merged report to match the
+// sequential oracle byte for byte.
+func TestChaosFaultStormByteIdentical(t *testing.T) {
+	ccfg := chaosCampaign()
+	want := oracleBytes(t, ccfg)
+
+	fleet, err := NewFleet(3, DefaultWorkerConfig(), 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	fleet.Workers[0].Proxy.SetRoute("/campaign/shard", Spec{Latency: 20 * time.Millisecond, ErrorRate: 0.5, ErrorCode: http.StatusServiceUnavailable})
+	fleet.Workers[1].Proxy.SetRoute("/campaign/shard", Spec{ResetRate: 0.5})
+	fleet.Workers[2].Proxy.SetRoute("/campaign/shard", Spec{TruncateRate: 0.4, ErrorRate: 0.25, ErrorCode: http.StatusInternalServerError})
+
+	reg := obs.NewRegistry()
+	cfg := chaosCfg(fleet.URLs()...)
+	cfg.Metrics = reg
+	cfg.Logf = t.Logf
+	co, err := fabric.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fabricBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("fault-storm report differs from sequential oracle")
+	}
+	c := fleet.TotalCounts()
+	t.Logf("injected faults: %+v", c)
+	if c.Errors+c.Resets+c.Truncates < 3 {
+		t.Fatalf("storm injected too few faults to prove anything: %+v", c)
+	}
+	if c.Latency == 0 {
+		t.Fatalf("latency spec never applied: %+v", c)
+	}
+}
+
+// TestChaosBlackholeHedgeEscape: one worker blackholes every shard (accepts
+// and hangs in silence). Hedging must rescue every stuck shard onto the
+// healthy workers — long before the (deliberately long) lease.
+func TestChaosBlackholeHedgeEscape(t *testing.T) {
+	ccfg := chaosCampaign()
+	want := oracleBytes(t, ccfg)
+
+	fleet, err := NewFleet(3, DefaultWorkerConfig(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	fleet.Workers[0].Proxy.SetRoute("/campaign/shard", Spec{BlackholeRate: 1})
+
+	reg := obs.NewRegistry()
+	cfg := chaosCfg(fleet.URLs()...)
+	cfg.HedgeAfter = 250 * time.Millisecond
+	cfg.Metrics = reg
+	cfg.Logf = t.Logf
+	co, err := fabric.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 45*time.Second {
+		t.Fatalf("campaign took %v; hedges should escape blackholes far inside the lease", elapsed)
+	}
+	if got := fabricBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("blackholed campaign differs from sequential oracle")
+	}
+	c := fleet.TotalCounts()
+	t.Logf("injected faults: %+v", c)
+	if c.Blackholes == 0 {
+		t.Fatal("no blackhole ever fired; test proves nothing")
+	}
+	if n := reg.Counter(`pd_fabric_hedges_total{kind="campaign"}`).Value(); n == 0 {
+		t.Fatal("no hedge fired; blackholed shards should have been hedged")
+	}
+}
+
+// registerWorker posts one registration to the registrar, as pdserve
+// -coordinator does on its first heartbeat.
+func registerWorker(t *testing.T, coordURL, workerURL string) {
+	t.Helper()
+	body, _ := json.Marshal(fabric.RegisterRequest{URL: workerURL})
+	resp, err := http.Post(coordURL+"/fabric/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: %d", workerURL, resp.StatusCode)
+	}
+}
+
+// TestChaosChurnByteIdentical is the acceptance-criteria test: a campaign
+// through fault-injecting proxies during which one worker is killed
+// mid-run (no goodbye — backend dead, proxy answering 502) and another
+// worker joins mid-run via the registration endpoint. The merged report
+// must equal the sequential oracle byte for byte, and the joiner must
+// actually have served shards.
+func TestChaosChurnByteIdentical(t *testing.T) {
+	ccfg := chaosCampaign()
+	want := oracleBytes(t, ccfg)
+
+	// The fleet roster is fed by a real registrar over HTTP — the same
+	// surface pdcoord -listen serves.
+	members := fabric.NewMembership()
+	metrics := obs.NewRegistry()
+	registrar, err := fabric.NewRegistrar(fabric.RegistrarConfig{
+		Members: members, ProbeInterval: -1, HeartbeatTTL: time.Hour,
+		Metrics: metrics, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(registrar.Handler())
+	t.Cleanup(coordSrv.Close)
+
+	fleet, err := NewFleet(2, DefaultWorkerConfig(), 31337)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	victim, survivor := fleet.Workers[0], fleet.Workers[1]
+	victim.Proxy.SetRoute("/campaign/shard", Spec{ErrorRate: 0.15})
+	survivor.Proxy.SetRoute("/campaign/shard", Spec{Latency: 25 * time.Millisecond})
+	registerWorker(t, coordSrv.URL, victim.URL())
+	registerWorker(t, coordSrv.URL, survivor.URL())
+
+	// Mid-campaign churn, triggered by real traffic: after the victim has
+	// served two shards its backend dies (kill -9 shape: connections
+	// severed, proxy 502s), and a brand-new worker registers.
+	var joiner *Worker
+	joined := make(chan struct{})
+	victim.Proxy.OnForward(func(path string, n int) {
+		if path != "/campaign/shard" || n != 2 {
+			return
+		}
+		go func() {
+			defer close(joined)
+			victim.Kill()
+			w, err := NewWorker(DefaultWorkerConfig(), 555)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			joiner = w
+			registerWorker(t, coordSrv.URL, w.URL())
+		}()
+	})
+
+	cfg := chaosCfg() // no static workers: the roster is the registrar's
+	cfg.Members = members
+	cfg.Metrics = metrics
+	cfg.Logf = t.Logf
+	co, err := fabric.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-joined:
+	case <-time.After(10 * time.Second):
+		t.Fatal("churn trigger never fired: the victim served fewer than 2 shards")
+	}
+	t.Cleanup(func() {
+		if joiner != nil {
+			joiner.Close()
+		}
+	})
+
+	if got := fabricBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("churned campaign differs from sequential oracle")
+	}
+	if joiner == nil || joiner.Proxy.Counts().Forwarded == 0 {
+		t.Fatal("the mid-campaign joiner served nothing")
+	}
+	if n := metrics.Counter("pd_fabric_member_deaths_total").Value(); n < 1 {
+		t.Fatalf("deaths counter = %d; the killed worker was never declared dead", n)
+	}
+	for _, m := range members.Snapshot() {
+		if m.URL == victim.URL() {
+			t.Fatal("the killed worker is still in the roster")
+		}
+	}
+}
+
+// TestChaosDrainAnnouncementMigratesLeases: a worker running the real
+// registration loop begins draining mid-campaign; its deregistration must
+// reach the registrar and migrate its in-flight lease immediately — the
+// campaign must finish far inside the deliberately long lease timeout.
+func TestChaosDrainAnnouncementMigratesLeases(t *testing.T) {
+	ccfg := chaosCampaign()
+	want := oracleBytes(t, ccfg)
+
+	members := fabric.NewMembership()
+	metrics := obs.NewRegistry()
+	registrar, err := fabric.NewRegistrar(fabric.RegistrarConfig{
+		Members: members, ProbeInterval: -1, HeartbeatTTL: time.Hour,
+		Metrics: metrics, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(registrar.Handler())
+	t.Cleanup(coordSrv.Close)
+
+	fleet, err := NewFleet(2, DefaultWorkerConfig(), 909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	leaver, stayer := fleet.Workers[0], fleet.Workers[1]
+
+	// The leaver runs the real worker-side registration loop; its drain
+	// will announce departure over the wire.
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		leaver.Server.RegisterLoop(ctx, server.RegisterConfig{
+			Coordinator: coordSrv.URL,
+			Advertise:   leaver.URL(),
+			Interval:    100 * time.Millisecond,
+			Logf:        t.Logf,
+		})
+	}()
+	registerWorker(t, coordSrv.URL, stayer.URL())
+	deadline := time.Now().Add(5 * time.Second)
+	for members.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if members.Len() < 2 {
+		t.Fatal("fleet never assembled")
+	}
+
+	// After the leaver serves two shards, its graceful drain begins: new
+	// requests get 503, and the registration loop posts the departure.
+	var drained bool
+	leaver.Proxy.OnForward(func(path string, n int) {
+		if path == "/campaign/shard" && n == 2 && !drained {
+			drained = true
+			leaver.Server.BeginDrain()
+		}
+	})
+
+	cfg := chaosCfg()
+	cfg.Members = members
+	cfg.Metrics = metrics
+	cfg.LeaseTimeout = 5 * time.Minute // migration must not need the lease
+	cfg.Logf = t.Logf
+	co, err := fabric.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Fatalf("campaign took %v; the drain announcement should migrate leases immediately", elapsed)
+	}
+	select {
+	case <-loopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("registration loop did not exit after drain")
+	}
+	if got := fabricBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("drained campaign differs from sequential oracle")
+	}
+	if !drained {
+		t.Fatal("drain trigger never fired")
+	}
+	if n := metrics.Counter("pd_fabric_member_leaves_total").Value(); n < 1 {
+		t.Fatal("no member ever left; the departure announcement was lost")
+	}
+}

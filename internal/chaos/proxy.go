@@ -1,0 +1,304 @@
+// Package chaos is the fabric's hostile-network harness: an in-process
+// fault-injecting reverse proxy plus worker kill/restart orchestration,
+// used by the chaos-smoke suite to prove the coordinator's byte-identical
+// determinism guarantee survives latency, error storms, connection resets,
+// truncated responses, blackholes, and fleet churn — the failure modes a
+// long-running numerical-debugging service actually meets.
+//
+// Design notes. The proxy is the worker's public identity: the coordinator
+// dials the proxy URL, the proxy forwards to whatever backend it currently
+// targets. That split is what makes kill/restart realistic — the worker
+// process behind a proxy can die (connections severed, dials refused) and
+// come back on a different port while the fleet roster keeps one stable
+// URL. Fault rolls draw from a seeded PRNG, so a failing chaos schedule
+// replays exactly; faults compose per request in a fixed precedence
+// (blackhole > reset > error > truncate), with latency applied first.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Spec is one route's fault profile. Rates are probabilities in [0, 1],
+// rolled independently per request in precedence order: Blackhole, Reset,
+// Error, Truncate. Latency (when set) always applies first.
+type Spec struct {
+	// Latency delays the request before anything else happens — injected
+	// network slowness, not worker slowness, so hedging and lease logic
+	// see realistic in-flight time.
+	Latency time.Duration
+	// ErrorRate answers with ErrorCode (default 503) and a short body
+	// without touching the backend — an error storm from a sick LB or a
+	// crashing worker.
+	ErrorRate float64
+	ErrorCode int
+	// ResetRate severs the TCP connection mid-request with no response
+	// bytes at all — a connection reset as the client sees it.
+	ResetRate float64
+	// TruncateRate forwards to the backend but cuts the response body off
+	// partway and severs the connection — a torn response that must fail
+	// decoding, never be half-merged.
+	TruncateRate float64
+	// BlackholeRate accepts the request and then holds it open in silence
+	// until the client gives up — the lease-timeout / hedging trigger.
+	BlackholeRate float64
+}
+
+// Counts reports how many of each fault the proxy actually injected —
+// tests assert these are nonzero so a "passing" chaos run can't silently
+// have been a calm one.
+type Counts struct {
+	Forwarded  int
+	Latency    int
+	Errors     int
+	Resets     int
+	Truncates  int
+	Blackholes int
+}
+
+// Proxy is a fault-injecting reverse proxy for one worker. Create with
+// NewProxy, point the fleet at URL(), shape faults with SetSpec/SetRoute,
+// retarget (worker restart) with SetTarget.
+type Proxy struct {
+	ts     *httptest.Server
+	client *http.Client
+
+	mu       sync.Mutex
+	target   string
+	spec     Spec // default for routes without an override
+	routes   map[string]Spec
+	rng      *rand.Rand
+	counts   Counts
+	onFwd    func(path string, n int)
+	fwdCount int
+}
+
+// NewProxy starts a proxy in front of target with deterministic fault
+// rolls from seed. The zero Spec injects nothing until SetSpec/SetRoute.
+func NewProxy(target string, seed int64) *Proxy {
+	p := &Proxy{
+		target: target,
+		routes: map[string]Spec{},
+		rng:    rand.New(rand.NewSource(seed)),
+		client: &http.Client{
+			// One connection per request: connection reuse across a reset
+			// test would leak faults between requests.
+			Transport: &http.Transport{DisableKeepAlives: true},
+		},
+	}
+	p.ts = httptest.NewServer(http.HandlerFunc(p.serve))
+	return p
+}
+
+// URL is the proxy's base URL — the worker's stable identity as the
+// coordinator and the fleet roster see it.
+func (p *Proxy) URL() string { return p.ts.URL }
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() { p.ts.Close() }
+
+// SetTarget retargets the proxy (a restarted worker on a new port).
+func (p *Proxy) SetTarget(target string) {
+	p.mu.Lock()
+	p.target = target
+	p.mu.Unlock()
+}
+
+// SetSpec installs the default fault profile for all routes.
+func (p *Proxy) SetSpec(s Spec) {
+	p.mu.Lock()
+	p.spec = s
+	p.mu.Unlock()
+}
+
+// SetRoute overrides the fault profile for one exact request path.
+func (p *Proxy) SetRoute(path string, s Spec) {
+	p.mu.Lock()
+	p.routes[path] = s
+	p.mu.Unlock()
+}
+
+// OnForward installs a hook called (outside the proxy lock) after each
+// successfully forwarded request with the path and the running forward
+// count — the chaos tests' trigger point for mid-campaign kills and joins.
+func (p *Proxy) OnForward(fn func(path string, n int)) {
+	p.mu.Lock()
+	p.onFwd = fn
+	p.mu.Unlock()
+}
+
+// Counts returns a snapshot of injected-fault counters.
+func (p *Proxy) Counts() Counts {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}
+
+// roll decides this request's fate under the route's spec. All PRNG use
+// happens here, under the lock, in a fixed draw order — concurrent
+// requests still see a deterministic fault stream.
+type fate struct {
+	latency   time.Duration
+	blackhole bool
+	reset     bool
+	errCode   int
+	truncate  bool
+	target    string
+}
+
+func (p *Proxy) roll(path string) fate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.routes[path]
+	if !ok {
+		s = p.spec
+	}
+	f := fate{latency: s.Latency, target: p.target}
+	switch {
+	case s.BlackholeRate > 0 && p.rng.Float64() < s.BlackholeRate:
+		f.blackhole = true
+		p.counts.Blackholes++
+	case s.ResetRate > 0 && p.rng.Float64() < s.ResetRate:
+		f.reset = true
+		p.counts.Resets++
+	case s.ErrorRate > 0 && p.rng.Float64() < s.ErrorRate:
+		f.errCode = s.ErrorCode
+		if f.errCode == 0 {
+			f.errCode = http.StatusServiceUnavailable
+		}
+		p.counts.Errors++
+	case s.TruncateRate > 0 && p.rng.Float64() < s.TruncateRate:
+		f.truncate = true
+		p.counts.Truncates++
+	}
+	if f.latency > 0 {
+		p.counts.Latency++
+	}
+	return f
+}
+
+func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
+	f := p.roll(r.URL.Path)
+	if f.latency > 0 {
+		select {
+		case <-time.After(f.latency):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if f.blackhole {
+		// Hold the request in silence until the client (lease, hedge, or
+		// test teardown) gives up, then sever without a response. The body
+		// must be drained first: the server only watches the connection for
+		// client aborts once the request body has been consumed, so an
+		// unread body would keep this handler hanging past the cancel.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		p.sever(w)
+		return
+	}
+	if f.reset {
+		p.sever(w)
+		return
+	}
+	if f.errCode != 0 {
+		http.Error(w, fmt.Sprintf(`{"error":"chaos injected %d","kind":"internal-fault"}`, f.errCode), f.errCode)
+		return
+	}
+
+	// Forward to the current backend target.
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, f.target+r.URL.Path, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		// Backend unreachable (killed worker): the classic dead-upstream
+		// 502 a real reverse proxy would emit.
+		http.Error(w, fmt.Sprintf(`{"error":"upstream unreachable: %v","kind":"bad-gateway"}`, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"upstream read: %v","kind":"bad-gateway"}`, err), http.StatusBadGateway)
+		return
+	}
+
+	if f.truncate && len(body) > 1 {
+		p.truncateAndSever(w, resp, body)
+		p.notifyForward(r.URL.Path)
+		return
+	}
+
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+	p.notifyForward(r.URL.Path)
+}
+
+func (p *Proxy) notifyForward(path string) {
+	p.mu.Lock()
+	p.counts.Forwarded++
+	n := p.counts.Forwarded
+	fn := p.onFwd
+	p.mu.Unlock()
+	if fn != nil {
+		fn(path, n)
+	}
+}
+
+// sever hijacks the connection and closes it raw — the client observes a
+// TCP reset / EOF with no HTTP response.
+func (p *Proxy) sever(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaos: response writer is not hijackable")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	conn.Close()
+}
+
+// truncateAndSever writes legitimate-looking headers and the first half of
+// the body, then kills the connection: the client reads a torn payload
+// that must fail JSON decoding — the fabric treats it as a transient
+// worker fault, never merges it.
+func (p *Proxy) truncateAndSever(w http.ResponseWriter, resp *http.Response, body []byte) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaos: response writer is not hijackable")
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	cut := body[:len(body)/2]
+	fmt.Fprintf(buf, "HTTP/1.1 %d %s\r\n", resp.StatusCode, http.StatusText(resp.StatusCode))
+	fmt.Fprintf(buf, "Content-Type: application/json\r\n")
+	// Advertise the FULL length, deliver half: the decoder sees an
+	// unexpected EOF, exactly what a torn wire looks like.
+	fmt.Fprintf(buf, "Content-Length: %d\r\n\r\n", len(body))
+	buf.Write(cut)
+	buf.Flush()
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		// SO_LINGER 0: close with RST, not FIN, so buffered bytes die too.
+		tcp.SetLinger(0)
+	}
+}

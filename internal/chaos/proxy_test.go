@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func backendEcho(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","payload":"`+strings.Repeat("x", 256)+`"}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	be := backendEcho(t)
+	p := NewProxy(be.URL, 1)
+	t.Cleanup(p.Close)
+
+	resp, err := http.Get(p.URL() + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("pass-through body = %v", body)
+	}
+	if c := p.Counts(); c.Forwarded != 1 || c.Errors+c.Resets+c.Truncates+c.Blackholes != 0 {
+		t.Fatalf("zero-spec proxy injected faults: %+v", c)
+	}
+}
+
+func TestProxyErrorStorm(t *testing.T) {
+	be := backendEcho(t)
+	p := NewProxy(be.URL, 2)
+	t.Cleanup(p.Close)
+	p.SetSpec(Spec{ErrorRate: 1, ErrorCode: http.StatusInternalServerError})
+
+	resp, err := http.Get(p.URL() + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(b), "chaos injected") {
+		t.Fatalf("body = %s", b)
+	}
+	if c := p.Counts(); c.Errors != 1 || c.Forwarded != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	be := backendEcho(t)
+	p := NewProxy(be.URL, 3)
+	t.Cleanup(p.Close)
+	p.SetSpec(Spec{ResetRate: 1})
+
+	_, err := http.Get(p.URL() + "/run")
+	if err == nil {
+		t.Fatal("reset-rate-1 proxy answered successfully")
+	}
+	if c := p.Counts(); c.Resets != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+// TestProxyTruncate: the torn response must be undecodable — a client that
+// JSON-decodes it gets an error, never a silently short value.
+func TestProxyTruncate(t *testing.T) {
+	be := backendEcho(t)
+	p := NewProxy(be.URL, 4)
+	t.Cleanup(p.Close)
+	p.SetSpec(Spec{TruncateRate: 1})
+
+	resp, err := http.Get(p.URL() + "/run")
+	if err != nil {
+		t.Fatal(err) // headers arrive intact; the tear is in the body
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	var decoded map[string]any
+	decodeErr := json.Unmarshal(body, &decoded)
+	if readErr == nil && decodeErr == nil {
+		t.Fatalf("truncated response read cleanly AND decoded: %q", body)
+	}
+	if c := p.Counts(); c.Truncates != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestProxyBlackhole(t *testing.T) {
+	be := backendEcho(t)
+	p := NewProxy(be.URL, 5)
+	t.Cleanup(p.Close)
+	p.SetSpec(Spec{BlackholeRate: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, p.URL()+"/run", nil)
+	start := time.Now()
+	_, err := http.DefaultClient.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request answered")
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("blackholed request failed after %v; it should hang until the client deadline", elapsed)
+	}
+	if c := p.Counts(); c.Blackholes != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestProxyRouteOverrideAndLatency(t *testing.T) {
+	be := backendEcho(t)
+	p := NewProxy(be.URL, 6)
+	t.Cleanup(p.Close)
+	p.SetSpec(Spec{ErrorRate: 1}) // default: storm everything...
+	p.SetRoute("/healthz", Spec{Latency: 50 * time.Millisecond})
+
+	// ...except /healthz, which only gets latency.
+	start := time.Now()
+	resp, err := http.Get(p.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("route-override request got %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("latency spec not applied: %v", elapsed)
+	}
+	resp, err = http.Get(p.URL() + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("default spec not applied to /run: %d", resp.StatusCode)
+	}
+}
+
+// TestProxyDeterministicFaults: same seed, same request sequence → same
+// fault stream; that is what makes a chaos failure replayable.
+func TestProxyDeterministicFaults(t *testing.T) {
+	run := func(seed int64) []int {
+		be := backendEcho(t)
+		p := NewProxy(be.URL, seed)
+		defer p.Close()
+		p.SetSpec(Spec{ErrorRate: 0.5})
+		var codes []int
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(p.URL() + "/run")
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes = append(codes, resp.StatusCode)
+		}
+		return codes
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed fault streams diverge at request %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWorkerKillRestart: a killed worker's proxy answers 502; after
+// Restart the same proxy URL serves again from a cold cache.
+func TestWorkerKillRestart(t *testing.T) {
+	w, err := NewWorker(DefaultWorkerConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	get := func(path string) int {
+		resp, err := http.Get(w.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before kill = %d", code)
+	}
+	w.Kill()
+	if code := get("/healthz"); code != http.StatusBadGateway {
+		t.Fatalf("healthz after kill = %d, want 502", code)
+	}
+	if err := w.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after restart = %d", code)
+	}
+}

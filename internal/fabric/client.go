@@ -75,8 +75,8 @@ func (c *Coordinator) post(ctx context.Context, url string, in any) ([]byte, err
 	}
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			ce.retryAfter = time.Duration(secs) * time.Second
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			ce.retryAfter = d
 		}
 	case http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusMethodNotAllowed:
 		// The worker understood us and said the request can never
@@ -91,6 +91,32 @@ func (c *Coordinator) post(ctx context.Context, url string, in any) ([]byte, err
 // runs serializes to a few MB, so 1 GiB is pure paranoia against a
 // misbehaving endpoint streaming garbage forever.
 const maxResponseBytes = 1 << 30
+
+// parseRetryAfter interprets a Retry-After header per RFC 9110 §10.2.3:
+// either delta-seconds or an HTTP-date. An HTTP-date already in the past
+// clamps to 0 ("now is fine"); a negative delta, empty value, or anything
+// unparsable reports ok=false — no hint, which the scheduler turns into
+// its own default pause, never a zero-delay hammer.
+func parseRetryAfter(h string, now time.Time) (time.Duration, bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
 
 // postCampaignShard runs one campaign shard (or golden probe) on a worker
 // and verifies the echo: a result describing a different shard than the

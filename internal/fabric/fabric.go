@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
@@ -42,8 +41,32 @@ import (
 // Config configures a Coordinator. Zero values get production-shaped
 // defaults; only Workers is mandatory.
 type Config struct {
-	// Workers are the pdserve base URLs shards are dispatched to.
+	// Workers are the pdserve base URLs shards are dispatched to. They
+	// become static members of the fleet roster: exempt from heartbeat
+	// expiry, otherwise scheduled like any dynamically registered worker.
 	Workers []string
+	// Members, when set, is a shared fleet roster the scheduler follows
+	// mid-job: workers that register (see Registrar) start receiving
+	// shards, workers that leave have their leases migrated immediately.
+	// With Members set, Workers may be empty — the coordinator waits for
+	// the first registration. When nil, a private roster is built from
+	// Workers.
+	Members *Membership
+	// VirtualNodes is the consistent-hash ring's per-worker vnode count
+	// (default DefaultVirtualNodes). The ring keys worker selection by
+	// kernel identity so same-kernel shards keep hitting warm compile
+	// caches, and membership churn moves only the affected arc.
+	VirtualNodes int
+	// DeadAfter is the ejection count that upgrades a worker's verdict
+	// from "unlucky" to "dead": the worker is removed from the roster and
+	// only a fresh registration re-admits it (default 4; negative
+	// disables death verdicts, ejection/probation cycles forever).
+	DeadAfter int
+	// JitterSeed seeds the backoff/hedge jitter stream (0 derives a seed
+	// from the clock). A fixed seed makes retry schedules reproducible —
+	// scheduler tests assert exact backoff sequences, and the chaos
+	// harness replays a failing schedule byte for byte.
+	JitterSeed int64
 	// ShardSize is the number of runs per shard (default 16). Smaller
 	// shards lose less work per failure and spread better; larger ones
 	// amortize the per-shard golden pass.
@@ -114,6 +137,12 @@ func (c Config) withDefaults() Config {
 	if c.Probation <= 0 {
 		c.Probation = 10 * time.Second
 	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 4
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
@@ -122,45 +151,58 @@ func (c Config) withDefaults() Config {
 
 // Coordinator owns a worker fleet and schedules shards onto it.
 type Coordinator struct {
-	cfg    Config
-	client *http.Client
-	reg    *obs.Registry
+	cfg     Config
+	client  *http.Client
+	reg     *obs.Registry
+	members *Membership
+	seed    int64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter only — never touches results
 }
 
-// New builds a Coordinator; it fails fast on an empty worker list.
+// New builds a Coordinator. The fleet comes from cfg.Workers (joined as
+// static members), cfg.Members (a shared dynamic roster), or both; it
+// fails fast only when neither is supplied.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Workers) == 0 {
+	if len(cfg.Workers) == 0 && cfg.Members == nil {
 		return nil, fmt.Errorf("fabric: no workers configured")
 	}
-	urls := make([]string, 0, len(cfg.Workers))
-	seen := make(map[string]bool, len(cfg.Workers))
-	for i, u := range cfg.Workers {
-		u = strings.TrimRight(u, "/")
-		if u == "" {
-			return nil, fmt.Errorf("fabric: empty worker URL at index %d", i)
-		}
-		if seen[u] {
-			continue // one health record per worker; duplicates would double-book it
-		}
-		seen[u] = true
-		urls = append(urls, u)
+	members := cfg.Members
+	if members == nil {
+		members = NewMembership()
 	}
-	cfg.Workers = urls
+	for i, u := range cfg.Workers {
+		if err := members.JoinStatic(u); err != nil {
+			return nil, fmt.Errorf("fabric: worker at index %d: %v", i, err)
+		}
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry() // throwaway: keeps counter calls unconditional
 	}
+	members.setMetrics(reg)
+	if cfg.Logf != nil {
+		members.SetLogf(cfg.Logf)
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	return &Coordinator{
-		cfg:    cfg,
-		client: cfg.Client,
-		reg:    reg,
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:     cfg,
+		client:  cfg.Client,
+		reg:     reg,
+		members: members,
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed)),
 	}, nil
 }
+
+// Members exposes the coordinator's fleet roster — the same Membership a
+// Registrar mounts for dynamic registration.
+func (c *Coordinator) Members() *Membership { return c.members }
 
 func (c *Coordinator) logf(format string, args ...any) {
 	if c.cfg.Logf != nil {
@@ -274,6 +316,7 @@ func (c *Coordinator) campaignTask(wire faultinject.WireConfig, arch string, lo,
 	req := faultinject.ShardRequest{Version: faultinject.ShardVersion, Config: wire, Arch: arch, Lo: lo, Hi: hi}
 	return &task{
 		label: label,
+		key:   fmt.Sprintf("%s|%d|%s", wire.Workload, wire.N, arch),
 		call: func(ctx context.Context, workerURL string) (any, error) {
 			return c.postCampaignShard(ctx, workerURL, req)
 		},
@@ -342,6 +385,7 @@ func (c *Coordinator) RunProfile(ctx context.Context, sweep ProfileSweep) (*prof
 		label := fmt.Sprintf("profile %s[%d,%d)", sweep.Kernel, lo, lo+size)
 		tasks = append(tasks, &task{
 			label: label,
+			key:   fmt.Sprintf("%s|%d|%v", sweep.Kernel, sweep.N, sweep.Posit),
 			call: func(ctx context.Context, workerURL string) (any, error) {
 				return c.postProfileShard(ctx, workerURL, req)
 			},

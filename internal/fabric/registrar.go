@@ -1,0 +1,254 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"positdebug/internal/obs"
+)
+
+// Registrar is the coordinator's membership front door: an HTTP surface
+// workers register against (pdserve -coordinator posts here) plus the
+// active side of failure detection — heartbeat-TTL expiry and periodic
+// /readyz probing of every member. pdcoord -listen serves it next to a
+// running campaign so the fleet can grow and shrink mid-run.
+//
+// Endpoints:
+//
+//	POST /fabric/register    {"url","capacity","oracle","backend"} — join or heartbeat
+//	POST /fabric/deregister  {"url","reason"}                      — graceful departure
+//	GET  /fabric/members                                            — the roster, JSON
+//
+// A worker is removed three ways, in decreasing order of grace: it
+// announces departure (SIGTERM drain → deregister, leases migrate
+// immediately), its heartbeats stop for HeartbeatTTL (crash without
+// goodbye), or it keeps answering probes with anything but a ready 200
+// (alive but lying). Static -workers members are exempt from heartbeat
+// expiry but probed like everyone else.
+type RegistrarConfig struct {
+	// Members is the roster to manage (required).
+	Members *Membership
+	// HeartbeatTTL drops a non-static member whose heartbeats stop
+	// (default 15s).
+	HeartbeatTTL time.Duration
+	// ProbeInterval is the /readyz probe cadence (default 3s; negative
+	// disables probing, which also disables heartbeat expiry sweeps).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default 2s).
+	ProbeTimeout time.Duration
+	// ProbeFailures is the consecutive failed probes that evict a member
+	// (default 3).
+	ProbeFailures int
+	// Client issues probes (default a fresh one; ProbeTimeout governs).
+	Client *http.Client
+	// Metrics receives pd_fabric_member_* counters via the Membership,
+	// plus pd_fabric_probe_failures_total.
+	Metrics *obs.Registry
+	// Logf receives human-oriented membership events.
+	Logf func(format string, args ...any)
+}
+
+func (c RegistrarConfig) withDefaults() RegistrarConfig {
+	if c.HeartbeatTTL <= 0 {
+		c.HeartbeatTTL = 15 * time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 3 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ProbeFailures <= 0 {
+		c.ProbeFailures = 3
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Registrar manages a Membership over HTTP registration and active
+// probing. Build with NewRegistrar, mount Handler, and run Run.
+type Registrar struct {
+	cfg RegistrarConfig
+	mux *http.ServeMux
+	reg *obs.Registry
+
+	mu         sync.Mutex
+	probeFails map[string]int
+}
+
+// NewRegistrar builds a Registrar over the given roster.
+func NewRegistrar(cfg RegistrarConfig) (*Registrar, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Members == nil {
+		return nil, fmt.Errorf("fabric: registrar needs a Membership")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cfg.Members.setMetrics(reg)
+	if cfg.Logf != nil {
+		cfg.Members.SetLogf(cfg.Logf)
+	}
+	r := &Registrar{cfg: cfg, reg: reg, probeFails: make(map[string]int)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fabric/register", r.handleRegister)
+	mux.HandleFunc("/fabric/deregister", r.handleDeregister)
+	mux.HandleFunc("/fabric/members", r.handleMembers)
+	r.mux = mux
+	return r, nil
+}
+
+// Handler returns the registration HTTP surface.
+func (r *Registrar) Handler() http.Handler { return r.mux }
+
+// RegisterRequest is the POST /fabric/register body — one worker
+// announcing (or re-announcing) itself with its advertised tier.
+type RegisterRequest struct {
+	URL      string `json:"url"`
+	Capacity int    `json:"capacity,omitempty"`
+	Oracle   string `json:"oracle,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+}
+
+// DeregisterRequest is the POST /fabric/deregister body — a graceful
+// departure announcement (pdserve posts it when its drain begins).
+type DeregisterRequest struct {
+	URL    string `json:"url"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (r *Registrar) handleRegister(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, `{"error":"POST only"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var rr RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16)).Decode(&rr); err != nil {
+		http.Error(w, `{"error":"invalid JSON body"}`, http.StatusBadRequest)
+		return
+	}
+	joined, err := r.cfg.Members.Join(Member{URL: rr.URL, Capacity: rr.Capacity, Oracle: rr.Oracle, Backend: rr.Backend})
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	// A fresh heartbeat clears any probe grudge: the worker is talking to
+	// us again, let the next probe judge it on current behavior.
+	u, _ := NormalizeWorkerURL(rr.URL)
+	r.mu.Lock()
+	delete(r.probeFails, u)
+	r.mu.Unlock()
+	status := "heartbeat"
+	if joined {
+		status = "joined"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":        status,
+		"members":       r.cfg.Members.Len(),
+		"heartbeat_ttl": r.cfg.HeartbeatTTL.String(),
+	})
+}
+
+func (r *Registrar) handleDeregister(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, `{"error":"POST only"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var dr DeregisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16)).Decode(&dr); err != nil {
+		http.Error(w, `{"error":"invalid JSON body"}`, http.StatusBadRequest)
+		return
+	}
+	reason := dr.Reason
+	if reason == "" {
+		reason = "deregistered"
+	}
+	left := r.cfg.Members.Leave(dr.URL, reason)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "removed": left})
+}
+
+func (r *Registrar) handleMembers(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, `{"error":"GET only"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"members": r.cfg.Members.Snapshot()})
+}
+
+// Run drives the active side — heartbeat expiry and /readyz probing —
+// until ctx is cancelled. With ProbeInterval < 0 it returns immediately
+// (registration stays passive: joins and departures only).
+func (r *Registrar) Run(ctx context.Context) {
+	if r.cfg.ProbeInterval < 0 {
+		return
+	}
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			r.sweep(ctx, now)
+		}
+	}
+}
+
+// sweep is one failure-detection pass: expire silent members, then probe
+// the survivors' /readyz concurrently. A probe succeeds only on a ready
+// 200 — a draining worker answers 503 and is evicted like a dead one,
+// which is correct: it told us it is leaving.
+func (r *Registrar) sweep(ctx context.Context, now time.Time) {
+	r.cfg.Members.ExpireStale(r.cfg.HeartbeatTTL, now)
+	members := r.cfg.Members.Snapshot()
+	var wg sync.WaitGroup
+	for _, mem := range members {
+		wg.Add(1)
+		go func(mem Member) {
+			defer wg.Done()
+			ok := r.probe(ctx, mem.URL)
+			r.mu.Lock()
+			if ok {
+				delete(r.probeFails, mem.URL)
+				r.mu.Unlock()
+				return
+			}
+			r.probeFails[mem.URL]++
+			fails := r.probeFails[mem.URL]
+			if fails >= r.cfg.ProbeFailures {
+				delete(r.probeFails, mem.URL)
+			}
+			r.mu.Unlock()
+			r.reg.Counter("pd_fabric_probe_failures_total").Inc()
+			if fails >= r.cfg.ProbeFailures {
+				r.cfg.Members.Leave(mem.URL, fmt.Sprintf("failed %d consecutive readiness probes", fails))
+			}
+		}(mem)
+	}
+	wg.Wait()
+}
+
+func (r *Registrar) probe(ctx context.Context, base string) bool {
+	pctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -3,22 +3,31 @@ package fabric
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 )
 
 // This file is the fabric's failure-domain core: a single-goroutine event
 // loop that assigns tasks (shards) to workers and absorbs every way a
-// worker can disappoint — refuse, throttle, hang, crash, or lie slowly.
-// All scheduler state (task and worker structs) is owned by the loop;
-// attempt goroutines only perform the HTTP call and report back on a
-// channel, so there is no locking and no data race by construction.
+// worker can disappoint — refuse, throttle, hang, crash, lie slowly, or
+// walk out mid-attempt. All scheduler state (task and worker structs) is
+// owned by the loop; attempt goroutines only perform the HTTP call and
+// report back on a channel, so there is no locking and no data race by
+// construction. Membership changes arrive as events too: the loop syncs
+// its worker table (and the consistent-hash ring over it) from the shared
+// Membership roster whenever the roster's version moves.
 
 // task is one dispatchable unit of work — a campaign shard, a golden
 // probe, or a profile shard. The scheduler is agnostic to the payload:
 // call performs one attempt against one worker, onDone commits the first
 // successful result (journal writes run here, on the event loop).
 type task struct {
-	label  string
+	label string
+	// key is the task's kernel identity (workload/source), the consistent-
+	// hash ring input: same-kernel tasks walk the same worker order, so
+	// they keep landing on workers whose compile caches are already warm.
+	key    string
 	call   func(ctx context.Context, workerURL string) (any, error)
 	onDone func(res any) error
 
@@ -45,15 +54,22 @@ func (t *task) cancelAll() {
 // consecutive failures and re-enters on probation when the window passes:
 // consecFails is deliberately NOT reset at re-admission, so one more
 // failure re-ejects immediately, while one success clears the slate.
+// Enough ejections (Config.DeadAfter) upgrade the verdict to dead: the
+// worker is removed from the fleet roster entirely and only a fresh
+// registration brings it back, with a clean record.
 type workerState struct {
 	url          string
 	busy         bool
 	consecFails  int
+	ejections    int
 	offlineUntil time.Time // ejection or Retry-After throttle window
+	lastErr      error     // most recent failure, for the fleet post-mortem
+	removed      bool      // left the roster (drain, expiry, eviction, death)
+	cancel       context.CancelFunc // in-flight attempt teardown (drain migration)
 }
 
 func (w *workerState) eligible(now time.Time) bool {
-	return !w.busy && !now.Before(w.offlineUntil)
+	return !w.removed && !w.busy && !now.Before(w.offlineUntil)
 }
 
 // attemptEnd is one finished attempt, reported by its goroutine.
@@ -64,15 +80,140 @@ type attemptEnd struct {
 	err error
 }
 
-// runTasks drives every task to completion (or the job to failure) across
-// the configured workers. It returns nil only when every task has a
-// committed result.
-func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) error {
-	workers := make([]*workerState, 0, len(c.cfg.Workers))
-	for _, u := range c.cfg.Workers {
-		workers = append(workers, &workerState{url: u})
+// schedState is the event loop's view of the fleet: the worker table, the
+// tombstones of members that failed out (for the post-mortem error), and
+// the consistent-hash ring over the live members.
+type schedState struct {
+	workers []*workerState
+	byURL   map[string]*workerState
+	gone    map[string]*workerState
+	ring    *Ring
+	version uint64 // Membership version the table was last synced to
+}
+
+func (st *schedState) live() int {
+	n := 0
+	for _, w := range st.workers {
+		if !w.removed {
+			n++
+		}
 	}
-	done := make(chan attemptEnd, len(workers)) // buffered: in-flight attempts can always report, even after an early return
+	return n
+}
+
+// syncMembers reconciles the scheduler's worker table with the shared
+// roster: new members get a worker slot and join the ring, departed
+// members are tombstoned and their in-flight attempt cancelled so the
+// shard migrates immediately (the whole point of the drain announcement —
+// no lease expiry wait), and a re-registered member returns with a clean
+// health record. The ring is rebuilt over the survivors; consistent
+// hashing guarantees only the moved arc changes owner.
+func (c *Coordinator) syncMembers(st *schedState, initial bool) {
+	st.version = c.members.Version()
+	snap := c.members.Snapshot()
+	seen := make(map[string]bool, len(snap))
+	changed := st.ring == nil
+	for _, mem := range snap {
+		seen[mem.URL] = true
+		if w, ok := st.byURL[mem.URL]; ok {
+			if w.removed {
+				// Rejoined after leaving: a fresh process, a fresh record.
+				w.removed = false
+				w.consecFails, w.ejections = 0, 0
+				w.offlineUntil = time.Time{}
+				w.lastErr = nil
+				delete(st.gone, w.url)
+				changed = true
+				c.noteMemberEvent("join", w.url, "re-registered", initial)
+			}
+			continue
+		}
+		w := &workerState{url: mem.URL}
+		st.byURL[mem.URL] = w
+		st.workers = append(st.workers, w)
+		changed = true
+		c.noteMemberEvent("join", w.url, "", initial)
+	}
+	for _, w := range st.workers {
+		if w.removed || seen[w.url] {
+			continue
+		}
+		w.removed = true
+		st.gone[w.url] = w
+		changed = true
+		c.noteMemberEvent("leave", w.url, "", initial)
+		if w.cancel != nil {
+			// Migrate the lease now: the attempt's context is torn down,
+			// its goroutine reports back, and the shard redispatches to a
+			// surviving worker without waiting out LeaseTimeout.
+			w.cancel()
+			c.reg.Counter("pd_fabric_drain_migrations_total").Inc()
+			c.logf("fabric: %s left the fleet mid-attempt; migrating its lease", w.url)
+		}
+	}
+	if changed {
+		liveURLs := make([]string, 0, len(st.workers))
+		for _, w := range st.workers {
+			if !w.removed {
+				liveURLs = append(liveURLs, w.url)
+			}
+		}
+		st.ring = NewRing(liveURLs, c.cfg.VirtualNodes)
+		if !initial {
+			c.reg.Counter("pd_fabric_ring_rebalances_total").Inc()
+		}
+		c.reg.Gauge("pd_fabric_members").Set(int64(len(liveURLs)))
+	}
+}
+
+// noteMemberEvent logs and (when a journal is attached) write-ahead-logs
+// one membership event. The initial roster is not an event — only churn
+// observed during the job lands in the journal's forensic record.
+func (c *Coordinator) noteMemberEvent(event, url, reason string, initial bool) {
+	if initial {
+		return
+	}
+	c.logf("fabric: member %s: %s %s", event, url, reason)
+	if c.cfg.Journal != nil {
+		// Best-effort: a failed membership note must not fail the job —
+		// it records fleet history, not results.
+		_ = c.cfg.Journal.RecordMember(event, url, reason)
+	}
+}
+
+// fleetFailures renders the tombstones' last per-worker failures for the
+// all-workers-dead post-mortem.
+func fleetFailures(gone map[string]*workerState) string {
+	urls := make([]string, 0, len(gone))
+	for u := range gone {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	parts := make([]string, 0, len(urls))
+	for _, u := range urls {
+		if err := gone[u].lastErr; err != nil {
+			parts = append(parts, fmt.Sprintf("%s: %v", u, err))
+		} else {
+			parts = append(parts, u+": left the fleet")
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// runTasks drives every task to completion (or the job to failure) across
+// the fleet. It returns nil only when every task has a committed result.
+func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) error {
+	st := &schedState{
+		byURL: make(map[string]*workerState),
+		gone:  make(map[string]*workerState),
+	}
+	c.syncMembers(st, true)
+	c.logf("fabric: scheduling %d %s tasks over %d workers (jitter seed %d)", len(tasks), kind, st.live(), c.seed)
+
+	// Buffered so in-flight attempts can always report, even after an
+	// early return: at most two attempts (original + hedge) per task.
+	done := make(chan attemptEnd, 2*len(tasks)+1)
+	notify := c.members.Notify()
 
 	remaining := 0
 	for _, t := range tasks {
@@ -90,6 +231,9 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 	}
 
 	for remaining > 0 {
+		if c.members.Version() != st.version {
+			c.syncMembers(st, false)
+		}
 		now := time.Now()
 
 		// Dispatch: fresh work first, then hedges for stragglers.
@@ -97,7 +241,7 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 			if t.done || t.inflight != 0 || now.Before(t.notBefore) {
 				continue
 			}
-			w := c.workerFor(t, workers, now, false)
+			w := c.workerFor(t, st, now, false)
 			if w == nil {
 				continue
 			}
@@ -109,7 +253,7 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 				if t.done || t.inflight != 1 || now.Sub(t.launched) < c.cfg.HedgeAfter {
 					continue
 				}
-				w := c.workerFor(t, workers, now, true)
+				w := c.workerFor(t, st, now, true)
 				if w == nil {
 					continue
 				}
@@ -120,22 +264,33 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 			}
 		}
 
+		// A fleet with no live members and no attempts left to drain
+		// cannot make progress. If members failed their way out, that is
+		// the job's post-mortem — fail fast with each worker's last
+		// failure instead of idling until the campaign deadline. If the
+		// fleet simply hasn't assembled yet (discovery mode), wait for a
+		// registration to wake the loop.
+		if outstanding == 0 && st.live() == 0 && len(st.gone) > 0 {
+			return fail(fmt.Errorf("fabric: all %d workers failed and left the fleet with %d tasks unfinished: %s",
+				len(st.gone), remaining, fleetFailures(st.gone)))
+		}
+
 		// Wait for an attempt to finish, a backoff/ejection/hedge deadline
-		// to pass, or the whole job to be cancelled.
+		// to pass, the fleet to change, or the whole job to be cancelled.
 		var timerC <-chan time.Time
 		var timer *time.Timer
-		if wake, ok := c.nextWake(tasks, workers, now); ok {
+		if wake, ok := c.nextWake(tasks, st.workers, now); ok {
 			d := time.Until(wake)
 			if d < time.Millisecond {
 				d = time.Millisecond
 			}
 			timer = time.NewTimer(d)
 			timerC = timer.C
-		} else if outstanding == 0 {
-			// No attempts in flight and nothing scheduled to become
-			// runnable: the loop would block forever. Cannot happen with a
-			// non-empty worker list (ejections and backoffs are finite),
-			// but fail loudly rather than hang if the invariant breaks.
+		} else if outstanding == 0 && st.live() > 0 {
+			// Live workers, no attempts in flight and nothing scheduled to
+			// become runnable: the loop would block forever. Cannot happen
+			// (ejections and backoffs are finite), but fail loudly rather
+			// than hang if the invariant breaks.
 			return fail(fmt.Errorf("fabric: scheduler stalled with %d tasks remaining", remaining))
 		}
 
@@ -145,6 +300,11 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 				timer.Stop()
 			}
 			return fail(context.Cause(ctx))
+		case <-notify:
+			if timer != nil {
+				timer.Stop()
+			}
+			continue // sync at the top of the loop
 		case <-timerC:
 			continue
 		case ev := <-done:
@@ -153,6 +313,7 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 			}
 			outstanding--
 			ev.w.busy = false
+			ev.w.cancel = nil
 			ev.t.inflight--
 			if ev.t.done {
 				// A hedge mate already won. A loser's error is expected
@@ -177,6 +338,15 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 				}
 				continue
 			}
+			if ev.w.removed {
+				// Departure migration, not a fault: the worker left the
+				// fleet while this attempt ran. Neither the task's attempt
+				// budget nor anyone's health record pays for it — the
+				// shard simply redispatches to a surviving worker.
+				c.reg.Counter("pd_fabric_reassignments_total").Inc()
+				c.logf("fabric: %s migrated off departed %s", ev.t.label, ev.w.url)
+				continue
+			}
 			if err := c.noteFailure(ev, kind, time.Now()); err != nil {
 				return fail(err)
 			}
@@ -192,6 +362,7 @@ func (c *Coordinator) launch(ctx context.Context, t *task, w *workerState, done 
 	actx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTimeout)
 	t.cancels = append(t.cancels, cancel)
 	w.busy = true
+	w.cancel = cancel
 	t.lastURL = w.url
 	t.inflight++
 	if t.inflight == 1 {
@@ -201,46 +372,52 @@ func (c *Coordinator) launch(ctx context.Context, t *task, w *workerState, done 
 		defer cancel()
 		res, err := t.call(actx, w.url)
 		if err != nil && actx.Err() != nil && ctx.Err() == nil {
-			// The lease expired (or the task was superseded), not the job:
-			// mark it so the loop can report a reassignment rather than a
-			// worker fault.
+			// The lease expired (or the attempt was torn down — a hedge
+			// mate won, or the worker left the fleet), not the job: mark
+			// it so the loop reports a reassignment, not a worker fault.
 			err = &callError{leaseExpired: true, err: err}
 		}
 		done <- attemptEnd{t: t, w: w, res: res, err: err}
 	}()
 }
 
-// workerFor picks the worker for one attempt of t: the healthiest (fewest
-// consecutive failures) among the idle, non-ejected, non-throttled ones.
-// A retry never goes straight back to the worker that just failed it when
-// the fleet has an alternative — waiting for a busy healthy worker beats
-// burning MaxAttempts against a dead port — and a hedge never lands on
-// the worker running the attempt it is meant to outrun. Hedging itself
-// trades duplicated work for tail latency: whichever copy answers first
-// wins and the loser is cancelled.
-func (c *Coordinator) workerFor(t *task, workers []*workerState, now time.Time, hedge bool) *workerState {
-	var best *workerState
-	for _, w := range workers {
-		if !w.eligible(now) {
-			continue
-		}
-		if hedge && w.url == t.lastURL {
-			continue
-		}
-		if !hedge && len(workers) > 1 && w.url == t.lastFailURL {
-			continue
-		}
-		if best == nil || w.consecFails < best.consecFails {
-			best = w
-		}
+// workerFor picks the worker for one attempt of t by walking the
+// consistent-hash ring from the task's kernel key: the arc owner first —
+// its compile cache is the one this kernel warmed — then each fallback in
+// ring order, which keeps even the second choice sticky per kernel. The
+// robustness rules layer on top of the walk: ejected, throttled, removed
+// and busy workers are skipped; a retry never goes straight back to the
+// worker that just failed it when the fleet has an alternative — waiting
+// for a busy healthy worker beats burning MaxAttempts against a dead
+// port — and a hedge never lands on the worker running the attempt it is
+// meant to outrun.
+func (c *Coordinator) workerFor(t *task, st *schedState, now time.Time, hedge bool) *workerState {
+	order := st.ring.Order(t.key)
+	avoid := ""
+	if hedge {
+		avoid = t.lastURL
+	} else if len(order) > 1 {
+		avoid = t.lastFailURL
 	}
-	return best
+	for i, url := range order {
+		w := st.byURL[url]
+		if w == nil || !w.eligible(now) || url == avoid {
+			continue
+		}
+		if i == 0 {
+			c.reg.Counter("pd_fabric_ring_affinity_hits_total").Inc()
+		} else {
+			c.reg.Counter("pd_fabric_ring_fallbacks_total").Inc()
+		}
+		return w
+	}
+	return nil
 }
 
 // nextWake returns the earliest future instant at which the dispatch
-// picture can change without an attempt finishing: a task's backoff
-// expiring, a worker's ejection/throttle window closing, or a sole
-// in-flight attempt crossing the hedge threshold.
+// picture can change without an attempt finishing or the fleet changing:
+// a task's backoff expiring, a worker's ejection/throttle window closing,
+// or a sole in-flight attempt crossing the hedge threshold.
 func (c *Coordinator) nextWake(tasks []*task, workers []*workerState, now time.Time) (time.Time, bool) {
 	var wake time.Time
 	consider := func(at time.Time) {
@@ -260,7 +437,7 @@ func (c *Coordinator) nextWake(tasks []*task, workers []*workerState, now time.T
 		}
 	}
 	for _, w := range workers {
-		if !w.busy {
+		if !w.busy && !w.removed {
 			consider(w.offlineUntil)
 		}
 	}
@@ -295,13 +472,24 @@ func (c *Coordinator) noteFailure(ev attemptEnd, kind string, now time.Time) err
 
 	t.lastFailURL = w.url
 	w.consecFails++
+	w.lastErr = ev.err
 	if w.consecFails >= c.cfg.EjectAfter && now.After(w.offlineUntil) {
 		// Eject. consecFails stays at the threshold: when the probation
 		// window passes the worker is re-admitted, but its next failure
 		// re-ejects it instantly — one strike on probation.
 		w.offlineUntil = now.Add(c.cfg.Probation)
+		w.ejections++
 		c.reg.Counter("pd_fabric_ejections_total").Inc()
 		c.logf("fabric: ejecting %s for %v after %d consecutive failures", w.url, c.cfg.Probation, w.consecFails)
+		if c.cfg.DeadAfter > 0 && w.ejections >= c.cfg.DeadAfter {
+			// Probation has been tried and failed DeadAfter times over:
+			// declare the worker dead and strike it from the roster. The
+			// membership notify wakes the loop, which tombstones it; only
+			// a fresh registration brings it back.
+			c.reg.Counter("pd_fabric_member_deaths_total").Inc()
+			c.logf("fabric: declaring %s dead after %d ejections (last error: %v)", w.url, w.ejections, ev.err)
+			c.members.Leave(w.url, fmt.Sprintf("declared dead after %d ejections (last error: %v)", w.ejections, ev.err))
+		}
 	}
 
 	if ce != nil && ce.permanent {
@@ -319,7 +507,10 @@ func (c *Coordinator) noteFailure(ev attemptEnd, kind string, now time.Time) err
 
 // backoff returns the wait before attempt n+1: capped exponential growth
 // with full jitter on the upper half, so a fleet of retries decorrelates
-// instead of thundering back in lockstep.
+// instead of thundering back in lockstep. The jitter stream is seeded
+// (Config.JitterSeed): replaying a job with the same seed replays the
+// same backoff schedule, which is what makes a chaos-harness failure
+// reproducible.
 func (c *Coordinator) backoff(failures int) time.Duration {
 	d := c.cfg.BaseBackoff
 	for i := 1; i < failures && d < c.cfg.MaxBackoff; i++ {

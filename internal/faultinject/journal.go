@@ -52,11 +52,19 @@ func metaFor(cfg CampaignConfig) journalMeta {
 // fabric coordinator so a resume never re-runs the golden pass; readers
 // that predate it skip unknown kinds).
 type journalRecord struct {
-	Kind   string       `json:"kind"` // "header", "run" or "golden"
+	Kind   string       `json:"kind"` // "header", "run", "golden" or "member"
 	Meta   *journalMeta `json:"meta,omitempty"`
 	Arch   string       `json:"arch,omitempty"`
 	Result *RunResult   `json:"result,omitempty"`
 	Golden *ArchInfo    `json:"golden,omitempty"`
+	// Membership-event fields ("member" records): which worker joined or
+	// left the fleet mid-campaign, and why. Forensic only — resume ignores
+	// them (load skips unknown/irrelevant kinds), but a post-mortem of a
+	// churned campaign can reconstruct exactly when the fleet changed
+	// relative to the run records around it.
+	Event  string `json:"event,omitempty"`
+	URL    string `json:"url,omitempty"`
+	Reason string `json:"reason,omitempty"`
 }
 
 type journalKey struct {
@@ -220,6 +228,16 @@ func (j *Journal) RecordGolden(arch string, info ArchInfo) error {
 	}
 	j.golden[arch] = info
 	return nil
+}
+
+// RecordMember journals one fleet-membership event (a worker joining or
+// leaving mid-campaign) into the WAL's forensic record. Membership events
+// never affect resume — they interleave with run records purely so an
+// operator can line up fleet churn against result history.
+func (j *Journal) RecordMember(event, url, reason string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.append(journalRecord{Kind: "member", Event: event, URL: url, Reason: reason})
 }
 
 // GoldenInfo returns the journaled golden info for an architecture, if any.

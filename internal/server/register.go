@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// This file is the worker side of fabric fleet membership: a pdserve
+// started with -coordinator announces itself to the coordinator's
+// registrar, keeps a heartbeat going so silence is distinguishable from
+// health, and — the part that actually buys tail latency — announces its
+// own departure the moment a drain begins, so the coordinator migrates
+// its leases immediately instead of discovering the loss via heartbeat
+// TTL or a timed-out shard.
+
+// RegisterConfig configures a worker's registration loop.
+type RegisterConfig struct {
+	// Coordinator is the registrar base URL (pdcoord -listen), e.g.
+	// "http://coord:8731".
+	Coordinator string
+	// Advertise is this worker's own base URL as the coordinator should
+	// dial it (pdserve derives it from the listen address when the flag is
+	// unset).
+	Advertise string
+	// Interval is the heartbeat cadence (default 5s). Keep it a few times
+	// shorter than the registrar's HeartbeatTTL.
+	Interval time.Duration
+	// Client posts registrations (default a 5s-timeout client — a beat
+	// must never wedge behind a dead coordinator).
+	Client *http.Client
+	// Logf receives registration lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+// RegisterLoop announces the server to a fabric coordinator and heartbeats
+// until ctx is cancelled or a drain begins, then posts one deregistration
+// so in-flight leases migrate without waiting for expiry. Beat failures
+// are tolerated — the worker keeps serving and keeps retrying, so workers
+// may start before their coordinator and still assemble into a fleet.
+// Runs until done; start it in a goroutine next to Serve.
+func (s *Server) RegisterLoop(ctx context.Context, cfg RegisterConfig) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	tier := s.EffectiveTier()
+	payload, _ := json.Marshal(map[string]any{
+		"url":      cfg.Advertise,
+		"capacity": s.cfg.MaxConcurrent,
+		"oracle":   string(tier.Oracle),
+		"backend":  s.cfg.Backend.String(),
+	})
+
+	beat := func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.Coordinator+"/fabric/register", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := cfg.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("registrar answered %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Log transitions, not every beat: one line when registration is first
+	// established or re-established, one when it starts failing.
+	healthy := false
+	if err := beat(); err != nil {
+		logf("register: cannot reach coordinator %s (%v); will keep trying", cfg.Coordinator, err)
+	} else {
+		healthy = true
+		logf("register: joined fleet at %s as %s", cfg.Coordinator, cfg.Advertise)
+	}
+
+	t := time.NewTicker(cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.deregister(cfg, "shutdown", logf)
+			return
+		case <-s.drainCh:
+			s.deregister(cfg, "draining", logf)
+			return
+		case <-t.C:
+			if err := beat(); err != nil {
+				if healthy {
+					logf("register: heartbeat to %s failing (%v); will keep trying", cfg.Coordinator, err)
+				}
+				healthy = false
+			} else if !healthy {
+				healthy = true
+				logf("register: re-joined fleet at %s", cfg.Coordinator)
+			}
+		}
+	}
+}
+
+// deregister posts the departure announcement. It gets its own short
+// deadline on a fresh context: the loop's ctx is typically already
+// cancelled when we get here, and the goodbye must still go out.
+func (s *Server) deregister(cfg RegisterConfig, reason string, logf func(string, ...any)) {
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	body, _ := json.Marshal(map[string]string{"url": cfg.Advertise, "reason": reason})
+	req, err := http.NewRequestWithContext(dctx, http.MethodPost,
+		cfg.Coordinator+"/fabric/deregister", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		logf("register: departure announcement failed (%v); coordinator will notice via TTL", err)
+		return
+	}
+	resp.Body.Close()
+	logf("register: announced departure (%s)", reason)
+}
+
+// DrainNotify exposes the drain signal: the channel closes when
+// BeginDrain runs. The registration loop uses it to announce departure
+// before the process exits.
+func (s *Server) DrainNotify() <-chan struct{} { return s.drainCh }

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeRegistrar records register/deregister posts like pdcoord's fabric
+// registrar would.
+type fakeRegistrar struct {
+	mu          sync.Mutex
+	registers   []map[string]any
+	deregisters []map[string]string
+	failUntil   int // first N register posts answer 500
+	seen        int
+}
+
+func (f *fakeRegistrar) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fabric/register", func(w http.ResponseWriter, r *http.Request) {
+		var body map[string]any
+		_ = json.NewDecoder(r.Body).Decode(&body)
+		f.mu.Lock()
+		f.seen++
+		fail := f.seen <= f.failUntil
+		if !fail {
+			f.registers = append(f.registers, body)
+		}
+		f.mu.Unlock()
+		if fail {
+			http.Error(w, "not ready", http.StatusInternalServerError)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "joined"})
+	})
+	mux.HandleFunc("/fabric/deregister", func(w http.ResponseWriter, r *http.Request) {
+		var body map[string]string
+		_ = json.NewDecoder(r.Body).Decode(&body)
+		f.mu.Lock()
+		f.deregisters = append(f.deregisters, body)
+		f.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "removed": true})
+	})
+	return mux
+}
+
+func (f *fakeRegistrar) counts() (int, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.registers), len(f.deregisters)
+}
+
+// TestRegisterLoopHeartbeatsAndDeregistersOnDrain: the loop registers with
+// the advertised tier, heartbeats on the interval, and posts exactly one
+// departure announcement when the server drains.
+func TestRegisterLoopHeartbeatsAndDeregistersOnDrain(t *testing.T) {
+	fake := &fakeRegistrar{}
+	coord := httptest.NewServer(fake.handler())
+	t.Cleanup(coord.Close)
+
+	s := New(Config{MaxConcurrent: 3})
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		s.RegisterLoop(context.Background(), RegisterConfig{
+			Coordinator: coord.URL,
+			Advertise:   "http://worker-1:9000",
+			Interval:    20 * time.Millisecond,
+			Logf:        t.Logf,
+		})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if regs, _ := fake.counts(); regs >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("register loop produced fewer than 3 beats in 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.BeginDrain()
+	select {
+	case <-loopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("register loop did not exit on drain")
+	}
+
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	first := fake.registers[0]
+	if first["url"] != "http://worker-1:9000" {
+		t.Fatalf("registered url = %v", first["url"])
+	}
+	if first["capacity"] != float64(3) {
+		t.Fatalf("registered capacity = %v, want 3", first["capacity"])
+	}
+	if first["oracle"] != "bigfp" {
+		t.Fatalf("registered oracle = %v", first["oracle"])
+	}
+	if len(fake.deregisters) != 1 {
+		t.Fatalf("deregisters = %d, want exactly 1", len(fake.deregisters))
+	}
+	if d := fake.deregisters[0]; d["url"] != "http://worker-1:9000" || d["reason"] != "draining" {
+		t.Fatalf("departure announcement = %v", d)
+	}
+}
+
+// TestRegisterLoopSurvivesCoordinatorOutage: a worker started before its
+// coordinator (or through an outage) keeps serving and keeps retrying; the
+// fleet assembles as soon as the registrar answers.
+func TestRegisterLoopSurvivesCoordinatorOutage(t *testing.T) {
+	fake := &fakeRegistrar{failUntil: 3}
+	coord := httptest.NewServer(fake.handler())
+	t.Cleanup(coord.Close)
+
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		s.RegisterLoop(ctx, RegisterConfig{
+			Coordinator: coord.URL,
+			Advertise:   "http://worker-2:9000",
+			Interval:    10 * time.Millisecond,
+			Logf:        t.Logf,
+		})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if regs, _ := fake.counts(); regs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("register loop never got through the outage")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-loopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("register loop did not exit on context cancel")
+	}
+	if _, deregs := fake.counts(); deregs != 1 {
+		t.Fatalf("deregisters = %d, want 1 (shutdown announcement)", deregs)
+	}
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	if d := fake.deregisters[0]; d["reason"] != "shutdown" {
+		t.Fatalf("departure reason = %q, want shutdown", d["reason"])
+	}
+}
