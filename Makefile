@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-frontend fuzz-bytecode campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke chaos-smoke vm-smoke oracle-smoke
+.PHONY: all build vet test race fuzz fuzz-frontend fuzz-bytecode campaign-smoke bench-json bench-serve bench-profile bench-fabric trace-smoke profile-smoke fabric-smoke chaos-smoke fleet-obs-smoke vm-smoke oracle-smoke
 
 all: build vet test
 
@@ -48,9 +48,11 @@ bench-profile: build
 	$(GO) run ./cmd/pdbench -profile -out BENCH_profile.json
 
 # Regenerate the checked-in fabric report (BENCH_fabric.json): 1- vs
-# 3-worker distributed campaign throughput and merged-report latency.
+# 3-worker distributed campaign throughput, the fleet-tracing overhead
+# row, and merged-report latency. Production shard size and a campaign
+# long enough that per-shard fixed costs don't masquerade as overhead.
 bench-fabric: build
-	$(GO) run ./cmd/pdbench -fabric -out BENCH_fabric.json
+	$(GO) run ./cmd/pdbench -fabric -fabric-runs 240 -fabric-shard-size 16 -out BENCH_fabric.json
 
 fuzz:
 	$(GO) test . -run FuzzInjector -fuzz FuzzInjector -fuzztime 30s
@@ -168,3 +170,41 @@ chaos-smoke: build
 	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -runs 60 -arch both -json > $(CHAOSDIR)/seq.json
 	diff $(CHAOSDIR)/coord.json $(CHAOSDIR)/seq.json
 	@echo "chaos-smoke: self-registered fleet byte-identical to sequential ✓"
+
+# Fleet observability end-to-end. First the in-process acceptance tests
+# under the race detector: the chaos fleet-trace-through-storm test at
+# -cpu=1,4 plus the fabric trace/status/SSE suite. Then a real 2-process
+# fleet: two pdserve workers (flight recorders on by default) self-
+# register with pdcoord -listen, the campaign runs with -trace, GET
+# /fleet/status is polled over HTTP while shards are in flight, and the
+# tracing overhead row is gated by pdbench -fabric -strict (<5%). The
+# merged multi-process Chrome trace must validate via obscheck, span the
+# coordinator and worker request spans, and the report must still diff
+# clean against pdfault. CI runs this as the fleet-obs-smoke job.
+FLEETDIR ?= /tmp/pd-fleet-obs-smoke
+fleet-obs-smoke: build
+	$(GO) test -race -count=1 -cpu=1,4 -run TestChaosFleetTraceThroughStorm ./internal/chaos/
+	$(GO) test -race -count=1 -run 'TestFleetTraceEndToEnd|TestFleetStatusShape|TestFleetEventsSSE|TestWeightedRing' ./internal/fabric/
+	mkdir -p $(FLEETDIR)
+	$(GO) build -o $(FLEETDIR)/pdserve ./cmd/pdserve
+	$(FLEETDIR)/pdserve -addr 127.0.0.1:8715 -coordinator http://127.0.0.1:8732 -heartbeat 250ms & echo $$! > $(FLEETDIR)/w1.pid
+	$(FLEETDIR)/pdserve -addr 127.0.0.1:8716 -coordinator http://127.0.0.1:8732 -heartbeat 250ms & echo $$! > $(FLEETDIR)/w2.pid
+	( for i in `seq 1 100`; do \
+		if curl -sf http://127.0.0.1:8732/fleet/status > $(FLEETDIR)/status.json.tmp 2>/dev/null \
+			|| wget -qO $(FLEETDIR)/status.json.tmp http://127.0.0.1:8732/fleet/status 2>/dev/null; then \
+			mv $(FLEETDIR)/status.json.tmp $(FLEETDIR)/status.json; fi; \
+		sleep 0.2; done ) & echo $$! > $(FLEETDIR)/poll.pid
+	$(GO) run ./cmd/pdcoord -listen 127.0.0.1:8732 -min-workers 2 \
+		-workload polybench/gemm -seed 42 -runs 60 -arch both -shard-size 8 \
+		-trace $(FLEETDIR)/fleet-trace.json -json > $(FLEETDIR)/coord.json; \
+		status=$$?; kill `cat $(FLEETDIR)/w1.pid` `cat $(FLEETDIR)/w2.pid` `cat $(FLEETDIR)/poll.pid` 2>/dev/null; exit $$status
+	$(GO) run ./cmd/pdfault -workload polybench/gemm -seed 42 -runs 60 -arch both -json > $(FLEETDIR)/seq.json
+	diff $(FLEETDIR)/coord.json $(FLEETDIR)/seq.json
+	$(GO) run ./cmd/obscheck -chrome $(FLEETDIR)/fleet-trace.json
+	grep -q '"request"' $(FLEETDIR)/fleet-trace.json
+	grep -q '"pdcoord"' $(FLEETDIR)/fleet-trace.json
+	test -s $(FLEETDIR)/status.json
+	grep -q '"total_shards"' $(FLEETDIR)/status.json
+	grep -q '"workers"' $(FLEETDIR)/status.json
+	$(GO) run ./cmd/pdbench -fabric -strict -fabric-runs 240 -fabric-shard-size 16 -out $(FLEETDIR)/BENCH_fabric.json
+	@echo "fleet-obs-smoke: merged fleet trace valid, live status served, tracing overhead inside budget ✓"

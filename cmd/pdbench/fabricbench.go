@@ -15,6 +15,7 @@ import (
 
 	"positdebug/internal/fabric"
 	"positdebug/internal/faultinject"
+	"positdebug/internal/obs"
 	"positdebug/internal/server"
 )
 
@@ -41,6 +42,10 @@ type FabricReport struct {
 	Runs       int              `json:"runs"`
 	ShardSize  int              `json:"shard_size"`
 	Rows       []FabricBenchRow `json:"rows"`
+	// TraceOverheadPct is the wall-clock cost of full fleet tracing
+	// (coordinator span collection + worker flight recorders + per-request
+	// span-batch fetches) on the 3-worker row, in percent over untraced.
+	TraceOverheadPct float64 `json:"trace_overhead_pct"`
 	// MergeMS is the merged-report latency alone: assembling the final
 	// report from already-fetched shard results (the coordinator's
 	// critical section after the last worker answers).
@@ -74,7 +79,10 @@ type RingBenchReport struct {
 // Workers share this process's cores, so the 3-worker speedup is a lower
 // bound for what distinct machines would show — the number reported is
 // about fabric overhead (HTTP, scheduling, merge), not linear scaling.
-func fabricBench(out, workload string, n, runs, shardSize int) error {
+// A traced 3-worker row measures the fleet-observability tax; -strict
+// fails the bench if it exceeds maxTraceOverheadPct.
+func fabricBench(out, workload string, n, runs, shardSize int, strict bool) error {
+	const maxTraceOverheadPct = 5.0
 	ccfg := faultinject.CampaignConfig{Workload: workload, N: n, Arch: "posit", Runs: runs, Seed: 42}
 	rep := &FabricReport{
 		Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
@@ -82,25 +90,80 @@ func fabricBench(out, workload string, n, runs, shardSize int) error {
 		Runs: runs, ShardSize: shardSize,
 	}
 
-	var baseRate float64
-	for _, nWorkers := range []int{1, 3} {
+	// campaign runs one whole distributed campaign and reports wall-clock
+	// seconds. With tracing, workers run flight recorders and the
+	// coordinator collects spans and fetches every request's span batch —
+	// the full observability plane, not just the cheap parts.
+	campaign := func(nWorkers int, traced bool) (float64, error) {
+		scfg := server.Config{DefaultTimeout: 30 * time.Second}
+		if traced {
+			scfg.FlightRecorder = 256
+			scfg.FlightLog = io.Discard
+		}
 		urls := make([]string, nWorkers)
 		servers := make([]*httptest.Server, nWorkers)
 		for i := range urls {
-			servers[i] = httptest.NewServer(server.New(server.Config{DefaultTimeout: 30 * time.Second}).Handler())
+			servers[i] = httptest.NewServer(server.New(scfg).Handler())
 			urls[i] = servers[i].URL
 		}
-		co, err := fabric.New(fabric.Config{Workers: urls, ShardSize: shardSize})
+		defer func() {
+			for _, ts := range servers {
+				ts.Close()
+			}
+		}()
+		fcfg := fabric.Config{Workers: urls, ShardSize: shardSize}
+		var trace *fabric.FleetTrace
+		if traced {
+			trace = fabric.NewFleetTrace(workload, fmt.Sprint(runs), "bench")
+			fcfg.Trace = trace
+			fcfg.Progress = fabric.NewProgress()
+		}
+		co, err := fabric.New(fcfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		start := time.Now()
 		if _, err := co.RunCampaign(context.Background(), ccfg); err != nil {
-			return err
+			return 0, err
 		}
 		secs := time.Since(start).Seconds()
-		for _, ts := range servers {
-			ts.Close()
+		if traced {
+			// The row must measure a real trace, not a silently empty one.
+			var buf bytes.Buffer
+			if err := trace.WriteChrome(&buf, "pdbench"); err != nil {
+				return 0, err
+			}
+			if nEv, err := obs.ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+				return 0, fmt.Errorf("traced bench produced an invalid fleet trace: %w", err)
+			} else if nEv == 0 {
+				return 0, fmt.Errorf("traced bench produced an empty fleet trace")
+			}
+		}
+		return secs, nil
+	}
+
+	// Campaigns this small finish in fractions of a second, where
+	// scheduler noise swamps the signal; each configuration reports its
+	// best of three runs, the standard wall-clock noise filter.
+	best := func(nWorkers int, traced bool) (float64, error) {
+		bestSecs := 0.0
+		for rep := 0; rep < 3; rep++ {
+			secs, err := campaign(nWorkers, traced)
+			if err != nil {
+				return 0, err
+			}
+			if bestSecs == 0 || secs < bestSecs {
+				bestSecs = secs
+			}
+		}
+		return bestSecs, nil
+	}
+
+	var baseRate, plainSecs float64
+	for _, nWorkers := range []int{1, 3} {
+		secs, err := best(nWorkers, false)
+		if err != nil {
+			return err
 		}
 		row := FabricBenchRow{
 			Name: fmt.Sprintf("campaign/%d-worker", nWorkers), Workers: nWorkers,
@@ -111,9 +174,31 @@ func fabricBench(out, workload string, n, runs, shardSize int) error {
 			row.Speedup = 1
 		} else if baseRate > 0 {
 			row.Speedup = row.RunsPerSec / baseRate
+			plainSecs = secs
 		}
 		rep.Rows = append(rep.Rows, row)
 		fmt.Fprintf(os.Stderr, "%-22s %8.2fs %10.2f runs/s %6.2fx\n", row.Name, row.Seconds, row.RunsPerSec, row.Speedup)
+	}
+
+	tracedSecs, err := best(3, true)
+	if err != nil {
+		return err
+	}
+	tracedRow := FabricBenchRow{
+		Name: "campaign/3-worker-traced", Workers: 3,
+		Seconds: tracedSecs, RunsPerSec: float64(runs) / tracedSecs,
+	}
+	if baseRate > 0 {
+		tracedRow.Speedup = tracedRow.RunsPerSec / baseRate
+	}
+	rep.Rows = append(rep.Rows, tracedRow)
+	if plainSecs > 0 {
+		rep.TraceOverheadPct = (tracedSecs - plainSecs) / plainSecs * 100
+	}
+	fmt.Fprintf(os.Stderr, "%-22s %8.2fs %10.2f runs/s %6.2fx (trace overhead %+.1f%%)\n",
+		tracedRow.Name, tracedRow.Seconds, tracedRow.RunsPerSec, tracedRow.Speedup, rep.TraceOverheadPct)
+	if strict && rep.TraceOverheadPct > maxTraceOverheadPct {
+		return fmt.Errorf("fleet tracing costs %.1f%% wall-clock (limit %.0f%%)", rep.TraceOverheadPct, maxTraceOverheadPct)
 	}
 
 	// Merge latency: shards already in hand, how long until report bytes.

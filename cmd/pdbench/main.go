@@ -87,7 +87,7 @@ func main() {
 		return
 	}
 	if *fabricMode {
-		if err := fabricBench(*out, "polybench/"+*profileKernel, *profileN, *fabricRuns, *fabricShard); err != nil {
+		if err := fabricBench(*out, "polybench/"+*profileKernel, *profileN, *fabricRuns, *fabricShard, *strict); err != nil {
 			fatal(err)
 		}
 		return

@@ -109,6 +109,7 @@ func main() {
 	threshold := flag.Int("threshold", 10, "masked threshold in output error bits (0 = default 10, -1 = exact match)")
 	schedules := flag.Bool("schedules", false, "embed per-run fault schedules in the JSON report")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
+	tracePath := flag.String("trace", "", "collect a fleet-wide distributed trace and write it here as one Perfetto-loadable Chrome trace-event file")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text metrics dump to this file ('-' = stderr)")
 	verbose := flag.Bool("v", false, "log scheduling events (retries, ejections, hedges, leases) to stderr")
 
@@ -149,10 +150,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pdcoord: "+format+"\n", args...)
 		}
 	}
+	// The registry also backs /metrics on the -listen endpoint, so an
+	// elastic-fleet coordinator always has one even without -metrics.
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *listen != "" {
 		reg = obs.NewRegistry()
 		fcfg.Metrics = reg
+	}
+
+	var trace *fabric.FleetTrace
+	if *tracePath != "" {
+		if *profileMode {
+			trace = fabric.NewFleetTrace("profile", *kernel, fmt.Sprint(*runs))
+		} else {
+			trace = fabric.NewFleetTrace(*workload, fmt.Sprint(*runs), fmt.Sprint(*seed))
+		}
+		fcfg.Trace = trace
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -180,11 +193,23 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// The same endpoint serves the live-observability plane: fleet
+		// status, the SSE event stream, and Prometheus metrics.
+		prog := fabric.NewProgress()
+		bus := fabric.NewBus()
+		fcfg.Progress = prog
+		fcfg.Events = bus
+		fh := fabric.NewFleetHandler(members, prog, bus, reg)
+		mux := http.NewServeMux()
+		mux.Handle("/fabric/", registrar.Handler())
+		mux.Handle("/fleet/", fh.Handler())
+		mux.Handle("/metrics", fh.Handler())
+
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			fail(err)
 		}
-		hs := &http.Server{Handler: registrar.Handler()}
+		hs := &http.Server{Handler: mux}
 		go hs.Serve(ln)
 		go registrar.Run(ctx)
 		defer hs.Close()
@@ -212,6 +237,7 @@ func main() {
 			fail(err)
 		}
 		writeMetrics(reg, *metricsPath)
+		writeTrace(trace, *tracePath)
 		return
 	}
 
@@ -276,6 +302,7 @@ func main() {
 			resumed, total, total-resumed)
 	}
 	writeMetrics(reg, *metricsPath)
+	writeTrace(trace, *tracePath)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -312,8 +339,27 @@ func waitForWorkers(ctx context.Context, members *fabric.Membership, static, min
 	return nil
 }
 
+// writeTrace merges the coordinator spans with every fetched worker
+// span batch into one Chrome trace-event file Perfetto can load whole.
+func writeTrace(trace *fabric.FleetTrace, path string) {
+	if trace == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := trace.WriteChrome(f, "pdcoord"); err != nil {
+		fail(fmt.Errorf("trace: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "pdcoord: fleet trace written to %s\n", path)
+}
+
 func writeMetrics(reg *obs.Registry, path string) {
-	if reg == nil {
+	if reg == nil || path == "" {
 		return
 	}
 	f := os.Stderr

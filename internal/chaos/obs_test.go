@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"positdebug/internal/fabric"
+	"positdebug/internal/obs"
+	"positdebug/internal/server"
+)
+
+// tracedWorkerConfig is DefaultWorkerConfig plus a flight recorder, so the
+// worker serves /debug/trace span batches for the coordinator to merge.
+func tracedWorkerConfig() server.Config {
+	cfg := DefaultWorkerConfig()
+	cfg.FlightRecorder = 64
+	cfg.FlightLog = io.Discard
+	return cfg
+}
+
+// TestChaosFleetTraceThroughStorm is the observability acceptance test:
+// a campaign with full fleet tracing on runs through a blackholed worker
+// (forcing at least one hedge), an error/latency storm, and a mid-run
+// join — and the merged Chrome trace must still validate structurally,
+// span at least three processes, and re-merge byte-identically under
+// permuted worker arrival order. The live SSE stream is consumed during
+// the run. Run it under -cpu=1,4: nothing here may depend on GOMAXPROCS.
+func TestChaosFleetTraceThroughStorm(t *testing.T) {
+	ccfg := chaosCampaign()
+	want := oracleBytes(t, ccfg)
+
+	members := fabric.NewMembership()
+	metrics := obs.NewRegistry()
+	registrar, err := fabric.NewRegistrar(fabric.RegistrarConfig{
+		Members: members, ProbeInterval: -1, HeartbeatTTL: time.Hour,
+		Metrics: metrics, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(registrar.Handler())
+	t.Cleanup(coordSrv.Close)
+
+	fleet, err := NewFleet(2, tracedWorkerConfig(), 6060)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	blackhole, survivor := fleet.Workers[0], fleet.Workers[1]
+	// Shard traffic only: /debug/trace fetches pass through untouched, as
+	// they would for a real worker whose campaign port is wedged.
+	blackhole.Proxy.SetRoute("/campaign/shard", Spec{BlackholeRate: 1})
+	survivor.Proxy.SetRoute("/campaign/shard", Spec{Latency: 15 * time.Millisecond, ErrorRate: 0.2})
+	registerWorker(t, coordSrv.URL, blackhole.URL())
+	registerWorker(t, coordSrv.URL, survivor.URL())
+
+	// After the survivor serves two shards, a brand-new traced worker
+	// joins mid-run and must show up in the merged trace.
+	var joiner *Worker
+	joined := make(chan struct{})
+	survivor.Proxy.OnForward(func(path string, n int) {
+		if path != "/campaign/shard" || n != 2 {
+			return
+		}
+		go func() {
+			defer close(joined)
+			w, err := NewWorker(tracedWorkerConfig(), 616)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			joiner = w
+			registerWorker(t, coordSrv.URL, w.URL())
+		}()
+	})
+
+	trace := fabric.NewFleetTrace(ccfg.Workload, "chaos", "16")
+	bus := fabric.NewBus()
+	prog := fabric.NewProgress()
+
+	// The SSE stream is consumed live through a real FleetHandler while
+	// the storm rages; it must deliver at least one dispatch.
+	fh := fabric.NewFleetHandler(members, prog, bus, metrics)
+	fleetSrv := httptest.NewServer(fh.Handler())
+	t.Cleanup(fleetSrv.Close)
+	sseCtx, sseCancel := context.WithCancel(context.Background())
+	t.Cleanup(sseCancel)
+	sseReq, _ := http.NewRequestWithContext(sseCtx, http.MethodGet, fleetSrv.URL+"/fleet/events", nil)
+	sseResp, err := http.DefaultClient.Do(sseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sseResp.Body.Close() })
+	sseKinds := make(chan string, 1024)
+	go func() {
+		sc := bufio.NewScanner(sseResp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "event: ") {
+				select {
+				case sseKinds <- strings.TrimPrefix(line, "event: "):
+				default:
+				}
+			}
+		}
+	}()
+
+	cfg := chaosCfg()
+	cfg.Members = members
+	cfg.Metrics = metrics
+	cfg.HedgeAfter = 250 * time.Millisecond
+	cfg.Trace = trace
+	cfg.Events = bus
+	cfg.Progress = prog
+	cfg.Logf = t.Logf
+	co, err := fabric.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-joined:
+	case <-time.After(10 * time.Second):
+		t.Fatal("join trigger never fired: the survivor served fewer than 2 shards")
+	}
+	t.Cleanup(func() {
+		if joiner != nil {
+			joiner.Close()
+		}
+	})
+
+	// Tracing must never touch results: the report still matches the
+	// sequential oracle byte for byte.
+	if got := fabricBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatal("traced storm campaign differs from sequential oracle")
+	}
+	if joiner == nil || joiner.Proxy.Counts().Forwarded == 0 {
+		t.Fatal("the mid-run joiner served nothing")
+	}
+	if n := metrics.Counter(`pd_fabric_hedges_total{kind="campaign"}`).Value(); n == 0 {
+		t.Fatal("no hedge fired; the blackholed worker should have forced one")
+	}
+	if st := prog.Status(); st.Running || st.DoneShards != st.TotalShards || st.TotalShards == 0 {
+		t.Fatalf("progress after storm = %+v", st)
+	}
+
+	// The live stream saw the campaign happen.
+	streamed := map[string]int{}
+	for len(sseKinds) > 0 {
+		streamed[<-sseKinds]++
+	}
+	if streamed[obs.EvShardDispatch] == 0 || streamed[obs.EvShardDone] == 0 {
+		t.Fatalf("SSE stream kinds = %v; want dispatches and completions", streamed)
+	}
+	if streamed[obs.EvShardDispatch] <= streamed[obs.EvShardDone] {
+		t.Fatalf("SSE stream kinds = %v; a hedge/retry storm must dispatch more than it completes", streamed)
+	}
+
+	// The merged fleet trace survives the storm structurally: it
+	// validates whole, spans the coordinator and at least two workers
+	// (the blackholed one never answered a span-batch fetch), and names
+	// hedged dispatches.
+	var out bytes.Buffer
+	if err := trace.WriteChrome(&out, "pdcoord"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChromeTrace(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("storm-merged fleet trace invalid: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			PID int `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range parsed.TraceEvents {
+		pids[ev.PID] = true
+	}
+	if len(pids) < 3 {
+		t.Fatalf("merged trace spans %d processes, want >=3 (coordinator, survivor, joiner)", len(pids))
+	}
+	if !strings.Contains(out.String(), `"hedge"`) {
+		t.Error("merged trace records no hedged dispatch")
+	}
+
+	// Merge determinism holds under chaos too: re-merging the same
+	// snapshot with workers and requests in reversed order reproduces
+	// the bytes exactly.
+	coordEvents, workerTraces := trace.Snapshot()
+	rev := make([]obs.WorkerTrace, len(workerTraces))
+	for i, wt := range workerTraces {
+		rev[len(workerTraces)-1-i] = wt
+		for j, k := 0, len(wt.Requests)-1; j < k; j, k = j+1, k-1 {
+			wt.Requests[j], wt.Requests[k] = wt.Requests[k], wt.Requests[j]
+		}
+	}
+	var out2 bytes.Buffer
+	if err := obs.WriteFleetChromeTrace(&out2, "pdcoord", coordEvents, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Fatal("storm trace merge depends on arrival order")
+	}
+}

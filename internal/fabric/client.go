@@ -13,6 +13,7 @@ import (
 
 	"positdebug/internal/faultinject"
 	"positdebug/internal/harness"
+	"positdebug/internal/obs"
 	"positdebug/internal/profile"
 )
 
@@ -55,6 +56,16 @@ func (c *Coordinator) post(ctx context.Context, url string, in any) ([]byte, err
 		return nil, &callError{permanent: true, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if b, ok := attemptFrom(ctx); ok {
+		// A traced attempt carries its identity on the wire: the worker
+		// adopts the request id and trace id for its flight events, and the
+		// traceparent's span id parents the worker's request span under
+		// this attempt in the merged fleet trace.
+		req.Header.Set(obs.RequestIDHeader, b.rid)
+		if b.tc.Valid() {
+			req.Header.Set(obs.TraceparentHeader, b.tc.Traceparent())
+		}
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		// Connection refused, reset, timeout: the canonical transient

@@ -107,6 +107,19 @@ type Config struct {
 	// re-dispatches only the missing runs — completed shards are never
 	// re-run — and produces the same report bytes.
 	Journal *faultinject.Journal
+	// Trace, when set, collects a fleet-wide distributed trace: the
+	// scheduler opens a span per attempt, stamps its id onto the shard
+	// request (X-Request-Id + traceparent), and fetches each worker's
+	// span batch after the attempt — Trace.WriteChrome merges it all into
+	// one Perfetto-loadable file.
+	Trace *FleetTrace
+	// Events, when set, receives every fleet-scheduler event (dispatches,
+	// retries, lease migrations, membership churn, detections) for live
+	// streaming — the /fleet/events SSE endpoint subscribes here.
+	Events *Bus
+	// Progress, when set, is updated as shards complete so GET
+	// /fleet/status can report completion and ETA mid-job.
+	Progress *Progress
 	// Logf, when set, receives human-oriented scheduling events (retries,
 	// ejections, hedges, lease expiries).
 	Logf func(format string, args ...any)
@@ -155,6 +168,7 @@ type Coordinator struct {
 	client  *http.Client
 	reg     *obs.Registry
 	members *Membership
+	trace   *FleetTrace
 	seed    int64
 
 	rngMu sync.Mutex
@@ -195,6 +209,7 @@ func New(cfg Config) (*Coordinator, error) {
 		client:  cfg.Client,
 		reg:     reg,
 		members: members,
+		trace:   cfg.Trace,
 		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
 	}, nil

@@ -1,0 +1,314 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"positdebug/internal/obs"
+)
+
+// This file is the fleet's live-observability surface: campaign progress
+// tracking (completion, throughput, ETA), a fan-out bus streaming the
+// scheduler's fleet events over SSE, and the HTTP handler pdcoord mounts
+// next to the Registrar — GET /fleet/status, GET /fleet/events, and a
+// Prometheus /metrics endpoint carrying the pd_fleet_* series.
+
+// Progress tracks one job's shard completion. Safe for concurrent use:
+// the scheduler writes, the fleet handler reads.
+type Progress struct {
+	mu        sync.Mutex
+	kind      string
+	total     int
+	completed int
+	started   time.Time
+	running   bool
+}
+
+// NewProgress returns an idle tracker.
+func NewProgress() *Progress { return &Progress{} }
+
+// Start begins tracking a job of total shards.
+func (p *Progress) Start(kind string, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.kind, p.total, p.completed = kind, total, 0
+	p.started = time.Now()
+	p.running = true
+	p.mu.Unlock()
+}
+
+// ShardDone records one completed shard.
+func (p *Progress) ShardDone() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.completed++
+	p.mu.Unlock()
+}
+
+// Finish marks the job over (success or failure); the counters freeze for
+// post-mortem reads.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.running = false
+	p.mu.Unlock()
+}
+
+// ProgressStatus is the JSON shape of one progress snapshot.
+type ProgressStatus struct {
+	// Kind is "campaign" or "profile" ("" before any job started).
+	Kind string `json:"kind,omitempty"`
+	// TotalShards / DoneShards count scheduler tasks, not runs.
+	TotalShards int `json:"total_shards"`
+	DoneShards  int `json:"done_shards"`
+	// Completion is DoneShards/TotalShards in [0,1] (0 when idle).
+	Completion float64 `json:"completion"`
+	// ShardsPerSec is the observed completion throughput.
+	ShardsPerSec float64 `json:"shards_per_sec,omitempty"`
+	// ETASeconds extrapolates the remaining shards at the observed
+	// throughput; 0 when unknown (no completions yet) or done.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+	// Running is true while the scheduler loop is driving the job.
+	Running bool `json:"running"`
+}
+
+// Status snapshots the tracker now.
+func (p *Progress) Status() ProgressStatus { return p.statusAt(time.Now()) }
+
+func (p *Progress) statusAt(now time.Time) ProgressStatus {
+	if p == nil {
+		return ProgressStatus{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := ProgressStatus{
+		Kind: p.kind, TotalShards: p.total, DoneShards: p.completed,
+		Running: p.running,
+	}
+	if p.total > 0 {
+		st.Completion = float64(p.completed) / float64(p.total)
+	}
+	elapsed := now.Sub(p.started).Seconds()
+	if p.completed > 0 && elapsed > 0 {
+		st.ShardsPerSec = float64(p.completed) / elapsed
+		if remaining := p.total - p.completed; remaining > 0 && p.running {
+			st.ETASeconds = float64(remaining) / st.ShardsPerSec
+		}
+	}
+	return st
+}
+
+// Bus fans scheduler fleet events out to any number of SSE subscribers.
+// Publish never blocks: a subscriber that cannot keep up loses events
+// (counted per subscriber) rather than stalling the scheduler loop.
+type Bus struct {
+	mu      sync.Mutex
+	subs    map[chan obs.Event]*int64
+	dropped int64
+}
+
+// NewBus returns an empty bus. A nil *Bus is valid: Publish no-ops.
+func NewBus() *Bus { return &Bus{subs: map[chan obs.Event]*int64{}} }
+
+// Subscribe returns a channel receiving published events (buffered buf,
+// minimum 1) and a cancel func that closes the subscription.
+func (b *Bus) Subscribe(buf int) (<-chan obs.Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan obs.Event, buf)
+	var drops int64
+	b.mu.Lock()
+	b.subs[ch] = &drops
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Publish delivers ev to every subscriber without blocking.
+func (b *Bus) Publish(ev obs.Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	for ch, drops := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			*drops++
+			b.dropped++
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Dropped reports the total events lost to slow subscribers.
+func (b *Bus) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// MemberStatus is one worker's row in GET /fleet/status: the advertised
+// identity plus the telemetry snapshot its last heartbeat carried.
+type MemberStatus struct {
+	URL      string `json:"url"`
+	Oracle   string `json:"oracle,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Capacity int    `json:"capacity,omitempty"`
+	Static   bool   `json:"static,omitempty"`
+	// LastBeatAgoMS is how stale the worker's heartbeat is; static
+	// members without heartbeats report their join age.
+	LastBeatAgoMS int64 `json:"last_beat_ago_ms"`
+	// Stats is the worker's self-reported telemetry (queue depth, shadow
+	// tier, cache hit rate, detections); nil until the first heartbeat
+	// that carried one.
+	Stats *obs.WorkerStats `json:"stats,omitempty"`
+}
+
+// FleetStatus is the GET /fleet/status body: the roster with per-worker
+// health, plus campaign progress.
+type FleetStatus struct {
+	Members  int            `json:"members"`
+	Workers  []MemberStatus `json:"workers"`
+	Progress ProgressStatus `json:"progress"`
+}
+
+// FleetHandler serves the fleet observability endpoints. Build with
+// NewFleetHandler and mount Handler next to the Registrar's.
+type FleetHandler struct {
+	members *Membership
+	prog    *Progress
+	bus     *Bus
+	reg     *obs.Registry
+	mux     *http.ServeMux
+}
+
+// NewFleetHandler builds the handler. members is required; prog, bus and
+// reg may be nil (the endpoints degrade to what is available).
+func NewFleetHandler(members *Membership, prog *Progress, bus *Bus, reg *obs.Registry) *FleetHandler {
+	h := &FleetHandler{members: members, prog: prog, bus: bus, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/status", h.handleStatus)
+	mux.HandleFunc("/fleet/events", h.handleEvents)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	h.mux = mux
+	return h
+}
+
+// Handler returns the HTTP surface.
+func (h *FleetHandler) Handler() http.Handler { return h.mux }
+
+// Status assembles the current fleet snapshot (also refreshing the
+// pd_fleet_* gauges, so /metrics scrapes see the same numbers).
+func (h *FleetHandler) Status() FleetStatus {
+	return h.statusAt(time.Now())
+}
+
+func (h *FleetHandler) statusAt(now time.Time) FleetStatus {
+	st := FleetStatus{Workers: []MemberStatus{}, Progress: h.prog.Status()}
+	for _, mem := range h.members.Snapshot() {
+		ms := MemberStatus{
+			URL: mem.URL, Oracle: mem.Oracle, Backend: mem.Backend,
+			Capacity: mem.Capacity, Static: mem.Static,
+			LastBeatAgoMS: now.Sub(mem.LastBeat).Milliseconds(),
+			Stats:         mem.Stats,
+		}
+		st.Workers = append(st.Workers, ms)
+	}
+	st.Members = len(st.Workers)
+	if h.reg != nil {
+		h.reg.Gauge("pd_fleet_workers").Set(int64(st.Members))
+		h.reg.Gauge("pd_fleet_done_shards").Set(int64(st.Progress.DoneShards))
+		h.reg.Gauge("pd_fleet_total_shards").Set(int64(st.Progress.TotalShards))
+		h.reg.Gauge("pd_fleet_completion_permille").Set(int64(st.Progress.Completion * 1000))
+	}
+	return st
+}
+
+func (h *FleetHandler) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, `{"error":"GET only"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(h.Status())
+}
+
+// handleEvents streams the scheduler's fleet events as server-sent
+// events, one JSON object per `data:` line. The stream ends when the
+// client goes away; a slow client loses events rather than slowing the
+// scheduler (the bus drops, and pd_fleet_events_dropped_total counts).
+func (h *FleetHandler) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, `{"error":"GET only"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	if h.bus == nil {
+		http.Error(w, `{"error":"no event bus attached"}`, http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, `{"error":"streaming unsupported"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": fleet event stream\n\n")
+	fl.Flush()
+
+	ch, cancel := h.bus.Subscribe(256)
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, b)
+			fl.Flush()
+			if h.reg != nil {
+				h.reg.Gauge("pd_fleet_events_dropped").Set(h.bus.Dropped())
+			}
+		}
+	}
+}
+
+func (h *FleetHandler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if h.reg == nil {
+		http.Error(w, "no metrics registry", http.StatusNotFound)
+		return
+	}
+	h.statusAt(time.Now()) // refresh fleet gauges before the dump
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = h.reg.WriteProm(w)
+}

@@ -1,0 +1,242 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"positdebug/internal/obs"
+)
+
+func TestProgressStatus(t *testing.T) {
+	var p *Progress
+	if st := p.Status(); st.Running || st.TotalShards != 0 {
+		t.Fatalf("nil progress status = %+v", st)
+	}
+
+	p = NewProgress()
+	p.Start("campaign", 8)
+	now := time.Now()
+	p.mu.Lock()
+	p.started = now.Add(-10 * time.Second)
+	p.mu.Unlock()
+	for i := 0; i < 2; i++ {
+		p.ShardDone()
+	}
+	st := p.statusAt(now)
+	if st.Kind != "campaign" || st.TotalShards != 8 || st.DoneShards != 2 || !st.Running {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Completion != 0.25 {
+		t.Fatalf("completion = %v, want 0.25", st.Completion)
+	}
+	// 2 shards in 10s => 0.2/s => 6 remaining take 30s.
+	if st.ShardsPerSec < 0.19 || st.ShardsPerSec > 0.21 {
+		t.Fatalf("shards/sec = %v, want ~0.2", st.ShardsPerSec)
+	}
+	if st.ETASeconds < 29 || st.ETASeconds > 31 {
+		t.Fatalf("eta = %v, want ~30", st.ETASeconds)
+	}
+	p.Finish()
+	if st := p.statusAt(now); st.Running || st.ETASeconds != 0 {
+		t.Fatalf("finished status still running or estimating: %+v", st)
+	}
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	var nilBus *Bus
+	nilBus.Publish(obs.NewEvent(obs.EvShardDone)) // must not panic
+
+	b := NewBus()
+	ch, cancel := b.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		ev := obs.NewEvent(obs.EvShardDispatch)
+		ev.Count = i
+		b.Publish(ev)
+	}
+	// Buffer 2: first two delivered, three dropped without blocking.
+	if got := len(ch); got != 2 {
+		t.Fatalf("delivered %d events, want 2", got)
+	}
+	if b.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", b.Dropped())
+	}
+	first := <-ch
+	if first.Kind != obs.EvShardDispatch || first.Count != 0 {
+		t.Fatalf("first event = %+v", first)
+	}
+	cancel()
+	cancel() // double-cancel must be safe
+	<-ch     // drain the second buffered event
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after cancel")
+	}
+	b.Publish(obs.NewEvent(obs.EvShardDone)) // no subscribers left: no-op
+}
+
+// TestFleetStatusShape is the golden test for the GET /fleet/status JSON:
+// volatile fields (heartbeat age) are zeroed, everything else must match
+// byte for byte so dashboards can rely on the schema.
+func TestFleetStatusShape(t *testing.T) {
+	members := NewMembership()
+	reg := obs.NewRegistry()
+	members.setMetrics(reg) // the Registrar attaches this in production
+	if _, err := members.Join(Member{
+		URL: "http://w1:8731", Capacity: 4, Oracle: "bigfp", Backend: "tree",
+		Stats: &obs.WorkerStats{
+			QueueDepth: 2, InFlight: 1, ShadowTier: "bigfp-128",
+			CacheHits: 30, CacheMisses: 10, Detections: 7, Shards: 5,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := members.JoinStatic("http://w2:8732"); err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgress()
+	prog.Start("campaign", 4)
+	prog.ShardDone()
+	h := NewFleetHandler(members, prog, NewBus(), reg)
+
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/fleet/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero the volatile fields, then compare the whole shape as JSON.
+	for i := range st.Workers {
+		st.Workers[i].LastBeatAgoMS = 0
+	}
+	st.Progress.ShardsPerSec = 0
+	st.Progress.ETASeconds = 0
+	got, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(`
+{
+ "members": 2,
+ "workers": [
+  {
+   "url": "http://w1:8731",
+   "oracle": "bigfp",
+   "backend": "tree",
+   "capacity": 4,
+   "last_beat_ago_ms": 0,
+   "stats": {
+    "queue_depth": 2,
+    "inflight": 1,
+    "shadow_tier": "bigfp-128",
+    "cache_hits": 30,
+    "cache_misses": 10,
+    "detections": 7,
+    "shards": 5
+   }
+  },
+  {
+   "url": "http://w2:8732",
+   "static": true,
+   "last_beat_ago_ms": 0
+  }
+ ],
+ "progress": {
+  "kind": "campaign",
+  "total_shards": 4,
+  "done_shards": 1,
+  "completion": 0.25,
+  "running": true
+ }
+}`)
+	if string(got) != want {
+		t.Fatalf("fleet status shape drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The same snapshot must have refreshed the pd_fleet_* gauges.
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pd_fleet_workers 2",
+		"pd_fleet_done_shards 1",
+		"pd_fleet_total_shards 4",
+		"pd_fleet_completion_permille 250",
+		`pd_fleet_worker_queue_depth{worker="http://w1:8731"} 2`,
+		`pd_fleet_worker_cache_hit_permille{worker="http://w1:8731"} 750`,
+		`pd_fleet_worker_detections{worker="http://w1:8731"} 7`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prom dump missing %q", want)
+		}
+	}
+}
+
+func TestFleetEventsSSE(t *testing.T) {
+	bus := NewBus()
+	h := NewFleetHandler(NewMembership(), NewProgress(), bus, obs.NewRegistry())
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/fleet/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// The subscription is established by the handler goroutine; publish
+	// until the reader sees our event (Publish before Subscribe is lost by
+	// design, so a single fire could race the handler's setup).
+	done := make(chan obs.Event, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev obs.Event
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) == nil {
+				done <- ev
+				return
+			}
+		}
+	}()
+	ev := obs.NewEvent(obs.EvShardDispatch)
+	ev.Name, ev.Addr, ev.Outcome, ev.Req = "gemm[0,4)", "http://w1:1", "fresh", "c000001"
+	for {
+		bus.Publish(ev)
+		select {
+		case got := <-done:
+			if got.Kind != obs.EvShardDispatch || got.Name != "gemm[0,4)" || got.Outcome != "fresh" {
+				t.Fatalf("streamed event = %+v", got)
+			}
+			return
+		case <-time.After(10 * time.Millisecond):
+		case <-ctx.Done():
+			t.Fatal("no SSE event before deadline")
+		}
+	}
+}

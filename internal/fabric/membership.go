@@ -29,6 +29,11 @@ type Member struct {
 	// Static marks members from a -workers list: they never expire for
 	// missing heartbeats (they never promised any).
 	Static bool `json:"static,omitempty"`
+	// Stats is the telemetry snapshot the worker's most recent heartbeat
+	// carried (queue depth, shadow tier, cache hit rate, detections); nil
+	// until a heartbeat delivers one. It feeds GET /fleet/status and the
+	// pd_fleet_worker_* gauges.
+	Stats *obs.WorkerStats `json:"stats,omitempty"`
 	// Joined and LastBeat track registration time and the most recent
 	// heartbeat (or join time for static members).
 	Joined   time.Time `json:"joined"`
@@ -115,8 +120,11 @@ func (m *Membership) Join(mem Member) (bool, error) {
 	defer m.mu.Unlock()
 	if cur, ok := m.members[u]; ok {
 		cur.LastBeat = now
-		if mem.Capacity != 0 {
+		if mem.Capacity != 0 && mem.Capacity != cur.Capacity {
+			// Capacity weights the scheduler's ring arcs, so a change is a
+			// membership change: bump the version to trigger a rebuild.
 			cur.Capacity = mem.Capacity
+			m.changedLocked()
 		}
 		if mem.Oracle != "" {
 			cur.Oracle = mem.Oracle
@@ -124,11 +132,18 @@ func (m *Membership) Join(mem Member) (bool, error) {
 		if mem.Backend != "" {
 			cur.Backend = mem.Backend
 		}
+		if mem.Stats != nil {
+			cur.Stats = mem.Stats
+			m.publishStatsLocked(u, mem.Stats)
+		}
 		cur.Static = cur.Static || mem.Static
 		return false, nil
 	}
 	mem.Joined, mem.LastBeat = now, now
 	m.members[u] = &mem
+	if mem.Stats != nil {
+		m.publishStatsLocked(u, mem.Stats)
+	}
 	m.changedLocked()
 	if m.reg != nil {
 		m.reg.Counter("pd_fabric_member_joins_total").Inc()
@@ -138,6 +153,26 @@ func (m *Membership) Join(mem Member) (bool, error) {
 			u, mem.Capacity, mem.Oracle, mem.Backend, mem.Static)
 	}
 	return true, nil
+}
+
+// publishStatsLocked mirrors one worker's heartbeat telemetry into the
+// registry as labeled pd_fleet_worker_* gauges, the Prometheus view of
+// what GET /fleet/status reports.
+func (m *Membership) publishStatsLocked(u string, s *obs.WorkerStats) {
+	if m.reg == nil {
+		return
+	}
+	l := `{worker="` + u + `"}`
+	m.reg.Gauge("pd_fleet_worker_queue_depth" + l).Set(s.QueueDepth)
+	m.reg.Gauge("pd_fleet_worker_inflight" + l).Set(s.InFlight)
+	m.reg.Gauge("pd_fleet_worker_detections" + l).Set(s.Detections)
+	m.reg.Gauge("pd_fleet_worker_shards" + l).Set(s.Shards)
+	m.reg.Gauge("pd_fleet_worker_cache_hit_permille" + l).Set(int64(s.CacheHitRate() * 1000))
+	degraded := int64(0)
+	if s.Degraded {
+		degraded = 1
+	}
+	m.reg.Gauge("pd_fleet_worker_degraded" + l).Set(degraded)
 }
 
 // JoinStatic adds one static member (a -workers list entry): exempt from

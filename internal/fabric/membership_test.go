@@ -58,15 +58,24 @@ func TestMembershipJoinHeartbeatLeave(t *testing.T) {
 		t.Fatal("join did not signal Notify")
 	}
 
-	// A second Join of the same URL is a heartbeat: fields refresh, no
-	// membership change.
+	// A second Join of the same URL is a heartbeat: fields refresh. A
+	// capacity change IS a membership change (it re-weights the ring's
+	// arcs), so that heartbeat bumps the version; an identical one after
+	// it does not.
 	v1 := m.Version()
 	joined, err = m.Join(Member{URL: "http://w1:1", Capacity: 8, Backend: "vm"})
 	if err != nil || joined {
 		t.Fatalf("heartbeat Join = %v, %v; want false, nil", joined, err)
 	}
-	if m.Version() != v1 {
-		t.Fatal("heartbeat bumped the version; heartbeats are not membership changes")
+	if m.Version() == v1 {
+		t.Fatal("capacity-changing heartbeat did not bump the version; the ring would keep stale weights")
+	}
+	v2 := m.Version()
+	if _, err := m.Join(Member{URL: "http://w1:1", Capacity: 8, Backend: "vm"}); err != nil {
+		t.Fatalf("steady heartbeat Join: %v", err)
+	}
+	if m.Version() != v2 {
+		t.Fatal("steady heartbeat bumped the version; heartbeats are not membership changes")
 	}
 	snap := m.Snapshot()
 	if len(snap) != 1 || snap[0].URL != "http://w1:1" || snap[0].Capacity != 8 || snap[0].Oracle != "bigfp" || snap[0].Backend != "vm" {

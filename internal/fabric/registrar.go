@@ -115,6 +115,9 @@ type RegisterRequest struct {
 	Capacity int    `json:"capacity,omitempty"`
 	Oracle   string `json:"oracle,omitempty"`
 	Backend  string `json:"backend,omitempty"`
+	// Stats is the worker's telemetry snapshot; each heartbeat refreshes
+	// it, making registration the fleet's continuous telemetry feed.
+	Stats *obs.WorkerStats `json:"stats,omitempty"`
 }
 
 // DeregisterRequest is the POST /fabric/deregister body — a graceful
@@ -134,7 +137,7 @@ func (r *Registrar) handleRegister(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, `{"error":"invalid JSON body"}`, http.StatusBadRequest)
 		return
 	}
-	joined, err := r.cfg.Members.Join(Member{URL: rr.URL, Capacity: rr.Capacity, Oracle: rr.Oracle, Backend: rr.Backend})
+	joined, err := r.cfg.Members.Join(Member{URL: rr.URL, Capacity: rr.Capacity, Oracle: rr.Oracle, Backend: rr.Backend, Stats: rr.Stats})
 	if err != nil {
 		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
 		return

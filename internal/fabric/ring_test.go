@@ -111,6 +111,82 @@ func TestRingBalance(t *testing.T) {
 	}
 }
 
+// TestWeightedRingCapacityProportional: arc share tracks advertised
+// capacity, unadvertised capacity weighs like 1, and absurd
+// advertisements clamp at MaxRingWeight.
+func TestWeightedRingCapacityProportional(t *testing.T) {
+	keys := ringKeys(4000)
+	r := NewWeightedRing(map[string]int{"http://big:1": 4, "http://small:2": 1}, 0)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	frac := float64(counts["http://big:1"]) / float64(len(keys))
+	if frac < 0.65 || frac > 0.95 {
+		t.Fatalf("capacity-4 member owns %.0f%% of keys next to a capacity-1 member; want ~80%%", frac*100)
+	}
+
+	// Capacity 0 (never advertised) weighs exactly 1: owners match the
+	// unweighted ring for every key.
+	workers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	unweighted := NewRing(workers, 0)
+	zero := NewWeightedRing(map[string]int{"http://a:1": 0, "http://b:2": 0, "http://c:3": 0}, 0)
+	for _, k := range keys[:500] {
+		if unweighted.Owner(k) != zero.Owner(k) {
+			t.Fatalf("zero-capacity weighted ring disagrees with unweighted ring on %q", k)
+		}
+	}
+
+	// A runaway advertisement clamps: 1<<20 weighs the same as MaxRingWeight.
+	clamped := NewWeightedRing(map[string]int{"http://big:1": 1 << 20, "http://small:2": 1}, 0)
+	max := NewWeightedRing(map[string]int{"http://big:1": MaxRingWeight, "http://small:2": 1}, 0)
+	for _, k := range keys[:500] {
+		if clamped.Owner(k) != max.Owner(k) {
+			t.Fatalf("clamping failed: weight 1<<20 and %d disagree on %q", MaxRingWeight, k)
+		}
+	}
+}
+
+// TestWeightedRingMinimalMovement: re-weighting one member moves keys
+// only to or from that member — bystanders keep their warm workers, the
+// same contract membership changes honor.
+func TestWeightedRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(1000)
+	caps := map[string]int{"http://a:1": 1, "http://b:2": 1, "http://c:3": 1}
+	before := NewWeightedRing(caps, 0)
+	owners := make(map[string]string, len(keys))
+	for _, k := range keys {
+		owners[k] = before.Owner(k)
+	}
+
+	// Raise a's weight: every moved key must land on a.
+	caps["http://a:1"] = 3
+	grown := NewWeightedRing(caps, 0)
+	movedToA := 0
+	for _, k := range keys {
+		after := grown.Owner(k)
+		if after == owners[k] {
+			continue
+		}
+		if after != "http://a:1" {
+			t.Fatalf("raising a's weight moved key %q from %s to %s (not a)", k, owners[k], after)
+		}
+		movedToA++
+	}
+	if movedToA == 0 {
+		t.Fatal("tripling a member's weight moved no keys; test has no power")
+	}
+
+	// Lower it back: the ring must return to the exact original ownership.
+	caps["http://a:1"] = 1
+	shrunk := NewWeightedRing(caps, 0)
+	for _, k := range keys {
+		if shrunk.Owner(k) != owners[k] {
+			t.Fatalf("restoring a's weight did not restore ownership of %q", k)
+		}
+	}
+}
+
 func TestRingEdgeCases(t *testing.T) {
 	empty := NewRing(nil, 0)
 	if got := empty.Owner("k"); got != "" {

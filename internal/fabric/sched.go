@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"positdebug/internal/obs"
 )
 
 // This file is the fabric's failure-domain core: a single-goroutine event
@@ -78,6 +80,7 @@ type attemptEnd struct {
 	w   *workerState
 	res any
 	err error
+	at  *attemptTrace // nil unless fleet tracing is on
 }
 
 // schedState is the event loop's view of the fleet: the worker table, the
@@ -112,9 +115,11 @@ func (c *Coordinator) syncMembers(st *schedState, initial bool) {
 	st.version = c.members.Version()
 	snap := c.members.Snapshot()
 	seen := make(map[string]bool, len(snap))
+	caps := make(map[string]int, len(snap))
 	changed := st.ring == nil
 	for _, mem := range snap {
 		seen[mem.URL] = true
+		caps[mem.URL] = mem.Capacity
 		if w, ok := st.byURL[mem.URL]; ok {
 			if w.removed {
 				// Rejoined after leaving: a fresh process, a fresh record.
@@ -152,17 +157,19 @@ func (c *Coordinator) syncMembers(st *schedState, initial bool) {
 		}
 	}
 	if changed {
-		liveURLs := make([]string, 0, len(st.workers))
+		// The ring weights each live member's arc by its advertised
+		// capacity, so a beefy worker absorbs proportionally more kernels.
+		liveCaps := make(map[string]int, len(st.workers))
 		for _, w := range st.workers {
 			if !w.removed {
-				liveURLs = append(liveURLs, w.url)
+				liveCaps[w.url] = caps[w.url]
 			}
 		}
-		st.ring = NewRing(liveURLs, c.cfg.VirtualNodes)
+		st.ring = NewWeightedRing(liveCaps, c.cfg.VirtualNodes)
 		if !initial {
 			c.reg.Counter("pd_fabric_ring_rebalances_total").Inc()
 		}
-		c.reg.Gauge("pd_fabric_members").Set(int64(len(liveURLs)))
+		c.reg.Gauge("pd_fabric_members").Set(int64(len(liveCaps)))
 	}
 }
 
@@ -170,6 +177,14 @@ func (c *Coordinator) syncMembers(st *schedState, initial bool) {
 // one membership event. The initial roster is not an event — only churn
 // observed during the job lands in the journal's forensic record.
 func (c *Coordinator) noteMemberEvent(event, url, reason string, initial bool) {
+	// The trace and live event stream see the initial roster too — a fleet
+	// trace without its members would start in the dark. Only the journal
+	// restricts itself to churn observed during the job.
+	kind := obs.EvMemberJoin
+	if event == "leave" {
+		kind = obs.EvMemberLeave
+	}
+	c.fleetEvent(kind, "", url, reason, "", 0)
 	if initial {
 		return
 	}
@@ -209,6 +224,10 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 	}
 	c.syncMembers(st, true)
 	c.logf("fabric: scheduling %d %s tasks over %d workers (jitter seed %d)", len(tasks), kind, st.live(), c.seed)
+	c.trace.beginJob(kind)
+	defer c.trace.endJob()
+	c.cfg.Progress.Start(kind, len(tasks))
+	defer c.cfg.Progress.Finish()
 
 	// Buffered so in-flight attempts can always report, even after an
 	// early return: at most two attempts (original + hedge) per task.
@@ -315,6 +334,9 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 			ev.w.busy = false
 			ev.w.cancel = nil
 			ev.t.inflight--
+			// Close the attempt span and file the fetched worker batch —
+			// winners, losers and failures all land in the fleet trace.
+			ev.at.finish()
 			if ev.t.done {
 				// A hedge mate already won. A loser's error is expected
 				// (we cancelled it) and says nothing about worker health;
@@ -331,6 +353,11 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 				ev.t.cancelAll()
 				remaining--
 				c.reg.Counter(`pd_fabric_shards_total{kind="` + kind + `"}`).Inc()
+				c.cfg.Progress.ShardDone()
+				c.fleetEvent(obs.EvShardDone, ev.t.label, ev.w.url, "", ev.at.id(), 0)
+				if n := detectionCount(ev.res); n > 0 {
+					c.fleetEvent(obs.EvDetectionFound, ev.t.label, ev.w.url, "", ev.at.id(), n)
+				}
 				if ev.t.onDone != nil {
 					if err := ev.t.onDone(ev.res); err != nil {
 						return fail(fmt.Errorf("fabric: committing %s: %w", ev.t.label, err))
@@ -344,6 +371,7 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 				// budget nor anyone's health record pays for it — the
 				// shard simply redispatches to a surviving worker.
 				c.reg.Counter("pd_fabric_reassignments_total").Inc()
+				c.fleetEvent(obs.EvLeaseMigrate, ev.t.label, ev.w.url, "departed", ev.at.id(), 0)
 				c.logf("fabric: %s migrated off departed %s", ev.t.label, ev.w.url)
 				continue
 			}
@@ -359,7 +387,19 @@ func (c *Coordinator) runTasks(ctx context.Context, kind string, tasks []*task) 
 // deadline after which the coordinator stops waiting and reassigns the
 // shard, whatever the worker is (or isn't) doing.
 func (c *Coordinator) launch(ctx context.Context, t *task, w *workerState, done chan<- attemptEnd) {
+	// Classify the dispatch before mutating attempt state: a second
+	// in-flight attempt is a hedge, a first attempt after failures a retry.
+	outcome := "fresh"
+	switch {
+	case t.inflight > 0:
+		outcome = "hedge"
+	case t.failures > 0:
+		outcome = "retry"
+	}
+	at := c.trace.beginAttempt(t.label, w.url)
+	c.fleetEvent(obs.EvShardDispatch, t.label, w.url, outcome, at.id(), 0)
 	actx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTimeout)
+	actx = withAttempt(actx, at)
 	t.cancels = append(t.cancels, cancel)
 	w.busy = true
 	w.cancel = cancel
@@ -377,7 +417,12 @@ func (c *Coordinator) launch(ctx context.Context, t *task, w *workerState, done 
 			// it so the loop reports a reassignment, not a worker fault.
 			err = &callError{leaseExpired: true, err: err}
 		}
-		done <- attemptEnd{t: t, w: w, res: res, err: err}
+		done <- attemptEnd{t: t, w: w, res: res, err: err, at: at}
+		// Only after reporting: collect the worker's span batch while the
+		// attempt is still warm in its trace store. Off the shard critical
+		// path — the scheduler dispatches the next shard without waiting
+		// for this best-effort, short-deadline fetch.
+		at.collect(c.client)
 	}()
 }
 
@@ -461,12 +506,14 @@ func (c *Coordinator) noteFailure(ev attemptEnd, kind string, now time.Time) err
 		}
 		w.offlineUntil = now.Add(d)
 		c.reg.Counter("pd_fabric_throttles_total").Inc()
+		c.fleetEvent(obs.EvShardRetry, t.label, w.url, "throttled", ev.at.id(), 0)
 		c.logf("fabric: %s throttled (Retry-After %v), shard %s goes elsewhere", w.url, d, t.label)
 		return nil
 	}
 
 	if ce != nil && ce.leaseExpired {
 		c.reg.Counter("pd_fabric_reassignments_total").Inc()
+		c.fleetEvent(obs.EvLeaseMigrate, t.label, w.url, "lease-expired", ev.at.id(), 0)
 		c.logf("fabric: lease on %s expired at %s, reassigning", t.label, w.url)
 	}
 
@@ -487,6 +534,7 @@ func (c *Coordinator) noteFailure(ev attemptEnd, kind string, now time.Time) err
 			// membership notify wakes the loop, which tombstones it; only
 			// a fresh registration brings it back.
 			c.reg.Counter("pd_fabric_member_deaths_total").Inc()
+			c.fleetEvent(obs.EvMemberDead, "", w.url, fmt.Sprintf("%d ejections", w.ejections), "", 0)
 			c.logf("fabric: declaring %s dead after %d ejections (last error: %v)", w.url, w.ejections, ev.err)
 			c.members.Leave(w.url, fmt.Sprintf("declared dead after %d ejections (last error: %v)", w.ejections, ev.err))
 		}
@@ -501,6 +549,11 @@ func (c *Coordinator) noteFailure(ev attemptEnd, kind string, now time.Time) err
 	}
 	t.notBefore = now.Add(c.backoff(t.failures))
 	c.reg.Counter(`pd_fabric_shard_retries_total{kind="` + kind + `"}`).Inc()
+	retryWhy := "transport"
+	if ce != nil && ce.status != 0 {
+		retryWhy = fmt.Sprintf("http-%d", ce.status)
+	}
+	c.fleetEvent(obs.EvShardRetry, t.label, w.url, retryWhy, ev.at.id(), 0)
 	c.logf("fabric: %s attempt %d failed on %s (%v), retrying after %v", t.label, t.failures, w.url, ev.err, time.Until(t.notBefore).Round(time.Millisecond))
 	return nil
 }

@@ -1,0 +1,132 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"positdebug/internal/obs"
+	"positdebug/internal/server"
+)
+
+// TestFleetTraceEndToEnd runs a real campaign over two real workers with
+// fleet tracing on and checks the whole observability loop: the report
+// stays byte-identical to the sequential oracle (tracing must never touch
+// results), the merged Chrome trace validates structurally, worker request
+// spans parent under live coordinator attempt spans, and re-merging the
+// same snapshot with permuted arrival order reproduces the bytes.
+func TestFleetTraceEndToEnd(t *testing.T) {
+	ccfg := testCampaign()
+	want := sequentialOracle(t, ccfg)
+
+	newTracedWorker := func() string {
+		s := server.New(server.Config{DefaultTimeout: 30 * time.Second, FlightRecorder: 64})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		return ts.URL
+	}
+	u1, u2 := newTracedWorker(), newTracedWorker()
+
+	trace := NewFleetTrace(ccfg.Workload, "12", "42")
+	bus := NewBus()
+	events, cancelSub := bus.Subscribe(1024)
+	defer cancelSub()
+	prog := NewProgress()
+
+	cfg := fastCfg(u1, u2)
+	cfg.Trace = trace
+	cfg.Events = bus
+	cfg.Progress = prog
+	cfg.Logf = t.Logf
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := co.RunCampaign(context.Background(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+		t.Fatalf("traced fabric report differs from sequential oracle")
+	}
+
+	// Progress saw the whole job.
+	st := prog.Status()
+	if st.Running || st.DoneShards != st.TotalShards || st.TotalShards == 0 {
+		t.Fatalf("progress after campaign = %+v", st)
+	}
+
+	// The live bus streamed at least one dispatch and one completion.
+	kinds := map[string]int{}
+	for len(events) > 0 {
+		kinds[(<-events).Kind]++
+	}
+	if kinds[obs.EvShardDispatch] == 0 || kinds[obs.EvShardDone] == 0 {
+		t.Fatalf("bus event kinds = %v; want dispatches and completions", kinds)
+	}
+	if kinds[obs.EvShardDone] != st.TotalShards {
+		t.Fatalf("bus saw %d shard-done for %d shards", kinds[obs.EvShardDone], st.TotalShards)
+	}
+	if kinds[obs.EvMemberJoin] != 2 {
+		t.Fatalf("bus saw %d member joins, want 2", kinds[obs.EvMemberJoin])
+	}
+
+	// The merged Chrome trace validates, names the coordinator and at
+	// least one worker row, and carries cross-process parent links.
+	var out bytes.Buffer
+	if err := trace.WriteChrome(&out, "pdcoord"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateChromeTrace(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("merged fleet trace invalid: %v\n%s", err, out.String())
+	}
+	if n == 0 {
+		t.Fatal("empty merged trace")
+	}
+	for _, wantStr := range []string{`"pdcoord"`, `"coord_span"`, `"shard-dispatch"`, `"request"`, trace.TraceID} {
+		if !strings.Contains(out.String(), wantStr) {
+			t.Errorf("merged trace missing %s", wantStr)
+		}
+	}
+
+	// Re-merging the snapshot with workers in reversed order must not
+	// change a byte — the merger owns the ordering, not arrival.
+	coord, workers := trace.Snapshot()
+	if len(workers) == 0 {
+		t.Fatal("no worker span batches were fetched")
+	}
+	rev := make([]obs.WorkerTrace, len(workers))
+	for i, wt := range workers {
+		rev[len(workers)-1-i] = wt
+		for j, k := 0, len(wt.Requests)-1; j < k; j, k = j+1, k-1 {
+			wt.Requests[j], wt.Requests[k] = wt.Requests[k], wt.Requests[j]
+		}
+	}
+	var out2 bytes.Buffer
+	if err := obs.WriteFleetChromeTrace(&out2, "pdcoord", coord, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Fatal("fleet trace merge depends on arrival order")
+	}
+
+	// Every fetched batch echoes a coordinator-minted id and the fleet
+	// trace id — the wire propagation worked end to end.
+	for _, wt := range workers {
+		for _, rt := range wt.Requests {
+			if !strings.HasPrefix(rt.Req, "c") {
+				t.Errorf("worker batch %q does not carry a coordinator-minted id", rt.Req)
+			}
+			if rt.Trace != trace.TraceID {
+				t.Errorf("worker batch %s trace id %q, want %q", rt.Req, rt.Trace, trace.TraceID)
+			}
+			if rt.Parent == 0 {
+				t.Errorf("worker batch %s has no coordinator parent span", rt.Req)
+			}
+		}
+	}
+}

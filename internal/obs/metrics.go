@@ -165,6 +165,21 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// SumCounters returns the sum of every counter whose name is exactly base
+// or base with an inline label set (`base{...}`) — the aggregate view of
+// a labeled counter family, e.g. pd_detections_total across kinds.
+func (r *Registry) SumCounters(base string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum int64
+	for name, c := range r.counters {
+		if name == base || (len(name) > len(base) && name[:len(base)] == base && name[len(base)] == '{') {
+			sum += c.Value()
+		}
+	}
+	return sum
+}
+
 func (r *Registry) sortedCounterNames() []string {
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {

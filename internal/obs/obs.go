@@ -53,6 +53,34 @@ const (
 	// the canonical stream leaves Nanos zero.
 	EvSpanBegin = "span-begin"
 	EvSpanEnd   = "span-end"
+
+	// Fleet-scheduler events, emitted coordinator-side into the fleet
+	// trace and the /fleet/events SSE stream. They describe scheduling
+	// decisions, so they live outside the deterministic canonical stream
+	// (like worker lifecycle events).
+
+	// EvShardDispatch records one shard attempt leaving the scheduler
+	// (fields: Name = shard label, Addr = worker URL, Outcome =
+	// "fresh"/"retry"/"hedge", Req = the stamped cross-process request id).
+	EvShardDispatch = "shard-dispatch"
+	// EvShardDone records one shard attempt completing successfully
+	// (fields: Name, Addr, Req).
+	EvShardDone = "shard-done"
+	// EvShardRetry records a failed attempt being rescheduled (fields:
+	// Name, Addr = the worker that failed, Outcome = failure reason).
+	EvShardRetry = "shard-retry"
+	// EvLeaseMigrate records a hung shard's lease moving off a worker
+	// (fields: Name, Addr = the abandoned worker).
+	EvLeaseMigrate = "lease-migrate"
+	// EvMemberJoin / EvMemberLeave / EvMemberDead record fleet roster
+	// transitions as the scheduler sees them (fields: Addr; Outcome =
+	// reason for leave/dead).
+	EvMemberJoin  = "member-join"
+	EvMemberLeave = "member-leave"
+	EvMemberDead  = "member-dead"
+	// EvDetectionFound aggregates detections reported by a completed shard
+	// (fields: Name, Addr, Count = detected runs in the shard).
+	EvDetectionFound = "detection-found"
 )
 
 // Event is one observability record. The zero value is not valid; use
@@ -91,10 +119,21 @@ type Event struct {
 	Before string `json:"before,omitempty"`
 	After  string `json:"after,omitempty"`
 
+	// Addr is a worker URL, stamped on fleet-scheduler events.
+	Addr string `json:"addr,omitempty"`
+	// Count is a generic occurrence count (detected runs on
+	// detection-found events).
+	Count int `json:"count,omitempty"`
+
 	// Req identifies the request (or recording run) that produced the
 	// event; pdserve stamps it end-to-end so trace lines from concurrent
 	// requests stay separable.
 	Req string `json:"req,omitempty"`
+	// Trace is the fleet-wide trace id (32 hex chars) the request carried
+	// in via its traceparent header; empty outside distributed traces.
+	// Grep a coordinator-side trace id straight to the worker-side flight
+	// dump.
+	Trace string `json:"trace,omitempty"`
 	// Span is the span id for span-begin/span-end events, deterministic by
 	// construction (per-tracer counter), and Parent the enclosing span's
 	// id (0 = root).

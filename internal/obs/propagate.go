@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cross-process trace propagation. One fleet job owns one 128-bit trace
+// id; the coordinator stamps every outgoing worker request with a
+// W3C-trace-context-shaped `traceparent` header carrying that id plus the
+// span id of the coordinator-side attempt span that caused the request.
+// The worker adopts the pair, stamps the trace id onto every event its
+// flight recorder captures, and reports the parent span id back with its
+// span batch so the merger can hang the worker's request span under the
+// right coordinator attempt.
+
+// TraceparentHeader is the canonical header name (W3C trace context).
+const TraceparentHeader = "traceparent"
+
+// RequestIDHeader carries the coordinator-chosen request id; the worker
+// adopts it as its flight id so both sides log the same handle.
+const RequestIDHeader = "X-Request-Id"
+
+// TraceContext is one request's cross-process trace binding.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters shared by every process
+	// working on one job.
+	TraceID string
+	// SpanID is the coordinator-side parent span id (nonzero).
+	SpanID uint64
+}
+
+// Valid reports whether the context is complete enough to propagate.
+func (tc TraceContext) Valid() bool {
+	return len(tc.TraceID) == 32 && tc.SpanID != 0
+}
+
+// Traceparent renders the context in W3C form:
+// "00-<32 hex trace id>-<16 hex span id>-01".
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%016x-01", tc.TraceID, tc.SpanID)
+}
+
+// ParseTraceparent parses a W3C traceparent header. It accepts any
+// version field and ignores the trace flags; malformed headers return
+// ok == false rather than an error, since an incoming request without a
+// usable binding simply runs untraced.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 {
+		return TraceContext{}, false
+	}
+	traceID, spanHex := strings.ToLower(parts[1]), parts[2]
+	if len(traceID) != 32 || !isHex(traceID) || len(spanHex) != 16 {
+		return TraceContext{}, false
+	}
+	span, err := strconv.ParseUint(spanHex, 16, 64)
+	if err != nil || span == 0 {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: traceID, SpanID: span}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// DeriveTraceID hashes the given parts into a deterministic 128-bit trace
+// id (32 hex chars). Deriving from the job's identity (workload, seed,
+// runs, …) keeps the whole distributed trace — ids included —
+// reproducible across reruns.
+func DeriveTraceID(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x1f")))
+	return hex.EncodeToString(h[:16])
+}

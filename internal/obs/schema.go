@@ -23,6 +23,15 @@ var knownKinds = map[string]bool{
 	EvArchStart:     true,
 	EvSpanBegin:     true,
 	EvSpanEnd:       true,
+
+	EvShardDispatch:  true,
+	EvShardDone:      true,
+	EvShardRetry:     true,
+	EvLeaseMigrate:   true,
+	EvMemberJoin:     true,
+	EvMemberLeave:    true,
+	EvMemberDead:     true,
+	EvDetectionFound: true,
 }
 
 // ValidateJSONLines checks a JSON-lines trace against the event schema:
@@ -118,6 +127,20 @@ func checkEvent(e Event, prev uint64, newStream bool) error {
 	case EvArchStart:
 		if e.Arch == "" {
 			return fmt.Errorf("%s: missing arch", e.Kind)
+		}
+	case EvShardDispatch, EvShardDone, EvShardRetry, EvLeaseMigrate, EvDetectionFound:
+		if e.Name == "" {
+			return fmt.Errorf("%s: missing name", e.Kind)
+		}
+		if e.Addr == "" {
+			return fmt.Errorf("%s: missing addr", e.Kind)
+		}
+		if e.Kind == EvShardDispatch && e.Outcome == "" {
+			return fmt.Errorf("%s: missing outcome", e.Kind)
+		}
+	case EvMemberJoin, EvMemberLeave, EvMemberDead:
+		if e.Addr == "" {
+			return fmt.Errorf("%s: missing addr", e.Kind)
 		}
 	case EvSpanBegin, EvSpanEnd:
 		if e.Name == "" {

@@ -54,6 +54,16 @@ type Span struct {
 	name  string
 	start int64
 	done  bool
+	flat  bool // opened via StartChild: not on the nesting stack
+}
+
+// ID returns the span's id (0 for a nil span) — the value a caller
+// propagates cross-process as the traceparent parent span id.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Start opens a span nested under the tracer's currently open span.
@@ -81,6 +91,31 @@ func (t *Tracer) Start(name string) *Span {
 	return s
 }
 
+// StartChild opens a span explicitly parented under parent (0 = root),
+// bypassing the tracer's nesting stack entirely. It exists for event-loop
+// callers — a fleet scheduler has many attempt spans open at once, and
+// stack discipline would mis-nest them; flat spans close in any order
+// without touching each other. The stamped fields (Req, sink, timing)
+// behave exactly as for Start.
+func (t *Tracer) StartChild(name string, parent uint64) *Span {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	t.next++
+	id := t.next
+	e := NewEvent(EvSpanBegin)
+	e.Name = name
+	e.Span = id
+	e.Parent = parent
+	e.Req = t.req
+	t.sink.Emit(e)
+	s := &Span{t: t, id: id, name: name, flat: true}
+	if t.clock != nil {
+		s.start = t.clock()
+	}
+	return s
+}
+
 // End closes the span, emitting its span-end event. Ending out of order
 // pops the stack down to (and including) this span, so a forgotten inner
 // End cannot wedge the tracer. Double End is a no-op.
@@ -90,10 +125,12 @@ func (s *Span) End() {
 	}
 	s.done = true
 	t := s.t
-	for i := len(t.stack) - 1; i >= 0; i-- {
-		if t.stack[i] == s.id {
-			t.stack = t.stack[:i]
-			break
+	if !s.flat {
+		for i := len(t.stack) - 1; i >= 0; i-- {
+			if t.stack[i] == s.id {
+				t.stack = t.stack[:i]
+				break
+			}
 		}
 	}
 	e := NewEvent(EvSpanEnd)
@@ -210,41 +247,99 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			tr.TraceEvents = append(tr.TraceEvents, ce)
 		}
 	}
-	b, err := json.MarshalIndent(&tr, "", " ")
+	b, err := marshalChrome(&tr)
 	if err != nil {
 		return err
 	}
-	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
 }
 
-// ValidateChromeTrace checks Chrome trace-event JSON structurally: the
-// top-level object parses with no unknown fields, every event has a name,
-// a known phase, a positive pid/tid, and complete events carry a duration.
+func marshalChrome(tr *chromeTrace) ([]byte, error) {
+	b, err := json.MarshalIndent(tr, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ValidateChromeTrace checks Chrome trace-event JSON structurally,
+// including the multi-process traces the fleet merger emits. Violations
+// fail with a named rule:
+//
+//   - "parse": the top-level object must decode with no unknown fields.
+//   - "name": every event needs a name.
+//   - "phase": only complete ("X"), instant ("i") and metadata ("M")
+//     events are in the supported subset.
+//   - "dur": complete events carry a positive duration.
+//   - "pid-tid": X and i events need positive pid and tid.
+//   - "pid-monotonic-ts": within one pid, timestamps never go backward in
+//     file order — per-process Seq-virtual time must stay monotonic after
+//     the merger rebases it.
+//   - "orphan-parent": in a pid whose spans declare their own ids
+//     (args.span — the fleet merger always does), every args.parent must
+//     name a span id declared in that same pid, and every args.coord_span
+//     (a worker span's cross-process parent) must name a span id declared
+//     by the coordinator process, pid 1. Single-process traces predating
+//     args.span are exempt.
+//
 // Returns the number of trace events.
 func ValidateChromeTrace(r io.Reader) (int, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var tr chromeTrace
 	if err := dec.Decode(&tr); err != nil {
-		return 0, fmt.Errorf("chrome trace: %v", err)
+		return 0, fmt.Errorf("chrome trace: rule parse: %v", err)
 	}
+
+	// First pass: per-pid declared span ids, for the orphan-parent rule.
+	spansByPID := map[int]map[string]bool{}
+	for _, e := range tr.TraceEvents {
+		if id := e.Args["span"]; id != "" {
+			set := spansByPID[e.PID]
+			if set == nil {
+				set = map[string]bool{}
+				spansByPID[e.PID] = set
+			}
+			set[id] = true
+		}
+	}
+
+	lastTS := map[int]uint64{}
+	seenPID := map[int]bool{}
 	for i, e := range tr.TraceEvents {
 		if e.Name == "" {
-			return i, fmt.Errorf("chrome trace: event %d: missing name", i)
+			return i, fmt.Errorf("chrome trace: event %d: rule name: missing name", i)
 		}
 		switch e.Phase {
 		case "X":
 			if e.Dur == 0 {
-				return i, fmt.Errorf("chrome trace: event %d (%s): complete event without dur", i, e.Name)
+				return i, fmt.Errorf("chrome trace: event %d (%s): rule dur: complete event without dur", i, e.Name)
 			}
 		case "i":
+		case "M":
+			// Metadata events (process_name etc.) carry no timeline position.
+			continue
 		default:
-			return i, fmt.Errorf("chrome trace: event %d (%s): unsupported phase %q", i, e.Name, e.Phase)
+			return i, fmt.Errorf("chrome trace: event %d (%s): rule phase: unsupported phase %q", i, e.Name, e.Phase)
 		}
 		if e.PID <= 0 || e.TID <= 0 {
-			return i, fmt.Errorf("chrome trace: event %d (%s): bad pid/tid %d/%d", i, e.Name, e.PID, e.TID)
+			return i, fmt.Errorf("chrome trace: event %d (%s): rule pid-tid: bad pid/tid %d/%d", i, e.Name, e.PID, e.TID)
+		}
+		if seenPID[e.PID] && e.TS < lastTS[e.PID] {
+			return i, fmt.Errorf("chrome trace: event %d (%s): rule pid-monotonic-ts: ts %d after %d in pid %d",
+				i, e.Name, e.TS, lastTS[e.PID], e.PID)
+		}
+		seenPID[e.PID], lastTS[e.PID] = true, e.TS
+		if set := spansByPID[e.PID]; set != nil {
+			if p := e.Args["parent"]; p != "" && !set[p] {
+				return i, fmt.Errorf("chrome trace: event %d (%s): rule orphan-parent: parent span %s not declared in pid %d",
+					i, e.Name, p, e.PID)
+			}
+		}
+		if cp := e.Args["coord_span"]; cp != "" && !spansByPID[coordinatorPID][cp] {
+			return i, fmt.Errorf("chrome trace: event %d (%s): rule orphan-parent: coord_span %s not declared by coordinator pid %d",
+				i, e.Name, cp, coordinatorPID)
 		}
 	}
 	return len(tr.TraceEvents), nil

@@ -9,6 +9,7 @@ import (
 	"positdebug/internal/faultinject"
 	"positdebug/internal/harness"
 	"positdebug/internal/interp"
+	"positdebug/internal/obs"
 )
 
 // This file is the worker side of the distributed campaign/profile fabric
@@ -41,21 +42,31 @@ func (s *Server) handleCampaignShard(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	// Shards carry the coordinator's trace context: the flight adopts the
+	// stamped X-Request-Id and traceparent so the worker-side request span
+	// lands under the coordinator's attempt span in the merged fleet trace.
+	fl := s.newFlight(r)
+	w.Header().Set(obs.RequestIDHeader, fl.id)
+
 	var req faultinject.ShardRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.writeErr(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		s.failRun(w, fl, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
 		return
 	}
+	sp := fl.tr.Start("campaign-shard")
 	res, err := faultinject.RunShard(r.Context(), req)
+	sp.End()
 	if err != nil {
 		code, kind := shardStatusFor(err)
-		s.writeErr(w, code, kind, err.Error())
+		s.failRun(w, fl, code, kind, err.Error())
 		return
 	}
+	fl.span.End()
 	s.reg.Counter(`pd_serve_shards_total{kind="campaign"}`).Inc()
 	s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
 	writeJSON(w, http.StatusOK, res)
+	s.closeFlight(fl)
 }
 
 // handleProfileShard executes one slice of a profiling sweep
@@ -79,23 +90,30 @@ func (s *Server) handleProfileShard(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	fl := s.newFlight(r)
+	w.Header().Set(obs.RequestIDHeader, fl.id)
+
 	var req harness.ProfileShard
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.writeErr(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		s.failRun(w, fl, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
 		return
 	}
+	sp := fl.tr.Start("profile-shard")
 	prof, err := harness.RunProfileShard(r.Context(), req)
+	sp.End()
 	if err != nil {
 		code, kind := shardStatusFor(err)
-		s.writeErr(w, code, kind, err.Error())
+		s.failRun(w, fl, code, kind, err.Error())
 		return
 	}
+	fl.span.End()
 	s.reg.Counter(`pd_serve_shards_total{kind="profile"}`).Inc()
 	s.reg.Counter(`pd_serve_requests_total{code="200"}`).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = prof.WriteJSON(w)
+	s.closeFlight(fl)
 }
 
 // shardStatusFor maps a shard error onto the failure taxonomy: interpreter
@@ -175,14 +193,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// One batch arrives under one trace binding; sub-requests get derived
+	// ids (<batch-id>.N) so the coordinator can still line items up while
+	// each flight stays separable.
+	batchID, tc := traceBinding(r)
 	out := BatchResponse{Responses: make([]BatchItem, 0, len(req.Requests))}
-	for _, sub := range req.Requests {
+	for i, sub := range req.Requests {
 		if err := r.Context().Err(); err != nil {
 			// Client gone: stop burning the slot on answers nobody reads.
 			s.reg.Counter(`pd_serve_requests_total{code="499"}`).Inc()
 			return
 		}
-		fl := s.newFlight()
+		subID := ""
+		if batchID != "" {
+			subID = fmt.Sprintf("%s.%d", batchID, i)
+		}
+		fl := s.buildFlight(subID, tc)
 		resp, code, kind, msg := s.execRun(r.Context(), sub, fl)
 		fl.span.End()
 		if code != http.StatusOK {

@@ -53,17 +53,24 @@ func (s *Server) RegisterLoop(ctx context.Context, cfg RegisterConfig) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	tier := s.EffectiveTier()
-	payload, _ := json.Marshal(map[string]any{
-		"url":      cfg.Advertise,
-		"capacity": s.cfg.MaxConcurrent,
-		"oracle":   string(tier.Oracle),
-		"backend":  s.cfg.Backend.String(),
-	})
+	// The payload is rebuilt every beat: the tier can degrade and the
+	// stats snapshot moves, and the heartbeat is the coordinator's only
+	// continuous telemetry feed from this worker.
+	payload := func() []byte {
+		tier := s.EffectiveTier()
+		b, _ := json.Marshal(map[string]any{
+			"url":      cfg.Advertise,
+			"capacity": s.cfg.MaxConcurrent,
+			"oracle":   string(tier.Oracle),
+			"backend":  s.cfg.Backend.String(),
+			"stats":    s.Stats(),
+		})
+		return b
+	}
 
 	beat := func() error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			cfg.Coordinator+"/fabric/register", bytes.NewReader(payload))
+			cfg.Coordinator+"/fabric/register", bytes.NewReader(payload()))
 		if err != nil {
 			return err
 		}

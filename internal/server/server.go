@@ -114,6 +114,11 @@ type Config struct {
 	// FlightLog receives flight-recorder dumps (default os.Stderr).
 	// Writes are serialized; each line is one obs.Event.
 	FlightLog io.Writer
+	// TraceStore bounds how many completed requests' span batches are
+	// retained for GET /debug/trace/{requestID} — the endpoint a fleet
+	// coordinator assembles distributed traces from. Defaults to 256 when
+	// the flight recorder is on; negative disables the endpoint.
+	TraceStore int
 	// ProfileRequests collects a per-request numerical-error profile and
 	// merges it into a live aggregate keyed by source hash, served at
 	// /debug/profile (JSON; ?top=N for the text report).
@@ -173,6 +178,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlightRecorder > 0 && c.FlightLog == nil {
 		c.FlightLog = os.Stderr
+	}
+	if c.FlightRecorder > 0 && c.TraceStore == 0 {
+		c.TraceStore = 256
 	}
 	if c.ProfileSample <= 0 {
 		c.ProfileSample = 1
@@ -246,6 +254,9 @@ type Server struct {
 	profMu   sync.Mutex
 	profiles map[string]*profile.Profile // live aggregates by source hash
 
+	// traces retains completed flights for /debug/trace (nil = disabled).
+	traces *traceStore
+
 	cache *progCache
 	mux   *http.ServeMux
 }
@@ -273,6 +284,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.FlightRecorder > 0 && cfg.TraceStore > 0 {
+		s.traces = newTraceStore(cfg.TraceStore)
+		mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
+	}
 	if cfg.ProfileRequests {
 		mux.HandleFunc("/debug/profile", s.handleDebugProfile)
 	}
@@ -370,6 +385,31 @@ func (s *Server) EffectiveTier() shadowTier {
 func (s *Server) EffectivePrecision() uint {
 	t := s.EffectiveTier()
 	return oracle.NominalPrecision(t.Oracle, t.Precision)
+}
+
+// Stats snapshots the worker's health telemetry for a heartbeat: queue
+// pressure, the shadow tier currently served, compile-cache efficacy and
+// cumulative detection/shard counts. Cheap — a few atomic loads and one
+// registry scan — so calling it every beat costs nothing measurable.
+func (s *Server) Stats() obs.WorkerStats {
+	tier := s.EffectiveTier()
+	name := string(tier.Oracle)
+	if tier.Oracle == oracle.BigFP {
+		name = fmt.Sprintf("bigfp-%d", tier.Precision)
+	}
+	if tier.Sample > 1 {
+		name = fmt.Sprintf("%s/sample-%d", name, tier.Sample)
+	}
+	return obs.WorkerStats{
+		QueueDepth:  s.queued.Load(),
+		InFlight:    s.inflight.Load(),
+		ShadowTier:  name,
+		Degraded:    s.tierShift.Load() > 0,
+		CacheHits:   s.reg.Counter("pd_serve_cache_hits_total").Value(),
+		CacheMisses: s.reg.Counter("pd_serve_cache_misses_total").Value(),
+		Detections:  s.reg.SumCounters("pd_detections_total"),
+		Shards:      s.reg.SumCounters("pd_serve_shards_total"),
+	}
 }
 
 // RunRequest is the /run request body.
@@ -556,7 +596,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	fl := s.newFlight()
+	fl := s.newFlight(r)
 	w.Header().Set("X-Request-Id", fl.id)
 
 	var req RunRequest
